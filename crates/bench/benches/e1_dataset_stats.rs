@@ -1,0 +1,64 @@
+//! E1 — §2 dataset statistics: regenerates the paper's accounting
+//! block and measures the crawl/filter/stats stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tagdist::crawler::{crawl, crawl_parallel, CrawlConfig};
+use tagdist::dataset::{filter, DatasetStats};
+use tagdist_bench::bench_study;
+
+fn print_table_once() {
+    let s = bench_study();
+    let r = s.filter_report();
+    println!("\n=== E1: §2 dataset statistics (paper → ours) ===");
+    println!("crawled:        1,063,844 → {}", r.crawled);
+    println!(
+        "no tags:        6,736 (0.63%) → {} ({:.2}%)",
+        r.no_tags,
+        100.0 * r.no_tags as f64 / r.crawled as f64
+    );
+    println!(
+        "kept:           691,349 (64.99%) → {} ({:.2}%)",
+        r.kept,
+        100.0 * r.keep_ratio()
+    );
+    let stats = s.dataset_stats();
+    println!("unique tags:    705,415 → {}", stats.unique_tags);
+    println!("total views:    173,288,616,473 → {}", stats.total_views);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_once();
+    let study = bench_study();
+    let platform = study.platform();
+
+    let mut group = c.benchmark_group("e1");
+    group.sample_size(10);
+
+    let mut crawl_cfg = CrawlConfig::default();
+    crawl_cfg.with_budget(5_000);
+    group.bench_function("snowball_crawl_5k", |b| {
+        b.iter(|| black_box(crawl(platform, &crawl_cfg)).stats.fetched)
+    });
+    let mut par_cfg = crawl_cfg.clone();
+    par_cfg.with_threads(4);
+    group.bench_function("snowball_crawl_5k_parallel", |b| {
+        b.iter(|| black_box(crawl_parallel(platform, &par_cfg)).stats.fetched)
+    });
+
+    // Filtering and statistics over the full crawl.
+    let outcome = crawl(platform, &CrawlConfig::default());
+    group.bench_function("section2_filter", |b| {
+        b.iter(|| black_box(filter(&outcome.dataset)).len())
+    });
+    let clean = filter(&outcome.dataset);
+    group.bench_function("section2_stats", |b| {
+        b.iter(|| black_box(DatasetStats::compute(&clean)).unique_tags)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E2 — Fig. 1: the most-viewed video's popularity map. Regenerates
+//! the figure and measures the Map-Chart forward/inverse codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tagdist::geo::{PopularityVector, TrafficModel};
+use tagdist::reconstruct::reconstruct_views;
+use tagdist::render_popularity_map;
+use tagdist_bench::bench_study;
+
+fn print_figure_once() {
+    let s = bench_study();
+    let video = s.fig1_most_viewed();
+    println!("\n=== E2 / Fig. 1: most-viewed video ({} views) ===", video.total_views);
+    print!("{}", render_popularity_map(&video.popularity, 10));
+    println!(
+        "saturated countries: {} (paper: USA & Singapore tied at 61)\n",
+        video.popularity.saturated().len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure_once();
+    let study = bench_study();
+    let video = study.fig1_most_viewed();
+    let truth = study
+        .platform()
+        .ground_truth(&video.key)
+        .expect("fig1 video exists");
+    let traffic = TrafficModel::reference(tagdist::geo::world());
+
+    let mut group = c.benchmark_group("e2");
+    let intensity = truth
+        .views_by_country
+        .hadamard_div(study.platform().ytube())
+        .expect("same world");
+    group.bench_function("mapchart_quantize", |b| {
+        b.iter(|| black_box(PopularityVector::quantize(&intensity)).is_ok())
+    });
+    group.bench_function("eq1_inversion_single_video", |b| {
+        b.iter(|| {
+            black_box(reconstruct_views(
+                &video.popularity,
+                video.total_views,
+                traffic.distribution(),
+            ))
+            .is_ok()
+        })
+    });
+    group.bench_function("render_map", |b| {
+        b.iter(|| black_box(render_popularity_map(&video.popularity, 15)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3 & E4 — Figs. 2–3: geographic distributions of `pop` (global)
+//! and `favela` (local). Regenerates both figures and measures the
+//! Eq. 3 aggregation plus profile construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tagdist::reconstruct::TagViewTable;
+use tagdist::render_distribution;
+use tagdist::tags::{profiles, TagProfile};
+use tagdist_bench::bench_study;
+
+fn print_figures_once() {
+    let s = bench_study();
+    for (fig, name) in [("Fig. 2 (E3)", "pop"), ("Fig. 3 (E4)", "favela")] {
+        let Some(p) = s.tag_profile(name) else { continue };
+        println!("\n=== {fig}: tag '{name}' ===");
+        print!("{}", render_distribution(&p.dist, 8));
+        println!(
+            "top share {:.1}%, JS from traffic {:.4} bits",
+            100.0 * p.top_share,
+            p.js_from_traffic
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures_once();
+    let study = bench_study();
+    let clean = study.clean();
+    let recon = study.reconstruction();
+    let traffic = study.traffic();
+
+    let mut group = c.benchmark_group("e3_e4");
+    group.sample_size(20);
+    group.bench_function("eq3_aggregate_all_tags", |b| {
+        b.iter(|| black_box(TagViewTable::aggregate(clean, recon)).populated_tags())
+    });
+    let table = study.tag_table();
+    let pop = clean.tags().id("pop").expect("pop interned");
+    group.bench_function("profile_single_tag", |b| {
+        b.iter(|| black_box(TagProfile::build(pop, clean, table, traffic)).is_some())
+    });
+    group.bench_function("profile_all_tags_min5", |b| {
+        b.iter(|| black_box(profiles(clean, table, traffic, 5)).len())
+    });
+    group.bench_function("top_tags_by_views", |b| {
+        b.iter(|| black_box(table.top_by_views(20)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E5 — reconstruction quality and throughput, with the
+//! Alexa-prior-noise ablation. Regenerates the error table and
+//! measures the full Eq. 1 inversion over the corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tagdist::geo::{GeoDist, TrafficModel};
+use tagdist::reconstruct::{ErrorReport, Reconstruction};
+use tagdist_bench::bench_study;
+
+fn print_table_once() {
+    let s = bench_study();
+    let clean = s.clean();
+    let truth: Vec<GeoDist> = s.true_distributions();
+    let base = TrafficModel::from_distribution(s.platform().true_traffic().clone());
+    println!("\n=== E5: reconstruction error vs prior noise ===");
+    println!("{:<16} {:>9} {:>11}", "prior noise", "mean JS", "top-1 acc");
+    for noise in [0.0, 0.05, 0.10, 0.20, 0.40] {
+        let traffic = base.perturbed(noise, 7);
+        let recon = Reconstruction::compute(clean, traffic.distribution()).expect("recon");
+        let est: Vec<GeoDist> = (0..clean.len())
+            .map(|p| recon.distribution(p).expect("mass"))
+            .collect();
+        let report = ErrorReport::compare(&truth, &est).expect("aligned");
+        println!(
+            "{:<16} {:>9.4} {:>10.1}%",
+            format!("±{:.0}%", 100.0 * noise),
+            report.js.mean,
+            100.0 * report.top_country_accuracy
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_once();
+    let study = bench_study();
+    let clean = study.clean();
+    let base = TrafficModel::from_distribution(study.platform().true_traffic().clone());
+
+    let mut group = c.benchmark_group("e5");
+    group.sample_size(20);
+    for noise in [0.0, 0.20] {
+        let traffic = base.perturbed(noise, 7);
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_corpus", format!("noise{:.0}pct", 100.0 * noise)),
+            &traffic,
+            |b, traffic| {
+                b.iter(|| {
+                    black_box(Reconstruction::compute(clean, traffic.distribution()))
+                        .expect("recon")
+                        .len()
+                })
+            },
+        );
+    }
+    let recon = study.reconstruction();
+    let truth = study.true_distributions();
+    group.bench_function("error_report", |b| {
+        b.iter(|| {
+            let est: Vec<GeoDist> = (0..clean.len())
+                .map(|p| recon.distribution(p).expect("mass"))
+                .collect();
+            black_box(ErrorReport::compare(&truth, &est)).expect("aligned").n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E6 — the tag-prediction conjecture. Regenerates the evaluation
+//! table and measures prediction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tagdist::tags::{LocalityBreakdown, PredictionEvaluation, Predictor, SmoothedPredictor};
+use tagdist_bench::bench_study;
+
+fn print_table_once() {
+    let s = bench_study();
+    println!("\n=== E6: tags predict where a video is viewed ===");
+    println!("{}", s.prediction_evaluation());
+    println!("by locality class of the dominant tag:");
+    print!("{}", s.prediction_by_locality());
+    let vs_truth = s.prediction_error_vs_truth();
+    let prior = s.prior_error();
+    println!(
+        "vs ground truth: prediction JS {:.4}, prior JS {:.4}",
+        vs_truth.js.mean, prior.js.mean
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table_once();
+    let study = bench_study();
+    let clean = study.clean();
+    let recon = study.reconstruction();
+    let table = study.tag_table();
+    let traffic = study.traffic();
+
+    let mut group = c.benchmark_group("e6");
+    group.sample_size(10);
+    group.bench_function("evaluate_corpus_loo", |b| {
+        b.iter(|| black_box(PredictionEvaluation::evaluate(clean, recon, table, traffic)).n)
+    });
+    let predictor = Predictor::new(table, traffic);
+    let sample: Vec<_> = clean.iter().take(1_000).collect();
+    group.bench_function("predict_1k_videos", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in &sample {
+                acc += black_box(predictor.predict(&v.tags, None)).top_share();
+            }
+            acc
+        })
+    });
+    let smoothed = SmoothedPredictor::new(table, traffic, 10_000.0);
+    group.bench_function("predict_1k_videos_smoothed", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for v in &sample {
+                acc += black_box(smoothed.predict(&v.tags, None)).top_share();
+            }
+            acc
+        })
+    });
+    group.bench_function("locality_breakdown", |b| {
+        b.iter(|| {
+            black_box(LocalityBreakdown::evaluate(
+                clean,
+                recon,
+                table,
+                traffic,
+                &tagdist::tags::ClassifyThresholds::default(),
+            ))
+            .rows
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

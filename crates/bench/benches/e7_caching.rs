@@ -1,0 +1,145 @@
+//! E7 — proactive geographic caching. Regenerates the
+//! hit-rate-vs-capacity series for every policy and measures the
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tagdist::cache::{
+    run_hybrid, run_reactive, run_static, run_with_latency, DiurnalModel, LfuCache, LruCache,
+    Placement, RequestStream, SlruCache, TimedRequestStream,
+};
+use tagdist::geo::LatencyModel;
+use tagdist::geo::GeoDist;
+use tagdist::tags::Predictor;
+use tagdist_bench::bench_study;
+
+struct Setup {
+    truth: Vec<GeoDist>,
+    predicted: Vec<GeoDist>,
+    weights: Vec<f64>,
+    stream: RequestStream,
+    countries: usize,
+}
+
+fn setup() -> Setup {
+    let s = bench_study();
+    let truth = s.true_distributions();
+    let weights = s.view_weights();
+    let stream = RequestStream::generate(&truth, &weights, 100_000, 2014);
+    let predictor = Predictor::new(s.tag_table(), s.traffic());
+    let predicted: Vec<GeoDist> = s
+        .clean()
+        .iter()
+        .enumerate()
+        .map(|(pos, v)| predictor.predict(&v.tags, s.reconstruction().views(pos)))
+        .collect();
+    Setup {
+        truth,
+        predicted,
+        weights,
+        stream,
+        countries: s.world().len(),
+    }
+}
+
+fn print_series_once(x: &Setup) {
+    let catalogue = x.truth.len();
+    println!("\n=== E7: hit rate vs per-country capacity ===");
+    println!(
+        "{:>9} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8}",
+        "capacity", "oracle", "tags", "geoblind", "random", "lru", "lfu"
+    );
+    for pct in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        let cap = ((catalogue as f64) * pct / 100.0).ceil() as usize;
+        let rate = |p: &Placement| 100.0 * run_static(p, &x.stream).hit_rate();
+        let oracle = rate(&Placement::predictive(
+            "oracle", x.countries, cap, &x.truth, &x.weights,
+        ));
+        let tags = rate(&Placement::predictive(
+            "tags", x.countries, cap, &x.predicted, &x.weights,
+        ));
+        let blind = rate(&Placement::geo_blind(x.countries, cap, &x.weights));
+        let random = rate(&Placement::random(x.countries, catalogue, cap, 99));
+        let lru = 100.0 * run_reactive(|| LruCache::new(cap), cap, &x.stream).hit_rate();
+        let lfu = 100.0 * run_reactive(|| LfuCache::new(cap), cap, &x.stream).hit_rate();
+        println!(
+            "{cap:>9} {oracle:>7.1}% {tags:>7.1}% {blind:>8.1}% {random:>7.1}% {lru:>7.1}% {lfu:>7.1}%"
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let x = setup();
+    print_series_once(&x);
+    let catalogue = x.truth.len();
+    let cap = catalogue / 50; // 2 %
+
+    let mut group = c.benchmark_group("e7");
+    group.sample_size(10);
+    group.bench_function("placement_tag_predictive", |b| {
+        b.iter(|| {
+            black_box(Placement::predictive(
+                "tags", x.countries, cap, &x.predicted, &x.weights,
+            ))
+            .capacity()
+        })
+    });
+    for (name, placement) in [
+        ("static_oracle", Placement::predictive("oracle", x.countries, cap, &x.truth, &x.weights)),
+        ("static_geoblind", Placement::geo_blind(x.countries, cap, &x.weights)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("replay", name), &placement, |b, p| {
+            b.iter(|| black_box(run_static(p, &x.stream)).hits)
+        });
+    }
+    group.bench_function("replay_lru", |b| {
+        b.iter(|| black_box(run_reactive(|| LruCache::new(cap), cap, &x.stream)).hits)
+    });
+    group.bench_function("replay_lfu", |b| {
+        b.iter(|| black_box(run_reactive(|| LfuCache::new(cap), cap, &x.stream)).hits)
+    });
+    group.bench_function("replay_slru", |b| {
+        b.iter(|| black_box(run_reactive(|| SlruCache::new(cap), cap, &x.stream)).hits)
+    });
+    let pinned = Placement::predictive("tags", x.countries, cap / 2, &x.predicted, &x.weights);
+    group.bench_function("replay_hybrid", |b| {
+        b.iter(|| black_box(run_hybrid(&pinned, cap - cap / 2, &x.stream)).hits)
+    });
+    let latency = LatencyModel::default_2011();
+    let oracle = Placement::predictive("oracle", x.countries, cap, &x.truth, &x.weights);
+    let origin = tagdist::geo::world().by_code("US").unwrap().id;
+    group.bench_function("replay_with_latency", |b| {
+        b.iter(|| {
+            black_box(run_with_latency(
+                tagdist::geo::world(),
+                &latency,
+                &oracle,
+                &x.stream,
+                origin,
+            ))
+            .local_hits
+        })
+    });
+    group.bench_function("request_generation_100k", |b| {
+        b.iter(|| black_box(RequestStream::generate(&x.truth, &x.weights, 100_000, 1)).len())
+    });
+    group.bench_function("diurnal_generation_100k", |b| {
+        b.iter(|| {
+            black_box(TimedRequestStream::generate(
+                tagdist::geo::world(),
+                &DiurnalModel::default_2011(),
+                &x.truth,
+                &x.weights,
+                100_000,
+                1,
+            ))
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

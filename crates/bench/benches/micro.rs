@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the primitives every experiment leans on:
+//! distribution math, the Map-Chart codec, the heavy-tailed samplers
+//! and the platform generator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagdist::geo::{world, CountryVec, GeoDist, LatencyModel, PopularityVector, TrafficModel};
+use tagdist::ytsim::{LogNormal, Platform, PlatformApi, WorldConfig, Zipf};
+
+fn bench_geo(c: &mut Criterion) {
+    let traffic = TrafficModel::reference(world());
+    let a = traffic.distribution().clone();
+    let b = traffic.perturbed(0.3, 1).distribution().clone();
+    let mut group = c.benchmark_group("micro_geo");
+    group.bench_function("js_divergence_60", |bch| {
+        bch.iter(|| black_box(a.js_divergence(&b)).unwrap())
+    });
+    group.bench_function("entropy_60", |bch| b_entropy(bch, &a));
+    group.bench_function("gini_60", |bch| bch.iter(|| black_box(a.gini())));
+    let counts: CountryVec = (0..60).map(|i| (i * 37 % 101) as f64).collect();
+    group.bench_function("normalize_60", |bch| {
+        bch.iter(|| black_box(GeoDist::from_counts(&counts)).is_ok())
+    });
+    group.bench_function("quantize_60", |bch| {
+        bch.iter(|| black_box(PopularityVector::quantize(&counts)).is_ok())
+    });
+    let mut rng = StdRng::seed_from_u64(4);
+    group.bench_function("sample_country", |bch| {
+        bch.iter(|| black_box(a.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+fn b_entropy(bch: &mut criterion::Bencher<'_>, d: &GeoDist) {
+    bch.iter(|| black_box(d.entropy()))
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let model = LatencyModel::default_2011();
+    let us = world().by_code("US").unwrap().id;
+    let all: Vec<_> = world().iter().map(|country| country.id).collect();
+    let mut group = c.benchmark_group("micro_latency");
+    group.bench_function("rtt_lookup", |b| {
+        b.iter(|| black_box(model.rtt_ms(world(), us, all[37])))
+    });
+    group.bench_function("nearest_of_60", |b| {
+        b.iter(|| black_box(model.nearest(world(), us, &all)))
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_sampling");
+    let zipf = Zipf::new(100_000, 1.1);
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("zipf_sample_100k_ranks", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    let ln = LogNormal::new(8.6, 2.2);
+    group.bench_function("lognormal_views", |b| {
+        b.iter(|| black_box(ln.sample_views(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_platform");
+    group.sample_size(10);
+    for videos in [1_000usize, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::new("generate", videos),
+            &videos,
+            |b, &videos| {
+                b.iter(|| {
+                    let mut cfg = WorldConfig::tiny();
+                    cfg.with_videos(videos);
+                    black_box(Platform::generate(cfg)).catalogue_size()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_geo, bench_latency, bench_sampling, bench_platform);
+criterion_main!(benches);

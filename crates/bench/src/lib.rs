@@ -1,0 +1,22 @@
+//! Shared setup for the Criterion benches.
+//!
+//! Each `benches/e*.rs` target regenerates one of the paper's
+//! tables/figures (printing the rows once) and then measures the
+//! computational stage behind it. The study is built once per bench
+//! binary and shared.
+
+use std::sync::OnceLock;
+
+use tagdist::{Study, StudyConfig};
+
+/// The world/crawl scale benches run at (20k videos — large enough
+/// for stable shapes, small enough for tight iteration).
+pub fn bench_config() -> StudyConfig {
+    StudyConfig::small()
+}
+
+/// Builds (once) and returns the shared study.
+pub fn bench_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(bench_config()))
+}

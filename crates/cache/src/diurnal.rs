@@ -1,0 +1,454 @@
+//! Diurnal demand modelling.
+//!
+//! The paper's opening citation (Guillemin et al., reference 5) is about
+//! caching efficiency for YouTube traffic *“during peak periods”* — an
+//! ISP's problem is the evening peak, not the daily mean. This module
+//! adds the time dimension the flat request stream lacks: viewers are
+//! active in *their* evening, so each country's demand follows a
+//! sinusoidal local-time profile shifted by its UTC offset, and a
+//! placement is judged by the **peak** origin load it leaves.
+//!
+//! Global demand stays comparatively flat (time zones interleave);
+//! per-country demand swings hard — which is exactly why per-country
+//! proactive placement pays off at peak.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagdist_geo::{CountryId, GeoDist, World};
+
+use crate::placement::Placement;
+use crate::request::Request;
+
+/// Sinusoidal local-time activity profile.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_cache::DiurnalModel;
+///
+/// let m = DiurnalModel::default_2011();
+/// // Peak evening activity vs morning trough.
+/// assert!(m.activity(20.5) > m.activity(8.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalModel {
+    /// Local hour of peak activity (0–24).
+    pub peak_local_hour: f64,
+    /// Relative swing in `[0, 1]`: activity ranges over
+    /// `[1 − amplitude, 1 + amplitude]`.
+    pub amplitude: f64,
+}
+
+impl DiurnalModel {
+    /// The 2011 residential-ISP shape: peak at 20:30 local, ±80 %
+    /// swing.
+    pub fn default_2011() -> DiurnalModel {
+        DiurnalModel {
+            peak_local_hour: 20.5,
+            amplitude: 0.8,
+        }
+    }
+
+    /// Relative activity at a local hour (mean 1.0 over the day).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the model's amplitude is outside
+    /// `[0, 1]`.
+    pub fn activity(&self, local_hour: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&self.amplitude));
+        let phase = (local_hour - self.peak_local_hour) / 24.0 * core::f64::consts::TAU;
+        1.0 + self.amplitude * phase.cos()
+    }
+
+    /// Relative activity of `country` at a given UTC hour.
+    pub fn country_activity(&self, world: &World, country: CountryId, utc_hour: f64) -> f64 {
+        let local = (utc_hour + world.country(country).utc_offset_hours).rem_euclid(24.0);
+        self.activity(local)
+    }
+}
+
+impl Default for DiurnalModel {
+    fn default() -> DiurnalModel {
+        DiurnalModel::default_2011()
+    }
+}
+
+/// A request with its UTC timestamp (hours in `[0, 24)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRequest {
+    /// UTC time of day, hours.
+    pub utc_hour: f64,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// A pre-materialized diurnal request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRequestStream {
+    requests: Vec<TimedRequest>,
+    country_count: usize,
+}
+
+impl TimedRequestStream {
+    /// Generates `n` timed requests: the video is drawn by `weights`,
+    /// the UTC time uniformly, and the originating country by
+    /// `dists[video]` *modulated by each country's local-time
+    /// activity*.
+    ///
+    /// Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`RequestStream::generate`](crate::RequestStream::generate).
+    pub fn generate(
+        world: &World,
+        model: &DiurnalModel,
+        dists: &[GeoDist],
+        weights: &[f64],
+        n: usize,
+        seed: u64,
+    ) -> TimedRequestStream {
+        assert_eq!(dists.len(), weights.len(), "one weight per distribution");
+        assert!(!dists.is_empty(), "need at least one video");
+        let country_count = dists[0].len();
+        assert!(
+            dists.iter().all(|d| d.len() == country_count),
+            "distributions must cover the same world"
+        );
+        assert!(country_count <= world.len(), "more countries than the registry");
+
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "total request weight must be positive");
+
+        // Per-country activity is a function of (country, hour); a
+        // 24-bin cache keeps generation O(countries) per request.
+        let activity: Vec<[f64; 24]> = (0..country_count)
+            .map(|c| {
+                let mut hours = [0.0f64; 24];
+                for (h, slot) in hours.iter_mut().enumerate() {
+                    *slot = model.country_activity(
+                        world,
+                        CountryId::from_index(c),
+                        h as f64 + 0.5,
+                    );
+                }
+                hours
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>() * acc;
+                let video = match cdf
+                    .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+                {
+                    Ok(i) | Err(i) => i.min(cdf.len() - 1),
+                };
+                let utc_hour: f64 = rng.gen::<f64>() * 24.0;
+                let bin = (utc_hour as usize).min(23);
+
+                // Country ∝ dist[c] · activity(c, t).
+                let dist = &dists[video];
+                let total: f64 = (0..country_count)
+                    .map(|c| dist.prob(CountryId::from_index(c)) * activity[c][bin])
+                    .sum();
+                let mut draw: f64 = rng.gen::<f64>() * total;
+                let mut country = CountryId::from_index(country_count - 1);
+                for (c, hours) in activity.iter().enumerate() {
+                    let id = CountryId::from_index(c);
+                    draw -= dist.prob(id) * hours[bin];
+                    if draw < 0.0 {
+                        country = id;
+                        break;
+                    }
+                }
+                TimedRequest {
+                    utc_hour,
+                    request: Request { video, country },
+                }
+            })
+            .collect();
+        TimedRequestStream {
+            requests,
+            country_count,
+        }
+    }
+
+    /// The timed requests in generation order.
+    pub fn requests(&self) -> &[TimedRequest] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` for a zero-length stream.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Requests per UTC hour for one country (24 bins).
+    pub fn country_hourly_load(&self, country: CountryId) -> [usize; 24] {
+        let mut bins = [0usize; 24];
+        for r in &self.requests {
+            if r.request.country == country {
+                bins[(r.utc_hour as usize).min(23)] += 1;
+            }
+        }
+        bins
+    }
+}
+
+/// Origin load per UTC hour left behind by a placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakReport {
+    /// Placement name.
+    pub policy: String,
+    /// Total requests per UTC hour.
+    pub requests_per_hour: [usize; 24],
+    /// Origin fetches (local-cache misses) per UTC hour.
+    pub origin_per_hour: [usize; 24],
+}
+
+impl PeakReport {
+    /// Replays a timed stream against a static placement.
+    pub fn analyze(placement: &Placement, stream: &TimedRequestStream) -> PeakReport {
+        let mut requests_per_hour = [0usize; 24];
+        let mut origin_per_hour = [0usize; 24];
+        for r in stream.requests() {
+            let bin = (r.utc_hour as usize).min(23);
+            requests_per_hour[bin] += 1;
+            if !placement.contains(r.request.country, r.request.video) {
+                origin_per_hour[bin] += 1;
+            }
+        }
+        PeakReport {
+            policy: placement.name().to_owned(),
+            requests_per_hour,
+            origin_per_hour,
+        }
+    }
+
+    /// The UTC hour with the highest origin load.
+    pub fn peak_hour(&self) -> usize {
+        self.origin_per_hour
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(h, _)| h)
+            .unwrap_or(0)
+    }
+
+    /// Origin fetches in the worst hour.
+    pub fn peak_origin(&self) -> usize {
+        *self.origin_per_hour.iter().max().unwrap_or(&0)
+    }
+
+    /// Peak-to-mean ratio of the origin load (1.0 = flat).
+    pub fn peak_to_mean(&self) -> f64 {
+        let total: usize = self.origin_per_hour.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.peak_origin() as f64 / (total as f64 / 24.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::{world, CountryVec};
+
+    fn id(code: &str) -> CountryId {
+        world().by_code(code).unwrap().id
+    }
+
+    fn point_dist(country: CountryId) -> GeoDist {
+        GeoDist::point_mass(world().len(), country)
+    }
+
+    #[test]
+    fn activity_peaks_at_the_peak_hour() {
+        let m = DiurnalModel::default_2011();
+        let peak = m.activity(20.5);
+        assert!((peak - 1.8).abs() < 1e-9);
+        let trough = m.activity(8.5);
+        assert!((trough - 0.2).abs() < 1e-9);
+        // Mean over the day is ~1.
+        let mean: f64 = (0..240).map(|i| m.activity(i as f64 / 10.0)).sum::<f64>() / 240.0;
+        assert!((mean - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn country_activity_shifts_with_utc_offset() {
+        let m = DiurnalModel::default_2011();
+        // Japan (UTC+9) peaks when UTC is 20.5 − 9 = 11.5.
+        let jp = id("JP");
+        let at_peak = m.country_activity(world(), jp, 11.5);
+        assert!((at_peak - 1.8).abs() < 1e-9, "{at_peak}");
+        // Brazil (UTC−3) peaks at UTC 23.5.
+        let br = id("BR");
+        let at_peak = m.country_activity(world(), br, 23.5);
+        assert!((at_peak - 1.8).abs() < 1e-9, "{at_peak}");
+    }
+
+    #[test]
+    fn single_country_stream_clusters_around_local_evening() {
+        let jp = id("JP");
+        let stream = TimedRequestStream::generate(
+            world(),
+            &DiurnalModel::default_2011(),
+            &[point_dist(jp)],
+            &[1.0],
+            20_000,
+            4,
+        );
+        // With a point-mass geography the country never varies…
+        assert!(stream.requests().iter().all(|r| r.request.country == jp));
+        // …and the *time* distribution is uniform (time is drawn
+        // first); the diurnal effect shows in country choice when the
+        // geography is spread, tested below.
+        let bins = stream.country_hourly_load(jp);
+        assert_eq!(bins.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn diurnal_modulation_shifts_country_choice_by_hour() {
+        // A video watched equally in Japan and Brazil: at UTC 11.5
+        // (JP evening, BR morning) Japanese requests must dominate.
+        let jp = id("JP");
+        let br = id("BR");
+        let mut counts = CountryVec::zeros(world().len());
+        counts[jp] = 0.5;
+        counts[br] = 0.5;
+        let dist = GeoDist::from_counts(&counts).unwrap();
+        let stream = TimedRequestStream::generate(
+            world(),
+            &DiurnalModel::default_2011(),
+            &[dist],
+            &[1.0],
+            60_000,
+            9,
+        );
+        let mut jp_morning = 0usize; // UTC 11–12: JP local 20–21 (peak)
+        let mut br_morning = 0usize;
+        for r in stream.requests() {
+            if (11.0..12.0).contains(&r.utc_hour) {
+                if r.request.country == jp {
+                    jp_morning += 1;
+                } else if r.request.country == br {
+                    br_morning += 1;
+                }
+            }
+        }
+        assert!(
+            jp_morning as f64 > 3.0 * br_morning as f64,
+            "JP {jp_morning} vs BR {br_morning} at JP peak"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let dist = point_dist(id("FR"));
+        let m = DiurnalModel::default_2011();
+        let a =
+            TimedRequestStream::generate(world(), &m, std::slice::from_ref(&dist), &[1.0], 500, 1);
+        let b = TimedRequestStream::generate(world(), &m, &[dist], &[1.0], 500, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn peak_report_accounts_consistently() {
+        let fr = id("FR");
+        let dist = point_dist(fr);
+        let stream = TimedRequestStream::generate(
+            world(),
+            &DiurnalModel::default_2011(),
+            &[dist.clone(), dist],
+            &[1.0, 1.0],
+            5_000,
+            2,
+        );
+        // Cache only video 0 everywhere (capacity 1 of 2).
+        let placement = Placement::geo_blind(world().len(), 1, &[2.0, 1.0]);
+        let report = PeakReport::analyze(&placement, &stream);
+        assert_eq!(report.requests_per_hour.iter().sum::<usize>(), 5_000);
+        let origin_total: usize = report.origin_per_hour.iter().sum();
+        assert!(origin_total > 0 && origin_total < 5_000);
+        assert!(report.peak_origin() >= origin_total / 24);
+        assert!(report.peak_to_mean() >= 1.0);
+        assert!(report.peak_hour() < 24);
+    }
+
+    #[test]
+    fn empty_stream_peak_report_is_zero() {
+        let stream = TimedRequestStream::generate(
+            world(),
+            &DiurnalModel::default_2011(),
+            &[point_dist(id("FR"))],
+            &[1.0],
+            0,
+            1,
+        );
+        let placement = Placement::geo_blind(world().len(), 1, &[1.0]);
+        let report = PeakReport::analyze(&placement, &stream);
+        assert_eq!(report.peak_origin(), 0);
+        assert_eq!(report.peak_to_mean(), 0.0);
+        assert!(stream.is_empty());
+    }
+
+    #[test]
+    fn zero_amplitude_is_time_invariant() {
+        let m = DiurnalModel {
+            peak_local_hour: 20.0,
+            amplitude: 0.0,
+        };
+        for h in 0..24 {
+            assert!((m.activity(h as f64) - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tagdist_geo::world;
+
+    proptest! {
+        /// Activity stays within [1−a, 1+a] for any model and hour.
+        #[test]
+        fn activity_is_bounded(
+            peak in 0.0f64..24.0, amplitude in 0.0f64..1.0, hour in 0.0f64..24.0
+        ) {
+            let m = DiurnalModel { peak_local_hour: peak, amplitude };
+            let a = m.activity(hour);
+            prop_assert!(a >= 1.0 - amplitude - 1e-9);
+            prop_assert!(a <= 1.0 + amplitude + 1e-9);
+        }
+
+        /// Country activity equals plain activity at the shifted hour.
+        #[test]
+        fn country_activity_is_a_shift(
+            utc in 0.0f64..24.0, country in 0usize..60
+        ) {
+            let m = DiurnalModel::default_2011();
+            let id = tagdist_geo::CountryId::from_index(country);
+            let local = (utc + world().country(id).utc_offset_hours).rem_euclid(24.0);
+            let a = m.country_activity(world(), id, utc);
+            let b = m.activity(local);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Hybrid caching: proactive pinning plus a reactive remainder.
+//!
+//! A real deployment would not bet the whole cache on predictions: it
+//! pins the predicted-local head of the catalogue and lets an LRU
+//! manage the rest of the capacity. This is the deployment-shaped
+//! variant of the paper's proposal, and the ablation that shows how
+//! much of the proactive win survives contact with a reactive tail.
+
+use std::collections::HashSet;
+
+use crate::placement::Placement;
+use crate::reactive::{LruCache, ReactiveCache};
+use crate::report::CacheReport;
+use crate::request::RequestStream;
+
+/// One country's hybrid cache: a pinned (static) set plus an LRU for
+/// the remaining capacity.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_cache::{HybridCache, ReactiveCache};
+///
+/// let mut cache = HybridCache::new([42usize].into_iter().collect(), 2);
+/// assert!(cache.access(42), "pinned content hits even cold");
+/// assert!(!cache.access(7), "the reactive tail warms up normally");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridCache {
+    pinned: HashSet<usize>,
+    lru: LruCache,
+}
+
+impl HybridCache {
+    /// Creates a hybrid cache. `pinned` contents never churn; the LRU
+    /// gets `lru_capacity` additional slots.
+    pub fn new(pinned: HashSet<usize>, lru_capacity: usize) -> HybridCache {
+        HybridCache {
+            pinned,
+            lru: LruCache::new(lru_capacity),
+        }
+    }
+
+    /// Number of pinned objects.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+}
+
+impl ReactiveCache for HybridCache {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn access(&mut self, video: usize) -> bool {
+        if self.pinned.contains(&video) {
+            return true;
+        }
+        self.lru.access(video)
+    }
+
+    fn len(&self) -> usize {
+        self.pinned.len() + self.lru.len()
+    }
+
+    fn contains(&self, video: usize) -> bool {
+        self.pinned.contains(&video) || self.lru.contains(video)
+    }
+}
+
+/// Replays a stream against per-country hybrid caches.
+///
+/// `placement` provides the pinned sets (its capacity is the pinned
+/// budget); `lru_capacity` is the extra reactive budget per country.
+/// The report's `capacity` field is the combined per-country budget.
+pub fn run_hybrid(
+    placement: &Placement,
+    lru_capacity: usize,
+    stream: &RequestStream,
+) -> CacheReport {
+    let countries = stream.country_count().max(placement.country_count());
+    let mut caches: Vec<HybridCache> = (0..countries)
+        .map(|c| {
+            let pinned = if c < placement.country_count() {
+                placement
+                    .cached(tagdist_geo::CountryId::from_index(c))
+                    .clone()
+            } else {
+                HashSet::new()
+            };
+            HybridCache::new(pinned, lru_capacity)
+        })
+        .collect();
+
+    let mut hits_per_country = vec![0usize; countries];
+    let mut requests_per_country = vec![0usize; countries];
+    let mut hits = 0usize;
+    for r in stream.requests() {
+        let idx = r.country.index();
+        requests_per_country[idx] += 1;
+        if caches[idx].access(r.video) {
+            hits += 1;
+            hits_per_country[idx] += 1;
+        }
+    }
+    CacheReport {
+        policy: format!("hybrid({}+lru{})", placement.name(), lru_capacity),
+        capacity: placement.capacity() + lru_capacity,
+        requests: stream.len(),
+        hits,
+        hits_per_country,
+        requests_per_country,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_reactive, run_static};
+    use tagdist_geo::{CountryVec, GeoDist};
+
+    fn d(values: &[f64]) -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(values.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn pinned_objects_always_hit() {
+        let mut c = HybridCache::new([7usize].into_iter().collect(), 1);
+        assert!(c.access(7), "pinned content hits cold");
+        assert!(!c.access(3), "unpinned content misses cold");
+        assert!(c.access(3), "then lives in the LRU");
+        assert_eq!(c.pinned_len(), 1);
+        assert!(c.contains(7) && c.contains(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.name(), "hybrid");
+    }
+
+    #[test]
+    fn pinned_objects_never_evict() {
+        let mut c = HybridCache::new([0usize].into_iter().collect(), 2);
+        for i in 1..100 {
+            c.access(i);
+        }
+        assert!(c.access(0), "pin survives arbitrary churn");
+        assert!(c.len() <= 3);
+    }
+
+    /// Hybrid ≥ pure static and ≥ pure LRU on a head+tail workload.
+    #[test]
+    fn hybrid_dominates_both_parents() {
+        // Head: videos 0/1 perfectly predicted per country. Tail:
+        // videos 2..6 requested with temporal locality the static
+        // placement cannot see.
+        let dists = vec![
+            d(&[1.0, 0.0]),
+            d(&[0.0, 1.0]),
+            d(&[0.6, 0.4]),
+            d(&[0.4, 0.6]),
+            d(&[0.5, 0.5]),
+            d(&[0.5, 0.5]),
+        ];
+        let weights = [10.0, 10.0, 2.0, 2.0, 2.0, 2.0];
+        let stream = RequestStream::generate(&dists, &weights, 6_000, 21);
+
+        let placement = crate::placement::Placement::predictive("tags", 2, 1, &dists, &weights);
+        let static_only = run_static(&placement, &stream);
+        let lru_only = run_reactive(|| LruCache::new(2), 2, &stream);
+        let hybrid = run_hybrid(&placement, 1, &stream);
+
+        assert!(
+            hybrid.hit_rate() >= static_only.hit_rate(),
+            "hybrid {} vs static {}",
+            hybrid.hit_rate(),
+            static_only.hit_rate()
+        );
+        assert!(
+            hybrid.hit_rate() > lru_only.hit_rate() - 0.02,
+            "hybrid {} vs lru {}",
+            hybrid.hit_rate(),
+            lru_only.hit_rate()
+        );
+        assert!(hybrid.policy.contains("hybrid"));
+        assert_eq!(hybrid.capacity, 2);
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let dists = vec![d(&[0.5, 0.5]), d(&[0.5, 0.5])];
+        let stream = RequestStream::generate(&dists, &[1.0, 1.0], 500, 2);
+        let placement = crate::placement::Placement::geo_blind(2, 1, &[1.0, 1.0]);
+        let report = run_hybrid(&placement, 1, &stream);
+        assert_eq!(
+            report.requests_per_country.iter().sum::<usize>(),
+            report.requests
+        );
+        assert_eq!(report.hits_per_country.iter().sum::<usize>(), report.hits);
+    }
+
+    #[test]
+    fn zero_lru_budget_reduces_to_static() {
+        let dists = vec![d(&[1.0, 0.0]), d(&[0.0, 1.0])];
+        let weights = [1.0, 1.0];
+        let stream = RequestStream::generate(&dists, &weights, 2_000, 9);
+        let placement = crate::placement::Placement::predictive("p", 2, 1, &dists, &weights);
+        let hybrid = run_hybrid(&placement, 0, &stream);
+        let static_only = run_static(&placement, &stream);
+        assert_eq!(hybrid.hits, static_only.hits);
+    }
+}

@@ -1,0 +1,50 @@
+//! Proactive geographic caching — the application the paper sketches
+//! as the payoff of knowing tags' geographic distributions:
+//!
+//! > “tags might help implement a form of proactive geographic
+//! > caching, i.e. predicting where a video will be consumed, based on
+//! > the geographic study of its embodied tags, an avenue we plan to
+//! > investigate in our future research.”
+//!
+//! This crate is that future-work section, built: a per-country
+//! edge-cache simulator with
+//!
+//! * a deterministic [`RequestStream`] generator drawing (video,
+//!   country) pairs from per-video geographic view distributions,
+//! * **proactive** (static) placements computed from any per-video
+//!   country score — tag-predicted distributions, global popularity
+//!   (geo-blind), ground truth (oracle), or random ([`Placement`]),
+//! * **reactive** per-country caches — [`LruCache`] and [`LfuCache`] —
+//!   that only learn from the requests they see,
+//! * hit-rate accounting per policy and per country
+//!   ([`CacheReport`]).
+//!
+//! Experiment E7 (DESIGN.md) sweeps cache capacity and compares the
+//! five policies; the expected shape is oracle ≥ tag-proactive >
+//! geo-blind ≥ random, with reactive policies in between depending on
+//! stream length.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cost;
+pub mod diurnal;
+pub mod hybrid;
+pub mod placement;
+pub mod reactive;
+pub mod report;
+pub mod request;
+pub mod sim;
+pub mod sizes;
+pub mod tier;
+
+pub use cost::{run_with_latency, LatencyReport};
+pub use diurnal::{DiurnalModel, PeakReport, TimedRequest, TimedRequestStream};
+pub use hybrid::{run_hybrid, HybridCache};
+pub use placement::Placement;
+pub use reactive::{LfuCache, LruCache, ReactiveCache, SlruCache};
+pub use report::CacheReport;
+pub use request::{Request, RequestStream};
+pub use sim::{run_reactive, run_static};
+pub use sizes::{run_static_sized, ByteReport, SizedPlacement};
+pub use tier::{run_tiered, TieredReport};

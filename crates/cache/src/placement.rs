@@ -1,0 +1,235 @@
+//! Proactive (static) cache placement.
+//!
+//! A proactive placement fills each country's edge cache *before*
+//! requests arrive, from some per-`(country, video)` score:
+//!
+//! * **tag-predictive** — the paper's proposal: score =
+//!   `predicted_dist(v)[c] × views(v)`,
+//! * **geo-blind** — score = `views(v)` (same videos everywhere),
+//! * **oracle** — score from the true distributions (an upper bound),
+//! * **random** — a seeded random score (a lower bound).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagdist_geo::{CountryId, GeoDist};
+
+/// A static per-country cache assignment.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    name: String,
+    per_country: Vec<HashSet<usize>>,
+    capacity: usize,
+}
+
+impl Placement {
+    /// Builds a placement by taking, for each country, the `capacity`
+    /// videos with the highest `score(country, video)`.
+    ///
+    /// Ties are broken towards lower video indices for determinism.
+    pub fn from_scores<F>(
+        name: impl Into<String>,
+        country_count: usize,
+        video_count: usize,
+        capacity: usize,
+        mut score: F,
+    ) -> Placement
+    where
+        F: FnMut(CountryId, usize) -> f64,
+    {
+        let per_country = (0..country_count)
+            .map(|c| {
+                let country = CountryId::from_index(c);
+                let mut ranked: Vec<usize> = (0..video_count).collect();
+                let k = capacity.min(video_count);
+                if k == 0 {
+                    return HashSet::new();
+                }
+                let mut scores: Vec<f64> =
+                    (0..video_count).map(|v| score(country, v)).collect();
+                if k < ranked.len() {
+                    ranked.select_nth_unstable_by(k - 1, |&a, &b| {
+                        scores[b]
+                            .partial_cmp(&scores[a])
+                            .expect("scores are finite")
+                            .then(a.cmp(&b))
+                    });
+                    ranked.truncate(k);
+                }
+                let set: HashSet<usize> = ranked.into_iter().collect();
+                scores.clear();
+                set
+            })
+            .collect();
+        Placement {
+            name: name.into(),
+            per_country,
+            capacity,
+        }
+    }
+
+    /// Tag-predictive placement (the paper's proposal): rank videos in
+    /// each country by `predicted[v].prob(c) × weight[v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predicted` and `weights` differ in length.
+    pub fn predictive(
+        name: impl Into<String>,
+        country_count: usize,
+        capacity: usize,
+        predicted: &[GeoDist],
+        weights: &[f64],
+    ) -> Placement {
+        assert_eq!(predicted.len(), weights.len());
+        Placement::from_scores(name, country_count, predicted.len(), capacity, |c, v| {
+            predicted[v].prob(c) * weights[v]
+        })
+    }
+
+    /// Geo-blind placement: every country caches the same globally
+    /// most-viewed videos.
+    pub fn geo_blind(country_count: usize, capacity: usize, weights: &[f64]) -> Placement {
+        Placement::from_scores("geo-blind", country_count, weights.len(), capacity, |_, v| {
+            weights[v]
+        })
+    }
+
+    /// Random placement (seeded), the sanity-check lower bound.
+    pub fn random(country_count: usize, video_count: usize, capacity: usize, seed: u64) -> Placement {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scores: Vec<Vec<f64>> = (0..country_count)
+            .map(|_| (0..video_count).map(|_| rng.gen()).collect())
+            .collect();
+        Placement::from_scores("random", country_count, video_count, capacity, |c, v| {
+            scores[c.index()][v]
+        })
+    }
+
+    /// Human-readable policy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Configured per-country capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of countries.
+    pub fn country_count(&self) -> usize {
+        self.per_country.len()
+    }
+
+    /// Returns `true` if `video` is cached in `country`.
+    pub fn contains(&self, country: CountryId, video: usize) -> bool {
+        self.per_country
+            .get(country.index())
+            .is_some_and(|set| set.contains(&video))
+    }
+
+    /// The cached set of one country.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `country` is out of range.
+    pub fn cached(&self, country: CountryId) -> &HashSet<usize> {
+        &self.per_country[country.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::CountryVec;
+
+    fn d(values: &[f64]) -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(values.to_vec())).unwrap()
+    }
+
+    fn c(i: usize) -> CountryId {
+        CountryId::from_index(i)
+    }
+
+    #[test]
+    fn from_scores_takes_the_top_k() {
+        let p = Placement::from_scores("test", 1, 5, 2, |_, v| v as f64);
+        assert!(p.contains(c(0), 4));
+        assert!(p.contains(c(0), 3));
+        assert!(!p.contains(c(0), 0));
+        assert_eq!(p.cached(c(0)).len(), 2);
+        assert_eq!(p.name(), "test");
+        assert_eq!(p.capacity(), 2);
+    }
+
+    #[test]
+    fn capacity_larger_than_catalogue_caches_everything() {
+        let p = Placement::from_scores("all", 2, 3, 10, |_, v| v as f64);
+        for country in 0..2 {
+            assert_eq!(p.cached(c(country)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let p = Placement::from_scores("none", 2, 3, 0, |_, v| v as f64);
+        assert!(p.cached(c(0)).is_empty());
+        assert!(!p.contains(c(0), 0));
+    }
+
+    #[test]
+    fn predictive_places_videos_where_predicted() {
+        // Video 0 predicted in country 0, video 1 in country 1.
+        let predicted = vec![d(&[0.9, 0.1]), d(&[0.1, 0.9])];
+        let p = Placement::predictive("tags", 2, 1, &predicted, &[1.0, 1.0]);
+        assert!(p.contains(c(0), 0));
+        assert!(p.contains(c(1), 1));
+        assert!(!p.contains(c(0), 1));
+    }
+
+    #[test]
+    fn predictive_weighs_by_views() {
+        // Video 1 is slightly less local but vastly more viewed.
+        let predicted = vec![d(&[0.9, 0.1]), d(&[0.6, 0.4])];
+        let p = Placement::predictive("tags", 2, 1, &predicted, &[1.0, 100.0]);
+        assert!(p.contains(c(0), 1), "views dominate the score");
+    }
+
+    #[test]
+    fn geo_blind_is_the_same_everywhere() {
+        let p = Placement::geo_blind(3, 2, &[5.0, 1.0, 9.0, 2.0]);
+        for country in 0..3 {
+            assert!(p.contains(c(country), 0));
+            assert!(p.contains(c(country), 2));
+            assert_eq!(p.cached(c(country)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn random_is_seeded_and_country_specific() {
+        let a = Placement::random(4, 100, 10, 1);
+        let b = Placement::random(4, 100, 10, 1);
+        for country in 0..4 {
+            assert_eq!(a.cached(c(country)), b.cached(c(country)));
+        }
+        let other = Placement::random(4, 100, 10, 2);
+        let differs = (0..4).any(|i| a.cached(c(i)) != other.cached(c(i)));
+        assert!(differs);
+        // Different countries get (almost surely) different sets.
+        assert_ne!(a.cached(c(0)), a.cached(c(1)));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let p = Placement::from_scores("t", 1, 2, 1, |_, v| v as f64);
+        assert!(!p.contains(c(5), 0));
+    }
+
+    #[test]
+    fn ties_break_towards_lower_indices() {
+        let p = Placement::from_scores("tie", 1, 4, 2, |_, _| 1.0);
+        assert!(p.contains(c(0), 0));
+        assert!(p.contains(c(0), 1));
+    }
+}

@@ -1,0 +1,451 @@
+//! Reactive per-country caches: LRU and LFU.
+//!
+//! Reactive policies are the deployed state of the art the paper's
+//! proactive proposal competes against: they know nothing about a
+//! video until it is requested, then keep it according to recency
+//! (LRU) or frequency (LFU).
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// A single cache with unit-size objects.
+///
+/// `access` returns whether the request hit, updating internal state
+/// and performing any eviction on a miss — the usual
+/// "fetch-on-miss, then insert" edge-cache behaviour.
+pub trait ReactiveCache {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Processes a request for `video`; returns `true` on a hit.
+    fn access(&mut self, video: usize) -> bool;
+
+    /// Current number of cached objects.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `video` is currently cached (no state
+    /// change).
+    fn contains(&self, video: usize) -> bool;
+}
+
+/// Least-recently-used cache (O(1) amortized via a lazily purged
+/// recency queue).
+///
+/// # Example
+///
+/// ```
+/// use tagdist_cache::{LruCache, ReactiveCache};
+///
+/// let mut cache = LruCache::new(1);
+/// assert!(!cache.access(7)); // cold miss
+/// assert!(cache.access(7));  // now hot
+/// cache.access(8);           // evicts 7
+/// assert!(!cache.contains(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    /// video → last-access tick.
+    entries: HashMap<usize, u64>,
+    /// (tick, video) pairs, oldest first; entries are stale when the
+    /// map holds a newer tick for the video.
+    queue: VecDeque<(u64, usize)>,
+    tick: u64,
+}
+
+impl LruCache {
+    /// Creates an empty LRU cache holding up to `capacity` objects.
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    fn evict_one(&mut self) {
+        while let Some((tick, video)) = self.queue.pop_front() {
+            if self.entries.get(&video) == Some(&tick) {
+                self.entries.remove(&video);
+                return;
+            }
+            // Stale queue entry: the video was touched again later.
+        }
+    }
+}
+
+impl ReactiveCache for LruCache {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn access(&mut self, video: usize) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        let hit = self.entries.contains_key(&video);
+        self.entries.insert(video, self.tick);
+        self.queue.push_back((self.tick, video));
+        if !hit && self.entries.len() > self.capacity {
+            self.evict_one();
+        }
+        hit
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, video: usize) -> bool {
+        self.entries.contains_key(&video)
+    }
+}
+
+/// Least-frequently-used cache (lazily purged min-heap; frequency ties
+/// break towards evicting the older entry).
+#[derive(Debug, Clone)]
+pub struct LfuCache {
+    capacity: usize,
+    /// video → (frequency, last-insert tick).
+    entries: HashMap<usize, (u64, u64)>,
+    /// Min-heap of (frequency, tick, video) candidates; stale when the
+    /// map disagrees.
+    heap: BinaryHeap<core::cmp::Reverse<(u64, u64, usize)>>,
+    tick: u64,
+}
+
+impl LfuCache {
+    /// Creates an empty LFU cache holding up to `capacity` objects.
+    pub fn new(capacity: usize) -> LfuCache {
+        LfuCache {
+            capacity,
+            entries: HashMap::new(),
+            heap: BinaryHeap::new(),
+            tick: 0,
+        }
+    }
+
+    fn evict_one(&mut self) {
+        while let Some(core::cmp::Reverse((freq, tick, video))) = self.heap.pop() {
+            if self.entries.get(&video) == Some(&(freq, tick)) {
+                self.entries.remove(&video);
+                return;
+            }
+        }
+    }
+}
+
+impl ReactiveCache for LfuCache {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn access(&mut self, video: usize) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        self.tick += 1;
+        let hit = self.entries.contains_key(&video);
+        let freq = self.entries.get(&video).map(|&(f, _)| f).unwrap_or(0) + 1;
+        self.entries.insert(video, (freq, self.tick));
+        self.heap
+            .push(core::cmp::Reverse((freq, self.tick, video)));
+        if !hit && self.entries.len() > self.capacity {
+            self.evict_one();
+        }
+        hit
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, video: usize) -> bool {
+        self.entries.contains_key(&video)
+    }
+}
+
+/// Segmented LRU (SLRU): a probation segment for first-timers and a
+/// protected segment for re-referenced objects — the classic CDN
+/// policy that resists one-hit-wonder pollution, which UGC workloads
+/// (most videos viewed a handful of times, §1 of the paper) produce in
+/// abundance.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_cache::{ReactiveCache, SlruCache};
+///
+/// let mut cache = SlruCache::with_segments(2, 4);
+/// cache.access(1);            // probation
+/// assert!(cache.access(1));   // re-reference → protected
+/// for scan in 100..110 { cache.access(scan); }
+/// assert!(cache.contains(1)); // survives the scan
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlruCache {
+    probation: LruCache,
+    protected: LruCache,
+    protected_capacity: usize,
+}
+
+impl SlruCache {
+    /// Creates an SLRU with the given total capacity, split 20 %
+    /// probation / 80 % protected (the usual CDN split).
+    pub fn new(capacity: usize) -> SlruCache {
+        let probation = (capacity / 5).max(usize::from(capacity > 0));
+        let protected = capacity.saturating_sub(probation);
+        SlruCache::with_segments(probation, protected)
+    }
+
+    /// Creates an SLRU with an explicit segment split.
+    pub fn with_segments(probation: usize, protected: usize) -> SlruCache {
+        SlruCache {
+            probation: LruCache::new(probation),
+            protected: LruCache::new(protected),
+            protected_capacity: protected,
+        }
+    }
+}
+
+impl ReactiveCache for SlruCache {
+    fn name(&self) -> &'static str {
+        "slru"
+    }
+
+    fn access(&mut self, video: usize) -> bool {
+        if self.protected.contains(video) {
+            self.protected.access(video);
+            return true;
+        }
+        if self.probation.contains(video) {
+            // Promotion on re-reference. The probation copy ages out
+            // naturally; removing it eagerly is not worth the extra
+            // bookkeeping for a simulator.
+            if self.protected_capacity == 0 {
+                // Degenerate split (capacity too small for a
+                // protected segment): stay in probation.
+                return self.probation.access(video);
+            }
+            self.protected.access(video);
+            return true;
+        }
+        self.probation.access(video)
+    }
+
+    fn len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    fn contains(&self, video: usize) -> bool {
+        self.probation.contains(video) || self.protected.contains(video)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_a_miss_then_hits() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // refresh 1; 2 is now LRU
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_respects_capacity_under_churn() {
+        let mut c = LruCache::new(8);
+        for i in 0..1_000 {
+            c.access(i % 37);
+            assert!(c.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = LfuCache::new(2);
+        c.access(1);
+        c.access(1);
+        c.access(1); // freq 3
+        c.access(2); // freq 1
+        c.access(3); // evicts 2 (lowest freq)
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn lfu_frequency_survives_longer_than_recency() {
+        // The hot video stays cached through a scan, unlike in LRU.
+        let mut lfu = LfuCache::new(4);
+        let mut lru = LruCache::new(4);
+        for _ in 0..50 {
+            lfu.access(0);
+            lru.access(0);
+        }
+        for i in 100..120 {
+            lfu.access(i);
+            lru.access(i);
+        }
+        assert!(lfu.contains(0), "LFU keeps the hot object");
+        assert!(!lru.contains(0), "LRU flushes it during the scan");
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut lru = LruCache::new(0);
+        let mut lfu = LfuCache::new(0);
+        for i in 0..10 {
+            assert!(!lru.access(i % 2));
+            assert!(!lfu.access(i % 2));
+        }
+        assert!(lru.is_empty());
+        assert!(lfu.is_empty());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LruCache::new(1).name(), "lru");
+        assert_eq!(LfuCache::new(1).name(), "lfu");
+    }
+
+    #[test]
+    fn lfu_respects_capacity_under_churn() {
+        let mut c = LfuCache::new(8);
+        for i in 0..2_000 {
+            c.access((i * 7) % 53);
+            assert!(c.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn slru_promotes_on_rereference() {
+        let mut c = SlruCache::with_segments(2, 2);
+        assert!(!c.access(1)); // probation
+        assert!(c.access(1)); // promoted
+        // Scan through probation; the promoted object survives.
+        for i in 10..20 {
+            c.access(i);
+        }
+        assert!(c.contains(1), "protected object survives a scan");
+        assert_eq!(c.name(), "slru");
+    }
+
+    #[test]
+    fn slru_resists_one_hit_wonders_better_than_lru() {
+        let mut slru = SlruCache::with_segments(2, 6);
+        let mut lru = LruCache::new(8);
+        // A hot working set of 4, re-referenced between scans.
+        let mut slru_hits = 0;
+        let mut lru_hits = 0;
+        for round in 0..200 {
+            // Hot objects are re-referenced back-to-back (a view +
+            // a replay), which is what promotes them out of probation.
+            for hot in 0..4 {
+                for _ in 0..2 {
+                    if slru.access(hot) {
+                        slru_hits += 1;
+                    }
+                    if lru.access(hot) {
+                        lru_hits += 1;
+                    }
+                }
+            }
+            // One-hit wonders flood past.
+            for cold in 0..6 {
+                let key = 1_000 + round * 6 + cold;
+                slru.access(key);
+                lru.access(key);
+            }
+        }
+        assert!(
+            slru_hits > lru_hits,
+            "slru {slru_hits} should beat lru {lru_hits} under scan pollution"
+        );
+    }
+
+    #[test]
+    fn slru_default_split_and_capacity_bounds() {
+        let mut c = SlruCache::new(10);
+        for i in 0..500 {
+            c.access(i % 37);
+            c.access(i % 7); // some re-references to fill protected
+            assert!(c.len() <= 10, "len {}", c.len());
+        }
+        let mut zero = SlruCache::new(0);
+        assert!(!zero.access(1));
+        assert!(!zero.access(1));
+        assert!(zero.is_empty());
+        // Tiny capacity degenerates gracefully.
+        let mut one = SlruCache::new(1);
+        assert!(!one.access(5));
+        assert!(one.access(5), "single-slot SLRU still caches");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lru_never_exceeds_capacity(
+            cap in 0usize..16,
+            accesses in proptest::collection::vec(0usize..32, 0..300)
+        ) {
+            let mut c = LruCache::new(cap);
+            for v in accesses {
+                c.access(v);
+                prop_assert!(c.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn lfu_never_exceeds_capacity(
+            cap in 0usize..16,
+            accesses in proptest::collection::vec(0usize..32, 0..300)
+        ) {
+            let mut c = LfuCache::new(cap);
+            for v in accesses {
+                c.access(v);
+                prop_assert!(c.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn hit_implies_contains_before_access(
+            accesses in proptest::collection::vec(0usize..16, 1..200)
+        ) {
+            let mut c = LruCache::new(4);
+            for v in accesses {
+                let contained = c.contains(v);
+                let hit = c.access(v);
+                prop_assert_eq!(hit, contained);
+            }
+        }
+    }
+}

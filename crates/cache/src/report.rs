@@ -1,0 +1,109 @@
+//! Simulation accounting.
+
+use core::fmt;
+
+/// Outcome of simulating one policy against one request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheReport {
+    /// Policy name.
+    pub policy: String,
+    /// Per-country cache capacity used.
+    pub capacity: usize,
+    /// Total requests processed.
+    pub requests: usize,
+    /// Requests served from the local edge cache.
+    pub hits: usize,
+    /// Hits per country (index = dense country id).
+    pub hits_per_country: Vec<usize>,
+    /// Requests per country.
+    pub requests_per_country: Vec<usize>,
+}
+
+impl CacheReport {
+    /// Overall hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Requests that had to be served by the origin.
+    pub fn origin_fetches(&self) -> usize {
+        self.requests - self.hits
+    }
+
+    /// Hit rate of one country, or `None` if it received no requests.
+    pub fn country_hit_rate(&self, country: usize) -> Option<f64> {
+        let req = *self.requests_per_country.get(country)?;
+        if req == 0 {
+            return None;
+        }
+        Some(self.hits_per_country[country] as f64 / req as f64)
+    }
+}
+
+impl fmt::Display for CacheReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} capacity {:>6}: {:>8}/{} hits ({:>5.1}%), {} origin fetches",
+            self.policy,
+            self.capacity,
+            self.hits,
+            self.requests,
+            100.0 * self.hit_rate(),
+            self.origin_fetches()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CacheReport {
+        CacheReport {
+            policy: "test".into(),
+            capacity: 10,
+            requests: 100,
+            hits: 40,
+            hits_per_country: vec![30, 10, 0],
+            requests_per_country: vec![50, 50, 0],
+        }
+    }
+
+    #[test]
+    fn rates_and_origin() {
+        let r = report();
+        assert!((r.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(r.origin_fetches(), 60);
+        assert_eq!(r.country_hit_rate(0), Some(0.6));
+        assert_eq!(r.country_hit_rate(1), Some(0.2));
+        assert_eq!(r.country_hit_rate(2), None, "no requests");
+        assert_eq!(r.country_hit_rate(9), None, "out of range");
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = CacheReport {
+            policy: "none".into(),
+            capacity: 0,
+            requests: 0,
+            hits: 0,
+            hits_per_country: vec![],
+            requests_per_country: vec![],
+        };
+        assert_eq!(r.hit_rate(), 0.0);
+        assert_eq!(r.origin_fetches(), 0);
+    }
+
+    #[test]
+    fn display_has_the_essentials() {
+        let text = report().to_string();
+        assert!(text.contains("test"));
+        assert!(text.contains("40.0%"));
+        assert!(text.contains("60 origin"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Request-stream generation.
+//!
+//! The simulator needs a stream of "user in country *c* requests video
+//! *v*" events whose statistics match the corpus: videos are drawn
+//! proportionally to their total views, and the requesting country
+//! from the video's geographic view distribution. With ground-truth
+//! distributions this reproduces the platform's true demand; with
+//! reconstructed distributions it reproduces the demand *as the
+//! paper's pipeline sees it*.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagdist_geo::{CountryId, GeoDist};
+
+/// One cache request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Index of the requested video (into the distribution slice the
+    /// stream was generated from).
+    pub video: usize,
+    /// Country the request originates from.
+    pub country: CountryId,
+}
+
+/// A deterministic, pre-materialized request stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestStream {
+    requests: Vec<Request>,
+    video_count: usize,
+    country_count: usize,
+}
+
+impl RequestStream {
+    /// Generates `n` requests.
+    ///
+    /// * `dists[v]` — per-video geographic view distribution,
+    /// * `weights[v]` — per-video request weight (total views).
+    ///
+    /// Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dists` and `weights` differ in length, are empty,
+    /// contain non-finite/negative weights, carry zero total weight,
+    /// or if the distributions disagree on the world size.
+    pub fn generate(dists: &[GeoDist], weights: &[f64], n: usize, seed: u64) -> RequestStream {
+        assert_eq!(dists.len(), weights.len(), "one weight per distribution");
+        assert!(!dists.is_empty(), "need at least one video");
+        let country_count = dists[0].len();
+        assert!(
+            dists.iter().all(|d| d.len() == country_count),
+            "distributions must cover the same world"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+
+        // Cumulative weights for O(log n) video sampling.
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        let total = acc;
+        assert!(total > 0.0, "total request weight must be positive");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>() * total;
+                let video = match cdf
+                    .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+                {
+                    Ok(i) | Err(i) => i.min(cdf.len() - 1),
+                };
+                let country = dists[video].sample(&mut rng);
+                Request { video, country }
+            })
+            .collect();
+        RequestStream {
+            requests,
+            video_count: dists.len(),
+            country_count,
+        }
+    }
+
+    /// The requests in generation order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` for a zero-length stream.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Number of videos in the catalogue the stream draws from.
+    pub fn video_count(&self) -> usize {
+        self.video_count
+    }
+
+    /// World size of the originating countries.
+    pub fn country_count(&self) -> usize {
+        self.country_count
+    }
+
+    /// Requests per country (diagnostics / load sizing).
+    pub fn per_country_load(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.country_count];
+        for r in &self.requests {
+            load[r.country.index()] += 1;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::CountryVec;
+
+    fn d(values: &[f64]) -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(values.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn stream_has_requested_length_and_ranges() {
+        let dists = vec![d(&[1.0, 1.0]), d(&[1.0, 0.0])];
+        let s = RequestStream::generate(&dists, &[1.0, 1.0], 500, 42);
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.video_count(), 2);
+        assert_eq!(s.country_count(), 2);
+        for r in s.requests() {
+            assert!(r.video < 2);
+            assert!(r.country.index() < 2);
+        }
+    }
+
+    #[test]
+    fn weights_drive_video_popularity() {
+        let dists = vec![d(&[1.0]), d(&[1.0])];
+        let s = RequestStream::generate(&dists, &[9.0, 1.0], 10_000, 7);
+        let v0 = s.requests().iter().filter(|r| r.video == 0).count();
+        let share = v0 as f64 / s.len() as f64;
+        assert!((share - 0.9).abs() < 0.02, "video-0 share {share}");
+    }
+
+    #[test]
+    fn countries_follow_video_distributions() {
+        let dists = vec![d(&[0.2, 0.8])];
+        let s = RequestStream::generate(&dists, &[1.0], 10_000, 7);
+        let c1 = s
+            .requests()
+            .iter()
+            .filter(|r| r.country.index() == 1)
+            .count();
+        let share = c1 as f64 / s.len() as f64;
+        assert!((share - 0.8).abs() < 0.02, "country-1 share {share}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let dists = vec![d(&[0.5, 0.5]), d(&[1.0, 0.0])];
+        let a = RequestStream::generate(&dists, &[1.0, 2.0], 100, 3);
+        let b = RequestStream::generate(&dists, &[1.0, 2.0], 100, 3);
+        assert_eq!(a, b);
+        let c = RequestStream::generate(&dists, &[1.0, 2.0], 100, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_weight_videos_are_never_requested() {
+        let dists = vec![d(&[1.0]), d(&[1.0])];
+        let s = RequestStream::generate(&dists, &[0.0, 1.0], 1_000, 1);
+        assert!(s.requests().iter().all(|r| r.video == 1));
+    }
+
+    #[test]
+    fn per_country_load_sums_to_len() {
+        let dists = vec![d(&[0.3, 0.3, 0.4])];
+        let s = RequestStream::generate(&dists, &[1.0], 777, 5);
+        assert_eq!(s.per_country_load().iter().sum::<usize>(), 777);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_weights_panic() {
+        let dists = vec![d(&[1.0])];
+        let _ = RequestStream::generate(&dists, &[0.0], 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per distribution")]
+    fn mismatched_inputs_panic() {
+        let dists = vec![d(&[1.0])];
+        let _ = RequestStream::generate(&dists, &[1.0, 2.0], 10, 1);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let dists = vec![d(&[1.0])];
+        let s = RequestStream::generate(&dists, &[1.0], 0, 1);
+        assert!(s.is_empty());
+    }
+}

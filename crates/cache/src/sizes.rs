@@ -1,0 +1,369 @@
+//! Size-aware placement and byte accounting.
+//!
+//! Real edge caches are provisioned in bytes, and video sizes span
+//! two orders of magnitude (a music clip vs a concert recording).
+//! Under a byte budget the optimal proactive placement is not the
+//! top-K by score but the classic knapsack-greedy by *score density*
+//! (expected local views per byte): many small locally-hot videos can
+//! out-serve one giant hit.
+
+use std::collections::HashSet;
+
+use tagdist_geo::{CountryId, GeoDist};
+
+use crate::request::RequestStream;
+
+/// A static per-country placement under a byte budget.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_cache::SizedPlacement;
+/// use tagdist_geo::CountryId;
+///
+/// // Budget 10: three dense small videos beat one big one.
+/// let sizes = [10.0, 3.0, 3.0, 3.0];
+/// let scores = [10.0, 4.0, 4.0, 4.0];
+/// let p = SizedPlacement::greedy("demo", 1, 10.0, &sizes, |_, v| scores[v]);
+/// assert!(!p.contains(CountryId::from_index(0), 0));
+/// assert!(p.contains(CountryId::from_index(0), 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizedPlacement {
+    name: String,
+    per_country: Vec<HashSet<usize>>,
+    byte_capacity: f64,
+}
+
+impl SizedPlacement {
+    /// Greedy knapsack placement: each country caches videos in
+    /// descending `score(country, video) / size` density until the
+    /// byte budget is exhausted (videos larger than the remaining
+    /// budget are skipped, letting smaller ones fill the gap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is non-positive or not finite.
+    pub fn greedy<F>(
+        name: impl Into<String>,
+        country_count: usize,
+        byte_capacity: f64,
+        sizes: &[f64],
+        mut score: F,
+    ) -> SizedPlacement
+    where
+        F: FnMut(CountryId, usize) -> f64,
+    {
+        assert!(
+            sizes.iter().all(|s| s.is_finite() && *s > 0.0),
+            "sizes must be positive"
+        );
+        let per_country = (0..country_count)
+            .map(|c| {
+                let country = CountryId::from_index(c);
+                let mut ranked: Vec<usize> = (0..sizes.len()).collect();
+                let densities: Vec<f64> = (0..sizes.len())
+                    .map(|v| score(country, v) / sizes[v])
+                    .collect();
+                ranked.sort_by(|&a, &b| {
+                    densities[b]
+                        .partial_cmp(&densities[a])
+                        .expect("densities are finite")
+                        .then(a.cmp(&b))
+                });
+                let mut set = HashSet::new();
+                let mut used = 0.0;
+                for v in ranked {
+                    if densities[v] <= 0.0 {
+                        break;
+                    }
+                    if used + sizes[v] <= byte_capacity {
+                        used += sizes[v];
+                        set.insert(v);
+                    }
+                }
+                set
+            })
+            .collect();
+        SizedPlacement {
+            name: name.into(),
+            per_country,
+            byte_capacity,
+        }
+    }
+
+    /// Size-aware tag-predictive placement:
+    /// density = `predicted[v].prob(c)·weight[v] / size[v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length or sizes are invalid.
+    pub fn predictive_sized(
+        name: impl Into<String>,
+        country_count: usize,
+        byte_capacity: f64,
+        predicted: &[GeoDist],
+        weights: &[f64],
+        sizes: &[f64],
+    ) -> SizedPlacement {
+        assert_eq!(predicted.len(), weights.len());
+        assert_eq!(predicted.len(), sizes.len());
+        SizedPlacement::greedy(name, country_count, byte_capacity, sizes, |c, v| {
+            predicted[v].prob(c) * weights[v]
+        })
+    }
+
+    /// Policy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Byte budget per country.
+    pub fn byte_capacity(&self) -> f64 {
+        self.byte_capacity
+    }
+
+    /// Returns `true` if `video` is cached in `country`.
+    pub fn contains(&self, country: CountryId, video: usize) -> bool {
+        self.per_country
+            .get(country.index())
+            .is_some_and(|set| set.contains(&video))
+    }
+
+    /// Bytes actually pinned in one country.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `country` is out of range or `sizes` is shorter than
+    /// a cached index.
+    pub fn bytes_used(&self, country: CountryId, sizes: &[f64]) -> f64 {
+        self.per_country[country.index()]
+            .iter()
+            .map(|&v| sizes[v])
+            .sum()
+    }
+}
+
+/// Byte-level outcome of a sized replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByteReport {
+    /// Policy name.
+    pub policy: String,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Requests served locally.
+    pub hits: usize,
+    /// Total bytes requested.
+    pub bytes_requested: f64,
+    /// Bytes that had to come from the origin.
+    pub bytes_from_origin: f64,
+}
+
+impl ByteReport {
+    /// Byte hit rate — the CDN operator's billing metric.
+    pub fn byte_hit_rate(&self) -> f64 {
+        if self.bytes_requested <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.bytes_from_origin / self.bytes_requested
+        }
+    }
+
+    /// Request hit rate, for comparison with unit-size results.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Replays a stream against a sized placement, accounting bytes.
+///
+/// # Panics
+///
+/// Panics if `sizes` does not cover the stream's catalogue.
+pub fn run_static_sized(
+    placement: &SizedPlacement,
+    stream: &RequestStream,
+    sizes: &[f64],
+) -> ByteReport {
+    assert!(sizes.len() >= stream.video_count(), "sizes cover the catalogue");
+    let mut hits = 0usize;
+    let mut bytes_requested = 0.0;
+    let mut bytes_from_origin = 0.0;
+    for r in stream.requests() {
+        let size = sizes[r.video];
+        bytes_requested += size;
+        if placement.contains(r.country, r.video) {
+            hits += 1;
+        } else {
+            bytes_from_origin += size;
+        }
+    }
+    ByteReport {
+        policy: placement.name().to_owned(),
+        requests: stream.len(),
+        hits,
+        bytes_requested,
+        bytes_from_origin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::CountryVec;
+
+    fn d(values: &[f64]) -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(values.to_vec())).unwrap()
+    }
+
+    fn c(i: usize) -> CountryId {
+        CountryId::from_index(i)
+    }
+
+    #[test]
+    fn greedy_prefers_dense_videos() {
+        // Budget 10: one giant video (score 10, size 10) vs three
+        // small ones (score 4 each, size 3). Density favours small.
+        let sizes = [10.0, 3.0, 3.0, 3.0];
+        let scores = [10.0, 4.0, 4.0, 4.0];
+        let p = SizedPlacement::greedy("dense", 1, 10.0, &sizes, |_, v| scores[v]);
+        assert!(!p.contains(c(0), 0), "giant skipped");
+        for v in 1..4 {
+            assert!(p.contains(c(0), v), "small video {v} cached");
+        }
+        assert!((p.bytes_used(c(0), &sizes) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_is_respected_with_gap_filling() {
+        // Ranked by density: v0 (4), v1 (3), v2 (2). Budget 6 fits v0
+        // and v2 (v1 is skipped, the smaller v2 fills the gap).
+        let sizes = [4.0, 3.0, 2.0];
+        let scores = [40.0, 24.0, 10.0];
+        let p = SizedPlacement::greedy("gap", 1, 6.0, &sizes, |_, v| scores[v]);
+        assert!(p.contains(c(0), 0));
+        assert!(!p.contains(c(0), 1));
+        assert!(p.contains(c(0), 2));
+        assert!(p.bytes_used(c(0), &sizes) <= 6.0);
+    }
+
+    #[test]
+    fn zero_scores_are_never_cached() {
+        let sizes = [1.0, 1.0];
+        let p = SizedPlacement::greedy("z", 1, 10.0, &sizes, |_, v| if v == 0 { 1.0 } else { 0.0 });
+        assert!(p.contains(c(0), 0));
+        assert!(!p.contains(c(0), 1));
+    }
+
+    #[test]
+    fn byte_accounting_matches_hand_computation() {
+        let sizes = [2.0, 8.0];
+        let dists = vec![d(&[1.0, 0.0]), d(&[1.0, 0.0])];
+        let stream = RequestStream::generate(&dists, &[1.0, 1.0], 1_000, 3);
+        // Cache only the small video in country 0.
+        let p = SizedPlacement::greedy("small-only", 2, 2.0, &sizes, |_, v| {
+            if v == 0 {
+                1.0
+            } else {
+                0.5
+            }
+        });
+        let report = run_static_sized(&p, &stream, &sizes);
+        assert_eq!(report.requests, 1_000);
+        assert!(report.hits > 0 && report.hits < 1_000);
+        let expected_origin = (report.requests - report.hits) as f64 * 8.0;
+        assert!((report.bytes_from_origin - expected_origin).abs() < 1e-9);
+        assert!(report.byte_hit_rate() > 0.0 && report.byte_hit_rate() < 1.0);
+        assert!(report.hit_rate() > report.byte_hit_rate(), "misses are the big video");
+    }
+
+    #[test]
+    fn density_beats_topk_under_byte_budget() {
+        // One huge hit and many small niche videos; all demand in one
+        // country. Budget = size of the hit.
+        let mut sizes = vec![100.0];
+        let mut weights = vec![150.0];
+        let mut dists = vec![d(&[1.0])];
+        for _ in 0..20 {
+            sizes.push(5.0);
+            weights.push(10.0);
+            dists.push(d(&[1.0]));
+        }
+        let stream = RequestStream::generate(&dists, &weights, 20_000, 9);
+        let density = SizedPlacement::predictive_sized(
+            "density", 1, 100.0, &dists, &weights, &sizes,
+        );
+        // A naive "top scores first" fills the budget with the hit.
+        let naive = SizedPlacement::greedy("naive", 1, 100.0, &sizes, |_, v| {
+            // score/size ordering collapses to plain score when sizes
+            // are ignored: emulate by dividing by a constant.
+            weights[v] * sizes[v] // density ∝ weight → picks the hit
+        });
+        let dr = run_static_sized(&density, &stream, &sizes);
+        let nr = run_static_sized(&naive, &stream, &sizes);
+        // The classic trade-off: density-greedy packs many small
+        // videos and wins *request* hit rate; caching the one giant
+        // hit wins *byte* hit rate. Both directions must hold here.
+        assert!(
+            dr.hit_rate() > nr.hit_rate(),
+            "density requests {} vs naive {}",
+            dr.hit_rate(),
+            nr.hit_rate()
+        );
+        assert!(
+            nr.byte_hit_rate() > dr.byte_hit_rate(),
+            "naive bytes {} vs density {}",
+            nr.byte_hit_rate(),
+            dr.byte_hit_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must be positive")]
+    fn invalid_sizes_panic() {
+        let _ = SizedPlacement::greedy("bad", 1, 1.0, &[0.0], |_, _| 1.0);
+    }
+
+    #[test]
+    fn empty_stream_reports_zero() {
+        let sizes = [1.0];
+        let dists = vec![d(&[1.0])];
+        let stream = RequestStream::generate(&dists, &[1.0], 0, 1);
+        let p = SizedPlacement::greedy("e", 1, 1.0, &sizes, |_, _| 1.0);
+        let report = run_static_sized(&p, &stream, &sizes);
+        assert_eq!(report.byte_hit_rate(), 0.0);
+        assert_eq!(report.hit_rate(), 0.0);
+        assert_eq!(p.byte_capacity(), 1.0);
+        assert_eq!(p.name(), "e");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Greedy placement never exceeds the byte budget, for any
+        /// sizes/scores.
+        #[test]
+        fn budget_is_never_exceeded(
+            sizes in proptest::collection::vec(0.1f64..50.0, 1..30),
+            scores in proptest::collection::vec(0.0f64..10.0, 1..30),
+            budget in 0.0f64..200.0
+        ) {
+            let n = sizes.len().min(scores.len());
+            let sizes = &sizes[..n];
+            let scores = &scores[..n];
+            let p = SizedPlacement::greedy("prop", 3, budget, sizes, |_, v| scores[v]);
+            for c in 0..3 {
+                let used = p.bytes_used(CountryId::from_index(c), sizes);
+                prop_assert!(used <= budget + 1e-9, "used {used} > budget {budget}");
+            }
+        }
+    }
+}

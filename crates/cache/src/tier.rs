@@ -1,0 +1,204 @@
+//! Two-tier cache hierarchy: country edges under regional parents.
+//!
+//! Production CDNs are hierarchical: a miss at the in-country edge is
+//! served by a regional parent before anyone pays for an
+//! inter-continental origin fetch. The hierarchy changes the placement
+//! calculus — a *regional* tag (viewed across Latin America but in no
+//! single country dominantly) is a poor edge-pin but a perfect parent
+//! resident, which is exactly the "regional" class the locality
+//! taxonomy of `tagdist-tags` identifies.
+
+use core::fmt;
+
+use tagdist_geo::{Region, World};
+
+use crate::placement::Placement;
+use crate::reactive::{LruCache, ReactiveCache};
+use crate::request::RequestStream;
+
+/// Outcome of a two-tier replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredReport {
+    /// Edge-placement name.
+    pub policy: String,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Served by the in-country edge.
+    pub edge_hits: usize,
+    /// Served by the regional parent.
+    pub regional_hits: usize,
+    /// Served by the origin.
+    pub origin_fetches: usize,
+}
+
+impl TieredReport {
+    /// Fraction of requests that never left the hierarchy.
+    pub fn hierarchy_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.edge_hits + self.regional_hits) as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction served at the edge alone.
+    pub fn edge_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.edge_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+impl fmt::Display for TieredReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} edge {:>5.1}%, +regional {:>5.1}% → hierarchy {:>5.1}% ({} origin fetches)",
+            self.policy,
+            100.0 * self.edge_hit_rate(),
+            100.0 * self.regional_hits as f64 / self.requests.max(1) as f64,
+            100.0 * self.hierarchy_hit_rate(),
+            self.origin_fetches
+        )
+    }
+}
+
+/// Replays a stream against static country edges backed by one
+/// reactive LRU parent per [`Region`] with `regional_capacity` slots.
+///
+/// # Panics
+///
+/// Panics if the stream's countries exceed the world registry.
+pub fn run_tiered(
+    world: &World,
+    edge: &Placement,
+    regional_capacity: usize,
+    stream: &RequestStream,
+) -> TieredReport {
+    assert!(
+        stream.country_count() <= world.len(),
+        "stream countries exceed the registry"
+    );
+    let region_index = |r: Region| Region::ALL.iter().position(|&x| x == r).expect("known");
+    let mut parents: Vec<LruCache> = Region::ALL
+        .iter()
+        .map(|_| LruCache::new(regional_capacity))
+        .collect();
+
+    let mut edge_hits = 0usize;
+    let mut regional_hits = 0usize;
+    let mut origin_fetches = 0usize;
+    for r in stream.requests() {
+        if edge.contains(r.country, r.video) {
+            edge_hits += 1;
+            continue;
+        }
+        let region = world.country(r.country).region;
+        if parents[region_index(region)].access(r.video) {
+            regional_hits += 1;
+        } else {
+            origin_fetches += 1;
+        }
+    }
+    TieredReport {
+        policy: edge.name().to_owned(),
+        requests: stream.len(),
+        edge_hits,
+        regional_hits,
+        origin_fetches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::{world, CountryVec, GeoDist};
+
+    fn id(code: &str) -> tagdist_geo::CountryId {
+        world().by_code(code).unwrap().id
+    }
+
+    /// One video demanded equally from France and Germany (same
+    /// region), another from Japan.
+    fn stream(n: usize) -> RequestStream {
+        let mut eu = CountryVec::zeros(world().len());
+        eu[id("FR")] = 0.5;
+        eu[id("DE")] = 0.5;
+        let mut asia = CountryVec::zeros(world().len());
+        asia[id("JP")] = 1.0;
+        let dists = vec![
+            GeoDist::from_counts(&eu).unwrap(),
+            GeoDist::from_counts(&asia).unwrap(),
+        ];
+        RequestStream::generate(&dists, &[1.0, 1.0], n, 6)
+    }
+
+    fn empty_edges() -> Placement {
+        Placement::from_scores("no-edge", world().len(), 2, 0, |_, _| 0.0)
+    }
+
+    #[test]
+    fn regional_parent_absorbs_same_region_misses() {
+        let report = run_tiered(world(), &empty_edges(), 4, &stream(2_000));
+        assert_eq!(report.edge_hits, 0);
+        // Each parent suffers one compulsory miss per video it serves:
+        // EU parent for video 0, Asia parent for video 1.
+        assert_eq!(report.origin_fetches, 2);
+        assert_eq!(report.regional_hits, 1_998);
+        assert!((report.hierarchy_hit_rate() - 0.999).abs() < 1e-3);
+    }
+
+    #[test]
+    fn edge_hits_take_precedence() {
+        // Every country caches video 0 (score>0 only for v0, capacity 1).
+        let edge = Placement::from_scores("edge-v0", world().len(), 2, 1, |_, v| {
+            if v == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let report = run_tiered(world(), &edge, 4, &stream(2_000));
+        assert!(report.edge_hits > 0);
+        // Video 1 (Japan) misses the edge but warms the Asia parent.
+        assert_eq!(report.origin_fetches, 1);
+        assert_eq!(
+            report.requests,
+            report.edge_hits + report.regional_hits + report.origin_fetches
+        );
+    }
+
+    #[test]
+    fn zero_parent_capacity_degrades_to_flat_edges() {
+        let report = run_tiered(world(), &empty_edges(), 0, &stream(500));
+        assert_eq!(report.regional_hits, 0);
+        assert_eq!(report.origin_fetches, 500);
+        assert_eq!(report.hierarchy_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn parents_are_per_region_not_shared() {
+        // With capacity 1 per parent, the EU parent holds video 0 and
+        // the Asia parent holds video 1 — no cross-region eviction.
+        let report = run_tiered(world(), &empty_edges(), 1, &stream(2_000));
+        assert_eq!(report.origin_fetches, 2, "one compulsory miss per region");
+    }
+
+    #[test]
+    fn display_reports_the_split() {
+        let report = run_tiered(world(), &empty_edges(), 4, &stream(100));
+        let text = report.to_string();
+        assert!(text.contains("hierarchy"));
+        assert!(text.contains("origin fetches"));
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let report = run_tiered(world(), &empty_edges(), 4, &stream(0));
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.hierarchy_hit_rate(), 0.0);
+        assert_eq!(report.edge_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Subcommand implementations.
+//!
+//! Each command is a plain function from parsed [`Args`] to
+//! `Result<(), String>` writing human-readable output to the given
+//! writer, so the test suite can run commands end to end against
+//! in-memory buffers.
+
+use std::fs::File;
+use std::io::Write;
+
+use tagdist::crawler::{crawl_parallel, recrawl, CrawlConfig};
+use tagdist::dataset::{filter, merge, sample_stratified, tsv, Dataset, DatasetStats};
+use tagdist::geo::{world, TrafficModel};
+use tagdist::reconstruct::{Reconstruction, TagViewTable};
+use tagdist::cache::{run_static, Placement, RequestStream};
+use tagdist::geo::GeoDist;
+use tagdist::tags::{GeoTagIndex, Predictor, TagProfile};
+use tagdist::ytsim::{Platform, WorldConfig};
+use tagdist::{markdown_report, render_distribution, ReportOptions, Study, StudyConfig};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tagdist — reproduction of “From Views to Tags Distribution in Youtube”
+
+USAGE:
+  tagdist generate [--videos N] [--seed S] [--budget B] --out FILE
+      Generate a synthetic platform, snowball-crawl it, save the raw
+      dataset as TSV.
+  tagdist stats FILE
+      §2 filtering report and corpus statistics of a saved dataset.
+  tagdist tag FILE NAME
+      Geographic profile of one tag in a saved dataset (Figs. 2-3).
+  tagdist country FILE CODE
+      Signature tags of one country (most viewed + highest lift).
+  tagdist sample FILE N --out FILE [--seed S]
+      Views-stratified subsample of a saved dataset.
+  tagdist cache FILE [--requests N] [--capacity-pct P]
+      Proactive-caching sweep over a saved dataset (tag-predictive vs
+      geo-blind vs random placements).
+  tagdist report [--videos N] [--seed S] [--with-caching] --out FILE
+      Run the full study pipeline and write a markdown report.
+  tagdist recrawl FILE [--videos N] [--seed S] --out FILE
+      Incrementally extend a saved crawl against a (grown) platform
+      regenerated from the same seed; only new videos are fetched.
+  tagdist merge FILE... --out FILE
+      Merge several saved crawls, deduplicating by key and keeping the
+      richest metadata per video.
+  tagdist help
+      Show this message.
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a user-facing message on any failure (bad arguments, I/O,
+/// malformed dataset files).
+pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => generate(args, out),
+        "stats" => stats(args, out),
+        "tag" => tag(args, out),
+        "country" => country(args, out),
+        "sample" => sample(args, out),
+        "cache" => cache_sweep(args, out),
+        "report" => report(args, out),
+        "recrawl" => recrawl_cmd(args, out),
+        "merge" => merge_cmd(args, out),
+        "help" | "" => {
+            writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `tagdist help`")),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    tsv::read(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn save(dataset: &Dataset, path: &str) -> Result<(), String> {
+    let mut file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    tsv::write(dataset, &mut file).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn generate<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let out_path = args
+        .get("out")
+        .ok_or("generate needs --out FILE")?
+        .to_owned();
+    let mut world_cfg = WorldConfig::small();
+    world_cfg.with_videos(args.get_usize("videos", world_cfg.videos)?);
+    world_cfg.with_seed(args.get_u64("seed", world_cfg.seed)?);
+    let platform = Platform::generate(world_cfg);
+    let mut crawl_cfg = CrawlConfig::default();
+    crawl_cfg.with_budget(args.get_usize("budget", usize::MAX)?);
+    let outcome = crawl_parallel(&platform, &crawl_cfg);
+    save(&outcome.dataset, &out_path)?;
+    writeln!(out, "{}", outcome.stats).map_err(|e| e.to_string())?;
+    writeln!(out, "saved {} records to {out_path}", outcome.dataset.len())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn stats<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let dataset = load(args.positional(0, "dataset file")?)?;
+    let clean = filter(&dataset);
+    writeln!(out, "{}", clean.report()).map_err(|e| e.to_string())?;
+    writeln!(out, "{}", DatasetStats::compute(&clean)).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn tag<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let name = args.positional(1, "tag name")?;
+    let dataset = load(path)?;
+    let clean = filter(&dataset);
+    // Without the generating platform, the CLI is in the paper's exact
+    // situation: it must use the Alexa-substitute reference prior.
+    let traffic = TrafficModel::reference(world());
+    let recon = Reconstruction::compute(&clean, traffic.distribution())
+        .map_err(|e| format!("reconstruction failed: {e}"))?;
+    let table = TagViewTable::aggregate(&clean, &recon);
+    let tag_id = clean
+        .tags()
+        .id(name)
+        .ok_or_else(|| format!("tag {name:?} does not occur in the dataset"))?;
+    let profile = TagProfile::build(tag_id, &clean, &table, traffic.distribution())
+        .ok_or_else(|| format!("tag {name:?} has no retained videos"))?;
+    writeln!(out, "{profile}").map_err(|e| e.to_string())?;
+    write!(out, "{}", render_distribution(&profile.dist, 10)).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn country<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let code = args.positional(1, "country code")?;
+    let country = world()
+        .by_code(code)
+        .ok_or_else(|| format!("unknown country code {code:?}"))?;
+    let dataset = load(path)?;
+    let clean = filter(&dataset);
+    let traffic = TrafficModel::reference(world());
+    let recon = Reconstruction::compute(&clean, traffic.distribution())
+        .map_err(|e| format!("reconstruction failed: {e}"))?;
+    let table = TagViewTable::aggregate(&clean, &recon);
+    let index = GeoTagIndex::build(&table, traffic.distribution(), 8, 10_000.0, 3);
+    writeln!(
+        out,
+        "{} ({}) — traffic share {:.1}%",
+        country.name,
+        country.code,
+        100.0 * traffic.share(country.id)
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "most viewed tags:").map_err(|e| e.to_string())?;
+    for s in index.top_by_views(country.id) {
+        writeln!(out, "  {:<24} {:>14.0} views", clean.tags().name(s.tag), s.views)
+            .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "signature tags (highest lift):").map_err(|e| e.to_string())?;
+    for s in index.top_by_lift(country.id) {
+        writeln!(
+            out,
+            "  {:<24} lift {:>6.1}x ({:.0} views here)",
+            clean.tags().name(s.tag),
+            s.lift,
+            s.views
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn sample<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let n: usize = args
+        .positional(1, "sample size")?
+        .parse()
+        .map_err(|_| "sample size must be an integer".to_owned())?;
+    let out_path = args.get("out").ok_or("sample needs --out FILE")?;
+    let seed = args.get_u64("seed", 7)?;
+    let dataset = load(path)?;
+    let sampled = sample_stratified(&dataset, n, 10, seed);
+    save(&sampled, out_path)?;
+    writeln!(
+        out,
+        "sampled {} of {} records into {out_path}",
+        sampled.len(),
+        dataset.len()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cache_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let requests = args.get_usize("requests", 60_000)?;
+    let capacity_pct = args
+        .get("capacity-pct")
+        .map(|v| v.parse::<f64>().map_err(|_| "bad --capacity-pct".to_owned()))
+        .transpose()?
+        .unwrap_or(2.0);
+    let dataset = load(path)?;
+    let clean = filter(&dataset);
+    if clean.is_empty() {
+        return Err("no usable videos after filtering".into());
+    }
+    let traffic = TrafficModel::reference(world());
+    let recon = Reconstruction::compute(&clean, traffic.distribution())
+        .map_err(|e| format!("reconstruction failed: {e}"))?;
+    let table = TagViewTable::aggregate(&clean, &recon);
+    let predictor = Predictor::new(&table, traffic.distribution());
+
+    // Demand is simulated from the reconstructed distributions — the
+    // only geographic signal available to a file-based analysis.
+    let dists: Vec<GeoDist> = (0..clean.len())
+        .map(|p| recon.distribution(p).expect("rows carry mass"))
+        .collect();
+    let weights: Vec<f64> = clean.iter().map(|v| v.total_views as f64).collect();
+    let stream = RequestStream::generate(&dists, &weights, requests, 2014);
+    let predicted: Vec<GeoDist> = clean
+        .iter()
+        .enumerate()
+        .map(|(pos, v)| predictor.predict(&v.tags, recon.views(pos)))
+        .collect();
+
+    let countries = world().len();
+    let capacity = ((clean.len() as f64) * capacity_pct / 100.0).ceil() as usize;
+    writeln!(
+        out,
+        "{} videos, {requests} requests, capacity {capacity}/country ({capacity_pct}%)",
+        clean.len()
+    )
+    .map_err(|e| e.to_string())?;
+    for placement in [
+        Placement::predictive("tag-proactive", countries, capacity, &predicted, &weights),
+        Placement::geo_blind(countries, capacity, &weights),
+        Placement::random(countries, clean.len(), capacity, 99),
+    ] {
+        writeln!(out, "{}", run_static(&placement, &stream)).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let out_path = args.get("out").ok_or("report needs --out FILE")?;
+    let mut config = StudyConfig::small();
+    config
+        .world
+        .with_videos(args.get_usize("videos", config.world.videos)?);
+    config
+        .world
+        .with_seed(args.get_u64("seed", config.world.seed)?);
+    let study = Study::run(config);
+    let options = ReportOptions {
+        with_caching: args.flag("with-caching"),
+        ..ReportOptions::default()
+    };
+    let markdown = markdown_report(&study, &options);
+    std::fs::write(out_path, &markdown).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    writeln!(out, "wrote {} bytes to {out_path}", markdown.len()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn recrawl_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let out_path = args.get("out").ok_or("recrawl needs --out FILE")?;
+    let existing = load(path)?;
+    let mut world_cfg = WorldConfig::small();
+    world_cfg.with_videos(args.get_usize("videos", world_cfg.videos)?);
+    world_cfg.with_seed(args.get_u64("seed", world_cfg.seed)?);
+    let platform = Platform::generate(world_cfg);
+    let outcome = recrawl(&platform, &CrawlConfig::default(), &existing);
+    save(&outcome.dataset, out_path)?;
+    writeln!(
+        out,
+        "reused {} records, fetched {} new; saved {} to {out_path}",
+        outcome.reused,
+        outcome.newly_fetched,
+        outcome.dataset.len()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn merge_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("merge needs at least one dataset file".into());
+    }
+    let out_path = args.get("out").ok_or("merge needs --out FILE")?;
+    let datasets = args
+        .positional
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let refs: Vec<&Dataset> = datasets.iter().collect();
+    let merged = merge(&refs).map_err(|e| format!("merge failed: {e}"))?;
+    save(&merged, out_path)?;
+    writeln!(
+        out,
+        "merged {} files ({} records) into {out_path}",
+        datasets.len(),
+        merged.len()
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, String> {
+        let args = Args::parse(tokens.iter().copied())?;
+        let mut out = Vec::new();
+        dispatch(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("commands emit UTF-8"))
+    }
+
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tagdist-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("generate"));
+        let empty = run(&[]).unwrap();
+        assert!(empty.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_stats_tag_sample_round_trip() {
+        let crawl_path = temp("crawl.tsv");
+        let sample_path = temp("sample.tsv");
+
+        let text = run(&[
+            "generate", "--videos", "1500", "--seed", "5", "--out", &crawl_path,
+        ])
+        .unwrap();
+        assert!(text.contains("saved"), "{text}");
+
+        let text = run(&["stats", &crawl_path]).unwrap();
+        assert!(text.contains("crawled"), "{text}");
+        assert!(text.contains("unique tags"), "{text}");
+
+        let text = run(&["tag", &crawl_path, "pop"]).unwrap();
+        assert!(text.contains("pop:"), "{text}");
+        assert!(text.contains("JS(traffic)"), "{text}");
+
+        let text = run(&["sample", &crawl_path, "200", "--out", &sample_path]).unwrap();
+        assert!(text.contains("sampled 200"), "{text}");
+        let text = run(&["stats", &sample_path]).unwrap();
+        assert!(text.contains("crawled 200"), "{text}");
+
+        std::fs::remove_file(&crawl_path).ok();
+        std::fs::remove_file(&sample_path).ok();
+    }
+
+    #[test]
+    fn tag_command_reports_missing_tags() {
+        let crawl_path = temp("crawl2.tsv");
+        run(&["generate", "--videos", "800", "--out", &crawl_path]).unwrap();
+        let err = run(&["tag", &crawl_path, "no-such-tag-ever"]).unwrap_err();
+        assert!(err.contains("does not occur"));
+        std::fs::remove_file(&crawl_path).ok();
+    }
+
+    #[test]
+    fn cache_sweep_runs_on_a_saved_dataset() {
+        let crawl_path = temp("crawl4.tsv");
+        run(&["generate", "--videos", "1500", "--seed", "7", "--out", &crawl_path]).unwrap();
+        let text = run(&[
+            "cache", &crawl_path, "--requests", "5000", "--capacity-pct", "2",
+        ])
+        .unwrap();
+        assert!(text.contains("tag-proactive"), "{text}");
+        assert!(text.contains("geo-blind"), "{text}");
+        assert!(text.contains("random"), "{text}");
+        std::fs::remove_file(&crawl_path).ok();
+    }
+
+    #[test]
+    fn report_writes_markdown() {
+        let report_path = temp("report.md");
+        let text = run(&["report", "--videos", "1500", "--out", &report_path]).unwrap();
+        assert!(text.contains("wrote"), "{text}");
+        let markdown = std::fs::read_to_string(&report_path).unwrap();
+        assert!(markdown.contains("# tagdist study report"));
+        assert!(markdown.contains("## E6"));
+        std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn missing_required_options_error_clearly() {
+        assert!(run(&["generate"]).unwrap_err().contains("--out"));
+        assert!(run(&["stats"]).unwrap_err().contains("dataset file"));
+        assert!(run(&["sample", "x.tsv"]).unwrap_err().contains("sample size"));
+        assert!(run(&["report"]).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn country_command_prints_signatures() {
+        let crawl_path = temp("crawl3.tsv");
+        run(&["generate", "--videos", "1500", "--seed", "6", "--out", &crawl_path]).unwrap();
+        let text = run(&["country", &crawl_path, "BR"]).unwrap();
+        assert!(text.contains("Brazil"), "{text}");
+        assert!(text.contains("signature tags"), "{text}");
+        let err = run(&["country", &crawl_path, "XX"]).unwrap_err();
+        assert!(err.contains("unknown country"));
+        std::fs::remove_file(&crawl_path).ok();
+    }
+
+    #[test]
+    fn recrawl_and_merge_commands_work() {
+        let first = temp("inc1.tsv");
+        let grown = temp("inc2.tsv");
+        let merged = temp("merged.tsv");
+        run(&[
+            "generate", "--videos", "900", "--seed", "3", "--budget", "400", "--out", &first,
+        ])
+        .unwrap();
+        let text = run(&[
+            "recrawl", &first, "--videos", "900", "--seed", "3", "--out", &grown,
+        ])
+        .unwrap();
+        assert!(text.contains("reused 400"), "{text}");
+        let text = run(&["merge", &first, &grown, "--out", &merged]).unwrap();
+        assert!(text.contains("merged 2 files"), "{text}");
+        for p in [&first, &grown, &merged] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn load_reports_unreadable_files() {
+        let err = run(&["stats", "/nonexistent/nowhere.tsv"]).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

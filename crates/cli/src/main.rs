@@ -1,0 +1,25 @@
+//! `tagdist` binary entry point; see [`commands::USAGE`].
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match commands::dispatch(&parsed, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("try `tagdist help`");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The paper's published numbers, as data.
+//!
+//! Keeping the §2 constants in the library (rather than scattered
+//! through examples) lets tests and reports compare any study run
+//! against the original corpus in one place.
+
+use core::fmt;
+
+use crate::study::Study;
+
+/// §2 constants of the original March-2011 corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperConstants {
+    /// Videos in the raw crawl.
+    pub crawled: u64,
+    /// Videos dropped for carrying no tags.
+    pub no_tags: u64,
+    /// Videos kept after filtering.
+    pub kept: u64,
+    /// Unique tags over kept videos.
+    pub unique_tags: u64,
+    /// Total views over kept videos.
+    pub total_views: u128,
+    /// Seed locales × chart depth.
+    pub seed_countries: u32,
+    /// Chart depth per seed country.
+    pub seeds_per_country: u32,
+}
+
+/// The §2 numbers as printed in the paper.
+pub const PAPER: PaperConstants = PaperConstants {
+    crawled: 1_063_844,
+    no_tags: 6_736,
+    kept: 691_349,
+    unique_tags: 705_415,
+    total_views: 173_288_616_473,
+    seed_countries: 25,
+    seeds_per_country: 10,
+};
+
+impl PaperConstants {
+    /// Videos dropped for an incorrect/empty popularity vector
+    /// (derived: crawled − tagless − kept).
+    pub fn bad_popularity(&self) -> u64 {
+        self.crawled - self.no_tags - self.kept
+    }
+
+    /// Fraction of the crawl kept after filtering (paper ≈ 0.6499).
+    pub fn keep_ratio(&self) -> f64 {
+        self.kept as f64 / self.crawled as f64
+    }
+
+    /// Fraction dropped for missing tags (paper ≈ 0.0063).
+    pub fn tagless_ratio(&self) -> f64 {
+        self.no_tags as f64 / self.crawled as f64
+    }
+
+    /// Mean views per kept video (paper ≈ 250,653).
+    pub fn mean_views(&self) -> f64 {
+        self.total_views as f64 / self.kept as f64
+    }
+}
+
+/// Side-by-side comparison of one study run with the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperComparison {
+    /// Paper keep ratio.
+    pub paper_keep_ratio: f64,
+    /// Measured keep ratio.
+    pub measured_keep_ratio: f64,
+    /// Paper tagless ratio.
+    pub paper_tagless_ratio: f64,
+    /// Measured tagless ratio.
+    pub measured_tagless_ratio: f64,
+    /// Paper mean views per kept video.
+    pub paper_mean_views: f64,
+    /// Measured mean views per kept video.
+    pub measured_mean_views: f64,
+}
+
+impl PaperComparison {
+    /// Compares a study's §2 accounting with the paper's.
+    pub fn compute(study: &Study) -> PaperComparison {
+        let report = study.filter_report();
+        let stats = study.dataset_stats();
+        let measured_keep_ratio = report.keep_ratio();
+        let measured_tagless_ratio = if report.crawled == 0 {
+            0.0
+        } else {
+            report.no_tags as f64 / report.crawled as f64
+        };
+        let measured_mean_views = if report.kept == 0 {
+            0.0
+        } else {
+            stats.total_views as f64 / report.kept as f64
+        };
+        PaperComparison {
+            paper_keep_ratio: PAPER.keep_ratio(),
+            measured_keep_ratio,
+            paper_tagless_ratio: PAPER.tagless_ratio(),
+            measured_tagless_ratio,
+            paper_mean_views: PAPER.mean_views(),
+            measured_mean_views,
+        }
+    }
+
+    /// `true` when the filtering *ratios* land within `tolerance`
+    /// (absolute) of the paper's — the E1 success criterion.
+    pub fn ratios_match(&self, tolerance: f64) -> bool {
+        (self.measured_keep_ratio - self.paper_keep_ratio).abs() <= tolerance
+            && (self.measured_tagless_ratio - self.paper_tagless_ratio).abs() <= tolerance
+    }
+}
+
+impl fmt::Display for PaperComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "keep ratio:    paper {:.2}% vs measured {:.2}%",
+            100.0 * self.paper_keep_ratio,
+            100.0 * self.measured_keep_ratio
+        )?;
+        writeln!(
+            f,
+            "tagless ratio: paper {:.2}% vs measured {:.2}%",
+            100.0 * self.paper_tagless_ratio,
+            100.0 * self.measured_tagless_ratio
+        )?;
+        write!(
+            f,
+            "mean views:    paper {:.0} vs measured {:.0}",
+            self.paper_mean_views, self.measured_mean_views
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    #[test]
+    fn constants_are_internally_consistent() {
+        assert_eq!(PAPER.bad_popularity(), 365_759);
+        assert!((PAPER.keep_ratio() - 0.6499).abs() < 1e-3);
+        assert!((PAPER.tagless_ratio() - 0.00633).abs() < 1e-4);
+        assert!((PAPER.mean_views() - 250_653.0).abs() < 1.0);
+        assert_eq!(PAPER.seed_countries, 25);
+        assert_eq!(PAPER.seeds_per_country, 10);
+    }
+
+    #[test]
+    fn tiny_study_matches_paper_ratios() {
+        let mut cfg = StudyConfig::tiny();
+        cfg.world.with_videos(3_000);
+        let study = Study::run(cfg);
+        let cmp = PaperComparison::compute(&study);
+        assert!(
+            cmp.ratios_match(0.06),
+            "ratios diverge from the paper:\n{cmp}"
+        );
+        // Display names both sides.
+        let text = cmp.to_string();
+        assert!(text.contains("paper"));
+        assert!(text.contains("measured"));
+    }
+
+    #[test]
+    fn ratios_match_respects_tolerance() {
+        let cmp = PaperComparison {
+            paper_keep_ratio: 0.65,
+            measured_keep_ratio: 0.60,
+            paper_tagless_ratio: 0.006,
+            measured_tagless_ratio: 0.007,
+            paper_mean_views: 1.0,
+            measured_mean_views: 2.0,
+        };
+        assert!(cmp.ratios_match(0.06));
+        assert!(!cmp.ratios_match(0.01));
+    }
+}

@@ -1,0 +1,155 @@
+//! Terminal rendering of "popularity maps".
+//!
+//! The paper's figures are world maps colour-coded by intensity
+//! (Figs. 1–3). A library cannot ship Google's retired Map-Chart
+//! service, so the examples render the same data as per-country bar
+//! tables — country code, value, and a proportional bar — which carry
+//! the figures' information content (who is dark, who is light).
+
+use tagdist_geo::{world, CountryVec, GeoDist, PopularityVector, MAX_INTENSITY};
+
+/// Width of the bar column in characters.
+const BAR_WIDTH: usize = 40;
+
+fn bar(fraction: f64) -> String {
+    let filled = (fraction.clamp(0.0, 1.0) * BAR_WIDTH as f64).round() as usize;
+    let mut s = String::with_capacity(BAR_WIDTH);
+    for i in 0..BAR_WIDTH {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Renders a popularity vector (Fig. 1 style): the `top` hottest
+/// countries with their 0–61 intensities.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_geo::PopularityVector;
+/// use tagdist::render_popularity_map;
+///
+/// let mut raw = vec![0u8; tagdist_geo::world().len()];
+/// raw[0] = 61; // US
+/// let pop = PopularityVector::from_raw(raw).unwrap();
+/// let text = render_popularity_map(&pop, 5);
+/// assert!(text.contains("US"));
+/// assert!(text.contains("61"));
+/// ```
+pub fn render_popularity_map(pop: &PopularityVector, top: usize) -> String {
+    let registry = world();
+    let mut out = String::new();
+    for (id, value) in pop.as_country_vec().top_k(top) {
+        if value <= 0.0 {
+            break;
+        }
+        let country = registry.country(id);
+        out.push_str(&format!(
+            "{:<4} {:>3}  {}\n",
+            country.code,
+            value as u8,
+            bar(value / MAX_INTENSITY as f64)
+        ));
+    }
+    out
+}
+
+/// Renders a geographic distribution (Figs. 2–3 style): the `top`
+/// most-viewing countries with their view shares.
+pub fn render_distribution(dist: &GeoDist, top: usize) -> String {
+    let registry = world();
+    let max = dist.top_share().max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for (id, share) in dist.as_vec().top_k(top) {
+        if share <= 0.0 {
+            break;
+        }
+        let country = registry.country(id);
+        out.push_str(&format!(
+            "{:<4} {:>5.1}%  {}\n",
+            country.code,
+            100.0 * share,
+            bar(share / max)
+        ));
+    }
+    out
+}
+
+/// Renders a raw per-country vector with absolute values (e.g.
+/// reconstructed view counts).
+pub fn render_views(views: &CountryVec, top: usize) -> String {
+    let registry = world();
+    let max = views.max().unwrap_or(0.0).max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for (id, value) in views.top_k(top) {
+        if value <= 0.0 {
+            break;
+        }
+        let country = registry.country(id);
+        out.push_str(&format!(
+            "{:<4} {:>14.0}  {}\n",
+            country.code,
+            value,
+            bar(value / max)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::CountryId;
+
+    #[test]
+    fn popularity_map_lists_hot_countries_in_order() {
+        let mut raw = vec![0u8; world().len()];
+        let us = world().by_code("US").unwrap().id;
+        let sg = world().by_code("SG").unwrap().id;
+        raw[us.index()] = 61;
+        raw[sg.index()] = 30;
+        let pop = PopularityVector::from_raw(raw).unwrap();
+        let text = render_popularity_map(&pop, 10);
+        let us_pos = text.find("US").unwrap();
+        let sg_pos = text.find("SG").unwrap();
+        assert!(us_pos < sg_pos, "US should render first:\n{text}");
+        assert_eq!(text.lines().count(), 2, "zero countries are omitted");
+    }
+
+    #[test]
+    fn distribution_render_shows_shares() {
+        let mut counts = CountryVec::zeros(world().len());
+        counts[CountryId::from_index(9)] = 80.0; // BR
+        counts[CountryId::from_index(25)] = 20.0; // PT
+        let dist = GeoDist::from_counts(&counts).unwrap();
+        let text = render_distribution(&dist, 5);
+        assert!(text.contains("BR"));
+        assert!(text.contains("80.0%"));
+        assert!(text.contains("PT"));
+    }
+
+    #[test]
+    fn views_render_formats_counts() {
+        let mut views = CountryVec::zeros(world().len());
+        views[CountryId::from_index(0)] = 1_234_567.0;
+        let text = render_views(&views, 3);
+        assert!(text.contains("US"));
+        assert!(text.contains("1234567"));
+    }
+
+    #[test]
+    fn bars_scale_with_magnitude() {
+        assert_eq!(bar(0.0).matches('#').count(), 0);
+        assert_eq!(bar(1.0).matches('#').count(), BAR_WIDTH);
+        assert_eq!(bar(0.5).matches('#').count(), BAR_WIDTH / 2);
+        assert_eq!(bar(2.0).matches('#').count(), BAR_WIDTH, "clamped");
+    }
+
+    #[test]
+    fn empty_inputs_render_empty() {
+        let dark = PopularityVector::from_raw(vec![0; world().len()]).unwrap();
+        assert!(render_popularity_map(&dark, 10).is_empty());
+        let zero = CountryVec::zeros(world().len());
+        assert!(render_views(&zero, 10).is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Markdown report generation.
+//!
+//! `EXPERIMENTS.md`-style reporting as a library feature: given a
+//! completed [`Study`], [`markdown_report`] emits a self-contained
+//! markdown document with the §2 accounting, the three figures, the
+//! reconstruction-error decomposition and the prediction evaluation —
+//! everything except the (costly) caching sweep, which
+//! [`ReportOptions::with_caching`] can enable.
+
+use std::fmt::Write as _;
+
+use tagdist_cache::{run_static, Placement, RequestStream};
+use tagdist_geo::GeoDist;
+use tagdist_tags::Predictor;
+
+use crate::render::render_distribution;
+use crate::study::Study;
+
+/// Options controlling report contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportOptions {
+    /// Rows rendered per distribution "map".
+    pub map_depth: usize,
+    /// How many top tags to list.
+    pub top_tags: usize,
+    /// Include the E7 caching sweep (slower).
+    pub with_caching: bool,
+    /// Capacities (fraction of catalogue) for the caching sweep.
+    pub capacities: Vec<f64>,
+    /// Requests simulated per capacity point.
+    pub requests: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> ReportOptions {
+        ReportOptions {
+            map_depth: 8,
+            top_tags: 10,
+            with_caching: false,
+            capacities: vec![0.01, 0.02, 0.05],
+            requests: 50_000,
+        }
+    }
+}
+
+/// Renders a full markdown report of the study.
+///
+/// # Panics
+///
+/// Panics if the study's filtered dataset is empty.
+pub fn markdown_report(study: &Study, options: &ReportOptions) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    writeln!(w, "# tagdist study report\n").unwrap();
+    writeln!(
+        w,
+        "World: {} videos, seed {}; crawl fetched {} videos.\n",
+        study.config().world.videos,
+        study.config().world.seed,
+        study.crawl_stats().fetched
+    )
+    .unwrap();
+
+    // E1.
+    writeln!(w, "## E1 — §2 dataset accounting\n").unwrap();
+    writeln!(w, "```\n{}\n```\n", study.filter_report()).unwrap();
+    writeln!(w, "```\n{}\n```\n", study.dataset_stats()).unwrap();
+
+    // E2.
+    let video = study.fig1_most_viewed();
+    writeln!(w, "## E2 — Fig. 1: most-viewed video\n").unwrap();
+    writeln!(
+        w,
+        "`{}` with {} views; {} countries saturated at 61.\n",
+        video.key,
+        video.total_views,
+        video.popularity.saturated().len()
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "```\n{}```\n",
+        crate::render::render_popularity_map(&video.popularity, options.map_depth)
+    )
+    .unwrap();
+
+    // E3/E4.
+    writeln!(w, "## E3/E4 — Figs. 2–3: tag geographies\n").unwrap();
+    for name in ["pop", "favela"] {
+        if let Some(p) = study.tag_profile(name) {
+            writeln!(w, "### tag `{name}`\n").unwrap();
+            writeln!(
+                w,
+                "{} videos, {:.0} views, top {} ({:.1} %), JS from traffic {:.4} bits.\n",
+                p.video_count,
+                p.total_views,
+                study.world().country(p.top_country).code,
+                100.0 * p.top_share,
+                p.js_from_traffic
+            )
+            .unwrap();
+            writeln!(w, "```\n{}```\n", render_distribution(&p.dist, options.map_depth)).unwrap();
+        }
+    }
+    writeln!(w, "### top tags by aggregated views\n").unwrap();
+    for (tag, views) in study.tag_table().top_by_views(options.top_tags) {
+        writeln!(w, "- `{}` — {:.0} views", study.clean().tags().name(tag), views).unwrap();
+    }
+    writeln!(w).unwrap();
+
+    // E5.
+    writeln!(w, "## E5 — reconstruction error\n").unwrap();
+    writeln!(w, "```\nvs ground truth:\n{}\n```\n", study.reconstruction_error()).unwrap();
+    let s = study.sensitivity();
+    writeln!(
+        w,
+        "Decomposition (mean JS bits): quantization-only {:.4}, prior-only {:.4}, \
+         combined {:.4}; prior gap {:.4}.\n",
+        s.quantization_only.js.mean, s.prior_only.js.mean, s.combined.js.mean, s.prior_gap
+    )
+    .unwrap();
+
+    // E6.
+    writeln!(w, "## E6 — tag prediction\n").unwrap();
+    writeln!(w, "```\n{}\n```\n", study.prediction_evaluation()).unwrap();
+
+    // E7 (optional).
+    if options.with_caching {
+        writeln!(w, "## E7 — proactive caching sweep\n").unwrap();
+        let truth = study.true_distributions();
+        let weights = study.view_weights();
+        let stream = RequestStream::generate(&truth, &weights, options.requests, 2014);
+        let predictor = Predictor::new(study.tag_table(), study.traffic());
+        let predicted: Vec<GeoDist> = study
+            .clean()
+            .iter()
+            .enumerate()
+            .map(|(pos, v)| predictor.predict(&v.tags, study.reconstruction().views(pos)))
+            .collect();
+        let countries = study.world().len();
+        writeln!(w, "| capacity | oracle | tag-proactive | geo-blind |").unwrap();
+        writeln!(w, "|---:|---:|---:|---:|").unwrap();
+        for &frac in &options.capacities {
+            let cap = ((truth.len() as f64) * frac).ceil() as usize;
+            let rate = |p: &Placement| 100.0 * run_static(p, &stream).hit_rate();
+            writeln!(
+                w,
+                "| {cap} | {:.1} % | {:.1} % | {:.1} % |",
+                rate(&Placement::predictive("oracle", countries, cap, &truth, &weights)),
+                rate(&Placement::predictive("tags", countries, cap, &predicted, &weights)),
+                rate(&Placement::geo_blind(countries, cap, &weights)),
+            )
+            .unwrap();
+        }
+        writeln!(w).unwrap();
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+    use std::sync::OnceLock;
+
+    fn shared() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| {
+            let mut cfg = StudyConfig::tiny();
+            cfg.world.with_videos(1_500);
+            Study::run(cfg)
+        })
+    }
+
+    #[test]
+    fn report_contains_every_default_section() {
+        let report = markdown_report(shared(), &ReportOptions::default());
+        for needle in [
+            "# tagdist study report",
+            "## E1",
+            "## E2",
+            "## E3/E4",
+            "tag `pop`",
+            "tag `favela`",
+            "## E5",
+            "Decomposition",
+            "## E6",
+            "win rate",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?}");
+        }
+        assert!(!report.contains("## E7"), "caching off by default");
+    }
+
+    #[test]
+    fn caching_section_is_optional() {
+        let options = ReportOptions {
+            with_caching: true,
+            requests: 5_000,
+            capacities: vec![0.02],
+            ..ReportOptions::default()
+        };
+        let report = markdown_report(shared(), &options);
+        assert!(report.contains("## E7"));
+        assert!(report.contains("| capacity | oracle |"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = markdown_report(shared(), &ReportOptions::default());
+        let b = markdown_report(shared(), &ReportOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_depth_bounds_rendered_rows() {
+        let options = ReportOptions {
+            map_depth: 2,
+            ..ReportOptions::default()
+        };
+        let report = markdown_report(shared(), &options);
+        // The pop map block should have at most 2 data lines.
+        let pop_block = report
+            .split("tag `pop`")
+            .nth(1)
+            .and_then(|s| s.split("```").nth(1))
+            .expect("pop map block present");
+        assert!(pop_block.trim().lines().count() <= 2, "{pop_block}");
+    }
+}

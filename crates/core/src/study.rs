@@ -1,0 +1,416 @@
+//! The end-to-end study pipeline.
+
+use tagdist_crawler::{crawl_parallel, CrawlConfig, CrawlStats};
+use tagdist_dataset::{filter, CleanDataset, CleanVideo, DatasetStats, FilterReport};
+use tagdist_geo::{world, GeoDist, TrafficModel};
+use tagdist_reconstruct::{ErrorReport, Reconstruction, Sensitivity, TagViewTable};
+use tagdist_tags::{
+    profiles, ClassifyThresholds, LocalityBreakdown, PredictionEvaluation, Predictor, TagProfile,
+};
+use tagdist_ytsim::{Platform, WorldConfig};
+
+/// Configuration of a full study run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyConfig {
+    /// Synthetic-world parameters.
+    pub world: WorldConfig,
+    /// Crawl parameters (§2 methodology).
+    pub crawl: CrawlConfig,
+    /// Relative error injected into the traffic prior, modelling the
+    /// gap between Alexa's estimate `p̂yt` and the real `pyt` (Eq. 2).
+    /// `0.0` hands the pipeline the platform's true distribution.
+    pub prior_noise: f64,
+    /// Seed for the prior perturbation (independent of the world
+    /// seed).
+    pub prior_seed: u64,
+    /// Minimum videos per tag for profile construction.
+    pub min_tag_videos: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> StudyConfig {
+        StudyConfig {
+            world: WorldConfig::default(),
+            crawl: CrawlConfig::default(),
+            prior_noise: 0.05,
+            prior_seed: 7,
+            min_tag_videos: 5,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A miniature configuration for tests and doctests.
+    pub fn tiny() -> StudyConfig {
+        StudyConfig {
+            world: WorldConfig::tiny(),
+            min_tag_videos: 3,
+            ..StudyConfig::default()
+        }
+    }
+
+    /// A mid-size configuration for integration tests and benches.
+    pub fn small() -> StudyConfig {
+        StudyConfig {
+            world: WorldConfig::small(),
+            ..StudyConfig::default()
+        }
+    }
+}
+
+/// A completed end-to-end run: platform, crawl, filtered dataset,
+/// reconstruction and tag table, with the paper's figures and our
+/// ground-truth evaluations as methods.
+#[derive(Debug)]
+pub struct Study {
+    config: StudyConfig,
+    platform: Platform,
+    crawl_stats: CrawlStats,
+    clean: CleanDataset,
+    filter_report: FilterReport,
+    traffic: TrafficModel,
+    reconstruction: Reconstruction,
+    tag_table: TagViewTable,
+}
+
+impl Study {
+    /// Runs the whole pipeline (generate → crawl → filter →
+    /// reconstruct → aggregate).
+    ///
+    /// Deterministic in the configuration's seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`WorldConfig::validate`] and [`CrawlConfig::validate`]) or the
+    /// crawl yields no usable videos.
+    pub fn run(config: StudyConfig) -> Study {
+        let platform = Platform::generate(config.world.clone());
+        let outcome = crawl_parallel(&platform, &config.crawl);
+        let clean = filter(&outcome.dataset);
+        let filter_report = clean.report();
+        // The paper's Eq. 2 prior: the (noisy) estimate of the
+        // platform's per-country traffic.
+        let traffic = TrafficModel::from_distribution(platform.true_traffic().clone())
+            .perturbed(config.prior_noise, config.prior_seed);
+        let reconstruction = Reconstruction::compute(&clean, traffic.distribution())
+            .expect("filtered dataset reconstructs");
+        let tag_table = TagViewTable::aggregate(&clean, &reconstruction);
+        Study {
+            config,
+            platform,
+            crawl_stats: outcome.stats,
+            clean,
+            filter_report,
+            traffic,
+            reconstruction,
+            tag_table,
+        }
+    }
+
+    /// The configuration that produced this study.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The synthetic platform (ground truth included).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Crawl accounting.
+    pub fn crawl_stats(&self) -> &CrawlStats {
+        &self.crawl_stats
+    }
+
+    /// The filtered working dataset (§2).
+    pub fn clean(&self) -> &CleanDataset {
+        &self.clean
+    }
+
+    /// The §2 filtering accounting.
+    pub fn filter_report(&self) -> FilterReport {
+        self.filter_report
+    }
+
+    /// §2 corpus statistics.
+    pub fn dataset_stats(&self) -> DatasetStats {
+        DatasetStats::compute(&self.clean)
+    }
+
+    /// The traffic prior handed to the reconstruction (Eq. 2's
+    /// `p̂yt`).
+    pub fn traffic(&self) -> &GeoDist {
+        self.traffic.distribution()
+    }
+
+    /// Per-video reconstructed views (§3).
+    pub fn reconstruction(&self) -> &Reconstruction {
+        &self.reconstruction
+    }
+
+    /// Per-tag aggregated views (Eq. 3).
+    pub fn tag_table(&self) -> &TagViewTable {
+        &self.tag_table
+    }
+
+    /// Profiles of all tags with at least
+    /// [`StudyConfig::min_tag_videos`] retained videos, by views
+    /// descending.
+    pub fn tag_profiles(&self) -> Vec<TagProfile> {
+        profiles(
+            &self.clean,
+            &self.tag_table,
+            self.traffic.distribution(),
+            self.config.min_tag_videos,
+        )
+    }
+
+    /// Profile of one tag by name (no minimum-video threshold), or
+    /// `None` if the tag never survived filtering.
+    pub fn tag_profile(&self, name: &str) -> Option<TagProfile> {
+        let tag = self.clean.tags().id(name)?;
+        TagProfile::build(tag, &self.clean, &self.tag_table, self.traffic.distribution())
+    }
+
+    /// Fig. 1: the most-viewed video and its popularity map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filtered dataset is empty.
+    pub fn fig1_most_viewed(&self) -> &CleanVideo {
+        self.clean
+            .most_viewed()
+            .expect("study datasets are non-empty")
+    }
+
+    /// E5: reconstruction error against ground truth, per video.
+    ///
+    /// The paper could not run this check; the synthetic substrate
+    /// can. Compares each retained video's reconstructed distribution
+    /// with the generator's true one.
+    pub fn reconstruction_error(&self) -> ErrorReport {
+        let truth: Vec<GeoDist> = self
+            .clean
+            .iter()
+            .map(|v| {
+                self.platform
+                    .ground_truth(&v.key)
+                    .expect("crawled videos exist on the platform")
+                    .view_distribution()
+            })
+            .collect();
+        let estimate: Vec<GeoDist> = (0..self.clean.len())
+            .map(|pos| {
+                self.reconstruction
+                    .distribution(pos)
+                    .expect("rows carry mass")
+            })
+            .collect();
+        ErrorReport::compare(&truth, &estimate).expect("aligned by construction")
+    }
+
+    /// Baseline for E5: how far the traffic prior alone is from each
+    /// video's true distribution.
+    pub fn prior_error(&self) -> ErrorReport {
+        let truth: Vec<GeoDist> = self
+            .clean
+            .iter()
+            .map(|v| {
+                self.platform
+                    .ground_truth(&v.key)
+                    .expect("crawled videos exist on the platform")
+                    .view_distribution()
+            })
+            .collect();
+        let estimate: Vec<GeoDist> =
+            vec![self.traffic.distribution().clone(); truth.len()];
+        ErrorReport::compare(&truth, &estimate).expect("aligned by construction")
+    }
+
+    /// E6: leave-one-out tag-prediction quality against the
+    /// *reconstructed* distributions (the paper's observable).
+    pub fn prediction_evaluation(&self) -> PredictionEvaluation {
+        PredictionEvaluation::evaluate(
+            &self.clean,
+            &self.reconstruction,
+            &self.tag_table,
+            self.traffic.distribution(),
+        )
+    }
+
+    /// E6 per-class view: prediction quality by the locality class of
+    /// each video's dominant tag.
+    pub fn prediction_by_locality(&self) -> LocalityBreakdown {
+        LocalityBreakdown::evaluate(
+            &self.clean,
+            &self.reconstruction,
+            &self.tag_table,
+            self.traffic.distribution(),
+            &ClassifyThresholds::default(),
+        )
+    }
+
+    /// E6 (ground-truth variant): tag predictions scored against the
+    /// generator's true distributions.
+    pub fn prediction_error_vs_truth(&self) -> ErrorReport {
+        let predictor = Predictor::new(&self.tag_table, self.traffic.distribution());
+        let truth: Vec<GeoDist> = self
+            .clean
+            .iter()
+            .map(|v| {
+                self.platform
+                    .ground_truth(&v.key)
+                    .expect("crawled videos exist on the platform")
+                    .view_distribution()
+            })
+            .collect();
+        let estimate: Vec<GeoDist> = self
+            .clean
+            .iter()
+            .enumerate()
+            .map(|(pos, v)| predictor.predict(&v.tags, self.reconstruction.views(pos)))
+            .collect();
+        ErrorReport::compare(&truth, &estimate).expect("aligned by construction")
+    }
+
+    /// E5 decomposition: quantization loss vs prior-mismatch loss
+    /// (see [`Sensitivity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filtered dataset is empty.
+    pub fn sensitivity(&self) -> Sensitivity {
+        let truth_views: Vec<_> = self
+            .clean
+            .iter()
+            .map(|v| {
+                self.platform
+                    .ground_truth(&v.key)
+                    .expect("crawled videos exist on the platform")
+                    .views_by_country
+                    .clone()
+            })
+            .collect();
+        Sensitivity::analyze(&truth_views, self.traffic.distribution())
+            .expect("non-empty study datasets decompose")
+    }
+
+    /// Ground-truth view distributions of the retained videos, in
+    /// dataset order (inputs for oracle cache placements).
+    pub fn true_distributions(&self) -> Vec<GeoDist> {
+        self.clean
+            .iter()
+            .map(|v| {
+                self.platform
+                    .ground_truth(&v.key)
+                    .expect("crawled videos exist on the platform")
+                    .view_distribution()
+            })
+            .collect()
+    }
+
+    /// Per-video request weights (total views), in dataset order.
+    pub fn view_weights(&self) -> Vec<f64> {
+        self.clean.iter().map(|v| v.total_views as f64).collect()
+    }
+
+    /// The world registry the study ran against.
+    pub fn world(&self) -> &'static tagdist_geo::World {
+        world()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> Study {
+        Study::run(StudyConfig::tiny())
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_sizes() {
+        let s = study();
+        assert_eq!(s.clean().len(), s.reconstruction().len());
+        assert_eq!(s.filter_report().kept, s.clean().len());
+        assert!(s.crawl_stats().fetched >= s.clean().len());
+        assert!(s.clean().len() > 500, "tiny study kept {}", s.clean().len());
+    }
+
+    #[test]
+    fn filter_ratios_land_near_paper_shape() {
+        let s = study();
+        let r = s.filter_report();
+        let keep = r.keep_ratio();
+        assert!((0.55..0.75).contains(&keep), "keep ratio {keep}");
+        let tagless = r.no_tags as f64 / r.crawled as f64;
+        assert!(tagless < 0.03, "tagless share {tagless}");
+    }
+
+    #[test]
+    fn builtin_tags_have_the_paper_shapes() {
+        let s = study();
+        let pop = s.tag_profile("pop").expect("pop survives");
+        let favela = s.tag_profile("favela").expect("favela survives");
+        // Fig. 2 vs Fig. 3.
+        assert!(pop.js_from_traffic < favela.js_from_traffic);
+        assert!(favela.top_share > 0.4, "favela top share {}", favela.top_share);
+        let br = world().by_code("BR").unwrap().id;
+        assert_eq!(favela.top_country, br);
+    }
+
+    #[test]
+    fn reconstruction_beats_the_prior() {
+        let s = study();
+        let recon = s.reconstruction_error();
+        let prior = s.prior_error();
+        assert!(recon.js.mean < prior.js.mean);
+        assert!(recon.top_country_accuracy > prior.top_country_accuracy);
+    }
+
+    #[test]
+    fn prediction_beats_the_baseline() {
+        let s = study();
+        let eval = s.prediction_evaluation();
+        assert!(eval.predicted.mean < eval.baseline.mean);
+        assert!(eval.win_rate > 0.5, "win rate {}", eval.win_rate);
+    }
+
+    #[test]
+    fn locality_breakdown_covers_most_videos() {
+        let s = study();
+        let breakdown = s.prediction_by_locality();
+        let covered: usize = breakdown.rows.iter().map(|&(_, n, ..)| n).sum();
+        assert!(covered as f64 > 0.95 * s.clean().len() as f64);
+        // The conjecture should hold within every class.
+        for (class, n, pred, base) in &breakdown.rows {
+            if *n > 100 {
+                assert!(
+                    pred.mean < base.mean,
+                    "{class}: prediction {} vs baseline {}",
+                    pred.mean,
+                    base.mean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = study();
+        let b = study();
+        assert_eq!(a.filter_report(), b.filter_report());
+        assert_eq!(a.fig1_most_viewed().key, b.fig1_most_viewed().key);
+    }
+
+    #[test]
+    fn helpers_are_aligned() {
+        let s = study();
+        assert_eq!(s.true_distributions().len(), s.clean().len());
+        assert_eq!(s.view_weights().len(), s.clean().len());
+        assert_eq!(s.world().len(), s.traffic().len());
+        assert!(s.dataset_stats().unique_tags > 0);
+        assert!(s.tag_profiles().len() > 10);
+    }
+}

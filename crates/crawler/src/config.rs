@@ -1,0 +1,137 @@
+//! Crawl parameters.
+
+use tagdist_geo::{world, CountryId};
+
+/// Configuration of a snowball crawl (non-consuming builder).
+///
+/// Defaults mirror the paper: seeds are the top **10** videos of each
+/// of the **25** YouTube seed locales, expanded breadth-first over
+/// related videos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrawlConfig {
+    /// Countries whose charts seed the crawl.
+    pub seed_countries: Vec<CountryId>,
+    /// Chart depth fetched per seed country (paper: 10).
+    pub seeds_per_country: usize,
+    /// Maximum number of videos to fetch; `usize::MAX` crawls to
+    /// frontier exhaustion.
+    pub budget: usize,
+    /// Maximum snowball depth (seeds are depth 0); `usize::MAX`
+    /// removes the limit.
+    pub max_depth: usize,
+    /// How many related videos to request per fetched video.
+    pub related_per_video: usize,
+    /// Worker threads for [`crawl_parallel`](crate::crawl_parallel).
+    pub threads: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> CrawlConfig {
+        CrawlConfig {
+            seed_countries: world().seed_locales(),
+            seeds_per_country: 10,
+            budget: usize::MAX,
+            max_depth: usize::MAX,
+            related_per_video: 20,
+            threads: 4,
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// Caps the number of fetched videos.
+    pub fn with_budget(&mut self, budget: usize) -> &mut CrawlConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Caps the snowball depth.
+    pub fn with_max_depth(&mut self, depth: usize) -> &mut CrawlConfig {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the number of related videos requested per fetch.
+    pub fn with_related(&mut self, k: usize) -> &mut CrawlConfig {
+        self.related_per_video = k;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel driver.
+    pub fn with_threads(&mut self, threads: usize) -> &mut CrawlConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.seed_countries.is_empty() {
+            return Err("need at least one seed country".into());
+        }
+        if self.seeds_per_country == 0 {
+            return Err("seeds_per_country must be > 0".into());
+        }
+        if self.budget == 0 {
+            return Err("budget must be > 0".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_methodology() {
+        let c = CrawlConfig::default();
+        assert_eq!(c.seed_countries.len(), 25);
+        assert_eq!(c.seeds_per_country, 10);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_chain() {
+        let mut c = CrawlConfig::default();
+        c.with_budget(100).with_max_depth(3).with_related(5).with_threads(2);
+        assert_eq!(c.budget, 100);
+        assert_eq!(c.max_depth, 3);
+        assert_eq!(c.related_per_video, 5);
+        assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn threads_floor_at_one() {
+        let mut c = CrawlConfig::default();
+        c.with_threads(0);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let no_seeds = CrawlConfig {
+            seed_countries: Vec::new(),
+            ..CrawlConfig::default()
+        };
+        assert!(no_seeds.validate().is_err());
+
+        let no_depth = CrawlConfig {
+            seeds_per_country: 0,
+            ..CrawlConfig::default()
+        };
+        assert!(no_depth.validate().is_err());
+
+        let no_budget = CrawlConfig {
+            budget: 0,
+            ..CrawlConfig::default()
+        };
+        assert!(no_budget.validate().is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! The BFS snowball drivers.
+
+use std::collections::HashSet;
+
+use tagdist_dataset::{Dataset, DatasetBuilder, RawPopularity};
+use tagdist_geo::world;
+use tagdist_ytsim::{PlatformApi, VideoMetadata};
+
+use crate::config::CrawlConfig;
+use crate::stats::CrawlStats;
+
+/// Result of a crawl: the raw dataset plus accounting.
+#[derive(Debug)]
+pub struct CrawlOutcome {
+    /// The as-crawled dataset (pre-filtering).
+    pub dataset: Dataset,
+    /// Crawl accounting.
+    pub stats: CrawlStats,
+}
+
+/// One fetched video: its metadata and the related keys to expand.
+type Fetched = Option<(VideoMetadata, Vec<String>)>;
+
+/// Sequential breadth-first snowball crawl (deterministic).
+///
+/// Seeds are the per-country charts in [`CrawlConfig::seed_countries`]
+/// order; each level is fetched in frontier order and expanded through
+/// the platform's related lists.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`CrawlConfig::validate`].
+pub fn crawl<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlOutcome {
+    cfg.validate().expect("invalid crawl configuration");
+    let seeds = gather_seeds(platform, cfg);
+    run(cfg, seeds, |level| {
+        level
+            .iter()
+            .map(|key| fetch_one(platform, cfg, key))
+            .collect()
+    })
+}
+
+
+/// Level-synchronized parallel crawl.
+///
+/// Each BFS level is fanned out over [`CrawlConfig::threads`] crossbeam
+/// scoped threads; results are re-assembled in frontier order, so the
+/// outcome is identical to [`crawl`] on the same platform and
+/// configuration.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`CrawlConfig::validate`] or a worker thread
+/// panics.
+pub fn crawl_parallel<P: PlatformApi + Sync + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+) -> CrawlOutcome {
+    cfg.validate().expect("invalid crawl configuration");
+    let seeds = gather_seeds(platform, cfg);
+    run(cfg, seeds, |level| {
+        if level.len() < 2 * cfg.threads {
+            // Tiny levels are not worth spawning for.
+            return level
+                .iter()
+                .map(|key| fetch_one(platform, cfg, key))
+                .collect();
+        }
+        let chunk = level.len().div_ceil(cfg.threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = level
+                .chunks(chunk)
+                .map(|keys| {
+                    scope.spawn(move |_| {
+                        keys.iter()
+                            .map(|key| fetch_one(platform, cfg, key))
+                            .collect::<Vec<Fetched>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(level.len());
+            for handle in handles {
+                out.extend(handle.join().expect("crawler worker panicked"));
+            }
+            out
+        })
+        .expect("crawler scope panicked")
+    })
+}
+
+/// Collects the paper's seed set: the top `seeds_per_country` chart
+/// entries of every seed country, deduplicated in first-seen order
+/// (hit videos chart in many countries at once).
+fn gather_seeds<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> Vec<String> {
+    let mut seen = HashSet::new();
+    let mut seeds = Vec::new();
+    for &country in &cfg.seed_countries {
+        for key in platform.top_videos(country, cfg.seeds_per_country) {
+            if seen.insert(key.clone()) {
+                seeds.push(key);
+            }
+        }
+    }
+    seeds
+}
+
+fn fetch_one<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig, key: &str) -> Fetched {
+    let meta = platform.fetch(key)?;
+    let related = platform.related(key, cfg.related_per_video);
+    Some((meta, related))
+}
+
+/// Shared BFS loop. `fetch_level` resolves one frontier level,
+/// preserving order.
+fn run<F>(cfg: &CrawlConfig, seeds: Vec<String>, mut fetch_level: F) -> CrawlOutcome
+where
+    F: FnMut(&[String]) -> Vec<Fetched>,
+{
+    let country_count = world().len();
+    let mut builder = DatasetBuilder::new(country_count);
+    let mut stats = CrawlStats {
+        seeds: seeds.len(),
+        // One chart request per seed country.
+        chart_requests: cfg.seed_countries.len(),
+        ..CrawlStats::default()
+    };
+    let mut visited: HashSet<String> = seeds.iter().cloned().collect();
+
+    let mut level = seeds;
+    let mut depth = 0usize;
+    let mut budget_hit = false;
+
+    while !level.is_empty() {
+        if depth > cfg.max_depth {
+            budget_hit = true;
+            break;
+        }
+        // Respect the fetch budget before issuing requests.
+        let remaining = cfg.budget - builder.len();
+        if remaining == 0 {
+            budget_hit = true;
+            break;
+        }
+        if level.len() > remaining {
+            level.truncate(remaining);
+            budget_hit = true;
+        }
+
+        let fetched = fetch_level(&level);
+        debug_assert_eq!(fetched.len(), level.len());
+        stats.metadata_requests += level.len();
+
+        let mut next: Vec<String> = Vec::new();
+        let mut fetched_this_level = 0usize;
+        for item in fetched {
+            let Some((meta, related)) = item else {
+                stats.failed_fetches += 1;
+                continue;
+            };
+            stats.related_requests += 1;
+            let tag_refs: Vec<&str> = meta.tags.iter().map(String::as_str).collect();
+            let popularity = match meta.popularity {
+                Some(raw) => RawPopularity::decode(raw, country_count),
+                None => RawPopularity::Missing,
+            };
+            builder.push_video_titled(&meta.key, &meta.title, meta.total_views, &tag_refs, popularity);
+            fetched_this_level += 1;
+
+            for key in related {
+                if visited.contains(&key) {
+                    stats.duplicate_links += 1;
+                } else {
+                    visited.insert(key.clone());
+                    next.push(key);
+                }
+            }
+        }
+        stats.per_depth.push(fetched_this_level);
+        level = next;
+        depth += 1;
+    }
+
+    stats.fetched = builder.len();
+    stats.frontier_exhausted = !budget_hit;
+    CrawlOutcome {
+        dataset: builder.build(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_ytsim::{Platform, WorldConfig};
+
+    fn platform() -> Platform {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_videos(1_500);
+        Platform::generate(cfg)
+    }
+
+    fn limited(budget: usize) -> CrawlConfig {
+        let mut cfg = CrawlConfig::default();
+        cfg.with_budget(budget);
+        cfg
+    }
+
+    #[test]
+    fn seeds_follow_paper_methodology() {
+        let p = platform();
+        let cfg = CrawlConfig::default();
+        let seeds = gather_seeds(&p, &cfg);
+        // ≤ 250 because hits chart in several countries at once.
+        assert!(seeds.len() <= 25 * 10);
+        assert!(seeds.len() >= 50, "suspiciously few seeds: {}", seeds.len());
+        let mut dedup = seeds.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let p = platform();
+        let out = crawl(&p, &limited(137));
+        assert_eq!(out.dataset.len(), 137);
+        assert_eq!(out.stats.fetched, 137);
+        assert!(!out.stats.frontier_exhausted);
+    }
+
+    #[test]
+    fn unbounded_crawl_reaches_most_of_the_catalogue() {
+        let p = platform();
+        let out = crawl(&p, &CrawlConfig::default());
+        assert!(out.stats.frontier_exhausted);
+        let coverage = out.dataset.len() as f64 / p.catalogue_size() as f64;
+        assert!(coverage > 0.9, "coverage {coverage}");
+    }
+
+    #[test]
+    fn bfs_accounting_is_consistent() {
+        let p = platform();
+        let out = crawl(&p, &limited(400));
+        assert_eq!(out.stats.per_depth.iter().sum::<usize>(), out.stats.fetched);
+        assert_eq!(out.stats.per_depth[0], out.stats.seeds.min(400));
+        assert!(out.stats.max_depth().is_some());
+        assert_eq!(out.stats.failed_fetches, 0);
+    }
+
+    #[test]
+    fn depth_limit_stops_expansion() {
+        let p = platform();
+        let mut cfg = CrawlConfig::default();
+        cfg.with_max_depth(1);
+        let out = crawl(&p, &cfg);
+        assert!(out.stats.per_depth.len() <= 2);
+        assert!(!out.stats.frontier_exhausted);
+    }
+
+    #[test]
+    fn parallel_crawl_matches_sequential() {
+        let p = platform();
+        let mut cfg = limited(600);
+        cfg.with_threads(4);
+        let serial = crawl(&p, &cfg);
+        let parallel = crawl_parallel(&p, &cfg);
+        assert_eq!(serial.dataset.len(), parallel.dataset.len());
+        assert_eq!(serial.stats, parallel.stats);
+        for (a, b) in serial.dataset.iter().zip(parallel.dataset.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.total_views, b.total_views);
+            assert_eq!(a.popularity, b.popularity);
+        }
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let p = platform();
+        let a = crawl(&p, &limited(300));
+        let b = crawl(&p, &limited(300));
+        let keys_a: Vec<&str> = a.dataset.iter().map(|v| v.key.as_str()).collect();
+        let keys_b: Vec<&str> = b.dataset.iter().map(|v| v.key.as_str()).collect();
+        assert_eq!(keys_a, keys_b);
+    }
+
+    #[test]
+    fn crawled_records_carry_platform_defects() {
+        let p = platform();
+        let out = crawl(&p, &CrawlConfig::default());
+        let missing = out
+            .dataset
+            .iter()
+            .filter(|v| matches!(v.popularity, RawPopularity::Missing))
+            .count();
+        let corrupt = out
+            .dataset
+            .iter()
+            .filter(|v| matches!(v.popularity, RawPopularity::Corrupt(_)))
+            .count();
+        assert!(missing > 0, "expected some missing charts");
+        assert!(corrupt > 0, "expected some corrupt charts");
+    }
+
+    #[test]
+    fn api_calls_are_accounted() {
+        let p = platform();
+        let out = crawl(&p, &CrawlConfig::default());
+        let s = &out.stats;
+        assert_eq!(s.chart_requests, 25);
+        assert_eq!(s.metadata_requests, s.fetched + s.failed_fetches);
+        assert_eq!(s.related_requests, s.fetched);
+        assert_eq!(
+            s.api_calls(),
+            s.chart_requests + s.metadata_requests + s.related_requests
+        );
+        // A polite 5 req/s crawl of this world takes minutes, not ms.
+        let secs = s.estimated_duration_secs(5.0);
+        assert!(secs > 60.0, "{secs}");
+    }
+
+    #[test]
+    fn duplicate_links_are_counted() {
+        let p = platform();
+        let out = crawl(&p, &CrawlConfig::default());
+        assert!(out.stats.duplicate_links > 0);
+        assert!(out.stats.duplication_ratio() > 0.0);
+    }
+
+    /// A pathological platform whose related lists point at unknown
+    /// keys: fetch failures must be counted, not crash the crawl.
+    #[test]
+    fn unknown_keys_count_as_failed_fetches() {
+        struct Flaky;
+        impl PlatformApi for Flaky {
+            fn top_videos(&self, _c: tagdist_geo::CountryId, _k: usize) -> Vec<String> {
+                vec!["real".into(), "ghost".into()]
+            }
+            fn fetch(&self, key: &str) -> Option<VideoMetadata> {
+                (key == "real").then(|| VideoMetadata {
+                    key: key.to_owned(),
+                    title: "t".into(),
+                    total_views: 1,
+                    duration_secs: 60,
+                    tags: vec!["x".into()],
+                    popularity: None,
+                })
+            }
+            fn related(&self, _key: &str, _k: usize) -> Vec<String> {
+                vec!["ghost2".into()]
+            }
+            fn catalogue_size(&self) -> usize {
+                1
+            }
+        }
+        let out = crawl(&Flaky, &CrawlConfig::default());
+        assert_eq!(out.dataset.len(), 1);
+        assert_eq!(out.stats.failed_fetches, 2); // ghost + ghost2
+    }
+}

@@ -1,0 +1,237 @@
+//! Incremental recrawling.
+//!
+//! A 2011-scale crawl took weeks; repeating it from scratch to pick up
+//! newly uploaded videos would be wasteful. [`recrawl`] runs the same
+//! breadth-first snowball but reuses the records of an existing
+//! dataset: known videos are *not* re-fetched (their stored metadata
+//! is carried over), yet their related edges are still expanded so the
+//! frontier can reach content the first crawl missed.
+
+use std::collections::HashSet;
+
+use tagdist_dataset::{Dataset, DatasetBuilder, RawPopularity};
+use tagdist_geo::world;
+use tagdist_ytsim::PlatformApi;
+
+use crate::config::CrawlConfig;
+use crate::stats::CrawlStats;
+
+/// Result of an incremental crawl.
+#[derive(Debug)]
+pub struct RecrawlOutcome {
+    /// The combined dataset: carried-over records first (in their
+    /// original order), then newly fetched ones in BFS order.
+    pub dataset: Dataset,
+    /// BFS accounting over the *new* fetches.
+    pub stats: CrawlStats,
+    /// Records reused from the existing dataset.
+    pub reused: usize,
+    /// Records fetched fresh from the platform.
+    pub newly_fetched: usize,
+}
+
+/// Breadth-first snowball crawl that treats `existing` as already
+/// visited.
+///
+/// The budget counts only *new* fetches. Related-list expansion still
+/// walks through known videos, so a recrawl with budget `b` discovers
+/// up to `b` videos beyond the previous crawl's coverage.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`CrawlConfig::validate`] or `existing` was
+/// crawled against a different world size.
+pub fn recrawl<P: PlatformApi + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    existing: &Dataset,
+) -> RecrawlOutcome {
+    cfg.validate().expect("invalid crawl configuration");
+    let country_count = world().len();
+    assert_eq!(
+        existing.country_count(),
+        country_count,
+        "existing dataset covers a different world"
+    );
+
+    // Carry the old records over verbatim.
+    let mut builder = DatasetBuilder::new(country_count);
+    for record in existing.iter() {
+        let tags: Vec<&str> = record
+            .tags
+            .iter()
+            .map(|&t| existing.tags().name(t))
+            .collect();
+        builder.push_video_titled(
+            &record.key,
+            &record.title,
+            record.total_views,
+            &tags,
+            record.popularity.clone(),
+        );
+    }
+    let reused = builder.len();
+
+    let mut stats = CrawlStats {
+        chart_requests: cfg.seed_countries.len(),
+        ..CrawlStats::default()
+    };
+    // `visited` tracks BFS *traversal*, not prior crawl membership:
+    // the walk must pass through the already-crawled region to reach
+    // the old frontier, re-using stored metadata instead of fetching.
+    let mut visited: HashSet<String> = HashSet::new();
+
+    // Seed with the charts, as in a fresh crawl.
+    let mut level: Vec<String> = Vec::new();
+    for &country in &cfg.seed_countries {
+        for key in platform.top_videos(country, cfg.seeds_per_country) {
+            if visited.insert(key.clone()) {
+                level.push(key);
+            }
+        }
+    }
+    stats.seeds = level.len();
+
+    let mut depth = 0usize;
+    let mut budget_hit = false;
+    let mut new_fetches = 0usize;
+    'outer: while !level.is_empty() {
+        if depth > cfg.max_depth {
+            budget_hit = true;
+            break;
+        }
+        let mut next: Vec<String> = Vec::new();
+        let mut fetched_this_level = 0usize;
+        for key in level {
+            let is_known = existing.by_key(&key).is_some();
+            if !is_known {
+                if new_fetches >= cfg.budget {
+                    budget_hit = true;
+                    break 'outer;
+                }
+                stats.metadata_requests += 1;
+                let Some(meta) = platform.fetch(&key) else {
+                    stats.failed_fetches += 1;
+                    continue;
+                };
+                let tags: Vec<&str> = meta.tags.iter().map(String::as_str).collect();
+                let popularity = match meta.popularity {
+                    Some(raw) => RawPopularity::decode(raw, country_count),
+                    None => RawPopularity::Missing,
+                };
+                builder.push_video_titled(&meta.key, &meta.title, meta.total_views, &tags, popularity);
+                new_fetches += 1;
+                fetched_this_level += 1;
+            }
+            // Expand through both known and new videos: known ones
+            // cost only a (cheap) related-list call, no metadata
+            // fetch.
+            stats.related_requests += 1;
+            for related in platform.related(&key, cfg.related_per_video) {
+                if visited.contains(&related) {
+                    stats.duplicate_links += 1;
+                } else {
+                    visited.insert(related.clone());
+                    next.push(related);
+                }
+            }
+        }
+        stats.per_depth.push(fetched_this_level);
+        level = next;
+        depth += 1;
+    }
+
+    stats.fetched = new_fetches;
+    stats.frontier_exhausted = !budget_hit;
+    RecrawlOutcome {
+        dataset: builder.build(),
+        stats,
+        reused,
+        newly_fetched: new_fetches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::crawl;
+    use tagdist_ytsim::{Platform, WorldConfig};
+
+    fn platform(videos: usize, seed: u64) -> Platform {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_videos(videos).with_seed(seed);
+        Platform::generate(cfg)
+    }
+
+    #[test]
+    fn recrawl_of_a_complete_crawl_fetches_nothing() {
+        let p = platform(800, 1);
+        let full = crawl(&p, &CrawlConfig::default());
+        let again = recrawl(&p, &CrawlConfig::default(), &full.dataset);
+        assert_eq!(again.newly_fetched, 0);
+        assert_eq!(again.reused, full.dataset.len());
+        assert_eq!(again.dataset.len(), full.dataset.len());
+    }
+
+    #[test]
+    fn recrawl_extends_a_partial_crawl() {
+        let p = platform(800, 2);
+        let mut partial_cfg = CrawlConfig::default();
+        partial_cfg.with_budget(150);
+        let partial = crawl(&p, &partial_cfg);
+        let extended = recrawl(&p, &CrawlConfig::default(), &partial.dataset);
+        assert_eq!(extended.reused, 150);
+        assert!(extended.newly_fetched > 0);
+        assert_eq!(
+            extended.dataset.len(),
+            extended.reused + extended.newly_fetched
+        );
+        // The extension should approach full-crawl coverage.
+        let full = crawl(&p, &CrawlConfig::default());
+        assert!(extended.dataset.len() as f64 >= 0.95 * full.dataset.len() as f64);
+    }
+
+    #[test]
+    fn carried_records_are_byte_identical() {
+        let p = platform(600, 3);
+        let mut cfg = CrawlConfig::default();
+        cfg.with_budget(100);
+        let first = crawl(&p, &cfg);
+        let second = recrawl(&p, &CrawlConfig::default(), &first.dataset);
+        for original in first.dataset.iter() {
+            let kept = second.dataset.by_key(&original.key).expect("carried over");
+            assert_eq!(kept.total_views, original.total_views);
+            assert_eq!(kept.popularity, original.popularity);
+            assert_eq!(kept.tags.len(), original.tags.len());
+        }
+    }
+
+    #[test]
+    fn recrawl_budget_counts_only_new_fetches() {
+        let p = platform(800, 4);
+        let mut cfg = CrawlConfig::default();
+        cfg.with_budget(200);
+        let partial = crawl(&p, &cfg);
+        let mut inc_cfg = CrawlConfig::default();
+        inc_cfg.with_budget(50);
+        let extended = recrawl(&p, &inc_cfg, &partial.dataset);
+        assert_eq!(extended.newly_fetched, 50);
+        assert_eq!(extended.dataset.len(), 250);
+        assert!(!extended.stats.frontier_exhausted);
+    }
+
+    #[test]
+    fn recrawl_from_empty_matches_fresh_crawl_contents() {
+        let p = platform(500, 5);
+        let empty = tagdist_dataset::DatasetBuilder::new(tagdist_geo::world().len()).build();
+        let fresh = crawl(&p, &CrawlConfig::default());
+        let inc = recrawl(&p, &CrawlConfig::default(), &empty);
+        assert_eq!(inc.reused, 0);
+        assert_eq!(inc.dataset.len(), fresh.dataset.len());
+        let mut a: Vec<&str> = fresh.dataset.iter().map(|v| v.key.as_str()).collect();
+        let mut b: Vec<&str> = inc.dataset.iter().map(|v| v.key.as_str()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Breadth-first snowball crawler, reproducing the paper's §2
+//! collection methodology:
+//!
+//! > *“The seed of the dataset are the 10 most popular videos in 25
+//! > different countries, obtained through Youtube's public API. The
+//! > dataset was then completed using a breadth-first snowball
+//! > sampling of the graph of related videos.”*
+//!
+//! The crawler runs against any [`PlatformApi`] — in this repository
+//! the synthetic platform of `tagdist-ytsim` — and produces a raw
+//! [`Dataset`](tagdist_dataset::Dataset) plus [`CrawlStats`]
+//! accounting. Two drivers are provided:
+//!
+//! * [`crawl`] — sequential BFS, fully deterministic,
+//! * [`crawl_parallel`] — level-synchronized BFS fanned out over
+//!   crossbeam scoped threads, returning a byte-identical dataset (the
+//!   per-level fetch order is preserved by index).
+//!
+//! # Example
+//!
+//! ```
+//! use tagdist_crawler::{crawl, CrawlConfig};
+//! use tagdist_ytsim::{Platform, WorldConfig};
+//!
+//! let platform = Platform::generate(WorldConfig::tiny());
+//! let mut cfg = CrawlConfig::default();
+//! cfg.with_budget(500);
+//! let outcome = crawl(&platform, &cfg);
+//! assert!(outcome.dataset.len() <= 500);
+//! assert_eq!(outcome.stats.fetched, outcome.dataset.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod config;
+pub mod driver;
+pub mod incremental;
+pub mod stats;
+
+pub use config::CrawlConfig;
+pub use driver::{crawl, crawl_parallel, CrawlOutcome};
+pub use incremental::{recrawl, RecrawlOutcome};
+pub use stats::CrawlStats;
+
+// Re-exported so downstream crates name the API type without an extra
+// dependency edge.
+pub use tagdist_ytsim::PlatformApi;

@@ -1,0 +1,137 @@
+//! Crawl accounting.
+
+use core::fmt;
+
+/// Statistics of one snowball crawl.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CrawlStats {
+    /// Distinct seed videos obtained from the per-country charts.
+    pub seeds: usize,
+    /// Videos successfully fetched (== dataset size).
+    pub fetched: usize,
+    /// Related-video keys skipped because they were already visited —
+    /// a measure of how strongly the related graph folds back on
+    /// itself.
+    pub duplicate_links: usize,
+    /// Keys the platform refused to serve (unknown/deleted videos).
+    pub failed_fetches: usize,
+    /// Videos fetched at each BFS depth (`per_depth[0]` = seeds).
+    pub per_depth: Vec<usize>,
+    /// `true` when the crawl stopped because the frontier drained,
+    /// `false` when it hit the budget or depth limit.
+    pub frontier_exhausted: bool,
+    /// Per-country chart requests issued (the seed phase).
+    pub chart_requests: usize,
+    /// Video-metadata requests issued (including failed ones).
+    pub metadata_requests: usize,
+    /// Related-list requests issued.
+    pub related_requests: usize,
+}
+
+impl CrawlStats {
+    /// Deepest level reached (seeds are depth 0); `None` before any
+    /// fetch.
+    pub fn max_depth(&self) -> Option<usize> {
+        if self.per_depth.is_empty() {
+            None
+        } else {
+            Some(self.per_depth.len() - 1)
+        }
+    }
+
+    /// Fraction of fetch attempts that were duplicates — high values
+    /// mean the snowball is saturating its reachable component.
+    pub fn duplication_ratio(&self) -> f64 {
+        let attempts = self.fetched + self.duplicate_links;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.duplicate_links as f64 / attempts as f64
+        }
+    }
+
+    /// Total platform API calls issued (charts + metadata + related).
+    pub fn api_calls(&self) -> usize {
+        self.chart_requests + self.metadata_requests + self.related_requests
+    }
+
+    /// Wall-clock a polite real-world crawl would need at
+    /// `requests_per_sec`, in seconds.
+    ///
+    /// The original crawl ran against quota-limited public endpoints;
+    /// this makes the "weeks of crawling" cost of the methodology
+    /// explicit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests_per_sec` is not positive.
+    pub fn estimated_duration_secs(&self, requests_per_sec: f64) -> f64 {
+        assert!(
+            requests_per_sec > 0.0,
+            "request rate must be positive"
+        );
+        self.api_calls() as f64 / requests_per_sec
+    }
+}
+
+impl fmt::Display for CrawlStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seeds {}, fetched {} over {} depths ({} duplicate links, {} failed), {}",
+            self.seeds,
+            self.fetched,
+            self.per_depth.len(),
+            self.duplicate_links,
+            self.failed_fetches,
+            if self.frontier_exhausted {
+                "frontier exhausted"
+            } else {
+                "budget/depth limited"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_and_ratio_accessors() {
+        let s = CrawlStats {
+            seeds: 10,
+            fetched: 90,
+            duplicate_links: 10,
+            failed_fetches: 0,
+            per_depth: vec![10, 50, 30],
+            frontier_exhausted: false,
+            chart_requests: 25,
+            metadata_requests: 90,
+            related_requests: 90,
+        };
+        assert_eq!(s.max_depth(), Some(2));
+        assert!((s.duplication_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = CrawlStats::default();
+        assert_eq!(s.max_depth(), None);
+        assert_eq!(s.duplication_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = CrawlStats {
+            seeds: 3,
+            fetched: 5,
+            per_depth: vec![3, 2],
+            frontier_exhausted: true,
+            ..CrawlStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("seeds 3"));
+        assert!(text.contains("frontier exhausted"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The raw crawl result: a collection of [`VideoRecord`]s plus the tag
+//! interner and lookup indices.
+
+use std::collections::HashMap;
+
+use crate::record::{RawPopularity, VideoId, VideoRecord};
+use crate::tag::{TagId, TagInterner};
+
+/// An as-crawled dataset (pre-filtering), analogous to the paper's
+/// 1,063,844-video corpus.
+///
+/// Construction goes through [`DatasetBuilder`], which interns tags
+/// and assigns dense [`VideoId`]s. Once built, the dataset is
+/// immutable; lookup indices (tag → videos) are built once at
+/// construction.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    videos: Vec<VideoRecord>,
+    tags: TagInterner,
+    tag_postings: Vec<Vec<VideoId>>,
+    keys: HashMap<String, VideoId>,
+    country_count: usize,
+}
+
+impl Dataset {
+    /// Number of crawled videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Returns `true` if the dataset contains no videos.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Number of countries each popularity vector is expected to
+    /// cover (the world size the crawl ran against).
+    pub fn country_count(&self) -> usize {
+        self.country_count
+    }
+
+    /// Returns the record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this dataset.
+    pub fn video(&self, id: VideoId) -> &VideoRecord {
+        &self.videos[id.index()]
+    }
+
+    /// Looks a video up by its external platform key.
+    pub fn by_key(&self, key: &str) -> Option<&VideoRecord> {
+        self.keys.get(key).map(|&id| self.video(id))
+    }
+
+    /// Iterates over all records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &VideoRecord> {
+        self.videos.iter()
+    }
+
+    /// The tag interner shared by all records.
+    pub fn tags(&self) -> &TagInterner {
+        &self.tags
+    }
+
+    /// All videos carrying `tag`, in id order (the paper's
+    /// `videos(t)` of Eq. 3).
+    pub fn videos_with_tag(&self, tag: TagId) -> &[VideoId] {
+        self.tag_postings
+            .get(tag.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The record with the most total views, if any — the paper's
+    /// Fig. 1 subject (*Justin Bieber – Baby* in the original data).
+    pub fn most_viewed(&self) -> Option<&VideoRecord> {
+        self.videos.iter().max_by_key(|v| v.total_views)
+    }
+
+    /// Sum of `total_views` over all records.
+    pub fn total_views(&self) -> u128 {
+        self.videos.iter().map(|v| v.total_views as u128).sum()
+    }
+}
+
+/// Incremental constructor for [`Dataset`].
+///
+/// # Example
+///
+/// ```
+/// use tagdist_dataset::{DatasetBuilder, RawPopularity};
+///
+/// let mut b = DatasetBuilder::new(60);
+/// let id = b.push_video("abc", 1000, &["music", "live"], RawPopularity::Missing);
+/// let d = b.build();
+/// assert_eq!(d.video(id).total_views, 1000);
+/// assert_eq!(d.videos_with_tag(d.tags().id("music").unwrap()), &[id]);
+/// ```
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    videos: Vec<VideoRecord>,
+    tags: TagInterner,
+    keys: HashMap<String, VideoId>,
+    country_count: usize,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder for a world of `country_count` countries.
+    pub fn new(country_count: usize) -> DatasetBuilder {
+        DatasetBuilder {
+            country_count,
+            ..DatasetBuilder::default()
+        }
+    }
+
+    /// Number of videos added so far.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Returns `true` if no videos have been added.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Returns `true` if a video with this platform key was already
+    /// added (snowball crawls revisit videos frequently).
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.keys.contains_key(key)
+    }
+
+    /// Adds a video with an empty title; see
+    /// [`push_video_titled`](DatasetBuilder::push_video_titled).
+    pub fn push_video(
+        &mut self,
+        key: &str,
+        total_views: u64,
+        tags: &[&str],
+        popularity: RawPopularity,
+    ) -> VideoId {
+        self.push_video_titled(key, "", total_views, tags, popularity)
+    }
+
+    /// Adds a video, interning its tags (empty tags are dropped,
+    /// duplicates collapsed) and assigning the next dense id.
+    ///
+    /// If the key was already added, the existing id is returned and
+    /// the record is left unchanged (first crawl wins, as in a
+    /// visited-set crawler).
+    pub fn push_video_titled(
+        &mut self,
+        key: &str,
+        title: &str,
+        total_views: u64,
+        tags: &[&str],
+        popularity: RawPopularity,
+    ) -> VideoId {
+        if let Some(&existing) = self.keys.get(key) {
+            return existing;
+        }
+        let id = VideoId::from_index(self.videos.len());
+        let mut tag_ids = Vec::with_capacity(tags.len());
+        for tag in tags {
+            if let Some(tid) = self.tags.intern(tag) {
+                if !tag_ids.contains(&tid) {
+                    tag_ids.push(tid);
+                }
+            }
+        }
+        self.videos.push(VideoRecord {
+            id,
+            key: key.to_owned(),
+            title: title.to_owned(),
+            total_views,
+            tags: tag_ids,
+            popularity,
+        });
+        self.keys.insert(key.to_owned(), id);
+        id
+    }
+
+    /// Finalizes the dataset, building the tag→videos index.
+    pub fn build(self) -> Dataset {
+        let mut tag_postings = vec![Vec::new(); self.tags.len()];
+        for video in &self.videos {
+            for &tag in &video.tags {
+                tag_postings[tag.index()].push(video.id);
+            }
+        }
+        Dataset {
+            videos: self.videos,
+            tags: self.tags,
+            tag_postings,
+            keys: self.keys,
+            country_count: self.country_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new(3);
+        b.push_video("k1", 100, &["pop", "music"], RawPopularity::decode(vec![61, 0, 5], 3));
+        b.push_video("k2", 900, &["pop"], RawPopularity::Missing);
+        b.push_video("k3", 50, &[], RawPopularity::decode(vec![0, 61, 0], 3));
+        b.build()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        for (i, v) in d.iter().enumerate() {
+            assert_eq!(v.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_return_existing_id() {
+        let mut b = DatasetBuilder::new(1);
+        let a = b.push_video("same", 1, &["x"], RawPopularity::Missing);
+        let b2 = b.push_video("same", 999, &["y"], RawPopularity::Missing);
+        assert_eq!(a, b2);
+        let d = b.build();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.video(a).total_views, 1, "first crawl wins");
+    }
+
+    #[test]
+    fn tag_postings_cover_all_carriers() {
+        let d = sample();
+        let pop = d.tags().id("pop").unwrap();
+        assert_eq!(d.videos_with_tag(pop).len(), 2);
+        let music = d.tags().id("music").unwrap();
+        assert_eq!(d.videos_with_tag(music).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_tags_on_one_video_collapse() {
+        let mut b = DatasetBuilder::new(1);
+        let id = b.push_video("k", 1, &["rock", "Rock", " rock "], RawPopularity::Missing);
+        let d = b.build();
+        assert_eq!(d.video(id).tags.len(), 1);
+        let rock = d.tags().id("rock").unwrap();
+        assert_eq!(d.videos_with_tag(rock), &[id]);
+    }
+
+    #[test]
+    fn most_viewed_and_totals() {
+        let d = sample();
+        assert_eq!(d.most_viewed().unwrap().key, "k2");
+        assert_eq!(d.total_views(), 1050);
+        assert!(DatasetBuilder::new(1).build().most_viewed().is_none());
+    }
+
+    #[test]
+    fn by_key_lookup() {
+        let d = sample();
+        assert_eq!(d.by_key("k3").unwrap().total_views, 50);
+        assert!(d.by_key("nope").is_none());
+    }
+
+    #[test]
+    fn country_count_is_preserved() {
+        assert_eq!(sample().country_count(), 3);
+    }
+
+    #[test]
+    fn titles_are_stored_when_provided() {
+        let mut b = DatasetBuilder::new(1);
+        let plain = b.push_video("p", 1, &["x"], RawPopularity::Missing);
+        let titled = b.push_video_titled("t", "Baby ft. Ludacris", 2, &["x"], RawPopularity::Missing);
+        let d = b.build();
+        assert_eq!(d.video(plain).title, "");
+        assert_eq!(d.video(titled).title, "Baby ft. Ludacris");
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for dataset construction and (de)serialization.
+
+use core::fmt;
+use std::io;
+
+/// Errors produced while reading or writing datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in the TSV serialization.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "i/o error: {e}"),
+            DatasetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> DatasetError {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_line() {
+        let e = DatasetError::Parse {
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let e = DatasetError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

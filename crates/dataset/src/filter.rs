@@ -1,0 +1,281 @@
+//! The paper's §2 filtering step.
+//!
+//! > *“we filter out all videos containing no tags (6,736 videos), or
+//! > with an incorrect or empty popularity vector. This filtering step
+//! > results in a dataset with 691,349 videos, associated with 705,415
+//! > unique tags, totaling 173,288,616,473 views.”*
+//!
+//! [`filter`] reproduces that step and reports the same accounting; the
+//! output is a [`CleanDataset`] whose every record carries a
+//! *validated, signal-bearing* [`PopularityVector`], so downstream
+//! stages (reconstruction, tag aggregation) never re-check metadata.
+
+use core::fmt;
+
+use tagdist_geo::PopularityVector;
+
+use crate::dataset::Dataset;
+use crate::record::VideoId;
+use crate::tag::{TagId, TagInterner};
+
+/// A video that survived filtering: tags present, popularity valid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanVideo {
+    /// Id in the *original* dataset (stable across filtering so raw
+    /// and clean views can be joined).
+    pub id: VideoId,
+    /// External platform key.
+    pub key: String,
+    /// Display title.
+    pub title: String,
+    /// Total worldwide views (the paper's `views(v)`).
+    pub total_views: u64,
+    /// Interned tags (non-empty).
+    pub tags: Vec<TagId>,
+    /// Validated, signal-bearing popularity vector (the paper's
+    /// `pop(v)`).
+    pub popularity: PopularityVector,
+}
+
+/// Accounting of the filtering step, mirroring §2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterReport {
+    /// Videos in the raw crawl (paper: 1,063,844).
+    pub crawled: usize,
+    /// Videos dropped for carrying no tags (paper: 6,736).
+    pub no_tags: usize,
+    /// Videos dropped for an incorrect or empty popularity vector.
+    pub bad_popularity: usize,
+    /// Videos kept (paper: 691,349).
+    pub kept: usize,
+}
+
+impl FilterReport {
+    /// Fraction of the crawl that survived filtering (paper: ≈ 65 %).
+    pub fn keep_ratio(&self) -> f64 {
+        if self.crawled == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.crawled as f64
+        }
+    }
+}
+
+impl fmt::Display for FilterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crawled {} videos; dropped {} with no tags, {} with bad popularity; kept {} ({:.1}%)",
+            self.crawled,
+            self.no_tags,
+            self.bad_popularity,
+            self.kept,
+            100.0 * self.keep_ratio()
+        )
+    }
+}
+
+/// The filtered dataset: the paper's 691,349-video working set.
+#[derive(Debug, Clone)]
+pub struct CleanDataset {
+    videos: Vec<CleanVideo>,
+    tags: TagInterner,
+    tag_postings: Vec<Vec<usize>>,
+    country_count: usize,
+    report: FilterReport,
+}
+
+impl CleanDataset {
+    /// Number of retained videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// Returns `true` if filtering removed everything.
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// World size the popularity vectors cover.
+    pub fn country_count(&self) -> usize {
+        self.country_count
+    }
+
+    /// The filtering accounting.
+    pub fn report(&self) -> FilterReport {
+        self.report
+    }
+
+    /// Iterates over retained videos.
+    pub fn iter(&self) -> impl Iterator<Item = &CleanVideo> {
+        self.videos.iter()
+    }
+
+    /// Retained video by position (0‥[`len`](CleanDataset::len)).
+    pub fn get(&self, pos: usize) -> Option<&CleanVideo> {
+        self.videos.get(pos)
+    }
+
+    /// The shared tag interner (covers the *raw* vocabulary; tags used
+    /// only by dropped videos have empty postings here).
+    pub fn tags(&self) -> &TagInterner {
+        &self.tags
+    }
+
+    /// Positions (into [`iter`](CleanDataset::iter)/[`get`](CleanDataset::get))
+    /// of retained videos carrying `tag` — Eq. 3's `videos(t)` on the
+    /// clean set.
+    pub fn videos_with_tag(&self, tag: TagId) -> &[usize] {
+        self.tag_postings
+            .get(tag.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct tags attached to at least one retained video
+    /// (the paper's "705,415 unique tags").
+    pub fn unique_tags(&self) -> usize {
+        self.tag_postings.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Sum of views over retained videos (the paper's
+    /// 173,288,616,473).
+    pub fn total_views(&self) -> u128 {
+        self.videos.iter().map(|v| v.total_views as u128).sum()
+    }
+
+    /// Most-viewed retained video (Fig. 1's subject), if any.
+    pub fn most_viewed(&self) -> Option<&CleanVideo> {
+        self.videos.iter().max_by_key(|v| v.total_views)
+    }
+}
+
+/// Applies the paper's §2 filter to a raw crawl.
+///
+/// Videos with no tags are dropped first (and counted as `no_tags`
+/// even if their popularity is also bad, matching the paper's
+/// presentation order); remaining videos with a missing, corrupt or
+/// all-zero popularity vector are dropped as `bad_popularity`.
+pub fn filter(dataset: &Dataset) -> CleanDataset {
+    let mut report = FilterReport {
+        crawled: dataset.len(),
+        ..FilterReport::default()
+    };
+    let mut videos = Vec::new();
+    for record in dataset.iter() {
+        if record.tags.is_empty() {
+            report.no_tags += 1;
+            continue;
+        }
+        let Some(pop) = record.popularity.usable() else {
+            report.bad_popularity += 1;
+            continue;
+        };
+        videos.push(CleanVideo {
+            id: record.id,
+            key: record.key.clone(),
+            title: record.title.clone(),
+            total_views: record.total_views,
+            tags: record.tags.clone(),
+            popularity: pop.clone(),
+        });
+    }
+    report.kept = videos.len();
+
+    let tags = dataset.tags().clone();
+    let mut tag_postings = vec![Vec::new(); tags.len()];
+    for (pos, video) in videos.iter().enumerate() {
+        for &tag in &video.tags {
+            tag_postings[tag.index()].push(pos);
+        }
+    }
+
+    CleanDataset {
+        videos,
+        tags,
+        tag_postings,
+        country_count: dataset.country_count(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::record::RawPopularity;
+
+    fn build() -> Dataset {
+        let mut b = DatasetBuilder::new(3);
+        // clean
+        b.push_video("a", 100, &["pop"], RawPopularity::decode(vec![61, 0, 0], 3));
+        // no tags
+        b.push_video("b", 200, &[], RawPopularity::decode(vec![0, 61, 0], 3));
+        // missing popularity
+        b.push_video("c", 300, &["rock"], RawPopularity::Missing);
+        // corrupt popularity (wrong length)
+        b.push_video("d", 400, &["rock"], RawPopularity::decode(vec![61], 3));
+        // empty (all-zero) popularity
+        b.push_video("e", 500, &["jazz"], RawPopularity::decode(vec![0, 0, 0], 3));
+        // no tags AND bad popularity → counted as no_tags
+        b.push_video("f", 600, &[], RawPopularity::Missing);
+        // clean, shares a tag
+        b.push_video("g", 700, &["pop", "live"], RawPopularity::decode(vec![0, 0, 61], 3));
+        b.build()
+    }
+
+    #[test]
+    fn report_matches_paper_accounting_rules() {
+        let clean = filter(&build());
+        let r = clean.report();
+        assert_eq!(r.crawled, 7);
+        assert_eq!(r.no_tags, 2);
+        assert_eq!(r.bad_popularity, 3);
+        assert_eq!(r.kept, 2);
+        assert_eq!(r.crawled, r.no_tags + r.bad_popularity + r.kept);
+        assert!((r.keep_ratio() - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_videos_keep_original_ids() {
+        let clean = filter(&build());
+        let keys: Vec<&str> = clean.iter().map(|v| v.key.as_str()).collect();
+        assert_eq!(keys, vec!["a", "g"]);
+        assert_eq!(clean.get(0).unwrap().id.index(), 0);
+        assert_eq!(clean.get(1).unwrap().id.index(), 6);
+    }
+
+    #[test]
+    fn unique_tags_counts_only_surviving_postings() {
+        let clean = filter(&build());
+        // "rock" and "jazz" only appear on dropped videos.
+        assert_eq!(clean.unique_tags(), 2); // pop, live
+        let rock = clean.tags().id("rock").unwrap();
+        assert!(clean.videos_with_tag(rock).is_empty());
+        let pop = clean.tags().id("pop").unwrap();
+        assert_eq!(clean.videos_with_tag(pop), &[0, 1]);
+    }
+
+    #[test]
+    fn totals_cover_retained_only() {
+        let clean = filter(&build());
+        assert_eq!(clean.total_views(), 800);
+        assert_eq!(clean.most_viewed().unwrap().key, "g");
+    }
+
+    #[test]
+    fn empty_dataset_filters_to_empty() {
+        let clean = filter(&DatasetBuilder::new(3).build());
+        assert!(clean.is_empty());
+        assert_eq!(clean.report().keep_ratio(), 0.0);
+        assert_eq!(clean.unique_tags(), 0);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let clean = filter(&build());
+        let s = clean.report().to_string();
+        assert!(s.contains("crawled 7"));
+        assert!(s.contains("kept 2"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Merging crawls.
+//!
+//! Snowball crawls from different seed sets (or the same crawl re-run
+//! weeks apart) overlap heavily; the original study combined top-chart
+//! seeds from 25 countries into one corpus. [`merge`] combines any
+//! number of raw datasets, deduplicating by platform key and keeping,
+//! for each video, the record with the richest metadata — a later
+//! crawl may have caught a popularity chart that failed the first
+//! time.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DatasetError;
+use crate::record::{RawPopularity, VideoRecord};
+
+/// Metadata richness used to pick among duplicate records: a usable
+/// popularity vector is worth more than tags, which are worth more
+/// than nothing.
+fn richness(record: &VideoRecord) -> u32 {
+    let mut score = 0;
+    if !record.tags.is_empty() {
+        score += 1;
+    }
+    score += match &record.popularity {
+        RawPopularity::Missing => 0,
+        RawPopularity::Corrupt(_) => 1,
+        RawPopularity::Valid(pop) if !pop.has_signal() => 2,
+        RawPopularity::Valid(_) => 4,
+    };
+    score
+}
+
+/// Merges datasets, deduplicating by key.
+///
+/// For duplicate keys the record with the highest metadata richness
+/// wins; ties go to the earliest dataset (first crawl wins, as in the
+/// builder). Tag strings are re-interned, so ids from the inputs do
+/// not carry over.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Parse`] (with a synthetic line number of 0)
+/// if the inputs disagree on the world size — merging crawls made
+/// against different country registries is meaningless.
+pub fn merge(datasets: &[&Dataset]) -> Result<Dataset, DatasetError> {
+    let country_count = datasets.first().map(|d| d.country_count()).unwrap_or(0);
+    if let Some(bad) = datasets
+        .iter()
+        .find(|d| d.country_count() != country_count)
+    {
+        return Err(DatasetError::Parse {
+            line: 0,
+            message: format!(
+                "cannot merge datasets with different world sizes ({} vs {})",
+                country_count,
+                bad.country_count()
+            ),
+        });
+    }
+
+    // First pass: pick the winning source for every key, in
+    // first-seen order.
+    let mut order: Vec<(usize, crate::record::VideoId)> = Vec::new();
+    let mut winner: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for (di, dataset) in datasets.iter().enumerate() {
+        for record in dataset.iter() {
+            match winner.get(record.key.as_str()) {
+                None => {
+                    winner.insert(&record.key, order.len());
+                    order.push((di, record.id));
+                }
+                Some(&slot) => {
+                    let (wdi, wid) = order[slot];
+                    let current = datasets[wdi].video(wid);
+                    if richness(record) > richness(current) {
+                        order[slot] = (di, record.id);
+                    }
+                }
+            }
+        }
+    }
+
+    // Second pass: rebuild in stable order.
+    let mut builder = DatasetBuilder::new(country_count);
+    for (di, id) in order {
+        let record = datasets[di].video(id);
+        let tag_names: Vec<&str> = record
+            .tags
+            .iter()
+            .map(|&t| datasets[di].tags().name(t))
+            .collect();
+        builder.push_video_titled(
+            &record.key,
+            &record.title,
+            record.total_views,
+            &tag_names,
+            record.popularity.clone(),
+        );
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(v: Vec<u8>) -> RawPopularity {
+        RawPopularity::decode(v, 2)
+    }
+
+    #[test]
+    fn disjoint_datasets_concatenate() {
+        let mut a = DatasetBuilder::new(2);
+        a.push_video("x", 1, &["t1"], pop(vec![61, 0]));
+        let mut b = DatasetBuilder::new(2);
+        b.push_video("y", 2, &["t2"], pop(vec![0, 61]));
+        let (a, b) = (a.build(), b.build());
+        let merged = merge(&[&a, &b]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.by_key("x").unwrap().total_views, 1);
+        assert_eq!(merged.by_key("y").unwrap().total_views, 2);
+        assert_eq!(merged.tags().len(), 2);
+    }
+
+    #[test]
+    fn richer_duplicate_wins() {
+        let mut first = DatasetBuilder::new(2);
+        first.push_video("dup", 10, &["t"], RawPopularity::Missing);
+        let mut second = DatasetBuilder::new(2);
+        second.push_video("dup", 99, &["t"], pop(vec![61, 0]));
+        let (first, second) = (first.build(), second.build());
+        let merged = merge(&[&first, &second]).unwrap();
+        assert_eq!(merged.len(), 1);
+        let rec = merged.by_key("dup").unwrap();
+        assert_eq!(rec.total_views, 99, "the record with a chart wins");
+        assert!(rec.popularity.usable().is_some());
+    }
+
+    #[test]
+    fn equal_richness_prefers_the_first_crawl() {
+        let mut first = DatasetBuilder::new(2);
+        first.push_video("dup", 10, &["t"], pop(vec![61, 0]));
+        let mut second = DatasetBuilder::new(2);
+        second.push_video("dup", 99, &["t"], pop(vec![0, 61]));
+        let (first, second) = (first.build(), second.build());
+        let merged = merge(&[&first, &second]).unwrap();
+        assert_eq!(merged.by_key("dup").unwrap().total_views, 10);
+    }
+
+    #[test]
+    fn richness_ordering_is_sane() {
+        let make = |tags: &[&str], p: RawPopularity| VideoRecord {
+            id: crate::record::VideoId::from_index(0),
+            key: "k".into(),
+            title: String::new(),
+            total_views: 0,
+            tags: tags
+                .iter()
+                .enumerate()
+                .map(|(i, _)| crate::tag::TagId::from_index(i))
+                .collect(),
+            popularity: p,
+        };
+        let clean = make(&["t"], pop(vec![61, 0]));
+        let empty_chart = make(&["t"], pop(vec![0, 0]));
+        let corrupt = make(&["t"], pop(vec![99, 0]));
+        let missing = make(&["t"], RawPopularity::Missing);
+        let bare = make(&[], RawPopularity::Missing);
+        assert!(richness(&clean) > richness(&empty_chart));
+        assert!(richness(&empty_chart) > richness(&corrupt));
+        assert!(richness(&corrupt) > richness(&missing));
+        assert!(richness(&missing) > richness(&bare));
+    }
+
+    #[test]
+    fn merge_order_is_first_seen() {
+        let mut a = DatasetBuilder::new(2);
+        a.push_video("one", 1, &["t"], RawPopularity::Missing);
+        a.push_video("two", 2, &["t"], RawPopularity::Missing);
+        let mut b = DatasetBuilder::new(2);
+        b.push_video("two", 2, &["t"], pop(vec![61, 0])); // upgraded in place
+        b.push_video("three", 3, &["t"], RawPopularity::Missing);
+        let (a, b) = (a.build(), b.build());
+        let merged = merge(&[&a, &b]).unwrap();
+        let keys: Vec<&str> = merged.iter().map(|v| v.key.as_str()).collect();
+        assert_eq!(keys, vec!["one", "two", "three"]);
+        assert!(merged.by_key("two").unwrap().popularity.usable().is_some());
+    }
+
+    #[test]
+    fn mismatched_world_sizes_error() {
+        let a = DatasetBuilder::new(2).build();
+        let b = DatasetBuilder::new(3).build();
+        assert!(merge(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn merging_nothing_is_empty() {
+        let merged = merge(&[]).unwrap();
+        assert!(merged.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pop() -> impl Strategy<Value = RawPopularity> {
+        prop_oneof![
+            Just(RawPopularity::Missing),
+            proptest::collection::vec(0u8..=61, 2..=2).prop_map(|v| RawPopularity::decode(v, 2)),
+            proptest::collection::vec(0u8..=255, 0..5).prop_map(|v| RawPopularity::decode(v, 2)),
+        ]
+    }
+
+    proptest! {
+        /// Merging a dataset with itself is the identity (up to dense
+        /// re-interning).
+        #[test]
+        fn self_merge_is_identity(
+            videos in proptest::collection::vec(
+                ("[a-z0-9]{1,8}", 0u64..1_000,
+                 proptest::collection::vec("[a-z]{1,6}", 0..4), arb_pop()),
+                0..15
+            )
+        ) {
+            let mut b = DatasetBuilder::new(2);
+            for (key, views, tags, pop) in &videos {
+                let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+                b.push_video(key, *views, &refs, pop.clone());
+            }
+            let d = b.build();
+            let merged = merge(&[&d, &d]).unwrap();
+            prop_assert_eq!(merged.len(), d.len());
+            for (a, m) in d.iter().zip(merged.iter()) {
+                prop_assert_eq!(&a.key, &m.key);
+                prop_assert_eq!(a.total_views, m.total_views);
+                prop_assert_eq!(&a.popularity, &m.popularity);
+            }
+        }
+
+        /// Merge never loses a key and never duplicates one.
+        #[test]
+        fn merge_key_set_is_the_union(
+            a_keys in proptest::collection::hash_set("[a-z]{1,4}", 0..10),
+            b_keys in proptest::collection::hash_set("[a-z]{1,4}", 0..10)
+        ) {
+            let build = |keys: &std::collections::HashSet<String>| {
+                let mut b = DatasetBuilder::new(1);
+                for k in keys {
+                    b.push_video(k, 1, &["t"], RawPopularity::Missing);
+                }
+                b.build()
+            };
+            let da = build(&a_keys);
+            let db = build(&b_keys);
+            let merged = merge(&[&da, &db]).unwrap();
+            let union: std::collections::HashSet<_> =
+                a_keys.union(&b_keys).cloned().collect();
+            prop_assert_eq!(merged.len(), union.len());
+            for key in &union {
+                prop_assert!(merged.by_key(key).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Individual crawled-video records.
+
+use core::fmt;
+
+use tagdist_geo::{PopularityVector, MAX_INTENSITY};
+
+use crate::tag::TagId;
+
+/// Identifier of a video inside a [`Dataset`](crate::Dataset).
+///
+/// Real YouTube ids are 11-character strings; the dataset keeps those
+/// as the record's `key` and uses this dense index for cross-references
+/// (related-video edges, tag postings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VideoId(u32);
+
+impl VideoId {
+    /// Creates a video id from a raw dense index.
+    pub fn from_index(index: usize) -> VideoId {
+        VideoId(index as u32)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<VideoId> for usize {
+    fn from(id: VideoId) -> usize {
+        id.index()
+    }
+}
+
+/// The per-country popularity data exactly as a crawler scraped it.
+///
+/// The paper (§2) reports that "not all videos have a complete set of
+/// metadata": 6,736 videos carried no tags and roughly a third carried
+/// "an incorrect or empty popularity vector". This enum keeps the raw
+/// observation so the filtering step — not the crawler — decides what
+/// is usable, mirroring the paper's offline pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RawPopularity {
+    /// No popularity map was served for the video.
+    Missing,
+    /// A map was served but could not be decoded into per-country
+    /// intensities (wrong country count, out-of-range values, …). The
+    /// raw bytes are retained for diagnosis.
+    Corrupt(Vec<u8>),
+    /// A structurally valid 0–61 intensity vector.
+    Valid(PopularityVector),
+}
+
+impl RawPopularity {
+    /// Decodes raw scraped intensities, classifying them as
+    /// [`RawPopularity::Valid`] or [`RawPopularity::Corrupt`].
+    ///
+    /// A vector is valid when it has exactly `expected_len` entries,
+    /// all within `[0, 61]`.
+    pub fn decode(raw: Vec<u8>, expected_len: usize) -> RawPopularity {
+        if raw.len() != expected_len || raw.iter().any(|&v| v > MAX_INTENSITY) {
+            return RawPopularity::Corrupt(raw);
+        }
+        let pop = PopularityVector::from_raw(raw).expect("bounds validated above");
+        RawPopularity::Valid(pop)
+    }
+
+    /// Returns the validated vector, if any.
+    ///
+    /// An all-zero ("empty") map is structurally valid but carries no
+    /// signal; the paper discards those in filtering, which
+    /// [`usable`](RawPopularity::usable) reflects.
+    pub fn valid(&self) -> Option<&PopularityVector> {
+        match self {
+            RawPopularity::Valid(pop) => Some(pop),
+            _ => None,
+        }
+    }
+
+    /// Returns the vector if it is valid *and* carries signal — the
+    /// paper's "correct and non-empty" criterion.
+    pub fn usable(&self) -> Option<&PopularityVector> {
+        self.valid().filter(|pop| pop.has_signal())
+    }
+}
+
+/// One crawled video, with metadata as observed (§2 of the paper).
+///
+/// Passive data: fields are public. Tags are interned against the
+/// owning [`Dataset`](crate::Dataset)'s
+/// [`TagInterner`](crate::TagInterner).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoRecord {
+    /// Dense id within the dataset.
+    pub id: VideoId,
+    /// The platform's external key (YouTube's 11-character id).
+    pub key: String,
+    /// Display title (the paper's dataset records one per video).
+    pub title: String,
+    /// Total number of views, worldwide (the paper's `views(v)`).
+    pub total_views: u64,
+    /// Interned tags, in upload order, without duplicates.
+    pub tags: Vec<TagId>,
+    /// Scraped per-country popularity (the paper's `pop(v)`).
+    pub popularity: RawPopularity,
+}
+
+impl VideoRecord {
+    /// Returns `true` if the record survives the paper's §2 filter:
+    /// it has at least one tag and a usable popularity vector.
+    pub fn is_clean(&self) -> bool {
+        !self.tags.is_empty() && self.popularity.usable().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_accepts_well_formed_vectors() {
+        let raw = vec![0u8, 61, 30];
+        match RawPopularity::decode(raw.clone(), 3) {
+            RawPopularity::Valid(pop) => assert_eq!(pop.as_slice(), &raw[..]),
+            other => panic!("expected valid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        assert!(matches!(
+            RawPopularity::decode(vec![1, 2], 3),
+            RawPopularity::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_intensities() {
+        assert!(matches!(
+            RawPopularity::decode(vec![62], 1),
+            RawPopularity::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn usable_requires_signal() {
+        let dark = RawPopularity::decode(vec![0, 0], 2);
+        assert!(dark.valid().is_some());
+        assert!(dark.usable().is_none(), "all-zero map is 'empty'");
+        let lit = RawPopularity::decode(vec![0, 9], 2);
+        assert!(lit.usable().is_some());
+    }
+
+    #[test]
+    fn missing_is_never_usable() {
+        assert!(RawPopularity::Missing.valid().is_none());
+        assert!(RawPopularity::Missing.usable().is_none());
+    }
+
+    #[test]
+    fn record_cleanliness() {
+        let clean = VideoRecord {
+            id: VideoId::from_index(0),
+            key: "abc".into(),
+            title: "a title".into(),
+            total_views: 10,
+            tags: vec![TagId::from_index(0)],
+            popularity: RawPopularity::decode(vec![61], 1),
+        };
+        assert!(clean.is_clean());
+        let tagless = VideoRecord {
+            tags: vec![],
+            ..clean.clone()
+        };
+        assert!(!tagless.is_clean());
+        let no_map = VideoRecord {
+            popularity: RawPopularity::Missing,
+            ..clean
+        };
+        assert!(!no_map.is_clean());
+    }
+
+    #[test]
+    fn video_id_display() {
+        assert_eq!(VideoId::from_index(5).to_string(), "v5");
+    }
+}

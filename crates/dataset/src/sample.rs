@@ -1,0 +1,187 @@
+//! Dataset subsampling.
+//!
+//! Paper-scale corpora are slow to iterate on; analyses are normally
+//! prototyped on subsamples. Uniform sampling under-represents the
+//! heavy tail of view counts (one *Baby ft. Ludacris* carries more
+//! views than hundreds of thousands of niche videos together), so a
+//! views-stratified sampler is provided alongside uniform and top-N.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::record::VideoRecord;
+
+fn rebuild(dataset: &Dataset, picks: &[&VideoRecord]) -> Dataset {
+    let mut builder = DatasetBuilder::new(dataset.country_count());
+    for record in picks {
+        let tags: Vec<&str> = record
+            .tags
+            .iter()
+            .map(|&t| dataset.tags().name(t))
+            .collect();
+        builder.push_video_titled(
+            &record.key,
+            &record.title,
+            record.total_views,
+            &tags,
+            record.popularity.clone(),
+        );
+    }
+    builder.build()
+}
+
+/// Uniformly samples `n` videos without replacement (seeded); returns
+/// the whole dataset if `n >= len`. Original relative order is kept,
+/// so repeated sampling with growing `n` is monotone in content but
+/// ids are reassigned densely.
+pub fn sample_uniform(dataset: &Dataset, n: usize, seed: u64) -> Dataset {
+    if n >= dataset.len() {
+        let picks: Vec<&VideoRecord> = dataset.iter().collect();
+        return rebuild(dataset, &picks);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(n);
+    indices.sort_unstable();
+    let picks: Vec<&VideoRecord> = indices
+        .into_iter()
+        .map(|i| dataset.video(crate::record::VideoId::from_index(i)))
+        .collect();
+    rebuild(dataset, &picks)
+}
+
+/// Keeps the `n` most-viewed videos (ties broken towards earlier
+/// records), in original order.
+pub fn sample_top_views(dataset: &Dataset, n: usize) -> Dataset {
+    let mut ranked: Vec<&VideoRecord> = dataset.iter().collect();
+    ranked.sort_by(|a, b| b.total_views.cmp(&a.total_views).then(a.id.cmp(&b.id)));
+    ranked.truncate(n);
+    ranked.sort_by_key(|r| r.id);
+    rebuild(dataset, &ranked)
+}
+
+/// Views-stratified sample: splits the corpus into `strata` view-count
+/// bands of equal population and draws `n / strata` videos uniformly
+/// from each, preserving the head-to-tail spectrum.
+///
+/// # Panics
+///
+/// Panics if `strata` is zero.
+pub fn sample_stratified(dataset: &Dataset, n: usize, strata: usize, seed: u64) -> Dataset {
+    assert!(strata > 0, "need at least one stratum");
+    if n >= dataset.len() {
+        let picks: Vec<&VideoRecord> = dataset.iter().collect();
+        return rebuild(dataset, &picks);
+    }
+    let mut ranked: Vec<&VideoRecord> = dataset.iter().collect();
+    ranked.sort_by(|a, b| b.total_views.cmp(&a.total_views).then(a.id.cmp(&b.id)));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_stratum = n.div_ceil(strata);
+    let stratum_size = ranked.len().div_ceil(strata);
+    let mut picks: Vec<&VideoRecord> = Vec::with_capacity(n);
+    for chunk in ranked.chunks(stratum_size.max(1)) {
+        let mut local: Vec<&VideoRecord> = chunk.to_vec();
+        local.shuffle(&mut rng);
+        picks.extend(local.into_iter().take(per_stratum));
+        if picks.len() >= n {
+            break;
+        }
+    }
+    picks.truncate(n);
+    picks.sort_by_key(|r| r.id);
+    rebuild(dataset, &picks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RawPopularity;
+
+    fn corpus(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(1);
+        for i in 0..n {
+            // Heavy-tailed-ish views: quadratic in index.
+            let views = ((n - i) * (n - i)) as u64;
+            b.push_video(
+                &format!("v{i}"),
+                views,
+                &["t", &format!("u{i}")],
+                RawPopularity::decode(vec![61], 1),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_sample_has_requested_size_and_provenance() {
+        let d = corpus(100);
+        let s = sample_uniform(&d, 30, 1);
+        assert_eq!(s.len(), 30);
+        for v in s.iter() {
+            let original = d.by_key(&v.key).expect("sampled from the corpus");
+            assert_eq!(original.total_views, v.total_views);
+        }
+    }
+
+    #[test]
+    fn uniform_sample_is_seeded() {
+        let d = corpus(100);
+        let a = sample_uniform(&d, 20, 7);
+        let b = sample_uniform(&d, 20, 7);
+        let keys = |x: &Dataset| x.iter().map(|v| v.key.clone()).collect::<Vec<_>>();
+        assert_eq!(keys(&a), keys(&b));
+        let c = sample_uniform(&d, 20, 8);
+        assert_ne!(keys(&a), keys(&c));
+    }
+
+    #[test]
+    fn oversampling_returns_everything() {
+        let d = corpus(10);
+        assert_eq!(sample_uniform(&d, 50, 1).len(), 10);
+        assert_eq!(sample_stratified(&d, 50, 4, 1).len(), 10);
+    }
+
+    #[test]
+    fn top_views_keeps_the_head() {
+        let d = corpus(50);
+        let s = sample_top_views(&d, 5);
+        assert_eq!(s.len(), 5);
+        let keys: Vec<&str> = s.iter().map(|v| v.key.as_str()).collect();
+        assert_eq!(keys, vec!["v0", "v1", "v2", "v3", "v4"]);
+    }
+
+    #[test]
+    fn stratified_covers_head_and_tail() {
+        let d = corpus(100);
+        let s = sample_stratified(&d, 20, 4, 3);
+        assert_eq!(s.len(), 20);
+        let max = s.iter().map(|v| v.total_views).max().unwrap();
+        let min = s.iter().map(|v| v.total_views).min().unwrap();
+        // Head stratum (views ≥ (75)² = 5625) and tail stratum
+        // (views ≤ 25² = 625) must both be present.
+        assert!(max >= 5_625, "head missing: max {max}");
+        assert!(min <= 625, "tail missing: min {min}");
+    }
+
+    #[test]
+    fn samples_reintern_tags_densely() {
+        let d = corpus(100);
+        let s = sample_uniform(&d, 10, 2);
+        // 10 videos × unique tag + shared "t".
+        assert_eq!(s.tags().len(), 11);
+        for (i, (tag, _)) in s.tags().iter().enumerate() {
+            assert_eq!(tag.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stratum")]
+    fn zero_strata_panics() {
+        let d = corpus(10);
+        let _ = sample_stratified(&d, 5, 0, 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Dataset statistics — the §2 headline numbers and the shape
+//! diagnostics behind them.
+//!
+//! The paper summarizes its corpus with four numbers (crawled videos,
+//! filtered videos, unique tags, total views). Reproducing the *shape*
+//! of the corpus also needs the long-tail diagnostics the dataset's
+//! companion papers report: tags-per-video, tag-frequency skew, and
+//! view-count skew. [`DatasetStats`] computes all of them in one pass.
+
+use core::fmt;
+
+use crate::filter::CleanDataset;
+use crate::tag::TagId;
+
+/// Frequency of one tag (how many retained videos carry it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagFrequency {
+    /// The tag.
+    pub tag: TagId,
+    /// Number of retained videos carrying it.
+    pub videos: usize,
+    /// Combined views of those videos.
+    pub views: u128,
+}
+
+/// One-pass summary statistics over a [`CleanDataset`].
+///
+/// # Example
+///
+/// ```no_run
+/// # use tagdist_dataset::{CleanDataset, DatasetStats};
+/// # fn demo(clean: &CleanDataset) {
+/// let stats = DatasetStats::compute(clean);
+/// println!("{stats}");
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Retained videos (paper: 691,349).
+    pub videos: usize,
+    /// Distinct tags on retained videos (paper: 705,415).
+    pub unique_tags: usize,
+    /// Total views over retained videos (paper: 173,288,616,473).
+    pub total_views: u128,
+    /// Mean number of tags per video.
+    pub mean_tags_per_video: f64,
+    /// Largest number of tags on a single video.
+    pub max_tags_per_video: usize,
+    /// Fraction of distinct tags appearing on exactly one video
+    /// (the hapax share — high in real folksonomies).
+    pub singleton_tag_share: f64,
+    /// Views of the most-viewed video.
+    pub max_video_views: u64,
+    /// Median video view count.
+    pub median_video_views: u64,
+    /// Share of all views captured by the top 1 % of videos — the
+    /// heavy-tail diagnostic motivating the paper's niche-audience
+    /// argument.
+    pub top1pct_view_share: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics over a filtered dataset.
+    pub fn compute(clean: &CleanDataset) -> DatasetStats {
+        let videos = clean.len();
+        let unique_tags = clean.unique_tags();
+        let total_views = clean.total_views();
+
+        let mut tag_count_sum = 0usize;
+        let mut max_tags = 0usize;
+        let mut view_counts: Vec<u64> = Vec::with_capacity(videos);
+        for v in clean.iter() {
+            tag_count_sum += v.tags.len();
+            max_tags = max_tags.max(v.tags.len());
+            view_counts.push(v.total_views);
+        }
+        let mean_tags_per_video = if videos == 0 {
+            0.0
+        } else {
+            tag_count_sum as f64 / videos as f64
+        };
+
+        let singleton_tags = clean
+            .tags()
+            .iter()
+            .filter(|&(id, _)| clean.videos_with_tag(id).len() == 1)
+            .count();
+        let singleton_tag_share = if unique_tags == 0 {
+            0.0
+        } else {
+            singleton_tags as f64 / unique_tags as f64
+        };
+
+        view_counts.sort_unstable();
+        let max_video_views = view_counts.last().copied().unwrap_or(0);
+        let median_video_views = if view_counts.is_empty() {
+            0
+        } else {
+            view_counts[view_counts.len() / 2]
+        };
+        let top_n = (videos as f64 * 0.01).ceil() as usize;
+        let top_views: u128 = view_counts
+            .iter()
+            .rev()
+            .take(top_n)
+            .map(|&v| v as u128)
+            .sum();
+        let top1pct_view_share = if total_views == 0 {
+            0.0
+        } else {
+            top_views as f64 / total_views as f64
+        };
+
+        DatasetStats {
+            videos,
+            unique_tags,
+            total_views,
+            mean_tags_per_video,
+            max_tags_per_video: max_tags,
+            singleton_tag_share,
+            max_video_views,
+            median_video_views,
+            top1pct_view_share,
+        }
+    }
+
+    /// The `k` most frequent tags by carrying-video count, descending,
+    /// ties broken by id.
+    pub fn top_tags(clean: &CleanDataset, k: usize) -> Vec<TagFrequency> {
+        let mut freqs: Vec<TagFrequency> = clean
+            .tags()
+            .iter()
+            .map(|(tag, _)| {
+                let postings = clean.videos_with_tag(tag);
+                let views = postings
+                    .iter()
+                    .map(|&pos| clean.get(pos).expect("posting in range").total_views as u128)
+                    .sum();
+                TagFrequency {
+                    tag,
+                    videos: postings.len(),
+                    views,
+                }
+            })
+            .filter(|f| f.videos > 0)
+            .collect();
+        freqs.sort_by(|a, b| b.videos.cmp(&a.videos).then(a.tag.cmp(&b.tag)));
+        freqs.truncate(k);
+        freqs
+    }
+
+    /// Rank–frequency points of the tag-usage distribution (the
+    /// corpus's Zipf plot): up to `points` log-spaced ranks with the
+    /// number of videos carrying the tag of that popularity rank.
+    ///
+    /// A straight-ish line on log–log axes is the folksonomy shape the
+    /// §2 vocabulary exhibits; the sampler keeps rank 1 and the last
+    /// rank so both ends of the tail are represented.
+    pub fn tag_rank_frequency(clean: &CleanDataset, points: usize) -> Vec<(usize, usize)> {
+        let mut freqs: Vec<usize> = clean
+            .tags()
+            .iter()
+            .map(|(tag, _)| clean.videos_with_tag(tag).len())
+            .filter(|&n| n > 0)
+            .collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        if freqs.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = freqs.len();
+        let mut out = Vec::with_capacity(points.min(n));
+        let mut last_rank = 0usize;
+        for i in 0..points.min(n) {
+            // Log-spaced ranks from 1 to n inclusive.
+            let t = i as f64 / (points.min(n) as f64 - 1.0).max(1.0);
+            let rank = ((n as f64).powf(t)).round() as usize;
+            let rank = rank.clamp(1, n);
+            if rank == last_rank {
+                continue;
+            }
+            last_rank = rank;
+            out.push((rank, freqs[rank - 1]));
+        }
+        out
+    }
+
+    /// Log-decade histogram of per-video view counts: bucket `i`
+    /// counts videos with views in `[10^i, 10^(i+1))`. The heavy tail
+    /// the paper's "niche audiences" argument rests on shows up as
+    /// occupied high decades next to a bulk of low ones.
+    pub fn view_count_histogram(clean: &CleanDataset) -> Vec<(u64, usize)> {
+        let mut buckets: Vec<usize> = Vec::new();
+        for v in clean.iter() {
+            let decade = (v.total_views.max(1) as f64).log10().floor() as usize;
+            if buckets.len() <= decade {
+                buckets.resize(decade + 1, 0);
+            }
+            buckets[decade] += 1;
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (10u64.pow(i as u32), n))
+            .collect()
+    }
+
+    /// The `k` tags with the most aggregated views (the ordering the
+    /// paper uses when it calls `pop` "the second most viewed tag").
+    pub fn top_tags_by_views(clean: &CleanDataset, k: usize) -> Vec<TagFrequency> {
+        let mut freqs: Vec<TagFrequency> = clean
+            .tags()
+            .iter()
+            .map(|(tag, _)| {
+                let postings = clean.videos_with_tag(tag);
+                let views = postings
+                    .iter()
+                    .map(|&pos| clean.get(pos).expect("posting in range").total_views as u128)
+                    .sum();
+                TagFrequency {
+                    tag,
+                    videos: postings.len(),
+                    views,
+                }
+            })
+            .filter(|f| f.videos > 0)
+            .collect();
+        freqs.sort_by(|a, b| b.views.cmp(&a.views).then(a.tag.cmp(&b.tag)));
+        freqs.truncate(k);
+        freqs
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "videos:              {}", self.videos)?;
+        writeln!(f, "unique tags:         {}", self.unique_tags)?;
+        writeln!(f, "total views:         {}", self.total_views)?;
+        writeln!(f, "mean tags/video:     {:.2}", self.mean_tags_per_video)?;
+        writeln!(f, "max tags/video:      {}", self.max_tags_per_video)?;
+        writeln!(
+            f,
+            "singleton tag share: {:.1}%",
+            100.0 * self.singleton_tag_share
+        )?;
+        writeln!(f, "max video views:     {}", self.max_video_views)?;
+        writeln!(f, "median video views:  {}", self.median_video_views)?;
+        write!(
+            f,
+            "top-1% view share:   {:.1}%",
+            100.0 * self.top1pct_view_share
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::filter::filter;
+    use crate::record::RawPopularity;
+
+    fn clean() -> CleanDataset {
+        let mut b = DatasetBuilder::new(2);
+        let pop = |v: Vec<u8>| RawPopularity::decode(v, 2);
+        b.push_video("a", 1_000, &["pop", "music"], pop(vec![61, 0]));
+        b.push_video("b", 10, &["pop"], pop(vec![0, 61]));
+        b.push_video("c", 100, &["favela", "funk", "brasil"], pop(vec![30, 61]));
+        b.push_video("d", 5, &["unique-tag"], pop(vec![61, 61]));
+        filter(&b.build())
+    }
+
+    #[test]
+    fn headline_numbers() {
+        let s = DatasetStats::compute(&clean());
+        assert_eq!(s.videos, 4);
+        assert_eq!(s.unique_tags, 6);
+        assert_eq!(s.total_views, 1_115);
+        assert_eq!(s.max_video_views, 1_000);
+    }
+
+    #[test]
+    fn tags_per_video() {
+        let s = DatasetStats::compute(&clean());
+        assert!((s.mean_tags_per_video - 7.0 / 4.0).abs() < 1e-12);
+        assert_eq!(s.max_tags_per_video, 3);
+    }
+
+    #[test]
+    fn singleton_share() {
+        let s = DatasetStats::compute(&clean());
+        // pop appears twice; the other five tags once → 5/6.
+        assert!((s.singleton_tag_share - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_tags_by_frequency_and_views() {
+        let c = clean();
+        let by_freq = DatasetStats::top_tags(&c, 2);
+        assert_eq!(c.tags().name(by_freq[0].tag), "pop");
+        assert_eq!(by_freq[0].videos, 2);
+        assert_eq!(by_freq[0].views, 1_010);
+
+        let by_views = DatasetStats::top_tags_by_views(&c, 3);
+        assert_eq!(c.tags().name(by_views[0].tag), "pop");
+        // "music" rides the 1000-view video.
+        assert_eq!(c.tags().name(by_views[1].tag), "music");
+        assert_eq!(by_views[1].views, 1_000);
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zeros() {
+        let empty = filter(&DatasetBuilder::new(2).build());
+        let s = DatasetStats::compute(&empty);
+        assert_eq!(s.videos, 0);
+        assert_eq!(s.mean_tags_per_video, 0.0);
+        assert_eq!(s.top1pct_view_share, 0.0);
+        assert_eq!(s.median_video_views, 0);
+        assert!(DatasetStats::top_tags(&empty, 5).is_empty());
+    }
+
+    #[test]
+    fn display_includes_every_headline() {
+        let s = DatasetStats::compute(&clean()).to_string();
+        for needle in ["videos:", "unique tags:", "total views:", "top-1%"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn rank_frequency_is_monotone_and_anchored() {
+        let c = clean();
+        let points = DatasetStats::tag_rank_frequency(&c, 10);
+        assert!(!points.is_empty());
+        assert_eq!(points[0], (1, 2), "rank 1 is 'pop' with 2 videos");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "ranks ascend");
+            assert!(w[0].1 >= w[1].1, "frequencies descend");
+        }
+        let last = points.last().unwrap();
+        assert_eq!(last.0, 6, "last rank covers the whole vocabulary");
+        assert_eq!(last.1, 1);
+    }
+
+    #[test]
+    fn view_histogram_buckets_by_decade() {
+        let c = clean(); // views: 1000, 10, 100, 5
+        let h = DatasetStats::view_count_histogram(&c);
+        // decades: 5→[1,10), 10→[10,100), 100→[100,1000), 1000→[1000,..)
+        assert_eq!(h, vec![(1, 1), (10, 1), (100, 1), (1000, 1)]);
+        let total: usize = h.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, c.len());
+    }
+
+    #[test]
+    fn view_histogram_of_empty_is_empty() {
+        let empty = filter(&DatasetBuilder::new(2).build());
+        assert!(DatasetStats::view_count_histogram(&empty).is_empty());
+    }
+
+    #[test]
+    fn rank_frequency_handles_edge_cases() {
+        let empty = filter(&DatasetBuilder::new(2).build());
+        assert!(DatasetStats::tag_rank_frequency(&empty, 5).is_empty());
+        assert!(DatasetStats::tag_rank_frequency(&clean(), 0).is_empty());
+    }
+
+    #[test]
+    fn top1pct_is_max_video_for_small_sets() {
+        // ceil(4 * 0.01) = 1 → the single largest video.
+        let s = DatasetStats::compute(&clean());
+        assert!((s.top1pct_view_share - 1_000.0 / 1_115.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,376 @@
+//! Self-contained line-oriented dataset serialization.
+//!
+//! Crawls take minutes at paper scale, so datasets need to be saved
+//! and reloaded. The format is a plain tab-separated text file — no
+//! external format crate required — with one video per line:
+//!
+//! ```text
+//! #tagdist-dataset v1 countries=60
+//! <key> \t <title> \t <total_views> \t <tag,tag,…> \t <popularity>
+//! ```
+//!
+//! * Tags are comma-separated; `\` escapes commas, tabs, newlines and
+//!   itself inside a tag.
+//! * The popularity field is `-` (missing), `!b0,b1,…` (corrupt raw
+//!   bytes) or `i0,i1,…` (a valid intensity vector).
+//!
+//! Readers accept any writer output byte-for-byte
+//! ([`write()`](write())/[`read()`](read()) round-trip, property-tested
+//! below).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DatasetError;
+use crate::record::RawPopularity;
+
+const MAGIC: &str = "#tagdist-dataset v1";
+
+/// Serializes a dataset to the TSV format.
+///
+/// A `&mut` reference can be passed for `writer` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Propagates any I/O failure from `writer`.
+pub fn write<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), DatasetError> {
+    writeln!(writer, "{MAGIC} countries={}", dataset.country_count())?;
+    for video in dataset.iter() {
+        let tags = video
+            .tags
+            .iter()
+            .map(|&t| escape(dataset.tags().name(t)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let pop = match &video.popularity {
+            RawPopularity::Missing => "-".to_owned(),
+            RawPopularity::Corrupt(bytes) => format!("!{}", join_bytes(bytes)),
+            RawPopularity::Valid(p) => join_bytes(p.as_slice()),
+        };
+        writeln!(
+            writer,
+            "{}\t{}\t{}\t{}\t{}",
+            escape(&video.key),
+            escape(&video.title),
+            video.total_views,
+            tags,
+            pop
+        )?;
+    }
+    Ok(())
+}
+
+/// Deserializes a dataset from the TSV format.
+///
+/// A `&mut` reference can be passed for `reader` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// * [`DatasetError::Io`] on read failure.
+/// * [`DatasetError::Parse`] on a malformed header or record line.
+pub fn read<R: Read>(reader: R) -> Result<Dataset, DatasetError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    let (_, header) = lines.next().ok_or_else(|| DatasetError::Parse {
+        line: 1,
+        message: "empty input, expected header".into(),
+    })?;
+    let header = header?;
+    let countries = parse_header(&header).ok_or_else(|| DatasetError::Parse {
+        line: 1,
+        message: format!("bad header {header:?}, expected `{MAGIC} countries=N`"),
+    })?;
+
+    let mut builder = DatasetBuilder::new(countries);
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (key, title, views, tags, pop) = match (
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+            fields.next(),
+        ) {
+            (Some(k), Some(ti), Some(v), Some(t), Some(p), None) => (k, ti, v, t, p),
+            _ => {
+                return Err(DatasetError::Parse {
+                    line: line_no,
+                    message: "expected exactly 5 tab-separated fields".into(),
+                })
+            }
+        };
+        let key = unescape(key).ok_or_else(|| DatasetError::Parse {
+            line: line_no,
+            message: "bad escape in key".into(),
+        })?;
+        let title = unescape(title).ok_or_else(|| DatasetError::Parse {
+            line: line_no,
+            message: "bad escape in title".into(),
+        })?;
+        let total_views: u64 = views.parse().map_err(|_| DatasetError::Parse {
+            line: line_no,
+            message: format!("bad view count {views:?}"),
+        })?;
+        let tag_strings = split_tags(tags).ok_or_else(|| DatasetError::Parse {
+            line: line_no,
+            message: "bad escape in tags".into(),
+        })?;
+        let popularity = parse_popularity(pop, countries).ok_or_else(|| DatasetError::Parse {
+            line: line_no,
+            message: format!("bad popularity field {pop:?}"),
+        })?;
+        let tag_refs: Vec<&str> = tag_strings.iter().map(String::as_str).collect();
+        builder.push_video_titled(&key, &title, total_views, &tag_refs, popularity);
+    }
+    Ok(builder.build())
+}
+
+fn parse_header(header: &str) -> Option<usize> {
+    let rest = header.strip_prefix(MAGIC)?.trim();
+    let n = rest.strip_prefix("countries=")?;
+    n.parse().ok()
+}
+
+fn join_bytes(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_popularity(field: &str, countries: usize) -> Option<RawPopularity> {
+    if field == "-" {
+        return Some(RawPopularity::Missing);
+    }
+    let (raw, _corrupt_marker) = match field.strip_prefix('!') {
+        Some(rest) => (rest, true),
+        None => (field, false),
+    };
+    let mut bytes = Vec::new();
+    if !raw.is_empty() {
+        for part in raw.split(',') {
+            bytes.push(part.parse::<u8>().ok()?);
+        }
+    }
+    // `decode` re-derives validity, so a `!` marker on well-formed
+    // bytes and a plain encoding of corrupt bytes both converge to the
+    // same classification.
+    Some(RawPopularity::decode(bytes, countries))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ',' => out.push_str("\\,"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                ',' => out.push(','),
+                't' => out.push('\t'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Splits a comma-separated tag list honouring `\,` escapes.
+fn split_tags(field: &str) -> Option<Vec<String>> {
+    if field.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut tags = Vec::new();
+    let mut current = String::new();
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                '\\' => current.push('\\'),
+                ',' => current.push(','),
+                't' => current.push('\t'),
+                'n' => current.push('\n'),
+                _ => return None,
+            },
+            ',' => {
+                tags.push(core::mem::take(&mut current));
+            }
+            other => current.push(other),
+        }
+    }
+    tags.push(current);
+    Some(tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RawPopularity;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new(3);
+        b.push_video_titled(
+            "vid,with\tweird",
+            "A title, with\tescapes",
+            123,
+            &["pop", "hip hop", "a,b"],
+            RawPopularity::decode(vec![61, 0, 7], 3),
+        );
+        b.push_video("plain", 0, &[], RawPopularity::Missing);
+        b.push_video_titled("corrupt", "c", 9, &["x"], RawPopularity::decode(vec![1, 2], 3));
+        b.build()
+    }
+
+    fn round_trip(d: &Dataset) -> Dataset {
+        let mut buf = Vec::new();
+        write(d, &mut buf).unwrap();
+        read(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn round_trips_records_and_tags() {
+        let d = sample();
+        let r = round_trip(&d);
+        assert_eq!(r.len(), d.len());
+        assert_eq!(r.country_count(), 3);
+        for (a, b) in d.iter().zip(r.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.title, b.title);
+            assert_eq!(a.total_views, b.total_views);
+            assert_eq!(a.popularity, b.popularity);
+            let a_tags: Vec<&str> = a.tags.iter().map(|&t| d.tags().name(t)).collect();
+            let b_tags: Vec<&str> = b.tags.iter().map(|&t| r.tags().name(t)).collect();
+            assert_eq!(a_tags, b_tags);
+        }
+    }
+
+    #[test]
+    fn header_is_versioned() {
+        let mut buf = Vec::new();
+        write(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("#tagdist-dataset v1 countries=3\n"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read("not a header\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { line: 1, .. }));
+        let err = read("".as_bytes()).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let base = "#tagdist-dataset v1 countries=2\n";
+        for (bad, what) in [
+            ("key\tt\t12\ttags", "too few fields"),
+            ("key\tt\t12\ttags\tpop\textra", "too many fields"),
+            ("key\tt\tNaN\ttags\t-", "bad views"),
+            ("key\tt\t12\tt\t0,999", "pop value over u8"),
+            ("key\tt\t12\tbad\\escape\t-", "bad tag escape"),
+            ("key\tbad\\escape\t12\ttags\t-", "bad title escape"),
+        ] {
+            let input = format!("{base}{bad}\n");
+            let err = read(input.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, DatasetError::Parse { line: 2, .. }),
+                "{what}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_vectors_survive_round_trip() {
+        let d = sample();
+        let r = round_trip(&d);
+        assert!(matches!(
+            r.by_key("corrupt").unwrap().popularity,
+            RawPopularity::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = "#tagdist-dataset v1 countries=1\n\nk\tt\t1\tx\t61\n\n";
+        let d = read(input.as_bytes()).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["plain", "a,b", "tab\there", "back\\slash", "new\nline", ""] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pop() -> impl Strategy<Value = RawPopularity> {
+        prop_oneof![
+            Just(RawPopularity::Missing),
+            proptest::collection::vec(0u8..=255, 0..8)
+                .prop_map(|v| RawPopularity::decode(v, 4)),
+            proptest::collection::vec(0u8..=61, 4..=4)
+                .prop_map(|v| RawPopularity::decode(v, 4)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn any_dataset_round_trips(
+            videos in proptest::collection::vec(
+                ("[a-zA-Z0-9,\\\\\t ]{1,12}", "[a-zA-Z0-9,\\\\\t ]{0,16}",
+                 0u64..1_000_000,
+                 proptest::collection::vec("[a-z0-9 ,]{1,8}", 0..5),
+                 arb_pop()),
+                0..20
+            )
+        ) {
+            let mut b = DatasetBuilder::new(4);
+            for (key, title, views, tags, pop) in &videos {
+                let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+                b.push_video_titled(key, title, *views, &refs, pop.clone());
+            }
+            let d = b.build();
+            let mut buf = Vec::new();
+            write(&d, &mut buf).unwrap();
+            let r = read(&buf[..]).unwrap();
+            prop_assert_eq!(r.len(), d.len());
+            for (a, b) in d.iter().zip(r.iter()) {
+                prop_assert_eq!(&a.key, &b.key);
+                prop_assert_eq!(&a.title, &b.title);
+                prop_assert_eq!(a.total_views, b.total_views);
+                prop_assert_eq!(&a.popularity, &b.popularity);
+                prop_assert_eq!(a.tags.len(), b.tags.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The fixed registry of countries modelled by the study.
+//!
+//! The paper's dataset was seeded from the top-10 charts of the 25
+//! countries YouTube exposed as locales in March 2011, and its
+//! popularity maps report intensities for every country Google's
+//! Map-Chart service could draw. We model a 60-country world: the 25
+//! seed locales plus 35 additional countries large enough to register
+//! in the traffic distribution. The set is fixed at compile time, which
+//! lets every per-country quantity live in a dense vector indexed by
+//! [`CountryId`].
+
+use core::fmt;
+
+/// Compact index of a country inside the [`World`] registry.
+///
+/// `CountryId` is a dense index (0‥[`World::len`]) rather than an ISO
+/// code so that per-country data can be stored in flat vectors. Obtain
+/// one from [`World::by_code`] or by iterating [`World::iter`].
+///
+/// # Example
+///
+/// ```
+/// use tagdist_geo::world;
+///
+/// let us = world().by_code("US").unwrap().id;
+/// assert_eq!(world().country(us).name, "United States");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CountryId(u16);
+
+impl CountryId {
+    /// Creates an id from a raw dense index.
+    ///
+    /// Callers are expected to pass an index smaller than
+    /// [`World::len`]; ids are normally obtained from the registry
+    /// rather than constructed by hand.
+    pub fn from_index(index: usize) -> CountryId {
+        CountryId(index as u16)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CountryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<CountryId> for usize {
+    fn from(id: CountryId) -> usize {
+        id.index()
+    }
+}
+
+/// Continental region a country belongs to.
+///
+/// Used by the caching simulator to price cross-region transfers and by
+/// the synthetic platform to shape topic affinities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Region {
+    /// USA, Canada, Mexico.
+    NorthAmerica,
+    /// South and Central America.
+    SouthAmerica,
+    /// Europe including Russia.
+    Europe,
+    /// Asia and the Pacific Rim (excluding the Middle East).
+    Asia,
+    /// Australia and New Zealand.
+    Oceania,
+    /// Middle East and North Africa.
+    MiddleEast,
+    /// Sub-Saharan Africa.
+    Africa,
+}
+
+impl Region {
+    /// All regions, in declaration order.
+    pub const ALL: [Region; 7] = [
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::Oceania,
+        Region::MiddleEast,
+        Region::Africa,
+    ];
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Region::NorthAmerica => "North America",
+            Region::SouthAmerica => "South America",
+            Region::Europe => "Europe",
+            Region::Asia => "Asia",
+            Region::Oceania => "Oceania",
+            Region::MiddleEast => "Middle East",
+            Region::Africa => "Africa",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Static description of one country in the registry.
+///
+/// This is passive data in the C-struct spirit, so its fields are
+/// public. Population figures are rounded 2011 estimates (the crawl
+/// year) in millions; `traffic_weight` is the relative share of
+/// worldwide YouTube views originating in the country, the quantity the
+/// paper approximates with Alexa data (Eq. 2).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Country {
+    /// Dense registry index.
+    pub id: CountryId,
+    /// ISO 3166-1 alpha-2 code, e.g. `"BR"`.
+    pub code: &'static str,
+    /// English short name.
+    pub name: &'static str,
+    /// Population in millions, 2011 estimate.
+    pub population_m: f64,
+    /// Continental region.
+    pub region: Region,
+    /// Primary language, ISO 639-1 code.
+    pub language: &'static str,
+    /// Whether the country was one of YouTube's 25 locales in March
+    /// 2011 and therefore contributed top-10 seeds to the crawl.
+    pub seed_locale: bool,
+    /// Relative weight in the world YouTube-traffic distribution.
+    pub traffic_weight: f64,
+    /// Representative UTC offset in hours (large countries use the
+    /// offset of their population centre), for diurnal-load modelling.
+    pub utc_offset_hours: f64,
+}
+
+/// Row of the static table:
+/// (code, name, pop, region, lang, seed, traffic, utc_offset).
+type Row = (
+    &'static str,
+    &'static str,
+    f64,
+    Region,
+    &'static str,
+    bool,
+    f64,
+    f64,
+);
+
+use Region::*;
+
+/// The 60-country table. The first 25 entries are the 2011 YouTube seed
+/// locales. Traffic weights are loosely calibrated to the regional
+/// split the paper cites from Sandvine (NA 18.69 %, EU 28.73 %, Asia
+/// 31.22 % of network traffic) and to 2011 internet-user counts.
+const TABLE: &[Row] = &[
+    ("US", "United States", 311.6, NorthAmerica, "en", true, 17.50, -6.0),
+    ("GB", "United Kingdom", 63.3, Europe, "en", true, 4.30, 0.0),
+    ("FR", "France", 65.3, Europe, "fr", true, 3.20, 1.0),
+    ("DE", "Germany", 80.3, Europe, "de", true, 4.10, 1.0),
+    ("IT", "Italy", 59.4, Europe, "it", true, 2.50, 1.0),
+    ("ES", "Spain", 46.7, Europe, "es", true, 2.40, 1.0),
+    ("NL", "Netherlands", 16.7, Europe, "nl", true, 1.30, 1.0),
+    ("PL", "Poland", 38.5, Europe, "pl", true, 1.90, 1.0),
+    ("RU", "Russia", 142.9, Europe, "ru", true, 3.60, 3.0),
+    ("BR", "Brazil", 196.6, SouthAmerica, "pt", true, 4.90, -3.0),
+    ("MX", "Mexico", 114.8, NorthAmerica, "es", true, 2.80, -6.0),
+    ("AR", "Argentina", 40.7, SouthAmerica, "es", true, 1.60, -3.0),
+    ("JP", "Japan", 127.8, Asia, "ja", true, 5.40, 9.0),
+    ("KR", "South Korea", 49.8, Asia, "ko", true, 2.60, 9.0),
+    ("IN", "India", 1_221.0, Asia, "hi", true, 4.20, 5.5),
+    ("AU", "Australia", 22.3, Oceania, "en", true, 1.50, 10.0),
+    ("CA", "Canada", 34.3, NorthAmerica, "en", true, 2.20, -5.0),
+    ("NZ", "New Zealand", 4.4, Oceania, "en", true, 0.35, 12.0),
+    ("TW", "Taiwan", 23.2, Asia, "zh", true, 1.40, 8.0),
+    ("HK", "Hong Kong", 7.1, Asia, "zh", true, 0.80, 8.0),
+    ("CZ", "Czech Republic", 10.5, Europe, "cs", true, 0.60, 1.0),
+    ("SE", "Sweden", 9.4, Europe, "sv", true, 0.75, 1.0),
+    ("IL", "Israel", 7.8, MiddleEast, "he", true, 0.55, 2.0),
+    ("ZA", "South Africa", 51.6, Africa, "en", true, 0.65, 2.0),
+    ("IE", "Ireland", 4.6, Europe, "en", true, 0.40, 0.0),
+    // --- non-seed countries ---
+    ("PT", "Portugal", 10.6, Europe, "pt", false, 0.55, 0.0),
+    ("GR", "Greece", 11.1, Europe, "el", false, 0.50, 2.0),
+    ("TR", "Turkey", 74.0, MiddleEast, "tr", false, 2.30, 2.0),
+    ("UA", "Ukraine", 45.7, Europe, "uk", false, 1.10, 2.0),
+    ("RO", "Romania", 20.1, Europe, "ro", false, 0.75, 2.0),
+    ("HU", "Hungary", 10.0, Europe, "hu", false, 0.50, 1.0),
+    ("AT", "Austria", 8.4, Europe, "de", false, 0.45, 1.0),
+    ("CH", "Switzerland", 7.9, Europe, "de", false, 0.50, 1.0),
+    ("BE", "Belgium", 11.0, Europe, "nl", false, 0.55, 1.0),
+    ("DK", "Denmark", 5.6, Europe, "da", false, 0.35, 1.0),
+    ("NO", "Norway", 5.0, Europe, "no", false, 0.35, 1.0),
+    ("FI", "Finland", 5.4, Europe, "fi", false, 0.35, 2.0),
+    ("SK", "Slovakia", 5.4, Europe, "sk", false, 0.25, 1.0),
+    ("BG", "Bulgaria", 7.3, Europe, "bg", false, 0.30, 2.0),
+    ("HR", "Croatia", 4.3, Europe, "hr", false, 0.20, 1.0),
+    ("RS", "Serbia", 7.2, Europe, "sr", false, 0.25, 1.0),
+    ("CL", "Chile", 17.3, SouthAmerica, "es", false, 0.80, -4.0),
+    ("CO", "Colombia", 46.4, SouthAmerica, "es", false, 1.30, -5.0),
+    ("PE", "Peru", 29.6, SouthAmerica, "es", false, 0.70, -5.0),
+    ("VE", "Venezuela", 29.3, SouthAmerica, "es", false, 0.70, -4.5),
+    ("EC", "Ecuador", 15.2, SouthAmerica, "es", false, 0.35, -5.0),
+    ("UY", "Uruguay", 3.4, SouthAmerica, "es", false, 0.15, -3.0),
+    ("EG", "Egypt", 82.5, MiddleEast, "ar", false, 1.30, 2.0),
+    ("SA", "Saudi Arabia", 28.2, MiddleEast, "ar", false, 1.60, 3.0),
+    ("AE", "United Arab Emirates", 8.9, MiddleEast, "ar", false, 0.55, 4.0),
+    ("MA", "Morocco", 32.3, Africa, "ar", false, 0.55, 0.0),
+    ("NG", "Nigeria", 164.2, Africa, "en", false, 0.60, 1.0),
+    ("KE", "Kenya", 42.0, Africa, "en", false, 0.25, 3.0),
+    ("ID", "Indonesia", 243.8, Asia, "id", false, 2.10, 7.0),
+    ("MY", "Malaysia", 28.9, Asia, "ms", false, 1.00, 8.0),
+    ("TH", "Thailand", 66.9, Asia, "th", false, 1.20, 7.0),
+    ("PH", "Philippines", 94.0, Asia, "tl", false, 1.40, 8.0),
+    ("VN", "Vietnam", 87.8, Asia, "vi", false, 1.10, 7.0),
+    ("SG", "Singapore", 5.2, Asia, "en", false, 0.60, 8.0),
+    ("PK", "Pakistan", 176.2, Asia, "ur", false, 0.80, 5.0),
+];
+
+/// The immutable registry of all modelled countries.
+///
+/// A process-wide instance is available through [`world()`]; building
+/// additional instances is possible (e.g. for tests) via
+/// [`World::new`], but all `tagdist` crates share the global one.
+#[derive(Debug, Clone)]
+pub struct World {
+    countries: Vec<Country>,
+}
+
+impl World {
+    /// Builds a fresh registry from the built-in table.
+    pub fn new() -> World {
+        let countries = TABLE
+            .iter()
+            .enumerate()
+            .map(
+                |(
+                    i,
+                    &(code, name, population_m, region, language, seed_locale, traffic_weight, utc_offset_hours),
+                )| {
+                    Country {
+                        id: CountryId::from_index(i),
+                        code,
+                        name,
+                        population_m,
+                        region,
+                        language,
+                        seed_locale,
+                        traffic_weight,
+                        utc_offset_hours,
+                    }
+                },
+            )
+            .collect();
+        World { countries }
+    }
+
+    /// Number of registered countries.
+    pub fn len(&self) -> usize {
+        self.countries.len()
+    }
+
+    /// Returns `true` if the registry is empty (it never is for the
+    /// built-in table; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.countries.is_empty()
+    }
+
+    /// Returns the country with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this registry.
+    pub fn country(&self, id: CountryId) -> &Country {
+        &self.countries[id.index()]
+    }
+
+    /// Looks a country up by its ISO 3166-1 alpha-2 code
+    /// (case-sensitive, upper case).
+    pub fn by_code(&self, code: &str) -> Option<&Country> {
+        self.countries.iter().find(|c| c.code == code)
+    }
+
+    /// Iterates over all countries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Country> {
+        self.countries.iter()
+    }
+
+    /// Ids of the 25 seed-locale countries, in id order.
+    pub fn seed_locales(&self) -> Vec<CountryId> {
+        self.countries
+            .iter()
+            .filter(|c| c.seed_locale)
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Ids of all countries in the given region.
+    pub fn in_region(&self, region: Region) -> Vec<CountryId> {
+        self.countries
+            .iter()
+            .filter(|c| c.region == region)
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Ids of all countries whose primary language is `language`.
+    pub fn speaking(&self, language: &str) -> Vec<CountryId> {
+        self.countries
+            .iter()
+            .filter(|c| c.language == language)
+            .map(|c| c.id)
+            .collect()
+    }
+}
+
+impl Default for World {
+    fn default() -> World {
+        World::new()
+    }
+}
+
+/// Returns the process-wide country registry.
+///
+/// The registry is built on first use and shared afterwards; all
+/// `tagdist` crates index their per-country vectors against it.
+pub fn world() -> &'static World {
+    use std::sync::OnceLock;
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(World::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_sixty_countries() {
+        assert_eq!(world().len(), 60);
+    }
+
+    #[test]
+    fn exactly_25_seed_locales() {
+        assert_eq!(world().seed_locales().len(), 25);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<_> = world().iter().map(|c| c.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), world().len());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        for (i, c) in world().iter().enumerate() {
+            assert_eq!(c.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn by_code_round_trips() {
+        for c in world().iter() {
+            let found = world().by_code(c.code).expect("every code resolves");
+            assert_eq!(found.id, c.id);
+        }
+        assert!(world().by_code("XX").is_none());
+        assert!(world().by_code("us").is_none(), "lookup is case-sensitive");
+    }
+
+    #[test]
+    fn populations_and_weights_are_positive() {
+        for c in world().iter() {
+            assert!(c.population_m > 0.0, "{} population", c.code);
+            assert!(c.traffic_weight > 0.0, "{} traffic weight", c.code);
+        }
+    }
+
+    #[test]
+    fn paper_figure_1_countries_exist() {
+        // Fig. 1 singles out the USA and Singapore sharing intensity 61.
+        assert!(world().by_code("US").is_some());
+        assert!(world().by_code("SG").is_some());
+        // Fig. 3 anchors the tag `favela` to Brazil.
+        assert!(world().by_code("BR").is_some());
+    }
+
+    #[test]
+    fn regions_partition_the_world() {
+        let total: usize = Region::ALL
+            .iter()
+            .map(|&r| world().in_region(r).len())
+            .sum();
+        assert_eq!(total, world().len());
+    }
+
+    #[test]
+    fn language_groups_are_plausible() {
+        let es = world().speaking("es");
+        assert!(es.len() >= 8, "Spanish-speaking block: {}", es.len());
+        let pt = world().speaking("pt");
+        assert_eq!(pt.len(), 2, "Brazil and Portugal");
+    }
+
+    #[test]
+    fn utc_offsets_are_plausible() {
+        for c in world().iter() {
+            assert!(
+                (-12.0..=14.0).contains(&c.utc_offset_hours),
+                "{}: {}",
+                c.code,
+                c.utc_offset_hours
+            );
+        }
+        assert_eq!(world().by_code("JP").unwrap().utc_offset_hours, 9.0);
+        assert_eq!(world().by_code("BR").unwrap().utc_offset_hours, -3.0);
+        assert_eq!(world().by_code("IN").unwrap().utc_offset_hours, 5.5);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(CountryId::from_index(3).to_string(), "#3");
+        assert_eq!(Region::NorthAmerica.to_string(), "North America");
+    }
+}

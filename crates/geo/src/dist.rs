@@ -1,0 +1,621 @@
+//! Probability distributions over countries and the spread /
+//! divergence measures used by the tag analysis.
+//!
+//! The paper's qualitative claims — *“the tag `pop` tends to follow the
+//! world distribution of Youtube users”* (Fig. 2), *“videos associated
+//! with the tag `favela` are mostly viewed in Brazil”* (Fig. 3) — are
+//! made quantitative here: a [`GeoDist`] is a normalized per-country
+//! distribution, compared with Jensen–Shannon divergence and
+//! characterized by entropy / Gini / top-country share.
+
+use rand::Rng;
+
+use crate::country::CountryId;
+use crate::error::GeoError;
+use crate::vec::CountryVec;
+
+/// A validated probability distribution over countries.
+///
+/// Invariants (enforced at construction):
+/// * every entry is finite and non-negative,
+/// * entries sum to 1 (within floating-point tolerance).
+///
+/// # Example
+///
+/// ```
+/// use tagdist_geo::{CountryVec, GeoDist};
+///
+/// # fn main() -> Result<(), tagdist_geo::GeoError> {
+/// let counts = CountryVec::from_values(vec![30.0, 10.0, 0.0, 60.0]);
+/// let dist = GeoDist::from_counts(&counts)?;
+/// assert!((dist.as_vec().sum() - 1.0).abs() < 1e-12);
+/// assert_eq!(dist.top_share(), 0.6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GeoDist {
+    probs: CountryVec,
+}
+
+impl GeoDist {
+    /// Normalizes a non-negative count/weight vector into a
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`GeoError::InvalidValue`] if any entry is negative, NaN or
+    ///   infinite.
+    /// * [`GeoError::ZeroMass`] if all entries are zero.
+    pub fn from_counts(counts: &CountryVec) -> Result<GeoDist, GeoError> {
+        for (id, v) in counts.iter() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(GeoError::InvalidValue {
+                    index: id.index(),
+                    value: v,
+                });
+            }
+        }
+        let total = counts.sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(GeoError::ZeroMass);
+        }
+        Ok(GeoDist {
+            probs: counts.scaled(1.0 / total),
+        })
+    }
+
+    /// The uniform distribution over `len` countries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn uniform(len: usize) -> GeoDist {
+        assert!(len > 0, "uniform distribution needs at least one country");
+        GeoDist {
+            probs: CountryVec::filled(len, 1.0 / len as f64),
+        }
+    }
+
+    /// A point mass on a single country.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for `len`.
+    pub fn point_mass(len: usize, id: CountryId) -> GeoDist {
+        let mut v = CountryVec::zeros(len);
+        v[id] = 1.0;
+        GeoDist { probs: v }
+    }
+
+    /// Number of countries covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Returns `true` if the distribution covers no countries (never
+    /// constructible through the public API; for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of country `id`.
+    pub fn prob(&self, id: CountryId) -> f64 {
+        self.probs[id]
+    }
+
+    /// Borrow the underlying probability vector.
+    pub fn as_vec(&self) -> &CountryVec {
+        &self.probs
+    }
+
+    /// Consumes the distribution, returning the probability vector.
+    pub fn into_vec(self) -> CountryVec {
+        self.probs
+    }
+
+    /// Shannon entropy in bits. Ranges from 0 (point mass) to
+    /// `log2(len)` (uniform).
+    pub fn entropy(&self) -> f64 {
+        self.probs
+            .as_slice()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.log2())
+            .sum()
+    }
+
+    /// Entropy normalized to `[0, 1]` by `log2(len)`; a scale-free
+    /// "spread" score (1 = perfectly global, 0 = single-country).
+    pub fn normalized_entropy(&self) -> f64 {
+        if self.len() <= 1 {
+            return 0.0;
+        }
+        self.entropy() / (self.len() as f64).log2()
+    }
+
+    /// Gini coefficient of the distribution in `[0, 1 − 1/len]`;
+    /// higher means more geographically concentrated.
+    pub fn gini(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.probs.as_slice().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        // For a distribution (Σp = 1): G = (2·Σ i·p_i)/n − (n+1)/n,
+        // with i being the 1-based rank in ascending order.
+        let weighted: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as f64 + 1.0) * p)
+            .sum();
+        (2.0 * weighted - (n as f64 + 1.0)) / n as f64
+    }
+
+    /// Share of the single most-viewing country (the paper's informal
+    /// "mostly viewed in Brazil" criterion).
+    pub fn top_share(&self) -> f64 {
+        self.probs.max().unwrap_or(0.0)
+    }
+
+    /// Combined share of the `k` most-viewing countries.
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        self.probs.top_k(k).iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Country with the largest share, or `None` if empty.
+    pub fn top_country(&self) -> Option<CountryId> {
+        self.probs.argmax()
+    }
+
+    /// Minimal number of countries whose combined share reaches
+    /// `share` — the paper's "niche audiences, in limited geographic
+    /// areas" made countable. `share` is clamped to `[0, 1]`.
+    ///
+    /// A point mass answers 1 for any positive `share`; the uniform
+    /// distribution answers `⌈share·len⌉`.
+    pub fn countries_for_share(&self, share: f64) -> usize {
+        let target = share.clamp(0.0, 1.0);
+        if target == 0.0 {
+            return 0;
+        }
+        let mut sorted: Vec<f64> = self.probs.as_slice().to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(core::cmp::Ordering::Equal));
+        let mut acc = 0.0;
+        for (i, p) in sorted.iter().enumerate() {
+            acc += p;
+            if acc >= target - 1e-12 {
+                return i + 1;
+            }
+        }
+        self.len()
+    }
+
+    /// Kullback–Leibler divergence `KL(self ‖ other)` in bits.
+    ///
+    /// Entries where `self` has mass but `other` does not contribute
+    /// `+∞`; callers that need a bounded symmetric measure should use
+    /// [`GeoDist::js_divergence`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn kl_divergence(&self, other: &GeoDist) -> Result<f64, GeoError> {
+        if self.len() != other.len() {
+            return Err(GeoError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let mut kl = 0.0;
+        for (p, q) in self
+            .probs
+            .as_slice()
+            .iter()
+            .zip(other.probs.as_slice())
+        {
+            if *p > 0.0 {
+                if *q > 0.0 {
+                    kl += p * (p / q).log2();
+                } else {
+                    return Ok(f64::INFINITY);
+                }
+            }
+        }
+        Ok(kl.max(0.0))
+    }
+
+    /// Jensen–Shannon divergence in bits; symmetric and bounded in
+    /// `[0, 1]`.
+    ///
+    /// This is the headline measure for Figs. 2–3: a "global" tag has a
+    /// small JS divergence from the world traffic distribution, a
+    /// "local" tag a large one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn js_divergence(&self, other: &GeoDist) -> Result<f64, GeoError> {
+        if self.len() != other.len() {
+            return Err(GeoError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let mut js = 0.0;
+        for (p, q) in self
+            .probs
+            .as_slice()
+            .iter()
+            .zip(other.probs.as_slice())
+        {
+            let m = 0.5 * (p + q);
+            if *p > 0.0 {
+                js += 0.5 * p * (p / m).log2();
+            }
+            if *q > 0.0 {
+                js += 0.5 * q * (q / m).log2();
+            }
+        }
+        Ok(js.clamp(0.0, 1.0))
+    }
+
+    /// Total-variation distance `½ Σ|p−q|` in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn total_variation(&self, other: &GeoDist) -> Result<f64, GeoError> {
+        Ok(0.5 * self.probs.l1_distance(&other.probs)?)
+    }
+
+    /// Hellinger distance in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn hellinger(&self, other: &GeoDist) -> Result<f64, GeoError> {
+        if self.len() != other.len() {
+            return Err(GeoError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let s: f64 = self
+            .probs
+            .as_slice()
+            .iter()
+            .zip(other.probs.as_slice())
+            .map(|(p, q)| (p.sqrt() - q.sqrt()).powi(2))
+            .sum();
+        Ok((s / 2.0).sqrt().clamp(0.0, 1.0))
+    }
+
+    /// Aggregates the distribution by continental region, in
+    /// [`Region::ALL`](crate::Region::ALL) order — the granularity of
+    /// the Sandvine traffic figures the paper's introduction cites
+    /// (NA 18.69 %, EU 28.73 %, Asia 31.22 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution covers more countries than `world`
+    /// registers.
+    pub fn regional_shares(&self, world: &crate::World) -> Vec<(crate::Region, f64)> {
+        assert!(self.len() <= world.len(), "unknown countries in distribution");
+        crate::Region::ALL
+            .iter()
+            .map(|&region| {
+                let share = world
+                    .in_region(region)
+                    .into_iter()
+                    .filter(|id| id.index() < self.len())
+                    .map(|id| self.prob(id))
+                    .sum();
+                (region, share)
+            })
+            .collect()
+    }
+
+    /// Mixes two distributions: `alpha·self + (1−alpha)·other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn mix(&self, other: &GeoDist, alpha: f64) -> Result<GeoDist, GeoError> {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        if self.len() != other.len() {
+            return Err(GeoError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let mixed = self.probs.scaled(alpha) + &other.probs.scaled(1.0 - alpha);
+        Ok(GeoDist { probs: mixed })
+    }
+
+    /// Samples a country according to the distribution.
+    ///
+    /// The fallback to the last country only triggers on floating-point
+    /// shortfall (cumulative sum < drawn uniform), which keeps the
+    /// sampler total.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> CountryId {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (id, p) in self.probs.iter() {
+            acc += p;
+            if u < acc {
+                return id;
+            }
+        }
+        CountryId::from_index(self.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn id(i: usize) -> CountryId {
+        CountryId::from_index(i)
+    }
+
+    fn dist(values: &[f64]) -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(values.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn from_counts_normalizes() {
+        let d = dist(&[2.0, 2.0, 4.0]);
+        assert_eq!(d.prob(id(2)), 0.5);
+        assert!((d.as_vec().sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_rejects_bad_input() {
+        let neg = CountryVec::from_values(vec![1.0, -0.5]);
+        assert!(matches!(
+            GeoDist::from_counts(&neg),
+            Err(GeoError::InvalidValue { index: 1, .. })
+        ));
+        let zero = CountryVec::zeros(3);
+        assert_eq!(GeoDist::from_counts(&zero), Err(GeoError::ZeroMass));
+        let nan = CountryVec::from_values(vec![f64::NAN]);
+        assert!(GeoDist::from_counts(&nan).is_err());
+    }
+
+    #[test]
+    fn uniform_and_point_mass_entropy_extremes() {
+        let u = GeoDist::uniform(8);
+        assert!((u.entropy() - 3.0).abs() < 1e-12);
+        assert!((u.normalized_entropy() - 1.0).abs() < 1e-12);
+        let p = GeoDist::point_mass(8, id(3));
+        assert_eq!(p.entropy(), 0.0);
+        assert_eq!(p.normalized_entropy(), 0.0);
+        assert_eq!(p.top_country(), Some(id(3)));
+    }
+
+    #[test]
+    fn gini_extremes() {
+        let u = GeoDist::uniform(10);
+        assert!(u.gini().abs() < 1e-12, "uniform gini ~ 0: {}", u.gini());
+        let p = GeoDist::point_mass(10, id(0));
+        assert!((p.gini() - 0.9).abs() < 1e-12, "point-mass gini = 1 − 1/n");
+    }
+
+    #[test]
+    fn top_share_measures_concentration() {
+        let local = dist(&[90.0, 5.0, 5.0]);
+        assert!((local.top_share() - 0.9).abs() < 1e-12);
+        assert!((local.top_k_share(2) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regional_shares_partition_the_mass() {
+        use crate::country::world;
+        use crate::traffic::TrafficModel;
+        let traffic = TrafficModel::reference(world());
+        let shares = traffic.distribution().regional_shares(world());
+        assert_eq!(shares.len(), 7);
+        let total: f64 = shares.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The ordering matches Region::ALL.
+        assert_eq!(shares[0].0, crate::Region::NorthAmerica);
+        // Every region carries some traffic in the reference model.
+        assert!(shares.iter().all(|&(_, s)| s > 0.0));
+    }
+
+    #[test]
+    fn countries_for_share_extremes() {
+        let point = GeoDist::point_mass(10, id(3));
+        assert_eq!(point.countries_for_share(0.99), 1);
+        assert_eq!(point.countries_for_share(0.0), 0);
+        let uniform = GeoDist::uniform(10);
+        assert_eq!(uniform.countries_for_share(0.5), 5);
+        assert_eq!(uniform.countries_for_share(1.0), 10);
+        let skewed = dist(&[0.7, 0.2, 0.1]);
+        assert_eq!(skewed.countries_for_share(0.5), 1);
+        assert_eq!(skewed.countries_for_share(0.8), 2);
+        assert_eq!(skewed.countries_for_share(0.95), 3);
+        // Out-of-range shares are clamped.
+        assert_eq!(skewed.countries_for_share(7.0), 3);
+        assert_eq!(skewed.countries_for_share(-1.0), 0);
+    }
+
+    #[test]
+    fn kl_divergence_basics() {
+        let p = dist(&[0.5, 0.5]);
+        assert_eq!(p.kl_divergence(&p).unwrap(), 0.0);
+        let q = dist(&[1.0, 0.0]);
+        assert_eq!(q.kl_divergence(&p).unwrap(), 1.0);
+        // Mass where other has none → infinite.
+        assert_eq!(p.kl_divergence(&q).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn js_divergence_is_symmetric_and_bounded() {
+        let p = dist(&[0.9, 0.1, 0.0]);
+        let q = dist(&[0.1, 0.1, 0.8]);
+        let pq = p.js_divergence(&q).unwrap();
+        let qp = q.js_divergence(&p).unwrap();
+        assert!((pq - qp).abs() < 1e-12);
+        assert!(pq > 0.0 && pq <= 1.0);
+        assert_eq!(p.js_divergence(&p).unwrap(), 0.0);
+        // Disjoint supports hit the upper bound of 1 bit.
+        let a = dist(&[1.0, 0.0]);
+        let b = dist(&[0.0, 1.0]);
+        assert!((a.js_divergence(&b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_and_hellinger() {
+        let p = dist(&[1.0, 0.0]);
+        let q = dist(&[0.0, 1.0]);
+        assert!((p.total_variation(&q).unwrap() - 1.0).abs() < 1e-12);
+        assert!((p.hellinger(&q).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(p.total_variation(&p).unwrap(), 0.0);
+        assert_eq!(p.hellinger(&p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn divergences_check_lengths() {
+        let p = GeoDist::uniform(2);
+        let q = GeoDist::uniform(3);
+        assert!(p.kl_divergence(&q).is_err());
+        assert!(p.js_divergence(&q).is_err());
+        assert!(p.total_variation(&q).is_err());
+        assert!(p.hellinger(&q).is_err());
+        assert!(p.mix(&q, 0.5).is_err());
+    }
+
+    #[test]
+    fn mix_interpolates() {
+        let p = dist(&[1.0, 0.0]);
+        let q = dist(&[0.0, 1.0]);
+        let m = p.mix(&q, 0.25).unwrap();
+        assert!((m.prob(id(0)) - 0.25).abs() < 1e-12);
+        assert!((m.prob(id(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn mix_rejects_bad_alpha() {
+        let p = GeoDist::uniform(2);
+        let _ = p.mix(&p, 1.5);
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let d = dist(&[0.8, 0.2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng) == id(0)).count();
+        let share = hits as f64 / n as f64;
+        assert!((share - 0.8).abs() < 0.02, "sampled share {share}");
+    }
+
+    #[test]
+    fn point_mass_always_samples_itself() {
+        let d = GeoDist::point_mass(5, id(4));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), id(4));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_counts() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.0f64..1000.0, 2..40).prop_filter(
+            "needs positive mass",
+            |v| v.iter().sum::<f64>() > 1e-6,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn normalization_sums_to_one(counts in arb_counts()) {
+            let d = GeoDist::from_counts(&CountryVec::from_values(counts)).unwrap();
+            prop_assert!((d.as_vec().sum() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn entropy_bounds(counts in arb_counts()) {
+            let d = GeoDist::from_counts(&CountryVec::from_values(counts)).unwrap();
+            let h = d.entropy();
+            prop_assert!(h >= -1e-12);
+            prop_assert!(h <= (d.len() as f64).log2() + 1e-9);
+            let hn = d.normalized_entropy();
+            prop_assert!((-1e-12..=1.0 + 1e-9).contains(&hn));
+        }
+
+        #[test]
+        fn gini_bounds(counts in arb_counts()) {
+            let d = GeoDist::from_counts(&CountryVec::from_values(counts)).unwrap();
+            let g = d.gini();
+            prop_assert!(g >= -1e-9, "gini {g}");
+            prop_assert!(g <= 1.0 - 1.0 / d.len() as f64 + 1e-9, "gini {g}");
+        }
+
+        #[test]
+        fn js_divergence_symmetric_bounded(
+            a in arb_counts(), b in arb_counts()
+        ) {
+            let n = a.len().min(b.len());
+            let da = GeoDist::from_counts(&CountryVec::from_values(a[..n].to_vec()));
+            let db = GeoDist::from_counts(&CountryVec::from_values(b[..n].to_vec()));
+            if let (Ok(da), Ok(db)) = (da, db) {
+                let ab = da.js_divergence(&db).unwrap();
+                let ba = db.js_divergence(&da).unwrap();
+                prop_assert!((ab - ba).abs() < 1e-9);
+                prop_assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+
+        #[test]
+        fn tv_triangle_inequality(
+            a in arb_counts(), b in arb_counts(), c in arb_counts()
+        ) {
+            let n = a.len().min(b.len()).min(c.len());
+            let make = |v: &[f64]| {
+                GeoDist::from_counts(&CountryVec::from_values(v[..n].to_vec()))
+            };
+            if let (Ok(da), Ok(db), Ok(dc)) = (make(&a), make(&b), make(&c)) {
+                let ab = da.total_variation(&db).unwrap();
+                let bc = db.total_variation(&dc).unwrap();
+                let ac = da.total_variation(&dc).unwrap();
+                prop_assert!(ac <= ab + bc + 1e-9);
+            }
+        }
+
+        #[test]
+        fn coverage_is_monotone(
+            counts in arb_counts(), a in 0.0f64..1.0, b in 0.0f64..1.0
+        ) {
+            let d = GeoDist::from_counts(&CountryVec::from_values(counts)).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(d.countries_for_share(lo) <= d.countries_for_share(hi));
+            prop_assert!(d.countries_for_share(hi) <= d.len());
+        }
+
+        #[test]
+        fn sample_is_in_support(counts in arb_counts(), seed in 0u64..1000) {
+            use rand::SeedableRng;
+            let d = GeoDist::from_counts(&CountryVec::from_values(counts)).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let c = d.sample(&mut rng);
+            prop_assert!(c.index() < d.len());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for geographic primitives.
+
+use core::fmt;
+
+/// Errors produced by the `tagdist-geo` primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Two per-country vectors of different lengths were combined.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A vector that must be non-negative and finite contained an
+    /// invalid entry.
+    InvalidValue {
+        /// Dense country index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A distribution could not be normalized because the mass is zero
+    /// (all entries zero) or not finite.
+    ZeroMass,
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::LengthMismatch { left, right } => {
+                write!(f, "country vector length mismatch: {left} vs {right}")
+            }
+            GeoError::InvalidValue { index, value } => {
+                write!(f, "invalid value {value} at country index {index}")
+            }
+            GeoError::ZeroMass => write!(f, "cannot normalize a zero-mass vector"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for e in [
+            GeoError::LengthMismatch { left: 1, right: 2 },
+            GeoError::InvalidValue {
+                index: 0,
+                value: -1.0,
+            },
+            GeoError::ZeroMass,
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

@@ -1,0 +1,257 @@
+//! Inter-country network-latency model.
+//!
+//! The paper motivates geographic placement with ISP/CDN traffic costs
+//! [5, 7]. Turning cache hit rates into user-visible benefit needs a
+//! latency model: how long a request takes when served by the local
+//! edge, by a same-region neighbour, or by the origin. This model is
+//! deliberately coarse — a per-region RTT matrix plus an in-country
+//! edge RTT — matching the granularity of the paper's world maps.
+
+use crate::country::{CountryId, Region, World};
+
+/// Round-trip-time model between countries, in milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_geo::{world, LatencyModel};
+///
+/// let latency = LatencyModel::default_2011();
+/// let us = world().by_code("US").unwrap().id;
+/// let sg = world().by_code("SG").unwrap().id;
+/// assert!(latency.rtt_ms(world(), us, sg) > latency.rtt_ms(world(), us, us));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// RTT to an edge server inside the same country.
+    local_ms: f64,
+    /// RTT between two distinct countries of the same region.
+    intra_region_ms: f64,
+    /// RTT between regions, indexed by [`Region`] declaration order.
+    inter_region_ms: [[f64; 7]; 7],
+}
+
+impl LatencyModel {
+    /// A model with measured-in-spirit 2011 public-internet RTTs.
+    ///
+    /// Values are calibrated to the era's backbone latencies: ~10 ms
+    /// to an in-country edge, 30–50 ms within a region, 100–350 ms
+    /// across oceans.
+    pub fn default_2011() -> LatencyModel {
+        use Region::*;
+        let regions = [
+            NorthAmerica,
+            SouthAmerica,
+            Europe,
+            Asia,
+            Oceania,
+            MiddleEast,
+            Africa,
+        ];
+        // Symmetric seed data, ms.
+        let pairs: &[(Region, Region, f64)] = &[
+            (NorthAmerica, SouthAmerica, 140.0),
+            (NorthAmerica, Europe, 100.0),
+            (NorthAmerica, Asia, 170.0),
+            (NorthAmerica, Oceania, 180.0),
+            (NorthAmerica, MiddleEast, 160.0),
+            (NorthAmerica, Africa, 220.0),
+            (SouthAmerica, Europe, 200.0),
+            (SouthAmerica, Asia, 320.0),
+            (SouthAmerica, Oceania, 310.0),
+            (SouthAmerica, MiddleEast, 280.0),
+            (SouthAmerica, Africa, 300.0),
+            (Europe, Asia, 180.0),
+            (Europe, Oceania, 300.0),
+            (Europe, MiddleEast, 90.0),
+            (Europe, Africa, 120.0),
+            (Asia, Oceania, 130.0),
+            (Asia, MiddleEast, 140.0),
+            (Asia, Africa, 260.0),
+            (Oceania, MiddleEast, 250.0),
+            (Oceania, Africa, 330.0),
+            (MiddleEast, Africa, 180.0),
+        ];
+        let mut inter = [[0.0f64; 7]; 7];
+        for (i, &a) in regions.iter().enumerate() {
+            for (j, &b) in regions.iter().enumerate() {
+                if i == j {
+                    inter[i][j] = 45.0; // distinct countries, same region
+                    continue;
+                }
+                let rtt = pairs
+                    .iter()
+                    .find(|&&(x, y, _)| (x == a && y == b) || (x == b && y == a))
+                    .map(|&(_, _, ms)| ms)
+                    .expect("pair table is complete");
+                inter[i][j] = rtt;
+            }
+        }
+        LatencyModel {
+            local_ms: 10.0,
+            intra_region_ms: 45.0,
+            inter_region_ms: inter,
+        }
+    }
+
+    /// Builds a custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is negative or not finite.
+    pub fn new(local_ms: f64, intra_region_ms: f64, inter_region_ms: [[f64; 7]; 7]) -> LatencyModel {
+        assert!(local_ms.is_finite() && local_ms >= 0.0);
+        assert!(intra_region_ms.is_finite() && intra_region_ms >= 0.0);
+        for row in &inter_region_ms {
+            for &v in row {
+                assert!(v.is_finite() && v >= 0.0, "latencies must be non-negative");
+            }
+        }
+        LatencyModel {
+            local_ms,
+            intra_region_ms,
+            inter_region_ms,
+        }
+    }
+
+    /// RTT in milliseconds between a user in `from` and a server in
+    /// `to`.
+    pub fn rtt_ms(&self, world: &World, from: CountryId, to: CountryId) -> f64 {
+        if from == to {
+            return self.local_ms;
+        }
+        let ra = world.country(from).region;
+        let rb = world.country(to).region;
+        if ra == rb {
+            return self.intra_region_ms;
+        }
+        let i = Region::ALL.iter().position(|&r| r == ra).expect("known region");
+        let j = Region::ALL.iter().position(|&r| r == rb).expect("known region");
+        self.inter_region_ms[i][j]
+    }
+
+    /// RTT of a local edge hit.
+    pub fn local_ms(&self) -> f64 {
+        self.local_ms
+    }
+
+    /// The server country minimizing RTT for a user in `from`, chosen
+    /// among `candidates`; `None` if `candidates` is empty.
+    pub fn nearest(
+        &self,
+        world: &World,
+        from: CountryId,
+        candidates: &[CountryId],
+    ) -> Option<CountryId> {
+        candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                self.rtt_ms(world, from, a)
+                    .partial_cmp(&self.rtt_ms(world, from, b))
+                    .expect("latencies are finite")
+                    .then(a.cmp(&b))
+            })
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> LatencyModel {
+        LatencyModel::default_2011()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::world;
+
+    fn id(code: &str) -> CountryId {
+        world().by_code(code).unwrap().id
+    }
+
+    #[test]
+    fn local_is_cheapest() {
+        let m = LatencyModel::default_2011();
+        let us = id("US");
+        assert_eq!(m.rtt_ms(world(), us, us), 10.0);
+        for other in ["CA", "BR", "JP", "DE"] {
+            assert!(m.rtt_ms(world(), us, id(other)) > m.local_ms());
+        }
+    }
+
+    #[test]
+    fn same_region_beats_cross_region() {
+        let m = LatencyModel::default_2011();
+        let fr = id("FR");
+        let de = id("DE");
+        let jp = id("JP");
+        assert!(m.rtt_ms(world(), fr, de) < m.rtt_ms(world(), fr, jp));
+    }
+
+    #[test]
+    fn rtt_is_symmetric() {
+        let m = LatencyModel::default_2011();
+        let codes = ["US", "BR", "FR", "JP", "AU", "IL", "ZA"];
+        for a in codes {
+            for b in codes {
+                assert_eq!(
+                    m.rtt_ms(world(), id(a), id(b)),
+                    m.rtt_ms(world(), id(b), id(a)),
+                    "{a}→{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_are_positive_and_finite() {
+        let m = LatencyModel::default_2011();
+        for a in world().iter() {
+            for b in world().iter() {
+                let rtt = m.rtt_ms(world(), a.id, b.id);
+                assert!(rtt.is_finite() && rtt > 0.0, "{}→{}: {rtt}", a.code, b.code);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_picks_the_obvious_server() {
+        let m = LatencyModel::default_2011();
+        let fr = id("FR");
+        let candidates = vec![id("US"), id("DE"), id("JP")];
+        assert_eq!(m.nearest(world(), fr, &candidates), Some(id("DE")));
+        // Self always wins when available.
+        let with_self = vec![id("US"), id("FR")];
+        assert_eq!(m.nearest(world(), fr, &with_self), Some(id("FR")));
+        assert_eq!(m.nearest(world(), fr, &[]), None);
+    }
+
+    #[test]
+    fn nearest_breaks_ties_by_id() {
+        let m = LatencyModel::default_2011();
+        let us = id("US");
+        // Two same-region-distance candidates from the US.
+        let de = id("DE");
+        let fr = id("FR");
+        let winner = m.nearest(world(), us, &[de, fr]).unwrap();
+        assert_eq!(winner, de.min(fr));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_latency_is_rejected() {
+        let mut inter = [[1.0; 7]; 7];
+        inter[0][1] = -5.0;
+        let _ = LatencyModel::new(1.0, 2.0, inter);
+    }
+
+    #[test]
+    fn custom_model_round_trips() {
+        let inter = [[80.0; 7]; 7];
+        let m = LatencyModel::new(5.0, 20.0, inter);
+        assert_eq!(m.rtt_ms(world(), id("US"), id("US")), 5.0);
+        assert_eq!(m.rtt_ms(world(), id("US"), id("CA")), 20.0);
+        assert_eq!(m.rtt_ms(world(), id("US"), id("FR")), 80.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! The 0–61 Google Map-Chart intensity codec.
+//!
+//! YouTube's 2011 "popularity map" rendered each video's per-country
+//! popularity through Google's Map-Chart image service, from which the
+//! dataset's authors extracted an integer per country in `[0, 61]`
+//! (reference 6 of the paper).
+//! The encoding is lossy in two ways the reconstruction has to cope
+//! with:
+//!
+//! 1. **per-video rescaling** — the most intense country is always
+//!    mapped to 61 (the paper's `K(v)` in Eq. 1), erasing absolute
+//!    scale, and
+//! 2. **integer quantization** — intensities are rounded to one of 62
+//!    levels, erasing fine-grained differences (which is how the USA
+//!    and Singapore can tie at 61 in Fig. 1).
+//!
+//! [`PopularityVector::quantize`] is the exact forward model;
+//! [`PopularityVector::as_country_vec`] is the raw (still rescaled)
+//! inverse used by the reconstruction in `tagdist-reconstruct`.
+
+use core::fmt;
+
+use crate::country::CountryId;
+use crate::error::GeoError;
+use crate::vec::CountryVec;
+
+/// Largest representable Map-Chart intensity.
+pub const MAX_INTENSITY: u8 = 61;
+
+/// A per-country popularity vector as observed through the Map-Chart
+/// service: one integer intensity in `[0, 61]` per country.
+///
+/// Invariant: every stored intensity is `<= MAX_INTENSITY`.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_geo::{CountryVec, PopularityVector, MAX_INTENSITY};
+///
+/// # fn main() -> Result<(), tagdist_geo::GeoError> {
+/// let intensity = CountryVec::from_values(vec![10.0, 40.0, 20.0]);
+/// let pop = PopularityVector::quantize(&intensity)?;
+/// assert_eq!(pop.max(), MAX_INTENSITY); // the hottest country saturates
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PopularityVector {
+    intensities: Vec<u8>,
+}
+
+impl PopularityVector {
+    /// Validates a raw intensity vector (e.g. parsed from the dataset
+    /// serialization or scraped from a chart URL).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidValue`] if any intensity exceeds
+    /// [`MAX_INTENSITY`].
+    pub fn from_raw(intensities: Vec<u8>) -> Result<PopularityVector, GeoError> {
+        if let Some((index, &value)) = intensities
+            .iter()
+            .enumerate()
+            .find(|&(_, &v)| v > MAX_INTENSITY)
+        {
+            return Err(GeoError::InvalidValue {
+                index,
+                value: value as f64,
+            });
+        }
+        Ok(PopularityVector { intensities })
+    }
+
+    /// Encodes a non-negative real-valued intensity vector the way the
+    /// Map-Chart service did: rescale so the maximum maps to 61, then
+    /// round to the nearest integer.
+    ///
+    /// This implements the per-video normalization `K(v)` of Eq. 1.
+    ///
+    /// # Errors
+    ///
+    /// * [`GeoError::InvalidValue`] if any entry is negative or not
+    ///   finite.
+    /// * [`GeoError::ZeroMass`] if all entries are zero (YouTube showed
+    ///   no map for such videos; callers model this as a missing
+    ///   vector).
+    pub fn quantize(intensity: &CountryVec) -> Result<PopularityVector, GeoError> {
+        for (id, v) in intensity.iter() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(GeoError::InvalidValue {
+                    index: id.index(),
+                    value: v,
+                });
+            }
+        }
+        let max = intensity.max().unwrap_or(0.0);
+        if max <= 0.0 {
+            return Err(GeoError::ZeroMass);
+        }
+        let scale = MAX_INTENSITY as f64 / max;
+        let intensities = intensity
+            .as_slice()
+            .iter()
+            .map(|&v| (v * scale).round() as u8)
+            .collect();
+        Ok(PopularityVector { intensities })
+    }
+
+    /// Number of countries covered.
+    pub fn len(&self) -> usize {
+        self.intensities.len()
+    }
+
+    /// Returns `true` if the vector covers no countries.
+    pub fn is_empty(&self) -> bool {
+        self.intensities.is_empty()
+    }
+
+    /// Intensity of country `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn intensity(&self, id: CountryId) -> u8 {
+        self.intensities[id.index()]
+    }
+
+    /// Raw intensities in id order.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.intensities
+    }
+
+    /// Largest stored intensity (0 for an all-dark map).
+    pub fn max(&self) -> u8 {
+        self.intensities.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Countries saturated at [`MAX_INTENSITY`].
+    ///
+    /// Fig. 1 of the paper shows the USA and Singapore both saturated
+    /// for *Justin Bieber – Baby*; saturation ties are inherent to the
+    /// per-video rescaling.
+    pub fn saturated(&self) -> Vec<CountryId> {
+        self.intensities
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v == MAX_INTENSITY)
+            .map(|(i, _)| CountryId::from_index(i))
+            .collect()
+    }
+
+    /// Number of countries with a non-zero intensity.
+    pub fn support_size(&self) -> usize {
+        self.intensities.iter().filter(|&&v| v > 0).count()
+    }
+
+    /// Converts intensities to a real-valued [`CountryVec`] (still in
+    /// rescaled Map-Chart units).
+    pub fn as_country_vec(&self) -> CountryVec {
+        self.intensities.iter().map(|&v| v as f64).collect()
+    }
+
+    /// Returns `true` if the map carries any signal at all.
+    ///
+    /// The paper discards videos with "an incorrect or empty
+    /// popularity vector"; an all-zero map is the "empty" case.
+    pub fn has_signal(&self) -> bool {
+        self.intensities.iter().any(|&v| v > 0)
+    }
+}
+
+impl fmt::Display for PopularityVector {
+    /// Compact display of the non-zero entries: `{#0:61, #5:12}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (i, &v) in self.intensities.iter().enumerate() {
+            if v > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "#{i}:{v}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> CountryId {
+        CountryId::from_index(i)
+    }
+
+    #[test]
+    fn quantize_saturates_the_maximum() {
+        let v = CountryVec::from_values(vec![1.0, 4.0, 2.0]);
+        let pop = PopularityVector::quantize(&v).unwrap();
+        assert_eq!(pop.intensity(id(1)), MAX_INTENSITY);
+        assert_eq!(pop.intensity(id(0)), 15); // 61/4 ≈ 15.25 → 15
+        assert_eq!(pop.intensity(id(2)), 31); // 30.5 rounds to 31
+        assert_eq!(pop.saturated(), vec![id(1)]);
+    }
+
+    #[test]
+    fn quantize_can_tie_distinct_countries_at_61() {
+        // The Fig. 1 phenomenon: near-equal intensities collapse onto
+        // the same quantization level.
+        let v = CountryVec::from_values(vec![100.0, 99.8, 10.0]);
+        let pop = PopularityVector::quantize(&v).unwrap();
+        assert_eq!(pop.saturated().len(), 2);
+    }
+
+    #[test]
+    fn quantize_rejects_zero_and_invalid() {
+        assert_eq!(
+            PopularityVector::quantize(&CountryVec::zeros(3)),
+            Err(GeoError::ZeroMass)
+        );
+        let neg = CountryVec::from_values(vec![1.0, -2.0]);
+        assert!(matches!(
+            PopularityVector::quantize(&neg),
+            Err(GeoError::InvalidValue { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn from_raw_validates_bounds() {
+        assert!(PopularityVector::from_raw(vec![0, 61]).is_ok());
+        assert!(matches!(
+            PopularityVector::from_raw(vec![0, 62]),
+            Err(GeoError::InvalidValue { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn signal_and_support() {
+        let dark = PopularityVector::from_raw(vec![0, 0, 0]).unwrap();
+        assert!(!dark.has_signal());
+        assert_eq!(dark.support_size(), 0);
+        assert_eq!(dark.max(), 0);
+        let lit = PopularityVector::from_raw(vec![0, 5, 61]).unwrap();
+        assert!(lit.has_signal());
+        assert_eq!(lit.support_size(), 2);
+    }
+
+    #[test]
+    fn as_country_vec_round_trips_values() {
+        let pop = PopularityVector::from_raw(vec![3, 0, 61]).unwrap();
+        assert_eq!(pop.as_country_vec().as_slice(), &[3.0, 0.0, 61.0]);
+    }
+
+    #[test]
+    fn display_lists_nonzero_entries() {
+        let pop = PopularityVector::from_raw(vec![0, 12, 61]).unwrap();
+        assert_eq!(pop.to_string(), "{#1:12, #2:61}");
+        let dark = PopularityVector::from_raw(vec![0]).unwrap();
+        assert_eq!(dark.to_string(), "{}");
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_step() {
+        // Relative quantization error per entry is at most half a level
+        // of the rescaled value.
+        let v = CountryVec::from_values(vec![7.3, 2.9, 61.0, 33.33]);
+        let pop = PopularityVector::quantize(&v).unwrap();
+        let scale = MAX_INTENSITY as f64 / 61.0;
+        for (i, &orig) in v.as_slice().iter().enumerate() {
+            let q = pop.as_slice()[i] as f64;
+            assert!((q - orig * scale).abs() <= 0.5 + 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantize_always_in_bounds(
+            values in proptest::collection::vec(0.0f64..1e9, 1..64)
+        ) {
+            prop_assume!(values.iter().any(|&v| v > 0.0));
+            let pop = PopularityVector::quantize(
+                &CountryVec::from_values(values)).unwrap();
+            prop_assert!(pop.as_slice().iter().all(|&v| v <= MAX_INTENSITY));
+            prop_assert_eq!(pop.max(), MAX_INTENSITY);
+        }
+
+        #[test]
+        fn quantize_is_scale_invariant(
+            values in proptest::collection::vec(0.0f64..1e6, 1..64),
+            factor in 0.001f64..1000.0
+        ) {
+            prop_assume!(values.iter().any(|&v| v > 1e-3));
+            let base = CountryVec::from_values(values.clone());
+            let scaled = base.scaled(factor);
+            let a = PopularityVector::quantize(&base).unwrap();
+            let b = PopularityVector::quantize(&scaled).unwrap();
+            // K(v) erases absolute scale, so quantization must be
+            // invariant up to one level of rounding jitter.
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert!((*x as i16 - *y as i16).abs() <= 1);
+            }
+        }
+
+        #[test]
+        fn from_raw_round_trips(raw in proptest::collection::vec(0u8..=61, 0..64)) {
+            let pop = PopularityVector::from_raw(raw.clone()).unwrap();
+            prop_assert_eq!(pop.as_slice(), &raw[..]);
+        }
+    }
+}

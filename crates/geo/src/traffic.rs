@@ -1,0 +1,188 @@
+//! World YouTube-traffic model — the Alexa substitute.
+//!
+//! Eq. 2 of the paper approximates the per-country share of worldwide
+//! YouTube views, `pyt[c]`, with an estimate `p̂yt[c]` scraped from
+//! Alexa Internet. Alexa shut down in 2022, so this crate carries a
+//! static per-country traffic table (see
+//! [`Country::traffic_weight`](crate::Country)) calibrated to the 2011
+//! regional splits the paper cites, and exposes it as a [`GeoDist`].
+//!
+//! Because Alexa itself was an *estimate*, [`TrafficModel::perturbed`]
+//! can derive noisy variants: the reconstruction experiments (E5 in
+//! DESIGN.md) sweep the noise level to measure how sensitive the
+//! paper's pipeline is to prior error — an ablation the original study
+//! could not run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::country::World;
+use crate::dist::GeoDist;
+use crate::vec::CountryVec;
+
+/// Per-country share of worldwide YouTube traffic.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_geo::{world, TrafficModel};
+///
+/// let traffic = TrafficModel::reference(world());
+/// let us = world().by_code("US").unwrap().id;
+/// // The USA dominates the 2011 traffic distribution.
+/// assert_eq!(traffic.distribution().top_country(), Some(us));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficModel {
+    dist: GeoDist,
+}
+
+impl TrafficModel {
+    /// The reference model derived from the registry's built-in
+    /// traffic weights (the `p̂yt` of Eq. 2).
+    pub fn reference(world: &World) -> TrafficModel {
+        let weights: CountryVec = world.iter().map(|c| c.traffic_weight).collect();
+        let dist = GeoDist::from_counts(&weights)
+            .expect("built-in traffic weights are positive");
+        TrafficModel { dist }
+    }
+
+    /// Wraps an arbitrary distribution as a traffic model (e.g. a
+    /// ground-truth distribution recovered from a synthetic platform).
+    pub fn from_distribution(dist: GeoDist) -> TrafficModel {
+        TrafficModel { dist }
+    }
+
+    /// The traffic distribution `p̂yt`.
+    pub fn distribution(&self) -> &GeoDist {
+        &self.dist
+    }
+
+    /// Traffic share of one country.
+    pub fn share(&self, id: crate::CountryId) -> f64 {
+        self.dist.prob(id)
+    }
+
+    /// Derives a model whose shares are multiplicatively perturbed by
+    /// up to `±noise` relative (e.g. `0.1` for ±10 %), then
+    /// renormalized — a stand-in for Alexa's estimation error.
+    ///
+    /// Deterministic in `seed`. `noise = 0` returns an identical model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not within `[0, 1)`.
+    pub fn perturbed(&self, noise: f64, seed: u64) -> TrafficModel {
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        if noise == 0.0 {
+            return self.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perturbed: CountryVec = self
+            .dist
+            .as_vec()
+            .as_slice()
+            .iter()
+            .map(|&p| {
+                let factor = 1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0);
+                p * factor
+            })
+            .collect();
+        let dist = GeoDist::from_counts(&perturbed)
+            .expect("perturbation of a distribution keeps positive mass");
+        TrafficModel { dist }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::world;
+
+    #[test]
+    fn reference_is_a_distribution() {
+        let t = TrafficModel::reference(world());
+        assert!((t.distribution().as_vec().sum() - 1.0).abs() < 1e-12);
+        assert_eq!(t.distribution().len(), world().len());
+    }
+
+    #[test]
+    fn usa_leads_and_big_markets_rank_high() {
+        let t = TrafficModel::reference(world());
+        let us = world().by_code("US").unwrap().id;
+        assert_eq!(t.distribution().top_country(), Some(us));
+        let top10: Vec<_> = t
+            .distribution()
+            .as_vec()
+            .top_k(10)
+            .into_iter()
+            .map(|(id, _)| world().country(id).code)
+            .collect();
+        for code in ["US", "JP", "BR", "DE"] {
+            assert!(top10.contains(&code), "{code} should be a top-10 market");
+        }
+    }
+
+    #[test]
+    fn regional_split_roughly_matches_sandvine_citation() {
+        // The paper's intro cites NA ~19 %, EU ~29 %, Asia ~31 % of
+        // traffic. Our table should land in the same ballpark.
+        use crate::country::Region;
+        let t = TrafficModel::reference(world());
+        let share_of = |r: Region| -> f64 {
+            world()
+                .in_region(r)
+                .into_iter()
+                .map(|id| t.share(id))
+                .sum()
+        };
+        let na = share_of(Region::NorthAmerica);
+        let eu = share_of(Region::Europe);
+        let asia = share_of(Region::Asia);
+        assert!((0.15..0.30).contains(&na), "NA share {na}");
+        assert!((0.22..0.40).contains(&eu), "EU share {eu}");
+        assert!((0.15..0.35).contains(&asia), "Asia share {asia}");
+    }
+
+    #[test]
+    fn perturbed_is_deterministic_and_close() {
+        let t = TrafficModel::reference(world());
+        let a = t.perturbed(0.1, 42);
+        let b = t.perturbed(0.1, 42);
+        assert_eq!(a, b);
+        let c = t.perturbed(0.1, 43);
+        assert_ne!(a, c, "different seeds should differ");
+        let tv = t
+            .distribution()
+            .total_variation(a.distribution())
+            .unwrap();
+        assert!(tv < 0.1, "±10 % noise moves TV distance by {tv}");
+        assert!(tv > 0.0);
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let t = TrafficModel::reference(world());
+        assert_eq!(t.perturbed(0.0, 1), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise")]
+    fn perturbed_rejects_out_of_range_noise() {
+        let _ = TrafficModel::reference(world()).perturbed(1.0, 0);
+    }
+
+    #[test]
+    fn larger_noise_moves_further() {
+        let t = TrafficModel::reference(world());
+        let small = t
+            .distribution()
+            .total_variation(t.perturbed(0.05, 7).distribution())
+            .unwrap();
+        let large = t
+            .distribution()
+            .total_variation(t.perturbed(0.4, 7).distribution())
+            .unwrap();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,476 @@
+//! Dense per-country numeric vectors.
+//!
+//! Nearly every quantity in the study — view counts, traffic shares,
+//! Map-Chart intensities, cache hit counters — is "one `f64` per
+//! country". [`CountryVec`] stores them densely, indexed by
+//! [`CountryId`], and provides the element-wise arithmetic the
+//! reconstruction pipeline needs.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Index, IndexMut, Mul};
+
+use crate::country::CountryId;
+use crate::error::GeoError;
+
+/// A dense vector of one `f64` value per country.
+///
+/// The vector's length is fixed at construction (normally
+/// [`World::len`](crate::World::len)) and all arithmetic requires equal
+/// lengths. Values are arbitrary finite floats; see
+/// [`GeoDist`](crate::GeoDist) for the normalized-probability variant.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_geo::{world, CountryVec};
+///
+/// let mut views = CountryVec::zeros(world().len());
+/// let fr = world().by_code("FR").unwrap().id;
+/// views[fr] += 42.0;
+/// assert_eq!(views.sum(), 42.0);
+/// assert_eq!(views.argmax(), Some(fr));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CountryVec {
+    values: Vec<f64>,
+}
+
+impl CountryVec {
+    /// Creates a vector of `len` zeros.
+    pub fn zeros(len: usize) -> CountryVec {
+        CountryVec {
+            values: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector where every entry is `value`.
+    pub fn filled(len: usize, value: f64) -> CountryVec {
+        CountryVec {
+            values: vec![value; len],
+        }
+    }
+
+    /// Creates a vector from raw values.
+    pub fn from_values(values: Vec<f64>) -> CountryVec {
+        CountryVec { values }
+    }
+
+    /// Builds a vector of `len` zeros and sets the given
+    /// `(country, value)` pairs.
+    ///
+    /// Later pairs overwrite earlier ones for the same country.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair addresses an index `>= len`.
+    pub fn from_pairs<I>(len: usize, pairs: I) -> CountryVec
+    where
+        I: IntoIterator<Item = (CountryId, f64)>,
+    {
+        let mut v = CountryVec::zeros(len);
+        for (id, value) in pairs {
+            v[id] = value;
+        }
+        v
+    }
+
+    /// Number of countries covered by the vector.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the vector covers no countries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Read-only view of the raw values, in [`CountryId`] order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the vector and returns the raw values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Returns the value for `id`, or `None` if out of range.
+    pub fn get(&self, id: CountryId) -> Option<f64> {
+        self.values.get(id.index()).copied()
+    }
+
+    /// Iterates over `(CountryId, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CountryId, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (CountryId::from_index(i), v))
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Largest entry value, or `None` for an empty vector.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(m) => Some(if v > m { v } else { m }),
+        })
+    }
+
+    /// Country holding the largest entry (first one on ties), or
+    /// `None` for an empty vector.
+    pub fn argmax(&self) -> Option<CountryId> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| CountryId::from_index(i))
+    }
+
+    /// The `k` countries with the largest values, descending, ties
+    /// broken by id order.
+    pub fn top_k(&self, k: usize) -> Vec<(CountryId, f64)> {
+        let mut pairs: Vec<(CountryId, f64)> = self.iter().collect();
+        pairs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Number of entries that are exactly zero.
+    pub fn count_zeros(&self) -> usize {
+        self.values.iter().filter(|&&v| v == 0.0).count()
+    }
+
+    /// Returns `true` if every entry is finite (no NaN/±∞).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// Returns `true` if every entry is finite and `>= 0`.
+    pub fn is_nonnegative(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// Multiplies every entry by `factor` in place.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// Returns a copy scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> CountryVec {
+        let mut out = self.clone();
+        out.scale(factor);
+        out
+    }
+
+    /// Element-wise product with another vector.
+    ///
+    /// This is the kernel of the paper's Eq. 1 inversion
+    /// (`pop(v)[c] · p̂yt[c]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn hadamard(&self, other: &CountryVec) -> Result<CountryVec, GeoError> {
+        self.check_len(other)?;
+        Ok(CountryVec {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a * b)
+                .collect(),
+        })
+    }
+
+    /// Element-wise quotient; entries where `other` is zero map to
+    /// zero rather than infinity (a view in a country with no traffic
+    /// estimate carries no usable signal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn hadamard_div(&self, other: &CountryVec) -> Result<CountryVec, GeoError> {
+        self.check_len(other)?;
+        Ok(CountryVec {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| if *b == 0.0 { 0.0 } else { a / b })
+                .collect(),
+        })
+    }
+
+    /// Adds `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn accumulate(&mut self, other: &CountryVec) -> Result<(), GeoError> {
+        self.check_len(other)?;
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// L1 distance `Σ|a−b|` between two equal-length vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn l1_distance(&self, other: &CountryVec) -> Result<f64, GeoError> {
+        self.check_len(other)?;
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .sum())
+    }
+
+    /// Cosine similarity in `[−1, 1]`; zero if either vector is all
+    /// zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+    pub fn cosine_similarity(&self, other: &CountryVec) -> Result<f64, GeoError> {
+        self.check_len(other)?;
+        let dot: f64 = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .sum();
+        let na: f64 = self.values.iter().map(|a| a * a).sum::<f64>().sqrt();
+        let nb: f64 = other.values.iter().map(|b| b * b).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(dot / (na * nb))
+    }
+
+    fn check_len(&self, other: &CountryVec) -> Result<(), GeoError> {
+        if self.len() == other.len() {
+            Ok(())
+        } else {
+            Err(GeoError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            })
+        }
+    }
+}
+
+impl Index<CountryId> for CountryVec {
+    type Output = f64;
+
+    fn index(&self, id: CountryId) -> &f64 {
+        &self.values[id.index()]
+    }
+}
+
+impl IndexMut<CountryId> for CountryVec {
+    fn index_mut(&mut self, id: CountryId) -> &mut f64 {
+        &mut self.values[id.index()]
+    }
+}
+
+impl Add<&CountryVec> for CountryVec {
+    type Output = CountryVec;
+
+    /// # Panics
+    ///
+    /// Panics if the lengths differ; use [`CountryVec::accumulate`] for
+    /// a fallible variant.
+    fn add(mut self, rhs: &CountryVec) -> CountryVec {
+        self.accumulate(rhs).expect("CountryVec length mismatch in +");
+        self
+    }
+}
+
+impl AddAssign<&CountryVec> for CountryVec {
+    /// # Panics
+    ///
+    /// Panics if the lengths differ; use [`CountryVec::accumulate`] for
+    /// a fallible variant.
+    fn add_assign(&mut self, rhs: &CountryVec) {
+        self.accumulate(rhs)
+            .expect("CountryVec length mismatch in +=");
+    }
+}
+
+impl Mul<f64> for CountryVec {
+    type Output = CountryVec;
+
+    fn mul(mut self, rhs: f64) -> CountryVec {
+        self.scale(rhs);
+        self
+    }
+}
+
+impl FromIterator<f64> for CountryVec {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> CountryVec {
+        CountryVec {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for CountryVec {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+impl fmt::Display for CountryVec {
+    /// Compact display: `[v0, v1, …]` with three decimals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::world;
+
+    fn id(i: usize) -> CountryId {
+        CountryId::from_index(i)
+    }
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = CountryVec::zeros(5);
+        assert_eq!(z.sum(), 0.0);
+        assert_eq!(z.count_zeros(), 5);
+        let f = CountryVec::filled(4, 2.5);
+        assert_eq!(f.sum(), 10.0);
+    }
+
+    #[test]
+    fn from_pairs_overwrites() {
+        let v = CountryVec::from_pairs(3, [(id(1), 2.0), (id(1), 5.0)]);
+        assert_eq!(v[id(1)], 5.0);
+        assert_eq!(v.sum(), 5.0);
+    }
+
+    #[test]
+    fn index_and_get() {
+        let mut v = CountryVec::zeros(world().len());
+        let us = world().by_code("US").unwrap().id;
+        v[us] = 7.0;
+        assert_eq!(v.get(us), Some(7.0));
+        assert_eq!(v.get(CountryId::from_index(999)), None);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        let v = CountryVec::from_values(vec![1.0, 3.0, 3.0]);
+        assert_eq!(v.argmax(), Some(id(1)));
+        assert_eq!(CountryVec::zeros(0).argmax(), None);
+    }
+
+    #[test]
+    fn top_k_sorts_descending() {
+        let v = CountryVec::from_values(vec![0.5, 2.0, 1.0, 2.0]);
+        let top = v.top_k(3);
+        assert_eq!(top[0], (id(1), 2.0));
+        assert_eq!(top[1], (id(3), 2.0));
+        assert_eq!(top[2], (id(2), 1.0));
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let a = CountryVec::from_values(vec![1.0, 2.0, 3.0]);
+        let b = CountryVec::from_values(vec![4.0, 0.5, 0.0]);
+        let h = a.hadamard(&b).unwrap();
+        assert_eq!(h.as_slice(), &[4.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn hadamard_div_maps_zero_denominator_to_zero() {
+        let a = CountryVec::from_values(vec![1.0, 2.0]);
+        let b = CountryVec::from_values(vec![0.0, 4.0]);
+        let q = a.hadamard_div(&b).unwrap();
+        assert_eq!(q.as_slice(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let a = CountryVec::zeros(2);
+        let b = CountryVec::zeros(3);
+        assert!(matches!(
+            a.hadamard(&b),
+            Err(GeoError::LengthMismatch { left: 2, right: 3 })
+        ));
+        assert!(a.l1_distance(&b).is_err());
+        assert!(a.cosine_similarity(&b).is_err());
+    }
+
+    #[test]
+    fn accumulate_and_operators() {
+        let mut a = CountryVec::from_values(vec![1.0, 2.0]);
+        let b = CountryVec::from_values(vec![3.0, 4.0]);
+        a += &b;
+        assert_eq!(a.as_slice(), &[4.0, 6.0]);
+        let c = a.clone() + &b;
+        assert_eq!(c.as_slice(), &[7.0, 10.0]);
+        let d = c * 0.5;
+        assert_eq!(d.as_slice(), &[3.5, 5.0]);
+    }
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let a = CountryVec::from_values(vec![1.0, 2.0, 3.0]);
+        let cs = a.cosine_similarity(&a).unwrap();
+        assert!((cs - 1.0).abs() < 1e-12);
+        let zero = CountryVec::zeros(3);
+        assert_eq!(a.cosine_similarity(&zero).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn l1_distance_matches_hand_computation() {
+        let a = CountryVec::from_values(vec![1.0, 5.0]);
+        let b = CountryVec::from_values(vec![4.0, 1.0]);
+        assert_eq!(a.l1_distance(&b).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn validity_predicates() {
+        let good = CountryVec::from_values(vec![0.0, 1.0]);
+        assert!(good.is_finite() && good.is_nonnegative());
+        let neg = CountryVec::from_values(vec![-1.0]);
+        assert!(neg.is_finite() && !neg.is_nonnegative());
+        let nan = CountryVec::from_values(vec![f64::NAN]);
+        assert!(!nan.is_finite() && !nan.is_nonnegative());
+    }
+
+    #[test]
+    fn collect_and_display() {
+        let v: CountryVec = [1.0, 2.0].into_iter().collect();
+        assert_eq!(v.to_string(), "[1.000, 2.000]");
+    }
+}

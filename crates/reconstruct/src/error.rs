@@ -1,0 +1,265 @@
+//! Reconstruction-error measurement.
+//!
+//! The paper inverts Eq. 1 but has no ground truth to validate the
+//! inversion against. The synthetic substrate does: every generated
+//! video carries its true per-country view distribution, so experiment
+//! E5 (DESIGN.md) can quantify how much signal survives the Map-Chart
+//! quantization and how sensitive the pipeline is to Alexa-prior
+//! noise.
+
+use core::fmt;
+
+use tagdist_geo::{GeoDist, GeoError};
+
+/// Five-number-ish summary of a sample of per-video errors.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl ErrorSummary {
+    /// Summarizes a sample. Returns all zeros for an empty sample.
+    pub fn from_samples(mut samples: Vec<f64>) -> ErrorSummary {
+        if samples.is_empty() {
+            return ErrorSummary::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        let n = samples.len();
+        ErrorSummary {
+            mean: samples.iter().sum::<f64>() / n as f64,
+            median: samples[n / 2],
+            p90: samples[((n as f64 * 0.9) as usize).min(n - 1)],
+            max: samples[n - 1],
+        }
+    }
+}
+
+impl fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.4}, median {:.4}, p90 {:.4}, max {:.4}",
+            self.mean, self.median, self.p90, self.max
+        )
+    }
+}
+
+/// Divergence of a set of estimated distributions from ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReport {
+    /// Number of compared pairs.
+    pub n: usize,
+    /// Jensen–Shannon divergence (bits) per pair.
+    pub js: ErrorSummary,
+    /// Total-variation distance per pair.
+    pub total_variation: ErrorSummary,
+    /// Fraction of pairs whose most-viewing country matches — the
+    /// coarse signal a geographic cache placement would use first.
+    pub top_country_accuracy: f64,
+}
+
+impl ErrorReport {
+    /// Compares estimates against truths, pairwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::LengthMismatch`] if the slices have
+    /// different lengths or any pair covers different world sizes.
+    pub fn compare(truth: &[GeoDist], estimate: &[GeoDist]) -> Result<ErrorReport, GeoError> {
+        if truth.len() != estimate.len() {
+            return Err(GeoError::LengthMismatch {
+                left: truth.len(),
+                right: estimate.len(),
+            });
+        }
+        let mut js = Vec::with_capacity(truth.len());
+        let mut tv = Vec::with_capacity(truth.len());
+        let mut top_hits = 0usize;
+        for (t, e) in truth.iter().zip(estimate) {
+            js.push(t.js_divergence(e)?);
+            tv.push(t.total_variation(e)?);
+            if t.top_country() == e.top_country() {
+                top_hits += 1;
+            }
+        }
+        let n = truth.len();
+        Ok(ErrorReport {
+            n,
+            js: ErrorSummary::from_samples(js),
+            total_variation: ErrorSummary::from_samples(tv),
+            top_country_accuracy: if n == 0 {
+                0.0
+            } else {
+                top_hits as f64 / n as f64
+            },
+        })
+    }
+}
+
+/// Mean signed per-country share error `estimate − truth`, averaged
+/// over the corpus.
+///
+/// The whole-distribution metrics of [`ErrorReport`] hide *where*
+/// the reconstruction errs. The bias vector reveals the systematic
+/// pattern: 0–61 quantization rounds small intensities to zero, so
+/// low-traffic countries are under-estimated and the saturated head
+/// over-estimated.
+///
+/// # Errors
+///
+/// Returns [`GeoError::LengthMismatch`] if the slices have different
+/// lengths, are empty, or any pair covers different world sizes.
+pub fn country_bias(
+    truth: &[GeoDist],
+    estimate: &[GeoDist],
+) -> Result<tagdist_geo::CountryVec, GeoError> {
+    if truth.len() != estimate.len() || truth.is_empty() {
+        return Err(GeoError::LengthMismatch {
+            left: truth.len(),
+            right: estimate.len(),
+        });
+    }
+    let countries = truth[0].len();
+    let mut bias = tagdist_geo::CountryVec::zeros(countries);
+    for (t, e) in truth.iter().zip(estimate) {
+        if t.len() != countries || e.len() != countries {
+            return Err(GeoError::LengthMismatch {
+                left: t.len(),
+                right: e.len(),
+            });
+        }
+        for i in 0..countries {
+            let id = tagdist_geo::CountryId::from_index(i);
+            bias[id] += e.prob(id) - t.prob(id);
+        }
+    }
+    bias.scale(1.0 / truth.len() as f64);
+    Ok(bias)
+}
+
+impl fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "n = {}", self.n)?;
+        writeln!(f, "JS divergence:   {}", self.js)?;
+        writeln!(f, "total variation: {}", self.total_variation)?;
+        write!(
+            f,
+            "top-country acc: {:.1}%",
+            100.0 * self.top_country_accuracy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::{CountryId, CountryVec};
+
+    fn dist(values: &[f64]) -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(values.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = ErrorSummary::from_samples(vec![0.4, 0.1, 0.2, 0.3]);
+        assert!((s.mean - 0.25).abs() < 1e-12);
+        assert_eq!(s.median, 0.3); // element at index 2 of sorted
+        assert_eq!(s.max, 0.4);
+        assert_eq!(s.p90, 0.4);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        assert_eq!(ErrorSummary::from_samples(vec![]), ErrorSummary::default());
+    }
+
+    #[test]
+    fn perfect_estimates_report_zero() {
+        let d = vec![dist(&[0.7, 0.3]), dist(&[0.1, 0.9])];
+        let r = ErrorReport::compare(&d, &d).unwrap();
+        assert_eq!(r.n, 2);
+        assert_eq!(r.js.max, 0.0);
+        assert_eq!(r.total_variation.max, 0.0);
+        assert_eq!(r.top_country_accuracy, 1.0);
+    }
+
+    #[test]
+    fn opposite_estimates_report_large_errors() {
+        let truth = vec![dist(&[1.0, 0.0])];
+        let est = vec![dist(&[0.0, 1.0])];
+        let r = ErrorReport::compare(&truth, &est).unwrap();
+        assert!((r.js.mean - 1.0).abs() < 1e-9);
+        assert!((r.total_variation.mean - 1.0).abs() < 1e-9);
+        assert_eq!(r.top_country_accuracy, 0.0);
+    }
+
+    #[test]
+    fn top_country_accuracy_counts_argmax_matches() {
+        let truth = vec![dist(&[0.6, 0.4]), dist(&[0.4, 0.6])];
+        let est = vec![dist(&[0.9, 0.1]), dist(&[0.9, 0.1])];
+        let r = ErrorReport::compare(&truth, &est).unwrap();
+        assert!((r.top_country_accuracy - 0.5).abs() < 1e-12);
+        let _ = CountryId::from_index(0);
+    }
+
+    #[test]
+    fn mismatched_inputs_error() {
+        let a = vec![dist(&[1.0, 0.0])];
+        let b: Vec<GeoDist> = vec![];
+        assert!(ErrorReport::compare(&a, &b).is_err());
+        let c = vec![dist(&[1.0, 0.0, 0.0])];
+        assert!(ErrorReport::compare(&a, &c).is_err());
+    }
+
+    #[test]
+    fn empty_comparison_is_valid() {
+        let r = ErrorReport::compare(&[], &[]).unwrap();
+        assert_eq!(r.n, 0);
+        assert_eq!(r.top_country_accuracy, 0.0);
+    }
+
+    #[test]
+    fn country_bias_is_signed_and_zero_sum() {
+        // Estimate systematically moves 0.2 of share from country 1
+        // to country 0.
+        let truth = vec![dist(&[0.5, 0.5]), dist(&[0.3, 0.7])];
+        let est = vec![dist(&[0.7, 0.3]), dist(&[0.5, 0.5])];
+        let bias = country_bias(&truth, &est).unwrap();
+        assert!((bias.as_slice()[0] - 0.2).abs() < 1e-12);
+        assert!((bias.as_slice()[1] + 0.2).abs() < 1e-12);
+        // Share errors always sum to zero across countries.
+        assert!(bias.sum().abs() < 1e-12);
+    }
+
+    #[test]
+    fn country_bias_of_perfect_estimates_is_zero() {
+        let d = vec![dist(&[0.6, 0.4])];
+        let bias = country_bias(&d, &d).unwrap();
+        assert!(bias.as_slice().iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn country_bias_rejects_bad_inputs() {
+        let a = vec![dist(&[1.0, 0.0])];
+        assert!(country_bias(&a, &[]).is_err());
+        assert!(country_bias(&[], &[]).is_err());
+        let b = vec![dist(&[1.0, 0.0, 0.0])];
+        assert!(country_bias(&a, &b).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = vec![dist(&[0.7, 0.3])];
+        let r = ErrorReport::compare(&d, &d).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("JS divergence"));
+        assert!(text.contains("top-country acc"));
+    }
+}

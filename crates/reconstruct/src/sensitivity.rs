@@ -1,0 +1,200 @@
+//! Error-source decomposition for the Eq. 1 inversion.
+//!
+//! The pipeline loses information in two independent places:
+//!
+//! * **quantization** — the Map-Chart service rescales each video's
+//!   intensity to `[0, 61]` and rounds (Fig. 1's saturation ties), and
+//! * **prior mismatch** — Eq. 2 substitutes an estimate `p̂yt` for the
+//!   true per-country traffic `pyt`.
+//!
+//! Given ground-truth view vectors, [`Sensitivity::analyze`] measures
+//! each loss in isolation and combined, answering a question the paper
+//! leaves open: *which* approximation dominates the reconstruction
+//! error?
+
+use tagdist_geo::{CountryVec, GeoDist, GeoError, PopularityVector};
+
+use crate::error::ErrorReport;
+use crate::views::reconstruct_views;
+
+/// Decomposed reconstruction error over a ground-truth corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Error with quantized charts but the *true* traffic prior:
+    /// quantization loss only.
+    pub quantization_only: ErrorReport,
+    /// Error with infinite-precision charts but the *estimated*
+    /// prior: prior-mismatch loss only.
+    pub prior_only: ErrorReport,
+    /// Error with both losses — what the paper's pipeline actually
+    /// experiences.
+    pub combined: ErrorReport,
+    /// JS divergence (bits) between the true traffic and the
+    /// estimated prior, for reference.
+    pub prior_gap: f64,
+}
+
+impl Sensitivity {
+    /// Analyzes a corpus of true per-country view vectors under the
+    /// estimated prior `est_traffic`.
+    ///
+    /// The true traffic is derived internally as the normalized sum of
+    /// `truth_views` (exactly how the synthetic platform defines
+    /// `ytube` in Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`GeoError::ZeroMass`] if `truth_views` is empty, carries no
+    ///   views, or contains an all-zero video.
+    /// * [`GeoError::LengthMismatch`] if vectors disagree on the world
+    ///   size.
+    pub fn analyze(
+        truth_views: &[CountryVec],
+        est_traffic: &GeoDist,
+    ) -> Result<Sensitivity, GeoError> {
+        if truth_views.is_empty() {
+            return Err(GeoError::ZeroMass);
+        }
+        // True platform traffic: ytube[c] = Σ_v views(v)[c].
+        let mut ytube = CountryVec::zeros(truth_views[0].len());
+        for v in truth_views {
+            ytube.accumulate(v)?;
+        }
+        let true_traffic = GeoDist::from_counts(&ytube)?;
+        let prior_gap = true_traffic.js_divergence(est_traffic)?;
+
+        let mut truth_dists = Vec::with_capacity(truth_views.len());
+        let mut quant_only = Vec::with_capacity(truth_views.len());
+        let mut prior_only = Vec::with_capacity(truth_views.len());
+        let mut combined = Vec::with_capacity(truth_views.len());
+        for views in truth_views {
+            let total = views.sum().round().max(1.0) as u64;
+            truth_dists.push(GeoDist::from_counts(views)?);
+
+            // Eq. 1 forward model.
+            let intensity = views.hadamard_div(&ytube)?;
+            let chart = PopularityVector::quantize(&intensity)?;
+
+            // (a) quantized chart + true prior.
+            let v = reconstruct_views(&chart, total, &true_traffic)?;
+            quant_only.push(GeoDist::from_counts(&v)?);
+
+            // (b) infinite-precision chart + estimated prior:
+            //     views_est ∝ intensity · p̂yt.
+            let est = intensity.hadamard(est_traffic.as_vec())?;
+            prior_only.push(GeoDist::from_counts(&est)?);
+
+            // (c) both losses (the paper's pipeline).
+            let v = reconstruct_views(&chart, total, est_traffic)?;
+            combined.push(GeoDist::from_counts(&v)?);
+        }
+
+        Ok(Sensitivity {
+            quantization_only: ErrorReport::compare(&truth_dists, &quant_only)?,
+            prior_only: ErrorReport::compare(&truth_dists, &prior_only)?,
+            combined: ErrorReport::compare(&truth_dists, &combined)?,
+            prior_gap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A corpus of `n` random view vectors over `k` countries.
+    fn corpus(n: usize, k: usize, seed: u64) -> Vec<CountryVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let scale: f64 = 10f64.powf(rng.gen_range(2.0..6.0));
+                (0..k)
+                    .map(|_| rng.gen::<f64>().powi(3) * scale)
+                    .collect::<CountryVec>()
+            })
+            .collect()
+    }
+
+    fn true_traffic(views: &[CountryVec]) -> GeoDist {
+        let mut ytube = CountryVec::zeros(views[0].len());
+        for v in views {
+            ytube.accumulate(v).unwrap();
+        }
+        GeoDist::from_counts(&ytube).unwrap()
+    }
+
+    #[test]
+    fn exact_prior_and_no_quantization_would_be_lossless() {
+        let views = corpus(50, 12, 1);
+        let traffic = true_traffic(&views);
+        let s = Sensitivity::analyze(&views, &traffic).unwrap();
+        // With the true prior, prior_only error is exactly zero
+        // (intensity·pyt ∝ views).
+        assert!(s.prior_only.js.max < 1e-9, "prior-only {}", s.prior_only.js.max);
+        assert!(s.prior_gap < 1e-12);
+        // Quantization-only error is small but non-zero.
+        assert!(s.quantization_only.js.mean > 0.0);
+        assert!(s.quantization_only.js.mean < 0.1);
+    }
+
+    #[test]
+    fn combined_error_is_at_least_each_component_roughly() {
+        let views = corpus(80, 12, 2);
+        let traffic = true_traffic(&views);
+        // Perturb the prior by hand.
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy: CountryVec = traffic
+            .as_vec()
+            .as_slice()
+            .iter()
+            .map(|&p| p * (0.7 + 0.6 * rng.gen::<f64>()))
+            .collect();
+        let noisy = GeoDist::from_counts(&noisy).unwrap();
+        let s = Sensitivity::analyze(&views, &noisy).unwrap();
+        assert!(s.prior_gap > 0.0);
+        assert!(s.prior_only.js.mean > 0.0);
+        assert!(s.combined.js.mean >= 0.8 * s.quantization_only.js.mean);
+        assert!(s.combined.js.mean >= 0.8 * s.prior_only.js.mean);
+    }
+
+    #[test]
+    fn worse_priors_increase_prior_only_error() {
+        let views = corpus(60, 12, 4);
+        let traffic = true_traffic(&views);
+        let perturb = |noise: f64| -> GeoDist {
+            let mut rng = StdRng::seed_from_u64(9);
+            let v: CountryVec = traffic
+                .as_vec()
+                .as_slice()
+                .iter()
+                .map(|&p| p * (1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0)))
+                .collect();
+            GeoDist::from_counts(&v).unwrap()
+        };
+        let small = Sensitivity::analyze(&views, &perturb(0.1)).unwrap();
+        let large = Sensitivity::analyze(&views, &perturb(0.6)).unwrap();
+        assert!(large.prior_only.js.mean > small.prior_only.js.mean);
+        assert!(large.prior_gap > small.prior_gap);
+    }
+
+    #[test]
+    fn empty_corpus_is_rejected() {
+        let traffic = GeoDist::uniform(3);
+        assert_eq!(
+            Sensitivity::analyze(&[], &traffic),
+            Err(GeoError::ZeroMass)
+        );
+    }
+
+    #[test]
+    fn mismatched_world_sizes_error() {
+        let views = corpus(5, 12, 5);
+        let traffic = GeoDist::uniform(7);
+        assert!(matches!(
+            Sensitivity::analyze(&views, &traffic),
+            Err(GeoError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-tag view aggregation (Eq. 3).
+//!
+//! `views(t)[c] = Σ_{v ∈ videos(t)} views(v)[c]` — the quantity behind
+//! the paper's Figs. 2–3 and behind its proactive-caching conjecture.
+
+use tagdist_dataset::{CleanDataset, TagId};
+use tagdist_geo::{CountryVec, GeoDist, GeoError};
+
+use crate::views::Reconstruction;
+
+/// Aggregated per-country views for every tag of a filtered dataset.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+/// use tagdist_geo::GeoDist;
+/// use tagdist_reconstruct::{Reconstruction, TagViewTable};
+///
+/// # fn main() -> Result<(), tagdist_geo::GeoError> {
+/// let mut b = DatasetBuilder::new(2);
+/// b.push_video("a", 100, &["pop"], RawPopularity::decode(vec![61, 61], 2));
+/// let clean = filter(&b.build());
+/// let recon = Reconstruction::compute(&clean, &GeoDist::uniform(2))?;
+/// let table = TagViewTable::aggregate(&clean, &recon);
+/// let pop = clean.tags().id("pop").unwrap();
+/// assert_eq!(table.total_views(pop), 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagViewTable {
+    /// Indexed by [`TagId`]; `None` for tags without retained videos.
+    rows: Vec<Option<CountryVec>>,
+    /// Number of retained videos carrying each tag.
+    video_counts: Vec<usize>,
+    country_count: usize,
+}
+
+impl TagViewTable {
+    /// Aggregates `recon` (aligned with `clean`) per tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recon` was computed from a different dataset (length
+    /// mismatch).
+    pub fn aggregate(clean: &CleanDataset, recon: &Reconstruction) -> TagViewTable {
+        assert_eq!(
+            clean.len(),
+            recon.len(),
+            "reconstruction does not match dataset"
+        );
+        let tag_count = clean.tags().len();
+        let mut rows: Vec<Option<CountryVec>> = vec![None; tag_count];
+        let mut video_counts = vec![0usize; tag_count];
+        for (pos, video) in clean.iter().enumerate() {
+            let views = recon.views(pos).expect("aligned reconstruction");
+            for &tag in &video.tags {
+                let row = rows[tag.index()]
+                    .get_or_insert_with(|| CountryVec::zeros(recon.country_count()));
+                *row += views;
+                video_counts[tag.index()] += 1;
+            }
+        }
+        TagViewTable {
+            rows,
+            video_counts,
+            country_count: recon.country_count(),
+        }
+    }
+
+    /// World size of every row.
+    pub fn country_count(&self) -> usize {
+        self.country_count
+    }
+
+    /// Number of tags with at least one retained video.
+    pub fn populated_tags(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// The aggregated view vector `views(t)`, or `None` if the tag has
+    /// no retained videos.
+    pub fn views(&self, tag: TagId) -> Option<&CountryVec> {
+        self.rows.get(tag.index()).and_then(Option::as_ref)
+    }
+
+    /// The tag's geographic view *distribution*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::ZeroMass`] if the tag has no retained
+    /// videos (or, pathologically, zero aggregated views).
+    pub fn distribution(&self, tag: TagId) -> Result<GeoDist, GeoError> {
+        let row = self.views(tag).ok_or(GeoError::ZeroMass)?;
+        GeoDist::from_counts(row)
+    }
+
+    /// Number of retained videos carrying `tag`.
+    pub fn video_count(&self, tag: TagId) -> usize {
+        self.video_counts.get(tag.index()).copied().unwrap_or(0)
+    }
+
+    /// Total views aggregated under `tag` (0 for unused tags).
+    pub fn total_views(&self, tag: TagId) -> f64 {
+        self.views(tag).map(CountryVec::sum).unwrap_or(0.0)
+    }
+
+    /// Iterates `(TagId, views)` over populated tags in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &CountryVec)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| row.as_ref().map(|r| (TagId::from_index(i), r)))
+    }
+
+    /// The `k` tags with the most aggregated views, descending — the
+    /// ranking in which the paper calls `pop` "the second most viewed
+    /// tag in our dataset".
+    pub fn top_by_views(&self, k: usize) -> Vec<(TagId, f64)> {
+        let mut all: Vec<(TagId, f64)> = self.iter().map(|(t, v)| (t, v.sum())).collect();
+        all.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(core::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+    use tagdist_geo::GeoDist;
+
+    fn setup() -> (CleanDataset, Reconstruction) {
+        let mut b = DatasetBuilder::new(2);
+        b.push_video("a", 1_000, &["pop", "music"], RawPopularity::decode(vec![61, 61], 2));
+        b.push_video("b", 100, &["pop"], RawPopularity::decode(vec![0, 61], 2));
+        b.push_video("c", 10, &["lonely"], RawPopularity::decode(vec![61, 0], 2));
+        let clean = filter(&b.build());
+        let traffic = GeoDist::uniform(2);
+        let recon = Reconstruction::compute(&clean, &traffic).unwrap();
+        (clean, recon)
+    }
+
+    #[test]
+    fn aggregation_implements_eq3() {
+        let (clean, recon) = setup();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let pop = clean.tags().id("pop").unwrap();
+        // a: uniform traffic, equal intensity → 500/500; b: 0/100.
+        let row = table.views(pop).unwrap().as_slice().to_vec();
+        assert!((row[0] - 500.0).abs() < 1e-6 && (row[1] - 600.0).abs() < 1e-6, "{row:?}");
+        assert_eq!(table.video_count(pop), 2);
+        assert_eq!(table.total_views(pop), 1_100.0);
+    }
+
+    #[test]
+    fn unused_tags_have_no_rows() {
+        let mut b = DatasetBuilder::new(2);
+        b.push_video("a", 5, &["kept"], RawPopularity::decode(vec![61, 0], 2));
+        b.push_video("dropped", 5, &["ghost"], RawPopularity::Missing);
+        let clean = filter(&b.build());
+        let recon = Reconstruction::compute(&clean, &GeoDist::uniform(2)).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let ghost = clean.tags().id("ghost").unwrap();
+        assert!(table.views(ghost).is_none());
+        assert_eq!(table.video_count(ghost), 0);
+        assert_eq!(table.total_views(ghost), 0.0);
+        assert!(table.distribution(ghost).is_err());
+        assert_eq!(table.populated_tags(), 1);
+    }
+
+    #[test]
+    fn distributions_normalize() {
+        let (clean, recon) = setup();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let pop = clean.tags().id("pop").unwrap();
+        let d = table.distribution(pop).unwrap();
+        assert!((d.prob(tagdist_geo::CountryId::from_index(1)) - 600.0 / 1100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_by_views_ranks_descending() {
+        let (clean, recon) = setup();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let top = table.top_by_views(10);
+        assert_eq!(top.len(), 3); // pop, music, lonely
+        assert_eq!(clean.tags().name(top[0].0), "pop");
+        assert!((top[0].1 - 1_100.0).abs() < 1e-9);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(table.top_by_views(1).len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_populated_rows_in_order() {
+        let (clean, recon) = setup();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let ids: Vec<usize> = table.iter().map(|(t, _)| t.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(table.populated_tags(), 3);
+        let _ = clean;
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_reconstruction_panics() {
+        let (clean, _) = setup();
+        let mut b = DatasetBuilder::new(2);
+        b.push_video("z", 1, &["t"], RawPopularity::decode(vec![61, 0], 2));
+        let other = filter(&b.build());
+        let recon = Reconstruction::compute(&other, &GeoDist::uniform(2)).unwrap();
+        let _ = TagViewTable::aggregate(&clean, &recon);
+    }
+
+    /// Eq. 3 conservation: every reconstructed view is counted once
+    /// per carrying tag, so Σ_t views(t) = Σ_v |tags(v)|·views(v).
+    #[test]
+    fn mass_conservation_across_tags() {
+        let (clean, recon) = setup();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let total_tagged: f64 = table.iter().map(|(_, v)| v.sum()).sum();
+        let expected: f64 = clean
+            .iter()
+            .map(|v| v.tags.len() as f64 * v.total_views as f64)
+            .sum();
+        assert!((total_tagged - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,256 @@
+//! Local / regional / global tag taxonomy.
+//!
+//! Figs. 2–3 of the paper contrast two archetypes: tags that "follow
+//! the world distribution of Youtube users" and tags "mostly viewed"
+//! in one country. [`classify`] operationalizes that contrast with two
+//! thresholds; everything in between is *regional* (e.g. a
+//! language-group tag spanning Latin America).
+
+use core::fmt;
+
+use crate::profile::TagProfile;
+
+/// The three locality classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Locality {
+    /// Mostly viewed in a single country (Fig. 3, `favela`).
+    Local,
+    /// Concentrated on a region or language group, but not one
+    /// country.
+    Regional,
+    /// Follows the world traffic distribution (Fig. 2, `pop`).
+    Global,
+}
+
+impl fmt::Display for Locality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Locality::Local => "local",
+            Locality::Regional => "regional",
+            Locality::Global => "global",
+        })
+    }
+}
+
+/// Decision thresholds for [`classify`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifyThresholds {
+    /// A tag is **local** when its top country holds at least this
+    /// view share (paper's "mostly viewed in Brazil" ⇒ majority).
+    pub local_top_share: f64,
+    /// A tag is **global** when its JS divergence (bits) from the
+    /// traffic distribution is at most this.
+    pub global_max_js: f64,
+}
+
+impl Default for ClassifyThresholds {
+    fn default() -> ClassifyThresholds {
+        ClassifyThresholds {
+            local_top_share: 0.5,
+            global_max_js: 0.12,
+        }
+    }
+}
+
+/// Classifies a tag profile.
+///
+/// The local rule wins over the global rule (a tag whose single
+/// country also dominates world traffic is still local).
+pub fn classify(profile: &TagProfile, thresholds: &ClassifyThresholds) -> Locality {
+    classify_measures(profile.top_share, profile.js_from_traffic, thresholds)
+}
+
+/// Classifies from the two raw measures, for callers that have a
+/// distribution but no full [`TagProfile`].
+pub fn classify_measures(
+    top_share: f64,
+    js_from_traffic: f64,
+    thresholds: &ClassifyThresholds,
+) -> Locality {
+    if top_share >= thresholds.local_top_share {
+        Locality::Local
+    } else if js_from_traffic <= thresholds.global_max_js {
+        Locality::Global
+    } else {
+        Locality::Regional
+    }
+}
+
+/// Classifies a bare distribution against a traffic reference.
+///
+/// # Panics
+///
+/// Panics if `dist` and `traffic` cover different world sizes.
+pub fn classify_distribution(
+    dist: &tagdist_geo::GeoDist,
+    traffic: &tagdist_geo::GeoDist,
+    thresholds: &ClassifyThresholds,
+) -> Locality {
+    let js = dist
+        .js_divergence(traffic)
+        .expect("distributions cover the same world");
+    classify_measures(dist.top_share(), js, thresholds)
+}
+
+/// Aggregate classification counts over a profile set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LocalitySummary {
+    /// Number of local tags.
+    pub local: usize,
+    /// Number of regional tags.
+    pub regional: usize,
+    /// Number of global tags.
+    pub global: usize,
+    /// Share of all profiled views carried by local tags.
+    pub local_view_share: f64,
+    /// Share of all profiled views carried by global tags.
+    pub global_view_share: f64,
+}
+
+impl LocalitySummary {
+    /// Classifies every profile and aggregates counts and view
+    /// shares.
+    pub fn compute(profiles: &[TagProfile], thresholds: &ClassifyThresholds) -> LocalitySummary {
+        let mut s = LocalitySummary::default();
+        let mut local_views = 0.0;
+        let mut global_views = 0.0;
+        let mut total_views = 0.0;
+        for p in profiles {
+            total_views += p.total_views;
+            match classify(p, thresholds) {
+                Locality::Local => {
+                    s.local += 1;
+                    local_views += p.total_views;
+                }
+                Locality::Regional => s.regional += 1,
+                Locality::Global => {
+                    s.global += 1;
+                    global_views += p.total_views;
+                }
+            }
+        }
+        if total_views > 0.0 {
+            s.local_view_share = local_views / total_views;
+            s.global_view_share = global_views / total_views;
+        }
+        s
+    }
+
+    /// Total number of classified tags.
+    pub fn total(&self) -> usize {
+        self.local + self.regional + self.global
+    }
+}
+
+impl fmt::Display for LocalitySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} local / {} regional / {} global tags ({:.0}% of views local, {:.0}% global)",
+            self.local,
+            self.regional,
+            self.global,
+            100.0 * self.local_view_share,
+            100.0 * self.global_view_share
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::TagId;
+    use tagdist_geo::{CountryId, CountryVec, GeoDist};
+
+    fn profile(dist: GeoDist, traffic: &GeoDist, views: f64) -> TagProfile {
+        TagProfile {
+            tag: TagId::from_index(0),
+            name: "t".into(),
+            video_count: 10,
+            total_views: views,
+            normalized_entropy: dist.normalized_entropy(),
+            gini: dist.gini(),
+            top_share: dist.top_share(),
+            top_country: dist.top_country().unwrap(),
+            js_from_traffic: dist.js_divergence(traffic).unwrap(),
+            countries_for_90pct: dist.countries_for_share(0.9),
+            dist,
+        }
+    }
+
+    fn d(values: &[f64]) -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(values.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn archetypes_classify_correctly() {
+        let traffic = d(&[0.4, 0.35, 0.25]);
+        let thresholds = ClassifyThresholds::default();
+        // favela-like: 90 % in one country.
+        let local = profile(d(&[0.02, 0.08, 0.9]), &traffic, 100.0);
+        assert_eq!(classify(&local, &thresholds), Locality::Local);
+        // pop-like: equals the traffic distribution.
+        let global = profile(traffic.clone(), &traffic, 100.0);
+        assert_eq!(classify(&global, &thresholds), Locality::Global);
+        // in between: concentrated on two countries unlike traffic.
+        let regional = profile(d(&[0.05, 0.48, 0.47]), &traffic, 100.0);
+        assert_eq!(classify(&regional, &thresholds), Locality::Regional);
+    }
+
+    #[test]
+    fn local_rule_wins_over_global() {
+        // One country dominates both the tag and the traffic: still
+        // local (the placement decision is the same either way).
+        let traffic = d(&[0.8, 0.1, 0.1]);
+        let p = profile(d(&[0.85, 0.1, 0.05]), &traffic, 1.0);
+        assert_eq!(classify(&p, &ClassifyThresholds::default()), Locality::Local);
+    }
+
+    #[test]
+    fn thresholds_are_configurable() {
+        let traffic = d(&[0.5, 0.5]);
+        let p = profile(d(&[0.6, 0.4]), &traffic, 1.0);
+        let strict = ClassifyThresholds {
+            local_top_share: 0.9,
+            global_max_js: 0.001,
+        };
+        assert_eq!(classify(&p, &strict), Locality::Regional);
+        let lax = ClassifyThresholds {
+            local_top_share: 0.55,
+            global_max_js: 0.5,
+        };
+        assert_eq!(classify(&p, &lax), Locality::Local);
+    }
+
+    #[test]
+    fn summary_counts_and_view_shares() {
+        let traffic = d(&[0.4, 0.35, 0.25]);
+        let ps = vec![
+            profile(d(&[0.02, 0.08, 0.9]), &traffic, 300.0), // local
+            profile(traffic.clone(), &traffic, 600.0),       // global
+            profile(d(&[0.05, 0.48, 0.47]), &traffic, 100.0), // regional
+        ];
+        let s = LocalitySummary::compute(&ps, &ClassifyThresholds::default());
+        assert_eq!((s.local, s.regional, s.global), (1, 1, 1));
+        assert_eq!(s.total(), 3);
+        assert!((s.local_view_share - 0.3).abs() < 1e-12);
+        assert!((s.global_view_share - 0.6).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("1 local"));
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LocalitySummary::compute(&[], &ClassifyThresholds::default());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.local_view_share, 0.0);
+    }
+
+    #[test]
+    fn locality_display() {
+        assert_eq!(Locality::Local.to_string(), "local");
+        assert_eq!(Locality::Regional.to_string(), "regional");
+        assert_eq!(Locality::Global.to_string(), "global");
+        let _ = CountryId::from_index(0);
+    }
+}

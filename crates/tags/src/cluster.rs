@@ -1,0 +1,315 @@
+//! Co-occurrence clustering of tags.
+//!
+//! The paper motivates tags as carriers of "elements of a video's
+//! semantic". Those semantics are redundant: `favela`, `funk` and
+//! `baile` ride the same videos. Clustering tags by co-occurrence
+//! (union-find over strong Jaccard edges) recovers topic-like groups,
+//! which serve two purposes downstream:
+//!
+//! * **robustness** — a cluster's pooled geographic distribution is
+//!   better estimated than any single sparse member's, and
+//! * **interpretation** — the local/global census can be read at the
+//!   topic level instead of the raw 700k-tag vocabulary.
+
+use std::collections::HashMap;
+
+use tagdist_dataset::{CleanDataset, TagId};
+
+/// Disjoint-set forest over dense tag indices.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            core::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            core::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            core::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Tag clusters induced by strong co-occurrence.
+#[derive(Debug, Clone)]
+pub struct TagClusters {
+    /// Cluster index per tag (`None` for tags below the frequency
+    /// threshold or never retained).
+    assignment: Vec<Option<u32>>,
+    /// Member lists, largest cluster first.
+    clusters: Vec<Vec<TagId>>,
+}
+
+impl TagClusters {
+    /// Clusters the tags of a filtered dataset.
+    ///
+    /// Only tags carried by at least `min_videos` retained videos
+    /// participate (the folksonomy tail would otherwise produce one
+    /// singleton per video). Two tags are linked when they share at
+    /// least `min_joint` videos **and** their Jaccard overlap
+    /// `|A∩B| / |A∪B|` is at least `min_jaccard`; clusters are the
+    /// connected components of that link graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_jaccard` is outside `[0, 1]`.
+    pub fn build(
+        clean: &CleanDataset,
+        min_videos: usize,
+        min_joint: usize,
+        min_jaccard: f64,
+    ) -> TagClusters {
+        assert!(
+            (0.0..=1.0).contains(&min_jaccard),
+            "min_jaccard must be in [0, 1]"
+        );
+        let tag_count = clean.tags().len();
+        // Frequent-tag filter.
+        let counts: Vec<usize> = (0..tag_count)
+            .map(|i| clean.videos_with_tag(TagId::from_index(i)).len())
+            .collect();
+        let eligible: Vec<bool> = counts.iter().map(|&c| c >= min_videos.max(1)).collect();
+
+        // Pair counts over eligible tags.
+        let mut joint: HashMap<(u32, u32), u32> = HashMap::new();
+        for video in clean.iter() {
+            let tags: Vec<u32> = video
+                .tags
+                .iter()
+                .map(|t| t.index() as u32)
+                .filter(|&t| eligible[t as usize])
+                .collect();
+            for (i, &a) in tags.iter().enumerate() {
+                for &b in &tags[i + 1..] {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *joint.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Union strong edges.
+        let mut forest = UnionFind::new(tag_count);
+        for (&(a, b), &j) in &joint {
+            if (j as usize) < min_joint {
+                continue;
+            }
+            let union_size = counts[a as usize] + counts[b as usize] - j as usize;
+            if union_size == 0 {
+                continue;
+            }
+            if j as f64 / union_size as f64 >= min_jaccard {
+                forest.union(a, b);
+            }
+        }
+
+        // Materialize clusters of eligible tags.
+        let mut by_root: HashMap<u32, Vec<TagId>> = HashMap::new();
+        for (i, &ok) in eligible.iter().enumerate() {
+            if ok {
+                by_root
+                    .entry(forest.find(i as u32))
+                    .or_default()
+                    .push(TagId::from_index(i));
+            }
+        }
+        let mut clusters: Vec<Vec<TagId>> = by_root.into_values().collect();
+        for members in &mut clusters {
+            members.sort();
+        }
+        clusters.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+
+        let mut assignment = vec![None; tag_count];
+        for (ci, members) in clusters.iter().enumerate() {
+            for &tag in members {
+                assignment[tag.index()] = Some(ci as u32);
+            }
+        }
+        TagClusters {
+            assignment,
+            clusters,
+        }
+    }
+
+    /// Number of clusters (including singletons of eligible tags).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` if no tags were eligible.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Cluster index of a tag, or `None` if it was below the
+    /// frequency threshold.
+    pub fn cluster_of(&self, tag: TagId) -> Option<usize> {
+        self.assignment
+            .get(tag.index())
+            .copied()
+            .flatten()
+            .map(|c| c as usize)
+    }
+
+    /// Members of cluster `index`, sorted by tag id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn members(&self, index: usize) -> &[TagId] {
+        &self.clusters[index]
+    }
+
+    /// Iterates clusters, largest first.
+    pub fn iter(&self) -> impl Iterator<Item = &[TagId]> {
+        self.clusters.iter().map(Vec::as_slice)
+    }
+
+    /// Returns `true` when two tags landed in the same cluster.
+    pub fn same_cluster(&self, a: TagId, b: TagId) -> bool {
+        match (self.cluster_of(a), self.cluster_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+
+    /// Two disjoint tag families: {samba, funk, baile} and
+    /// {anime, manga}, plus a rare tag below threshold.
+    fn corpus() -> CleanDataset {
+        let mut b = DatasetBuilder::new(2);
+        let pop = |v: Vec<u8>| RawPopularity::decode(v, 2);
+        for i in 0..6 {
+            b.push_video(
+                &format!("br{i}"),
+                100,
+                &["samba", "funk", "baile"],
+                pop(vec![0, 61]),
+            );
+        }
+        for i in 0..6 {
+            b.push_video(&format!("jp{i}"), 100, &["anime", "manga"], pop(vec![61, 0]));
+        }
+        b.push_video("rare", 10, &["hapax", "samba"], pop(vec![0, 61]));
+        filter(&b.build())
+    }
+
+    fn id(clean: &CleanDataset, name: &str) -> TagId {
+        clean.tags().id(name).unwrap()
+    }
+
+    #[test]
+    fn families_cluster_separately() {
+        let clean = corpus();
+        let clusters = TagClusters::build(&clean, 2, 3, 0.5);
+        let samba = id(&clean, "samba");
+        let funk = id(&clean, "funk");
+        let anime = id(&clean, "anime");
+        let manga = id(&clean, "manga");
+        assert!(clusters.same_cluster(samba, funk));
+        assert!(clusters.same_cluster(anime, manga));
+        assert!(!clusters.same_cluster(samba, anime));
+        // Two multi-tag clusters.
+        assert!(clusters.iter().filter(|c| c.len() > 1).count() == 2);
+    }
+
+    #[test]
+    fn rare_tags_are_excluded() {
+        let clean = corpus();
+        let clusters = TagClusters::build(&clean, 2, 3, 0.5);
+        let hapax = id(&clean, "hapax");
+        assert_eq!(clusters.cluster_of(hapax), None);
+        assert!(!clusters.same_cluster(hapax, id(&clean, "samba")));
+    }
+
+    #[test]
+    fn jaccard_threshold_splits_weak_links() {
+        let clean = corpus();
+        // samba co-occurs with funk on 6 of samba's 7 videos →
+        // jaccard 6/7 ≈ 0.86. A 0.95 threshold breaks every edge.
+        let strict = TagClusters::build(&clean, 2, 3, 0.95);
+        assert!(!strict.same_cluster(id(&clean, "samba"), id(&clean, "funk")));
+        // anime/manga co-occur on all 6 videos of each → jaccard 1.0.
+        assert!(strict.same_cluster(id(&clean, "anime"), id(&clean, "manga")));
+    }
+
+    #[test]
+    fn min_joint_threshold_works() {
+        let clean = corpus();
+        let demanding = TagClusters::build(&clean, 2, 100, 0.1);
+        // No pair shares 100 videos → all singletons.
+        assert!(demanding.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn clusters_sort_largest_first() {
+        let clean = corpus();
+        let clusters = TagClusters::build(&clean, 2, 3, 0.5);
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.len()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(clusters.members(0).len(), sizes[0]);
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_clusters() {
+        let clean = filter(&DatasetBuilder::new(2).build());
+        let clusters = TagClusters::build(&clean, 1, 1, 0.1);
+        assert!(clusters.is_empty());
+        assert_eq!(clusters.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_jaccard")]
+    fn bad_jaccard_panics() {
+        let clean = corpus();
+        let _ = TagClusters::build(&clean, 1, 1, 1.5);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let clean = corpus();
+        let a = TagClusters::build(&clean, 2, 3, 0.5);
+        let b = TagClusters::build(&clean, 2, 3, 0.5);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.members(i), b.members(i));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Inverted geographic index: what is watched *where*.
+//!
+//! The per-tag analysis answers "where is this tag viewed?"; a cache
+//! operator asks the inverse: "which tags characterize this country?"
+//! [`GeoTagIndex`] materializes both rankings per country:
+//!
+//! * **by views** — the tags with the most reconstructed views in the
+//!   country (dominated by global tags, like the head of any chart),
+//! * **by lift** — the tags most *over-represented* relative to the
+//!   world traffic share (`share_in_country / country_traffic_share`),
+//!   which surfaces the `favela`-like local signature tags.
+
+use tagdist_dataset::TagId;
+use tagdist_geo::{CountryId, GeoDist};
+use tagdist_reconstruct::TagViewTable;
+
+/// One scored tag in a country ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredTag {
+    /// The tag.
+    pub tag: TagId,
+    /// Reconstructed views of the tag inside the country.
+    pub views: f64,
+    /// Over-representation: tag's in-country view share divided by
+    /// the country's world traffic share.
+    pub lift: f64,
+}
+
+/// Per-country tag rankings.
+#[derive(Debug, Clone)]
+pub struct GeoTagIndex {
+    by_views: Vec<Vec<ScoredTag>>,
+    by_lift: Vec<Vec<ScoredTag>>,
+}
+
+impl GeoTagIndex {
+    /// Builds the index from the Eq. 3 table, keeping the top `k`
+    /// tags per country per ranking.
+    ///
+    /// `min_views` and `min_videos` suppress noise: tags need at
+    /// least that much total reconstructed view mass *and* that many
+    /// carrying videos to enter the lift ranking (raw lift explodes
+    /// for the folksonomy's single-video tags).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traffic` does not cover the table's world size.
+    pub fn build(
+        table: &TagViewTable,
+        traffic: &GeoDist,
+        k: usize,
+        min_views: f64,
+        min_videos: usize,
+    ) -> GeoTagIndex {
+        assert_eq!(
+            table.country_count(),
+            traffic.len(),
+            "traffic and table must cover the same world"
+        );
+        let countries = table.country_count();
+        let mut by_views: Vec<Vec<ScoredTag>> = vec![Vec::new(); countries];
+        let mut by_lift: Vec<Vec<ScoredTag>> = vec![Vec::new(); countries];
+
+        for (tag, views) in table.iter() {
+            let total = views.sum();
+            if total <= 0.0 {
+                continue;
+            }
+            for (country, v) in views.iter() {
+                if v <= 0.0 {
+                    continue;
+                }
+                let share = v / total;
+                let traffic_share = traffic.prob(country);
+                let lift = if traffic_share > 0.0 {
+                    share / traffic_share
+                } else {
+                    0.0
+                };
+                let scored = ScoredTag {
+                    tag,
+                    views: v,
+                    lift,
+                };
+                by_views[country.index()].push(scored);
+                if total >= min_views && table.video_count(tag) >= min_videos {
+                    by_lift[country.index()].push(scored);
+                }
+            }
+        }
+
+        for list in &mut by_views {
+            list.sort_by(|a, b| {
+                b.views
+                    .partial_cmp(&a.views)
+                    .unwrap_or(core::cmp::Ordering::Equal)
+                    .then(a.tag.cmp(&b.tag))
+            });
+            list.truncate(k);
+        }
+        for list in &mut by_lift {
+            list.sort_by(|a, b| {
+                b.lift
+                    .partial_cmp(&a.lift)
+                    .unwrap_or(core::cmp::Ordering::Equal)
+                    .then(a.tag.cmp(&b.tag))
+            });
+            list.truncate(k);
+        }
+        GeoTagIndex { by_views, by_lift }
+    }
+
+    /// Number of countries indexed.
+    pub fn country_count(&self) -> usize {
+        self.by_views.len()
+    }
+
+    /// The country's most-viewed tags, descending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `country` is out of range.
+    pub fn top_by_views(&self, country: CountryId) -> &[ScoredTag] {
+        &self.by_views[country.index()]
+    }
+
+    /// The country's signature tags (highest lift), descending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `country` is out of range.
+    pub fn top_by_lift(&self, country: CountryId) -> &[ScoredTag] {
+        &self.by_lift[country.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{filter, CleanDataset, DatasetBuilder, RawPopularity};
+    use tagdist_geo::CountryVec;
+    use tagdist_reconstruct::Reconstruction;
+
+    /// Country 0 has 80 % of traffic, country 1 has 20 %.
+    fn traffic() -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(vec![8.0, 2.0])).unwrap()
+    }
+
+    fn setup() -> (CleanDataset, TagViewTable) {
+        let mut b = DatasetBuilder::new(2);
+        let pop = |v: Vec<u8>| RawPopularity::decode(v, 2);
+        // "global" rides traffic; "niche" lives in the small country.
+        b.push_video("g", 1_000, &["global"], pop(vec![61, 61]));
+        b.push_video("n", 200, &["niche"], pop(vec![0, 61]));
+        let clean = filter(&b.build());
+        let recon = Reconstruction::compute(&clean, &traffic()).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        (clean, table)
+    }
+
+    #[test]
+    fn views_ranking_favours_the_global_tag() {
+        let (clean, table) = setup();
+        let index = GeoTagIndex::build(&table, &traffic(), 5, 0.0, 0);
+        let c0 = CountryId::from_index(0);
+        let top = index.top_by_views(c0);
+        assert_eq!(clean.tags().name(top[0].tag), "global");
+        // niche has zero views in country 0 → absent entirely.
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn lift_ranking_surfaces_the_signature_tag() {
+        let (clean, table) = setup();
+        let index = GeoTagIndex::build(&table, &traffic(), 5, 0.0, 0);
+        let c1 = CountryId::from_index(1);
+        let top = index.top_by_lift(c1);
+        assert_eq!(clean.tags().name(top[0].tag), "niche");
+        // niche: 100 % of its views in a country with 20 % traffic → lift 5.
+        assert!((top[0].lift - 5.0).abs() < 1e-9, "lift {}", top[0].lift);
+        // global: share == traffic share → lift 1.
+        let global = top
+            .iter()
+            .find(|s| clean.tags().name(s.tag) == "global")
+            .expect("global indexed");
+        assert!((global.lift - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_views_suppresses_sparse_tags_from_lift() {
+        let (clean, table) = setup();
+        let index = GeoTagIndex::build(&table, &traffic(), 5, 500.0, 0);
+        let c1 = CountryId::from_index(1);
+        // niche (200 total views) is filtered from lift…
+        assert!(index
+            .top_by_lift(c1)
+            .iter()
+            .all(|s| clean.tags().name(s.tag) != "niche"));
+        // …but still present in the views ranking.
+        assert!(index
+            .top_by_views(c1)
+            .iter()
+            .any(|s| clean.tags().name(s.tag) == "niche"));
+    }
+
+    #[test]
+    fn min_videos_suppresses_singleton_tags_from_lift() {
+        let (clean, table) = setup();
+        let index = GeoTagIndex::build(&table, &traffic(), 5, 0.0, 2);
+        // Both tags are single-video → lift rankings are empty…
+        for c in 0..index.country_count() {
+            assert!(index.top_by_lift(CountryId::from_index(c)).is_empty());
+        }
+        // …while views rankings are untouched.
+        assert!(!index.top_by_views(CountryId::from_index(0)).is_empty());
+        let _ = clean;
+    }
+
+    #[test]
+    fn k_truncates_rankings() {
+        let (_, table) = setup();
+        let index = GeoTagIndex::build(&table, &traffic(), 1, 0.0, 0);
+        for c in 0..index.country_count() {
+            assert!(index.top_by_views(CountryId::from_index(c)).len() <= 1);
+            assert!(index.top_by_lift(CountryId::from_index(c)).len() <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same world")]
+    fn mismatched_traffic_panics() {
+        let (_, table) = setup();
+        let _ = GeoTagIndex::build(&table, &GeoDist::uniform(9), 3, 0.0, 0);
+    }
+}

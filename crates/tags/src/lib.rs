@@ -1,0 +1,42 @@
+//! Tag geo-distribution analytics — the paper's observations made
+//! quantitative, plus the predictive machinery its conclusion
+//! conjectures.
+//!
+//! §3 of the paper reports a *manual* analysis of `views(t)`:
+//! > “some tags are mainly viewed in particular countries, as the tag
+//! > `favela` […], while others are more uniformly distributed, as the
+//! > tag `pop` […]. This observation leads us to conjecture that the
+//! > geographic distribution of a video's views might be strongly
+//! > related to that of its associated tags.”
+//!
+//! This crate turns that into measurable machinery:
+//!
+//! * [`TagProfile`] — per-tag spread metrics (normalized entropy,
+//!   Gini, top-country share, JS divergence from the world traffic
+//!   distribution) over the Eq. 3 aggregates,
+//! * [`classify()`](classify()) — a local / regional / global taxonomy with
+//!   explicit thresholds (Figs. 2–3 as a decision rule),
+//! * [`similarity`] — tag–tag distribution distance and co-occurrence,
+//! * [`predict`] — the conjecture itself: estimate a video's
+//!   geographic view distribution from its tags alone (leave-one-out),
+//!   evaluated against the reconstruction and against a traffic-prior
+//!   baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod classify;
+pub mod cluster;
+pub mod index;
+pub mod predict;
+pub mod profile;
+pub mod similarity;
+pub mod smoothing;
+
+pub use classify::{classify, classify_distribution, classify_measures, ClassifyThresholds, Locality, LocalitySummary};
+pub use cluster::TagClusters;
+pub use index::{GeoTagIndex, ScoredTag};
+pub use predict::{LocalityBreakdown, PredictionEvaluation, Predictor};
+pub use profile::{profiles, TagProfile};
+pub use similarity::{co_tags, most_similar, CoTag};
+pub use smoothing::SmoothedPredictor;

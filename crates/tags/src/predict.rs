@@ -1,0 +1,427 @@
+//! Tag-based prediction of a video's geographic view distribution —
+//! the paper's closing conjecture, implemented and evaluated.
+//!
+//! > “this conjecture suggests that tags might help implement a form
+//! > of proactive geographic caching, i.e. predicting where a video
+//! > will be consumed, based on the geographic study of its embodied
+//! > tags”
+//!
+//! [`Predictor`] estimates a video's view distribution as the
+//! views-weighted mixture of its tags' Eq. 3 aggregates. When scoring
+//! a video that is itself part of the corpus, the video's own
+//! contribution is first subtracted from each of its tags
+//! (leave-one-out), otherwise the evaluation would be circular.
+
+use core::fmt;
+
+use tagdist_dataset::{CleanDataset, TagId};
+use tagdist_geo::{CountryVec, GeoDist};
+use tagdist_reconstruct::{ErrorSummary, Reconstruction, TagViewTable};
+
+/// Predicts per-video geographic view distributions from tags.
+///
+/// # Example
+///
+/// ```no_run
+/// # use tagdist_geo::GeoDist;
+/// # use tagdist_reconstruct::TagViewTable;
+/// # use tagdist_tags::Predictor;
+/// # fn demo(table: &TagViewTable, traffic: &GeoDist,
+/// #         tags: &[tagdist_dataset::TagId]) {
+/// let predictor = Predictor::new(table, traffic);
+/// // A brand-new upload: no own views to exclude.
+/// let predicted = predictor.predict(tags, None);
+/// println!("most likely audience: {:?}", predicted.top_country());
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Predictor<'a> {
+    table: &'a TagViewTable,
+    fallback: &'a GeoDist,
+}
+
+impl<'a> Predictor<'a> {
+    /// Creates a predictor over a tag-view table with a fallback
+    /// distribution (normally the world traffic prior) for videos
+    /// whose tags carry no usable signal.
+    pub fn new(table: &'a TagViewTable, fallback: &'a GeoDist) -> Predictor<'a> {
+        Predictor { table, fallback }
+    }
+
+    /// Predicts the view distribution of a video carrying `tags`.
+    ///
+    /// `own_views` is the video's *own* (reconstructed) view vector;
+    /// pass `Some` when the video contributed to the table so its mass
+    /// is excluded from each tag (leave-one-out), `None` for a genuinely
+    /// new video (the proactive-caching deployment scenario).
+    ///
+    /// Returns the fallback when the tags' remaining mass is zero —
+    /// e.g. a video whose every tag is unique to it.
+    pub fn predict(&self, tags: &[TagId], own_views: Option<&CountryVec>) -> GeoDist {
+        let mut mix = CountryVec::zeros(self.table.country_count());
+        for &tag in tags {
+            let Some(views) = self.table.views(tag) else {
+                continue;
+            };
+            match own_views {
+                None => mix += views,
+                Some(own) => {
+                    // Subtract this video's contribution, clamping the
+                    // tiny negative residues quantization can leave.
+                    for (id, v) in views.iter() {
+                        mix[id] += (v - own[id]).max(0.0);
+                    }
+                }
+            }
+        }
+        GeoDist::from_counts(&mix).unwrap_or_else(|_| self.fallback.clone())
+    }
+
+    /// The fallback distribution.
+    pub fn fallback(&self) -> &GeoDist {
+        self.fallback
+    }
+}
+
+/// Outcome of evaluating the predictor on a corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionEvaluation {
+    /// Number of evaluated videos.
+    pub n: usize,
+    /// Videos that fell back to the prior (no usable tag signal).
+    pub fallbacks: usize,
+    /// JS divergence (bits) of the tag prediction from each video's
+    /// actual distribution.
+    pub predicted: ErrorSummary,
+    /// JS divergence of the traffic-prior baseline from the actual
+    /// distribution.
+    pub baseline: ErrorSummary,
+    /// Fraction of videos where the tag prediction strictly beats the
+    /// baseline.
+    pub win_rate: f64,
+}
+
+impl PredictionEvaluation {
+    /// Leave-one-out evaluation of tag-based prediction over a whole
+    /// filtered dataset.
+    ///
+    /// "Actual" is each video's *reconstructed* distribution — the
+    /// same quantity the paper's pipeline would use, keeping this
+    /// crate independent of the synthetic ground truth. (Experiment E6
+    /// additionally scores against ground truth at the `tagdist`
+    /// facade level.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recon` does not align with `clean`.
+    pub fn evaluate(
+        clean: &CleanDataset,
+        recon: &Reconstruction,
+        table: &TagViewTable,
+        baseline: &GeoDist,
+    ) -> PredictionEvaluation {
+        assert_eq!(clean.len(), recon.len(), "reconstruction mismatch");
+        let predictor = Predictor::new(table, baseline);
+        let mut js_pred = Vec::with_capacity(clean.len());
+        let mut js_base = Vec::with_capacity(clean.len());
+        let mut wins = 0usize;
+        let mut fallbacks = 0usize;
+        for (pos, video) in clean.iter().enumerate() {
+            let own = recon.views(pos).expect("aligned reconstruction");
+            let actual = recon.distribution(pos).expect("rows carry mass");
+            let predicted = predictor.predict(&video.tags, Some(own));
+            if predicted == *baseline {
+                fallbacks += 1;
+            }
+            let p = predicted.js_divergence(&actual).expect("same world");
+            let b = baseline.js_divergence(&actual).expect("same world");
+            if p < b {
+                wins += 1;
+            }
+            js_pred.push(p);
+            js_base.push(b);
+        }
+        let n = clean.len();
+        PredictionEvaluation {
+            n,
+            fallbacks,
+            predicted: ErrorSummary::from_samples(js_pred),
+            baseline: ErrorSummary::from_samples(js_base),
+            win_rate: if n == 0 { 0.0 } else { wins as f64 / n as f64 },
+        }
+    }
+}
+
+/// Prediction quality broken down by the locality class of each
+/// video's dominant tag — does the conjecture hold equally for
+/// `favela`-style and `pop`-style content?
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityBreakdown {
+    /// One row per class: (class, videos, predicted-JS summary,
+    /// baseline-JS summary).
+    pub rows: Vec<(crate::Locality, usize, ErrorSummary, ErrorSummary)>,
+}
+
+impl LocalityBreakdown {
+    /// Evaluates leave-one-out prediction per locality class.
+    ///
+    /// A video's class is that of its *dominant* tag — the carried tag
+    /// with the most aggregated views. Videos whose every tag lacks an
+    /// Eq. 3 row are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recon` does not align with `clean`.
+    pub fn evaluate(
+        clean: &CleanDataset,
+        recon: &Reconstruction,
+        table: &TagViewTable,
+        traffic: &GeoDist,
+        thresholds: &crate::ClassifyThresholds,
+    ) -> LocalityBreakdown {
+        use std::collections::HashMap;
+        assert_eq!(clean.len(), recon.len(), "reconstruction mismatch");
+        let predictor = Predictor::new(table, traffic);
+        let mut class_cache: HashMap<TagId, crate::Locality> = HashMap::new();
+        let mut samples: HashMap<crate::Locality, (Vec<f64>, Vec<f64>)> = HashMap::new();
+
+        for (pos, video) in clean.iter().enumerate() {
+            let Some(&dominant) = video
+                .tags
+                .iter()
+                .max_by(|&&a, &&b| {
+                    table
+                        .total_views(a)
+                        .partial_cmp(&table.total_views(b))
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                })
+                .filter(|&&t| table.views(t).is_some())
+            else {
+                continue;
+            };
+            let class = *class_cache.entry(dominant).or_insert_with(|| {
+                let dist = table
+                    .distribution(dominant)
+                    .expect("dominant tag has a row");
+                crate::classify::classify_distribution(&dist, traffic, thresholds)
+            });
+            let own = recon.views(pos).expect("aligned reconstruction");
+            let actual = recon.distribution(pos).expect("rows carry mass");
+            let predicted = predictor.predict(&video.tags, Some(own));
+            let entry = samples.entry(class).or_default();
+            entry
+                .0
+                .push(predicted.js_divergence(&actual).expect("same world"));
+            entry
+                .1
+                .push(traffic.js_divergence(&actual).expect("same world"));
+        }
+
+        let mut rows: Vec<_> = samples
+            .into_iter()
+            .map(|(class, (pred, base))| {
+                let n = pred.len();
+                (
+                    class,
+                    n,
+                    ErrorSummary::from_samples(pred),
+                    ErrorSummary::from_samples(base),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|&(class, ..)| match class {
+            crate::Locality::Local => 0,
+            crate::Locality::Regional => 1,
+            crate::Locality::Global => 2,
+        });
+        LocalityBreakdown { rows }
+    }
+}
+
+impl fmt::Display for LocalityBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (class, n, pred, base) in &self.rows {
+            writeln!(
+                f,
+                "{class:<9} n={n:<7} prediction JS mean {:.4} vs baseline {:.4}",
+                pred.mean, base.mean
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PredictionEvaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "n = {} ({} fallbacks)", self.n, self.fallbacks)?;
+        writeln!(f, "tag prediction JS: {}", self.predicted)?;
+        writeln!(f, "baseline JS:       {}", self.baseline)?;
+        write!(f, "win rate:          {:.1}%", 100.0 * self.win_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+
+    fn world2() -> GeoDist {
+        GeoDist::uniform(2)
+    }
+
+    /// Corpus where tag "left" means country 0 and tag "right" country 1.
+    fn setup() -> (CleanDataset, Reconstruction, TagViewTable) {
+        let mut b = DatasetBuilder::new(2);
+        let pop = |v: Vec<u8>| RawPopularity::decode(v, 2);
+        b.push_video("l1", 100, &["left"], pop(vec![61, 0]));
+        b.push_video("l2", 200, &["left"], pop(vec![61, 0]));
+        b.push_video("l3", 300, &["left"], pop(vec![61, 6]));
+        b.push_video("r1", 100, &["right"], pop(vec![0, 61]));
+        b.push_video("r2", 400, &["right"], pop(vec![6, 61]));
+        b.push_video("u1", 50, &["only-here"], pop(vec![61, 20]));
+        let clean = filter(&b.build());
+        let recon = Reconstruction::compute(&clean, &world2()).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        (clean, recon, table)
+    }
+
+    #[test]
+    fn prediction_follows_the_tags() {
+        let (clean, _, table) = setup();
+        let traffic = world2();
+        let p = Predictor::new(&table, &traffic);
+        let left = clean.tags().id("left").unwrap();
+        let d = p.predict(&[left], None);
+        assert!(d.prob(tagdist_geo::CountryId::from_index(0)) > 0.9);
+        let right = clean.tags().id("right").unwrap();
+        let d = p.predict(&[right], None);
+        assert!(d.prob(tagdist_geo::CountryId::from_index(1)) > 0.9);
+    }
+
+    #[test]
+    fn mixture_blends_tags_by_views() {
+        let (clean, _, table) = setup();
+        let traffic = world2();
+        let p = Predictor::new(&table, &traffic);
+        let left = clean.tags().id("left").unwrap();
+        let right = clean.tags().id("right").unwrap();
+        let d = p.predict(&[left, right], None);
+        let c0 = d.prob(tagdist_geo::CountryId::from_index(0));
+        assert!(c0 > 0.3 && c0 < 0.7, "blended share {c0}");
+    }
+
+    #[test]
+    fn leave_one_out_excludes_own_mass() {
+        let (clean, recon, table) = setup();
+        let traffic = world2();
+        let p = Predictor::new(&table, &traffic);
+        // "only-here" is carried by a single video: leave-one-out
+        // removes everything → fallback.
+        let pos = clean.iter().position(|v| v.key == "u1").unwrap();
+        let video = clean.get(pos).unwrap();
+        let d = p.predict(&video.tags, recon.views(pos));
+        assert_eq!(d, traffic);
+        // Without exclusion the prediction is the video's own
+        // distribution, not the fallback.
+        let d = p.predict(&video.tags, None);
+        assert_ne!(d, traffic);
+    }
+
+    #[test]
+    fn unknown_tags_are_skipped() {
+        let (_, _, table) = setup();
+        let traffic = world2();
+        let p = Predictor::new(&table, &traffic);
+        let ghost = TagId::from_index(999);
+        let d = p.predict(&[ghost], None);
+        assert_eq!(d, traffic, "no signal → fallback");
+        assert_eq!(p.fallback(), &traffic);
+    }
+
+    #[test]
+    fn evaluation_beats_baseline_on_polarized_corpus() {
+        let (clean, recon, table) = setup();
+        let traffic = world2();
+        let eval = PredictionEvaluation::evaluate(&clean, &recon, &table, &traffic);
+        assert_eq!(eval.n, 6);
+        assert_eq!(eval.fallbacks, 1); // u1
+        assert!(
+            eval.predicted.mean < eval.baseline.mean,
+            "prediction {} vs baseline {}",
+            eval.predicted.mean,
+            eval.baseline.mean
+        );
+        assert!(eval.win_rate > 0.5);
+        let text = eval.to_string();
+        assert!(text.contains("win rate"));
+    }
+
+    #[test]
+    fn empty_corpus_evaluates_to_zero() {
+        let clean = filter(&DatasetBuilder::new(2).build());
+        let recon = Reconstruction::compute(&clean, &world2()).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let eval = PredictionEvaluation::evaluate(&clean, &recon, &table, &world2());
+        assert_eq!(eval.n, 0);
+        assert_eq!(eval.win_rate, 0.0);
+    }
+
+    #[test]
+    fn locality_breakdown_separates_classes() {
+        let (clean, recon, table) = setup();
+        let traffic = world2();
+        let thresholds = crate::ClassifyThresholds::default();
+        let breakdown =
+            LocalityBreakdown::evaluate(&clean, &recon, &table, &traffic, &thresholds);
+        let total: usize = breakdown.rows.iter().map(|&(_, n, ..)| n).sum();
+        assert_eq!(total, 6, "every video has a dominant tag with a row");
+        // "left"/"right" concentrate in one of two countries → local.
+        assert!(breakdown
+            .rows
+            .iter()
+            .any(|&(class, n, ..)| class == crate::Locality::Local && n >= 5));
+        let text = breakdown.to_string();
+        assert!(text.contains("prediction JS"));
+    }
+
+    #[test]
+    fn locality_breakdown_on_empty_corpus_is_empty() {
+        let clean = filter(&DatasetBuilder::new(2).build());
+        let recon = Reconstruction::compute(&clean, &world2()).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let breakdown = LocalityBreakdown::evaluate(
+            &clean,
+            &recon,
+            &table,
+            &world2(),
+            &crate::ClassifyThresholds::default(),
+        );
+        assert!(breakdown.rows.is_empty());
+    }
+
+    /// End-to-end: on the synthetic platform, tags must predict
+    /// geography better than the traffic prior — the paper's central
+    /// conjecture, verified.
+    #[test]
+    fn conjecture_holds_on_synthetic_platform() {
+        use tagdist_crawler::{crawl, CrawlConfig};
+        use tagdist_ytsim::{Platform, WorldConfig};
+
+        let platform = Platform::generate(WorldConfig::tiny());
+        let mut ccfg = CrawlConfig::default();
+        ccfg.with_budget(800);
+        let outcome = crawl(&platform, &ccfg);
+        let clean = filter(&outcome.dataset);
+        let traffic = platform.true_traffic();
+        let recon = Reconstruction::compute(&clean, traffic).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let eval = PredictionEvaluation::evaluate(&clean, &recon, &table, traffic);
+        assert!(
+            eval.predicted.mean < eval.baseline.mean,
+            "prediction {} vs baseline {}",
+            eval.predicted.mean,
+            eval.baseline.mean
+        );
+        assert!(eval.win_rate > 0.6, "win rate {}", eval.win_rate);
+    }
+}

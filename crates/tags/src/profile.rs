@@ -1,0 +1,240 @@
+//! Per-tag geographic profiles.
+
+use core::fmt;
+
+use tagdist_dataset::{CleanDataset, TagId};
+use tagdist_geo::{CountryId, GeoDist};
+use tagdist_reconstruct::TagViewTable;
+
+/// Geographic profile of one tag, derived from its Eq. 3 aggregate.
+///
+/// # Example
+///
+/// ```no_run
+/// # use tagdist_dataset::CleanDataset;
+/// # use tagdist_geo::GeoDist;
+/// # use tagdist_reconstruct::TagViewTable;
+/// # use tagdist_tags::TagProfile;
+/// # fn demo(clean: &CleanDataset, table: &TagViewTable, traffic: &GeoDist) {
+/// let pop = clean.tags().id("pop").unwrap();
+/// let profile = TagProfile::build(pop, clean, table, traffic).unwrap();
+/// println!("pop is viewed most in {}", profile.top_country);
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagProfile {
+    /// The tag.
+    pub tag: TagId,
+    /// Its normalized name.
+    pub name: String,
+    /// Retained videos carrying the tag.
+    pub video_count: usize,
+    /// Total (reconstructed) views aggregated under the tag.
+    pub total_views: f64,
+    /// The tag's geographic view distribution (`views(t)` normalized).
+    pub dist: GeoDist,
+    /// Normalized Shannon entropy in `[0, 1]` (1 = perfectly global).
+    pub normalized_entropy: f64,
+    /// Gini concentration (higher = more concentrated).
+    pub gini: f64,
+    /// Share of the most-viewing country.
+    pub top_share: f64,
+    /// The most-viewing country.
+    pub top_country: CountryId,
+    /// Jensen–Shannon divergence (bits) from the world traffic
+    /// distribution — the paper's "follows the world distribution of
+    /// Youtube users" criterion (Fig. 2: small; Fig. 3: large).
+    pub js_from_traffic: f64,
+    /// Minimal number of countries covering 90 % of the tag's views —
+    /// the "limited geographic area" size.
+    pub countries_for_90pct: usize,
+}
+
+impl TagProfile {
+    /// Builds the profile of `tag`, or `None` if the tag has no
+    /// retained videos (no Eq. 3 row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` does not belong to `clean`'s interner or the
+    /// table covers a different world size than `traffic`.
+    pub fn build(
+        tag: TagId,
+        clean: &CleanDataset,
+        table: &TagViewTable,
+        traffic: &GeoDist,
+    ) -> Option<TagProfile> {
+        let views = table.views(tag)?;
+        let dist = GeoDist::from_counts(views).ok()?;
+        let js_from_traffic = dist
+            .js_divergence(traffic)
+            .expect("table and traffic cover the same world");
+        let top_country = dist.top_country().expect("distribution is non-empty");
+        let countries_for_90pct = dist.countries_for_share(0.9);
+        Some(TagProfile {
+            tag,
+            name: clean.tags().name(tag).to_owned(),
+            video_count: table.video_count(tag),
+            total_views: views.sum(),
+            normalized_entropy: dist.normalized_entropy(),
+            gini: dist.gini(),
+            top_share: dist.top_share(),
+            top_country,
+            js_from_traffic,
+            countries_for_90pct,
+            dist,
+        })
+    }
+}
+
+impl fmt::Display for TagProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} videos, {:.0} views, H*={:.2}, gini={:.2}, top {} ({:.0}%), JS(traffic)={:.3}",
+            self.name,
+            self.video_count,
+            self.total_views,
+            self.normalized_entropy,
+            self.gini,
+            self.top_country,
+            100.0 * self.top_share,
+            self.js_from_traffic
+        )
+    }
+}
+
+/// Builds profiles for every tag carried by at least `min_videos`
+/// retained videos, ordered by total views descending.
+///
+/// `min_videos` controls statistical noise: the paper's long tail of
+/// single-use tags has degenerate "distributions" (they equal their
+/// one video's), so analyses typically set `min_videos ≥ 5`.
+pub fn profiles(
+    clean: &CleanDataset,
+    table: &TagViewTable,
+    traffic: &GeoDist,
+    min_videos: usize,
+) -> Vec<TagProfile> {
+    let mut out: Vec<TagProfile> = clean
+        .tags()
+        .iter()
+        .filter(|&(tag, _)| table.video_count(tag) >= min_videos)
+        .filter_map(|(tag, _)| TagProfile::build(tag, clean, table, traffic))
+        .collect();
+    out.sort_by(|a, b| {
+        b.total_views
+            .partial_cmp(&a.total_views)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(a.tag.cmp(&b.tag))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+    use tagdist_geo::CountryVec;
+    use tagdist_reconstruct::Reconstruction;
+
+    /// Three-country world: country 0 dominates traffic.
+    fn traffic() -> GeoDist {
+        GeoDist::from_counts(&CountryVec::from_values(vec![6.0, 3.0, 1.0])).unwrap()
+    }
+
+    fn setup() -> (CleanDataset, TagViewTable, GeoDist) {
+        let mut b = DatasetBuilder::new(3);
+        // "global" rides charts shaped like traffic.
+        b.push_video("g1", 600, &["global"], RawPopularity::decode(vec![61, 61, 61], 3));
+        b.push_video("g2", 400, &["global"], RawPopularity::decode(vec![61, 61, 61], 3));
+        // "niche" concentrates on country 2 (small traffic share).
+        b.push_video("n1", 500, &["niche"], RawPopularity::decode(vec![0, 0, 61], 3));
+        b.push_video("n2", 100, &["niche", "global"], RawPopularity::decode(vec![0, 6, 61], 3));
+        let clean = filter(&b.build());
+        let traffic = traffic();
+        let recon = Reconstruction::compute(&clean, &traffic).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        (clean, table, traffic)
+    }
+
+    #[test]
+    fn global_tag_tracks_traffic() {
+        let (clean, table, traffic) = setup();
+        let global = clean.tags().id("global").unwrap();
+        let p = TagProfile::build(global, &clean, &table, &traffic).unwrap();
+        assert!(p.js_from_traffic < 0.1, "JS = {}", p.js_from_traffic);
+        assert_eq!(p.top_country, tagdist_geo::CountryId::from_index(0));
+        assert_eq!(p.video_count, 3);
+    }
+
+    #[test]
+    fn niche_tag_concentrates() {
+        let (clean, table, traffic) = setup();
+        let niche = clean.tags().id("niche").unwrap();
+        let p = TagProfile::build(niche, &clean, &table, &traffic).unwrap();
+        assert_eq!(p.top_country, tagdist_geo::CountryId::from_index(2));
+        assert!(p.top_share > 0.8, "top share {}", p.top_share);
+        assert!(p.js_from_traffic > 0.3, "JS = {}", p.js_from_traffic);
+        assert!(p.gini > 0.4);
+        assert!(p.normalized_entropy < 0.5);
+        assert!(p.countries_for_90pct <= 2, "{}", p.countries_for_90pct);
+    }
+
+    #[test]
+    fn coverage_separates_global_from_niche() {
+        let (clean, table, traffic) = setup();
+        let global = clean.tags().id("global").unwrap();
+        let niche = clean.tags().id("niche").unwrap();
+        let pg = TagProfile::build(global, &clean, &table, &traffic).unwrap();
+        let pn = TagProfile::build(niche, &clean, &table, &traffic).unwrap();
+        assert!(pg.countries_for_90pct > pn.countries_for_90pct);
+    }
+
+    #[test]
+    fn unused_tags_yield_none() {
+        let mut b = DatasetBuilder::new(3);
+        b.push_video("a", 1, &["kept"], RawPopularity::decode(vec![61, 0, 0], 3));
+        b.push_video("b", 1, &["ghost"], RawPopularity::Missing);
+        let clean = filter(&b.build());
+        let traffic = traffic();
+        let recon = Reconstruction::compute(&clean, &traffic).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let ghost = clean.tags().id("ghost").unwrap();
+        assert!(TagProfile::build(ghost, &clean, &table, &traffic).is_none());
+    }
+
+    #[test]
+    fn profiles_sorted_by_views_and_thresholded() {
+        let (clean, table, traffic) = setup();
+        let all = profiles(&clean, &table, &traffic, 1);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "global"); // 1100 views vs 600
+        assert!(all[0].total_views >= all[1].total_views);
+        let big_only = profiles(&clean, &table, &traffic, 3);
+        assert_eq!(big_only.len(), 1);
+        assert_eq!(big_only[0].name, "global");
+        let none = profiles(&clean, &table, &traffic, 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn display_mentions_name_and_top_country() {
+        let (clean, table, traffic) = setup();
+        let niche = clean.tags().id("niche").unwrap();
+        let p = TagProfile::build(niche, &clean, &table, &traffic).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("niche"));
+        assert!(s.contains("JS(traffic)"));
+    }
+
+    #[test]
+    fn total_views_match_table() {
+        let (clean, table, traffic) = setup();
+        for (tag, _) in clean.tags().iter() {
+            if let Some(p) = TagProfile::build(tag, &clean, &table, &traffic) {
+                assert!((p.total_views - table.total_views(tag)).abs() < 1e-9);
+            }
+        }
+    }
+}

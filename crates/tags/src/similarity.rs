@@ -1,0 +1,138 @@
+//! Tag–tag relationships: distributional similarity and
+//! co-occurrence.
+//!
+//! Two tags can be related in two distinct senses that the caching
+//! application treats differently: they can be *viewed in the same
+//! places* (distributional similarity — useful to pool sparse tags) or
+//! they can be *attached to the same videos* (co-occurrence — useful
+//! to smooth a video's tag-mixture prediction).
+
+use std::collections::HashMap;
+
+use tagdist_dataset::{CleanDataset, TagId};
+
+use crate::profile::TagProfile;
+
+/// A co-occurring tag with its joint video count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoTag {
+    /// The other tag.
+    pub tag: TagId,
+    /// Number of retained videos carrying both tags.
+    pub joint_videos: usize,
+}
+
+/// Tags co-occurring with `tag` on retained videos, most frequent
+/// first (ties by id).
+pub fn co_tags(clean: &CleanDataset, tag: TagId) -> Vec<CoTag> {
+    let mut counts: HashMap<TagId, usize> = HashMap::new();
+    for &pos in clean.videos_with_tag(tag) {
+        let video = clean.get(pos).expect("posting in range");
+        for &other in &video.tags {
+            if other != tag {
+                *counts.entry(other).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<CoTag> = counts
+        .into_iter()
+        .map(|(tag, joint_videos)| CoTag { tag, joint_videos })
+        .collect();
+    out.sort_by(|a, b| b.joint_videos.cmp(&a.joint_videos).then(a.tag.cmp(&b.tag)));
+    out
+}
+
+/// The `k` profiles geographically most similar to `target`
+/// (smallest JS divergence between view distributions), excluding the
+/// target itself.
+///
+/// Returns `(profile index, js divergence)` pairs ascending by
+/// divergence.
+pub fn most_similar(profiles: &[TagProfile], target: &TagProfile, k: usize) -> Vec<(usize, f64)> {
+    let mut scored: Vec<(usize, f64)> = profiles
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.tag != target.tag)
+        .map(|(i, p)| {
+            let js = target
+                .dist
+                .js_divergence(&p.dist)
+                .expect("profiles cover the same world");
+            (i, js)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(core::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+    use tagdist_geo::{CountryVec, GeoDist};
+    use tagdist_reconstruct::{Reconstruction, TagViewTable};
+
+    fn setup() -> (CleanDataset, Vec<TagProfile>) {
+        let mut b = DatasetBuilder::new(2);
+        let pop = |v: Vec<u8>| RawPopularity::decode(v, 2);
+        b.push_video("a", 100, &["samba", "brasil", "musica"], pop(vec![0, 61]));
+        b.push_video("b", 100, &["samba", "brasil"], pop(vec![0, 61]));
+        b.push_video("c", 100, &["indie", "musica"], pop(vec![61, 0]));
+        let clean = filter(&b.build());
+        let traffic = GeoDist::from_counts(&CountryVec::from_values(vec![1.0, 1.0])).unwrap();
+        let recon = Reconstruction::compute(&clean, &traffic).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let profiles = crate::profile::profiles(&clean, &table, &traffic, 1);
+        (clean, profiles)
+    }
+
+    #[test]
+    fn co_tags_count_joint_videos() {
+        let (clean, _) = setup();
+        let samba = clean.tags().id("samba").unwrap();
+        let co = co_tags(&clean, samba);
+        assert_eq!(co.len(), 2);
+        assert_eq!(clean.tags().name(co[0].tag), "brasil");
+        assert_eq!(co[0].joint_videos, 2);
+        assert_eq!(clean.tags().name(co[1].tag), "musica");
+        assert_eq!(co[1].joint_videos, 1);
+    }
+
+    #[test]
+    fn co_tags_of_lonely_tag_is_empty() {
+        let mut b = DatasetBuilder::new(2);
+        b.push_video("a", 1, &["solo"], RawPopularity::decode(vec![61, 0], 2));
+        let clean = filter(&b.build());
+        let solo = clean.tags().id("solo").unwrap();
+        assert!(co_tags(&clean, solo).is_empty());
+    }
+
+    #[test]
+    fn most_similar_finds_the_geographic_twin() {
+        let (clean, profiles) = setup();
+        let samba = profiles
+            .iter()
+            .find(|p| p.name == "samba")
+            .expect("samba profiled");
+        let near = most_similar(&profiles, samba, 2);
+        assert_eq!(near.len(), 2);
+        // brasil has exactly the same distribution as samba.
+        assert_eq!(profiles[near[0].0].name, "brasil");
+        assert!(near[0].1 < 1e-9);
+        // divergences ascend.
+        assert!(near[0].1 <= near[1].1);
+        let _ = clean;
+    }
+
+    #[test]
+    fn most_similar_excludes_self_and_respects_k() {
+        let (_, profiles) = setup();
+        let target = &profiles[0];
+        let near = most_similar(&profiles, target, 100);
+        assert_eq!(near.len(), profiles.len() - 1);
+        assert!(near.iter().all(|&(i, _)| profiles[i].tag != target.tag));
+        assert_eq!(most_similar(&profiles, target, 1).len(), 1);
+        assert!(most_similar(&[], target, 3).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! The crawlable platform API.
+//!
+//! The paper's crawl consumed three endpoints of YouTube's 2011 public
+//! API: per-country top-10 charts (the seeds), per-video metadata
+//! (tags, views, and the scraped Map-Chart popularity image), and the
+//! related-videos list (the snowball edges). [`PlatformApi`] is that
+//! surface and nothing more — crawlers cannot see ground truth.
+
+use tagdist_geo::CountryId;
+
+/// Video metadata as served to a crawler.
+///
+/// `popularity` carries the intensities scraped from the Map-Chart
+/// image: `None` when no chart was served, and possibly corrupt bytes
+/// (wrong length or out-of-range values) when scraping went wrong —
+/// the §2 defects the dataset filter has to deal with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VideoMetadata {
+    /// External video key.
+    pub key: String,
+    /// Display title.
+    pub title: String,
+    /// Total worldwide view count.
+    pub total_views: u64,
+    /// Duration in seconds.
+    pub duration_secs: u32,
+    /// Uploader tags; may be empty when metadata is incomplete.
+    pub tags: Vec<String>,
+    /// Scraped per-country intensities, if a chart was served.
+    pub popularity: Option<Vec<u8>>,
+}
+
+/// The public surface of a UGC platform, as seen by a crawler.
+///
+/// The trait is object-safe so crawlers can be written against
+/// `&dyn PlatformApi`.
+pub trait PlatformApi {
+    /// The `k` most popular videos in `country`, most popular first
+    /// (YouTube's per-country chart; the paper seeds with `k = 10`
+    /// across 25 countries).
+    fn top_videos(&self, country: CountryId, k: usize) -> Vec<String>;
+
+    /// Fetches a video's crawler-visible metadata, or `None` for an
+    /// unknown key.
+    fn fetch(&self, key: &str) -> Option<VideoMetadata>;
+
+    /// Keys of up to `k` videos related to `key` (the snowball edges);
+    /// empty for an unknown key.
+    fn related(&self, key: &str, k: usize) -> Vec<String>;
+
+    /// Number of videos hosted (not part of the 2011 API, but handy
+    /// for sizing crawl budgets in experiments).
+    fn catalogue_size(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must remain object-safe: the crawler holds a
+    /// `&dyn PlatformApi`.
+    #[test]
+    fn platform_api_is_object_safe() {
+        struct Stub;
+        impl PlatformApi for Stub {
+            fn top_videos(&self, _country: CountryId, _k: usize) -> Vec<String> {
+                Vec::new()
+            }
+            fn fetch(&self, _key: &str) -> Option<VideoMetadata> {
+                None
+            }
+            fn related(&self, _key: &str, _k: usize) -> Vec<String> {
+                Vec::new()
+            }
+            fn catalogue_size(&self) -> usize {
+                0
+            }
+        }
+        let stub = Stub;
+        let dyn_api: &dyn PlatformApi = &stub;
+        assert_eq!(dyn_api.catalogue_size(), 0);
+        assert!(dyn_api.fetch("x").is_none());
+    }
+}

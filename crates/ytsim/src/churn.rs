@@ -1,0 +1,149 @@
+//! Catalogue churn: deleted and private videos.
+//!
+//! Real crawls constantly hit dangling references — charts and related
+//! lists mention videos that have been deleted or made private between
+//! indexing and fetching. (The paper's crawl predates YouTube's bulk
+//! takedown waves, but any reproduction run against a live platform
+//! would face this.) [`ChurnedPlatform`] wraps a platform and hides a
+//! seeded fraction of its catalogue from `fetch` while still *listing*
+//! those videos in charts and related lists — exactly the dangling-
+//! reference behaviour a crawler must absorb.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagdist_geo::CountryId;
+
+use crate::api::{PlatformApi, VideoMetadata};
+use crate::platform::Platform;
+
+/// A view of a platform where a fraction of videos is unavailable.
+#[derive(Debug)]
+pub struct ChurnedPlatform<'a> {
+    inner: &'a Platform,
+    deleted: HashSet<usize>,
+}
+
+impl<'a> ChurnedPlatform<'a> {
+    /// Hides a seeded `fraction` of the catalogue (deterministic in
+    /// `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn new(inner: &'a Platform, fraction: f64, seed: u64) -> ChurnedPlatform<'a> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "deleted fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deleted = (0..inner.catalogue_size())
+            .filter(|_| rng.gen::<f64>() < fraction)
+            .collect();
+        ChurnedPlatform { inner, deleted }
+    }
+
+    /// Number of hidden videos.
+    pub fn deleted_count(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Returns `true` if the video at `index` is hidden.
+    pub fn is_deleted(&self, index: usize) -> bool {
+        self.deleted.contains(&index)
+    }
+}
+
+impl PlatformApi for ChurnedPlatform<'_> {
+    /// Charts still list deleted videos (indexes lag deletions).
+    fn top_videos(&self, country: CountryId, k: usize) -> Vec<String> {
+        self.inner.top_videos(country, k)
+    }
+
+    /// Deleted videos return `None`, like a 404 on the real API.
+    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
+        let truth = self.inner.ground_truth(key)?;
+        if self.deleted.contains(&truth.index) {
+            return None;
+        }
+        self.inner.fetch(key)
+    }
+
+    /// Related lists still reference deleted videos.
+    fn related(&self, key: &str, k: usize) -> Vec<String> {
+        self.inner.related(key, k)
+    }
+
+    fn catalogue_size(&self) -> usize {
+        self.inner.catalogue_size() - self.deleted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn platform() -> Platform {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_videos(1_000);
+        Platform::generate(cfg)
+    }
+
+    #[test]
+    fn deletion_rate_materializes() {
+        let p = platform();
+        let churned = ChurnedPlatform::new(&p, 0.2, 9);
+        let share = churned.deleted_count() as f64 / 1_000.0;
+        assert!((share - 0.2).abs() < 0.05, "deleted share {share}");
+        assert_eq!(churned.catalogue_size(), 1_000 - churned.deleted_count());
+    }
+
+    #[test]
+    fn deleted_videos_404_but_stay_listed() {
+        let p = platform();
+        let churned = ChurnedPlatform::new(&p, 0.3, 1);
+        let deleted_idx = (0..1_000)
+            .find(|&i| churned.is_deleted(i))
+            .expect("30% deleted");
+        let key = &p.video(deleted_idx).key;
+        assert!(churned.fetch(key).is_none(), "deleted video 404s");
+        assert!(p.fetch(key).is_some(), "the base platform still has it");
+        // Live videos fetch normally.
+        let live_idx = (0..1_000)
+            .find(|&i| !churned.is_deleted(i))
+            .expect("some survive");
+        assert!(churned.fetch(&p.video(live_idx).key).is_some());
+    }
+
+    #[test]
+    fn churn_is_seeded() {
+        let p = platform();
+        let a = ChurnedPlatform::new(&p, 0.1, 5);
+        let b = ChurnedPlatform::new(&p, 0.1, 5);
+        assert_eq!(a.deleted_count(), b.deleted_count());
+        for i in 0..1_000 {
+            assert_eq!(a.is_deleted(i), b.is_deleted(i));
+        }
+        let c = ChurnedPlatform::new(&p, 0.1, 6);
+        let differs = (0..1_000).any(|i| a.is_deleted(i) != c.is_deleted(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn zero_churn_is_transparent() {
+        let p = platform();
+        let churned = ChurnedPlatform::new(&p, 0.0, 1);
+        assert_eq!(churned.deleted_count(), 0);
+        assert_eq!(churned.catalogue_size(), 1_000);
+        assert!(churned.fetch(&p.video(0).key).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn out_of_range_fraction_panics() {
+        let p = platform();
+        let _ = ChurnedPlatform::new(&p, 1.5, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Generation parameters for the synthetic platform.
+
+/// Configuration of the synthetic world (non-consuming builder).
+///
+/// The defaults are calibrated so that a crawl over the generated
+/// platform reproduces the *ratios* of the paper's §2 accounting:
+/// ≈ 0.63 % of crawled videos carry no tags and ≈ 35 % carry a
+/// missing/corrupt/empty popularity vector, leaving ≈ 65 % usable.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_ytsim::WorldConfig;
+///
+/// let mut cfg = WorldConfig::default();
+/// cfg.with_videos(10_000).with_seed(42);
+/// assert_eq!(cfg.videos, 10_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// PRNG seed; every derived stream is deterministic in it.
+    pub seed: u64,
+    /// Number of videos hosted by the platform.
+    pub videos: usize,
+    /// Number of topics. Must be ≥ 2 (the built-in `pop` and `favela`
+    /// topics occupy the first two slots).
+    pub topics: usize,
+    /// Fraction of topics (beyond the built-ins) that are global
+    /// rather than country-anchored.
+    pub global_topic_share: f64,
+    /// Size of the per-topic tag vocabulary.
+    pub tags_per_topic: usize,
+    /// Size of the shared, topic-agnostic tag vocabulary
+    /// ("video", "2011", "hd", …).
+    pub shared_tags: usize,
+    /// Zipf exponent for tag selection inside a vocabulary.
+    pub tag_zipf_exponent: f64,
+    /// Minimum tags drawn per video (before defect injection).
+    pub min_tags_per_video: usize,
+    /// Maximum tags drawn per video.
+    pub max_tags_per_video: usize,
+    /// Probability that a video also carries a one-off tag unique to
+    /// it, producing the folksonomy's singleton-heavy vocabulary.
+    pub unique_tag_probability: f64,
+    /// ln-space mean of the per-video view count (lognormal).
+    pub views_ln_mean: f64,
+    /// ln-space standard deviation of the per-video view count.
+    pub views_ln_sigma: f64,
+    /// Weight of the uploader country in a video's view distribution.
+    pub upload_locality: f64,
+    /// Weight of the world traffic prior in a video's view
+    /// distribution (the remainder goes to its topic affinity).
+    pub global_mixing: f64,
+    /// Probability that a video's metadata lists no tags (§2: 6,736 of
+    /// 1,063,844 ≈ 0.63 %).
+    pub defect_no_tags: f64,
+    /// Probability that the popularity chart is missing entirely.
+    pub defect_missing_pop: f64,
+    /// Probability that the popularity chart decodes to garbage.
+    pub defect_corrupt_pop: f64,
+    /// Probability that the popularity chart is served all-zero
+    /// ("empty" in the paper's wording).
+    pub defect_empty_pop: f64,
+    /// Out-degree of the related-videos graph.
+    pub related_per_video: usize,
+    /// Fraction of related links drawn at random rather than from the
+    /// same topic (YouTube's exploration component).
+    pub related_random_share: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> WorldConfig {
+        WorldConfig {
+            seed: 2011,
+            videos: 120_000,
+            topics: 48,
+            global_topic_share: 0.3,
+            tags_per_topic: 400,
+            shared_tags: 250,
+            tag_zipf_exponent: 1.1,
+            min_tags_per_video: 3,
+            max_tags_per_video: 14,
+            unique_tag_probability: 0.55,
+            views_ln_mean: 8.6,
+            views_ln_sigma: 2.2,
+            upload_locality: 0.25,
+            global_mixing: 0.15,
+            defect_no_tags: 0.0063,
+            defect_missing_pop: 0.15,
+            defect_corrupt_pop: 0.09,
+            defect_empty_pop: 0.11,
+            related_per_video: 20,
+            related_random_share: 0.1,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for unit tests and doctests (2,000 videos).
+    pub fn tiny() -> WorldConfig {
+        WorldConfig {
+            videos: 2_000,
+            topics: 12,
+            tags_per_topic: 60,
+            shared_tags: 40,
+            related_per_video: 12,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// A mid-size world for integration tests and benches
+    /// (20,000 videos).
+    pub fn small() -> WorldConfig {
+        WorldConfig {
+            videos: 20_000,
+            topics: 24,
+            tags_per_topic: 150,
+            shared_tags: 120,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(&mut self, seed: u64) -> &mut WorldConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of videos.
+    pub fn with_videos(&mut self, videos: usize) -> &mut WorldConfig {
+        self.videos = videos;
+        self
+    }
+
+    /// Sets the number of topics.
+    pub fn with_topics(&mut self, topics: usize) -> &mut WorldConfig {
+        self.topics = topics;
+        self
+    }
+
+    /// Disables all metadata defects (every crawled record is clean);
+    /// useful for experiments isolating reconstruction error.
+    pub fn without_defects(&mut self) -> &mut WorldConfig {
+        self.defect_no_tags = 0.0;
+        self.defect_missing_pop = 0.0;
+        self.defect_corrupt_pop = 0.0;
+        self.defect_empty_pop = 0.0;
+        self
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.videos == 0 {
+            return Err("videos must be > 0".into());
+        }
+        if self.topics < 2 {
+            return Err("topics must be >= 2 (pop and favela are built in)".into());
+        }
+        if !(0.0..=1.0).contains(&self.global_topic_share) {
+            return Err("global_topic_share must be in [0, 1]".into());
+        }
+        if self.min_tags_per_video == 0 || self.min_tags_per_video > self.max_tags_per_video {
+            return Err("need 0 < min_tags_per_video <= max_tags_per_video".into());
+        }
+        if self.tag_zipf_exponent <= 0.0 {
+            return Err("tag_zipf_exponent must be positive".into());
+        }
+        let defect_total = self.defect_missing_pop + self.defect_corrupt_pop + self.defect_empty_pop;
+        if !(0.0..=1.0).contains(&defect_total) {
+            return Err("popularity defect probabilities must sum to <= 1".into());
+        }
+        for (name, p) in [
+            ("defect_no_tags", self.defect_no_tags),
+            ("unique_tag_probability", self.unique_tag_probability),
+            ("upload_locality", self.upload_locality),
+            ("global_mixing", self.global_mixing),
+            ("related_random_share", self.related_random_share),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1]"));
+            }
+        }
+        if self.upload_locality + self.global_mixing > 1.0 {
+            return Err("upload_locality + global_mixing must be <= 1".into());
+        }
+        if self.views_ln_sigma < 0.0 {
+            return Err("views_ln_sigma must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        WorldConfig::default().validate().unwrap();
+        WorldConfig::tiny().validate().unwrap();
+        WorldConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn default_defect_rates_match_paper_ratios() {
+        let c = WorldConfig::default();
+        let bad_pop = c.defect_missing_pop + c.defect_corrupt_pop + c.defect_empty_pop;
+        // Paper: (1,063,844 − 6,736 − 691,349) / 1,063,844 ≈ 34.4 % bad
+        // vectors and 0.63 % tagless.
+        assert!((bad_pop - 0.344).abs() < 0.02, "bad-pop share {bad_pop}");
+        assert!((c.defect_no_tags - 0.0063).abs() < 0.001);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let mut c = WorldConfig::tiny();
+        c.with_seed(1).with_videos(5).with_topics(3);
+        assert_eq!((c.seed, c.videos, c.topics), (1, 5, 3));
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let mut c = WorldConfig::tiny();
+        c.videos = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = WorldConfig::tiny();
+        c.topics = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = WorldConfig::tiny();
+        c.min_tags_per_video = 9;
+        c.max_tags_per_video = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = WorldConfig::tiny();
+        c.defect_missing_pop = 0.7;
+        c.defect_corrupt_pop = 0.7;
+        assert!(c.validate().is_err());
+
+        let mut c = WorldConfig::tiny();
+        c.upload_locality = 0.8;
+        c.global_mixing = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn without_defects_zeroes_everything() {
+        let mut c = WorldConfig::tiny();
+        c.without_defects();
+        assert_eq!(c.defect_no_tags, 0.0);
+        assert_eq!(c.defect_missing_pop, 0.0);
+        assert_eq!(c.defect_corrupt_pop, 0.0);
+        assert_eq!(c.defect_empty_pop, 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The related-videos graph.
+//!
+//! The paper's dataset was collected by "breadth-first snowball
+//! sampling of the graph of related videos, as reported by Youtube"
+//! (§2). YouTube's related list is driven by content similarity with
+//! an exploration component; the synthetic graph reproduces that
+//! shape: most edges point to videos of the same primary topic
+//! (popularity-biased via tournament selection), a configurable
+//! remainder to uniformly random videos.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::WorldConfig;
+use crate::video::GroundTruthVideo;
+
+/// Immutable adjacency: `related(v)` lists platform indices, most
+/// similar first.
+#[derive(Debug, Clone)]
+pub struct RelatedGraph {
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl RelatedGraph {
+    /// Builds the graph for a generated video set.
+    ///
+    /// Deterministic in `cfg.seed`.
+    pub fn build(cfg: &WorldConfig, videos: &[GroundTruthVideo]) -> RelatedGraph {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xB5297A4D).wrapping_add(2));
+        let n = videos.len();
+
+        // Bucket videos by primary topic for similarity edges.
+        let topic_count = videos
+            .iter()
+            .map(|v| v.primary_topic().index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_topic: Vec<Vec<u32>> = vec![Vec::new(); topic_count];
+        for v in videos {
+            by_topic[v.primary_topic().index()].push(v.index as u32);
+        }
+
+        let mut adjacency = Vec::with_capacity(n);
+        for v in videos {
+            let peers = &by_topic[v.primary_topic().index()];
+            let mut related = Vec::with_capacity(cfg.related_per_video);
+            let mut guard = 0;
+            while related.len() < cfg.related_per_video.min(n.saturating_sub(1))
+                && guard < 30 * cfg.related_per_video + 30
+            {
+                guard += 1;
+                let candidate = if rng.gen::<f64>() < cfg.related_random_share || peers.len() < 2 {
+                    rng.gen_range(0..n) as u32
+                } else {
+                    // Tournament selection: of two random same-topic
+                    // peers, link to the more viewed — popular videos
+                    // accumulate in-links, as on the real platform.
+                    let a = peers[rng.gen_range(0..peers.len())];
+                    let b = peers[rng.gen_range(0..peers.len())];
+                    if videos[a as usize].total_views >= videos[b as usize].total_views {
+                        a
+                    } else {
+                        b
+                    }
+                };
+                if candidate as usize != v.index && !related.contains(&candidate) {
+                    related.push(candidate);
+                }
+            }
+            adjacency.push(related);
+        }
+        RelatedGraph { adjacency }
+    }
+
+    /// Number of videos covered.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Returns `true` if the graph covers no videos.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Related platform indices of video `index` (most similar first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn related(&self, index: usize) -> &[u32] {
+        &self.adjacency[index]
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::LogNormal;
+    use crate::topic::TopicModel;
+    use crate::video::generate_video;
+    use tagdist_geo::{world, TrafficModel};
+
+    fn build_world(cfg: &WorldConfig) -> (Vec<GroundTruthVideo>, RelatedGraph) {
+        let traffic = TrafficModel::reference(world());
+        let model = TopicModel::generate(cfg, world(), &traffic);
+        let views = LogNormal::new(cfg.views_ln_mean, cfg.views_ln_sigma);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let videos: Vec<GroundTruthVideo> = (0..500)
+            .map(|i| generate_video(i, cfg, &model, world(), &traffic, &views, &mut rng))
+            .collect();
+        let graph = RelatedGraph::build(cfg, &videos);
+        (videos, graph)
+    }
+
+    #[test]
+    fn every_video_gets_neighbours() {
+        let cfg = WorldConfig::tiny();
+        let (videos, graph) = build_world(&cfg);
+        assert_eq!(graph.len(), videos.len());
+        for i in 0..videos.len() {
+            let related = graph.related(i);
+            assert!(!related.is_empty(), "video {i} has no related videos");
+            assert!(related.len() <= cfg.related_per_video);
+        }
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let cfg = WorldConfig::tiny();
+        let (_, graph) = build_world(&cfg);
+        for i in 0..graph.len() {
+            let related = graph.related(i);
+            assert!(!related.contains(&(i as u32)), "self-loop at {i}");
+            let mut sorted = related.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), related.len(), "duplicate edge at {i}");
+        }
+    }
+
+    #[test]
+    fn most_edges_stay_within_topic() {
+        let cfg = WorldConfig::tiny();
+        let (videos, graph) = build_world(&cfg);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for v in &videos {
+            for &r in graph.related(v.index) {
+                total += 1;
+                if videos[r as usize].primary_topic() == v.primary_topic() {
+                    same += 1;
+                }
+            }
+        }
+        let share = same as f64 / total as f64;
+        assert!(share > 0.6, "same-topic edge share {share}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = WorldConfig::tiny();
+        let (_, a) = build_world(&cfg);
+        let (_, b) = build_world(&cfg);
+        for i in 0..a.len() {
+            assert_eq!(a.related(i), b.related(i));
+        }
+    }
+
+    #[test]
+    fn edge_count_sums_adjacency() {
+        let cfg = WorldConfig::tiny();
+        let (_, graph) = build_world(&cfg);
+        let manual: usize = (0..graph.len()).map(|i| graph.related(i).len()).sum();
+        assert_eq!(graph.edge_count(), manual);
+    }
+
+    #[test]
+    fn empty_video_set_builds_empty_graph() {
+        let cfg = WorldConfig::tiny();
+        let graph = RelatedGraph::build(&cfg, &[]);
+        assert!(graph.is_empty());
+        assert_eq!(graph.edge_count(), 0);
+    }
+}

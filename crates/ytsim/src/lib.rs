@@ -1,0 +1,63 @@
+//! Synthetic YouTube platform — the data substrate of the `tagdist`
+//! reproduction.
+//!
+//! The paper's corpus (a March-2011 YouTube crawl) is no longer
+//! obtainable: YouTube removed per-country popularity maps, the IRISA
+//! dataset is not public, and Alexa Internet is gone. This crate
+//! substitutes the *closest synthetic equivalent that exercises the
+//! same code paths* (see DESIGN.md §2):
+//!
+//! * a generative **topic model** ([`topic`]) in which some topics are
+//!   geographically global (like the paper's `pop` tag, Fig. 2) and
+//!   others anchored to a country or language group (like `favela` →
+//!   Brazil, Fig. 3),
+//! * **videos** ([`video`]) with Zipf/lognormal heavy-tailed view
+//!   counts, uploader countries, tag sets drawn from their topics, and
+//!   a *ground-truth per-country view vector* — the quantity the
+//!   paper's pipeline can only estimate,
+//! * the **Map-Chart rendering** of each video's popularity map via
+//!   Eq. 1's forward model (true per-country intensity, rescaled and
+//!   quantized to 0–61), including the metadata defects the paper
+//!   filters out (§2): missing charts, corrupt charts, all-zero charts
+//!   and missing tags,
+//! * a **related-videos graph** ([`graph`]) biased towards same-topic
+//!   videos, and per-country **top charts** — the two API surfaces the
+//!   paper's snowball crawl consumed,
+//! * the [`PlatformApi`] trait: the *only* window a crawler gets onto
+//!   the platform, mirroring what YouTube's public API exposed.
+//!
+//! # Example
+//!
+//! ```
+//! use tagdist_ytsim::{Platform, PlatformApi, WorldConfig};
+//!
+//! let mut cfg = WorldConfig::tiny();
+//! cfg.with_seed(7);
+//! let platform = Platform::generate(cfg);
+//! let world = tagdist_geo::world();
+//! let us = world.by_code("US").unwrap().id;
+//! let chart = platform.top_videos(us, 10);
+//! assert_eq!(chart.len(), 10);
+//! let meta = platform.fetch(&chart[0]).expect("charted videos exist");
+//! assert!(meta.total_views > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod api;
+pub mod churn;
+pub mod config;
+pub mod graph;
+pub mod platform;
+pub mod sampling;
+pub mod topic;
+pub mod video;
+
+pub use api::{PlatformApi, VideoMetadata};
+pub use churn::ChurnedPlatform;
+pub use config::WorldConfig;
+pub use platform::Platform;
+pub use sampling::{LogNormal, Zipf};
+pub use topic::{Topic, TopicId, TopicKind};
+pub use video::GroundTruthVideo;

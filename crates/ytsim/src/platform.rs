@@ -1,0 +1,444 @@
+//! The assembled synthetic platform.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagdist_geo::{
+    world, CountryId, CountryVec, GeoDist, PopularityVector, TrafficModel, World,
+};
+
+use crate::api::{PlatformApi, VideoMetadata};
+use crate::config::WorldConfig;
+use crate::graph::RelatedGraph;
+use crate::sampling::LogNormal;
+use crate::topic::TopicModel;
+use crate::video::{generate_video, GroundTruthVideo};
+
+/// How many chart positions are materialized per country.
+const CHART_DEPTH: usize = 100;
+
+/// Crawler-visible state of one video after defect injection.
+#[derive(Debug, Clone)]
+struct Observed {
+    /// Tags served to crawlers (empty when metadata is incomplete).
+    tags: Vec<String>,
+    /// Scraped chart intensities (`None` = chart missing).
+    popularity: Option<Vec<u8>>,
+}
+
+/// A fully generated synthetic YouTube.
+///
+/// The platform is immutable after [`Platform::generate`] and `Sync`,
+/// so crawler threads can share it freely. Crawlers must go through
+/// the [`PlatformApi`] impl; experiment harnesses may additionally
+/// read the ground truth (`video`, [`Platform::true_traffic`]) to
+/// score reconstructions.
+#[derive(Debug)]
+pub struct Platform {
+    cfg: WorldConfig,
+    videos: Vec<GroundTruthVideo>,
+    observed: Vec<Observed>,
+    graph: RelatedGraph,
+    charts: Vec<Vec<u32>>,
+    key_index: HashMap<String, u32>,
+    ytube: CountryVec,
+    true_traffic: GeoDist,
+    topics: TopicModel,
+}
+
+impl Platform {
+    /// Generates a platform; deterministic in `cfg.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`WorldConfig::validate`].
+    pub fn generate(cfg: WorldConfig) -> Platform {
+        cfg.validate().expect("invalid world configuration");
+        let world = world();
+        let traffic = TrafficModel::reference(world);
+        let topics = TopicModel::generate(&cfg, world, &traffic);
+        let views = LogNormal::new(cfg.views_ln_mean, cfg.views_ln_sigma);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x85EB_CA6B).wrapping_add(3));
+        let videos: Vec<GroundTruthVideo> = (0..cfg.videos)
+            .map(|i| generate_video(i, &cfg, &topics, world, &traffic, &views, &mut rng))
+            .collect();
+
+        // Ground-truth per-country platform traffic: ytube[c] of Eq. 1.
+        let mut ytube = CountryVec::zeros(world.len());
+        for v in &videos {
+            ytube += &v.views_by_country;
+        }
+        let true_traffic =
+            GeoDist::from_counts(&ytube).expect("platform views carry mass");
+
+        let observed = Self::render_observed(&cfg, world, &videos, &ytube);
+        let graph = RelatedGraph::build(&cfg, &videos);
+        let charts = Self::build_charts(world, &videos);
+        let key_index = videos
+            .iter()
+            .map(|v| (v.key.clone(), v.index as u32))
+            .collect();
+
+        Platform {
+            cfg,
+            videos,
+            observed,
+            graph,
+            charts,
+            key_index,
+            ytube,
+            true_traffic,
+            topics,
+        }
+    }
+
+    /// Renders each video's Map-Chart popularity (Eq. 1 forward model)
+    /// and injects the §2 metadata defects.
+    fn render_observed(
+        cfg: &WorldConfig,
+        world: &World,
+        videos: &[GroundTruthVideo],
+        ytube: &CountryVec,
+    ) -> Vec<Observed> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xC2B2_AE35).wrapping_add(4));
+        videos
+            .iter()
+            .map(|v| {
+                // pop(v)[c] ∝ views(v)[c] / ytube[c]  (Eq. 1), rescaled
+                // and quantized by the chart service.
+                let intensity = v
+                    .views_by_country
+                    .hadamard_div(ytube)
+                    .expect("equal world sizes");
+                let rendered = PopularityVector::quantize(&intensity)
+                    .expect("generated videos have positive views")
+                    .as_slice()
+                    .to_vec();
+
+                let u: f64 = rng.gen();
+                let popularity = if u < cfg.defect_missing_pop {
+                    None
+                } else if u < cfg.defect_missing_pop + cfg.defect_corrupt_pop {
+                    // Two corruption modes seen in chart scraping:
+                    // truncated vectors and out-of-range colour values.
+                    if rng.gen::<bool>() && rendered.len() > 1 {
+                        Some(rendered[..rendered.len() / 2].to_vec())
+                    } else {
+                        let mut bad = rendered.clone();
+                        let slot = rng.gen_range(0..bad.len());
+                        bad[slot] = 62 + (rng.gen::<u8>() % 190);
+                        Some(bad)
+                    }
+                } else if u < cfg.defect_missing_pop + cfg.defect_corrupt_pop + cfg.defect_empty_pop
+                {
+                    Some(vec![0u8; world.len()])
+                } else {
+                    Some(rendered)
+                };
+
+                let tags = if rng.gen::<f64>() < cfg.defect_no_tags {
+                    Vec::new()
+                } else {
+                    v.tags.clone()
+                };
+                Observed { tags, popularity }
+            })
+            .collect()
+    }
+
+    /// Builds per-country top-[`CHART_DEPTH`] charts by true
+    /// in-country views.
+    fn build_charts(world: &World, videos: &[GroundTruthVideo]) -> Vec<Vec<u32>> {
+        (0..world.len())
+            .map(|c| {
+                let country = CountryId::from_index(c);
+                let mut ranked: Vec<u32> = (0..videos.len() as u32).collect();
+                let depth = CHART_DEPTH.min(videos.len());
+                if depth == 0 {
+                    return Vec::new();
+                }
+                if depth < ranked.len() {
+                    ranked.select_nth_unstable_by(depth - 1, |&a, &b| {
+                        let va = videos[a as usize].views_by_country[country];
+                        let vb = videos[b as usize].views_by_country[country];
+                        vb.partial_cmp(&va).expect("views are finite")
+                    });
+                    ranked.truncate(depth);
+                }
+                ranked.sort_by(|&a, &b| {
+                    let va = videos[a as usize].views_by_country[country];
+                    let vb = videos[b as usize].views_by_country[country];
+                    vb.partial_cmp(&va).expect("views are finite")
+                });
+                ranked
+            })
+            .collect()
+    }
+
+    /// The configuration the platform was generated from.
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// Ground truth of video `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn video(&self, index: usize) -> &GroundTruthVideo {
+        &self.videos[index]
+    }
+
+    /// All ground-truth videos, in platform order.
+    pub fn videos(&self) -> &[GroundTruthVideo] {
+        &self.videos
+    }
+
+    /// Ground truth looked up by external key.
+    pub fn ground_truth(&self, key: &str) -> Option<&GroundTruthVideo> {
+        self.key_index.get(key).map(|&i| &self.videos[i as usize])
+    }
+
+    /// True total views per country — the `ytube[c]` of Eq. 1 that the
+    /// paper had to approximate with Alexa data.
+    pub fn ytube(&self) -> &CountryVec {
+        &self.ytube
+    }
+
+    /// `ytube` normalized to a distribution (the true `pyt` of Eq. 2).
+    pub fn true_traffic(&self) -> &GeoDist {
+        &self.true_traffic
+    }
+
+    /// The topic model behind the catalogue.
+    pub fn topics(&self) -> &TopicModel {
+        &self.topics
+    }
+}
+
+impl PlatformApi for Platform {
+    fn top_videos(&self, country: CountryId, k: usize) -> Vec<String> {
+        self.charts
+            .get(country.index())
+            .map(|chart| {
+                chart
+                    .iter()
+                    .take(k)
+                    .map(|&i| self.videos[i as usize].key.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
+        let &index = self.key_index.get(key)?;
+        let video = &self.videos[index as usize];
+        let observed = &self.observed[index as usize];
+        Some(VideoMetadata {
+            key: video.key.clone(),
+            title: video.title.clone(),
+            total_views: video.total_views,
+            duration_secs: video.duration_secs,
+            tags: observed.tags.clone(),
+            popularity: observed.popularity.clone(),
+        })
+    }
+
+    fn related(&self, key: &str, k: usize) -> Vec<String> {
+        let Some(&index) = self.key_index.get(key) else {
+            return Vec::new();
+        };
+        self.graph
+            .related(index as usize)
+            .iter()
+            .take(k)
+            .map(|&i| self.videos[i as usize].key.clone())
+            .collect()
+    }
+
+    fn catalogue_size(&self) -> usize {
+        self.videos.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_seed(2011);
+        Platform::generate(cfg)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = platform();
+        let b = platform();
+        assert_eq!(a.catalogue_size(), b.catalogue_size());
+        for i in (0..a.catalogue_size()).step_by(97) {
+            assert_eq!(a.video(i).total_views, b.video(i).total_views);
+            assert_eq!(a.fetch(&a.video(i).key), b.fetch(&b.video(i).key));
+        }
+    }
+
+    #[test]
+    fn charts_are_sorted_by_in_country_views() {
+        let p = platform();
+        let us = world().by_code("US").unwrap().id;
+        let chart = p.top_videos(us, 10);
+        assert_eq!(chart.len(), 10);
+        let views: Vec<f64> = chart
+            .iter()
+            .map(|k| p.ground_truth(k).unwrap().views_by_country[us])
+            .collect();
+        for w in views.windows(2) {
+            assert!(w[0] >= w[1], "chart not sorted: {views:?}");
+        }
+        // Chart head must dominate a random video.
+        let some = p.video(1234).views_by_country[us];
+        assert!(views[0] >= some);
+    }
+
+    #[test]
+    fn fetch_round_trips_keys() {
+        let p = platform();
+        let meta = p.fetch("yt00000000").unwrap();
+        assert_eq!(meta.key, "yt00000000");
+        assert!(p.fetch("nope").is_none());
+    }
+
+    #[test]
+    fn related_returns_known_keys() {
+        let p = platform();
+        let related = p.related("yt00000001", 5);
+        assert!(!related.is_empty());
+        for key in &related {
+            assert!(p.fetch(key).is_some());
+        }
+        assert!(p.related("nope", 5).is_empty());
+    }
+
+    #[test]
+    fn defect_rates_materialize() {
+        let p = platform();
+        let n = p.catalogue_size() as f64;
+        let mut missing = 0.0;
+        let mut corrupt = 0.0;
+        let mut empty = 0.0;
+        let mut tagless = 0.0;
+        for i in 0..p.catalogue_size() {
+            let meta = p.fetch(&p.video(i).key).unwrap();
+            match &meta.popularity {
+                None => missing += 1.0,
+                Some(raw) if raw.len() != world().len() || raw.iter().any(|&b| b > 61) => {
+                    corrupt += 1.0
+                }
+                Some(raw) if raw.iter().all(|&b| b == 0) => empty += 1.0,
+                Some(_) => {}
+            }
+            if meta.tags.is_empty() {
+                tagless += 1.0;
+            }
+        }
+        let cfg = p.config();
+        assert!((missing / n - cfg.defect_missing_pop).abs() < 0.03);
+        assert!((corrupt / n - cfg.defect_corrupt_pop).abs() < 0.03);
+        assert!((empty / n - cfg.defect_empty_pop).abs() < 0.03);
+        assert!(tagless / n < 0.03);
+    }
+
+    #[test]
+    fn served_charts_obey_eq1_forward_model() {
+        let p = platform();
+        // Find a video served with a clean chart and check one entry
+        // against a manual Eq. 1 computation.
+        let world = world();
+        for i in 0..p.catalogue_size() {
+            let v = p.video(i);
+            let meta = p.fetch(&v.key).unwrap();
+            let Some(raw) = &meta.popularity else { continue };
+            if raw.len() != world.len() || raw.iter().any(|&b| b > 61) || raw.iter().all(|&b| b == 0)
+            {
+                continue;
+            }
+            let intensity = v.views_by_country.hadamard_div(p.ytube()).unwrap();
+            let expected = PopularityVector::quantize(&intensity).unwrap();
+            assert_eq!(raw.as_slice(), expected.as_slice());
+            return;
+        }
+        panic!("no cleanly served video found");
+    }
+
+    #[test]
+    fn ytube_sums_video_views() {
+        let p = platform();
+        let total: f64 = p.ytube().sum();
+        let expected: f64 = p.videos().iter().map(|v| v.views_by_country.sum()).sum();
+        assert!((total - expected).abs() / expected < 1e-12);
+        assert!((p.true_traffic().as_vec().sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn without_defects_serves_everything_clean() {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_videos(300).without_defects();
+        let p = Platform::generate(cfg);
+        for i in 0..p.catalogue_size() {
+            let meta = p.fetch(&p.video(i).key).unwrap();
+            assert!(!meta.tags.is_empty());
+            let raw = meta.popularity.expect("chart present");
+            assert_eq!(raw.len(), world().len());
+            assert!(raw.iter().any(|&b| b > 0));
+        }
+    }
+
+    /// Growing the world (same seed, more videos) is append-only for
+    /// *ground truth*: the per-video generator streams PRNG draws
+    /// sequentially, so the first N videos keep their identity, tags
+    /// and view vectors. This is the platform's "time passes, new
+    /// uploads appear" model, which `tagdist-crawler`'s recrawl
+    /// exploits. Served charts may shift by quantization levels —
+    /// intensities are relative to total platform traffic, which the
+    /// new uploads change (exactly as on the real platform).
+    #[test]
+    fn growing_the_world_preserves_existing_videos() {
+        let mut small_cfg = WorldConfig::tiny();
+        small_cfg.with_videos(300);
+        let mut big_cfg = WorldConfig::tiny();
+        big_cfg.with_videos(400);
+        let small = Platform::generate(small_cfg);
+        let big = Platform::generate(big_cfg);
+        for i in 0..300 {
+            assert_eq!(small.video(i).total_views, big.video(i).total_views);
+            assert_eq!(small.video(i).tags, big.video(i).tags);
+            assert_eq!(
+                small.video(i).views_by_country,
+                big.video(i).views_by_country
+            );
+            // Served tag/view metadata is stable too (defect draws are
+            // per-video in order); only the chart intensities may move.
+            let key = &small.video(i).key;
+            let a = small.fetch(key).unwrap();
+            let b = big.fetch(key).unwrap();
+            assert_eq!(a.tags, b.tags);
+            assert_eq!(a.total_views, b.total_views);
+            assert_eq!(a.popularity.is_some(), b.popularity.is_some());
+        }
+        assert_eq!(big.catalogue_size(), 400);
+    }
+
+    #[test]
+    fn seed_changes_the_world() {
+        let mut cfg_a = WorldConfig::tiny();
+        cfg_a.with_videos(200).with_seed(1);
+        let mut cfg_b = WorldConfig::tiny();
+        cfg_b.with_videos(200).with_seed(2);
+        let a = Platform::generate(cfg_a);
+        let b = Platform::generate(cfg_b);
+        let differs = (0..200).any(|i| a.video(i).total_views != b.video(i).total_views);
+        assert!(differs);
+    }
+}

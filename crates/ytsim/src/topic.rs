@@ -1,0 +1,451 @@
+//! The generative topic model.
+//!
+//! Every synthetic video belongs to one or two *topics*. A topic
+//! carries the two properties the paper's analysis hinges on:
+//!
+//! * a **geographic affinity** — the per-country distribution its
+//!   videos' views follow. Global topics track the world traffic
+//!   distribution (Fig. 2's `pop`); local topics concentrate on an
+//!   anchor country and its language group (Fig. 3's `favela`), and
+//! * a **tag vocabulary** — Zipf-weighted tags from which videos draw,
+//!   with the topic's own name as the most likely tag. This is what
+//!   makes tags *predictive markers* of geography, the paper's central
+//!   conjecture.
+//!
+//! The first two topics are always the paper's exemplars: topic 0 is
+//! the global music topic `pop`, topic 1 the Brazil-anchored `favela`.
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagdist_geo::{CountryId, CountryVec, GeoDist, TrafficModel, World};
+
+use crate::config::WorldConfig;
+use crate::sampling::Zipf;
+
+/// Dense topic identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicId(u16);
+
+impl TopicId {
+    /// Creates a topic id from a raw dense index.
+    pub fn from_index(index: usize) -> TopicId {
+        TopicId(index as u16)
+    }
+
+    /// Returns the dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topic{}", self.0)
+    }
+}
+
+/// Whether a topic's audience is worldwide or anchored to a country.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopicKind {
+    /// Audience follows the world traffic distribution (Fig. 2).
+    Global,
+    /// Audience concentrates on an anchor country and spills over into
+    /// its language group and region (Fig. 3).
+    Local(CountryId),
+}
+
+/// One topic of the generative model.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    /// Dense id.
+    pub id: TopicId,
+    /// Human-readable name; also the topic's most likely tag.
+    pub name: String,
+    /// Global or country-anchored.
+    pub kind: TopicKind,
+    /// Per-country distribution of the views of this topic's videos.
+    pub affinity: GeoDist,
+    /// Relative popularity multiplier applied to view counts of videos
+    /// in this topic (Zipf over topic rank, so a few topics — `pop`
+    /// among them — dominate worldwide views).
+    pub popularity: f64,
+    /// The topic's tag vocabulary, most-likely first.
+    pub vocabulary: Vec<String>,
+}
+
+impl Topic {
+    /// Draws `k` distinct tags from the vocabulary, Zipf-weighted.
+    pub fn draw_tags<R: Rng + ?Sized>(&self, rng: &mut R, zipf: &Zipf, k: usize) -> Vec<String> {
+        debug_assert_eq!(zipf.len(), self.vocabulary.len());
+        let mut out: Vec<String> = Vec::with_capacity(k);
+        let mut guard = 0;
+        while out.len() < k.min(self.vocabulary.len()) && guard < 50 * k + 50 {
+            guard += 1;
+            let tag = &self.vocabulary[zipf.sample(rng)];
+            if !out.iter().any(|t| t == tag) {
+                out.push(tag.clone());
+            }
+        }
+        out
+    }
+}
+
+/// The full topic model: all topics plus shared vocabulary.
+#[derive(Debug, Clone)]
+pub struct TopicModel {
+    topics: Vec<Topic>,
+    shared_vocabulary: Vec<String>,
+    topic_sampler: Zipf,
+    tag_sampler: Zipf,
+    shared_sampler: Zipf,
+}
+
+/// Names seeding the generated topic list, cycled with numeric
+/// suffixes when the configuration asks for more topics. The first two
+/// are fixed by construction (`pop`, `favela`).
+const TOPIC_THEMES: &[&str] = &[
+    "rock", "gaming", "football", "anime", "cricket", "telenovela", "kpop", "bollywood",
+    "schlager", "chanson", "samba", "manga", "rap", "tutorial", "comedy", "news", "cooking",
+    "travel", "fitness", "tech", "cars", "fashion", "diy", "pets", "science", "history",
+    "politics", "movies", "trailer", "vlog", "dance", "karaoke", "wrestling", "rugby",
+    "sumo", "flamenco", "tango", "polka", "klezmer", "highlife",
+];
+
+/// Shared topic-agnostic tags every uploader sprinkles on videos.
+const SHARED_THEMES: &[&str] = &[
+    "video", "music", "live", "official", "hd", "new", "2011", "funny", "best", "tv",
+    "show", "full", "original", "clip", "world", "top", "free", "amazing", "epic", "fail",
+];
+
+impl TopicModel {
+    /// Generates the topic model for a configuration.
+    ///
+    /// Deterministic in `cfg.seed`. Topic 0 is always the global
+    /// `pop` topic and topic 1 the Brazil-anchored `favela` topic, so
+    /// the paper's Figs. 2–3 have direct analogues in every world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`WorldConfig::validate`].
+    pub fn generate(cfg: &WorldConfig, world: &World, traffic: &TrafficModel) -> TopicModel {
+        cfg.validate().expect("invalid world configuration");
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let popularity = Zipf::new(cfg.topics, 1.0);
+
+        let br = world
+            .by_code("BR")
+            .expect("registry contains Brazil")
+            .id;
+        let mut topics = Vec::with_capacity(cfg.topics);
+        for index in 0..cfg.topics {
+            let (name, kind) = match index {
+                0 => ("pop".to_owned(), TopicKind::Global),
+                1 => ("favela".to_owned(), TopicKind::Local(br)),
+                _ => {
+                    let theme = TOPIC_THEMES[(index - 2) % TOPIC_THEMES.len()];
+                    let name = if index - 2 < TOPIC_THEMES.len() {
+                        theme.to_owned()
+                    } else {
+                        format!("{theme}{}", (index - 2) / TOPIC_THEMES.len())
+                    };
+                    let is_global = rng.gen::<f64>() < cfg.global_topic_share;
+                    if is_global {
+                        (name, TopicKind::Global)
+                    } else {
+                        let anchor = traffic.distribution().sample(&mut rng);
+                        (name, TopicKind::Local(anchor))
+                    }
+                }
+            };
+            let affinity = Self::affinity_for(kind, world, traffic, &mut rng);
+            let vocabulary = Self::vocabulary_for(&name, cfg.tags_per_topic);
+            topics.push(Topic {
+                id: TopicId::from_index(index),
+                name,
+                kind,
+                affinity,
+                // Rank-based Zipf popularity; `pop` (rank 0) dominates,
+                // matching its "second most viewed tag" status in the
+                // paper (first place goes to the shared tag `music`).
+                popularity: popularity.pmf(index) * cfg.topics as f64,
+                vocabulary,
+            });
+        }
+
+        let shared_vocabulary = (0..cfg.shared_tags)
+            .map(|i| {
+                let theme = SHARED_THEMES[i % SHARED_THEMES.len()];
+                if i < SHARED_THEMES.len() {
+                    theme.to_owned()
+                } else {
+                    format!("{theme}{}", i / SHARED_THEMES.len())
+                }
+            })
+            .collect::<Vec<_>>();
+
+        TopicModel {
+            topic_sampler: Zipf::new(cfg.topics, 0.8),
+            tag_sampler: Zipf::new(cfg.tags_per_topic, cfg.tag_zipf_exponent),
+            shared_sampler: Zipf::new(cfg.shared_tags, cfg.tag_zipf_exponent),
+            topics,
+            shared_vocabulary,
+        }
+    }
+
+    fn affinity_for(
+        kind: TopicKind,
+        world: &World,
+        traffic: &TrafficModel,
+        rng: &mut StdRng,
+    ) -> GeoDist {
+        match kind {
+            TopicKind::Global => {
+                // Traffic-following with mild multiplicative jitter so
+                // global topics are not all identical.
+                let jittered: CountryVec = traffic
+                    .distribution()
+                    .as_vec()
+                    .as_slice()
+                    .iter()
+                    .map(|&p| p * (0.7 + 0.6 * rng.gen::<f64>()))
+                    .collect();
+                GeoDist::from_counts(&jittered).expect("jittered traffic keeps mass")
+            }
+            TopicKind::Local(anchor) => {
+                let anchor_country = world.country(anchor);
+                let mut w = CountryVec::zeros(world.len());
+                // 55–80 % of the audience in the anchor country…
+                let anchor_mass = 0.55 + 0.25 * rng.gen::<f64>();
+                w[anchor] = anchor_mass;
+                // …a language-group spillover…
+                let peers = world.speaking(anchor_country.language);
+                let lang_mass = 0.6 * (1.0 - anchor_mass);
+                if peers.len() > 1 {
+                    let share = lang_mass / (peers.len() - 1) as f64;
+                    for peer in peers {
+                        if peer != anchor {
+                            w[peer] += share;
+                        }
+                    }
+                } else {
+                    w[anchor] += lang_mass;
+                }
+                // …and a thin global tail following traffic.
+                let tail = 1.0 - w.sum();
+                let tail_vec = traffic.distribution().as_vec().scaled(tail);
+                w += &tail_vec;
+                GeoDist::from_counts(&w).expect("local affinity keeps mass")
+            }
+        }
+    }
+
+    fn vocabulary_for(name: &str, size: usize) -> Vec<String> {
+        let mut vocab = Vec::with_capacity(size);
+        vocab.push(name.to_owned());
+        for i in 1..size {
+            vocab.push(format!("{name}-{i}"));
+        }
+        vocab
+    }
+
+    /// All topics in id order.
+    pub fn topics(&self) -> &[Topic] {
+        &self.topics
+    }
+
+    /// Returns the topic with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn topic(&self, id: TopicId) -> &Topic {
+        &self.topics[id.index()]
+    }
+
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Returns `true` if the model has no topics (unreachable via the
+    /// public constructor; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Samples a topic id, Zipf-weighted so early topics host more
+    /// videos.
+    pub fn sample_topic<R: Rng + ?Sized>(&self, rng: &mut R) -> TopicId {
+        TopicId::from_index(self.topic_sampler.sample(rng))
+    }
+
+    /// Draws `k` distinct topic tags for a video of topic `id`.
+    pub fn draw_topic_tags<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: TopicId,
+        k: usize,
+    ) -> Vec<String> {
+        self.topic(id).draw_tags(rng, &self.tag_sampler, k)
+    }
+
+    /// Draws `k` distinct shared (topic-agnostic) tags.
+    pub fn draw_shared_tags<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<String> {
+        let mut out: Vec<String> = Vec::with_capacity(k);
+        let mut guard = 0;
+        while out.len() < k.min(self.shared_vocabulary.len()) && guard < 50 * k + 50 {
+            guard += 1;
+            let tag = &self.shared_vocabulary[self.shared_sampler.sample(rng)];
+            if !out.iter().any(|t| t == tag) {
+                out.push(tag.clone());
+            }
+        }
+        out
+    }
+
+    /// The shared vocabulary, most-likely first.
+    pub fn shared_vocabulary(&self) -> &[String] {
+        &self.shared_vocabulary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_geo::world;
+
+    fn model() -> TopicModel {
+        let cfg = WorldConfig::tiny();
+        let traffic = TrafficModel::reference(world());
+        TopicModel::generate(&cfg, world(), &traffic)
+    }
+
+    #[test]
+    fn builtin_topics_match_the_paper_exemplars() {
+        let m = model();
+        assert_eq!(m.topic(TopicId::from_index(0)).name, "pop");
+        assert_eq!(m.topic(TopicId::from_index(0)).kind, TopicKind::Global);
+        let favela = m.topic(TopicId::from_index(1));
+        assert_eq!(favela.name, "favela");
+        let br = world().by_code("BR").unwrap().id;
+        assert_eq!(favela.kind, TopicKind::Local(br));
+    }
+
+    #[test]
+    fn local_affinity_concentrates_on_anchor() {
+        let m = model();
+        let favela = m.topic(TopicId::from_index(1));
+        let br = world().by_code("BR").unwrap().id;
+        assert_eq!(favela.affinity.top_country(), Some(br));
+        assert!(favela.affinity.top_share() >= 0.5);
+        // Language spillover: Portugal receives some mass.
+        let pt = world().by_code("PT").unwrap().id;
+        assert!(favela.affinity.prob(pt) > 0.0);
+    }
+
+    #[test]
+    fn global_affinity_tracks_traffic() {
+        let m = model();
+        let traffic = TrafficModel::reference(world());
+        let pop = m.topic(TopicId::from_index(0));
+        let js = pop
+            .affinity
+            .js_divergence(traffic.distribution())
+            .unwrap();
+        assert!(js < 0.08, "global topic far from traffic: JS = {js}");
+    }
+
+    #[test]
+    fn local_topics_diverge_from_traffic() {
+        let m = model();
+        let traffic = TrafficModel::reference(world());
+        let favela = m.topic(TopicId::from_index(1));
+        let js = favela
+            .affinity
+            .js_divergence(traffic.distribution())
+            .unwrap();
+        assert!(js > 0.3, "local topic too close to traffic: JS = {js}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorldConfig::tiny();
+        let traffic = TrafficModel::reference(world());
+        let a = TopicModel::generate(&cfg, world(), &traffic);
+        let b = TopicModel::generate(&cfg, world(), &traffic);
+        for (x, y) in a.topics().iter().zip(b.topics()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.affinity, y.affinity);
+        }
+    }
+
+    #[test]
+    fn vocabularies_start_with_the_topic_name() {
+        let m = model();
+        for topic in m.topics() {
+            assert_eq!(topic.vocabulary[0], topic.name);
+            assert_eq!(topic.vocabulary.len(), WorldConfig::tiny().tags_per_topic);
+        }
+    }
+
+    #[test]
+    fn drawn_tags_are_distinct_and_from_the_vocabulary() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tags = m.draw_topic_tags(&mut rng, TopicId::from_index(0), 5);
+        assert_eq!(tags.len(), 5);
+        let mut dedup = tags.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        let vocab = &m.topic(TopicId::from_index(0)).vocabulary;
+        for t in &tags {
+            assert!(vocab.contains(t));
+        }
+    }
+
+    #[test]
+    fn shared_tags_are_distinct() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(4);
+        let tags = m.draw_shared_tags(&mut rng, 4);
+        assert_eq!(tags.len(), 4);
+        let mut dedup = tags.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn pop_topic_has_the_largest_popularity_multiplier() {
+        let m = model();
+        let pop = m.topic(TopicId::from_index(0)).popularity;
+        for t in m.topics().iter().skip(1) {
+            assert!(pop >= t.popularity, "{} out-populars pop", t.name);
+        }
+    }
+
+    #[test]
+    fn topic_sampling_prefers_early_topics() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; m.len()];
+        for _ in 0..10_000 {
+            counts[m.sample_topic(&mut rng).index()] += 1;
+        }
+        assert!(counts[0] > counts[m.len() - 1]);
+    }
+
+    #[test]
+    fn affinities_are_valid_distributions() {
+        let m = model();
+        for t in m.topics() {
+            let sum = t.affinity.as_vec().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: Σ = {sum}", t.name);
+            assert!(t.affinity.as_vec().is_nonnegative());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Ground-truth video generation.
+//!
+//! Each synthetic video carries the *true* per-country view vector —
+//! the quantity the paper can only approximate by inverting the
+//! Map-Chart encoding. Keeping the truth alongside the observable
+//! metadata is what lets this reproduction measure reconstruction
+//! error (experiment E5) instead of merely eyeballing maps.
+
+use rand::Rng;
+use tagdist_geo::{CountryId, CountryVec, GeoDist, TrafficModel, World};
+
+use crate::config::WorldConfig;
+use crate::sampling::LogNormal;
+use crate::topic::{TopicId, TopicModel};
+
+/// One video with full ground truth.
+#[derive(Debug, Clone)]
+pub struct GroundTruthVideo {
+    /// Dense platform index.
+    pub index: usize,
+    /// External key in YouTube's spirit (`"yt000042"`).
+    pub key: String,
+    /// Display title.
+    pub title: String,
+    /// The video's topics (one or two; the first is primary).
+    pub topics: Vec<TopicId>,
+    /// Country the uploader lives in.
+    pub upload_country: CountryId,
+    /// Total worldwide views.
+    pub total_views: u64,
+    /// Video duration in seconds (drives storage size in byte-budget
+    /// cache experiments).
+    pub duration_secs: u32,
+    /// Ground-truth per-country views; sums to `total_views` (up to
+    /// floating-point rounding).
+    pub views_by_country: CountryVec,
+    /// Uploader-provided tags (pre-defect; the platform may hide them
+    /// from crawlers to model incomplete metadata).
+    pub tags: Vec<String>,
+}
+
+impl GroundTruthVideo {
+    /// Approximate storage size in bytes at a 2011-typical 360p
+    /// bitrate (~0.5 Mbit/s ≈ 64 KiB/s).
+    pub fn size_bytes(&self) -> f64 {
+        self.duration_secs as f64 * 64.0 * 1024.0
+    }
+
+    /// The true geographic view distribution of this video.
+    pub fn view_distribution(&self) -> GeoDist {
+        GeoDist::from_counts(&self.views_by_country)
+            .expect("generated view vectors always carry mass")
+    }
+
+    /// Primary topic.
+    pub fn primary_topic(&self) -> TopicId {
+        self.topics[0]
+    }
+}
+
+/// Deterministic external key for a platform index.
+pub fn key_for(index: usize) -> String {
+    format!("yt{index:08}")
+}
+
+/// Generates one video.
+///
+/// The view distribution is the mixture the paper's world implies:
+/// `topic affinity` (what the content is about), an
+/// `uploader-locality` point mass (creators' home audiences), and a
+/// `global` traffic-following tail, weighted by
+/// [`WorldConfig::upload_locality`] and [`WorldConfig::global_mixing`].
+pub fn generate_video<R: Rng + ?Sized>(
+    index: usize,
+    cfg: &WorldConfig,
+    model: &TopicModel,
+    world: &World,
+    traffic: &TrafficModel,
+    views: &LogNormal,
+    rng: &mut R,
+) -> GroundTruthVideo {
+    // Topics: always a primary, sometimes a secondary.
+    let primary = model.sample_topic(rng);
+    let mut topics = vec![primary];
+    if rng.gen::<f64>() < 0.3 {
+        let second = model.sample_topic(rng);
+        if second != primary {
+            topics.push(second);
+        }
+    }
+
+    // Content affinity: average of the topics' affinities.
+    let mut affinity = model.topic(primary).affinity.as_vec().clone();
+    if topics.len() == 2 {
+        affinity = affinity.scaled(0.65);
+        affinity += &model.topic(topics[1]).affinity.as_vec().scaled(0.35);
+    }
+
+    // Uploaders cluster where their topic's audience is.
+    let upload_country = model.topic(primary).affinity.sample(rng);
+
+    // Heavy-tailed views, boosted by topic popularity.
+    let popularity = model.topic(primary).popularity;
+    let total_views = ((views.sample_views(rng) as f64) * popularity)
+        .round()
+        .max(1.0) as u64;
+
+    // Duration: lognormal around 4 minutes, clamped to 10 s – 2 h.
+    let duration = (240.0 * (0.9 * (rng.gen::<f64>() * 2.0 - 1.0)).exp())
+        .round()
+        .clamp(10.0, 7_200.0) as u32;
+
+    // Final mixture.
+    let topic_weight = 1.0 - cfg.upload_locality - cfg.global_mixing;
+    let mut mixture = affinity.scaled(topic_weight);
+    let mut local = CountryVec::zeros(world.len());
+    local[upload_country] = cfg.upload_locality;
+    mixture += &local;
+    mixture += &traffic.distribution().as_vec().scaled(cfg.global_mixing);
+    let views_by_country = mixture.scaled(total_views as f64);
+
+    // Tags: primary topic + optional secondary + shared + unique.
+    let n_tags = rng.gen_range(cfg.min_tags_per_video..=cfg.max_tags_per_video);
+    let n_secondary = if topics.len() == 2 { n_tags / 4 } else { 0 };
+    let n_shared = (n_tags / 3).max(1);
+    let n_primary = n_tags.saturating_sub(n_secondary + n_shared).max(1);
+    let mut tags = model.draw_topic_tags(rng, primary, n_primary);
+    if n_secondary > 0 {
+        for t in model.draw_topic_tags(rng, topics[1], n_secondary) {
+            if !tags.contains(&t) {
+                tags.push(t);
+            }
+        }
+    }
+    for t in model.draw_shared_tags(rng, n_shared) {
+        if !tags.contains(&t) {
+            tags.push(t);
+        }
+    }
+    if rng.gen::<f64>() < cfg.unique_tag_probability {
+        tags.push(format!("u-{}", key_for(index)));
+    }
+
+    let title = format!(
+        "{} #{index} ({})",
+        model.topic(primary).name,
+        world.country(upload_country).code
+    );
+
+    GroundTruthVideo {
+        index,
+        key: key_for(index),
+        title,
+        topics,
+        upload_country,
+        total_views,
+        duration_secs: duration,
+        views_by_country,
+        tags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagdist_geo::world;
+
+    fn make(seed: u64) -> GroundTruthVideo {
+        let cfg = WorldConfig::tiny();
+        let traffic = TrafficModel::reference(world());
+        let model = TopicModel::generate(&cfg, world(), &traffic);
+        let views = LogNormal::new(cfg.views_ln_mean, cfg.views_ln_sigma);
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_video(7, &cfg, &model, world(), &traffic, &views, &mut rng)
+    }
+
+    #[test]
+    fn keys_are_stable_and_padded() {
+        assert_eq!(key_for(42), "yt00000042");
+        assert_eq!(key_for(0), "yt00000000");
+        assert_eq!(make(1).key, "yt00000007");
+    }
+
+    #[test]
+    fn view_vector_sums_to_total() {
+        let v = make(2);
+        let sum = v.views_by_country.sum();
+        let rel = (sum - v.total_views as f64).abs() / v.total_views as f64;
+        assert!(rel < 1e-9, "Σ views_by_country = {sum} vs {}", v.total_views);
+    }
+
+    #[test]
+    fn view_distribution_is_valid() {
+        let v = make(3);
+        let d = v.view_distribution();
+        assert!((d.as_vec().sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tags_are_nonempty_and_unique() {
+        for seed in 0..20 {
+            let v = make(seed);
+            assert!(!v.tags.is_empty());
+            let mut t = v.tags.clone();
+            t.sort();
+            t.dedup();
+            assert_eq!(t.len(), v.tags.len(), "duplicate tags in {:?}", v.tags);
+        }
+    }
+
+    #[test]
+    fn tag_count_respects_bounds_modulo_unique_tag() {
+        let cfg = WorldConfig::tiny();
+        for seed in 0..30 {
+            let v = make(seed);
+            assert!(v.tags.len() >= cfg.min_tags_per_video.min(2));
+            assert!(v.tags.len() <= cfg.max_tags_per_video + 1, "{}", v.tags.len());
+        }
+    }
+
+    #[test]
+    fn primary_topic_tag_bias_shows_up() {
+        // Across many videos, the primary topic's own name should
+        // appear frequently (it is the Zipf head of the vocabulary).
+        let cfg = WorldConfig::tiny();
+        let traffic = TrafficModel::reference(world());
+        let model = TopicModel::generate(&cfg, world(), &traffic);
+        let views = LogNormal::new(cfg.views_ln_mean, cfg.views_ln_sigma);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = 0;
+        let n = 200;
+        for i in 0..n {
+            let v = generate_video(i, &cfg, &model, world(), &traffic, &views, &mut rng);
+            let name = &model.topic(v.primary_topic()).name;
+            if v.tags.iter().any(|t| t == name) {
+                hits += 1;
+            }
+        }
+        assert!(hits > n / 3, "topic-name tag hit rate {hits}/{n}");
+    }
+
+    #[test]
+    fn upload_locality_shifts_mass_home() {
+        let v = make(5);
+        let cfg = WorldConfig::tiny();
+        let d = v.view_distribution();
+        assert!(
+            d.prob(v.upload_country) >= cfg.upload_locality * 0.9,
+            "home share {} below locality weight",
+            d.prob(v.upload_country)
+        );
+    }
+
+    #[test]
+    fn views_are_positive() {
+        for seed in 0..20 {
+            assert!(make(seed).total_views >= 1);
+        }
+    }
+
+    #[test]
+    fn durations_and_sizes_are_plausible() {
+        for seed in 0..30 {
+            let v = make(seed);
+            assert!((10..=7_200).contains(&v.duration_secs), "{}", v.duration_secs);
+            assert!(v.size_bytes() > 0.0);
+            assert!((v.size_bytes() - v.duration_secs as f64 * 65_536.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = make(9);
+        let b = make(9);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.total_views, b.total_views);
+        assert_eq!(a.tags, b.tags);
+        assert_eq!(a.views_by_country, b.views_by_country);
+    }
+}

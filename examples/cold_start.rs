@@ -1,0 +1,107 @@
+//! E6 extension — cold start: predicting the geography of *new*
+//! uploads.
+//!
+//! The paper's deployment scenario is a video that has just been
+//! uploaded: no views, no popularity map — only tags. This example
+//! builds the tag knowledge base from a crawl of today's platform,
+//! lets the platform grow (same world seed, more videos — the
+//! generator is append-only), and predicts each new upload's view
+//! distribution from its tags alone. Baselines:
+//!
+//! * the world traffic prior (geo-blind), and
+//! * a point mass on the uploader's country (the metadata a UGC
+//!   service always has).
+//!
+//! ```text
+//! cargo run --release --example cold_start [--full]
+//! ```
+
+use tagdist::crawler::{crawl_parallel, CrawlConfig};
+use tagdist::dataset::filter;
+use tagdist::geo::{world, GeoDist};
+use tagdist::reconstruct::{ErrorReport, Reconstruction, TagViewTable};
+use tagdist::tags::Predictor;
+use tagdist::ytsim::{Platform, WorldConfig};
+
+fn main() {
+    let (base_videos, new_videos) = if std::env::args().any(|a| a == "--full") {
+        (120_000usize, 12_000usize)
+    } else {
+        (20_000usize, 2_000usize)
+    };
+
+    // Today's platform and its crawl-derived knowledge base.
+    let mut today_cfg = WorldConfig::default();
+    today_cfg.with_videos(base_videos);
+    let today = Platform::generate(today_cfg.clone());
+    let outcome = crawl_parallel(&today, &CrawlConfig::default());
+    let clean = filter(&outcome.dataset);
+    let traffic = today.true_traffic().clone();
+    let recon = Reconstruction::compute(&clean, &traffic).expect("reconstructs");
+    let table = TagViewTable::aggregate(&clean, &recon);
+    let predictor = Predictor::new(&table, &traffic);
+
+    // Tomorrow's platform: same world, `new_videos` fresh uploads.
+    let mut tomorrow_cfg = today_cfg;
+    tomorrow_cfg.with_videos(base_videos + new_videos);
+    let tomorrow = Platform::generate(tomorrow_cfg);
+
+    println!(
+        "cold start: knowledge base from {} crawled videos; {} new uploads",
+        clean.len(),
+        new_videos
+    );
+
+    let mut truth = Vec::with_capacity(new_videos);
+    let mut by_tags = Vec::with_capacity(new_videos);
+    let mut by_upload_country = Vec::with_capacity(new_videos);
+    let mut by_prior = Vec::with_capacity(new_videos);
+    let mut known_tag_hits = 0usize;
+    for i in base_videos..base_videos + new_videos {
+        let video = tomorrow.video(i);
+        truth.push(video.view_distribution());
+
+        // Tags as the uploader typed them; only those already seen by
+        // the crawl carry signal.
+        let tag_ids: Vec<_> = video
+            .tags
+            .iter()
+            .filter_map(|t| clean.tags().id(t))
+            .collect();
+        if !tag_ids.is_empty() {
+            known_tag_hits += 1;
+        }
+        by_tags.push(predictor.predict(&tag_ids, None));
+        by_upload_country.push(GeoDist::point_mass(world().len(), video.upload_country));
+        by_prior.push(traffic.clone());
+    }
+
+    println!(
+        "new uploads with at least one known tag: {:.1}%",
+        100.0 * known_tag_hits as f64 / new_videos as f64
+    );
+    println!();
+    println!(
+        "{:<26} {:>9} {:>9} {:>11}",
+        "predictor", "mean JS", "mean TV", "top-1 acc"
+    );
+    for (name, estimate) in [
+        ("tags (paper's proposal)", &by_tags),
+        ("uploader country", &by_upload_country),
+        ("traffic prior", &by_prior),
+    ] {
+        let report = ErrorReport::compare(&truth, estimate).expect("aligned");
+        println!(
+            "{name:<26} {:>9.4} {:>9.4} {:>10.1}%",
+            report.js.mean,
+            report.total_variation.mean,
+            100.0 * report.top_country_accuracy
+        );
+    }
+    println!();
+    println!("expected shape: tags beat both baselines on whole-distribution error");
+    println!("(mean JS/TV) — semantic markers generalize to unseen videos. The");
+    println!("uploader-country point mass wins top-1 accuracy but is useless for");
+    println!("placing the other ~75% of a video's views; a production predictor");
+    println!("would mix both signals.");
+}

@@ -1,0 +1,68 @@
+//! E3/E4 inverse view — what is watched *where*: per-country tag
+//! signatures from the inverted geographic index.
+//!
+//! For a sample of countries, prints the most-viewed tags (dominated
+//! by global head tags, like any chart) and the highest-*lift* tags —
+//! those over-represented relative to the country's traffic share,
+//! i.e. its `favela`-style signatures. This is the query a cache
+//! warmup job would run per site.
+//!
+//! ```text
+//! cargo run --release --example country_tags [--full]
+//! ```
+
+use tagdist::tags::GeoTagIndex;
+use tagdist::{Study, StudyConfig};
+
+fn main() {
+    let config = if std::env::args().any(|a| a == "--full") {
+        StudyConfig::default()
+    } else {
+        StudyConfig::small()
+    };
+    let study = Study::run(config);
+    let names = study.clean().tags();
+
+    // Lift over tags with enough evidence to be trustworthy.
+    let min_views = 50_000.0;
+    let index = GeoTagIndex::build(study.tag_table(), study.traffic(), 6, min_views, 5);
+
+    println!(
+        "per-country tag signatures ({} tags; lift needs ≥ {:.0} views and ≥ 5 videos)",
+        study.tag_table().populated_tags(),
+        min_views
+    );
+    println!();
+    for code in ["BR", "JP", "FR", "IN", "US", "RU"] {
+        let country = study
+            .world()
+            .by_code(code)
+            .expect("sample countries are registered");
+        println!(
+            "== {} ({}) — traffic share {:.1}% ==",
+            country.name,
+            code,
+            100.0 * study.traffic().prob(country.id)
+        );
+        println!("  most viewed:");
+        for s in index.top_by_views(country.id).iter().take(4) {
+            println!(
+                "    {:<22} {:>14.0} views",
+                names.name(s.tag),
+                s.views
+            );
+        }
+        println!("  highest lift (signature tags):");
+        for s in index.top_by_lift(country.id).iter().take(4) {
+            println!(
+                "    {:<22} lift {:>6.1}x  ({:.0} views here)",
+                names.name(s.tag),
+                s.lift,
+                s.views
+            );
+        }
+        println!();
+    }
+    println!("expected shape: 'most viewed' lists are near-identical global head");
+    println!("tags; 'highest lift' lists are country-specific topic tags.");
+}

@@ -1,0 +1,77 @@
+//! Operational workflow: crawl → save → reload → incremental recrawl.
+//!
+//! Mirrors how the original dataset was actually used — collected
+//! once, serialized, and re-analyzed offline for years — plus the
+//! incremental recrawl a maintained deployment would run.
+//!
+//! ```text
+//! cargo run --release --example crawl_and_save [--full] [path.tsv]
+//! ```
+
+use std::fs::File;
+
+use tagdist::crawler::{crawl_parallel, recrawl, CrawlConfig};
+use tagdist::dataset::{filter, sample_stratified, tsv, DatasetStats};
+use tagdist::ytsim::{Platform, WorldConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| a != "--full")
+        .unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join("tagdist-crawl.tsv")
+                .to_string_lossy()
+                .into_owned()
+        });
+    let world_cfg = if full {
+        WorldConfig::default()
+    } else {
+        WorldConfig::small()
+    };
+    let platform = Platform::generate(world_cfg);
+
+    // 1. Partial first crawl (half budget), as if interrupted.
+    let mut partial_cfg = CrawlConfig::default();
+    partial_cfg.with_budget(platform_budget(&platform) / 2);
+    let first = crawl_parallel(&platform, &partial_cfg);
+    println!("first crawl:  {}", first.stats);
+
+    // 2. Persist it.
+    {
+        let mut file = File::create(&path).expect("create output file");
+        tsv::write(&first.dataset, &mut file).expect("serialize crawl");
+    }
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("saved {} records to {path} ({bytes} bytes)", first.dataset.len());
+
+    // 3. Reload and verify.
+    let reloaded = tsv::read(File::open(&path).expect("open")).expect("parse");
+    assert_eq!(reloaded.len(), first.dataset.len());
+    println!("reloaded {} records", reloaded.len());
+
+    // 4. Incremental recrawl to completion.
+    let extended = recrawl(&platform, &CrawlConfig::default(), &reloaded);
+    println!(
+        "recrawl:      reused {}, fetched {} new → {} total",
+        extended.reused,
+        extended.newly_fetched,
+        extended.dataset.len()
+    );
+
+    // 5. Analyze, on a stratified subsample for speed.
+    let sample = sample_stratified(&extended.dataset, extended.dataset.len() / 2, 10, 7);
+    let clean = filter(&sample);
+    println!();
+    println!("stratified half-sample analysis:");
+    println!("{}", clean.report());
+    println!("{}", DatasetStats::compute(&clean));
+
+    std::fs::remove_file(&path).ok();
+}
+
+fn platform_budget(platform: &Platform) -> usize {
+    use tagdist::ytsim::PlatformApi;
+    platform.catalogue_size()
+}

@@ -1,0 +1,113 @@
+//! E1 — the §2 dataset-statistics block, paper vs. reproduction.
+//!
+//! The paper reports: 1,063,844 crawled videos; 6,736 dropped for
+//! missing tags; 691,349 kept after also dropping incorrect/empty
+//! popularity vectors; 705,415 unique tags; 173,288,616,473 views.
+//! Absolute counts scale with the synthetic world size; the *ratios*
+//! are the reproduction target.
+//!
+//! ```text
+//! cargo run --release --example dataset_stats [--full]
+//! ```
+
+use tagdist::dataset::DatasetStats;
+use tagdist::{Study, StudyConfig};
+
+/// The paper's §2 constants.
+const PAPER_CRAWLED: f64 = 1_063_844.0;
+const PAPER_NO_TAGS: f64 = 6_736.0;
+const PAPER_KEPT: f64 = 691_349.0;
+const PAPER_UNIQUE_TAGS: f64 = 705_415.0;
+const PAPER_TOTAL_VIEWS: f64 = 173_288_616_473.0;
+
+fn main() {
+    let config = if std::env::args().any(|a| a == "--full") {
+        StudyConfig::default()
+    } else {
+        StudyConfig::small()
+    };
+    let study = Study::run(config);
+    let report = study.filter_report();
+    let stats = study.dataset_stats();
+
+    println!("E1: §2 dataset statistics — paper vs. reproduction");
+    println!();
+    println!(
+        "{:<28} {:>16} {:>16} {:>10} {:>10}",
+        "quantity", "paper", "ours", "paper %", "ours %"
+    );
+    let rows: Vec<(&str, f64, f64, f64, f64)> = vec![
+        (
+            "crawled videos",
+            PAPER_CRAWLED,
+            report.crawled as f64,
+            100.0,
+            100.0,
+        ),
+        (
+            "dropped: no tags",
+            PAPER_NO_TAGS,
+            report.no_tags as f64,
+            100.0 * PAPER_NO_TAGS / PAPER_CRAWLED,
+            100.0 * report.no_tags as f64 / report.crawled as f64,
+        ),
+        (
+            "dropped: bad popularity",
+            PAPER_CRAWLED - PAPER_NO_TAGS - PAPER_KEPT,
+            report.bad_popularity as f64,
+            100.0 * (PAPER_CRAWLED - PAPER_NO_TAGS - PAPER_KEPT) / PAPER_CRAWLED,
+            100.0 * report.bad_popularity as f64 / report.crawled as f64,
+        ),
+        (
+            "kept (working set)",
+            PAPER_KEPT,
+            report.kept as f64,
+            100.0 * PAPER_KEPT / PAPER_CRAWLED,
+            100.0 * report.keep_ratio(),
+        ),
+    ];
+    for (name, paper, ours, paper_pct, ours_pct) in rows {
+        println!(
+            "{name:<28} {paper:>16.0} {ours:>16.0} {paper_pct:>9.2}% {ours_pct:>9.2}%"
+        );
+    }
+    println!();
+    println!(
+        "{:<28} {:>16.0} {:>16}",
+        "unique tags", PAPER_UNIQUE_TAGS, stats.unique_tags
+    );
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "tags per kept video",
+        format!("{:.2}", PAPER_UNIQUE_TAGS / PAPER_KEPT),
+        format!("{:.2}", stats.unique_tags as f64 / report.kept as f64),
+    );
+    println!(
+        "{:<28} {:>16.3e} {:>16.3e}",
+        "total views", PAPER_TOTAL_VIEWS, stats.total_views as f64
+    );
+    println!(
+        "{:<28} {:>16.0} {:>16.0}",
+        "mean views per video",
+        PAPER_TOTAL_VIEWS / PAPER_KEPT,
+        stats.total_views as f64 / report.kept as f64
+    );
+    println!();
+    println!("corpus shape diagnostics (ours):");
+    println!("  mean tags/video:     {:.2}", stats.mean_tags_per_video);
+    println!(
+        "  singleton tag share: {:.1}%",
+        100.0 * stats.singleton_tag_share
+    );
+    println!(
+        "  top-1% view share:   {:.1}%",
+        100.0 * stats.top1pct_view_share
+    );
+    println!("  max video views:     {}", stats.max_video_views);
+    println!("  median video views:  {}", stats.median_video_views);
+    println!();
+    println!("tag rank-frequency (log-spaced; straight-ish on log-log = Zipf):");
+    for (rank, videos) in DatasetStats::tag_rank_frequency(study.clean(), 9) {
+        println!("  rank {rank:>8}: {videos:>7} videos");
+    }
+}

@@ -1,0 +1,38 @@
+//! Generates a complete markdown study report (all experiments) and
+//! writes it next to the repository's EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example full_report [--full] [output.md]
+//! ```
+
+use tagdist::{markdown_report, ReportOptions, Study, StudyConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| a != "--full")
+        .unwrap_or_else(|| "study_report.md".to_owned());
+    let config = if full {
+        StudyConfig::default()
+    } else {
+        StudyConfig::small()
+    };
+    let study = Study::run(config);
+
+    let options = ReportOptions {
+        with_caching: true,
+        capacities: vec![0.01, 0.02, 0.05, 0.10],
+        requests: if full { 200_000 } else { 80_000 },
+        ..ReportOptions::default()
+    };
+
+    let report = markdown_report(&study, &options);
+    std::fs::write(&path, &report).expect("write report file");
+    println!("wrote {} bytes to {path}", report.len());
+    println!();
+    // Also echo the headline sections for immediate reading.
+    for line in report.lines().take(40) {
+        println!("{line}");
+    }
+}

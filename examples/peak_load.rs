@@ -1,0 +1,97 @@
+//! E7 extension — peak-hour origin load under diurnal demand.
+//!
+//! The paper's opening motivation cites ISP measurements of YouTube
+//! caching *during peak periods* [5]: operators provision for the
+//! evening peak, not the mean. This example replays a diurnal request
+//! stream (each country active in its local evening) and compares the
+//! **peak** origin load each placement leaves behind.
+//!
+//! ```text
+//! cargo run --release --example peak_load [--full]
+//! ```
+
+use tagdist::cache::{DiurnalModel, PeakReport, Placement, TimedRequestStream};
+use tagdist::geo::GeoDist;
+use tagdist::tags::Predictor;
+use tagdist::{Study, StudyConfig};
+
+fn main() {
+    let (config, requests) = if std::env::args().any(|a| a == "--full") {
+        (StudyConfig::default(), 500_000usize)
+    } else {
+        (StudyConfig::small(), 200_000usize)
+    };
+    let study = Study::run(config);
+    let world = study.world();
+    let truth = study.true_distributions();
+    let weights = study.view_weights();
+    let model = DiurnalModel::default_2011();
+    let stream = TimedRequestStream::generate(world, &model, &truth, &weights, requests, 31);
+
+    let predictor = Predictor::new(study.tag_table(), study.traffic());
+    let predicted: Vec<GeoDist> = study
+        .clean()
+        .iter()
+        .enumerate()
+        .map(|(pos, v)| predictor.predict(&v.tags, study.reconstruction().views(pos)))
+        .collect();
+
+    let catalogue = truth.len();
+    let capacity = catalogue / 50; // 2 %
+    let countries = world.len();
+
+    println!(
+        "diurnal demand: {} requests over 24 h, capacity {} videos/country",
+        stream.len(),
+        capacity
+    );
+    println!();
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>10}",
+        "placement", "origin total", "origin peak", "peak hour", "peak/mean"
+    );
+    let mut reports = Vec::new();
+    for placement in [
+        Placement::predictive("oracle", countries, capacity, &truth, &weights),
+        Placement::predictive("tag-proactive", countries, capacity, &predicted, &weights),
+        Placement::geo_blind(countries, capacity, &weights),
+    ] {
+        let report = PeakReport::analyze(&placement, &stream);
+        println!(
+            "{:<16} {:>12} {:>12} {:>9}h {:>10.2}",
+            report.policy,
+            report.origin_per_hour.iter().sum::<usize>(),
+            report.peak_origin(),
+            report.peak_hour(),
+            report.peak_to_mean()
+        );
+        reports.push(report);
+    }
+    println!();
+
+    println!("origin load by UTC hour (o = geo-blind, # = tag-proactive):");
+    let blind = &reports[2];
+    let tags = &reports[1];
+    let max = blind.peak_origin().max(1);
+    for h in 0..24 {
+        let b = blind.origin_per_hour[h] * 50 / max;
+        let t = tags.origin_per_hour[h] * 50 / max;
+        let mut bar = String::new();
+        for i in 0..50 {
+            bar.push(if i < t {
+                '#'
+            } else if i < b {
+                'o'
+            } else {
+                ' '
+            });
+        }
+        println!("{h:>2}h |{bar}|");
+    }
+    println!();
+    println!(
+        "peak origin relief vs geo-blind: {:.1}% (tag-proactive), {:.1}% (oracle)",
+        100.0 * (1.0 - reports[1].peak_origin() as f64 / blind.peak_origin() as f64),
+        100.0 * (1.0 - reports[0].peak_origin() as f64 / blind.peak_origin() as f64),
+    );
+}

@@ -1,0 +1,79 @@
+//! E2 — Fig. 1: the popularity map of the most-viewed video.
+//!
+//! In the paper the most-viewed video is *Justin Bieber – Baby ft.
+//! Ludacris*, whose map saturates (intensity 61) in both the USA and
+//! Singapore — the observation that motivates interpreting `pop(v)` as
+//! a per-country *intensity* rather than a view count. This example
+//! reproduces the figure for the synthetic corpus and then shows the
+//! §3 inversion at work on the same video.
+//!
+//! ```text
+//! cargo run --release --example popularity_map [--full]
+//! ```
+
+use tagdist::geo::world;
+use tagdist::{render_popularity_map, render_views, Study, StudyConfig};
+
+fn main() {
+    let config = if std::env::args().any(|a| a == "--full") {
+        StudyConfig::default()
+    } else {
+        StudyConfig::small()
+    };
+    let study = Study::run(config);
+    let video = study.fig1_most_viewed();
+
+    println!("E2 / Fig. 1: popularity map of the most-viewed video");
+    println!();
+    println!("video:       {} ({})", video.key, video.title);
+    println!("total views: {}", video.total_views);
+    println!();
+
+    println!("popularity map (0-61 Map-Chart intensities, top 15):");
+    print!("{}", render_popularity_map(&video.popularity, 15));
+    println!();
+
+    let saturated = video.popularity.saturated();
+    let codes: Vec<&str> = saturated
+        .iter()
+        .map(|&id| world().country(id).code)
+        .collect();
+    println!(
+        "countries saturated at 61: {} ({})",
+        saturated.len(),
+        codes.join(", ")
+    );
+    println!(
+        "countries with any signal: {}/{}",
+        video.popularity.support_size(),
+        world().len()
+    );
+    println!();
+
+    // The paper's point: equal intensities do NOT mean equal views.
+    let pos = study
+        .clean()
+        .iter()
+        .position(|v| v.key == video.key)
+        .expect("most-viewed video is in the clean set");
+    let reconstructed = study
+        .reconstruction()
+        .views(pos)
+        .expect("aligned reconstruction");
+    println!("reconstructed views(v)[c] via Eqs. 1-2 (top 15):");
+    print!("{}", render_views(reconstructed, 15));
+    println!();
+
+    if saturated.len() >= 2 {
+        let a = saturated[0];
+        let b = saturated[saturated.len() - 1];
+        println!(
+            "note: {} and {} share intensity 61 but get {:.0} vs {:.0} reconstructed views —",
+            world().country(a).code,
+            world().country(b).code,
+            reconstructed[a],
+            reconstructed[b]
+        );
+        println!("pop(v) is an intensity, not a view count (the paper's Fig. 1 argument).");
+    }
+}

@@ -1,0 +1,101 @@
+//! E5c — bootstrapping the Alexa prior from the charts themselves.
+//!
+//! Eq. 2 exists because `ytube[c]` is unobservable and the paper had
+//! to import an Alexa estimate. But the reconstruction *implies* a
+//! traffic distribution (the sum of its outputs), and iterating
+//! reconstruct → re-estimate converges to a fixed point. This example
+//! starts from priors of varying quality — including the maximally
+//! ignorant uniform — and shows how close the fixed point lands to the
+//! platform's true traffic: the pipeline could have synthesized its
+//! own Alexa — and how the quantization bias limits that claim.
+//!
+//! ```text
+//! cargo run --release --example prior_bootstrap [--full]
+//! ```
+
+use tagdist::crawler::{crawl_parallel, CrawlConfig};
+use tagdist::dataset::filter;
+use tagdist::geo::{GeoDist, TrafficModel};
+use tagdist::reconstruct::{refine_prior, ErrorReport, Reconstruction};
+use tagdist::ytsim::{Platform, WorldConfig};
+
+fn main() {
+    let world_cfg = if std::env::args().any(|a| a == "--full") {
+        WorldConfig::default()
+    } else {
+        WorldConfig::small()
+    };
+    let platform = Platform::generate(world_cfg);
+    let outcome = crawl_parallel(&platform, &CrawlConfig::default());
+    let clean = filter(&outcome.dataset);
+    let true_traffic = platform.true_traffic();
+
+    let truth_dists: Vec<GeoDist> = clean
+        .iter()
+        .map(|v| {
+            platform
+                .ground_truth(&v.key)
+                .expect("crawled videos exist")
+                .view_distribution()
+        })
+        .collect();
+
+    println!(
+        "E5c: prior bootstrap over {} videos ({} countries)",
+        clean.len(),
+        true_traffic.len()
+    );
+    println!();
+    println!(
+        "{:<26} {:>10} {:>10} {:>6} {:>12}",
+        "starting prior", "TV before", "TV after", "iters", "recon JS"
+    );
+
+    let reference = TrafficModel::reference(tagdist::geo::world());
+    let starts: Vec<(&str, GeoDist)> = vec![
+        ("uniform (no knowledge)", GeoDist::uniform(true_traffic.len())),
+        ("reference table (Alexa)", reference.distribution().clone()),
+        (
+            "true traffic ±40%",
+            TrafficModel::from_distribution(true_traffic.clone())
+                .perturbed(0.4, 5)
+                .distribution()
+                .clone(),
+        ),
+    ];
+    for (name, start) in starts {
+        let before = start.total_variation(true_traffic).expect("same world");
+        let refined = refine_prior(&clean, &start, 25, 1e-7).expect("refines");
+        let after = refined
+            .traffic
+            .total_variation(true_traffic)
+            .expect("same world");
+        let estimates: Vec<GeoDist> = (0..clean.len())
+            .map(|p| refined.reconstruction.distribution(p).expect("mass"))
+            .collect();
+        let report = ErrorReport::compare(&truth_dists, &estimates).expect("aligned");
+        println!(
+            "{name:<26} {before:>10.4} {after:>10.4} {:>6} {:>12.4}",
+            refined.iterations(),
+            report.js.mean
+        );
+    }
+
+    // Reference row: reconstruction under the exact true prior.
+    let exact = Reconstruction::compute(&clean, true_traffic).expect("reconstructs");
+    let estimates: Vec<GeoDist> = (0..clean.len())
+        .map(|p| exact.distribution(p).expect("mass"))
+        .collect();
+    let report = ErrorReport::compare(&truth_dists, &estimates).expect("aligned");
+    println!(
+        "{:<26} {:>10.4} {:>10.4} {:>6} {:>12.4}",
+        "true prior (oracle)", 0.0, 0.0, 0, report.js.mean
+    );
+    println!();
+    println!("expected shape: all starts converge toward a COMMON fixed point");
+    println!("(uniform improves hugely; a very accurate prior actually degrades");
+    println!("toward it), because quantization biases the implied traffic: 0-61");
+    println!("charts truncate small countries to zero. Reading: bootstrap when no");
+    println!("prior exists, but a decent external estimate still beats the fixed");
+    println!("point — Eq. 2's reliance on Alexa was justified.");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run the whole pipeline end to end and print the
+//! paper's headline artifacts.
+//!
+//! ```text
+//! cargo run --release --example quickstart [--full]
+//! ```
+//!
+//! `--full` runs at the default world scale (120k videos, ~10 s);
+//! otherwise a 20k-video world is used.
+
+use tagdist::{render_distribution, Study, StudyConfig};
+
+fn config_from_args() -> StudyConfig {
+    if std::env::args().any(|a| a == "--full") {
+        StudyConfig::default()
+    } else {
+        StudyConfig::small()
+    }
+}
+
+fn main() {
+    let study = Study::run(config_from_args());
+
+    println!("== crawl (§2 methodology) ==");
+    println!("{}", study.crawl_stats());
+    println!();
+    println!("== filtering (§2) ==");
+    println!("{}", study.filter_report());
+    println!();
+    println!("== corpus statistics (§2) ==");
+    println!("{}", study.dataset_stats());
+    println!();
+
+    println!("== top tags by aggregated views (Eq. 3) ==");
+    let names = study.clean().tags();
+    for (tag, views) in study.tag_table().top_by_views(10) {
+        println!("{:>14.0} views  {}", views, names.name(tag));
+    }
+    println!();
+
+    println!("== the paper's two archetypes ==");
+    for name in ["pop", "favela"] {
+        if let Some(profile) = study.tag_profile(name) {
+            println!("--- {profile}");
+            print!("{}", render_distribution(&profile.dist, 8));
+        }
+    }
+
+    println!("== does the conjecture hold? (E6) ==");
+    println!("{}", study.prediction_evaluation());
+}

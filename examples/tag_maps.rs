@@ -1,0 +1,127 @@
+//! E3 & E4 — Figs. 2–3: geographic distributions of a global tag
+//! (`pop`) and a local tag (`favela`).
+//!
+//! The paper observes that `views(t)` for `pop` "tends to follow the
+//! world distribution of Youtube users" while `favela` videos "are
+//! mostly viewed in Brazil". This example renders both distributions,
+//! the traffic reference, and the quantitative gap (JS divergence,
+//! top-country share) — then classifies the whole profiled vocabulary.
+//!
+//! ```text
+//! cargo run --release --example tag_maps [--full]
+//! ```
+
+use tagdist::geo::{world, GeoDist};
+use tagdist::tags::{classify, ClassifyThresholds, LocalitySummary, TagClusters};
+use tagdist::{render_distribution, Study, StudyConfig};
+
+fn main() {
+    let config = if std::env::args().any(|a| a == "--full") {
+        StudyConfig::default()
+    } else {
+        StudyConfig::small()
+    };
+    let study = Study::run(config);
+    let thresholds = ClassifyThresholds::default();
+
+    println!("world YouTube-traffic distribution (Eq. 2 prior, top 10):");
+    print!("{}", render_distribution(study.traffic(), 10));
+    println!();
+
+    for (figure, name, expectation) in [
+        ("Fig. 2 (E3)", "pop", "follows the traffic distribution"),
+        ("Fig. 3 (E4)", "favela", "mostly viewed in Brazil"),
+    ] {
+        let Some(profile) = study.tag_profile(name) else {
+            println!("{figure}: tag {name:?} did not survive filtering");
+            continue;
+        };
+        println!("== {figure}: tag '{name}' — expected: {expectation} ==");
+        println!(
+            "videos: {}, aggregated views: {:.0}",
+            profile.video_count, profile.total_views
+        );
+        print!("{}", render_distribution(&profile.dist, 10));
+        println!(
+            "top country:        {} ({:.1}% of views)",
+            world().country(profile.top_country).code,
+            100.0 * profile.top_share
+        );
+        println!("normalized entropy: {:.3}", profile.normalized_entropy);
+        println!("gini:               {:.3}", profile.gini);
+        println!("JS from traffic:    {:.4} bits", profile.js_from_traffic);
+        println!(
+            "classification:     {}",
+            classify(&profile, &thresholds)
+        );
+        println!();
+    }
+
+    let pop = study.tag_profile("pop");
+    let favela = study.tag_profile("favela");
+    if let (Some(pop), Some(favela)) = (pop, favela) {
+        println!(
+            "contrast: JS(favela‖traffic) / JS(pop‖traffic) = {:.1}x",
+            favela.js_from_traffic / pop.js_from_traffic.max(1e-9)
+        );
+        println!();
+    }
+
+    println!("== locality census over all profiled tags ==");
+    let profiles = study.tag_profiles();
+    let summary = LocalitySummary::compute(&profiles, &thresholds);
+    println!("{summary}");
+    println!();
+
+    println!("most local high-traffic tags:");
+    let mut by_share = profiles.clone();
+    by_share.sort_by(|a, b| b.top_share.partial_cmp(&a.top_share).unwrap());
+    for p in by_share.iter().take(8) {
+        println!(
+            "  {:<20} top {} ({:>5.1}%), {:>7.0} views",
+            p.name,
+            world().country(p.top_country).code,
+            100.0 * p.top_share,
+            p.total_views
+        );
+    }
+    println!();
+    println!("== recovered topic clusters (co-occurrence, top 6 by size) ==");
+    let clusters = TagClusters::build(study.clean(), 25, 15, 0.25);
+    for (ci, members) in clusters.iter().enumerate().take(6) {
+        let mut pooled = tagdist::geo::CountryVec::zeros(world().len());
+        for &tag in members {
+            if let Some(views) = study.tag_table().views(tag) {
+                pooled += views;
+            }
+        }
+        let names: Vec<&str> = members
+            .iter()
+            .take(4)
+            .map(|&t| study.clean().tags().name(t))
+            .collect();
+        match GeoDist::from_counts(&pooled) {
+            Ok(dist) => {
+                let top = dist.top_country().expect("pooled mass");
+                println!(
+                    "  cluster {ci}: {} tags [{}...], top {} ({:.0}%)",
+                    members.len(),
+                    names.join(", "),
+                    world().country(top).code,
+                    100.0 * dist.top_share()
+                );
+            }
+            Err(_) => println!("  cluster {ci}: {} tags (no retained views)", members.len()),
+        }
+    }
+    println!();
+    println!("most global high-traffic tags:");
+    let mut by_js = profiles;
+    by_js.sort_by(|a, b| a.js_from_traffic.partial_cmp(&b.js_from_traffic).unwrap());
+    for p in by_js.iter().take(8) {
+        println!(
+            "  {:<20} JS {:.4}, {:>9.0} views",
+            p.name, p.js_from_traffic, p.total_views
+        );
+    }
+}

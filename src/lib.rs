@@ -1,0 +1,8 @@
+//! Umbrella package hosting the repository's `examples/` and `tests/`.
+//!
+//! The real library surface lives in the [`tagdist`] facade crate and the
+//! per-subsystem crates under `crates/`. This stub only exists so the
+//! workspace root can own runnable examples and cross-crate integration
+//! tests, as laid out in `DESIGN.md`.
+
+pub use tagdist as facade;

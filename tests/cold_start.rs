@@ -1,0 +1,122 @@
+//! Integration test for the cold-start scenario (E6b): predicting the
+//! geography of videos uploaded *after* the knowledge-base crawl.
+
+use tagdist::crawler::{crawl, CrawlConfig};
+use tagdist::dataset::filter;
+use tagdist::geo::{world, GeoDist};
+use tagdist::reconstruct::{ErrorReport, Reconstruction, TagViewTable};
+use tagdist::tags::{Predictor, SmoothedPredictor};
+use tagdist::ytsim::{Platform, WorldConfig};
+
+const BASE: usize = 2_500;
+const NEW: usize = 400;
+
+struct ColdStart {
+    truth: Vec<GeoDist>,
+    by_tags: Vec<GeoDist>,
+    by_smoothed: Vec<GeoDist>,
+    by_prior: Vec<GeoDist>,
+    known_tag_share: f64,
+}
+
+fn run_cold_start() -> ColdStart {
+    let mut today_cfg = WorldConfig::tiny();
+    today_cfg.with_videos(BASE);
+    let today = Platform::generate(today_cfg.clone());
+    let outcome = crawl(&today, &CrawlConfig::default());
+    let clean = filter(&outcome.dataset);
+    let traffic = today.true_traffic().clone();
+    let recon = Reconstruction::compute(&clean, &traffic).expect("reconstructs");
+    let table = TagViewTable::aggregate(&clean, &recon);
+    let predictor = Predictor::new(&table, &traffic);
+    let smoothed = SmoothedPredictor::new(&table, &traffic, 5_000.0);
+
+    let mut tomorrow_cfg = today_cfg;
+    tomorrow_cfg.with_videos(BASE + NEW);
+    let tomorrow = Platform::generate(tomorrow_cfg);
+
+    let mut truth = Vec::new();
+    let mut by_tags = Vec::new();
+    let mut by_smoothed = Vec::new();
+    let mut by_prior = Vec::new();
+    let mut known = 0usize;
+    for i in BASE..BASE + NEW {
+        let video = tomorrow.video(i);
+        let tag_ids: Vec<_> = video
+            .tags
+            .iter()
+            .filter_map(|t| clean.tags().id(t))
+            .collect();
+        if !tag_ids.is_empty() {
+            known += 1;
+        }
+        truth.push(video.view_distribution());
+        by_tags.push(predictor.predict(&tag_ids, None));
+        by_smoothed.push(smoothed.predict(&tag_ids, None));
+        by_prior.push(traffic.clone());
+    }
+    ColdStart {
+        truth,
+        by_tags,
+        by_smoothed,
+        by_prior,
+        known_tag_share: known as f64 / NEW as f64,
+    }
+}
+
+fn shared() -> &'static ColdStart {
+    use std::sync::OnceLock;
+    static DATA: OnceLock<ColdStart> = OnceLock::new();
+    DATA.get_or_init(run_cold_start)
+}
+
+#[test]
+fn vocabulary_generalizes_to_new_uploads() {
+    // Topic vocabularies are shared, so almost every new upload
+    // carries tags the crawl has already seen.
+    assert!(
+        shared().known_tag_share > 0.95,
+        "known-tag share {}",
+        shared().known_tag_share
+    );
+}
+
+#[test]
+fn tags_beat_the_prior_on_unseen_videos() {
+    let x = shared();
+    let tags = ErrorReport::compare(&x.truth, &x.by_tags).expect("aligned");
+    let prior = ErrorReport::compare(&x.truth, &x.by_prior).expect("aligned");
+    assert!(
+        tags.js.mean < prior.js.mean,
+        "tags {} vs prior {}",
+        tags.js.mean,
+        prior.js.mean
+    );
+    assert!(tags.top_country_accuracy > prior.top_country_accuracy);
+}
+
+#[test]
+fn smoothing_does_not_hurt_cold_start() {
+    let x = shared();
+    let raw = ErrorReport::compare(&x.truth, &x.by_tags).expect("aligned");
+    let smoothed = ErrorReport::compare(&x.truth, &x.by_smoothed).expect("aligned");
+    // Shrinkage trades a little sharpness for tail safety; on the
+    // whole corpus it must stay in the same ballpark and never
+    // degrade to the prior.
+    let prior = ErrorReport::compare(&x.truth, &x.by_prior).expect("aligned");
+    assert!(smoothed.js.mean < prior.js.mean);
+    assert!(smoothed.js.mean < raw.js.mean * 1.25);
+    // Shrinkage pulls the typical (median) error toward the prior's
+    // behaviour without blowing it up. (It does NOT bound the max:
+    // a thin-evidence video whose truth is far from the prior gets
+    // worse, by design.)
+    assert!(smoothed.js.median < raw.js.median * 1.25);
+}
+
+#[test]
+fn world_registry_is_consistent_for_cold_start() {
+    let x = shared();
+    for d in &x.truth {
+        assert_eq!(d.len(), world().len());
+    }
+}

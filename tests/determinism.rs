@@ -1,0 +1,102 @@
+//! Determinism guarantees: every stochastic stage is a pure function
+//! of its seeds (DESIGN.md §6). Reproducibility is the point of a
+//! reproduction.
+
+use tagdist::crawler::{crawl, crawl_parallel, CrawlConfig};
+use tagdist::geo::TrafficModel;
+use tagdist::ytsim::{Platform, PlatformApi, WorldConfig};
+use tagdist::{Study, StudyConfig};
+
+fn tiny(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::tiny();
+    cfg.with_videos(800).with_seed(seed);
+    cfg
+}
+
+#[test]
+fn platforms_are_reproducible() {
+    let a = Platform::generate(tiny(1));
+    let b = Platform::generate(tiny(1));
+    assert_eq!(a.catalogue_size(), b.catalogue_size());
+    for i in 0..a.catalogue_size() {
+        assert_eq!(a.video(i).total_views, b.video(i).total_views);
+        assert_eq!(a.video(i).tags, b.video(i).tags);
+        assert_eq!(a.video(i).upload_country, b.video(i).upload_country);
+        assert_eq!(a.fetch(&a.video(i).key), b.fetch(&b.video(i).key));
+    }
+    assert_eq!(a.true_traffic(), b.true_traffic());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Platform::generate(tiny(1));
+    let b = Platform::generate(tiny(2));
+    let differs = (0..a.catalogue_size())
+        .any(|i| a.video(i).total_views != b.video(i).total_views);
+    assert!(differs, "seed change must alter the world");
+}
+
+#[test]
+fn crawls_are_reproducible_and_parallelism_invariant() {
+    let platform = Platform::generate(tiny(3));
+    let mut cfg = CrawlConfig::default();
+    cfg.with_budget(400);
+
+    let serial_a = crawl(&platform, &cfg);
+    let serial_b = crawl(&platform, &cfg);
+    let keys = |o: &tagdist::crawler::CrawlOutcome| -> Vec<String> {
+        o.dataset.iter().map(|v| v.key.clone()).collect()
+    };
+    assert_eq!(keys(&serial_a), keys(&serial_b));
+
+    for threads in [1, 2, 8] {
+        let mut pcfg = cfg.clone();
+        pcfg.with_threads(threads);
+        let parallel = crawl_parallel(&platform, &pcfg);
+        assert_eq!(
+            keys(&serial_a),
+            keys(&parallel),
+            "{threads}-thread crawl diverged"
+        );
+        assert_eq!(serial_a.stats, parallel.stats);
+    }
+}
+
+#[test]
+fn traffic_perturbation_is_seeded() {
+    let t = TrafficModel::reference(tagdist::geo::world());
+    assert_eq!(t.perturbed(0.2, 9), t.perturbed(0.2, 9));
+    assert_ne!(t.perturbed(0.2, 9), t.perturbed(0.2, 10));
+}
+
+#[test]
+fn whole_studies_are_reproducible() {
+    let mut cfg = StudyConfig::tiny();
+    cfg.world.with_videos(800);
+    let a = Study::run(cfg.clone());
+    let b = Study::run(cfg);
+    assert_eq!(a.filter_report(), b.filter_report());
+    assert_eq!(a.fig1_most_viewed().key, b.fig1_most_viewed().key);
+    let pa = a.tag_profile("pop").unwrap();
+    let pb = b.tag_profile("pop").unwrap();
+    assert_eq!(pa.dist, pb.dist);
+    assert_eq!(
+        a.reconstruction_error().js.mean,
+        b.reconstruction_error().js.mean
+    );
+}
+
+#[test]
+fn request_streams_are_seeded() {
+    use tagdist::cache::RequestStream;
+    let mut cfg = StudyConfig::tiny();
+    cfg.world.with_videos(800);
+    let s = Study::run(cfg);
+    let truth = s.true_distributions();
+    let weights = s.view_weights();
+    let a = RequestStream::generate(&truth, &weights, 1_000, 5);
+    let b = RequestStream::generate(&truth, &weights, 1_000, 5);
+    assert_eq!(a, b);
+    let c = RequestStream::generate(&truth, &weights, 1_000, 6);
+    assert_ne!(a, c);
+}

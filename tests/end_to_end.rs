@@ -1,0 +1,226 @@
+//! Cross-crate integration tests: the whole paper pipeline, checked
+//! for the shapes reported in each section of the paper.
+
+use tagdist::geo::world;
+use tagdist::tags::{classify, ClassifyThresholds, Locality};
+use tagdist::{Study, StudyConfig};
+
+/// One shared study per test binary keeps the suite fast.
+fn shared() -> &'static Study {
+    use std::sync::OnceLock;
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::run(StudyConfig::tiny()))
+}
+
+#[test]
+fn section2_filter_accounting_balances() {
+    let s = shared();
+    let r = s.filter_report();
+    assert_eq!(r.crawled, r.no_tags + r.bad_popularity + r.kept);
+    // Paper shape: ~0.6 % tagless, ~65 % kept.
+    let tagless = r.no_tags as f64 / r.crawled as f64;
+    assert!(tagless < 0.03, "tagless share {tagless}");
+    assert!((0.5..0.8).contains(&r.keep_ratio()), "keep {}", r.keep_ratio());
+}
+
+#[test]
+fn section2_stats_shape() {
+    let s = shared();
+    let stats = s.dataset_stats();
+    assert_eq!(stats.videos, s.clean().len());
+    // Folksonomy long tail: most tags are rare.
+    assert!(stats.singleton_tag_share > 0.3, "{}", stats.singleton_tag_share);
+    // Heavy-tailed views.
+    assert!(stats.max_video_views as f64 > 50.0 * stats.median_video_views as f64);
+    assert!(stats.top1pct_view_share > 0.1);
+}
+
+#[test]
+fn fig1_most_viewed_has_a_saturated_map() {
+    let s = shared();
+    let video = s.fig1_most_viewed();
+    assert_eq!(video.popularity.max(), 61, "rescaling saturates the max");
+    assert!(!video.popularity.saturated().is_empty());
+    // The clean record agrees with platform ground truth.
+    let truth = s.platform().ground_truth(&video.key).unwrap();
+    assert_eq!(truth.total_views, video.total_views);
+}
+
+#[test]
+fn fig2_fig3_contrast() {
+    let s = shared();
+    let pop = s.tag_profile("pop").expect("pop profiled");
+    let favela = s.tag_profile("favela").expect("favela profiled");
+    // Fig. 2: pop follows traffic; Fig. 3: favela is Brazilian.
+    assert!(pop.js_from_traffic < 0.1, "pop JS {}", pop.js_from_traffic);
+    assert!(
+        favela.js_from_traffic > 2.0 * pop.js_from_traffic,
+        "favela {} vs pop {}",
+        favela.js_from_traffic,
+        pop.js_from_traffic
+    );
+    assert_eq!(favela.top_country, world().by_code("BR").unwrap().id);
+    assert!(favela.top_share > 0.4);
+
+    let thresholds = ClassifyThresholds::default();
+    assert_eq!(classify(&favela, &thresholds), Locality::Local);
+    assert_ne!(classify(&pop, &thresholds), Locality::Local);
+}
+
+#[test]
+fn eq3_mass_conservation() {
+    let s = shared();
+    let total_tagged: f64 = s.tag_table().iter().map(|(_, v)| v.sum()).sum();
+    let expected: f64 = s
+        .clean()
+        .iter()
+        .map(|v| v.tags.len() as f64 * v.total_views as f64)
+        .sum();
+    assert!(
+        (total_tagged - expected).abs() / expected < 1e-9,
+        "tagged mass {total_tagged} vs expected {expected}"
+    );
+}
+
+#[test]
+fn e5_reconstruction_orders_correctly() {
+    let s = shared();
+    let recon = s.reconstruction_error();
+    let prior = s.prior_error();
+    assert!(recon.js.mean < 0.5 * prior.js.mean);
+    assert!(recon.top_country_accuracy > 0.8);
+    assert!(prior.top_country_accuracy < 0.5);
+}
+
+#[test]
+fn e6_prediction_sits_between_recon_and_prior() {
+    let s = shared();
+    let recon = s.reconstruction_error().js.mean;
+    let pred = s.prediction_error_vs_truth().js.mean;
+    let prior = s.prior_error().js.mean;
+    assert!(recon < pred, "recon {recon} < prediction {pred}");
+    assert!(pred < prior, "prediction {pred} < prior {prior}");
+}
+
+#[test]
+fn e7_caching_policies_order_as_expected() {
+    use tagdist::cache::{run_static, Placement, RequestStream};
+    use tagdist::geo::GeoDist;
+    use tagdist::tags::Predictor;
+
+    let s = shared();
+    let truth = s.true_distributions();
+    let weights = s.view_weights();
+    let stream = RequestStream::generate(&truth, &weights, 40_000, 99);
+    let countries = world().len();
+    let capacity = (s.clean().len() / 50).max(1);
+
+    let predictor = Predictor::new(s.tag_table(), s.traffic());
+    let predicted: Vec<GeoDist> = s
+        .clean()
+        .iter()
+        .enumerate()
+        .map(|(pos, v)| predictor.predict(&v.tags, s.reconstruction().views(pos)))
+        .collect();
+
+    let oracle = run_static(
+        &Placement::predictive("oracle", countries, capacity, &truth, &weights),
+        &stream,
+    );
+    let tags = run_static(
+        &Placement::predictive("tags", countries, capacity, &predicted, &weights),
+        &stream,
+    );
+    let blind = run_static(&Placement::geo_blind(countries, capacity, &weights), &stream);
+    let random = run_static(
+        &Placement::random(countries, s.clean().len(), capacity, 5),
+        &stream,
+    );
+
+    assert!(oracle.hit_rate() >= tags.hit_rate());
+    assert!(
+        tags.hit_rate() > blind.hit_rate(),
+        "tags {} vs blind {}",
+        tags.hit_rate(),
+        blind.hit_rate()
+    );
+    assert!(blind.hit_rate() > random.hit_rate());
+}
+
+#[test]
+fn e7b_diurnal_peak_ordering() {
+    use tagdist::cache::{DiurnalModel, PeakReport, Placement, TimedRequestStream};
+
+    let s = shared();
+    let truth = s.true_distributions();
+    let weights = s.view_weights();
+    let stream = TimedRequestStream::generate(
+        world(),
+        &DiurnalModel::default_2011(),
+        &truth,
+        &weights,
+        30_000,
+        77,
+    );
+    let countries = world().len();
+    let capacity = (s.clean().len() / 50).max(1);
+    let oracle = PeakReport::analyze(
+        &Placement::predictive("oracle", countries, capacity, &truth, &weights),
+        &stream,
+    );
+    let blind = PeakReport::analyze(
+        &Placement::geo_blind(countries, capacity, &weights),
+        &stream,
+    );
+    assert!(oracle.peak_origin() < blind.peak_origin());
+    assert_eq!(
+        oracle.requests_per_hour.iter().sum::<usize>(),
+        30_000
+    );
+}
+
+#[test]
+fn e7c_sized_placement_orders_correctly() {
+    use tagdist::cache::{run_static_sized, RequestStream, SizedPlacement};
+
+    let s = shared();
+    let truth = s.true_distributions();
+    let weights = s.view_weights();
+    let sizes: Vec<f64> = s
+        .clean()
+        .iter()
+        .map(|v| s.platform().ground_truth(&v.key).unwrap().size_bytes())
+        .collect();
+    let stream = RequestStream::generate(&truth, &weights, 30_000, 13);
+    let budget: f64 = sizes.iter().sum::<f64>() * 0.02;
+    let countries = world().len();
+    let oracle = SizedPlacement::predictive_sized(
+        "oracle", countries, budget, &truth, &weights, &sizes,
+    );
+    let geo_blind =
+        SizedPlacement::greedy("blind", countries, budget, &sizes, |_, v| weights[v]);
+    let or = run_static_sized(&oracle, &stream, &sizes);
+    let br = run_static_sized(&geo_blind, &stream, &sizes);
+    assert!(or.hit_rate() > br.hit_rate());
+    assert!(or.byte_hit_rate() > 0.0 && or.byte_hit_rate() <= 1.0);
+}
+
+#[test]
+fn paper_comparison_api_agrees_with_report() {
+    use tagdist::PaperComparison;
+    let s = shared();
+    let cmp = PaperComparison::compute(s);
+    assert!((cmp.measured_keep_ratio - s.filter_report().keep_ratio()).abs() < 1e-12);
+    assert!(cmp.ratios_match(0.08), "{cmp}");
+}
+
+#[test]
+fn crawl_stats_are_consistent_with_dataset() {
+    let s = shared();
+    let stats = s.crawl_stats();
+    assert_eq!(stats.per_depth.iter().sum::<usize>(), stats.fetched);
+    assert!(stats.fetched >= s.filter_report().crawled);
+    assert_eq!(stats.fetched, s.filter_report().crawled);
+    assert!(stats.seeds > 0);
+    assert!(stats.max_depth().unwrap_or(0) >= 1);
+}

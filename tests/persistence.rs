@@ -1,0 +1,97 @@
+//! Crawl → serialize → reload → analyze: the offline workflow the
+//! paper's group used (crawl once in 2011, analyze for years).
+
+use tagdist::crawler::{crawl, CrawlConfig};
+use tagdist::dataset::{filter, tsv, DatasetStats};
+use tagdist::reconstruct::{Reconstruction, TagViewTable};
+use tagdist::ytsim::{Platform, PlatformApi, WorldConfig};
+
+fn platform() -> Platform {
+    let mut cfg = WorldConfig::tiny();
+    cfg.with_videos(1_200).with_seed(404);
+    Platform::generate(cfg)
+}
+
+#[test]
+fn serialized_crawl_reloads_identically() {
+    let p = platform();
+    let mut ccfg = CrawlConfig::default();
+    ccfg.with_budget(600);
+    let outcome = crawl(&p, &ccfg);
+
+    let mut buf = Vec::new();
+    tsv::write(&outcome.dataset, &mut buf).expect("serialize");
+    let reloaded = tsv::read(&buf[..]).expect("deserialize");
+
+    assert_eq!(reloaded.len(), outcome.dataset.len());
+    assert_eq!(reloaded.country_count(), outcome.dataset.country_count());
+    for (a, b) in outcome.dataset.iter().zip(reloaded.iter()) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.title, b.title);
+        assert_eq!(a.total_views, b.total_views);
+        assert_eq!(a.popularity, b.popularity);
+    }
+}
+
+#[test]
+fn analysis_results_survive_the_round_trip() {
+    let p = platform();
+    let outcome = crawl(&p, &CrawlConfig::default());
+
+    let mut buf = Vec::new();
+    tsv::write(&outcome.dataset, &mut buf).expect("serialize");
+    let reloaded = tsv::read(&buf[..]).expect("deserialize");
+
+    let clean_a = filter(&outcome.dataset);
+    let clean_b = filter(&reloaded);
+    assert_eq!(clean_a.report(), clean_b.report());
+
+    let stats_a = DatasetStats::compute(&clean_a);
+    let stats_b = DatasetStats::compute(&clean_b);
+    assert_eq!(stats_a.videos, stats_b.videos);
+    assert_eq!(stats_a.unique_tags, stats_b.unique_tags);
+    assert_eq!(stats_a.total_views, stats_b.total_views);
+
+    let traffic = p.true_traffic();
+    let recon_a = Reconstruction::compute(&clean_a, traffic).expect("recon a");
+    let recon_b = Reconstruction::compute(&clean_b, traffic).expect("recon b");
+    let table_a = TagViewTable::aggregate(&clean_a, &recon_a);
+    let table_b = TagViewTable::aggregate(&clean_b, &recon_b);
+    assert_eq!(table_a.populated_tags(), table_b.populated_tags());
+
+    // Spot-check the built-in exemplar tags' aggregates.
+    for name in ["pop", "favela"] {
+        let ta = clean_a.tags().id(name);
+        let tb = clean_b.tags().id(name);
+        match (ta, tb) {
+            (Some(ta), Some(tb)) => {
+                assert_eq!(table_a.video_count(ta), table_b.video_count(tb));
+                let va = table_a.total_views(ta);
+                let vb = table_b.total_views(tb);
+                assert!((va - vb).abs() < 1e-6, "{name}: {va} vs {vb}");
+            }
+            (None, None) => {}
+            other => panic!("{name} interned on one side only: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn file_round_trip_through_the_filesystem() {
+    let p = platform();
+    let mut ccfg = CrawlConfig::default();
+    ccfg.with_budget(200);
+    let outcome = crawl(&p, &ccfg);
+
+    let path = std::env::temp_dir().join(format!("tagdist-test-{}.tsv", std::process::id()));
+    {
+        let mut file = std::fs::File::create(&path).expect("create temp file");
+        tsv::write(&outcome.dataset, &mut file).expect("write file");
+    }
+    let file = std::fs::File::open(&path).expect("open temp file");
+    let reloaded = tsv::read(file).expect("read file");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(reloaded.len(), outcome.dataset.len());
+    assert!(p.catalogue_size() >= reloaded.len());
+}

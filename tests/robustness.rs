@@ -1,0 +1,170 @@
+//! Failure-injection tests: the pipeline must degrade gracefully, not
+//! crash, when the platform serves pathological metadata.
+
+use tagdist::crawler::{crawl, CrawlConfig};
+use tagdist::dataset::{filter, RawPopularity};
+use tagdist::geo::{world, CountryId};
+use tagdist::reconstruct::{Reconstruction, TagViewTable};
+use tagdist::ytsim::{PlatformApi, VideoMetadata, WorldConfig};
+
+/// A platform where EVERY popularity vector is defective.
+struct AllDefective;
+
+impl PlatformApi for AllDefective {
+    fn top_videos(&self, _country: CountryId, k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("bad{i}")).collect()
+    }
+    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
+        if !key.starts_with("bad") {
+            return None;
+        }
+        let n: usize = key[3..].parse().ok()?;
+        let popularity = match n % 3 {
+            0 => None,                                   // missing
+            1 => Some(vec![200u8; world().len()]),       // out of range
+            _ => Some(vec![0u8; world().len()]),         // empty signal
+        };
+        Some(VideoMetadata {
+            key: key.to_owned(),
+            title: format!("bad video {n}"),
+            total_views: 10,
+            duration_secs: 60,
+            tags: vec!["tag".into()],
+            popularity,
+        })
+    }
+    fn related(&self, key: &str, _k: usize) -> Vec<String> {
+        let n: usize = key[3..].parse().unwrap_or(0);
+        if n < 50 {
+            vec![format!("bad{}", n + 10)]
+        } else {
+            Vec::new()
+        }
+    }
+    fn catalogue_size(&self) -> usize {
+        60
+    }
+}
+
+#[test]
+fn fully_defective_platform_filters_to_empty_without_crashing() {
+    let outcome = crawl(&AllDefective, &CrawlConfig::default());
+    assert!(!outcome.dataset.is_empty());
+    let clean = filter(&outcome.dataset);
+    assert!(clean.is_empty());
+    assert_eq!(clean.report().kept, 0);
+    assert_eq!(
+        clean.report().bad_popularity + clean.report().no_tags,
+        clean.report().crawled
+    );
+    // Downstream stages handle the empty set.
+    let traffic = tagdist::geo::TrafficModel::reference(world());
+    let recon = Reconstruction::compute(&clean, traffic.distribution()).expect("empty ok");
+    assert!(recon.is_empty());
+    let table = TagViewTable::aggregate(&clean, &recon);
+    assert_eq!(table.populated_tags(), 0);
+}
+
+/// A platform that serves charts for a *different* world size —
+/// simulating a registry/scraper mismatch.
+struct WrongWorld;
+
+impl PlatformApi for WrongWorld {
+    fn top_videos(&self, _country: CountryId, k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("w{i}")).collect()
+    }
+    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
+        key.starts_with('w').then(|| VideoMetadata {
+            key: key.to_owned(),
+            title: "wrong world".into(),
+            total_views: 5,
+            duration_secs: 60,
+            tags: vec!["x".into()],
+            popularity: Some(vec![61u8; 7]), // 7 ≠ 60 countries
+        })
+    }
+    fn related(&self, _key: &str, _k: usize) -> Vec<String> {
+        Vec::new()
+    }
+    fn catalogue_size(&self) -> usize {
+        10
+    }
+}
+
+#[test]
+fn wrong_length_charts_are_classified_corrupt() {
+    let outcome = crawl(&WrongWorld, &CrawlConfig::default());
+    for video in outcome.dataset.iter() {
+        assert!(matches!(video.popularity, RawPopularity::Corrupt(_)));
+    }
+    let clean = filter(&outcome.dataset);
+    assert!(clean.is_empty());
+    assert_eq!(clean.report().bad_popularity, outcome.dataset.len());
+}
+
+#[test]
+fn defect_free_world_keeps_everything() {
+    let mut cfg = WorldConfig::tiny();
+    cfg.with_videos(500).without_defects();
+    let platform = tagdist::ytsim::Platform::generate(cfg);
+    let outcome = crawl(&platform, &CrawlConfig::default());
+    let clean = filter(&outcome.dataset);
+    assert_eq!(clean.report().no_tags, 0);
+    assert_eq!(clean.report().bad_popularity, 0);
+    assert_eq!(clean.report().kept, outcome.dataset.len());
+}
+
+#[test]
+fn maximal_defect_rates_still_produce_a_working_study() {
+    let mut cfg = WorldConfig::tiny();
+    cfg.with_videos(1_000);
+    cfg.defect_missing_pop = 0.4;
+    cfg.defect_corrupt_pop = 0.3;
+    cfg.defect_empty_pop = 0.25;
+    cfg.defect_no_tags = 0.02;
+    let platform = tagdist::ytsim::Platform::generate(cfg);
+    let outcome = crawl(&platform, &CrawlConfig::default());
+    let clean = filter(&outcome.dataset);
+    // ~5 % survival expected; the pipeline must still run.
+    assert!(clean.report().keep_ratio() < 0.15);
+    if !clean.is_empty() {
+        let recon =
+            Reconstruction::compute(&clean, platform.true_traffic()).expect("reconstructs");
+        assert_eq!(recon.len(), clean.len());
+    }
+}
+
+#[test]
+fn zero_budget_is_rejected_but_tiny_budget_works() {
+    let mut cfg = WorldConfig::tiny();
+    cfg.with_videos(300);
+    let platform = tagdist::ytsim::Platform::generate(cfg);
+    let mut ccfg = CrawlConfig::default();
+    ccfg.with_budget(1);
+    let outcome = crawl(&platform, &ccfg);
+    assert_eq!(outcome.dataset.len(), 1);
+    assert!(!outcome.stats.frontier_exhausted);
+}
+
+#[test]
+fn churned_platform_crawls_degrade_gracefully() {
+    use tagdist::ytsim::ChurnedPlatform;
+    let mut cfg = WorldConfig::tiny();
+    cfg.with_videos(800);
+    let platform = tagdist::ytsim::Platform::generate(cfg);
+    let churned = ChurnedPlatform::new(&platform, 0.25, 3);
+    let outcome = crawl(&churned, &CrawlConfig::default());
+    // Deleted videos surface as failed fetches, not crashes.
+    assert!(outcome.stats.failed_fetches > 0);
+    assert!(!outcome.dataset.is_empty());
+    assert!(outcome.dataset.len() <= churned.catalogue_size());
+    // Everything fetched is genuinely live.
+    for video in outcome.dataset.iter() {
+        assert!(churned.fetch(&video.key).is_some());
+    }
+    // The analysis pipeline still runs on the survivors.
+    let clean = filter(&outcome.dataset);
+    assert!(!clean.is_empty());
+    let recon = Reconstruction::compute(&clean, platform.true_traffic()).expect("reconstructs");
+    assert_eq!(recon.len(), clean.len());
+}
