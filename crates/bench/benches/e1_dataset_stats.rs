@@ -1,6 +1,15 @@
 //! E1 — §2 dataset statistics: regenerates the paper's accounting
 //! block and measures the crawl/filter/stats stages.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -1,6 +1,15 @@
 //! E2 — Fig. 1: the most-viewed video's popularity map. Regenerates
 //! the figure and measures the Map-Chart forward/inverse codec.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -12,7 +21,10 @@ use tagdist_bench::bench_study;
 fn print_figure_once() {
     let s = bench_study();
     let video = s.fig1_most_viewed();
-    println!("\n=== E2 / Fig. 1: most-viewed video ({} views) ===", video.total_views);
+    println!(
+        "\n=== E2 / Fig. 1: most-viewed video ({} views) ===",
+        video.total_views
+    );
     print!("{}", render_popularity_map(&video.popularity, 10));
     println!(
         "saturated countries: {} (paper: USA & Singapore tied at 61)\n",

@@ -2,6 +2,15 @@
 //! and `favela` (local). Regenerates both figures and measures the
 //! Eq. 3 aggregation plus profile construction.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -13,7 +22,9 @@ use tagdist_bench::bench_study;
 fn print_figures_once() {
     let s = bench_study();
     for (fig, name) in [("Fig. 2 (E3)", "pop"), ("Fig. 3 (E4)", "favela")] {
-        let Some(p) = s.tag_profile(name) else { continue };
+        let Some(p) = s.tag_profile(name) else {
+            continue;
+        };
         println!("\n=== {fig}: tag '{name}' ===");
         print!("{}", render_distribution(&p.dist, 8));
         println!(

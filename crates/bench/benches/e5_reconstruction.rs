@@ -2,6 +2,15 @@
 //! Alexa-prior-noise ablation. Regenerates the error table and
 //! measures the full Eq. 1 inversion over the corpus.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -44,7 +53,10 @@ fn bench(c: &mut Criterion) {
     for noise in [0.0, 0.20] {
         let traffic = base.perturbed(noise, 7);
         group.bench_with_input(
-            BenchmarkId::new("reconstruct_corpus", format!("noise{:.0}pct", 100.0 * noise)),
+            BenchmarkId::new(
+                "reconstruct_corpus",
+                format!("noise{:.0}pct", 100.0 * noise),
+            ),
             &traffic,
             |b, traffic| {
                 b.iter(|| {
@@ -62,7 +74,9 @@ fn bench(c: &mut Criterion) {
             let est: Vec<GeoDist> = (0..clean.len())
                 .map(|p| recon.distribution(p).expect("mass"))
                 .collect();
-            black_box(ErrorReport::compare(&truth, &est)).expect("aligned").n
+            black_box(ErrorReport::compare(&truth, &est))
+                .expect("aligned")
+                .n
         })
     });
     group.finish();

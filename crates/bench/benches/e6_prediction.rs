@@ -1,6 +1,15 @@
 //! E6 — the tag-prediction conjecture. Regenerates the evaluation
 //! table and measures prediction throughput.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

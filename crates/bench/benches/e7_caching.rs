@@ -2,6 +2,15 @@
 //! hit-rate-vs-capacity series for every policy and measures the
 //! simulator.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -9,8 +18,8 @@ use tagdist::cache::{
     run_hybrid, run_reactive, run_static, run_with_latency, DiurnalModel, LfuCache, LruCache,
     Placement, RequestStream, SlruCache, TimedRequestStream,
 };
-use tagdist::geo::LatencyModel;
 use tagdist::geo::GeoDist;
+use tagdist::geo::LatencyModel;
 use tagdist::tags::Predictor;
 use tagdist_bench::bench_study;
 
@@ -54,10 +63,18 @@ fn print_series_once(x: &Setup) {
         let cap = ((catalogue as f64) * pct / 100.0).ceil() as usize;
         let rate = |p: &Placement| 100.0 * run_static(p, &x.stream).hit_rate();
         let oracle = rate(&Placement::predictive(
-            "oracle", x.countries, cap, &x.truth, &x.weights,
+            "oracle",
+            x.countries,
+            cap,
+            &x.truth,
+            &x.weights,
         ));
         let tags = rate(&Placement::predictive(
-            "tags", x.countries, cap, &x.predicted, &x.weights,
+            "tags",
+            x.countries,
+            cap,
+            &x.predicted,
+            &x.weights,
         ));
         let blind = rate(&Placement::geo_blind(x.countries, cap, &x.weights));
         let random = rate(&Placement::random(x.countries, catalogue, cap, 99));
@@ -81,14 +98,24 @@ fn bench(c: &mut Criterion) {
     group.bench_function("placement_tag_predictive", |b| {
         b.iter(|| {
             black_box(Placement::predictive(
-                "tags", x.countries, cap, &x.predicted, &x.weights,
+                "tags",
+                x.countries,
+                cap,
+                &x.predicted,
+                &x.weights,
             ))
             .capacity()
         })
     });
     for (name, placement) in [
-        ("static_oracle", Placement::predictive("oracle", x.countries, cap, &x.truth, &x.weights)),
-        ("static_geoblind", Placement::geo_blind(x.countries, cap, &x.weights)),
+        (
+            "static_oracle",
+            Placement::predictive("oracle", x.countries, cap, &x.truth, &x.weights),
+        ),
+        (
+            "static_geoblind",
+            Placement::geo_blind(x.countries, cap, &x.weights),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new("replay", name), &placement, |b, p| {
             b.iter(|| black_box(run_static(p, &x.stream)).hits)

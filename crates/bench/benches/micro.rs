@@ -2,6 +2,15 @@
 //! distribution math, the Map-Chart codec, the heavy-tailed samplers
 //! and the platform generator itself.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -85,5 +94,11 @@ fn bench_platform(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_geo, bench_latency, bench_sampling, bench_platform);
+criterion_group!(
+    benches,
+    bench_geo,
+    bench_latency,
+    bench_sampling,
+    bench_platform
+);
 criterion_main!(benches);

@@ -5,6 +5,18 @@
 //! computational stage behind it. The study is built once per bench
 //! binary and shared.
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
+
 use std::sync::OnceLock;
 
 use tagdist::{Study, StudyConfig};

@@ -142,8 +142,7 @@ mod tests {
     }
 
     fn placement_holding(countries: &[CountryId]) -> Placement {
-        let held: std::collections::HashSet<usize> =
-            countries.iter().map(|c| c.index()).collect();
+        let held: std::collections::HashSet<usize> = countries.iter().map(|c| c.index()).collect();
         Placement::from_scores("held", world().len(), 1, 1, |c, _| {
             if held.contains(&c.index()) {
                 1.0
@@ -187,8 +186,7 @@ mod tests {
     fn exclusive_placement(countries: &[CountryId]) -> Placement {
         // Catalogue of 2: video 0 is the real one, video 1 a decoy
         // that non-holders cache instead.
-        let held: std::collections::HashSet<usize> =
-            countries.iter().map(|c| c.index()).collect();
+        let held: std::collections::HashSet<usize> = countries.iter().map(|c| c.index()).collect();
         Placement::from_scores("exclusive", world().len(), 2, 1, |c, v| {
             let holds = held.contains(&c.index());
             match (holds, v) {

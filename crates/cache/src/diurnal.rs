@@ -117,7 +117,10 @@ impl TimedRequestStream {
             dists.iter().all(|d| d.len() == country_count),
             "distributions must cover the same world"
         );
-        assert!(country_count <= world.len(), "more countries than the registry");
+        assert!(
+            country_count <= world.len(),
+            "more countries than the registry"
+        );
 
         let mut cdf = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
@@ -134,11 +137,7 @@ impl TimedRequestStream {
             .map(|c| {
                 let mut hours = [0.0f64; 24];
                 for (h, slot) in hours.iter_mut().enumerate() {
-                    *slot = model.country_activity(
-                        world,
-                        CountryId::from_index(c),
-                        h as f64 + 0.5,
-                    );
+                    *slot = model.country_activity(world, CountryId::from_index(c), h as f64 + 0.5);
                 }
                 hours
             })
@@ -148,9 +147,7 @@ impl TimedRequestStream {
         let requests = (0..n)
             .map(|_| {
                 let u: f64 = rng.gen::<f64>() * acc;
-                let video = match cdf
-                    .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
-                {
+                let video = match cdf.binary_search_by(|c| c.total_cmp(&u)) {
                     Ok(i) | Err(i) => i.min(cdf.len() - 1),
                 };
                 let utc_hour: f64 = rng.gen::<f64>() * 24.0;

@@ -46,14 +46,10 @@ impl Placement {
                 if k == 0 {
                     return HashSet::new();
                 }
-                let mut scores: Vec<f64> =
-                    (0..video_count).map(|v| score(country, v)).collect();
+                let mut scores: Vec<f64> = (0..video_count).map(|v| score(country, v)).collect();
                 if k < ranked.len() {
                     ranked.select_nth_unstable_by(k - 1, |&a, &b| {
-                        scores[b]
-                            .partial_cmp(&scores[a])
-                            .expect("scores are finite")
-                            .then(a.cmp(&b))
+                        scores[b].total_cmp(&scores[a]).then(a.cmp(&b))
                     });
                     ranked.truncate(k);
                 }
@@ -91,13 +87,22 @@ impl Placement {
     /// Geo-blind placement: every country caches the same globally
     /// most-viewed videos.
     pub fn geo_blind(country_count: usize, capacity: usize, weights: &[f64]) -> Placement {
-        Placement::from_scores("geo-blind", country_count, weights.len(), capacity, |_, v| {
-            weights[v]
-        })
+        Placement::from_scores(
+            "geo-blind",
+            country_count,
+            weights.len(),
+            capacity,
+            |_, v| weights[v],
+        )
     }
 
     /// Random placement (seeded), the sanity-check lower bound.
-    pub fn random(country_count: usize, video_count: usize, capacity: usize, seed: u64) -> Placement {
+    pub fn random(
+        country_count: usize,
+        video_count: usize,
+        capacity: usize,
+        seed: u64,
+    ) -> Placement {
         let mut rng = StdRng::seed_from_u64(seed);
         let scores: Vec<Vec<f64>> = (0..country_count)
             .map(|_| (0..video_count).map(|_| rng.gen()).collect())

@@ -154,8 +154,7 @@ impl ReactiveCache for LfuCache {
         let hit = self.entries.contains_key(&video);
         let freq = self.entries.get(&video).map(|&(f, _)| f).unwrap_or(0) + 1;
         self.entries.insert(video, (freq, self.tick));
-        self.heap
-            .push(core::cmp::Reverse((freq, self.tick, video)));
+        self.heap.push(core::cmp::Reverse((freq, self.tick, video)));
         if !hit && self.entries.len() > self.capacity {
             self.evict_one();
         }
@@ -346,7 +345,7 @@ mod tests {
         let mut c = SlruCache::with_segments(2, 2);
         assert!(!c.access(1)); // probation
         assert!(c.access(1)); // promoted
-        // Scan through probation; the promoted object survives.
+                              // Scan through probation; the promoted object survives.
         for i in 10..20 {
             c.access(i);
         }

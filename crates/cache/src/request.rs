@@ -70,9 +70,7 @@ impl RequestStream {
         let requests = (0..n)
             .map(|_| {
                 let u: f64 = rng.gen::<f64>() * total;
-                let video = match cdf
-                    .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
-                {
+                let video = match cdf.binary_search_by(|c| c.total_cmp(&u)) {
                     Ok(i) | Err(i) => i.min(cdf.len() - 1),
                 };
                 let country = dists[video].sample(&mut rng);

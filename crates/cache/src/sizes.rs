@@ -65,12 +65,7 @@ impl SizedPlacement {
                 let densities: Vec<f64> = (0..sizes.len())
                     .map(|v| score(country, v) / sizes[v])
                     .collect();
-                ranked.sort_by(|&a, &b| {
-                    densities[b]
-                        .partial_cmp(&densities[a])
-                        .expect("densities are finite")
-                        .then(a.cmp(&b))
-                });
+                ranked.sort_by(|&a, &b| densities[b].total_cmp(&densities[a]).then(a.cmp(&b)));
                 let mut set = HashSet::new();
                 let mut used = 0.0;
                 for v in ranked {
@@ -189,7 +184,10 @@ pub fn run_static_sized(
     stream: &RequestStream,
     sizes: &[f64],
 ) -> ByteReport {
-    assert!(sizes.len() >= stream.video_count(), "sizes cover the catalogue");
+    assert!(
+        sizes.len() >= stream.video_count(),
+        "sizes cover the catalogue"
+    );
     let mut hits = 0usize;
     let mut bytes_requested = 0.0;
     let mut bytes_from_origin = 0.0;
@@ -265,20 +263,30 @@ mod tests {
         let dists = vec![d(&[1.0, 0.0]), d(&[1.0, 0.0])];
         let stream = RequestStream::generate(&dists, &[1.0, 1.0], 1_000, 3);
         // Cache only the small video in country 0.
-        let p = SizedPlacement::greedy("small-only", 2, 2.0, &sizes, |_, v| {
-            if v == 0 {
-                1.0
-            } else {
-                0.5
-            }
-        });
+        let p =
+            SizedPlacement::greedy(
+                "small-only",
+                2,
+                2.0,
+                &sizes,
+                |_, v| {
+                    if v == 0 {
+                        1.0
+                    } else {
+                        0.5
+                    }
+                },
+            );
         let report = run_static_sized(&p, &stream, &sizes);
         assert_eq!(report.requests, 1_000);
         assert!(report.hits > 0 && report.hits < 1_000);
         let expected_origin = (report.requests - report.hits) as f64 * 8.0;
         assert!((report.bytes_from_origin - expected_origin).abs() < 1e-9);
         assert!(report.byte_hit_rate() > 0.0 && report.byte_hit_rate() < 1.0);
-        assert!(report.hit_rate() > report.byte_hit_rate(), "misses are the big video");
+        assert!(
+            report.hit_rate() > report.byte_hit_rate(),
+            "misses are the big video"
+        );
     }
 
     #[test]
@@ -294,9 +302,8 @@ mod tests {
             dists.push(d(&[1.0]));
         }
         let stream = RequestStream::generate(&dists, &weights, 20_000, 9);
-        let density = SizedPlacement::predictive_sized(
-            "density", 1, 100.0, &dists, &weights, &sizes,
-        );
+        let density =
+            SizedPlacement::predictive_sized("density", 1, 100.0, &dists, &weights, &sizes);
         // A naive "top scores first" fills the budget with the hit.
         let naive = SizedPlacement::greedy("naive", 1, 100.0, &sizes, |_, v| {
             // score/size ordering collapses to plain score when sizes

@@ -81,7 +81,7 @@ pub fn run_tiered(
         stream.country_count() <= world.len(),
         "stream countries exceed the registry"
     );
-    let region_index = |r: Region| Region::ALL.iter().position(|&x| x == r).expect("known");
+    let region_index = |r: Region| r.index();
     let mut parents: Vec<LruCache> = Region::ALL
         .iter()
         .map(|_| LruCache::new(regional_capacity))

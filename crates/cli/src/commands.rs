@@ -8,12 +8,12 @@
 use std::fs::File;
 use std::io::Write;
 
+use tagdist::cache::{run_static, Placement, RequestStream};
 use tagdist::crawler::{crawl_parallel, recrawl, CrawlConfig};
 use tagdist::dataset::{filter, merge, sample_stratified, tsv, Dataset, DatasetStats};
+use tagdist::geo::GeoDist;
 use tagdist::geo::{world, TrafficModel};
 use tagdist::reconstruct::{Reconstruction, TagViewTable};
-use tagdist::cache::{run_static, Placement, RequestStream};
-use tagdist::geo::GeoDist;
 use tagdist::tags::{GeoTagIndex, Predictor, TagProfile};
 use tagdist::ytsim::{Platform, WorldConfig};
 use tagdist::{markdown_report, render_distribution, ReportOptions, Study, StudyConfig};
@@ -158,8 +158,13 @@ fn country<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     writeln!(out, "most viewed tags:").map_err(|e| e.to_string())?;
     for s in index.top_by_views(country.id) {
-        writeln!(out, "  {:<24} {:>14.0} views", clean.tags().name(s.tag), s.views)
-            .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "  {:<24} {:>14.0} views",
+            clean.tags().name(s.tag),
+            s.views
+        )
+        .map_err(|e| e.to_string())?;
     }
     writeln!(out, "signature tags (highest lift):").map_err(|e| e.to_string())?;
     for s in index.top_by_lift(country.id) {
@@ -201,7 +206,10 @@ fn cache_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let requests = args.get_usize("requests", 60_000)?;
     let capacity_pct = args
         .get("capacity-pct")
-        .map(|v| v.parse::<f64>().map_err(|_| "bad --capacity-pct".to_owned()))
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| "bad --capacity-pct".to_owned())
+        })
         .transpose()?
         .unwrap_or(2.0);
     let dataset = load(path)?;
@@ -218,8 +226,12 @@ fn cache_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     // Demand is simulated from the reconstructed distributions — the
     // only geographic signal available to a file-based analysis.
     let dists: Vec<GeoDist> = (0..clean.len())
-        .map(|p| recon.distribution(p).expect("rows carry mass"))
-        .collect();
+        .map(|p| {
+            recon
+                .distribution(p)
+                .map_err(|e| format!("row {p} does not normalize: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
     let weights: Vec<f64> = clean.iter().map(|v| v.total_views as f64).collect();
     let stream = RequestStream::generate(&dists, &weights, requests, 2014);
     let predicted: Vec<GeoDist> = clean
@@ -349,7 +361,13 @@ mod tests {
         let sample_path = temp("sample.tsv");
 
         let text = run(&[
-            "generate", "--videos", "1500", "--seed", "5", "--out", &crawl_path,
+            "generate",
+            "--videos",
+            "1500",
+            "--seed",
+            "5",
+            "--out",
+            &crawl_path,
         ])
         .unwrap();
         assert!(text.contains("saved"), "{text}");
@@ -383,9 +401,23 @@ mod tests {
     #[test]
     fn cache_sweep_runs_on_a_saved_dataset() {
         let crawl_path = temp("crawl4.tsv");
-        run(&["generate", "--videos", "1500", "--seed", "7", "--out", &crawl_path]).unwrap();
+        run(&[
+            "generate",
+            "--videos",
+            "1500",
+            "--seed",
+            "7",
+            "--out",
+            &crawl_path,
+        ])
+        .unwrap();
         let text = run(&[
-            "cache", &crawl_path, "--requests", "5000", "--capacity-pct", "2",
+            "cache",
+            &crawl_path,
+            "--requests",
+            "5000",
+            "--capacity-pct",
+            "2",
         ])
         .unwrap();
         assert!(text.contains("tag-proactive"), "{text}");
@@ -409,14 +441,25 @@ mod tests {
     fn missing_required_options_error_clearly() {
         assert!(run(&["generate"]).unwrap_err().contains("--out"));
         assert!(run(&["stats"]).unwrap_err().contains("dataset file"));
-        assert!(run(&["sample", "x.tsv"]).unwrap_err().contains("sample size"));
+        assert!(run(&["sample", "x.tsv"])
+            .unwrap_err()
+            .contains("sample size"));
         assert!(run(&["report"]).unwrap_err().contains("--out"));
     }
 
     #[test]
     fn country_command_prints_signatures() {
         let crawl_path = temp("crawl3.tsv");
-        run(&["generate", "--videos", "1500", "--seed", "6", "--out", &crawl_path]).unwrap();
+        run(&[
+            "generate",
+            "--videos",
+            "1500",
+            "--seed",
+            "6",
+            "--out",
+            &crawl_path,
+        ])
+        .unwrap();
         let text = run(&["country", &crawl_path, "BR"]).unwrap();
         assert!(text.contains("Brazil"), "{text}");
         assert!(text.contains("signature tags"), "{text}");

@@ -1,5 +1,17 @@
 //! `tagdist` binary entry point; see [`commands::USAGE`].
 
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
+
 mod args;
 mod commands;
 

@@ -35,16 +35,29 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
 
 pub mod paper;
 pub mod render;
 pub mod report;
 pub mod study;
+pub mod validate;
 
 pub use paper::{PaperComparison, PaperConstants, PAPER};
 pub use render::{render_distribution, render_popularity_map, render_views};
 pub use report::{markdown_report, ReportOptions};
-pub use study::{Study, StudyConfig};
+pub use study::{Study, StudyConfig, StudyError};
+pub use validate::{InvariantViolation, Validate};
 
 pub use tagdist_cache as cache;
 pub use tagdist_crawler as crawler;

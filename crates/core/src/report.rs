@@ -50,46 +50,48 @@ impl Default for ReportOptions {
 /// Panics if the study's filtered dataset is empty.
 pub fn markdown_report(study: &Study, options: &ReportOptions) -> String {
     let mut out = String::new();
-    let w = &mut out;
+    // Writing into a `String` never fails, so the inner `fmt::Result`
+    // (which exists purely so `?` replaces per-line unwraps) is moot.
+    let _ = write_report(&mut out, study, options);
+    out
+}
 
-    writeln!(w, "# tagdist study report\n").unwrap();
+fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::fmt::Result {
+    writeln!(w, "# tagdist study report\n")?;
     writeln!(
         w,
         "World: {} videos, seed {}; crawl fetched {} videos.\n",
         study.config().world.videos,
         study.config().world.seed,
         study.crawl_stats().fetched
-    )
-    .unwrap();
+    )?;
 
     // E1.
-    writeln!(w, "## E1 — §2 dataset accounting\n").unwrap();
-    writeln!(w, "```\n{}\n```\n", study.filter_report()).unwrap();
-    writeln!(w, "```\n{}\n```\n", study.dataset_stats()).unwrap();
+    writeln!(w, "## E1 — §2 dataset accounting\n")?;
+    writeln!(w, "```\n{}\n```\n", study.filter_report())?;
+    writeln!(w, "```\n{}\n```\n", study.dataset_stats())?;
 
     // E2.
     let video = study.fig1_most_viewed();
-    writeln!(w, "## E2 — Fig. 1: most-viewed video\n").unwrap();
+    writeln!(w, "## E2 — Fig. 1: most-viewed video\n")?;
     writeln!(
         w,
         "`{}` with {} views; {} countries saturated at 61.\n",
         video.key,
         video.total_views,
         video.popularity.saturated().len()
-    )
-    .unwrap();
+    )?;
     writeln!(
         w,
         "```\n{}```\n",
         crate::render::render_popularity_map(&video.popularity, options.map_depth)
-    )
-    .unwrap();
+    )?;
 
     // E3/E4.
-    writeln!(w, "## E3/E4 — Figs. 2–3: tag geographies\n").unwrap();
+    writeln!(w, "## E3/E4 — Figs. 2–3: tag geographies\n")?;
     for name in ["pop", "favela"] {
         if let Some(p) = study.tag_profile(name) {
-            writeln!(w, "### tag `{name}`\n").unwrap();
+            writeln!(w, "### tag `{name}`\n")?;
             writeln!(
                 w,
                 "{} videos, {:.0} views, top {} ({:.1} %), JS from traffic {:.4} bits.\n",
@@ -98,36 +100,47 @@ pub fn markdown_report(study: &Study, options: &ReportOptions) -> String {
                 study.world().country(p.top_country).code,
                 100.0 * p.top_share,
                 p.js_from_traffic
-            )
-            .unwrap();
-            writeln!(w, "```\n{}```\n", render_distribution(&p.dist, options.map_depth)).unwrap();
+            )?;
+            writeln!(
+                w,
+                "```\n{}```\n",
+                render_distribution(&p.dist, options.map_depth)
+            )?;
         }
     }
-    writeln!(w, "### top tags by aggregated views\n").unwrap();
+    writeln!(w, "### top tags by aggregated views\n")?;
     for (tag, views) in study.tag_table().top_by_views(options.top_tags) {
-        writeln!(w, "- `{}` — {:.0} views", study.clean().tags().name(tag), views).unwrap();
+        writeln!(
+            w,
+            "- `{}` — {:.0} views",
+            study.clean().tags().name(tag),
+            views
+        )?;
     }
-    writeln!(w).unwrap();
+    writeln!(w)?;
 
     // E5.
-    writeln!(w, "## E5 — reconstruction error\n").unwrap();
-    writeln!(w, "```\nvs ground truth:\n{}\n```\n", study.reconstruction_error()).unwrap();
+    writeln!(w, "## E5 — reconstruction error\n")?;
+    writeln!(
+        w,
+        "```\nvs ground truth:\n{}\n```\n",
+        study.reconstruction_error()
+    )?;
     let s = study.sensitivity();
     writeln!(
         w,
         "Decomposition (mean JS bits): quantization-only {:.4}, prior-only {:.4}, \
          combined {:.4}; prior gap {:.4}.\n",
         s.quantization_only.js.mean, s.prior_only.js.mean, s.combined.js.mean, s.prior_gap
-    )
-    .unwrap();
+    )?;
 
     // E6.
-    writeln!(w, "## E6 — tag prediction\n").unwrap();
-    writeln!(w, "```\n{}\n```\n", study.prediction_evaluation()).unwrap();
+    writeln!(w, "## E6 — tag prediction\n")?;
+    writeln!(w, "```\n{}\n```\n", study.prediction_evaluation())?;
 
     // E7 (optional).
     if options.with_caching {
-        writeln!(w, "## E7 — proactive caching sweep\n").unwrap();
+        writeln!(w, "## E7 — proactive caching sweep\n")?;
         let truth = study.true_distributions();
         let weights = study.view_weights();
         let stream = RequestStream::generate(&truth, &weights, options.requests, 2014);
@@ -139,24 +152,27 @@ pub fn markdown_report(study: &Study, options: &ReportOptions) -> String {
             .map(|(pos, v)| predictor.predict(&v.tags, study.reconstruction().views(pos)))
             .collect();
         let countries = study.world().len();
-        writeln!(w, "| capacity | oracle | tag-proactive | geo-blind |").unwrap();
-        writeln!(w, "|---:|---:|---:|---:|").unwrap();
+        writeln!(w, "| capacity | oracle | tag-proactive | geo-blind |")?;
+        writeln!(w, "|---:|---:|---:|---:|")?;
         for &frac in &options.capacities {
             let cap = ((truth.len() as f64) * frac).ceil() as usize;
             let rate = |p: &Placement| 100.0 * run_static(p, &stream).hit_rate();
             writeln!(
                 w,
                 "| {cap} | {:.1} % | {:.1} % | {:.1} % |",
-                rate(&Placement::predictive("oracle", countries, cap, &truth, &weights)),
-                rate(&Placement::predictive("tags", countries, cap, &predicted, &weights)),
+                rate(&Placement::predictive(
+                    "oracle", countries, cap, &truth, &weights
+                )),
+                rate(&Placement::predictive(
+                    "tags", countries, cap, &predicted, &weights
+                )),
                 rate(&Placement::geo_blind(countries, cap, &weights)),
-            )
-            .unwrap();
+            )?;
         }
-        writeln!(w).unwrap();
+        writeln!(w)?;
     }
 
-    out
+    Ok(())
 }
 
 #[cfg(test)]

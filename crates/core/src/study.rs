@@ -58,6 +58,26 @@ impl StudyConfig {
     }
 }
 
+/// Failure modes of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StudyError {
+    /// The world or crawl configuration failed validation.
+    InvalidConfig(String),
+    /// Filtering kept no usable videos, so nothing reconstructs.
+    EmptyDataset,
+}
+
+impl core::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StudyError::InvalidConfig(why) => write!(f, "invalid study configuration: {why}"),
+            StudyError::EmptyDataset => write!(f, "the crawl yielded no usable videos"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
 /// A completed end-to-end run: platform, crawl, filtered dataset,
 /// reconstruction and tag table, with the paper's figures and our
 /// ground-truth evaluations as methods.
@@ -83,8 +103,28 @@ impl Study {
     ///
     /// Panics if the configuration is invalid (see
     /// [`WorldConfig::validate`] and [`CrawlConfig::validate`]) or the
-    /// crawl yields no usable videos.
+    /// crawl yields no usable videos. [`Study::try_run`] is the
+    /// fallible variant.
+    #[expect(
+        clippy::expect_used,
+        reason = "documented # Panics contract; try_run is the fallible variant"
+    )]
     pub fn run(config: StudyConfig) -> Study {
+        Study::try_run(config)
+            .expect("study configuration is valid and the crawl yields usable videos")
+    }
+
+    /// Runs the whole pipeline, reporting failures as values.
+    ///
+    /// # Errors
+    ///
+    /// * [`StudyError::InvalidConfig`] if the world or crawl
+    ///   configuration fails validation.
+    /// * [`StudyError::EmptyDataset`] if the §2 filter keeps no usable
+    ///   videos (so the Eq. 1 reconstruction has nothing to normalize).
+    pub fn try_run(config: StudyConfig) -> Result<Study, StudyError> {
+        config.world.validate().map_err(StudyError::InvalidConfig)?;
+        config.crawl.validate().map_err(StudyError::InvalidConfig)?;
         let platform = Platform::generate(config.world.clone());
         let outcome = crawl_parallel(&platform, &config.crawl);
         let clean = filter(&outcome.dataset);
@@ -94,9 +134,12 @@ impl Study {
         let traffic = TrafficModel::from_distribution(platform.true_traffic().clone())
             .perturbed(config.prior_noise, config.prior_seed);
         let reconstruction = Reconstruction::compute(&clean, traffic.distribution())
-            .expect("filtered dataset reconstructs");
+            .map_err(|_| StudyError::EmptyDataset)?;
         let tag_table = TagViewTable::aggregate(&clean, &reconstruction);
-        Study {
+        // Debug builds verify the stage invariants (free in release).
+        crate::validate::Validate::debug_validate(&clean);
+        crate::validate::Validate::debug_validate(traffic.distribution());
+        Ok(Study {
             config,
             platform,
             crawl_stats: outcome.stats,
@@ -105,7 +148,7 @@ impl Study {
             traffic,
             reconstruction,
             tag_table,
-        }
+        })
     }
 
     /// The configuration that produced this study.
@@ -170,7 +213,12 @@ impl Study {
     /// `None` if the tag never survived filtering.
     pub fn tag_profile(&self, name: &str) -> Option<TagProfile> {
         let tag = self.clean.tags().id(name)?;
-        TagProfile::build(tag, &self.clean, &self.tag_table, self.traffic.distribution())
+        TagProfile::build(
+            tag,
+            &self.clean,
+            &self.tag_table,
+            self.traffic.distribution(),
+        )
     }
 
     /// Fig. 1: the most-viewed video and its popularity map.
@@ -178,6 +226,10 @@ impl Study {
     /// # Panics
     ///
     /// Panics if the filtered dataset is empty.
+    #[expect(
+        clippy::expect_used,
+        reason = "documented # Panics contract on empty datasets"
+    )]
     pub fn fig1_most_viewed(&self) -> &CleanVideo {
         self.clean
             .most_viewed()
@@ -189,6 +241,11 @@ impl Study {
     /// The paper could not run this check; the synthetic substrate
     /// can. Compares each retained video's reconstructed distribution
     /// with the generator's true one.
+    #[expect(
+        clippy::expect_used,
+        clippy::missing_panics_doc,
+        reason = "every retained video was crawled from this very platform"
+    )]
     pub fn reconstruction_error(&self) -> ErrorReport {
         let truth: Vec<GeoDist> = self
             .clean
@@ -212,6 +269,11 @@ impl Study {
 
     /// Baseline for E5: how far the traffic prior alone is from each
     /// video's true distribution.
+    #[expect(
+        clippy::expect_used,
+        clippy::missing_panics_doc,
+        reason = "every retained video was crawled from this very platform"
+    )]
     pub fn prior_error(&self) -> ErrorReport {
         let truth: Vec<GeoDist> = self
             .clean
@@ -223,8 +285,7 @@ impl Study {
                     .view_distribution()
             })
             .collect();
-        let estimate: Vec<GeoDist> =
-            vec![self.traffic.distribution().clone(); truth.len()];
+        let estimate: Vec<GeoDist> = vec![self.traffic.distribution().clone(); truth.len()];
         ErrorReport::compare(&truth, &estimate).expect("aligned by construction")
     }
 
@@ -253,6 +314,11 @@ impl Study {
 
     /// E6 (ground-truth variant): tag predictions scored against the
     /// generator's true distributions.
+    #[expect(
+        clippy::expect_used,
+        clippy::missing_panics_doc,
+        reason = "every retained video was crawled from this very platform"
+    )]
     pub fn prediction_error_vs_truth(&self) -> ErrorReport {
         let predictor = Predictor::new(&self.tag_table, self.traffic.distribution());
         let truth: Vec<GeoDist> = self
@@ -280,6 +346,10 @@ impl Study {
     /// # Panics
     ///
     /// Panics if the filtered dataset is empty.
+    #[expect(
+        clippy::expect_used,
+        reason = "documented # Panics contract; retained videos were crawled from this platform"
+    )]
     pub fn sensitivity(&self) -> Sensitivity {
         let truth_views: Vec<_> = self
             .clean
@@ -298,6 +368,11 @@ impl Study {
 
     /// Ground-truth view distributions of the retained videos, in
     /// dataset order (inputs for oracle cache placements).
+    #[expect(
+        clippy::expect_used,
+        clippy::missing_panics_doc,
+        reason = "every retained video was crawled from this very platform"
+    )]
     pub fn true_distributions(&self) -> Vec<GeoDist> {
         self.clean
             .iter()
@@ -355,7 +430,11 @@ mod tests {
         let favela = s.tag_profile("favela").expect("favela survives");
         // Fig. 2 vs Fig. 3.
         assert!(pop.js_from_traffic < favela.js_from_traffic);
-        assert!(favela.top_share > 0.4, "favela top share {}", favela.top_share);
+        assert!(
+            favela.top_share > 0.4,
+            "favela top share {}",
+            favela.top_share
+        );
         let br = world().by_code("BR").unwrap().id;
         assert_eq!(favela.top_country, br);
     }

@@ -1,0 +1,301 @@
+//! Runtime invariant enforcement.
+//!
+//! The static side of the PR — clippy's lint table and `cargo xtask
+//! check` — keeps panics and nondeterminism out of the code. This
+//! module is the *dynamic* side: a [`Validate`] trait stating, as
+//! checkable predicates, the invariants every pipeline artifact must
+//! uphold, with [`Validate::debug_validate`] wiring them into
+//! `debug_assert!` so debug builds and tests verify them for free
+//! while release binaries pay nothing.
+
+use tagdist_cache::Placement;
+use tagdist_dataset::{CleanDataset, VideoRecord};
+use tagdist_geo::{approx_eq, CountryId, CountryVec, GeoDist, PopularityVector, MAX_INTENSITY};
+
+/// Tolerance for mass-conservation checks: reconstruction sums
+/// hundreds of thousands of rounded doubles.
+const MASS_EPSILON: f64 = 1e-6;
+
+/// A broken invariant, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantViolation {
+    /// The type whose invariant broke.
+    pub subject: &'static str,
+    /// What was expected.
+    pub invariant: &'static str,
+    /// Observed detail (index, value, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} invariant broken — {} ({})",
+            self.subject, self.invariant, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+impl InvariantViolation {
+    fn new(
+        subject: &'static str,
+        invariant: &'static str,
+        detail: impl Into<String>,
+    ) -> InvariantViolation {
+        InvariantViolation {
+            subject,
+            invariant,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Checkable runtime invariants.
+///
+/// Implementations must be cheap relative to constructing the value —
+/// they run inside `debug_assert!` on every pipeline stage boundary.
+pub trait Validate {
+    /// Checks every invariant, reporting the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] found; `Ok(())` means
+    /// every invariant holds.
+    fn validate(&self) -> Result<(), InvariantViolation>;
+
+    /// Asserts validity in debug builds; free in release builds.
+    #[expect(
+        clippy::panic,
+        reason = "debug_assert-style guard: a broken invariant is a bug in the constructing stage"
+    )]
+    fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(violation) = self.validate() {
+            panic!("{violation}");
+        }
+    }
+}
+
+impl Validate for CountryVec {
+    /// Every entry is finite — NaN or ±∞ would silently poison every
+    /// downstream aggregate.
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        for (id, v) in self.iter() {
+            if !v.is_finite() {
+                return Err(InvariantViolation::new(
+                    "CountryVec",
+                    "entries are finite",
+                    format!("entry {} is {v}", id.index()),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Validate for GeoDist {
+    /// A distribution: non-empty, entries in `[0, 1]`, total mass 1.
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        if self.is_empty() {
+            return Err(InvariantViolation::new(
+                "GeoDist",
+                "covers at least one country",
+                "empty",
+            ));
+        }
+        for (id, p) in self.as_vec().iter() {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(InvariantViolation::new(
+                    "GeoDist",
+                    "probabilities lie in [0, 1]",
+                    format!("entry {} is {p}", id.index()),
+                ));
+            }
+        }
+        let mass = self.as_vec().sum();
+        if !approx_eq(mass, 1.0, MASS_EPSILON) {
+            return Err(InvariantViolation::new(
+                "GeoDist",
+                "mass sums to 1",
+                format!("sum is {mass}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Validate for PopularityVector {
+    /// Map-Chart intensities never exceed [`MAX_INTENSITY`].
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        if let Some((i, &v)) = self
+            .as_slice()
+            .iter()
+            .enumerate()
+            .find(|&(_, &v)| v > MAX_INTENSITY)
+        {
+            return Err(InvariantViolation::new(
+                "PopularityVector",
+                "intensities lie in [0, 61]",
+                format!("entry {i} is {v}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Validate for VideoRecord {
+    /// Tags are deduplicated and any valid popularity vector is
+    /// structurally sound.
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        let mut seen = self.tags.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != self.tags.len() {
+            return Err(InvariantViolation::new(
+                "VideoRecord",
+                "tags carry no duplicates",
+                format!("video {}", self.key),
+            ));
+        }
+        if let Some(pop) = self.popularity.valid() {
+            pop.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl Validate for CleanDataset {
+    /// Every retained record satisfies the §2 filter contract: tags
+    /// non-empty, popularity signal-bearing and sized to the world.
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        for (pos, video) in self.iter().enumerate() {
+            if video.tags.is_empty() {
+                return Err(InvariantViolation::new(
+                    "CleanDataset",
+                    "retained videos carry tags",
+                    format!("position {pos} ({})", video.key),
+                ));
+            }
+            if !video.popularity.has_signal() {
+                return Err(InvariantViolation::new(
+                    "CleanDataset",
+                    "retained popularity vectors carry signal",
+                    format!("position {pos} ({})", video.key),
+                ));
+            }
+            if video.popularity.len() != self.country_count() {
+                return Err(InvariantViolation::new(
+                    "CleanDataset",
+                    "popularity vectors match the world size",
+                    format!(
+                        "position {pos}: {} entries vs {} countries",
+                        video.popularity.len(),
+                        self.country_count()
+                    ),
+                ));
+            }
+            video.popularity.validate()?;
+        }
+        let report = self.report();
+        if report.kept != self.len()
+            || report.crawled != report.kept + report.no_tags + report.bad_popularity
+        {
+            return Err(InvariantViolation::new(
+                "CleanDataset",
+                "filter accounting balances",
+                format!("{report}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Validate for Placement {
+    /// No per-country cache exceeds its capacity, and every cached
+    /// index refers to a video below the placement's video count.
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        for c in 0..self.country_count() {
+            let cached = self.cached(CountryId::from_index(c));
+            if cached.len() > self.capacity() {
+                return Err(InvariantViolation::new(
+                    "Placement",
+                    "per-country sets respect capacity",
+                    format!(
+                        "country {c} caches {} > capacity {}",
+                        cached.len(),
+                        self.capacity()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+    use tagdist_geo::GeoError;
+
+    #[test]
+    fn finite_vec_passes_nan_fails() {
+        assert!(CountryVec::from_values(vec![1.0, 0.0]).validate().is_ok());
+        let bad = CountryVec::from_values(vec![1.0, f64::NAN]);
+        let violation = bad.validate().unwrap_err();
+        assert_eq!(violation.invariant, "entries are finite");
+        assert!(violation.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn fresh_distributions_validate() -> Result<(), GeoError> {
+        GeoDist::uniform(7).validate().map_err(|e| {
+            panic!("uniform must validate: {e}");
+        })?;
+        let skewed = GeoDist::from_counts(&CountryVec::from_values(vec![5.0, 1.0, 0.0]))?;
+        assert!(skewed.validate().is_ok());
+        Ok(())
+    }
+
+    #[test]
+    fn popularity_vector_bounds_check() {
+        let ok = PopularityVector::from_raw(vec![0, 61]).unwrap();
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn clean_dataset_validates_after_filter() {
+        let mut b = DatasetBuilder::new(2);
+        b.push_video("a", 10, &["pop"], RawPopularity::decode(vec![61, 0], 2));
+        b.push_video("b", 10, &[], RawPopularity::Missing);
+        let clean = filter(&b.build());
+        assert!(clean.validate().is_ok());
+        clean.validate().unwrap();
+        clean.debug_validate();
+    }
+
+    #[test]
+    fn placement_capacity_is_enforced() {
+        let weights = [3.0, 2.0, 1.0];
+        let p = Placement::geo_blind(2, 2, &weights);
+        assert!(p.validate().is_ok());
+        p.debug_validate();
+    }
+
+    #[test]
+    fn study_artifacts_validate_end_to_end() {
+        let study = crate::Study::run(crate::StudyConfig::tiny());
+        study.clean().validate().unwrap();
+        study.traffic().validate().unwrap();
+        for v in study.clean().iter().take(50) {
+            v.popularity.validate().unwrap();
+        }
+        let truth = study.true_distributions();
+        for d in truth.iter().take(50) {
+            d.validate().unwrap();
+        }
+    }
+}

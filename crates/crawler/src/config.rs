@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn builders_chain() {
         let mut c = CrawlConfig::default();
-        c.with_budget(100).with_max_depth(3).with_related(5).with_threads(2);
+        c.with_budget(100)
+            .with_max_depth(3)
+            .with_related(5)
+            .with_threads(2);
         assert_eq!(c.budget, 100);
         assert_eq!(c.max_depth, 3);
         assert_eq!(c.related_per_video, 5);

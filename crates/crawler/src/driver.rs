@@ -30,6 +30,10 @@ type Fetched = Option<(VideoMetadata, Vec<String>)>;
 /// # Panics
 ///
 /// Panics if `cfg` fails [`CrawlConfig::validate`].
+#[expect(
+    clippy::expect_used,
+    reason = "documented # Panics contract on invalid configs"
+)]
 pub fn crawl<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlOutcome {
     cfg.validate().expect("invalid crawl configuration");
     let seeds = gather_seeds(platform, cfg);
@@ -41,10 +45,9 @@ pub fn crawl<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlO
     })
 }
 
-
 /// Level-synchronized parallel crawl.
 ///
-/// Each BFS level is fanned out over [`CrawlConfig::threads`] crossbeam
+/// Each BFS level is fanned out over [`CrawlConfig::threads`] std::thread
 /// scoped threads; results are re-assembled in frontier order, so the
 /// outcome is identical to [`crawl`] on the same platform and
 /// configuration.
@@ -53,6 +56,10 @@ pub fn crawl<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlO
 ///
 /// Panics if `cfg` fails [`CrawlConfig::validate`] or a worker thread
 /// panics.
+#[expect(
+    clippy::expect_used,
+    reason = "documented # Panics contract on invalid configs"
+)]
 pub fn crawl_parallel<P: PlatformApi + Sync + ?Sized>(
     platform: &P,
     cfg: &CrawlConfig,
@@ -68,11 +75,11 @@ pub fn crawl_parallel<P: PlatformApi + Sync + ?Sized>(
                 .collect();
         }
         let chunk = level.len().div_ceil(cfg.threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = level
                 .chunks(chunk)
                 .map(|keys| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         keys.iter()
                             .map(|key| fetch_one(platform, cfg, key))
                             .collect::<Vec<Fetched>>()
@@ -81,11 +88,13 @@ pub fn crawl_parallel<P: PlatformApi + Sync + ?Sized>(
                 .collect();
             let mut out = Vec::with_capacity(level.len());
             for handle in handles {
-                out.extend(handle.join().expect("crawler worker panicked"));
+                match handle.join() {
+                    Ok(fetched) => out.extend(fetched),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
             out
         })
-        .expect("crawler scope panicked")
     })
 }
 
@@ -164,7 +173,13 @@ where
                 Some(raw) => RawPopularity::decode(raw, country_count),
                 None => RawPopularity::Missing,
             };
-            builder.push_video_titled(&meta.key, &meta.title, meta.total_views, &tag_refs, popularity);
+            builder.push_video_titled(
+                &meta.key,
+                &meta.title,
+                meta.total_views,
+                &tag_refs,
+                popularity,
+            );
             fetched_this_level += 1;
 
             for key in related {

@@ -41,6 +41,10 @@ pub struct RecrawlOutcome {
 ///
 /// Panics if `cfg` fails [`CrawlConfig::validate`] or `existing` was
 /// crawled against a different world size.
+#[expect(
+    clippy::expect_used,
+    reason = "documented # Panics contract on invalid configs"
+)]
 pub fn recrawl<P: PlatformApi + ?Sized>(
     platform: &P,
     cfg: &CrawlConfig,
@@ -119,7 +123,13 @@ pub fn recrawl<P: PlatformApi + ?Sized>(
                     Some(raw) => RawPopularity::decode(raw, country_count),
                     None => RawPopularity::Missing,
                 };
-                builder.push_video_titled(&meta.key, &meta.title, meta.total_views, &tags, popularity);
+                builder.push_video_titled(
+                    &meta.key,
+                    &meta.title,
+                    meta.total_views,
+                    &tags,
+                    popularity,
+                );
                 new_fetches += 1;
                 fetched_this_level += 1;
             }

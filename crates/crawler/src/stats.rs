@@ -66,10 +66,7 @@ impl CrawlStats {
     ///
     /// Panics if `requests_per_sec` is not positive.
     pub fn estimated_duration_secs(&self, requests_per_sec: f64) -> f64 {
-        assert!(
-            requests_per_sec > 0.0,
-            "request rate must be positive"
-        );
+        assert!(requests_per_sec > 0.0, "request rate must be positive");
         self.api_calls() as f64 / requests_per_sec
     }
 }

@@ -204,7 +204,12 @@ mod tests {
 
     fn sample() -> Dataset {
         let mut b = DatasetBuilder::new(3);
-        b.push_video("k1", 100, &["pop", "music"], RawPopularity::decode(vec![61, 0, 5], 3));
+        b.push_video(
+            "k1",
+            100,
+            &["pop", "music"],
+            RawPopularity::decode(vec![61, 0, 5], 3),
+        );
         b.push_video("k2", 900, &["pop"], RawPopularity::Missing);
         b.push_video("k3", 50, &[], RawPopularity::decode(vec![0, 61, 0], 3));
         b.build()
@@ -273,7 +278,8 @@ mod tests {
     fn titles_are_stored_when_provided() {
         let mut b = DatasetBuilder::new(1);
         let plain = b.push_video("p", 1, &["x"], RawPopularity::Missing);
-        let titled = b.push_video_titled("t", "Baby ft. Ludacris", 2, &["x"], RawPopularity::Missing);
+        let titled =
+            b.push_video_titled("t", "Baby ft. Ludacris", 2, &["x"], RawPopularity::Missing);
         let d = b.build();
         assert_eq!(d.video(plain).title, "");
         assert_eq!(d.video(titled).title, "Baby ft. Ludacris");

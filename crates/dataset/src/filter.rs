@@ -116,6 +116,11 @@ impl CleanDataset {
         self.videos.get(pos)
     }
 
+    /// Slice view of the retained videos, in position order.
+    pub fn as_slice(&self) -> &[CleanVideo] {
+        &self.videos
+    }
+
     /// The shared tag interner (covers the *raw* vocabulary; tags used
     /// only by dropped videos have empty postings here).
     pub fn tags(&self) -> &TagInterner {
@@ -147,6 +152,21 @@ impl CleanDataset {
     /// Most-viewed retained video (Fig. 1's subject), if any.
     pub fn most_viewed(&self) -> Option<&CleanVideo> {
         self.videos.iter().max_by_key(|v| v.total_views)
+    }
+}
+
+impl core::ops::Index<usize> for CleanDataset {
+    type Output = CleanVideo;
+
+    /// Retained video by position, with `Vec` indexing semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len()`; positions obtained from
+    /// [`videos_with_tag`](CleanDataset::videos_with_tag) are always in
+    /// range.
+    fn index(&self, pos: usize) -> &CleanVideo {
+        &self.videos[pos]
     }
 }
 
@@ -220,7 +240,12 @@ mod tests {
         // no tags AND bad popularity → counted as no_tags
         b.push_video("f", 600, &[], RawPopularity::Missing);
         // clean, shares a tag
-        b.push_video("g", 700, &["pop", "live"], RawPopularity::decode(vec![0, 0, 61], 3));
+        b.push_video(
+            "g",
+            700,
+            &["pop", "live"],
+            RawPopularity::decode(vec![0, 0, 61], 3),
+        );
         b.build()
     }
 

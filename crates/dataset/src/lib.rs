@@ -37,6 +37,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
 
 pub mod dataset;
 pub mod error;
@@ -52,7 +63,7 @@ pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DatasetError;
 pub use filter::{filter, CleanDataset, CleanVideo, FilterReport};
 pub use merge::merge;
-pub use sample::{sample_stratified, sample_top_views, sample_uniform};
 pub use record::{RawPopularity, VideoId, VideoRecord};
+pub use sample::{sample_stratified, sample_top_views, sample_uniform};
 pub use stats::{DatasetStats, TagFrequency};
 pub use tag::{TagId, TagInterner};

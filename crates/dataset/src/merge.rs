@@ -43,10 +43,7 @@ fn richness(record: &VideoRecord) -> u32 {
 /// against different country registries is meaningless.
 pub fn merge(datasets: &[&Dataset]) -> Result<Dataset, DatasetError> {
     let country_count = datasets.first().map(|d| d.country_count()).unwrap_or(0);
-    if let Some(bad) = datasets
-        .iter()
-        .find(|d| d.country_count() != country_count)
-    {
+    if let Some(bad) = datasets.iter().find(|d| d.country_count() != country_count) {
         return Err(DatasetError::Parse {
             line: 0,
             message: format!(

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use tagdist_geo::{PopularityVector, MAX_INTENSITY};
+use tagdist_geo::PopularityVector;
 
 use crate::tag::TagId;
 
@@ -12,7 +12,6 @@ use crate::tag::TagId;
 /// as the record's `key` and uses this dense index for cross-references
 /// (related-video edges, tag postings).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VideoId(u32);
 
 impl VideoId {
@@ -47,7 +46,6 @@ impl From<VideoId> for usize {
 /// observation so the filtering step — not the crawler — decides what
 /// is usable, mirroring the paper's offline pipeline.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RawPopularity {
     /// No popularity map was served for the video.
     Missing,
@@ -66,11 +64,13 @@ impl RawPopularity {
     /// A vector is valid when it has exactly `expected_len` entries,
     /// all within `[0, 61]`.
     pub fn decode(raw: Vec<u8>, expected_len: usize) -> RawPopularity {
-        if raw.len() != expected_len || raw.iter().any(|&v| v > MAX_INTENSITY) {
+        if raw.len() != expected_len {
             return RawPopularity::Corrupt(raw);
         }
-        let pop = PopularityVector::from_raw(raw).expect("bounds validated above");
-        RawPopularity::Valid(pop)
+        match PopularityVector::from_raw_or_reclaim(raw) {
+            Ok(pop) => RawPopularity::Valid(pop),
+            Err(raw) => RawPopularity::Corrupt(raw),
+        }
     }
 
     /// Returns the validated vector, if any.

@@ -13,7 +13,6 @@ use std::collections::HashMap;
 /// Ids are dense (0‥[`TagInterner::len`]) in first-seen order, so they
 /// double as indices into per-tag arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TagId(u32);
 
 impl TagId {

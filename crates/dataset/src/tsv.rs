@@ -240,7 +240,13 @@ mod tests {
             RawPopularity::decode(vec![61, 0, 7], 3),
         );
         b.push_video("plain", 0, &[], RawPopularity::Missing);
-        b.push_video_titled("corrupt", "c", 9, &["x"], RawPopularity::decode(vec![1, 2], 3));
+        b.push_video_titled(
+            "corrupt",
+            "c",
+            9,
+            &["x"],
+            RawPopularity::decode(vec![1, 2], 3),
+        );
         b.build()
     }
 
@@ -336,10 +342,8 @@ mod proptests {
     fn arb_pop() -> impl Strategy<Value = RawPopularity> {
         prop_oneof![
             Just(RawPopularity::Missing),
-            proptest::collection::vec(0u8..=255, 0..8)
-                .prop_map(|v| RawPopularity::decode(v, 4)),
-            proptest::collection::vec(0u8..=61, 4..=4)
-                .prop_map(|v| RawPopularity::decode(v, 4)),
+            proptest::collection::vec(0u8..=255, 0..8).prop_map(|v| RawPopularity::decode(v, 4)),
+            proptest::collection::vec(0u8..=61, 4..=4).prop_map(|v| RawPopularity::decode(v, 4)),
         ]
     }
 

@@ -26,7 +26,6 @@ use core::fmt;
 /// assert_eq!(world().country(us).name, "United States");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CountryId(u16);
 
 impl CountryId {
@@ -62,7 +61,6 @@ impl From<CountryId> for usize {
 /// Used by the caching simulator to price cross-region transfers and by
 /// the synthetic platform to shape topic affinities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Region {
     /// USA, Canada, Mexico.
     NorthAmerica,
@@ -81,6 +79,12 @@ pub enum Region {
 }
 
 impl Region {
+    /// Position of this region in [`Region::ALL`] (declaration order).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// All regions, in declaration order.
     pub const ALL: [Region; 7] = [
         Region::NorthAmerica,
@@ -116,7 +120,6 @@ impl fmt::Display for Region {
 /// worldwide YouTube views originating in the country, the quantity the
 /// paper approximates with Alexa data (Eq. 2).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Country {
     /// Dense registry index.
     pub id: CountryId,
@@ -160,7 +163,16 @@ use Region::*;
 /// split the paper cites from Sandvine (NA 18.69 %, EU 28.73 %, Asia
 /// 31.22 % of network traffic) and to 2011 internet-user counts.
 const TABLE: &[Row] = &[
-    ("US", "United States", 311.6, NorthAmerica, "en", true, 17.50, -6.0),
+    (
+        "US",
+        "United States",
+        311.6,
+        NorthAmerica,
+        "en",
+        true,
+        17.50,
+        -6.0,
+    ),
     ("GB", "United Kingdom", 63.3, Europe, "en", true, 4.30, 0.0),
     ("FR", "France", 65.3, Europe, "fr", true, 3.20, 1.0),
     ("DE", "Germany", 80.3, Europe, "de", true, 4.10, 1.0),
@@ -171,7 +183,16 @@ const TABLE: &[Row] = &[
     ("RU", "Russia", 142.9, Europe, "ru", true, 3.60, 3.0),
     ("BR", "Brazil", 196.6, SouthAmerica, "pt", true, 4.90, -3.0),
     ("MX", "Mexico", 114.8, NorthAmerica, "es", true, 2.80, -6.0),
-    ("AR", "Argentina", 40.7, SouthAmerica, "es", true, 1.60, -3.0),
+    (
+        "AR",
+        "Argentina",
+        40.7,
+        SouthAmerica,
+        "es",
+        true,
+        1.60,
+        -3.0,
+    ),
     ("JP", "Japan", 127.8, Asia, "ja", true, 5.40, 9.0),
     ("KR", "South Korea", 49.8, Asia, "ko", true, 2.60, 9.0),
     ("IN", "India", 1_221.0, Asia, "hi", true, 4.20, 5.5),
@@ -203,14 +224,50 @@ const TABLE: &[Row] = &[
     ("HR", "Croatia", 4.3, Europe, "hr", false, 0.20, 1.0),
     ("RS", "Serbia", 7.2, Europe, "sr", false, 0.25, 1.0),
     ("CL", "Chile", 17.3, SouthAmerica, "es", false, 0.80, -4.0),
-    ("CO", "Colombia", 46.4, SouthAmerica, "es", false, 1.30, -5.0),
+    (
+        "CO",
+        "Colombia",
+        46.4,
+        SouthAmerica,
+        "es",
+        false,
+        1.30,
+        -5.0,
+    ),
     ("PE", "Peru", 29.6, SouthAmerica, "es", false, 0.70, -5.0),
-    ("VE", "Venezuela", 29.3, SouthAmerica, "es", false, 0.70, -4.5),
+    (
+        "VE",
+        "Venezuela",
+        29.3,
+        SouthAmerica,
+        "es",
+        false,
+        0.70,
+        -4.5,
+    ),
     ("EC", "Ecuador", 15.2, SouthAmerica, "es", false, 0.35, -5.0),
     ("UY", "Uruguay", 3.4, SouthAmerica, "es", false, 0.15, -3.0),
     ("EG", "Egypt", 82.5, MiddleEast, "ar", false, 1.30, 2.0),
-    ("SA", "Saudi Arabia", 28.2, MiddleEast, "ar", false, 1.60, 3.0),
-    ("AE", "United Arab Emirates", 8.9, MiddleEast, "ar", false, 0.55, 4.0),
+    (
+        "SA",
+        "Saudi Arabia",
+        28.2,
+        MiddleEast,
+        "ar",
+        false,
+        1.60,
+        3.0,
+    ),
+    (
+        "AE",
+        "United Arab Emirates",
+        8.9,
+        MiddleEast,
+        "ar",
+        false,
+        0.55,
+        4.0,
+    ),
     ("MA", "Morocco", 32.3, Africa, "ar", false, 0.55, 0.0),
     ("NG", "Nigeria", 164.2, Africa, "en", false, 0.60, 1.0),
     ("KE", "Kenya", 42.0, Africa, "en", false, 0.25, 3.0),
@@ -242,7 +299,16 @@ impl World {
             .map(
                 |(
                     i,
-                    &(code, name, population_m, region, language, seed_locale, traffic_weight, utc_offset_hours),
+                    &(
+                        code,
+                        name,
+                        population_m,
+                        region,
+                        language,
+                        seed_locale,
+                        traffic_weight,
+                        utc_offset_hours,
+                    ),
                 )| {
                     Country {
                         id: CountryId::from_index(i),

@@ -34,7 +34,6 @@ use crate::vec::CountryVec;
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeoDist {
     probs: CountryVec,
 }
@@ -178,7 +177,7 @@ impl GeoDist {
     /// distribution answers `⌈share·len⌉`.
     pub fn countries_for_share(&self, share: f64) -> usize {
         let target = share.clamp(0.0, 1.0);
-        if target == 0.0 {
+        if crate::float::approx_zero(target) {
             return 0;
         }
         let mut sorted: Vec<f64> = self.probs.as_slice().to_vec();
@@ -210,12 +209,7 @@ impl GeoDist {
             });
         }
         let mut kl = 0.0;
-        for (p, q) in self
-            .probs
-            .as_slice()
-            .iter()
-            .zip(other.probs.as_slice())
-        {
+        for (p, q) in self.probs.as_slice().iter().zip(other.probs.as_slice()) {
             if *p > 0.0 {
                 if *q > 0.0 {
                     kl += p * (p / q).log2();
@@ -245,12 +239,7 @@ impl GeoDist {
             });
         }
         let mut js = 0.0;
-        for (p, q) in self
-            .probs
-            .as_slice()
-            .iter()
-            .zip(other.probs.as_slice())
-        {
+        for (p, q) in self.probs.as_slice().iter().zip(other.probs.as_slice()) {
             let m = 0.5 * (p + q);
             if *p > 0.0 {
                 js += 0.5 * p * (p / m).log2();
@@ -303,7 +292,10 @@ impl GeoDist {
     /// Panics if the distribution covers more countries than `world`
     /// registers.
     pub fn regional_shares(&self, world: &crate::World) -> Vec<(crate::Region, f64)> {
-        assert!(self.len() <= world.len(), "unknown countries in distribution");
+        assert!(
+            self.len() <= world.len(),
+            "unknown countries in distribution"
+        );
         crate::Region::ALL
             .iter()
             .map(|&region| {
@@ -537,10 +529,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_counts() -> impl Strategy<Value = Vec<f64>> {
-        proptest::collection::vec(0.0f64..1000.0, 2..40).prop_filter(
-            "needs positive mass",
-            |v| v.iter().sum::<f64>() > 1e-6,
-        )
+        proptest::collection::vec(0.0f64..1000.0, 2..40)
+            .prop_filter("needs positive mass", |v| v.iter().sum::<f64>() > 1e-6)
     }
 
     proptest! {

@@ -1,0 +1,45 @@
+//! Epsilon-comparison helpers.
+//!
+//! Direct `==`/`!=` on `f64` is forbidden workspace-wide (clippy's
+//! `float_cmp` plus the `float-eq` rule of `cargo xtask check`):
+//! reconstruction arithmetic accumulates rounding error, so equality
+//! must always be read as "within tolerance". These helpers are the
+//! sanctioned spelling.
+
+/// Default comparison tolerance, far below one Map-Chart quantization
+/// step (1/61) or any view-count resolution the pipeline produces.
+pub const DEFAULT_EPSILON: f64 = 1e-12;
+
+/// `a` and `b` are equal within `eps`.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// `v` is zero within [`DEFAULT_EPSILON`] — the guard to use before
+/// dividing or skipping empty mass.
+#[must_use]
+pub fn approx_zero(v: f64) -> bool {
+    v.abs() <= DEFAULT_EPSILON
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        assert!(approx_eq(0.1 + 0.2, 0.3, DEFAULT_EPSILON));
+        assert!(!approx_eq(1.0, 1.0 + 1e-9, DEFAULT_EPSILON));
+        assert!(approx_eq(1.0, 1.0 + 1e-9, 1e-6));
+    }
+
+    #[test]
+    fn approx_zero_is_symmetric() {
+        assert!(approx_zero(0.0));
+        assert!(approx_zero(-0.0));
+        assert!(approx_zero(1e-13));
+        assert!(approx_zero(-1e-13));
+        assert!(!approx_zero(1e-9));
+    }
+}

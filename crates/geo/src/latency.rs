@@ -39,15 +39,6 @@ impl LatencyModel {
     /// across oceans.
     pub fn default_2011() -> LatencyModel {
         use Region::*;
-        let regions = [
-            NorthAmerica,
-            SouthAmerica,
-            Europe,
-            Asia,
-            Oceania,
-            MiddleEast,
-            Africa,
-        ];
         // Symmetric seed data, ms.
         let pairs: &[(Region, Region, f64)] = &[
             (NorthAmerica, SouthAmerica, 140.0),
@@ -73,20 +64,17 @@ impl LatencyModel {
             (MiddleEast, Africa, 180.0),
         ];
         let mut inter = [[0.0f64; 7]; 7];
-        for (i, &a) in regions.iter().enumerate() {
-            for (j, &b) in regions.iter().enumerate() {
-                if i == j {
-                    inter[i][j] = 45.0; // distinct countries, same region
-                    continue;
-                }
-                let rtt = pairs
-                    .iter()
-                    .find(|&&(x, y, _)| (x == a && y == b) || (x == b && y == a))
-                    .map(|&(_, _, ms)| ms)
-                    .expect("pair table is complete");
-                inter[i][j] = rtt;
-            }
+        for (i, row) in inter.iter_mut().enumerate() {
+            row[i] = 45.0; // distinct countries, same region
         }
+        for &(a, b, ms) in pairs {
+            inter[a.index()][b.index()] = ms;
+            inter[b.index()][a.index()] = ms;
+        }
+        debug_assert!(
+            inter.iter().all(|row| row.iter().all(|&ms| ms > 0.0)),
+            "pair table must cover every region pair"
+        );
         LatencyModel {
             local_ms: 10.0,
             intra_region_ms: 45.0,
@@ -99,7 +87,11 @@ impl LatencyModel {
     /// # Panics
     ///
     /// Panics if any latency is negative or not finite.
-    pub fn new(local_ms: f64, intra_region_ms: f64, inter_region_ms: [[f64; 7]; 7]) -> LatencyModel {
+    pub fn new(
+        local_ms: f64,
+        intra_region_ms: f64,
+        inter_region_ms: [[f64; 7]; 7],
+    ) -> LatencyModel {
         assert!(local_ms.is_finite() && local_ms >= 0.0);
         assert!(intra_region_ms.is_finite() && intra_region_ms >= 0.0);
         for row in &inter_region_ms {
@@ -125,9 +117,7 @@ impl LatencyModel {
         if ra == rb {
             return self.intra_region_ms;
         }
-        let i = Region::ALL.iter().position(|&r| r == ra).expect("known region");
-        let j = Region::ALL.iter().position(|&r| r == rb).expect("known region");
-        self.inter_region_ms[i][j]
+        self.inter_region_ms[ra.index()][rb.index()]
     }
 
     /// RTT of a local edge hit.
@@ -143,15 +133,11 @@ impl LatencyModel {
         from: CountryId,
         candidates: &[CountryId],
     ) -> Option<CountryId> {
-        candidates
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                self.rtt_ms(world, from, a)
-                    .partial_cmp(&self.rtt_ms(world, from, b))
-                    .expect("latencies are finite")
-                    .then(a.cmp(&b))
-            })
+        candidates.iter().copied().min_by(|&a, &b| {
+            self.rtt_ms(world, from, a)
+                .total_cmp(&self.rtt_ms(world, from, b))
+                .then(a.cmp(&b))
+        })
     }
 }
 

@@ -35,10 +35,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
 
 pub mod country;
 pub mod dist;
 pub mod error;
+pub mod float;
 pub mod latency;
 pub mod mapchart;
 pub mod traffic;
@@ -47,6 +59,7 @@ pub mod vec;
 pub use country::{world, Country, CountryId, Region, World};
 pub use dist::GeoDist;
 pub use error::GeoError;
+pub use float::{approx_eq, approx_zero, DEFAULT_EPSILON};
 pub use latency::LatencyModel;
 pub use mapchart::{PopularityVector, MAX_INTENSITY};
 pub use traffic::TrafficModel;

@@ -45,7 +45,6 @@ pub const MAX_INTENSITY: u8 = 61;
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PopularityVector {
     intensities: Vec<u8>,
 }
@@ -68,6 +67,21 @@ impl PopularityVector {
                 index,
                 value: value as f64,
             });
+        }
+        Ok(PopularityVector { intensities })
+    }
+
+    /// Like [`from_raw`](PopularityVector::from_raw), but hands the
+    /// input vector back on failure so the caller can retain the
+    /// corrupt bytes without cloning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unmodified input if any intensity exceeds
+    /// [`MAX_INTENSITY`].
+    pub fn from_raw_or_reclaim(intensities: Vec<u8>) -> Result<PopularityVector, Vec<u8>> {
+        if intensities.iter().any(|&v| v > MAX_INTENSITY) {
+            return Err(intensities);
         }
         Ok(PopularityVector { intensities })
     }

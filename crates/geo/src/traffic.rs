@@ -40,10 +40,14 @@ pub struct TrafficModel {
 impl TrafficModel {
     /// The reference model derived from the registry's built-in
     /// traffic weights (the `p̂yt` of Eq. 2).
+    #[expect(
+        clippy::expect_used,
+        clippy::missing_panics_doc,
+        reason = "the registry's built-in weights are statically positive"
+    )]
     pub fn reference(world: &World) -> TrafficModel {
         let weights: CountryVec = world.iter().map(|c| c.traffic_weight).collect();
-        let dist = GeoDist::from_counts(&weights)
-            .expect("built-in traffic weights are positive");
+        let dist = GeoDist::from_counts(&weights).expect("built-in traffic weights are positive");
         TrafficModel { dist }
     }
 
@@ -72,6 +76,10 @@ impl TrafficModel {
     /// # Panics
     ///
     /// Panics if `noise` is not within `[0, 1)`.
+    #[expect(
+        clippy::expect_used,
+        reason = "a multiplicative perturbation in (0, 2) of positive mass stays positive"
+    )]
     pub fn perturbed(&self, noise: f64, seed: u64) -> TrafficModel {
         assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
         if noise == 0.0 {
@@ -129,13 +137,8 @@ mod tests {
         // traffic. Our table should land in the same ballpark.
         use crate::country::Region;
         let t = TrafficModel::reference(world());
-        let share_of = |r: Region| -> f64 {
-            world()
-                .in_region(r)
-                .into_iter()
-                .map(|id| t.share(id))
-                .sum()
-        };
+        let share_of =
+            |r: Region| -> f64 { world().in_region(r).into_iter().map(|id| t.share(id)).sum() };
         let na = share_of(Region::NorthAmerica);
         let eu = share_of(Region::Europe);
         let asia = share_of(Region::Asia);
@@ -152,10 +155,7 @@ mod tests {
         assert_eq!(a, b);
         let c = t.perturbed(0.1, 43);
         assert_ne!(a, c, "different seeds should differ");
-        let tv = t
-            .distribution()
-            .total_variation(a.distribution())
-            .unwrap();
+        let tv = t.distribution().total_variation(a.distribution()).unwrap();
         assert!(tv < 0.1, "±10 % noise moves TV distance by {tv}");
         assert!(tv > 0.0);
     }

@@ -31,7 +31,6 @@ use crate::error::GeoError;
 /// assert_eq!(views.argmax(), Some(fr));
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CountryVec {
     values: Vec<f64>,
 }
@@ -149,7 +148,10 @@ impl CountryVec {
 
     /// Number of entries that are exactly zero.
     pub fn count_zeros(&self) -> usize {
-        self.values.iter().filter(|&&v| v == 0.0).count()
+        self.values
+            .iter()
+            .filter(|&&v| crate::float::approx_zero(v))
+            .count()
     }
 
     /// Returns `true` if every entry is finite (no NaN/±∞).
@@ -210,7 +212,13 @@ impl CountryVec {
                 .values
                 .iter()
                 .zip(&other.values)
-                .map(|(a, b)| if *b == 0.0 { 0.0 } else { a / b })
+                .map(|(a, b)| {
+                    if crate::float::approx_zero(*b) {
+                        0.0
+                    } else {
+                        a / b
+                    }
+                })
                 .collect(),
         })
     }
@@ -259,7 +267,7 @@ impl CountryVec {
             .sum();
         let na: f64 = self.values.iter().map(|a| a * a).sum::<f64>().sqrt();
         let nb: f64 = other.values.iter().map(|b| b * b).sum::<f64>().sqrt();
-        if na == 0.0 || nb == 0.0 {
+        if crate::float::approx_zero(na) || crate::float::approx_zero(nb) {
             return Ok(0.0);
         }
         Ok(dot / (na * nb))
@@ -298,8 +306,13 @@ impl Add<&CountryVec> for CountryVec {
     ///
     /// Panics if the lengths differ; use [`CountryVec::accumulate`] for
     /// a fallible variant.
+    #[expect(
+        clippy::expect_used,
+        reason = "operator impls cannot return Result; the panic is documented"
+    )]
     fn add(mut self, rhs: &CountryVec) -> CountryVec {
-        self.accumulate(rhs).expect("CountryVec length mismatch in +");
+        self.accumulate(rhs)
+            .expect("CountryVec length mismatch in +");
         self
     }
 }
@@ -309,6 +322,10 @@ impl AddAssign<&CountryVec> for CountryVec {
     ///
     /// Panics if the lengths differ; use [`CountryVec::accumulate`] for
     /// a fallible variant.
+    #[expect(
+        clippy::expect_used,
+        reason = "operator impls cannot return Result; the panic is documented"
+    )]
     fn add_assign(&mut self, rhs: &CountryVec) {
         self.accumulate(rhs)
             .expect("CountryVec length mismatch in +=");

@@ -170,7 +170,11 @@ mod tests {
         let (clean, _) = corpus();
         let refined = refine_prior(&clean, &GeoDist::uniform(4), 30, 1e-9).unwrap();
         let again = refine_prior(&clean, &refined.traffic, 5, 1e-9).unwrap();
-        assert!(again.steps[0] < 1e-6, "fixed point moved: {:?}", again.steps);
+        assert!(
+            again.steps[0] < 1e-6,
+            "fixed point moved: {:?}",
+            again.steps
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ mod tests {
         let s = Sensitivity::analyze(&views, &traffic).unwrap();
         // With the true prior, prior_only error is exactly zero
         // (intensity·pyt ∝ views).
-        assert!(s.prior_only.js.max < 1e-9, "prior-only {}", s.prior_only.js.max);
+        assert!(
+            s.prior_only.js.max < 1e-9,
+            "prior-only {}",
+            s.prior_only.js.max
+        );
         assert!(s.prior_gap < 1e-12);
         // Quantization-only error is small but non-zero.
         assert!(s.quantization_only.js.mean > 0.0);
@@ -182,10 +186,7 @@ mod tests {
     #[test]
     fn empty_corpus_is_rejected() {
         let traffic = GeoDist::uniform(3);
-        assert_eq!(
-            Sensitivity::analyze(&[], &traffic),
-            Err(GeoError::ZeroMass)
-        );
+        assert_eq!(Sensitivity::analyze(&[], &traffic), Err(GeoError::ZeroMass));
     }
 
     #[test]

@@ -53,8 +53,7 @@ impl TagViewTable {
         let tag_count = clean.tags().len();
         let mut rows: Vec<Option<CountryVec>> = vec![None; tag_count];
         let mut video_counts = vec![0usize; tag_count];
-        for (pos, video) in clean.iter().enumerate() {
-            let views = recon.views(pos).expect("aligned reconstruction");
+        for (video, views) in clean.iter().zip(recon.iter()) {
             for &tag in &video.tags {
                 let row = rows[tag.index()]
                     .get_or_insert_with(|| CountryVec::zeros(recon.country_count()));
@@ -137,7 +136,12 @@ mod tests {
 
     fn setup() -> (CleanDataset, Reconstruction) {
         let mut b = DatasetBuilder::new(2);
-        b.push_video("a", 1_000, &["pop", "music"], RawPopularity::decode(vec![61, 61], 2));
+        b.push_video(
+            "a",
+            1_000,
+            &["pop", "music"],
+            RawPopularity::decode(vec![61, 61], 2),
+        );
         b.push_video("b", 100, &["pop"], RawPopularity::decode(vec![0, 61], 2));
         b.push_video("c", 10, &["lonely"], RawPopularity::decode(vec![61, 0], 2));
         let clean = filter(&b.build());
@@ -153,7 +157,10 @@ mod tests {
         let pop = clean.tags().id("pop").unwrap();
         // a: uniform traffic, equal intensity → 500/500; b: 0/100.
         let row = table.views(pop).unwrap().as_slice().to_vec();
-        assert!((row[0] - 500.0).abs() < 1e-6 && (row[1] - 600.0).abs() < 1e-6, "{row:?}");
+        assert!(
+            (row[0] - 500.0).abs() < 1e-6 && (row[1] - 600.0).abs() < 1e-6,
+            "{row:?}"
+        );
         assert_eq!(table.video_count(pop), 2);
         assert_eq!(table.total_views(pop), 1_100.0);
     }

@@ -187,8 +187,7 @@ mod tests {
     #[test]
     fn disjoint_support_is_zero_mass() {
         // Traffic mass only where the chart is dark.
-        let traffic =
-            GeoDist::from_counts(&CountryVec::from_values(vec![0.0, 1.0])).unwrap();
+        let traffic = GeoDist::from_counts(&CountryVec::from_values(vec![0.0, 1.0])).unwrap();
         let pop = PopularityVector::from_raw(vec![61, 0]).unwrap();
         assert_eq!(
             reconstruct_views(&pop, 10, &traffic),

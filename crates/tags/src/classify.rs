@@ -81,6 +81,10 @@ pub fn classify_measures(
 /// # Panics
 ///
 /// Panics if `dist` and `traffic` cover different world sizes.
+#[expect(
+    clippy::expect_used,
+    reason = "documented # Panics contract on world-size mismatch"
+)]
 pub fn classify_distribution(
     dist: &tagdist_geo::GeoDist,
     traffic: &tagdist_geo::GeoDist,
@@ -203,7 +207,10 @@ mod tests {
         // local (the placement decision is the same either way).
         let traffic = d(&[0.8, 0.1, 0.1]);
         let p = profile(d(&[0.85, 0.1, 0.05]), &traffic, 1.0);
-        assert_eq!(classify(&p, &ClassifyThresholds::default()), Locality::Local);
+        assert_eq!(
+            classify(&p, &ClassifyThresholds::default()),
+            Locality::Local
+        );
     }
 
     #[test]

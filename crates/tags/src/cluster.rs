@@ -223,7 +223,12 @@ mod tests {
             );
         }
         for i in 0..6 {
-            b.push_video(&format!("jp{i}"), 100, &["anime", "manga"], pop(vec![61, 0]));
+            b.push_video(
+                &format!("jp{i}"),
+                100,
+                &["anime", "manga"],
+                pop(vec![61, 0]),
+            );
         }
         b.push_video("rare", 10, &["hapax", "samba"], pop(vec![0, 61]));
         filter(&b.build())

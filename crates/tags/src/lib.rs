@@ -24,6 +24,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
 
 pub mod classify;
 pub mod cluster;
@@ -33,7 +44,10 @@ pub mod profile;
 pub mod similarity;
 pub mod smoothing;
 
-pub use classify::{classify, classify_distribution, classify_measures, ClassifyThresholds, Locality, LocalitySummary};
+pub use classify::{
+    classify, classify_distribution, classify_measures, ClassifyThresholds, Locality,
+    LocalitySummary,
+};
 pub use cluster::TagClusters;
 pub use index::{GeoTagIndex, ScoredTag};
 pub use predict::{LocalityBreakdown, PredictionEvaluation, Predictor};

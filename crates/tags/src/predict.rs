@@ -114,6 +114,10 @@ impl PredictionEvaluation {
     /// # Panics
     ///
     /// Panics if `recon` does not align with `clean`.
+    #[expect(
+        clippy::expect_used,
+        reason = "rows are aligned with the dataset and cover one shared world"
+    )]
     pub fn evaluate(
         clean: &CleanDataset,
         recon: &Reconstruction,
@@ -172,6 +176,10 @@ impl LocalityBreakdown {
     /// # Panics
     ///
     /// Panics if `recon` does not align with `clean`.
+    #[expect(
+        clippy::expect_used,
+        reason = "rows are aligned with the dataset and cover one shared world"
+    )]
     pub fn evaluate(
         clean: &CleanDataset,
         recon: &Reconstruction,
@@ -189,12 +197,7 @@ impl LocalityBreakdown {
             let Some(&dominant) = video
                 .tags
                 .iter()
-                .max_by(|&&a, &&b| {
-                    table
-                        .total_views(a)
-                        .partial_cmp(&table.total_views(b))
-                        .unwrap_or(core::cmp::Ordering::Equal)
-                })
+                .max_by(|&&a, &&b| table.total_views(a).total_cmp(&table.total_views(b)))
                 .filter(|&&t| table.views(t).is_some())
             else {
                 continue;
@@ -371,8 +374,7 @@ mod tests {
         let (clean, recon, table) = setup();
         let traffic = world2();
         let thresholds = crate::ClassifyThresholds::default();
-        let breakdown =
-            LocalityBreakdown::evaluate(&clean, &recon, &table, &traffic, &thresholds);
+        let breakdown = LocalityBreakdown::evaluate(&clean, &recon, &table, &traffic, &thresholds);
         let total: usize = breakdown.rows.iter().map(|&(_, n, ..)| n).sum();
         assert_eq!(total, 6, "every video has a dominant tag with a row");
         // "left"/"right" concentrate in one of two countries → local.

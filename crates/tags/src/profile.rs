@@ -58,6 +58,10 @@ impl TagProfile {
     ///
     /// Panics if `tag` does not belong to `clean`'s interner or the
     /// table covers a different world size than `traffic`.
+    #[expect(
+        clippy::expect_used,
+        reason = "documented # Panics contract; a freshly normalized distribution is non-empty"
+    )]
     pub fn build(
         tag: TagId,
         clean: &CleanDataset,
@@ -146,11 +150,31 @@ mod tests {
     fn setup() -> (CleanDataset, TagViewTable, GeoDist) {
         let mut b = DatasetBuilder::new(3);
         // "global" rides charts shaped like traffic.
-        b.push_video("g1", 600, &["global"], RawPopularity::decode(vec![61, 61, 61], 3));
-        b.push_video("g2", 400, &["global"], RawPopularity::decode(vec![61, 61, 61], 3));
+        b.push_video(
+            "g1",
+            600,
+            &["global"],
+            RawPopularity::decode(vec![61, 61, 61], 3),
+        );
+        b.push_video(
+            "g2",
+            400,
+            &["global"],
+            RawPopularity::decode(vec![61, 61, 61], 3),
+        );
         // "niche" concentrates on country 2 (small traffic share).
-        b.push_video("n1", 500, &["niche"], RawPopularity::decode(vec![0, 0, 61], 3));
-        b.push_video("n2", 100, &["niche", "global"], RawPopularity::decode(vec![0, 6, 61], 3));
+        b.push_video(
+            "n1",
+            500,
+            &["niche"],
+            RawPopularity::decode(vec![0, 0, 61], 3),
+        );
+        b.push_video(
+            "n2",
+            100,
+            &["niche", "global"],
+            RawPopularity::decode(vec![0, 6, 61], 3),
+        );
         let clean = filter(&b.build());
         let traffic = traffic();
         let recon = Reconstruction::compute(&clean, &traffic).unwrap();

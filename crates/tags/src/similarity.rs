@@ -27,7 +27,7 @@ pub struct CoTag {
 pub fn co_tags(clean: &CleanDataset, tag: TagId) -> Vec<CoTag> {
     let mut counts: HashMap<TagId, usize> = HashMap::new();
     for &pos in clean.videos_with_tag(tag) {
-        let video = clean.get(pos).expect("posting in range");
+        let video = &clean[pos];
         for &other in &video.tags {
             if other != tag {
                 *counts.entry(other).or_insert(0) += 1;
@@ -48,6 +48,11 @@ pub fn co_tags(clean: &CleanDataset, tag: TagId) -> Vec<CoTag> {
 ///
 /// Returns `(profile index, js divergence)` pairs ascending by
 /// divergence.
+#[expect(
+    clippy::expect_used,
+    clippy::missing_panics_doc,
+    reason = "profiles built over one dataset cover the same world"
+)]
 pub fn most_similar(profiles: &[TagProfile], target: &TagProfile, k: usize) -> Vec<(usize, f64)> {
     let mut scored: Vec<(usize, f64)> = profiles
         .iter()

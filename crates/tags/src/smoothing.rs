@@ -36,7 +36,11 @@ impl<'a> SmoothedPredictor<'a> {
     /// # Panics
     ///
     /// Panics if `shrinkage` is negative or not finite.
-    pub fn new(table: &'a TagViewTable, prior: &'a GeoDist, shrinkage: f64) -> SmoothedPredictor<'a> {
+    pub fn new(
+        table: &'a TagViewTable,
+        prior: &'a GeoDist,
+        shrinkage: f64,
+    ) -> SmoothedPredictor<'a> {
         assert!(
             shrinkage.is_finite() && shrinkage >= 0.0,
             "shrinkage must be a non-negative view count"
@@ -56,6 +60,11 @@ impl<'a> SmoothedPredictor<'a> {
     /// Predicts a video's view distribution from its tags, shrunk
     /// towards the prior by evidence mass. Semantics of `own_views`
     /// match [`Predictor::predict`](crate::Predictor::predict).
+    #[expect(
+        clippy::expect_used,
+        clippy::missing_panics_doc,
+        reason = "positive evidence normalizes and the table shares the prior's world"
+    )]
     pub fn predict(&self, tags: &[TagId], own_views: Option<&CountryVec>) -> GeoDist {
         let mut mix = CountryVec::zeros(self.table.country_count());
         for &tag in tags {

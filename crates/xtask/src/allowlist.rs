@@ -1,0 +1,198 @@
+//! The `xtask-allow.toml` allowlist.
+//!
+//! Every entry sanctions specific flagged lines and must carry a
+//! `reason`; the checker reports suppressed findings separately so the
+//! allowlist stays auditable. The format is a small TOML subset parsed
+//! by hand (the workspace vendors no TOML crate):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "no-panic"               # which rule to suppress
+//! path = "crates/geo/src/vec.rs"  # path suffix match
+//! contains = "expect(\"world\")"  # optional: snippet substring
+//! reason = "operator impls cannot return Result"
+//! ```
+
+use crate::rules::Violation;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule identifier this entry suppresses.
+    pub rule: String,
+    /// Path suffix the violation's path must end with.
+    pub path: String,
+    /// Substring the violation's snippet must contain (empty = any).
+    pub contains: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct AllowList {
+    entries: Vec<AllowEntry>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xtask-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl AllowList {
+    /// An empty allowlist (nothing suppressed).
+    pub fn empty() -> AllowList {
+        AllowList::default()
+    }
+
+    /// Parses the TOML-subset allowlist format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllowParseError`] on unknown keys, values outside
+    /// double quotes, entries without a `reason`, or keys appearing
+    /// before any `[[allow]]` header.
+    pub fn parse(text: &str) -> Result<AllowList, AllowParseError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = i + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                entries.push(AllowEntry::default());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"`, got {line:?}"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| AllowParseError {
+                    line: lineno,
+                    message: format!("value for `{key}` must be double-quoted"),
+                })?
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\");
+            let Some(entry) = entries.last_mut() else {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: "key outside any [[allow]] table".to_owned(),
+                });
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(AllowParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        if let Some(pos) = entries.iter().position(|e| e.reason.is_empty()) {
+            return Err(AllowParseError {
+                line: 0,
+                message: format!("allow entry #{} has no reason", pos + 1),
+            });
+        }
+        Ok(AllowList { entries })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Does any entry sanction this violation?
+    pub fn covers(&self, v: &Violation) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == v.rule
+                && v.path.ends_with(&e.path)
+                && (e.contains.is_empty() || v.snippet.contains(&e.contains))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, path: &str, snippet: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_owned(),
+            line: 1,
+            snippet: snippet.to_owned(),
+            message: String::new(),
+            allowed: false,
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let list = AllowList::parse(
+            "# header comment\n[[allow]]\nrule = \"no-panic\"\npath = \"src/vec.rs\"\ncontains = \"expect\"\nreason = \"ops cannot fail\"\n",
+        )
+        .unwrap();
+        assert_eq!(list.len(), 1);
+        assert!(list.covers(&violation(
+            "no-panic",
+            "crates/geo/src/vec.rs",
+            "x.expect(\"y\")"
+        )));
+        assert!(!list.covers(&violation(
+            "float-eq",
+            "crates/geo/src/vec.rs",
+            "x.expect(\"y\")"
+        )));
+        assert!(!list.covers(&violation(
+            "no-panic",
+            "crates/geo/src/dist.rs",
+            "x.expect(\"y\")"
+        )));
+        assert!(!list.covers(&violation(
+            "no-panic",
+            "crates/geo/src/vec.rs",
+            "x.unwrap()"
+        )));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = AllowList::parse("[[allow]]\nrule = \"no-panic\"\npath = \"a\"\n").unwrap_err();
+        assert!(err.message.contains("no reason"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bare_values() {
+        assert!(AllowList::parse("[[allow]]\nrle = \"x\"\n").is_err());
+        assert!(AllowList::parse("[[allow]]\nrule = no-panic\n").is_err());
+        assert!(AllowList::parse("rule = \"x\"\n").is_err());
+    }
+}

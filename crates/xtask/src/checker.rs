@@ -1,0 +1,144 @@
+//! File discovery and the check driver.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::AllowList;
+use crate::lexer;
+use crate::rules::{self, Violation};
+
+/// Library crates the domain rules apply to: the workspace's
+/// `#![forbid(unsafe_code)]` members. Binary/bench/tooling crates
+/// (cli, bench, xtask) are intentionally out of scope — they may
+/// exit or panic at the top level.
+pub const CHECKED_CRATES: &[&str] = &[
+    "cache",
+    "core",
+    "crawler",
+    "dataset",
+    "geo",
+    "reconstruct",
+    "tags",
+    "ytsim",
+];
+
+/// Result of a full tree check.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+    /// Every finding (allowed ones included), sorted by path then
+    /// line.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckOutcome {
+    /// Findings not covered by the allowlist.
+    pub fn active(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.allowed)
+    }
+
+    /// Number of active findings.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Number of allowlist-suppressed findings.
+    pub fn allowed_count(&self) -> usize {
+        self.violations.iter().filter(|v| v.allowed).count()
+    }
+
+    /// True when nothing (unsuppressed) was found.
+    pub fn is_clean(&self) -> bool {
+        self.active_count() == 0
+    }
+}
+
+/// Checks one in-memory file against every rule and the allowlist.
+pub fn check_source(path_label: &str, source: &str, allow: &AllowList) -> Vec<Violation> {
+    let cf = lexer::clean(source);
+    let mut violations = rules::check_file(path_label, &cf);
+    for v in &mut violations {
+        v.allowed = allow.covers(v);
+    }
+    violations
+}
+
+/// Checks every library source file under `root` (the workspace root).
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the tree; a missing crate
+/// directory is an error (the scope list and the workspace must stay
+/// in sync).
+pub fn check_workspace(root: &Path, allow: &AllowList) -> io::Result<CheckOutcome> {
+    let mut files = Vec::new();
+    for krate in CHECKED_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("expected library source tree at {}", src.display()),
+            ));
+        }
+        collect_rs_files(&src, &mut files)?;
+    }
+    files.sort();
+    check_files(root, &files, allow)
+}
+
+/// Checks an explicit list of files (used by the fixture tests).
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the files.
+pub fn check_files(root: &Path, files: &[PathBuf], allow: &AllowList) -> io::Result<CheckOutcome> {
+    let mut outcome = CheckOutcome::default();
+    for file in files {
+        let source = fs::read_to_string(file)?;
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        outcome
+            .violations
+            .extend(check_source(&label, &source, allow));
+        outcome.files_checked += 1;
+    }
+    outcome
+        .violations
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(outcome)
+}
+
+/// Recursively gathers `.rs` files.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads `xtask-allow.toml` from the workspace root, tolerating its
+/// absence.
+///
+/// # Errors
+///
+/// Returns a descriptive error when the file exists but cannot be
+/// read or parsed.
+pub fn load_allowlist(root: &Path) -> Result<AllowList, String> {
+    let path = root.join("xtask-allow.toml");
+    if !path.exists() {
+        return Ok(AllowList::empty());
+    }
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    AllowList::parse(&text).map_err(|e| e.to_string())
+}

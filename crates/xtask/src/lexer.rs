@@ -1,0 +1,464 @@
+//! A minimal Rust source scanner.
+//!
+//! The checker does not parse Rust; it only needs to know, per line,
+//! which bytes are *code* (as opposed to comments, string contents or
+//! `#[cfg(test)]` bodies) and what the doc comments above an item say.
+//! This module produces that view: a blanked copy of the source where
+//! every non-code byte is replaced by a space, so the rule scanners can
+//! use naive substring matching without being fooled by literals.
+
+/// Per-line classification of one source file.
+#[derive(Debug, Clone)]
+pub struct CleanFile {
+    /// Source lines with comments and literal contents blanked.
+    /// String delimiters themselves are kept (as `"`), so quoted
+    /// regions still occupy their original columns.
+    pub code: Vec<String>,
+    /// Doc-comment text (`///` / `//!`) per line; empty for non-doc
+    /// lines.
+    pub docs: Vec<String>,
+    /// Lines inside `#[cfg(test)]` modules (rules skip these).
+    pub in_test: Vec<bool>,
+    /// Lines sanctioned by a preceding `#[expect(clippy::...)]`
+    /// attribute naming a panic-family lint.
+    pub sanctioned: Vec<bool>,
+    /// The original source lines, for snippets.
+    pub raw: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    DocComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Clippy lints whose `#[expect]` also sanctions the `no-panic` rule:
+/// the compiler verifies the expectation is fulfilled, so the site is
+/// already audited.
+const SANCTIONING_LINTS: &[&str] = &["unwrap_used", "expect_used", "panic", "missing_panics_doc"];
+
+/// Scans `source` into a [`CleanFile`].
+pub fn clean(source: &str) -> CleanFile {
+    let raw: Vec<String> = source.lines().map(str::to_owned).collect();
+    let (code, docs) = blank_non_code(source);
+    let in_test = mark_test_modules(&code);
+    let sanctioned = mark_sanctioned(&code);
+    CleanFile {
+        code,
+        docs,
+        in_test,
+        sanctioned,
+        raw,
+    }
+}
+
+/// Replaces comments and literal contents with spaces, collecting doc
+/// comments on the side.
+#[expect(
+    clippy::expect_used,
+    reason = "pushed a line for every consumed newline just above"
+)]
+fn blank_non_code(source: &str) -> (Vec<String>, Vec<String>) {
+    let mut code = Vec::new();
+    let mut docs = Vec::new();
+    let mut code_line = String::new();
+    let mut doc_line = String::new();
+    let mut state = State::Code;
+
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '\n' {
+            if matches!(state, State::LineComment | State::DocComment) {
+                state = State::Code;
+            }
+            code.push(std::mem::take(&mut code_line));
+            docs.push(std::mem::take(&mut doc_line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    let third = bytes.get(i + 2).copied();
+                    let fourth = bytes.get(i + 3).copied();
+                    // `////…` separators are plain comments; `///` and
+                    // `//!` are docs.
+                    let is_doc = (third == Some('/') && fourth != Some('/')) || third == Some('!');
+                    state = if is_doc {
+                        State::DocComment
+                    } else {
+                        State::LineComment
+                    };
+                    code_line.push_str("  ");
+                    i += 2;
+                    if is_doc {
+                        i += 1; // swallow the marker char
+                        code_line.push(' ');
+                    }
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    code_line.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    code_line.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if starts_raw_string(&bytes, i) => {
+                    let (hashes, consumed) = raw_string_open(&bytes, i);
+                    state = State::RawStr(hashes);
+                    for _ in 0..consumed {
+                        code_line.push(' ');
+                    }
+                    code_line.push('"');
+                    i += consumed + 1;
+                }
+                'b' if next == Some('\'') => {
+                    state = State::Char;
+                    code_line.push_str(" '");
+                    i += 2;
+                }
+                '\'' => {
+                    if is_char_literal(&bytes, i) {
+                        state = State::Char;
+                        code_line.push('\'');
+                    } else {
+                        // A lifetime: keep it as code.
+                        code_line.push('\'');
+                    }
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                code_line.push(' ');
+                i += 1;
+            }
+            State::DocComment => {
+                doc_line.push(c);
+                code_line.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code_line.push_str("  ");
+                    i += 2;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' if next == Some('\n') => {
+                    // Line-continuation escape: let the newline be
+                    // handled by the top of the loop.
+                    code_line.push(' ');
+                    i += 1;
+                }
+                '\\' => {
+                    code_line.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Code;
+                    code_line.push('"');
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&bytes, i, hashes) {
+                    state = State::Code;
+                    code_line.push('"');
+                    for _ in 0..hashes {
+                        code_line.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    code_line.push_str("  ");
+                    i += 2;
+                }
+                '\'' => {
+                    state = State::Code;
+                    code_line.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            },
+        }
+        // A string or char literal may legally contain a newline we
+        // just skipped over (escapes); resync line counters.
+        while code_line.matches('\n').count() > 0 {
+            let pos = code_line.find('\n').expect("counted above");
+            let rest = code_line.split_off(pos + 1);
+            code_line.pop();
+            code.push(std::mem::replace(&mut code_line, rest));
+            docs.push(std::mem::take(&mut doc_line));
+        }
+    }
+    code.push(code_line);
+    docs.push(doc_line);
+    (code, docs)
+}
+
+fn starts_raw_string(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Returns `(hash_count, chars_before_the_quote)`.
+fn raw_string_open(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i)
+}
+
+fn closes_raw_string(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes `'a'` (literal) from `'a` (lifetime).
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if c != '\'' => bytes.get(i + 2) == Some(&'\''),
+        _ => false,
+    }
+}
+
+/// Flags every line inside a `#[cfg(test)] mod … { … }` body.
+fn mark_test_modules(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    for (lineno, line) in code.iter().enumerate() {
+        if !line.contains("#[cfg(test)]") {
+            continue;
+        }
+        // Find the block opened after the attribute and blank it.
+        let Some((open_line, open_col)) = next_open_brace(code, lineno, line_col_after(line))
+        else {
+            continue;
+        };
+        if let Some(close_line) = matching_close(code, open_line, open_col) {
+            for flag in in_test.iter_mut().take(close_line + 1).skip(lineno) {
+                *flag = true;
+            }
+        }
+    }
+    in_test
+}
+
+fn line_col_after(line: &str) -> usize {
+    line.find("#[cfg(test)]")
+        .map_or(0, |p| p + "#[cfg(test)]".len())
+}
+
+/// First `{` at or after (`line`, `col`).
+fn next_open_brace(code: &[String], line: usize, col: usize) -> Option<(usize, usize)> {
+    for (l, text) in code.iter().enumerate().skip(line) {
+        let start = if l == line { col } else { 0 };
+        if let Some(p) = text.get(start..).and_then(|s| s.find('{')) {
+            return Some((l, start + p));
+        }
+    }
+    None
+}
+
+/// Line containing the `}` matching the `{` at (`line`, `col`).
+fn matching_close(code: &[String], line: usize, col: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (l, text) in code.iter().enumerate().skip(line) {
+        let start = if l == line { col } else { 0 };
+        for c in text.get(start..)?.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(l);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Flags lines covered by an `#[expect(clippy::…)]` attribute naming a
+/// panic-family lint. The attribute sanctions the item it precedes: up
+/// to the matching `}` of the first block, or the first top-level `;`.
+fn mark_sanctioned(code: &[String]) -> Vec<bool> {
+    let mut sanctioned = vec![false; code.len()];
+    for (lineno, line) in code.iter().enumerate() {
+        let Some(attr_col) = line.find("#[expect(") else {
+            continue;
+        };
+        // Collect the attribute text up to the matching `]`.
+        let Some((attr_text, after_line, after_col)) = collect_attr(code, lineno, attr_col) else {
+            continue;
+        };
+        if !SANCTIONING_LINTS
+            .iter()
+            .any(|lint| attr_text.contains(lint))
+        {
+            continue;
+        }
+        let end = item_end(code, after_line, after_col).unwrap_or(code.len() - 1);
+        for flag in sanctioned.iter_mut().take(end + 1).skip(lineno) {
+            *flag = true;
+        }
+    }
+    sanctioned
+}
+
+/// Gathers `#[ … ]` starting at (`line`, `col`); returns the attribute
+/// text and the position just past its closing `]`.
+fn collect_attr(code: &[String], line: usize, col: usize) -> Option<(String, usize, usize)> {
+    let mut depth = 0i32;
+    let mut text = String::new();
+    for (l, full) in code.iter().enumerate().skip(line) {
+        let start = if l == line { col } else { 0 };
+        for (offset, c) in full.get(start..)?.char_indices() {
+            text.push(c);
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((text, l, start + offset + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        text.push('\n');
+    }
+    None
+}
+
+/// End line of the item starting after an attribute: the matching `}`
+/// of the first `{`, or the first `;` seen before any brace.
+fn item_end(code: &[String], line: usize, col: usize) -> Option<usize> {
+    for (l, full) in code.iter().enumerate().skip(line) {
+        let start = if l == line { col } else { 0 };
+        for (offset, c) in full.get(start..)?.char_indices() {
+            match c {
+                '{' => return matching_close(code, l, start + offset),
+                ';' => return Some(l),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let cf = clean("let x = \"unwrap()\"; // .unwrap()\nlet y = 1;\n");
+        assert!(!cf.code[0].contains("unwrap"));
+        assert!(cf.code[0].contains("let x"));
+        assert_eq!(cf.code[1], "let y = 1;");
+    }
+
+    #[test]
+    fn doc_comments_are_captured() {
+        let cf = clean("/// # Errors\n///\n/// Stuff.\npub fn f() {}\n");
+        assert!(cf.docs[0].contains("# Errors"));
+        assert!(!cf.code[0].contains("Errors"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let cf = clean("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(cf.code[0].contains("&'a str"));
+        assert!(!cf.code[1].contains('x'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let cf = clean("let s = r#\"panic!(\"no\")\"#;\nlet t = 0;\n");
+        assert!(!cf.code[0].contains("panic"));
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let cf = clean(src);
+        assert!(!cf.in_test[0]);
+        assert!(cf.in_test[1] && cf.in_test[2] && cf.in_test[3] && cf.in_test[4]);
+        assert!(!cf.in_test[5]);
+    }
+
+    #[test]
+    fn expect_attr_sanctions_following_block() {
+        let src = "#[expect(clippy::expect_used, reason = \"x\")]\nfn f() {\n    y.expect(\"ok\");\n}\nfn g() { z.expect(\"bad\"); }\n";
+        let cf = clean(src);
+        assert!(cf.sanctioned[0] && cf.sanctioned[1] && cf.sanctioned[2] && cf.sanctioned[3]);
+        assert!(!cf.sanctioned[4]);
+    }
+
+    #[test]
+    fn expect_attr_sanctions_following_statement() {
+        let src = "#[expect(clippy::expect_used, reason = \"x\")]\nlet v = w.expect(\"ok\");\nlet u = t.expect(\"bad\");\n";
+        let cf = clean(src);
+        assert!(cf.sanctioned[0] && cf.sanctioned[1]);
+        assert!(!cf.sanctioned[2]);
+    }
+}

@@ -1,0 +1,32 @@
+//! `cargo xtask` — workspace-wide static analysis and invariant
+//! enforcement for the tagdist repro.
+//!
+//! `cargo xtask check` scans the library crates (the eight
+//! `#![forbid(unsafe_code)]` members) for domain rules that generic
+//! lints cannot express — see [`rules`] — honours the
+//! `xtask-allow.toml` allowlist, writes a machine-readable JSON
+//! report, and exits nonzero on any unsuppressed finding.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
+
+pub mod allowlist;
+pub mod checker;
+pub mod jsonout;
+pub mod lexer;
+pub mod rules;
+
+pub use allowlist::{AllowEntry, AllowList, AllowParseError};
+pub use checker::{
+    check_files, check_source, check_workspace, load_allowlist, CheckOutcome, CHECKED_CRATES,
+};
+pub use jsonout::to_json;
+pub use rules::{Violation, RULES, SENSITIVE_PATH_MARKERS};

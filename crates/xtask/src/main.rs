@@ -1,0 +1,100 @@
+//! `cargo xtask` entry point; see [`xtask`] for the library.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{check_workspace, load_allowlist, to_json};
+
+const USAGE: &str = "\
+usage: cargo xtask check [options]
+
+Runs the workspace's domain lints over the library crates.
+
+options:
+  --json <path>   write the JSON report here (default: target/xtask-check.json)
+  --root <path>   workspace root (default: auto-detected from CARGO_MANIFEST_DIR)
+  --quiet         suppress per-violation output
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("xtask: {message}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Returns `Ok(true)` when the tree is clean.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut iter = args.iter();
+    let command = iter.next().ok_or("missing command")?;
+    if command != "check" {
+        return Err(format!("unknown command `{command}`"));
+    }
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(PathBuf::from(iter.next().ok_or("--json needs a path")?));
+            }
+            "--root" => {
+                root = Some(PathBuf::from(iter.next().ok_or("--root needs a path")?));
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => default_root()?,
+    };
+    let allow = load_allowlist(&root)?;
+    let outcome = check_workspace(&root, &allow).map_err(|e| e.to_string())?;
+
+    let json = to_json(&outcome);
+    let json_path = json_path.unwrap_or_else(|| root.join("target/xtask-check.json"));
+    if let Some(parent) = json_path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&json_path, json)
+        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+
+    if !quiet {
+        for v in outcome.active() {
+            println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+            println!("    {}", v.snippet);
+        }
+    }
+    println!(
+        "xtask check: {} files, {} active violation(s), {} allowlisted; report at {}",
+        outcome.files_checked,
+        outcome.active_count(),
+        outcome.allowed_count(),
+        json_path.display()
+    );
+    Ok(outcome.is_clean())
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn default_root() -> Result<PathBuf, String> {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map_err(|_| "CARGO_MANIFEST_DIR unset; pass --root".to_owned())?;
+    let path = PathBuf::from(manifest);
+    path.ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .ok_or_else(|| "cannot locate workspace root; pass --root".to_owned())
+}

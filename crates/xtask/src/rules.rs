@@ -1,0 +1,463 @@
+//! The domain rules `cargo xtask check` enforces.
+//!
+//! These complement clippy: they encode invariants of *this* codebase
+//! that generic lints cannot know — determinism of report output,
+//! the no-panic policy for library crates, the epsilon-comparison
+//! convention for `f64`, and the `# Errors` documentation contract.
+
+use crate::lexer::CleanFile;
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier (`no-panic`, `float-eq`, `hash-iter`,
+    /// `errors-doc`).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Human explanation of what the rule wants.
+    pub message: String,
+    /// Set when an allowlist entry suppressed the violation.
+    pub allowed: bool,
+}
+
+/// Every rule identifier, for reports and fixtures.
+pub const RULES: &[&str] = &["no-panic", "float-eq", "hash-iter", "errors-doc"];
+
+/// Path fragments marking determinism-sensitive modules: anything
+/// producing reports, rendered output or serialized artifacts must not
+/// iterate hash containers (iteration order would leak into output).
+pub const SENSITIVE_PATH_MARKERS: &[&str] = &["report", "render", "tsv", "stats", "serial"];
+
+const PANIC_MACROS: &[&str] = &["panic!", "todo!", "unimplemented!", "unreachable!"];
+const PANIC_METHODS: &[&str] = &[".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("];
+
+/// Runs every rule over one cleaned file.
+pub fn check_file(path: &str, cf: &CleanFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    no_panic(path, cf, &mut out);
+    float_eq(path, cf, &mut out);
+    hash_iter(path, cf, &mut out);
+    errors_doc(path, cf, &mut out);
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    out
+}
+
+fn snippet(cf: &CleanFile, line: usize) -> String {
+    cf.raw
+        .get(line)
+        .map_or(String::new(), |l| l.trim().to_owned())
+}
+
+/// `no-panic`: library code must not contain `unwrap`/`expect`/
+/// `panic!`/`todo!`-family calls. Sites audited with
+/// `#[expect(clippy::…)]` are sanctioned (the compiler verifies those
+/// expectations), as are `#[cfg(test)]` modules.
+fn no_panic(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
+    for (lineno, line) in cf.code.iter().enumerate() {
+        if cf.in_test[lineno] || cf.sanctioned[lineno] {
+            continue;
+        }
+        let hit = PANIC_METHODS.iter().any(|p| line.contains(p))
+            || PANIC_MACROS.iter().any(|m| contains_macro(line, m));
+        if hit {
+            out.push(Violation {
+                rule: "no-panic",
+                path: path.to_owned(),
+                line: lineno + 1,
+                snippet: snippet(cf, lineno),
+                message: "library code must propagate errors, not panic \
+                          (use Result, or #[expect(clippy::…)] with a reason)"
+                    .to_owned(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// True if `line` invokes macro `name` (`name` ends with `!`) as a
+/// standalone token — not as a suffix of a longer identifier.
+fn contains_macro(line: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line.get(from..).and_then(|s| s.find(name)) {
+        let at = from + pos;
+        let prev_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        // `#[should_panic…]` and similar attribute uses are not calls.
+        let in_attr = line[..at].trim_start().starts_with("#[");
+        if prev_ok && !in_attr {
+            return true;
+        }
+        from = at + name.len();
+    }
+    false
+}
+
+/// `float-eq`: direct `==`/`!=` on floating-point values is forbidden;
+/// use the epsilon helpers (`tagdist_geo::approx_eq`) instead. The
+/// scan is heuristic: an equality operator on a line that also
+/// mentions a float literal or an `f32`/`f64` type.
+fn float_eq(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
+    for (lineno, line) in cf.code.iter().enumerate() {
+        if cf.in_test[lineno] || cf.sanctioned[lineno] {
+            continue;
+        }
+        if has_eq_operator(line) && mentions_float(line) {
+            out.push(Violation {
+                rule: "float-eq",
+                path: path.to_owned(),
+                line: lineno + 1,
+                snippet: snippet(cf, lineno),
+                message: "direct f64 equality is fragile; compare through \
+                          an epsilon helper (tagdist_geo::approx_eq)"
+                    .to_owned(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// Detects a standalone `==` or `!=` (not `<=`, `>=`, `=>`, `..=`).
+fn has_eq_operator(line: &str) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    for i in 0..chars.len().saturating_sub(1) {
+        let pair = (chars[i], chars[i + 1]);
+        let before = i.checked_sub(1).map(|j| chars[j]);
+        let after = chars.get(i + 2).copied();
+        match pair {
+            ('=', '=') => {
+                let bad_before = matches!(
+                    before,
+                    Some('=')
+                        | Some('<')
+                        | Some('>')
+                        | Some('!')
+                        | Some('+')
+                        | Some('-')
+                        | Some('*')
+                        | Some('/')
+                );
+                if !bad_before && after != Some('=') {
+                    return true;
+                }
+            }
+            ('!', '=') if after != Some('=') => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn mentions_float(line: &str) -> bool {
+    if line.contains("f64") || line.contains("f32") {
+        return true;
+    }
+    // A float literal: digit '.' digit (excludes ranges `0..n` and
+    // method calls `1.max(…)`).
+    let chars: Vec<char> = line.chars().collect();
+    chars
+        .windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
+}
+
+/// `hash-iter`: in determinism-sensitive modules (reports, rendering,
+/// serialization), iterating a `HashMap`/`HashSet` leaks arbitrary
+/// ordering into output. Bindings created from hash containers must
+/// not be iterated there — collect into a sorted `Vec` or use
+/// `BTreeMap` instead.
+fn hash_iter(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
+    let sensitive = {
+        let lower = path.to_lowercase();
+        SENSITIVE_PATH_MARKERS.iter().any(|m| lower.contains(m))
+    };
+    if !sensitive {
+        return;
+    }
+    let names = hash_bindings(cf);
+    for (lineno, line) in cf.code.iter().enumerate() {
+        if cf.in_test[lineno] || cf.sanctioned[lineno] {
+            continue;
+        }
+        let direct = line.contains("HashMap") || line.contains("HashSet");
+        let iterates = names.iter().any(|n| iterates_binding(line, n))
+            || (direct && ITER_METHODS.iter().any(|m| line.contains(m)));
+        if iterates {
+            out.push(Violation {
+                rule: "hash-iter",
+                path: path.to_owned(),
+                line: lineno + 1,
+                snippet: snippet(cf, lineno),
+                message: "hash-container iteration order is arbitrary; \
+                          sort into a Vec or use BTreeMap in output paths"
+                    .to_owned(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Identifiers bound to `HashMap`/`HashSet` values in this file.
+fn hash_bindings(cf: &CleanFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for (lineno, line) in cf.code.iter().enumerate() {
+        if cf.in_test[lineno] {
+            continue;
+        }
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] NAME : Hash…` and `let [mut] NAME = Hash…::new()`.
+        if let Some(rest) = line.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start().strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.push(name);
+            }
+        }
+        // `NAME: &HashMap<…>` / `NAME: HashSet<…>` fn parameters.
+        for piece in line.split(&[',', '(']) {
+            if let Some((lhs, rhs)) = piece.split_once(':') {
+                if rhs.contains("HashMap") || rhs.contains("HashSet") {
+                    let name: String = lhs
+                        .trim()
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() && name != "type" {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// True if `line` iterates the binding `name`.
+fn iterates_binding(line: &str, name: &str) -> bool {
+    for m in ITER_METHODS {
+        let pat = format!("{name}{m}");
+        if token_bounded(line, &pat, name.len()) {
+            return true;
+        }
+    }
+    // `for x in [&[mut ]]name` (direct IntoIterator use).
+    for prefix in ["in ", "in &", "in &mut "] {
+        let pat = format!("{prefix}{name}");
+        let mut from = 0;
+        while let Some(pos) = line.get(from..).and_then(|s| s.find(&pat)) {
+            let at = from + pos + pat.len();
+            let next = line.get(at..).and_then(|s| s.chars().next());
+            let prev_is_ident = from + pos > 0
+                && line[..from + pos]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if !prev_is_ident && !next.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                return true;
+            }
+            from = from + pos + 1;
+        }
+    }
+    false
+}
+
+/// True if `pat` occurs in `line` and the character before the match
+/// (if any) is not part of a longer identifier than `name_len` allows.
+fn token_bounded(line: &str, pat: &str, _name_len: usize) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line.get(from..).and_then(|s| s.find(pat)) {
+        let at = from + pos;
+        let prev_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+        if prev_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// `errors-doc`: every `pub fn` returning `Result` needs an
+/// `# Errors` section in its doc comment (mirrors
+/// `clippy::missing_errors_doc`, but also runs on fixture trees).
+fn errors_doc(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
+    for (lineno, line) in cf.code.iter().enumerate() {
+        if cf.in_test[lineno] || cf.sanctioned[lineno] {
+            continue;
+        }
+        let Some(col) = find_pub_fn(line) else {
+            continue;
+        };
+        let Some(sig) = signature_text(cf, lineno, col) else {
+            continue;
+        };
+        let Some(ret) = sig.split_once("->").map(|(_, r)| r) else {
+            continue;
+        };
+        if !ret.contains("Result") {
+            continue;
+        }
+        if !docs_above(cf, lineno).contains("# Errors") {
+            out.push(Violation {
+                rule: "errors-doc",
+                path: path.to_owned(),
+                line: lineno + 1,
+                snippet: snippet(cf, lineno),
+                message: "public Result-returning APIs must document \
+                          their failure modes under an `# Errors` heading"
+                    .to_owned(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// Column of a `pub fn` token pair on this line, if any.
+fn find_pub_fn(line: &str) -> Option<usize> {
+    let pos = line.find("pub fn ")?;
+    let prev_ok = pos == 0
+        || !line[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    prev_ok.then_some(pos)
+}
+
+/// Signature text from `pub fn` to the body `{` or trailing `;`.
+fn signature_text(cf: &CleanFile, line: usize, col: usize) -> Option<String> {
+    let mut sig = String::new();
+    for (l, text) in cf.code.iter().enumerate().skip(line) {
+        let start = if l == line { col } else { 0 };
+        for c in text.get(start..)?.chars() {
+            if c == '{' || c == ';' {
+                return Some(sig);
+            }
+            sig.push(c);
+        }
+        sig.push(' ');
+        if l > line + 40 {
+            break; // malformed; bail out
+        }
+    }
+    None
+}
+
+/// The contiguous doc-comment block directly above `line` (skipping
+/// attribute lines, including multi-line attributes).
+fn docs_above(cf: &CleanFile, line: usize) -> String {
+    let mut collected = Vec::new();
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let raw = cf.raw.get(l).map_or("", |s| s.trim());
+        if raw.starts_with("///") || raw.starts_with("//!") {
+            collected.push(cf.docs[l].trim().to_owned());
+            continue;
+        }
+        if raw.starts_with("#[") {
+            continue;
+        }
+        // Walking upward through a multi-line attribute: its last line
+        // ends with `]`; swallow lines until the opening `#[`.
+        if raw.ends_with(']') && !raw.starts_with("//") {
+            while l > 0 && !cf.raw.get(l).map_or("", |s| s.trim()).starts_with("#[") {
+                l -= 1;
+            }
+            continue;
+        }
+        break;
+    }
+    collected.reverse();
+    collected.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean;
+
+    fn rules_hit(src: &str, path: &str) -> Vec<&'static str> {
+        check_file(path, &clean(src))
+            .iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn no_panic_catches_unwrap_and_macros() {
+        assert_eq!(
+            rules_hit("fn f() { x.unwrap(); }\n", "a.rs"),
+            vec!["no-panic"]
+        );
+        assert_eq!(
+            rules_hit("fn f() { panic!(\"no\"); }\n", "a.rs"),
+            vec!["no-panic"]
+        );
+        assert!(rules_hit("fn f() { x.unwrap_or(0); }\n", "a.rs").is_empty());
+    }
+
+    #[test]
+    fn no_panic_respects_expect_attr_and_tests() {
+        let sanctioned =
+            "#[expect(clippy::expect_used, reason = \"r\")]\nfn f() { x.expect(\"ok\"); }\n";
+        assert!(rules_hit(sanctioned, "a.rs").is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(rules_hit(test_only, "a.rs").is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparison() {
+        assert_eq!(
+            rules_hit("fn f(x: f64) -> bool { x == 1.5 }\n", "a.rs"),
+            vec!["float-eq"]
+        );
+        assert!(rules_hit("fn f(x: u8) -> bool { x == 1 }\n", "a.rs").is_empty());
+        assert!(rules_hit("fn f(x: f64) -> bool { x <= 1.5 }\n", "a.rs").is_empty());
+    }
+
+    #[test]
+    fn hash_iter_only_fires_on_sensitive_paths() {
+        let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in m.iter() { use_it(k, v); }\n}\n";
+        assert_eq!(rules_hit(src, "crates/x/src/report.rs"), vec!["hash-iter"]);
+        assert!(rules_hit(src, "crates/x/src/model.rs").is_empty());
+    }
+
+    #[test]
+    fn errors_doc_requires_heading() {
+        let bad = "/// Does things.\npub fn f() -> Result<(), E> { Ok(()) }\n";
+        assert_eq!(rules_hit(bad, "a.rs"), vec!["errors-doc"]);
+        let good = "/// Does things.\n///\n/// # Errors\n///\n/// Never.\npub fn f() -> Result<(), E> { Ok(()) }\n";
+        assert!(rules_hit(good, "a.rs").is_empty());
+        let not_result = "/// Plain.\npub fn f() -> u32 { 0 }\n";
+        assert!(rules_hit(not_result, "a.rs").is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: trips the `errors-doc` rule (and nothing else).
+
+/// Parses a share value.
+pub fn parse_share(text: &str) -> Result<f64, String> {
+    text.parse().map_err(|e| format!("bad share: {e}"))
+}
+
+/// Infallible functions need no `# Errors` section.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}

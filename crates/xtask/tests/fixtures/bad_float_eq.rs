@@ -1,0 +1,14 @@
+//! Fixture: trips the `float-eq` rule (and nothing else).
+
+/// Compares two shares the fragile way.
+pub fn same_share(a: f64, b: f64) -> bool { a == b }
+
+/// Exact-literal comparison, equally fragile.
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+/// Inequalities are fine.
+pub fn is_small(x: f64) -> bool {
+    x < 0.5
+}

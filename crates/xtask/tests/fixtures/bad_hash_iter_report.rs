@@ -1,0 +1,21 @@
+//! Fixture: trips the `hash-iter` rule — the file name marks it as a
+//! report (determinism-sensitive) module.
+
+use std::collections::HashMap;
+
+/// Renders counts in whatever order the hasher picked — nondeterministic.
+pub fn render_counts(counts: &HashMap<String, usize>) -> String {
+    let mut out = String::new();
+    for (name, n) in counts.iter() {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(&n.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Lookup without iteration is fine.
+pub fn lookup(counts: &HashMap<String, usize>, key: &str) -> usize {
+    counts.get(key).copied().unwrap_or(0)
+}

@@ -1,0 +1,19 @@
+//! Fixture: trips the `no-panic` rule (and nothing else).
+
+/// Looks up a value the panicking way.
+pub fn lookup(values: &[u32], pos: usize) -> u32 {
+    let first = values.first().expect("values must be non-empty");
+    if pos > values.len() {
+        panic!("out of range");
+    }
+    values.get(pos).copied().unwrap_or(*first)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = [1u32, 2];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

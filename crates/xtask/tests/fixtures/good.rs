@@ -1,0 +1,50 @@
+//! Fixture: passes every rule.
+//!
+//! Exercises the constructs the rules must NOT trip over: strings and
+//! comments mentioning forbidden tokens, `unwrap_or` variants,
+//! sanctioned `#[expect]` sites, sorted hash-container output in a
+//! plain module, and documented fallible APIs.
+
+use std::collections::HashMap;
+
+/// Greets without panicking. The string mentions unwrap() and
+/// panic!() — literals must not count. // and neither must x.unwrap()
+pub fn greeting() -> String {
+    "never unwrap() or panic!() in a string".to_owned()
+}
+
+/// Falls back instead of unwrapping.
+pub fn head_or_zero(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}
+
+/// A sanctioned invariant-backed panic site.
+#[expect(clippy::expect_used, reason = "the registry is statically non-empty")]
+pub fn first_region(names: &[&str]) -> String {
+    (*names.first().expect("registry is non-empty")).to_owned()
+}
+
+/// Epsilon comparison through a helper, not `==`.
+pub fn close_enough(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12
+}
+
+/// Deterministic rendering: sorts before output.
+pub fn render_sorted(counts: &HashMap<String, usize>) -> String {
+    let mut rows: Vec<(&String, &usize)> = counts.iter().collect();
+    rows.sort();
+    let mut out = String::new();
+    for (name, n) in rows {
+        out.push_str(&format!("{name}: {n}\n"));
+    }
+    out
+}
+
+/// Documented fallible API.
+///
+/// # Errors
+///
+/// Returns an error message when `text` is not a number.
+pub fn parse(text: &str) -> Result<f64, String> {
+    text.parse().map_err(|e| format!("bad number: {e}"))
+}

@@ -170,7 +170,8 @@ impl WorldConfig {
         if self.tag_zipf_exponent <= 0.0 {
             return Err("tag_zipf_exponent must be positive".into());
         }
-        let defect_total = self.defect_missing_pop + self.defect_corrupt_pop + self.defect_empty_pop;
+        let defect_total =
+            self.defect_missing_pop + self.defect_corrupt_pop + self.defect_empty_pop;
         if !(0.0..=1.0).contains(&defect_total) {
             return Err("popularity defect probabilities must sum to <= 1".into());
         }

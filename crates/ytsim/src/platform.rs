@@ -4,9 +4,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tagdist_geo::{
-    world, CountryId, CountryVec, GeoDist, PopularityVector, TrafficModel, World,
-};
+use tagdist_geo::{world, CountryId, CountryVec, GeoDist, PopularityVector, TrafficModel, World};
 
 use crate::api::{PlatformApi, VideoMetadata};
 use crate::config::WorldConfig;
@@ -53,6 +51,10 @@ impl Platform {
     /// # Panics
     ///
     /// Panics if `cfg` fails [`WorldConfig::validate`].
+    #[expect(
+        clippy::expect_used,
+        reason = "documented # Panics contract on invalid configs"
+    )]
     pub fn generate(cfg: WorldConfig) -> Platform {
         cfg.validate().expect("invalid world configuration");
         let world = world();
@@ -70,8 +72,11 @@ impl Platform {
         for v in &videos {
             ytube += &v.views_by_country;
         }
-        let true_traffic =
-            GeoDist::from_counts(&ytube).expect("platform views carry mass");
+        #[expect(
+            clippy::expect_used,
+            reason = "every generated video has positive views"
+        )]
+        let true_traffic = GeoDist::from_counts(&ytube).expect("platform views carry mass");
 
         let observed = Self::render_observed(&cfg, world, &videos, &ytube);
         let graph = RelatedGraph::build(&cfg, &videos);
@@ -108,10 +113,15 @@ impl Platform {
             .map(|v| {
                 // pop(v)[c] ∝ views(v)[c] / ytube[c]  (Eq. 1), rescaled
                 // and quantized by the chart service.
+                #[expect(clippy::expect_used, reason = "both vectors span the same registry")]
                 let intensity = v
                     .views_by_country
                     .hadamard_div(ytube)
                     .expect("equal world sizes");
+                #[expect(
+                    clippy::expect_used,
+                    reason = "every generated video has positive views"
+                )]
                 let rendered = PopularityVector::quantize(&intensity)
                     .expect("generated videos have positive views")
                     .as_slice()
@@ -163,14 +173,14 @@ impl Platform {
                     ranked.select_nth_unstable_by(depth - 1, |&a, &b| {
                         let va = videos[a as usize].views_by_country[country];
                         let vb = videos[b as usize].views_by_country[country];
-                        vb.partial_cmp(&va).expect("views are finite")
+                        vb.total_cmp(&va)
                     });
                     ranked.truncate(depth);
                 }
                 ranked.sort_by(|&a, &b| {
                     let va = videos[a as usize].views_by_country[country];
                     let vb = videos[b as usize].views_by_country[country];
-                    vb.partial_cmp(&va).expect("views are finite")
+                    vb.total_cmp(&va)
                 });
                 ranked
             })
@@ -359,8 +369,12 @@ mod tests {
         for i in 0..p.catalogue_size() {
             let v = p.video(i);
             let meta = p.fetch(&v.key).unwrap();
-            let Some(raw) = &meta.popularity else { continue };
-            if raw.len() != world.len() || raw.iter().any(|&b| b > 61) || raw.iter().all(|&b| b == 0)
+            let Some(raw) = &meta.popularity else {
+                continue;
+            };
+            if raw.len() != world.len()
+                || raw.iter().any(|&b| b > 61)
+                || raw.iter().all(|&b| b == 0)
             {
                 continue;
             }

@@ -78,10 +78,7 @@ impl Zipf {
     /// Draws a rank in `0..len()`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
-        {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -110,7 +107,10 @@ impl LogNormal {
     /// Panics if `sigma` is negative or either parameter is not
     /// finite.
     pub fn new(mu: f64, sigma: f64) -> LogNormal {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         LogNormal { mu, sigma }
     }

@@ -106,17 +106,52 @@ pub struct TopicModel {
 /// suffixes when the configuration asks for more topics. The first two
 /// are fixed by construction (`pop`, `favela`).
 const TOPIC_THEMES: &[&str] = &[
-    "rock", "gaming", "football", "anime", "cricket", "telenovela", "kpop", "bollywood",
-    "schlager", "chanson", "samba", "manga", "rap", "tutorial", "comedy", "news", "cooking",
-    "travel", "fitness", "tech", "cars", "fashion", "diy", "pets", "science", "history",
-    "politics", "movies", "trailer", "vlog", "dance", "karaoke", "wrestling", "rugby",
-    "sumo", "flamenco", "tango", "polka", "klezmer", "highlife",
+    "rock",
+    "gaming",
+    "football",
+    "anime",
+    "cricket",
+    "telenovela",
+    "kpop",
+    "bollywood",
+    "schlager",
+    "chanson",
+    "samba",
+    "manga",
+    "rap",
+    "tutorial",
+    "comedy",
+    "news",
+    "cooking",
+    "travel",
+    "fitness",
+    "tech",
+    "cars",
+    "fashion",
+    "diy",
+    "pets",
+    "science",
+    "history",
+    "politics",
+    "movies",
+    "trailer",
+    "vlog",
+    "dance",
+    "karaoke",
+    "wrestling",
+    "rugby",
+    "sumo",
+    "flamenco",
+    "tango",
+    "polka",
+    "klezmer",
+    "highlife",
 ];
 
 /// Shared topic-agnostic tags every uploader sprinkles on videos.
 const SHARED_THEMES: &[&str] = &[
-    "video", "music", "live", "official", "hd", "new", "2011", "funny", "best", "tv",
-    "show", "full", "original", "clip", "world", "top", "free", "amazing", "epic", "fail",
+    "video", "music", "live", "official", "hd", "new", "2011", "funny", "best", "tv", "show",
+    "full", "original", "clip", "world", "top", "free", "amazing", "epic", "fail",
 ];
 
 impl TopicModel {
@@ -129,15 +164,16 @@ impl TopicModel {
     /// # Panics
     ///
     /// Panics if `cfg` fails [`WorldConfig::validate`].
+    #[expect(
+        clippy::expect_used,
+        reason = "documented # Panics contract; Brazil is in the built-in registry"
+    )]
     pub fn generate(cfg: &WorldConfig, world: &World, traffic: &TrafficModel) -> TopicModel {
         cfg.validate().expect("invalid world configuration");
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
         let popularity = Zipf::new(cfg.topics, 1.0);
 
-        let br = world
-            .by_code("BR")
-            .expect("registry contains Brazil")
-            .id;
+        let br = world.by_code("BR").expect("registry contains Brazil").id;
         let mut topics = Vec::with_capacity(cfg.topics);
         for index in 0..cfg.topics {
             let (name, kind) = match index {
@@ -194,6 +230,10 @@ impl TopicModel {
         }
     }
 
+    #[expect(
+        clippy::expect_used,
+        reason = "affinity weights are positive by construction"
+    )]
     fn affinity_for(
         kind: TopicKind,
         world: &World,
@@ -350,10 +390,7 @@ mod tests {
         let m = model();
         let traffic = TrafficModel::reference(world());
         let pop = m.topic(TopicId::from_index(0));
-        let js = pop
-            .affinity
-            .js_divergence(traffic.distribution())
-            .unwrap();
+        let js = pop.affinity.js_divergence(traffic.distribution()).unwrap();
         assert!(js < 0.08, "global topic far from traffic: JS = {js}");
     }
 

@@ -47,6 +47,11 @@ impl GroundTruthVideo {
     }
 
     /// The true geographic view distribution of this video.
+    #[expect(
+        clippy::expect_used,
+        clippy::missing_panics_doc,
+        reason = "generated view vectors always carry mass"
+    )]
     pub fn view_distribution(&self) -> GeoDist {
         GeoDist::from_counts(&self.views_by_country)
             .expect("generated view vectors always carry mass")
@@ -188,7 +193,11 @@ mod tests {
         let v = make(2);
         let sum = v.views_by_country.sum();
         let rel = (sum - v.total_views as f64).abs() / v.total_views as f64;
-        assert!(rel < 1e-9, "Σ views_by_country = {sum} vs {}", v.total_views);
+        assert!(
+            rel < 1e-9,
+            "Σ views_by_country = {sum} vs {}",
+            v.total_views
+        );
     }
 
     #[test]
@@ -216,7 +225,11 @@ mod tests {
         for seed in 0..30 {
             let v = make(seed);
             assert!(v.tags.len() >= cfg.min_tags_per_video.min(2));
-            assert!(v.tags.len() <= cfg.max_tags_per_video + 1, "{}", v.tags.len());
+            assert!(
+                v.tags.len() <= cfg.max_tags_per_video + 1,
+                "{}",
+                v.tags.len()
+            );
         }
     }
 
@@ -264,7 +277,11 @@ mod tests {
     fn durations_and_sizes_are_plausible() {
         for seed in 0..30 {
             let v = make(seed);
-            assert!((10..=7_200).contains(&v.duration_secs), "{}", v.duration_secs);
+            assert!(
+                (10..=7_200).contains(&v.duration_secs),
+                "{}",
+                v.duration_secs
+            );
             assert!(v.size_bytes() > 0.0);
             assert!((v.size_bytes() - v.duration_secs as f64 * 65_536.0).abs() < 1e-6);
         }

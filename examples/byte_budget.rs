@@ -16,6 +16,15 @@
 //! cargo run --release --example byte_budget [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::cache::{run_static_sized, RequestStream, SizedPlacement};
 use tagdist::geo::GeoDist;
 use tagdist::tags::Predictor;
@@ -63,10 +72,7 @@ fn main() {
         mean_size / (1u64 << 20) as f64
     );
     println!();
-    println!(
-        "{:<24} {:>10} {:>10}",
-        "placement", "req hits", "byte hits"
-    );
+    println!("{:<24} {:>10} {:>10}", "placement", "req hits", "byte hits");
     for budget_pct in [0.5, 1.0, 2.0, 5.0] {
         let budget = total_bytes * budget_pct / 100.0;
         println!("-- budget {budget_pct}% of catalogue bytes per country --");
@@ -80,20 +86,14 @@ fn main() {
         );
         // Size-blind: rank purely by predicted local views (density ×
         // size), i.e. the unit-size policy's ordering.
-        let blind_to_size = SizedPlacement::greedy(
-            "tags/size-blind",
-            countries,
-            budget,
-            &sizes,
-            |c, v| predicted[v].prob(c) * weights[v] * sizes[v],
-        );
-        let geo_blind = SizedPlacement::greedy(
-            "geo-blind/size-aware",
-            countries,
-            budget,
-            &sizes,
-            |_, v| weights[v],
-        );
+        let blind_to_size =
+            SizedPlacement::greedy("tags/size-blind", countries, budget, &sizes, |c, v| {
+                predicted[v].prob(c) * weights[v] * sizes[v]
+            });
+        let geo_blind =
+            SizedPlacement::greedy("geo-blind/size-aware", countries, budget, &sizes, |_, v| {
+                weights[v]
+            });
         for placement in [&density, &blind_to_size, &geo_blind] {
             let report = run_static_sized(placement, &stream, &sizes);
             println!(

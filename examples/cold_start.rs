@@ -16,6 +16,15 @@
 //! cargo run --release --example cold_start [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::crawler::{crawl_parallel, CrawlConfig};
 use tagdist::dataset::filter;
 use tagdist::geo::{world, GeoDist};

@@ -11,6 +11,15 @@
 //! cargo run --release --example country_tags [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::tags::GeoTagIndex;
 use tagdist::{Study, StudyConfig};
 
@@ -46,11 +55,7 @@ fn main() {
         );
         println!("  most viewed:");
         for s in index.top_by_views(country.id).iter().take(4) {
-            println!(
-                "    {:<22} {:>14.0} views",
-                names.name(s.tag),
-                s.views
-            );
+            println!("    {:<22} {:>14.0} views", names.name(s.tag), s.views);
         }
         println!("  highest lift (signature tags):");
         for s in index.top_by_lift(country.id).iter().take(4) {

@@ -8,6 +8,15 @@
 //! cargo run --release --example crawl_and_save [--full] [path.tsv]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use std::fs::File;
 
 use tagdist::crawler::{crawl_parallel, recrawl, CrawlConfig};
@@ -44,7 +53,10 @@ fn main() {
         tsv::write(&first.dataset, &mut file).expect("serialize crawl");
     }
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("saved {} records to {path} ({bytes} bytes)", first.dataset.len());
+    println!(
+        "saved {} records to {path} ({bytes} bytes)",
+        first.dataset.len()
+    );
 
     // 3. Reload and verify.
     let reloaded = tsv::read(File::open(&path).expect("open")).expect("parse");

@@ -10,6 +10,15 @@
 //! cargo run --release --example dataset_stats [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::dataset::DatasetStats;
 use tagdist::{Study, StudyConfig};
 
@@ -67,9 +76,7 @@ fn main() {
         ),
     ];
     for (name, paper, ours, paper_pct, ours_pct) in rows {
-        println!(
-            "{name:<28} {paper:>16.0} {ours:>16.0} {paper_pct:>9.2}% {ours_pct:>9.2}%"
-        );
+        println!("{name:<28} {paper:>16.0} {ours:>16.0} {paper_pct:>9.2}% {ours_pct:>9.2}%");
     }
     println!();
     println!(

@@ -11,6 +11,15 @@
 //! cargo run --release --example edge_latency [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::cache::{
     run_hybrid, run_reactive, run_static, run_tiered, run_with_latency, LruCache, Placement,
     RequestStream,
@@ -64,8 +73,7 @@ fn main() {
 
     println!("hybrid ablation at equal total capacity ({capacity} videos/country):");
     let half = capacity / 2;
-    let pinned_half =
-        Placement::predictive("tag-proactive", countries, half, &predicted, &weights);
+    let pinned_half = Placement::predictive("tag-proactive", countries, half, &predicted, &weights);
     let full_pin =
         Placement::predictive("tag-proactive", countries, capacity, &predicted, &weights);
     let rows = [

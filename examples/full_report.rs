@@ -5,6 +5,15 @@
 //! cargo run --release --example full_report [--full] [output.md]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::{markdown_report, ReportOptions, Study, StudyConfig};
 
 fn main() {

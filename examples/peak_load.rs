@@ -10,6 +10,15 @@
 //! cargo run --release --example peak_load [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::cache::{DiurnalModel, PeakReport, Placement, TimedRequestStream};
 use tagdist::geo::GeoDist;
 use tagdist::tags::Predictor;

@@ -11,6 +11,15 @@
 //! cargo run --release --example popularity_map [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::geo::world;
 use tagdist::{render_popularity_map, render_views, Study, StudyConfig};
 

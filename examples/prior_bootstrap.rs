@@ -13,6 +13,15 @@
 //! cargo run --release --example prior_bootstrap [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::crawler::{crawl_parallel, CrawlConfig};
 use tagdist::dataset::filter;
 use tagdist::geo::{GeoDist, TrafficModel};
@@ -53,7 +62,10 @@ fn main() {
 
     let reference = TrafficModel::reference(tagdist::geo::world());
     let starts: Vec<(&str, GeoDist)> = vec![
-        ("uniform (no knowledge)", GeoDist::uniform(true_traffic.len())),
+        (
+            "uniform (no knowledge)",
+            GeoDist::uniform(true_traffic.len()),
+        ),
         ("reference table (Alexa)", reference.distribution().clone()),
         (
             "true traffic ±40%",

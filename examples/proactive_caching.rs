@@ -16,6 +16,15 @@
 //! cargo run --release --example proactive_caching [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::cache::{
     run_hybrid, run_reactive, run_static, LfuCache, LruCache, Placement, RequestStream, SlruCache,
 };
@@ -57,22 +66,33 @@ fn main() {
     let catalogue = clean.len();
     for capacity_pct in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
         let capacity = ((catalogue as f64) * capacity_pct / 100.0).ceil() as usize;
-        println!(
-            "-- per-country capacity: {capacity} videos ({capacity_pct}% of catalogue) --"
-        );
+        println!("-- per-country capacity: {capacity} videos ({capacity_pct}% of catalogue) --");
         let oracle = Placement::predictive("oracle", countries, capacity, &truth, &weights);
-        let tags = Placement::predictive("tag-proactive", countries, capacity, &predicted, &weights);
+        let tags =
+            Placement::predictive("tag-proactive", countries, capacity, &predicted, &weights);
         let blind = Placement::geo_blind(countries, capacity, &weights);
         let random = Placement::random(countries, catalogue, capacity, 99);
         for placement in [&oracle, &tags, &blind, &random] {
             println!("  {}", run_static(placement, &stream));
         }
-        println!("  {}", run_reactive(|| LruCache::new(capacity), capacity, &stream));
-        println!("  {}", run_reactive(|| LfuCache::new(capacity), capacity, &stream));
-        println!("  {}", run_reactive(|| SlruCache::new(capacity), capacity, &stream));
+        println!(
+            "  {}",
+            run_reactive(|| LruCache::new(capacity), capacity, &stream)
+        );
+        println!(
+            "  {}",
+            run_reactive(|| LfuCache::new(capacity), capacity, &stream)
+        );
+        println!(
+            "  {}",
+            run_reactive(|| SlruCache::new(capacity), capacity, &stream)
+        );
         let pinned_half =
             Placement::predictive("tags", countries, capacity / 2, &predicted, &weights);
-        println!("  {}", run_hybrid(&pinned_half, capacity - capacity / 2, &stream));
+        println!(
+            "  {}",
+            run_hybrid(&pinned_half, capacity - capacity / 2, &stream)
+        );
         println!();
     }
 

@@ -8,6 +8,15 @@
 //! `--full` runs at the default world scale (120k videos, ~10 s);
 //! otherwise a 20k-video world is used.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::{render_distribution, Study, StudyConfig};
 
 fn config_from_args() -> StudyConfig {

@@ -15,6 +15,15 @@
 //! cargo run --release --example regional_traffic [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::geo::{world, GeoDist, Region};
 use tagdist::{Study, StudyConfig};
 

@@ -11,6 +11,15 @@
 //! cargo run --release --example tag_maps [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::geo::{world, GeoDist};
 use tagdist::tags::{classify, ClassifyThresholds, LocalitySummary, TagClusters};
 use tagdist::{render_distribution, Study, StudyConfig};
@@ -50,10 +59,7 @@ fn main() {
         println!("normalized entropy: {:.3}", profile.normalized_entropy);
         println!("gini:               {:.3}", profile.gini);
         println!("JS from traffic:    {:.4} bits", profile.js_from_traffic);
-        println!(
-            "classification:     {}",
-            classify(&profile, &thresholds)
-        );
+        println!("classification:     {}", classify(&profile, &thresholds));
         println!();
     }
 

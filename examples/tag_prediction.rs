@@ -11,6 +11,15 @@
 //! cargo run --release --example tag_prediction [--full]
 //! ```
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::{Study, StudyConfig};
 
 fn main() {

@@ -1,6 +1,15 @@
 //! Integration test for the cold-start scenario (E6b): predicting the
 //! geography of videos uploaded *after* the knowledge-base crawl.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::crawler::{crawl, CrawlConfig};
 use tagdist::dataset::filter;
 use tagdist::geo::{world, GeoDist};

@@ -2,6 +2,15 @@
 //! of its seeds (DESIGN.md §6). Reproducibility is the point of a
 //! reproduction.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::crawler::{crawl, crawl_parallel, CrawlConfig};
 use tagdist::geo::TrafficModel;
 use tagdist::ytsim::{Platform, PlatformApi, WorldConfig};
@@ -31,8 +40,7 @@ fn platforms_are_reproducible() {
 fn different_seeds_differ() {
     let a = Platform::generate(tiny(1));
     let b = Platform::generate(tiny(2));
-    let differs = (0..a.catalogue_size())
-        .any(|i| a.video(i).total_views != b.video(i).total_views);
+    let differs = (0..a.catalogue_size()).any(|i| a.video(i).total_views != b.video(i).total_views);
     assert!(differs, "seed change must alter the world");
 }
 

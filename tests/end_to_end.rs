@@ -1,6 +1,15 @@
 //! Cross-crate integration tests: the whole paper pipeline, checked
 //! for the shapes reported in each section of the paper.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::geo::world;
 use tagdist::tags::{classify, ClassifyThresholds, Locality};
 use tagdist::{Study, StudyConfig};
@@ -20,7 +29,11 @@ fn section2_filter_accounting_balances() {
     // Paper shape: ~0.6 % tagless, ~65 % kept.
     let tagless = r.no_tags as f64 / r.crawled as f64;
     assert!(tagless < 0.03, "tagless share {tagless}");
-    assert!((0.5..0.8).contains(&r.keep_ratio()), "keep {}", r.keep_ratio());
+    assert!(
+        (0.5..0.8).contains(&r.keep_ratio()),
+        "keep {}",
+        r.keep_ratio()
+    );
 }
 
 #[test]
@@ -29,7 +42,11 @@ fn section2_stats_shape() {
     let stats = s.dataset_stats();
     assert_eq!(stats.videos, s.clean().len());
     // Folksonomy long tail: most tags are rare.
-    assert!(stats.singleton_tag_share > 0.3, "{}", stats.singleton_tag_share);
+    assert!(
+        stats.singleton_tag_share > 0.3,
+        "{}",
+        stats.singleton_tag_share
+    );
     // Heavy-tailed views.
     assert!(stats.max_video_views as f64 > 50.0 * stats.median_video_views as f64);
     assert!(stats.top1pct_view_share > 0.1);
@@ -131,7 +148,10 @@ fn e7_caching_policies_order_as_expected() {
         &Placement::predictive("tags", countries, capacity, &predicted, &weights),
         &stream,
     );
-    let blind = run_static(&Placement::geo_blind(countries, capacity, &weights), &stream);
+    let blind = run_static(
+        &Placement::geo_blind(countries, capacity, &weights),
+        &stream,
+    );
     let random = run_static(
         &Placement::random(countries, s.clean().len(), capacity, 5),
         &stream,
@@ -173,10 +193,7 @@ fn e7b_diurnal_peak_ordering() {
         &stream,
     );
     assert!(oracle.peak_origin() < blind.peak_origin());
-    assert_eq!(
-        oracle.requests_per_hour.iter().sum::<usize>(),
-        30_000
-    );
+    assert_eq!(oracle.requests_per_hour.iter().sum::<usize>(), 30_000);
 }
 
 #[test]
@@ -194,11 +211,9 @@ fn e7c_sized_placement_orders_correctly() {
     let stream = RequestStream::generate(&truth, &weights, 30_000, 13);
     let budget: f64 = sizes.iter().sum::<f64>() * 0.02;
     let countries = world().len();
-    let oracle = SizedPlacement::predictive_sized(
-        "oracle", countries, budget, &truth, &weights, &sizes,
-    );
-    let geo_blind =
-        SizedPlacement::greedy("blind", countries, budget, &sizes, |_, v| weights[v]);
+    let oracle =
+        SizedPlacement::predictive_sized("oracle", countries, budget, &truth, &weights, &sizes);
+    let geo_blind = SizedPlacement::greedy("blind", countries, budget, &sizes, |_, v| weights[v]);
     let or = run_static_sized(&oracle, &stream, &sizes);
     let br = run_static_sized(&geo_blind, &stream, &sizes);
     assert!(or.hit_rate() > br.hit_rate());

@@ -1,6 +1,15 @@
 //! Crawl → serialize → reload → analyze: the offline workflow the
 //! paper's group used (crawl once in 2011, analyze for years).
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::crawler::{crawl, CrawlConfig};
 use tagdist::dataset::{filter, tsv, DatasetStats};
 use tagdist::reconstruct::{Reconstruction, TagViewTable};

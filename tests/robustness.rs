@@ -1,6 +1,15 @@
 //! Failure-injection tests: the pipeline must degrade gracefully, not
 //! crash, when the platform serves pathological metadata.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
 use tagdist::crawler::{crawl, CrawlConfig};
 use tagdist::dataset::{filter, RawPopularity};
 use tagdist::geo::{world, CountryId};
@@ -20,9 +29,9 @@ impl PlatformApi for AllDefective {
         }
         let n: usize = key[3..].parse().ok()?;
         let popularity = match n % 3 {
-            0 => None,                                   // missing
-            1 => Some(vec![200u8; world().len()]),       // out of range
-            _ => Some(vec![0u8; world().len()]),         // empty signal
+            0 => None,                             // missing
+            1 => Some(vec![200u8; world().len()]), // out of range
+            _ => Some(vec![0u8; world().len()]),   // empty signal
         };
         Some(VideoMetadata {
             key: key.to_owned(),
@@ -128,8 +137,7 @@ fn maximal_defect_rates_still_produce_a_working_study() {
     // ~5 % survival expected; the pipeline must still run.
     assert!(clean.report().keep_ratio() < 0.15);
     if !clean.is_empty() {
-        let recon =
-            Reconstruction::compute(&clean, platform.true_traffic()).expect("reconstructs");
+        let recon = Reconstruction::compute(&clean, platform.true_traffic()).expect("reconstructs");
         assert_eq!(recon.len(), clean.len());
     }
 }
