@@ -1,0 +1,188 @@
+//! `bench-report` — machine-readable wall-clock baseline for the PR 2
+//! parallelism work.
+//!
+//! Runs the three hot stages the worker pool accelerates —
+//! `Reconstruction::compute` (Eq. 1), `TagViewTable::aggregate`
+//! (Eq. 3) and the E6 leave-one-out prediction evaluation — on the
+//! default ~120k-video corpus at 1 and 4 worker threads, cross-checks
+//! that every stage's output is identical across thread counts, and
+//! writes `BENCH_PR2.json` at the repository root (or the path given
+//! as the first argument).
+//!
+//! Invoke as `cargo xtask bench-report` or directly:
+//! `cargo run --release -p tagdist-bench --bin bench-report`.
+
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tagdist::crawler::{crawl_parallel, CrawlConfig};
+use tagdist::dataset::{filter, CleanDataset};
+use tagdist::geo::GeoDist;
+use tagdist::par::{available_threads, Pool, THREADS_ENV};
+use tagdist::reconstruct::{Reconstruction, TagViewTable};
+use tagdist::tags::PredictionEvaluation;
+use tagdist::ytsim::{Platform, WorldConfig};
+
+/// Timed runs per (stage, thread-count) pair; the minimum is recorded.
+const RUNS: usize = 3;
+
+/// Thread counts the report sweeps.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Sample {
+    stage: &'static str,
+    threads: usize,
+    seconds: f64,
+}
+
+fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.expect("at least one run"))
+}
+
+fn stage_outputs(
+    clean: &CleanDataset,
+    traffic: &GeoDist,
+) -> (Reconstruction, TagViewTable, PredictionEvaluation) {
+    let recon = Reconstruction::compute(clean, traffic).expect("corpus carries views");
+    let table = TagViewTable::aggregate(clean, &recon);
+    let eval = PredictionEvaluation::evaluate(clean, &recon, &table, traffic);
+    (recon, table, eval)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+
+    // Shared setup (not part of any measurement): the default-scale
+    // world, crawled and filtered exactly as `Study::try_run` does.
+    let world = WorldConfig::default();
+    let videos_config = world.videos;
+    eprintln!("generating {videos_config}-video world + crawl (one-time setup)...");
+    let platform = Platform::generate(world);
+    let outcome = crawl_parallel(&platform, &CrawlConfig::default());
+    let clean = filter(&outcome.dataset);
+    let traffic = platform.true_traffic();
+    eprintln!(
+        "corpus ready: {} crawled, {} filtered, {} tags",
+        outcome.stats.fetched,
+        clean.len(),
+        clean.tags().len()
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut reference: Option<(Reconstruction, TagViewTable, PredictionEvaluation)> = None;
+    let mut identical = true;
+
+    for threads in THREAD_COUNTS {
+        std::env::set_var(THREADS_ENV, threads.to_string());
+        assert_eq!(Pool::from_env().threads(), threads);
+
+        let (secs, recon) = timed(RUNS, || {
+            Reconstruction::compute(&clean, traffic).expect("corpus carries views")
+        });
+        samples.push(Sample {
+            stage: "reconstruction_compute",
+            threads,
+            seconds: secs,
+        });
+        eprintln!("reconstruction_compute @ {threads} threads: {secs:.3}s");
+
+        let (secs, table) = timed(RUNS, || TagViewTable::aggregate(&clean, &recon));
+        samples.push(Sample {
+            stage: "tag_aggregate",
+            threads,
+            seconds: secs,
+        });
+        eprintln!("tag_aggregate          @ {threads} threads: {secs:.3}s");
+
+        let (secs, _eval) = timed(RUNS, || {
+            PredictionEvaluation::evaluate(&clean, &recon, &table, traffic)
+        });
+        samples.push(Sample {
+            stage: "e6_evaluate",
+            threads,
+            seconds: secs,
+        });
+        eprintln!("e6_evaluate            @ {threads} threads: {secs:.3}s");
+
+        // The determinism contract, enforced on the real corpus: every
+        // stage's output must be identical at every thread count.
+        match &reference {
+            None => reference = Some(stage_outputs(&clean, traffic)),
+            Some((r0, t0, e0)) => {
+                let (r, t, e) = stage_outputs(&clean, traffic);
+                identical &= *r0 == r && *t0 == t && *e0 == e;
+            }
+        }
+    }
+    std::env::remove_var(THREADS_ENV);
+    assert!(identical, "outputs drifted across thread counts");
+
+    let total = |threads: usize| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.threads == threads)
+            .map(|s| s.seconds)
+            .sum()
+    };
+    let combined_speedup = total(1) / total(4).max(f64::EPSILON);
+    let host = available_threads();
+    eprintln!("combined speedup at 4 threads: {combined_speedup:.2}x (host has {host} hardware thread(s))");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(json, "  \"runs_per_stage\": {RUNS},");
+    let _ = writeln!(json, "  \"host_available_threads\": {host},");
+    let _ = writeln!(json, "  \"corpus\": {{");
+    let _ = writeln!(json, "    \"videos_configured\": {videos_config},");
+    let _ = writeln!(json, "    \"videos_crawled\": {},", outcome.stats.fetched);
+    let _ = writeln!(json, "    \"videos_filtered\": {},", clean.len());
+    let _ = writeln!(json, "    \"tags\": {},", clean.tags().len());
+    let _ = writeln!(json, "    \"countries\": {}", clean.country_count());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"experiments\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"threads\": {}, \"seconds\": {:.6} }}{comma}",
+            s.stage, s.threads, s.seconds
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"combined_seconds\": {{ \"threads_1\": {:.6}, \"threads_2\": {:.6}, \"threads_4\": {:.6} }},",
+        total(1),
+        total(2),
+        total(4)
+    );
+    let _ = writeln!(
+        json,
+        "  \"combined_speedup_4_threads\": {combined_speedup:.3},"
+    );
+    let _ = writeln!(json, "  \"outputs_identical_across_threads\": {identical}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    eprintln!("wrote {out_path}");
+}

@@ -14,6 +14,7 @@ use std::collections::HashSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tagdist_geo::{CountryId, GeoDist};
+use tagdist_par::Pool;
 
 /// A static per-country cache assignment.
 #[derive(Debug, Clone)]
@@ -28,36 +29,39 @@ impl Placement {
     /// videos with the highest `score(country, video)`.
     ///
     /// Ties are broken towards lower video indices for determinism.
+    /// Countries are ranked independently and in parallel across the
+    /// worker pool (the score callback must therefore be `Sync`); each
+    /// country's selection depends only on its own scores, so the
+    /// result is identical at any thread count.
     pub fn from_scores<F>(
         name: impl Into<String>,
         country_count: usize,
         video_count: usize,
         capacity: usize,
-        mut score: F,
+        score: F,
     ) -> Placement
     where
-        F: FnMut(CountryId, usize) -> f64,
+        F: Fn(CountryId, usize) -> f64 + Sync,
     {
-        let per_country = (0..country_count)
-            .map(|c| {
-                let country = CountryId::from_index(c);
-                let mut ranked: Vec<usize> = (0..video_count).collect();
-                let k = capacity.min(video_count);
-                if k == 0 {
-                    return HashSet::new();
-                }
-                let mut scores: Vec<f64> = (0..video_count).map(|v| score(country, v)).collect();
-                if k < ranked.len() {
-                    ranked.select_nth_unstable_by(k - 1, |&a, &b| {
-                        scores[b].total_cmp(&scores[a]).then(a.cmp(&b))
-                    });
-                    ranked.truncate(k);
-                }
-                let set: HashSet<usize> = ranked.into_iter().collect();
-                scores.clear();
-                set
-            })
-            .collect();
+        let countries: Vec<usize> = (0..country_count).collect();
+        // Few countries, heavy per-country work (a full catalogue
+        // scan): schedule per item, not by the bulk chunk policy.
+        let per_country = Pool::from_env().par_map_heavy(&countries, |_, &c| {
+            let country = CountryId::from_index(c);
+            let mut ranked: Vec<usize> = (0..video_count).collect();
+            let k = capacity.min(video_count);
+            if k == 0 {
+                return HashSet::new();
+            }
+            let scores: Vec<f64> = (0..video_count).map(|v| score(country, v)).collect();
+            if k < ranked.len() {
+                ranked.select_nth_unstable_by(k - 1, |&a, &b| {
+                    scores[b].total_cmp(&scores[a]).then(a.cmp(&b))
+                });
+                ranked.truncate(k);
+            }
+            ranked.into_iter().collect::<HashSet<usize>>()
+        });
         Placement {
             name: name.into(),
             per_country,

@@ -63,6 +63,7 @@ pub use tagdist_cache as cache;
 pub use tagdist_crawler as crawler;
 pub use tagdist_dataset as dataset;
 pub use tagdist_geo as geo;
+pub use tagdist_par as par;
 pub use tagdist_reconstruct as reconstruct;
 pub use tagdist_tags as tags;
 pub use tagdist_ytsim as ytsim;

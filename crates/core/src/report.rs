@@ -145,11 +145,24 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
         let weights = study.view_weights();
         let stream = RequestStream::generate(&truth, &weights, options.requests, 2014);
         let predictor = Predictor::new(study.tag_table(), study.traffic());
-        let predicted: Vec<GeoDist> = study
-            .clean()
-            .iter()
-            .enumerate()
-            .map(|(pos, v)| predictor.predict(&v.tags, study.reconstruction().views(pos)))
+        // Per-video prediction over the pool, one reusable mixture
+        // buffer per chunk; order and values match the serial map.
+        let predicted: Vec<GeoDist> = tagdist_par::Pool::from_env()
+            .par_chunks(study.clean().as_slice(), |start, chunk| {
+                let mut mix = tagdist_geo::CountryVec::zeros(study.tag_table().country_count());
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, v)| {
+                        let own = study.reconstruction().views(start + offset);
+                        predictor
+                            .predict_into(&v.tags, own, &mut mix)
+                            .unwrap_or_else(|_| study.traffic().clone())
+                    })
+                    .collect::<Vec<GeoDist>>()
+            })
+            .into_iter()
+            .flatten()
             .collect();
         let countries = study.world().len();
         writeln!(w, "| capacity | oracle | tag-proactive | geo-blind |")?;

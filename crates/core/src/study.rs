@@ -331,11 +331,24 @@ impl Study {
                     .view_distribution()
             })
             .collect();
-        let estimate: Vec<GeoDist> = self
-            .clean
-            .iter()
-            .enumerate()
-            .map(|(pos, v)| predictor.predict(&v.tags, self.reconstruction.views(pos)))
+        // Chunked over the pool with a per-chunk scratch buffer; order
+        // and values match the serial map at any thread count.
+        let estimate: Vec<GeoDist> = tagdist_par::Pool::from_env()
+            .par_chunks(self.clean.as_slice(), |start, chunk| {
+                let mut mix = tagdist_geo::CountryVec::zeros(self.tag_table.country_count());
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, v)| {
+                        let own = self.reconstruction.views(start + offset);
+                        predictor
+                            .predict_into(&v.tags, own, &mut mix)
+                            .unwrap_or_else(|_| self.traffic.distribution().clone())
+                    })
+                    .collect::<Vec<GeoDist>>()
+            })
+            .into_iter()
+            .flatten()
             .collect();
         ErrorReport::compare(&truth, &estimate).expect("aligned by construction")
     }

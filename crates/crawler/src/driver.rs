@@ -4,6 +4,7 @@ use std::collections::HashSet;
 
 use tagdist_dataset::{Dataset, DatasetBuilder, RawPopularity};
 use tagdist_geo::world;
+use tagdist_par::Pool;
 use tagdist_ytsim::{PlatformApi, VideoMetadata};
 
 use crate::config::CrawlConfig;
@@ -47,10 +48,10 @@ pub fn crawl<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlO
 
 /// Level-synchronized parallel crawl.
 ///
-/// Each BFS level is fanned out over [`CrawlConfig::threads`] std::thread
-/// scoped threads; results are re-assembled in frontier order, so the
-/// outcome is identical to [`crawl`] on the same platform and
-/// configuration.
+/// Each BFS level is fanned out over a [`tagdist_par::Pool`] of
+/// [`CrawlConfig::threads`] workers; results come back in frontier
+/// order, so the outcome is identical to [`crawl`] on the same
+/// platform and configuration.
 ///
 /// # Panics
 ///
@@ -66,35 +67,9 @@ pub fn crawl_parallel<P: PlatformApi + Sync + ?Sized>(
 ) -> CrawlOutcome {
     cfg.validate().expect("invalid crawl configuration");
     let seeds = gather_seeds(platform, cfg);
+    let pool = Pool::new(cfg.threads);
     run(cfg, seeds, |level| {
-        if level.len() < 2 * cfg.threads {
-            // Tiny levels are not worth spawning for.
-            return level
-                .iter()
-                .map(|key| fetch_one(platform, cfg, key))
-                .collect();
-        }
-        let chunk = level.len().div_ceil(cfg.threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = level
-                .chunks(chunk)
-                .map(|keys| {
-                    scope.spawn(move || {
-                        keys.iter()
-                            .map(|key| fetch_one(platform, cfg, key))
-                            .collect::<Vec<Fetched>>()
-                    })
-                })
-                .collect();
-            let mut out = Vec::with_capacity(level.len());
-            for handle in handles {
-                match handle.join() {
-                    Ok(fetched) => out.extend(fetched),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-            out
-        })
+        pool.par_map(level, |_, key| fetch_one(platform, cfg, key))
     })
 }
 

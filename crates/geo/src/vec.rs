@@ -164,6 +164,12 @@ impl CountryVec {
         self.values.iter().all(|v| v.is_finite() && *v >= 0.0)
     }
 
+    /// Overwrites every entry with `value` in place (buffer reuse:
+    /// `fill(0.0)` resets an accumulator without reallocating).
+    pub fn fill(&mut self, value: f64) {
+        self.values.fill(value);
+    }
+
     /// Multiplies every entry by `factor` in place.
     pub fn scale(&mut self, factor: f64) {
         for v in &mut self.values {
@@ -483,6 +489,15 @@ mod tests {
         assert!(neg.is_finite() && !neg.is_nonnegative());
         let nan = CountryVec::from_values(vec![f64::NAN]);
         assert!(!nan.is_finite() && !nan.is_nonnegative());
+    }
+
+    #[test]
+    fn fill_resets_in_place() {
+        let mut v = CountryVec::from_values(vec![1.0, 2.0, 3.0]);
+        v.fill(0.0);
+        assert_eq!(v.as_slice(), &[0.0, 0.0, 0.0]);
+        v.fill(2.5);
+        assert_eq!(v.sum(), 7.5);
     }
 
     #[test]

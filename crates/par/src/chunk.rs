@@ -1,0 +1,88 @@
+//! The thread-count-independent chunking policy.
+//!
+//! Every parallel operation in this crate splits its input into
+//! contiguous chunks whose boundaries are a function of the input
+//! *length only* — never of the worker count. This is the foundation
+//! of the workspace's determinism contract: a sharded reduction merges
+//! its per-chunk accumulators in the same order (and therefore with
+//! the same floating-point rounding) whether it ran on one thread or
+//! sixteen, so `TAGDIST_THREADS` can change wall-clock time but never
+//! a single output bit.
+
+/// Minimum items per chunk. Inputs at or below this size are processed
+/// serially — the work would not amortize a thread spawn.
+pub const MIN_CHUNK: usize = 64;
+
+/// Maximum number of chunks any input splits into. Bounds the serial
+/// merge cost of [`Pool::par_fold`](crate::Pool::par_fold) while
+/// leaving enough chunks for work-stealing to balance load on any
+/// realistic core count.
+pub const MAX_CHUNKS: usize = 32;
+
+/// The chunk length used for a length-`n` input (at least 1).
+///
+/// Derived from `n` alone: `max(ceil(n / MAX_CHUNKS), MIN_CHUNK)`.
+pub fn chunk_len(n: usize) -> usize {
+    n.div_ceil(MAX_CHUNKS).max(MIN_CHUNK)
+}
+
+/// Number of chunks a length-`n` input splits into (0 for `n == 0`).
+pub fn chunk_count(n: usize) -> usize {
+    n.div_ceil(chunk_len(n))
+}
+
+/// Maximum number of shards a fold splits into. Folds pay a *merge*
+/// per shard — and each shard may carry a large accumulator (Eq. 3
+/// aggregation holds one row per tag) — so they use far fewer, larger
+/// chunks than maps do.
+pub const MAX_FOLD_CHUNKS: usize = 8;
+
+/// Minimum items per fold shard; below this the merge cost cannot
+/// amortize.
+pub const MIN_FOLD_CHUNK: usize = 512;
+
+/// The shard length used when folding a length-`n` input (at least 1).
+///
+/// Derived from `n` alone: `max(ceil(n / MAX_FOLD_CHUNKS),
+/// MIN_FOLD_CHUNK)`.
+pub fn fold_chunk_len(n: usize) -> usize {
+    n.div_ceil(MAX_FOLD_CHUNKS).max(MIN_FOLD_CHUNK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_covers_exactly() {
+        for n in [0usize, 1, 63, 64, 65, 1_000, 77_104, 1_063_844] {
+            let len = chunk_len(n);
+            let count = chunk_count(n);
+            assert!(len >= 1);
+            assert!(count <= MAX_CHUNKS);
+            // Chunks tile [0, n) exactly.
+            assert!(count * len >= n);
+            if n > 0 {
+                assert!((count - 1) * len < n, "n={n} len={len} count={count}");
+            } else {
+                assert_eq!(count, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_ignores_thread_count() {
+        // The policy has no thread parameter by construction; pin the
+        // observable values so a future "optimization" that sneaks the
+        // worker count in breaks loudly.
+        assert_eq!(chunk_len(100), MIN_CHUNK);
+        assert_eq!(chunk_len(77_104), 77_104_usize.div_ceil(MAX_CHUNKS));
+        assert_eq!(chunk_count(0), 0);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(fold_chunk_len(100), MIN_FOLD_CHUNK);
+        assert_eq!(
+            fold_chunk_len(77_104),
+            77_104_usize.div_ceil(MAX_FOLD_CHUNKS)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! `tagdist-par` — deterministic workspace parallelism.
+//!
+//! The study pipeline is embarrassingly parallel per video and per tag
+//! (Eq. 1 inversion, Eq. 3 aggregation, leave-one-out prediction, the
+//! E5b/E7 sweeps), but the reproduction's first commitment is
+//! *bit-identical output for a given seed*. This crate provides the
+//! one parallelism primitive the workspace uses everywhere: a scoped
+//! worker pool whose results — floating-point rounding included — do
+//! not depend on the worker count.
+//!
+//! Three operations cover every hot path:
+//!
+//! * [`Pool::par_map`] — independent per-item work, results in index
+//!   order (Eq. 1 inversion, crawler level fan-out, E5b per-video
+//!   decomposition, E7 per-country placement);
+//! * [`Pool::par_chunks`] — per-chunk work with reusable scratch
+//!   space (the E6 leave-one-out evaluation reuses one prediction
+//!   buffer per chunk);
+//! * [`Pool::par_fold`] — sharded reduction with a deterministic
+//!   chunk-ordered merge tree (Eq. 3 per-tag aggregation).
+//!
+//! The worker count comes from the `TAGDIST_THREADS` environment knob
+//! ([`THREADS_ENV`]), defaulting to the machine's available
+//! parallelism. Chunk boundaries and merge order are a function of the
+//! input length only (see [`chunk`]), which is what makes the
+//! determinism contract hold at any thread count — the property
+//! `tests/determinism.rs` pins for the whole pipeline.
+//!
+//! Zero dependencies: the pool is `std::thread::scope` plus one atomic
+//! cursor; there is no `unsafe` and nothing to configure beyond the
+//! thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
+
+pub mod chunk;
+mod pool;
+
+pub use pool::{available_threads, env_threads, Pool, THREADS_ENV};
+
+#[cfg(test)]
+mod proptests {
+    use crate::Pool;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Sharded fold + merge equals the plain serial fold for an
+        /// associative operation, at every thread count.
+        #[test]
+        fn par_fold_matches_serial_sum(
+            values in proptest::collection::vec(0u64..1_000_000, 0..3_000),
+            threads in 1usize..10
+        ) {
+            let serial: u64 = values.iter().sum();
+            let pool = Pool::new(threads);
+            let sharded = pool.par_fold(&values, || 0u64, |a, _, &v| a + v, |a, b| a + b);
+            prop_assert_eq!(sharded, serial);
+        }
+
+        /// par_map is exactly the serial enumerate-map at any thread
+        /// count.
+        #[test]
+        fn par_map_matches_serial_map(
+            values in proptest::collection::vec(-1_000i64..1_000, 0..3_000),
+            threads in 1usize..10
+        ) {
+            let serial: Vec<i64> = values.iter().enumerate()
+                .map(|(i, &v)| v * 3 + i as i64).collect();
+            let parallel = Pool::new(threads)
+                .par_map(&values, |i, &v| v * 3 + i as i64);
+            prop_assert_eq!(parallel, serial);
+        }
+    }
+}

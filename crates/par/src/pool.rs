@@ -1,0 +1,445 @@
+//! The scoped worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::chunk;
+
+/// Environment variable selecting the worker-thread count for every
+/// pool built with [`Pool::from_env`]. Unset, empty or unparsable
+/// values fall back to the machine's available parallelism.
+pub const THREADS_ENV: &str = "TAGDIST_THREADS";
+
+/// Resolves the worker-thread count from [`THREADS_ENV`], falling back
+/// to [`std::thread::available_parallelism`] (and to 1 if even that is
+/// unavailable). Always at least 1.
+///
+/// Read on every call rather than cached, so tests can sweep thread
+/// counts within one process.
+pub fn env_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(available_threads)
+}
+
+/// The machine's available parallelism, or 1 when undetectable.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A scoped worker pool with deterministic results.
+///
+/// Workers are `std::thread::scope` threads that live for the duration
+/// of one parallel call — no `'static` bounds, no `unsafe`, no idle
+/// threads between calls. Work is distributed by chunk stealing over
+/// an atomic cursor, but chunk *boundaries* come from the
+/// length-only policy in [`crate::chunk`], so results (including
+/// floating-point rounding in [`Pool::par_fold`] reductions) are
+/// bit-identical at any thread count.
+///
+/// # Example
+///
+/// ```
+/// use tagdist_par::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.par_map(&[1.0_f64, 2.0, 3.0], |_, &x| x * x);
+/// assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// Equivalent to [`Pool::from_env`].
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with an explicit worker count (floored at 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Creates a pool sized by the [`THREADS_ENV`] knob (default: the
+    /// machine's available parallelism).
+    pub fn from_env() -> Pool {
+        Pool::new(env_threads())
+    }
+
+    /// The worker count this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in index order.
+    ///
+    /// `f` receives each item's index alongside the item. Output is
+    /// identical to the serial `items.iter().enumerate().map(..)` at
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on a worker thread.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        if self.serial_for(items.len()) {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let parts = self.run_chunks(items, |start, slice| {
+            slice
+                .iter()
+                .enumerate()
+                .map(|(j, t)| f(start + j, t))
+                .collect::<Vec<U>>()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Like [`Pool::par_map`], but schedules every item as its own unit
+    /// of work instead of batching by the length-only chunk policy.
+    ///
+    /// Use for *short* inputs of *heavy* items — e.g. one entry per
+    /// country, each scanning a whole catalogue — where the standard
+    /// policy would collapse to a single serial chunk. Results are
+    /// still returned in index order, and each item's computation is
+    /// independent of scheduling, so output is identical at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on a worker thread.
+    pub fn par_map_heavy<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        self.run_sized_chunks(items, 1, |start, slice| f(start, &slice[0]))
+    }
+
+    /// Applies `f` to each chunk of `items` (boundaries from the
+    /// length-only policy in [`crate::chunk`]), returning the per-chunk
+    /// results in chunk order. `f` receives the chunk's starting index.
+    ///
+    /// Useful when per-item work wants reusable scratch space: allocate
+    /// once per chunk instead of once per item.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on a worker thread.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> U + Sync,
+    {
+        self.run_chunks(items, f)
+    }
+
+    /// Sharded fold with a deterministic merge: each shard folds into
+    /// its own accumulator (seeded by `init`), and the per-shard
+    /// accumulators are merged pairwise along a balanced binary tree
+    /// in shard order.
+    ///
+    /// Shards follow the coarser fold policy in [`crate::chunk`]
+    /// (fewer, larger chunks than [`Pool::par_map`]): every shard costs
+    /// a merge, and fold accumulators can be large. Because both the
+    /// shard boundaries and the merge tree depend only on
+    /// `items.len()`, the result — floating-point rounding included —
+    /// is bit-identical at any thread count. Returns `init()` for an
+    /// empty input.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `init`, `fold` or `merge`
+    /// on a worker thread.
+    pub fn par_fold<T, A, I, F, M>(&self, items: &[T], init: I, fold: F, merge: M) -> A
+    where
+        T: Sync,
+        A: Send,
+        I: Fn() -> A + Sync,
+        F: Fn(A, usize, &T) -> A + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let accs =
+            self.run_sized_chunks(items, chunk::fold_chunk_len(items.len()), |start, slice| {
+                let mut acc = init();
+                for (j, t) in slice.iter().enumerate() {
+                    acc = fold(acc, start + j, t);
+                }
+                acc
+            });
+        reduce_in_tree(accs, merge).unwrap_or_else(init)
+    }
+
+    /// True when a length-`n` input should skip the fan-out entirely.
+    fn serial_for(&self, n: usize) -> bool {
+        self.threads == 1 || n <= chunk::MIN_CHUNK
+    }
+
+    /// Chunked engine entry point under the length-only policy.
+    fn run_chunks<T, U, G>(&self, items: &[T], g: G) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        G: Fn(usize, &[T]) -> U + Sync,
+    {
+        self.run_sized_chunks(items, chunk::chunk_len(items.len()), g)
+    }
+
+    /// The engine: applies `g` to every `clen`-sized chunk, stealing
+    /// chunks off an atomic cursor, and returns the results sorted into
+    /// chunk order.
+    fn run_sized_chunks<T, U, G>(&self, items: &[T], clen: usize, g: G) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        G: Fn(usize, &[T]) -> U + Sync,
+    {
+        let n = items.len();
+        let clen = clen.max(1);
+        let nchunks = n.div_ceil(clen);
+        let workers = self.threads.min(nchunks);
+        if workers <= 1 {
+            return items
+                .chunks(clen)
+                .enumerate()
+                .map(|(c, slice)| g(c * clen, slice))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let c = cursor.fetch_add(1, Ordering::Relaxed);
+                            if c >= nchunks {
+                                break;
+                            }
+                            let start = c * clen;
+                            let end = (start + clen).min(n);
+                            done.push((c, g(start, &items[start..end])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(nchunks);
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => all.extend(done),
+                    // A worker died mid-reduction: the call cannot
+                    // return a partial result, so surface the worker's
+                    // own panic on the calling thread.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
+        });
+        tagged.sort_unstable_by_key(|&(c, _)| c);
+        tagged.into_iter().map(|(_, u)| u).collect()
+    }
+}
+
+/// Pairwise reduction in a balanced binary tree, left to right:
+/// `[a, b, c, d, e]` → `[ab, cd, e]` → `[abcd, e]` → `abcde`. The tree
+/// shape depends only on the input length.
+fn reduce_in_tree<A, M>(mut accs: Vec<A>, merge: M) -> Option<A>
+where
+    M: Fn(A, A) -> A,
+{
+    while accs.len() > 1 {
+        let mut next = Vec::with_capacity(accs.len().div_ceil(2));
+        let mut iter = accs.into_iter();
+        while let Some(left) = iter.next() {
+            next.push(match iter.next() {
+                Some(right) => merge(left, right),
+                None => left,
+            });
+        }
+        accs = next;
+    }
+    accs.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let items: Vec<usize> = (0..10_000).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.par_map(&items, |i, &v| {
+                assert_eq!(i, v);
+                v * 2
+            });
+            assert_eq!(out.len(), items.len());
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let pool = Pool::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |_, &v| v).is_empty());
+        assert_eq!(pool.par_map(&[7u32], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_heavy_keeps_order_on_short_inputs() {
+        // 60 items sits under MIN_CHUNK: par_map would go serial, but
+        // par_map_heavy still fans out — with identical output.
+        let items: Vec<usize> = (0..60).collect();
+        let reference = Pool::new(1).par_map_heavy(&items, |i, &v| (i, v * 3));
+        for threads in [2, 4, 8] {
+            let out = Pool::new(threads).par_map_heavy(&items, |i, &v| (i, v * 3));
+            assert_eq!(out, reference, "threads={threads}");
+        }
+        assert!(reference
+            .iter()
+            .enumerate()
+            .all(|(i, &(j, v))| i == j && v == i * 3));
+    }
+
+    #[test]
+    fn par_chunks_tiles_the_input_in_order() {
+        let items: Vec<usize> = (0..5_000).collect();
+        let pool = Pool::new(4);
+        let spans = pool.par_chunks(&items, |start, slice| (start, slice.len()));
+        // Spans tile [0, n) contiguously.
+        let mut expected_start = 0;
+        for &(start, len) in &spans {
+            assert_eq!(start, expected_start);
+            expected_start += len;
+        }
+        assert_eq!(expected_start, items.len());
+    }
+
+    #[test]
+    fn par_fold_sums_exactly() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let serial: u64 = items.iter().sum();
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let sum = pool.par_fold(&items, || 0u64, |acc, _, &v| acc + v, |a, b| a + b);
+            assert_eq!(sum, serial);
+        }
+    }
+
+    #[test]
+    fn par_fold_floats_are_thread_count_invariant() {
+        // Floating-point addition is not associative, so this only
+        // holds because chunking and merge order ignore the thread
+        // count — the determinism contract in one assert.
+        let items: Vec<f64> = (0..50_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let reference = Pool::new(1).par_fold(&items, || 0.0f64, |a, _, &v| a + v, |a, b| a + b);
+        for threads in [2, 3, 4, 8, 16] {
+            let sum =
+                Pool::new(threads).par_fold(&items, || 0.0f64, |a, _, &v| a + v, |a, b| a + b);
+            assert!(
+                sum.to_bits() == reference.to_bits(),
+                "{threads} threads drifted: {sum} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_fold_empty_returns_init() {
+        let pool = Pool::new(4);
+        let empty: Vec<u8> = Vec::new();
+        let folded = pool.par_fold(&empty, || 41u64, |a, _, _| a, |a, _| a);
+        assert_eq!(folded, 41);
+    }
+
+    #[test]
+    fn par_fold_indexes_every_item_once() {
+        let items: Vec<u64> = vec![1; 10_000];
+        let pool = Pool::new(8);
+        let indices = pool.par_fold(
+            &items,
+            Vec::new,
+            |mut acc: Vec<usize>, i, _| {
+                acc.push(i);
+                acc
+            },
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        // Tree merge in chunk order keeps indices globally sorted.
+        assert_eq!(indices.len(), items.len());
+        assert!(indices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn reduce_in_tree_is_left_balanced() {
+        let merged = reduce_in_tree(
+            vec!["a", "b", "c", "d", "e"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            |a, b| format!("({a}{b})"),
+        );
+        assert_eq!(merged.as_deref(), Some("(((ab)(cd))e)"));
+        assert_eq!(reduce_in_tree(Vec::<u8>::new(), |a, _| a), None);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).par_map(&items, |i, _| {
+                assert!(i != 5_000, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_count_floors_at_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::from_env().threads() >= 1);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn env_knob_parses_and_falls_back() {
+        // Exercise the parser without touching the process
+        // environment (other tests run concurrently).
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .unwrap_or_else(available_threads)
+        };
+        assert_eq!(parse(" 6 "), 6);
+        assert_eq!(parse("0"), available_threads());
+        assert_eq!(parse("lots"), available_threads());
+    }
+}

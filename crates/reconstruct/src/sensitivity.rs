@@ -13,6 +13,7 @@
 //! error?
 
 use tagdist_geo::{CountryVec, GeoDist, GeoError, PopularityVector};
+use tagdist_par::Pool;
 
 use crate::error::ErrorReport;
 use crate::views::reconstruct_views;
@@ -63,30 +64,44 @@ impl Sensitivity {
         let true_traffic = GeoDist::from_counts(&ytube)?;
         let prior_gap = true_traffic.js_divergence(est_traffic)?;
 
-        let mut truth_dists = Vec::with_capacity(truth_views.len());
-        let mut quant_only = Vec::with_capacity(truth_views.len());
-        let mut prior_only = Vec::with_capacity(truth_views.len());
-        let mut combined = Vec::with_capacity(truth_views.len());
-        for views in truth_views {
-            let total = views.sum().round().max(1.0) as u64;
-            truth_dists.push(GeoDist::from_counts(views)?);
+        // The per-video decompositions are independent: fan out over
+        // the worker pool, results back in corpus order (any error
+        // surfaces as the first failing video, as in the serial loop).
+        let per_video = Pool::from_env()
+            .par_map(truth_views, |_, views| -> Result<_, GeoError> {
+                let total = views.sum().round().max(1.0) as u64;
+                let truth = GeoDist::from_counts(views)?;
 
-            // Eq. 1 forward model.
-            let intensity = views.hadamard_div(&ytube)?;
-            let chart = PopularityVector::quantize(&intensity)?;
+                // Eq. 1 forward model.
+                let intensity = views.hadamard_div(&ytube)?;
+                let chart = PopularityVector::quantize(&intensity)?;
 
-            // (a) quantized chart + true prior.
-            let v = reconstruct_views(&chart, total, &true_traffic)?;
-            quant_only.push(GeoDist::from_counts(&v)?);
+                // (a) quantized chart + true prior.
+                let v = reconstruct_views(&chart, total, &true_traffic)?;
+                let quant = GeoDist::from_counts(&v)?;
 
-            // (b) infinite-precision chart + estimated prior:
-            //     views_est ∝ intensity · p̂yt.
-            let est = intensity.hadamard(est_traffic.as_vec())?;
-            prior_only.push(GeoDist::from_counts(&est)?);
+                // (b) infinite-precision chart + estimated prior:
+                //     views_est ∝ intensity · p̂yt.
+                let est = intensity.hadamard(est_traffic.as_vec())?;
+                let prior = GeoDist::from_counts(&est)?;
 
-            // (c) both losses (the paper's pipeline).
-            let v = reconstruct_views(&chart, total, est_traffic)?;
-            combined.push(GeoDist::from_counts(&v)?);
+                // (c) both losses (the paper's pipeline).
+                let v = reconstruct_views(&chart, total, est_traffic)?;
+                let comb = GeoDist::from_counts(&v)?;
+                Ok((truth, quant, prior, comb))
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut truth_dists = Vec::with_capacity(per_video.len());
+        let mut quant_only = Vec::with_capacity(per_video.len());
+        let mut prior_only = Vec::with_capacity(per_video.len());
+        let mut combined = Vec::with_capacity(per_video.len());
+        for (truth, quant, prior, comb) in per_video {
+            truth_dists.push(truth);
+            quant_only.push(quant);
+            prior_only.push(prior);
+            combined.push(comb);
         }
 
         Ok(Sensitivity {

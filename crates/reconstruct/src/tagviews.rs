@@ -5,8 +5,52 @@
 
 use tagdist_dataset::{CleanDataset, TagId};
 use tagdist_geo::{CountryVec, GeoDist, GeoError};
+use tagdist_par::Pool;
 
 use crate::views::Reconstruction;
+
+/// One shard of the parallel Eq. 3 reduction: per-tag partial sums and
+/// video counts for a contiguous chunk of the dataset. Preallocated at
+/// full tag width so folding never reallocates the spine.
+struct TagShard {
+    rows: Vec<Option<CountryVec>>,
+    video_counts: Vec<usize>,
+}
+
+impl TagShard {
+    fn empty(tag_count: usize) -> TagShard {
+        TagShard {
+            rows: vec![None; tag_count],
+            video_counts: vec![0; tag_count],
+        }
+    }
+
+    /// Folds one video's reconstructed views into the shard.
+    fn add_video(&mut self, tags: &[TagId], views: &CountryVec, country_count: usize) {
+        for &tag in tags {
+            let row =
+                self.rows[tag.index()].get_or_insert_with(|| CountryVec::zeros(country_count));
+            *row += views;
+            self.video_counts[tag.index()] += 1;
+        }
+    }
+
+    /// Merges `other` into `self`, tag by tag in [`TagId`] order.
+    fn merge(mut self, other: TagShard) -> TagShard {
+        for (slot, incoming) in self.rows.iter_mut().zip(other.rows) {
+            if let Some(incoming) = incoming {
+                match slot {
+                    Some(row) => *row += &incoming,
+                    None => *slot = Some(incoming),
+                }
+            }
+        }
+        for (count, incoming) in self.video_counts.iter_mut().zip(other.video_counts) {
+            *count += incoming;
+        }
+        self
+    }
+}
 
 /// Aggregated per-country views for every tag of a filtered dataset.
 ///
@@ -28,7 +72,7 @@ use crate::views::Reconstruction;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagViewTable {
     /// Indexed by [`TagId`]; `None` for tags without retained videos.
     rows: Vec<Option<CountryVec>>,
@@ -40,31 +84,52 @@ pub struct TagViewTable {
 impl TagViewTable {
     /// Aggregates `recon` (aligned with `clean`) per tag.
     ///
+    /// The dataset is folded in chunks over the `TAGDIST_THREADS`
+    /// worker pool into per-shard `Vec<Option<CountryVec>>`
+    /// accumulators, merged deterministically in [`TagId`] order along
+    /// a chunk-ordered tree — the result is bit-identical at any
+    /// thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `recon` was computed from a different dataset (length
     /// mismatch).
     pub fn aggregate(clean: &CleanDataset, recon: &Reconstruction) -> TagViewTable {
+        TagViewTable::aggregate_with(&Pool::from_env(), clean, recon)
+    }
+
+    /// [`aggregate`](TagViewTable::aggregate) on an explicit pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recon` was computed from a different dataset (length
+    /// mismatch).
+    pub fn aggregate_with(
+        pool: &Pool,
+        clean: &CleanDataset,
+        recon: &Reconstruction,
+    ) -> TagViewTable {
         assert_eq!(
             clean.len(),
             recon.len(),
             "reconstruction does not match dataset"
         );
         let tag_count = clean.tags().len();
-        let mut rows: Vec<Option<CountryVec>> = vec![None; tag_count];
-        let mut video_counts = vec![0usize; tag_count];
-        for (video, views) in clean.iter().zip(recon.iter()) {
-            for &tag in &video.tags {
-                let row = rows[tag.index()]
-                    .get_or_insert_with(|| CountryVec::zeros(recon.country_count()));
-                *row += views;
-                video_counts[tag.index()] += 1;
-            }
-        }
+        let country_count = recon.country_count();
+        let videos = clean.as_slice();
+        let shard = pool.par_fold(
+            recon.as_rows(),
+            || TagShard::empty(tag_count),
+            |mut shard, pos, views| {
+                shard.add_video(&videos[pos].tags, views, country_count);
+                shard
+            },
+            TagShard::merge,
+        );
         TagViewTable {
-            rows,
-            video_counts,
-            country_count: recon.country_count(),
+            rows: shard.rows,
+            video_counts: shard.video_counts,
+            country_count,
         }
     }
 
@@ -221,6 +286,47 @@ mod tests {
         let other = filter(&b.build());
         let recon = Reconstruction::compute(&other, &GeoDist::uniform(2)).unwrap();
         let _ = TagViewTable::aggregate(&clean, &recon);
+    }
+
+    /// The determinism contract: sharded aggregation is bit-identical
+    /// at any thread count, even though float addition is not
+    /// associative — chunking and merge order ignore the worker count.
+    #[test]
+    fn aggregation_is_thread_count_invariant() {
+        let mut b = DatasetBuilder::new(3);
+        for i in 0..700 {
+            // Irregular tag overlap and view counts across chunks.
+            let tags: Vec<String> = (0..=(i % 4))
+                .map(|t| format!("tag{}", (i + t) % 37))
+                .collect();
+            let tag_refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+            let raw = vec![(i % 61 + 1) as u8, ((i * 7) % 61) as u8, 30];
+            b.push_video(&format!("v{i}"), 10 + (i * i % 9_999) as u64, &tag_refs, {
+                RawPopularity::decode(raw, 3)
+            });
+        }
+        let clean = filter(&b.build());
+        assert!(
+            clean.len() > 600,
+            "need multiple chunks, got {}",
+            clean.len()
+        );
+        let recon = Reconstruction::compute(&clean, &GeoDist::uniform(3)).unwrap();
+        let reference = TagViewTable::aggregate_with(&tagdist_par::Pool::new(1), &clean, &recon);
+        for threads in [2, 5, 8] {
+            let parallel =
+                TagViewTable::aggregate_with(&tagdist_par::Pool::new(threads), &clean, &recon);
+            assert_eq!(reference.country_count(), parallel.country_count());
+            assert_eq!(reference.populated_tags(), parallel.populated_tags());
+            for (tag, views) in reference.iter() {
+                assert_eq!(
+                    views.as_slice(),
+                    parallel.views(tag).unwrap().as_slice(),
+                    "tag {tag:?} diverged at {threads} threads"
+                );
+                assert_eq!(reference.video_count(tag), parallel.video_count(tag));
+            }
+        }
     }
 
     /// Eq. 3 conservation: every reconstructed view is counted once

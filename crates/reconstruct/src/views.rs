@@ -3,6 +3,7 @@
 use tagdist_geo::{CountryVec, GeoDist, GeoError, PopularityVector};
 
 use tagdist_dataset::CleanDataset;
+use tagdist_par::Pool;
 
 /// Reconstructs a video's per-country view vector from its popularity
 /// map, total view count and a traffic prior.
@@ -37,7 +38,7 @@ pub fn reconstruct_views(
 ///
 /// Row `i` corresponds to position `i` in the dataset (the order of
 /// [`CleanDataset::iter`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reconstruction {
     rows: Vec<CountryVec>,
     country_count: usize,
@@ -46,15 +47,34 @@ pub struct Reconstruction {
 impl Reconstruction {
     /// Reconstructs every video of `clean` under `traffic`.
     ///
+    /// Videos are independent, so the corpus fans out over the
+    /// `TAGDIST_THREADS` worker pool; rows come back in dataset order
+    /// and are bit-identical at any thread count.
+    ///
     /// # Errors
     ///
-    /// Returns the first per-video error (see [`reconstruct_views`]).
-    /// With a correctly filtered dataset and a strictly positive
-    /// traffic prior this cannot fail.
+    /// Returns the first per-video error in dataset order (see
+    /// [`reconstruct_views`]). With a correctly filtered dataset and a
+    /// strictly positive traffic prior this cannot fail.
     pub fn compute(clean: &CleanDataset, traffic: &GeoDist) -> Result<Reconstruction, GeoError> {
-        let rows = clean
-            .iter()
-            .map(|v| reconstruct_views(&v.popularity, v.total_views, traffic))
+        Reconstruction::compute_with(&Pool::from_env(), clean, traffic)
+    }
+
+    /// [`compute`](Reconstruction::compute) on an explicit pool.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compute`](Reconstruction::compute).
+    pub fn compute_with(
+        pool: &Pool,
+        clean: &CleanDataset,
+        traffic: &GeoDist,
+    ) -> Result<Reconstruction, GeoError> {
+        let rows = pool
+            .par_map(clean.as_slice(), |_, v| {
+                reconstruct_views(&v.popularity, v.total_views, traffic)
+            })
+            .into_iter()
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Reconstruction {
             rows,
@@ -98,6 +118,13 @@ impl Reconstruction {
     /// Iterates over the estimated view vectors in dataset order.
     pub fn iter(&self) -> impl Iterator<Item = &CountryVec> {
         self.rows.iter()
+    }
+
+    /// All estimated view vectors as a slice, in dataset order (the
+    /// input the parallel aggregation and evaluation stages chunk
+    /// over).
+    pub fn as_rows(&self) -> &[CountryVec] {
+        &self.rows
     }
 
     /// Sums all rows: the estimated per-country platform traffic
@@ -229,6 +256,18 @@ mod tests {
         let d = r.distribution(0).unwrap();
         assert!((d.as_vec().sum() - 1.0).abs() < 1e-12);
         assert!(r.distribution(99).is_err());
+    }
+
+    #[test]
+    fn parallel_compute_is_thread_count_invariant() {
+        let clean = clean2();
+        let reference = Reconstruction::compute_with(&Pool::new(1), &clean, &traffic2()).unwrap();
+        for threads in [2, 8] {
+            let parallel =
+                Reconstruction::compute_with(&Pool::new(threads), &clean, &traffic2()).unwrap();
+            assert_eq!(reference.as_rows(), parallel.as_rows());
+        }
+        assert_eq!(reference.as_rows().len(), reference.len());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use core::fmt;
 
 use tagdist_dataset::{CleanDataset, TagId};
-use tagdist_geo::{CountryVec, GeoDist};
+use tagdist_geo::{CountryVec, GeoDist, GeoError};
+use tagdist_par::Pool;
 use tagdist_reconstruct::{ErrorSummary, Reconstruction, TagViewTable};
 
 /// Predicts per-video geographic view distributions from tags.
@@ -59,12 +60,39 @@ impl<'a> Predictor<'a> {
     /// e.g. a video whose every tag is unique to it.
     pub fn predict(&self, tags: &[TagId], own_views: Option<&CountryVec>) -> GeoDist {
         let mut mix = CountryVec::zeros(self.table.country_count());
+        self.predict_into(tags, own_views, &mut mix)
+            .unwrap_or_else(|_| self.fallback.clone())
+    }
+
+    /// Allocation-free variant of [`predict`](Predictor::predict):
+    /// accumulates the tag mixture into a caller-owned scratch buffer,
+    /// so corpus-scale evaluation loops reuse one `CountryVec` instead
+    /// of allocating per video. The buffer is reset (and resized if it
+    /// belongs to a different world) before use; its contents on return
+    /// are the raw un-normalized mixture.
+    ///
+    /// # Errors
+    ///
+    /// [`GeoError::ZeroMass`] when the tags carry no usable signal —
+    /// the caller decides the fallback ([`predict`](Predictor::predict)
+    /// substitutes the fallback prior).
+    pub fn predict_into(
+        &self,
+        tags: &[TagId],
+        own_views: Option<&CountryVec>,
+        mix: &mut CountryVec,
+    ) -> Result<GeoDist, GeoError> {
+        if mix.len() == self.table.country_count() {
+            mix.fill(0.0);
+        } else {
+            *mix = CountryVec::zeros(self.table.country_count());
+        }
         for &tag in tags {
             let Some(views) = self.table.views(tag) else {
                 continue;
             };
             match own_views {
-                None => mix += views,
+                None => *mix += views,
                 Some(own) => {
                     // Subtract this video's contribution, clamping the
                     // tiny negative residues quantization can leave.
@@ -74,7 +102,7 @@ impl<'a> Predictor<'a> {
                 }
             }
         }
-        GeoDist::from_counts(&mix).unwrap_or_else(|_| self.fallback.clone())
+        GeoDist::from_counts(mix)
     }
 
     /// The fallback distribution.
@@ -126,19 +154,39 @@ impl PredictionEvaluation {
     ) -> PredictionEvaluation {
         assert_eq!(clean.len(), recon.len(), "reconstruction mismatch");
         let predictor = Predictor::new(table, baseline);
+        // Leave-one-out scoring is embarrassingly parallel: chunk the
+        // corpus across the pool, one scratch mixture buffer per chunk
+        // (predict_into) instead of one allocation per video. Chunk
+        // boundaries depend only on corpus length, so scores come back
+        // in corpus order bit-identical at any thread count.
+        let scored = Pool::from_env().par_chunks(clean.as_slice(), |start, chunk| {
+            let mut mix = CountryVec::zeros(table.country_count());
+            let mut out = Vec::with_capacity(chunk.len());
+            for (offset, video) in chunk.iter().enumerate() {
+                let pos = start + offset;
+                let own = recon.views(pos).expect("aligned reconstruction");
+                let actual = recon.distribution(pos).expect("rows carry mass");
+                // A zero-mass mixture is exactly the serial loop's
+                // fallback case (prediction == baseline prior).
+                let (predicted, fell_back) =
+                    match predictor.predict_into(&video.tags, Some(own), &mut mix) {
+                        Ok(d) => (d, false),
+                        Err(_) => (baseline.clone(), true),
+                    };
+                let p = predicted.js_divergence(&actual).expect("same world");
+                let b = baseline.js_divergence(&actual).expect("same world");
+                out.push((p, b, fell_back));
+            }
+            out
+        });
         let mut js_pred = Vec::with_capacity(clean.len());
         let mut js_base = Vec::with_capacity(clean.len());
         let mut wins = 0usize;
         let mut fallbacks = 0usize;
-        for (pos, video) in clean.iter().enumerate() {
-            let own = recon.views(pos).expect("aligned reconstruction");
-            let actual = recon.distribution(pos).expect("rows carry mass");
-            let predicted = predictor.predict(&video.tags, Some(own));
-            if predicted == *baseline {
+        for (p, b, fell_back) in scored.into_iter().flatten() {
+            if fell_back {
                 fallbacks += 1;
             }
-            let p = predicted.js_divergence(&actual).expect("same world");
-            let b = baseline.js_divergence(&actual).expect("same world");
             if p < b {
                 wins += 1;
             }
@@ -339,6 +387,42 @@ mod tests {
         let d = p.predict(&[ghost], None);
         assert_eq!(d, traffic, "no signal → fallback");
         assert_eq!(p.fallback(), &traffic);
+    }
+
+    #[test]
+    fn predict_into_reuses_buffer_and_matches_predict() {
+        let (clean, recon, table) = setup();
+        let traffic = world2();
+        let p = Predictor::new(&table, &traffic);
+        // Deliberately wrong-sized buffer: predict_into must fix it up.
+        let mut mix = CountryVec::zeros(5);
+        for (pos, video) in clean.iter().enumerate() {
+            let own = recon.views(pos);
+            let via_buffer = p
+                .predict_into(&video.tags, own, &mut mix)
+                .unwrap_or_else(|_| traffic.clone());
+            assert_eq!(via_buffer, p.predict(&video.tags, own), "{}", video.key);
+            assert_eq!(mix.len(), 2, "buffer adopts the table's world");
+        }
+        // The single-carrier video has no leave-one-out signal left.
+        let pos = clean.iter().position(|v| v.key == "u1").unwrap();
+        let video = clean.get(pos).unwrap();
+        assert!(p
+            .predict_into(&video.tags, recon.views(pos), &mut mix)
+            .is_err());
+    }
+
+    #[test]
+    fn evaluation_is_thread_count_invariant() {
+        let (clean, recon, table) = setup();
+        let traffic = world2();
+        let baseline = PredictionEvaluation::evaluate(&clean, &recon, &table, &traffic);
+        for threads in ["1", "2", "8"] {
+            std::env::set_var(tagdist_par::THREADS_ENV, threads);
+            let eval = PredictionEvaluation::evaluate(&clean, &recon, &table, &traffic);
+            assert_eq!(eval, baseline, "threads={threads}");
+        }
+        std::env::remove_var(tagdist_par::THREADS_ENV);
     }
 
     #[test]

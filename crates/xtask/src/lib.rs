@@ -1,7 +1,7 @@
 //! `cargo xtask` — workspace-wide static analysis and invariant
 //! enforcement for the tagdist repro.
 //!
-//! `cargo xtask check` scans the library crates (the eight
+//! `cargo xtask check` scans the library crates (the nine
 //! `#![forbid(unsafe_code)]` members) for domain rules that generic
 //! lints cannot express — see [`rules`] — honours the
 //! `xtask-allow.toml` allowlist, writes a machine-readable JSON

@@ -6,14 +6,21 @@ use std::process::ExitCode;
 use xtask::{check_workspace, load_allowlist, to_json};
 
 const USAGE: &str = "\
-usage: cargo xtask check [options]
+usage: cargo xtask <command> [options]
 
-Runs the workspace's domain lints over the library crates.
+commands:
+  check           run the workspace's domain lints over the library crates
+  bench-report    build and run the PR 2 wall-clock baseline
+                  (tagdist-bench's `bench-report` binary, release profile)
 
-options:
+check options:
   --json <path>   write the JSON report here (default: target/xtask-check.json)
   --root <path>   workspace root (default: auto-detected from CARGO_MANIFEST_DIR)
   --quiet         suppress per-violation output
+
+bench-report options:
+  any extra arguments are forwarded to the benchmark binary
+  (first positional argument = output path, default BENCH_PR2.json)
 ";
 
 fn main() -> ExitCode {
@@ -38,6 +45,9 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<bool, String> {
     let mut iter = args.iter();
     let command = iter.next().ok_or("missing command")?;
+    if command == "bench-report" {
+        return run_bench_report(iter.as_slice());
+    }
     if command != "check" {
         return Err(format!("unknown command `{command}`"));
     }
@@ -86,6 +96,26 @@ fn run(args: &[String]) -> Result<bool, String> {
         json_path.display()
     );
     Ok(outcome.is_clean())
+}
+
+/// Shells out to the release-profile benchmark binary, forwarding any
+/// extra arguments (so `cargo xtask bench-report out.json` works).
+fn run_bench_report(extra: &[String]) -> Result<bool, String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let status = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "tagdist-bench",
+            "--bin",
+            "bench-report",
+            "--",
+        ])
+        .args(extra)
+        .status()
+        .map_err(|e| format!("cannot launch cargo: {e}"))?;
+    Ok(status.success())
 }
 
 /// The workspace root: two levels above this crate's manifest.

@@ -13,8 +13,9 @@
 
 use tagdist::crawler::{crawl, crawl_parallel, CrawlConfig};
 use tagdist::geo::TrafficModel;
+use tagdist::par::{Pool, THREADS_ENV};
 use tagdist::ytsim::{Platform, PlatformApi, WorldConfig};
-use tagdist::{Study, StudyConfig};
+use tagdist::{markdown_report, ReportOptions, Study, StudyConfig};
 
 fn tiny(seed: u64) -> WorldConfig {
     let mut cfg = WorldConfig::tiny();
@@ -92,6 +93,75 @@ fn whole_studies_are_reproducible() {
         a.reconstruction_error().js.mean,
         b.reconstruction_error().js.mean
     );
+}
+
+/// The PR 2 worker-pool contract on the full pipeline: the rendered
+/// Study report — every figure, error table and prediction row — is
+/// byte-identical whether the pool runs 1, 2 or 8 threads.
+#[test]
+fn study_report_is_byte_identical_across_thread_counts() {
+    let mut cfg = StudyConfig::tiny();
+    cfg.world.with_videos(800);
+    let options = ReportOptions::default();
+
+    std::env::set_var(THREADS_ENV, "1");
+    let reference = markdown_report(&Study::run(cfg.clone()), &options);
+    for threads in ["2", "8"] {
+        std::env::set_var(THREADS_ENV, threads);
+        let report = markdown_report(&Study::run(cfg.clone()), &options);
+        assert_eq!(report, reference, "report drifted at {threads} threads");
+    }
+    std::env::remove_var(THREADS_ENV);
+}
+
+/// Eq. 3 aggregation totals (the sharded par_fold) are exact across
+/// thread counts — per-tag, per-country, bit for bit.
+#[test]
+fn tag_view_totals_are_thread_count_invariant() {
+    let mut cfg = StudyConfig::tiny();
+    cfg.world.with_videos(800);
+
+    std::env::set_var(THREADS_ENV, "1");
+    let reference = Study::run(cfg.clone());
+    for threads in ["2", "8"] {
+        std::env::set_var(THREADS_ENV, threads);
+        let study = Study::run(cfg.clone());
+        assert_eq!(
+            study.tag_table(),
+            reference.tag_table(),
+            "tag totals drifted at {threads} threads"
+        );
+        assert_eq!(
+            study.reconstruction(),
+            reference.reconstruction(),
+            "reconstruction drifted at {threads} threads"
+        );
+    }
+    std::env::remove_var(THREADS_ENV);
+}
+
+mod par_fold_properties {
+    use super::Pool;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The sharded fold+merge equals the plain serial fold for an
+        /// exact (integer) reduction, at any thread count.
+        #[test]
+        fn sharded_par_fold_merge_equals_serial_fold(
+            items in proptest::collection::vec(0u64..1_000_000, 0..600),
+            threads in 1usize..9,
+        ) {
+            let serial: u64 = items.iter().sum();
+            let sharded = Pool::new(threads).par_fold(
+                &items,
+                || 0u64,
+                |acc, _, &v| acc + v,
+                |a, b| a + b,
+            );
+            prop_assert_eq!(sharded, serial);
+        }
+    }
 }
 
 #[test]
