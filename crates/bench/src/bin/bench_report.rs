@@ -1,18 +1,26 @@
-//! `bench-report` — machine-readable wall-clock baseline for the PR 2
-//! parallelism work.
+//! `bench-report` — machine-readable wall-clock *and allocation*
+//! report for the PR 3 columnar-storage work.
 //!
-//! Runs the three hot stages the worker pool accelerates —
-//! `Reconstruction::compute` (Eq. 1), `TagViewTable::aggregate`
-//! (Eq. 3) and the E6 leave-one-out prediction evaluation — on the
-//! default ~120k-video corpus at 1 and 4 worker threads, cross-checks
-//! that every stage's output is identical across thread counts, and
-//! writes `BENCH_PR2.json` at the repository root (or the path given
-//! as the first argument).
+//! Runs the three hot stages — `Reconstruction::compute` (Eq. 1),
+//! `TagViewTable::aggregate` (Eq. 3) and the E6 leave-one-out
+//! prediction evaluation — on the default ~120k-video corpus at 1, 2
+//! and 4 worker threads, counting heap allocations per stage through a
+//! counting global allocator. The pre-columnar PR 2 storage layout
+//! (one boxed `CountryVec` per video / per tag row) is re-implemented
+//! inline and measured single-threaded so the report can state the
+//! allocation drop directly. Output identity is additionally
+//! cross-checked at `TAGDIST_THREADS ∈ {1, 2, 8}`.
 //!
-//! Invoke as `cargo xtask bench-report` or directly:
+//! Writes `BENCH_PR3.json` at the repository root by default. Flags:
+//! `--smoke` shrinks the corpus to the tiny test world, runs each
+//! stage once and defaults the output to `bench-smoke.json` (the CI
+//! wiring); a positional argument overrides the output path.
+//!
+//! Invoke as `cargo xtask bench-report [--smoke]` or directly:
 //! `cargo run --release -p tagdist-bench --bin bench-report`.
 
 #![allow(
+    unsafe_code,
     clippy::unwrap_used,
     clippy::expect_used,
     clippy::panic,
@@ -21,39 +29,79 @@
     missing_docs
 )]
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tagdist::crawler::{crawl_parallel, CrawlConfig};
-use tagdist::dataset::{filter, CleanDataset};
-use tagdist::geo::GeoDist;
+use tagdist::dataset::{filter, CleanDataset, TagId};
+use tagdist::geo::{CountryVec, GeoDist};
 use tagdist::par::{available_threads, Pool, THREADS_ENV};
 use tagdist::reconstruct::{Reconstruction, TagViewTable};
 use tagdist::tags::PredictionEvaluation;
 use tagdist::ytsim::{Platform, WorldConfig};
 
-/// Timed runs per (stage, thread-count) pair; the minimum is recorded.
-const RUNS: usize = 3;
+/// Counting allocator: every `alloc`/`alloc_zeroed`/`realloc` bumps a
+/// relaxed atomic before delegating to the system allocator. Bench
+/// binary only — the library crates stay `#![forbid(unsafe_code)]`.
+struct CountingAlloc;
 
-/// Thread counts the report sweeps.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Thread counts the timing sweep covers.
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Thread counts the output-identity cross-check covers.
+const IDENTITY_THREADS: [usize; 3] = [1, 2, 8];
 
 struct Sample {
     stage: &'static str,
     threads: usize,
     seconds: f64,
+    allocations: u64,
 }
 
-fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+/// Best-of-`runs` wall clock plus the allocation count of one run.
+fn measured<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, u64, R) {
     let mut best = f64::INFINITY;
-    let mut result = None;
     for _ in 0..runs {
         let t0 = Instant::now();
         let r = f();
         best = best.min(t0.elapsed().as_secs_f64());
-        result = Some(r);
+        drop(r);
     }
-    (best, result.expect("at least one run"))
+    let before = allocation_count();
+    let result = f();
+    (best, allocation_count() - before, result)
 }
 
 fn stage_outputs(
@@ -66,15 +114,104 @@ fn stage_outputs(
     (recon, table, eval)
 }
 
+/// The PR 2 reconstruction storage, verbatim: one boxed `CountryVec`
+/// per video, three temporaries per inversion.
+fn legacy_reconstruct(clean: &CleanDataset, traffic: &GeoDist) -> Vec<CountryVec> {
+    clean
+        .iter()
+        .map(|v| {
+            let intensities = v.popularity.as_country_vec();
+            let weighted = intensities.hadamard(traffic.as_vec()).expect("same world");
+            let mass = weighted.sum();
+            weighted.scaled(v.total_views as f64 / mass)
+        })
+        .collect()
+}
+
+/// The PR 2 aggregation storage, verbatim: a full-vocabulary
+/// `Vec<Option<CountryVec>>` with one boxed row per populated tag.
+fn legacy_aggregate(
+    clean: &CleanDataset,
+    views: &[CountryVec],
+) -> (Vec<Option<CountryVec>>, Vec<usize>) {
+    let country_count = clean.country_count();
+    let mut rows: Vec<Option<CountryVec>> = vec![None; clean.tags().len()];
+    let mut counts = vec![0usize; clean.tags().len()];
+    for (pos, video) in clean.iter().enumerate() {
+        for &tag in &video.tags {
+            let row = rows[tag.index()].get_or_insert_with(|| CountryVec::zeros(country_count));
+            row.accumulate(&views[pos]).expect("same world");
+            counts[tag.index()] += 1;
+        }
+    }
+    (rows, counts)
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// True when the working tree differs from `git_commit()` — the
+/// committed hash alone would misattribute numbers measured on
+/// uncommitted code.
+fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .is_none_or(|out| !out.stdout.is_empty())
+}
+
+/// `combined_seconds.threads_1` from the committed PR 2 baseline.
+fn pr2_combined_threads_1() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_PR2.json").ok()?;
+    let line = text.lines().find(|l| l.contains("\"combined_seconds\""))?;
+    let rest = &line[line.find("\"threads_1\":")? + "\"threads_1\":".len()..];
+    let number: String = rest
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    number.parse().ok()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    let mut smoke = false;
+    let mut out_arg: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_arg = Some(arg);
+        }
+    }
+    let out_path = out_arg.unwrap_or_else(|| {
+        if smoke {
+            "bench-smoke.json".to_owned()
+        } else {
+            "BENCH_PR3.json".to_owned()
+        }
+    });
+    let runs = if smoke { 1 } else { 3 };
 
     // Shared setup (not part of any measurement): the default-scale
-    // world, crawled and filtered exactly as `Study::try_run` does.
-    let world = WorldConfig::default();
+    // world — or the tiny test world under --smoke — crawled and
+    // filtered exactly as `Study::try_run` does.
+    let world = if smoke {
+        WorldConfig::tiny()
+    } else {
+        WorldConfig::default()
+    };
     let videos_config = world.videos;
+    let world_seed = world.seed;
     eprintln!("generating {videos_config}-video world + crawl (one-time setup)...");
     let platform = Platform::generate(world);
     let outcome = crawl_parallel(&platform, &CrawlConfig::default());
@@ -88,54 +225,103 @@ fn main() {
     );
 
     let mut samples: Vec<Sample> = Vec::new();
-    let mut reference: Option<(Reconstruction, TagViewTable, PredictionEvaluation)> = None;
-    let mut identical = true;
-
     for threads in THREAD_COUNTS {
         std::env::set_var(THREADS_ENV, threads.to_string());
         assert_eq!(Pool::from_env().threads(), threads);
 
-        let (secs, recon) = timed(RUNS, || {
+        let (secs, allocs, recon) = measured(runs, || {
             Reconstruction::compute(&clean, traffic).expect("corpus carries views")
         });
+        eprintln!("reconstruction_compute @ {threads} threads: {secs:.3}s, {allocs} allocations");
         samples.push(Sample {
             stage: "reconstruction_compute",
             threads,
             seconds: secs,
+            allocations: allocs,
         });
-        eprintln!("reconstruction_compute @ {threads} threads: {secs:.3}s");
 
-        let (secs, table) = timed(RUNS, || TagViewTable::aggregate(&clean, &recon));
+        let (secs, allocs, table) = measured(runs, || TagViewTable::aggregate(&clean, &recon));
+        eprintln!("tag_aggregate          @ {threads} threads: {secs:.3}s, {allocs} allocations");
         samples.push(Sample {
             stage: "tag_aggregate",
             threads,
             seconds: secs,
+            allocations: allocs,
         });
-        eprintln!("tag_aggregate          @ {threads} threads: {secs:.3}s");
 
-        let (secs, _eval) = timed(RUNS, || {
+        let (secs, allocs, _eval) = measured(runs, || {
             PredictionEvaluation::evaluate(&clean, &recon, &table, traffic)
         });
+        eprintln!("e6_evaluate            @ {threads} threads: {secs:.3}s, {allocs} allocations");
         samples.push(Sample {
             stage: "e6_evaluate",
             threads,
             seconds: secs,
+            allocations: allocs,
         });
-        eprintln!("e6_evaluate            @ {threads} threads: {secs:.3}s");
+    }
 
-        // The determinism contract, enforced on the real corpus: every
-        // stage's output must be identical at every thread count.
+    // The determinism contract, enforced on the real corpus: every
+    // stage's output — and the rendered E6 report bytes — must be
+    // identical at every thread count, including counts above the
+    // timing sweep.
+    let mut identical = true;
+    let mut reference: Option<(Reconstruction, TagViewTable, PredictionEvaluation, String)> = None;
+    for threads in IDENTITY_THREADS {
+        std::env::set_var(THREADS_ENV, threads.to_string());
+        let (r, t, e) = stage_outputs(&clean, traffic);
+        let rendered = e.to_string();
         match &reference {
-            None => reference = Some(stage_outputs(&clean, traffic)),
-            Some((r0, t0, e0)) => {
-                let (r, t, e) = stage_outputs(&clean, traffic);
-                identical &= *r0 == r && *t0 == t && *e0 == e;
+            None => reference = Some((r, t, e, rendered)),
+            Some((r0, t0, e0, s0)) => {
+                identical &= *r0 == r && *t0 == t && *e0 == e && *s0 == rendered;
             }
         }
     }
-    std::env::remove_var(THREADS_ENV);
     assert!(identical, "outputs drifted across thread counts");
 
+    // The pre-columnar layouts, single-threaded, for the allocation
+    // comparison the PR is about.
+    std::env::set_var(THREADS_ENV, "1");
+    let (legacy_recon_secs, legacy_recon_allocs, legacy_views) =
+        measured(runs, || legacy_reconstruct(&clean, traffic));
+    eprintln!(
+        "legacy reconstruction  @ 1 threads: {legacy_recon_secs:.3}s, \
+         {legacy_recon_allocs} allocations"
+    );
+    let (legacy_agg_secs, legacy_agg_allocs, (legacy_rows, _)) =
+        measured(runs, || legacy_aggregate(&clean, &legacy_views));
+    eprintln!(
+        "legacy aggregation     @ 1 threads: {legacy_agg_secs:.3}s, \
+         {legacy_agg_allocs} allocations"
+    );
+    std::env::remove_var(THREADS_ENV);
+
+    // The whole point of the storage swap: same bits, fewer boxes.
+    // Both stages reproduce the boxed layouts' outputs exactly.
+    let (recon0, table0, ..) = reference.as_ref().expect("identity sweep ran");
+    for (pos, row) in legacy_views.iter().enumerate() {
+        assert_eq!(
+            recon0.views(pos),
+            Some(row.as_slice()),
+            "columnar reconstruction drifted from the boxed layout at video {pos}"
+        );
+    }
+    for (index, row) in legacy_rows.iter().enumerate() {
+        assert_eq!(
+            table0.views(TagId::from_index(index)),
+            row.as_ref().map(CountryVec::as_slice),
+            "columnar aggregate drifted from the boxed layout at tag {index}"
+        );
+    }
+    eprintln!("columnar outputs match the boxed layouts bit for bit");
+
+    let find = |stage: &str, threads: usize| -> &Sample {
+        samples
+            .iter()
+            .find(|s| s.stage == stage && s.threads == threads)
+            .expect("stage was measured")
+    };
     let total = |threads: usize| -> f64 {
         samples
             .iter()
@@ -143,15 +329,42 @@ fn main() {
             .map(|s| s.seconds)
             .sum()
     };
-    let combined_speedup = total(1) / total(4).max(f64::EPSILON);
+    let drop_ratio = |legacy: u64, new: u64| legacy as f64 / new.max(1) as f64;
+    let recon_drop = drop_ratio(
+        legacy_recon_allocs,
+        find("reconstruction_compute", 1).allocations,
+    );
+    let agg_drop = drop_ratio(legacy_agg_allocs, find("tag_aggregate", 1).allocations);
+    eprintln!("allocation drop: reconstruction {recon_drop:.1}x, aggregation {agg_drop:.1}x");
+
+    let baseline_pr2 = if smoke {
+        None
+    } else {
+        pr2_combined_threads_1()
+    };
+    let speedup_vs_pr2 = baseline_pr2.map(|b| b / total(1).max(f64::EPSILON));
+    if let Some(s) = speedup_vs_pr2 {
+        eprintln!(
+            "single-thread combined: {:.3}s vs PR 2 baseline {:.3}s — {s:.2}x",
+            total(1),
+            baseline_pr2.unwrap_or(0.0)
+        );
+    }
     let host = available_threads();
-    eprintln!("combined speedup at 4 threads: {combined_speedup:.2}x (host has {host} hardware thread(s))");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 2,");
-    let _ = writeln!(json, "  \"runs_per_stage\": {RUNS},");
+    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"runs_per_stage\": {runs},");
     let _ = writeln!(json, "  \"host_available_threads\": {host},");
+    let _ = writeln!(json, "  \"provenance\": {{");
+    let _ = writeln!(json, "    \"git_commit\": \"{}\",", git_commit());
+    let _ = writeln!(json, "    \"git_worktree_dirty\": {},", git_dirty());
+    let _ = writeln!(json, "    \"world_seed\": {world_seed},");
+    let _ = writeln!(json, "    \"videos_configured\": {videos_config},");
+    let _ = writeln!(json, "    \"allocation_counter\": true");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"corpus\": {{");
     let _ = writeln!(json, "    \"videos_configured\": {videos_config},");
     let _ = writeln!(json, "    \"videos_crawled\": {},", outcome.stats.fetched);
@@ -164,22 +377,50 @@ fn main() {
         let comma = if i + 1 == samples.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"threads\": {}, \"seconds\": {:.6} }}{comma}",
-            s.stage, s.threads, s.seconds
+            "    {{ \"name\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
+             \"allocations\": {} }}{comma}",
+            s.stage, s.threads, s.seconds, s.allocations
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"legacy_single_thread\": [");
     let _ = writeln!(
         json,
-        "  \"combined_seconds\": {{ \"threads_1\": {:.6}, \"threads_2\": {:.6}, \"threads_4\": {:.6} }},",
+        "    {{ \"name\": \"reconstruction_compute\", \"seconds\": {legacy_recon_secs:.6}, \
+         \"allocations\": {legacy_recon_allocs} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    {{ \"name\": \"tag_aggregate\", \"seconds\": {legacy_agg_secs:.6}, \
+         \"allocations\": {legacy_agg_allocs} }}"
+    );
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"allocation_drop\": {{ \"reconstruction_compute\": {recon_drop:.1}, \
+         \"tag_aggregate\": {agg_drop:.1} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"combined_seconds\": {{ \"threads_1\": {:.6}, \"threads_2\": {:.6}, \
+         \"threads_4\": {:.6} }},",
         total(1),
         total(2),
         total(4)
     );
-    let _ = writeln!(
-        json,
-        "  \"combined_speedup_4_threads\": {combined_speedup:.3},"
-    );
+    match (baseline_pr2, speedup_vs_pr2) {
+        (Some(b), Some(s)) => {
+            let _ = writeln!(
+                json,
+                "  \"baseline_pr2\": {{ \"combined_seconds_threads_1\": {b:.6} }},"
+            );
+            let _ = writeln!(json, "  \"speedup_vs_pr2_single_thread\": {s:.3},");
+        }
+        _ => {
+            let _ = writeln!(json, "  \"baseline_pr2\": null,");
+            let _ = writeln!(json, "  \"speedup_vs_pr2_single_thread\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"outputs_identical_across_threads\": {identical}");
     let _ = writeln!(json, "}}");
 

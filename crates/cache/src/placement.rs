@@ -13,7 +13,7 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tagdist_geo::{CountryId, GeoDist};
+use tagdist_geo::{CountryId, CountryMatrix, GeoDist};
 use tagdist_par::Pool;
 
 /// A static per-country cache assignment.
@@ -85,6 +85,27 @@ impl Placement {
         assert_eq!(predicted.len(), weights.len());
         Placement::from_scores(name, country_count, predicted.len(), capacity, |c, v| {
             predicted[v].prob(c) * weights[v]
+        })
+    }
+
+    /// [`predictive`](Placement::predictive) over a columnar
+    /// probability matrix (one normalized row per video) instead of a
+    /// slice of [`GeoDist`]s — the zero-copy path for matrix-backed
+    /// prediction pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `weights` disagree on the video count.
+    pub fn predictive_rows(
+        name: impl Into<String>,
+        country_count: usize,
+        capacity: usize,
+        rows: &CountryMatrix,
+        weights: &[f64],
+    ) -> Placement {
+        assert_eq!(rows.rows(), weights.len());
+        Placement::from_scores(name, country_count, rows.rows(), capacity, |c, v| {
+            rows.row(v)[c.index()] * weights[v]
         })
     }
 
@@ -203,6 +224,27 @@ mod tests {
         let predicted = vec![d(&[0.9, 0.1]), d(&[0.6, 0.4])];
         let p = Placement::predictive("tags", 2, 1, &predicted, &[1.0, 100.0]);
         assert!(p.contains(c(0), 1), "views dominate the score");
+    }
+
+    #[test]
+    fn predictive_rows_matches_predictive() {
+        let predicted = vec![d(&[0.9, 0.1]), d(&[0.1, 0.9]), d(&[0.6, 0.4])];
+        let weights = [1.0, 2.0, 50.0];
+        let mut rows = CountryMatrix::zeros(3, 2);
+        for (v, dist) in predicted.iter().enumerate() {
+            rows.row_mut(v).copy_from_slice(dist.as_vec().as_slice());
+        }
+        for capacity in [0, 1, 2, 3] {
+            let by_dist = Placement::predictive("tags", 2, capacity, &predicted, &weights);
+            let by_rows = Placement::predictive_rows("tags", 2, capacity, &rows, &weights);
+            for country in 0..2 {
+                assert_eq!(
+                    by_dist.cached(c(country)),
+                    by_rows.cached(c(country)),
+                    "capacity {capacity}, country {country}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! tables — country code, value, and a proportional bar — which carry
 //! the figures' information content (who is dark, who is light).
 
-use tagdist_geo::{world, CountryVec, GeoDist, PopularityVector, MAX_INTENSITY};
+use tagdist_geo::{world, GeoDist, PopularityVector, MAX_INTENSITY};
 
 /// Width of the bar column in characters.
 const BAR_WIDTH: usize = 40;
@@ -75,13 +75,26 @@ pub fn render_distribution(dist: &GeoDist, top: usize) -> String {
     out
 }
 
-/// Renders a raw per-country vector with absolute values (e.g.
-/// reconstructed view counts).
-pub fn render_views(views: &CountryVec, top: usize) -> String {
+/// Renders a raw per-country row with absolute values (e.g.
+/// reconstructed view counts, borrowed straight from a
+/// [`CountryMatrix`](tagdist_geo::CountryMatrix) row or
+/// [`CountryVec::as_slice`]).
+pub fn render_views(views: &[f64], top: usize) -> String {
     let registry = world();
-    let max = views.max().unwrap_or(0.0).max(f64::MIN_POSITIVE);
+    let max = views
+        .iter()
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max)
+        .max(f64::MIN_POSITIVE);
     let mut out = String::new();
-    for (id, value) in views.top_k(top) {
+    let pairs: Vec<(tagdist_geo::CountryId, f64)> = views
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (tagdist_geo::CountryId::from_index(i), v))
+        .collect();
+    for (id, value) in
+        tagdist_geo::top_k_by(pairs, top, |a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)))
+    {
         if value <= 0.0 {
             break;
         }
@@ -99,7 +112,7 @@ pub fn render_views(views: &CountryVec, top: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tagdist_geo::CountryId;
+    use tagdist_geo::{CountryId, CountryVec};
 
     #[test]
     fn popularity_map_lists_hot_countries_in_order() {
@@ -132,7 +145,7 @@ mod tests {
     fn views_render_formats_counts() {
         let mut views = CountryVec::zeros(world().len());
         views[CountryId::from_index(0)] = 1_234_567.0;
-        let text = render_views(&views, 3);
+        let text = render_views(views.as_slice(), 3);
         assert!(text.contains("US"));
         assert!(text.contains("1234567"));
     }
@@ -150,6 +163,6 @@ mod tests {
         let dark = PopularityVector::from_raw(vec![0; world().len()]).unwrap();
         assert!(render_popularity_map(&dark, 10).is_empty());
         let zero = CountryVec::zeros(world().len());
-        assert!(render_views(&zero, 10).is_empty());
+        assert!(render_views(zero.as_slice(), 10).is_empty());
     }
 }

@@ -10,7 +10,6 @@
 use std::fmt::Write as _;
 
 use tagdist_cache::{run_static, Placement, RequestStream};
-use tagdist_geo::GeoDist;
 use tagdist_tags::Predictor;
 
 use crate::render::render_distribution;
@@ -145,26 +144,34 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
         let weights = study.view_weights();
         let stream = RequestStream::generate(&truth, &weights, options.requests, 2014);
         let predictor = Predictor::new(study.tag_table(), study.traffic());
-        // Per-video prediction over the pool, one reusable mixture
-        // buffer per chunk; order and values match the serial map.
-        let predicted: Vec<GeoDist> = tagdist_par::Pool::from_env()
-            .par_chunks(study.clean().as_slice(), |start, chunk| {
-                let mut mix = tagdist_geo::CountryVec::zeros(study.tag_table().country_count());
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(offset, v)| {
-                        let own = study.reconstruction().views(start + offset);
-                        predictor
-                            .predict_into(&v.tags, own, &mut mix)
-                            .unwrap_or_else(|_| study.traffic().clone())
-                    })
-                    .collect::<Vec<GeoDist>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        // Per-video predictions land as normalized rows of one
+        // contiguous matrix: chunked over the pool, each chunk writes a
+        // flat block (predict_probs_into, no per-video allocation),
+        // blocks copied back in corpus order.
         let countries = study.world().len();
+        let predicted = {
+            let blocks = tagdist_par::Pool::from_env().par_chunks(
+                study.clean().as_slice(),
+                |start, chunk| {
+                    let mut block = vec![0.0; chunk.len() * countries];
+                    for (offset, v) in chunk.iter().enumerate() {
+                        let own = study.reconstruction().views(start + offset);
+                        let row = &mut block[offset * countries..(offset + 1) * countries];
+                        predictor.predict_probs_into(&v.tags, own, row);
+                    }
+                    block
+                },
+            );
+            let mut matrix = tagdist_geo::CountryMatrix::zeros(study.clean().len(), countries);
+            let mut next = 0;
+            for block in blocks {
+                for row in block.chunks_exact(countries) {
+                    matrix.row_mut(next).copy_from_slice(row);
+                    next += 1;
+                }
+            }
+            matrix
+        };
         writeln!(w, "| capacity | oracle | tag-proactive | geo-blind |")?;
         writeln!(w, "|---:|---:|---:|---:|")?;
         for &frac in &options.capacities {
@@ -176,7 +183,7 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
                 rate(&Placement::predictive(
                     "oracle", countries, cap, &truth, &weights
                 )),
-                rate(&Placement::predictive(
+                rate(&Placement::predictive_rows(
                     "tags", countries, cap, &predicted, &weights
                 )),
                 rate(&Placement::geo_blind(countries, cap, &weights)),

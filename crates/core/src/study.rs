@@ -335,7 +335,7 @@ impl Study {
         // and values match the serial map at any thread count.
         let estimate: Vec<GeoDist> = tagdist_par::Pool::from_env()
             .par_chunks(self.clean.as_slice(), |start, chunk| {
-                let mut mix = tagdist_geo::CountryVec::zeros(self.tag_table.country_count());
+                let mut mix = vec![0.0; self.tag_table.country_count()];
                 chunk
                     .iter()
                     .enumerate()
@@ -364,17 +364,19 @@ impl Study {
         reason = "documented # Panics contract; retained videos were crawled from this platform"
     )]
     pub fn sensitivity(&self) -> Sensitivity {
-        let truth_views: Vec<_> = self
-            .clean
-            .iter()
-            .map(|v| {
-                self.platform
-                    .ground_truth(&v.key)
-                    .expect("crawled videos exist on the platform")
-                    .views_by_country
-                    .clone()
-            })
-            .collect();
+        // One contiguous matrix of ground-truth rows (no per-video
+        // clones): copy each platform vector into its row slot.
+        let countries = self.traffic.distribution().len();
+        let mut truth_views = tagdist_geo::CountryMatrix::zeros(self.clean.len(), countries);
+        for (pos, v) in self.clean.iter().enumerate() {
+            let truth = self
+                .platform
+                .ground_truth(&v.key)
+                .expect("crawled videos exist on the platform");
+            truth_views
+                .row_mut(pos)
+                .copy_from_slice(truth.views_by_country.as_slice());
+        }
         Sensitivity::analyze(&truth_views, self.traffic.distribution())
             .expect("non-empty study datasets decompose")
     }

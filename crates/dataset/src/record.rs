@@ -16,7 +16,16 @@ pub struct VideoId(u32);
 
 impl VideoId {
     /// Creates a video id from a raw dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — a silent `as` cast here
+    /// would wrap and alias two videos under one id.
     pub fn from_index(index: usize) -> VideoId {
+        assert!(
+            u32::try_from(index).is_ok(),
+            "video index {index} overflows the u32 id space"
+        );
         VideoId(index as u32)
     }
 
@@ -191,5 +200,17 @@ mod tests {
     #[test]
     fn video_id_display() {
         assert_eq!(VideoId::from_index(5).to_string(), "v5");
+    }
+
+    #[test]
+    fn video_id_round_trips_at_the_u32_boundary() {
+        let max = u32::MAX as usize;
+        assert_eq!(VideoId::from_index(max).index(), max);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u32 id space")]
+    fn video_id_overflow_panics_instead_of_wrapping() {
+        let _ = VideoId::from_index(u32::MAX as usize + 1);
     }
 }

@@ -17,7 +17,16 @@ pub struct TagId(u32);
 
 impl TagId {
     /// Creates a tag id from a raw dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — a silent `as` cast here
+    /// would wrap and alias two tags under one id.
     pub fn from_index(index: usize) -> TagId {
+        assert!(
+            u32::try_from(index).is_ok(),
+            "tag index {index} overflows the u32 id space"
+        );
         TagId(index as u32)
     }
 
@@ -124,6 +133,18 @@ impl TagInterner {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tag_id_round_trips_at_the_u32_boundary() {
+        let max = u32::MAX as usize;
+        assert_eq!(TagId::from_index(max).index(), max);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u32 id space")]
+    fn tag_id_overflow_panics_instead_of_wrapping() {
+        let _ = TagId::from_index(u32::MAX as usize + 1);
+    }
 
     #[test]
     fn intern_is_idempotent() {

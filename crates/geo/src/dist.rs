@@ -48,20 +48,31 @@ impl GeoDist {
     ///   infinite.
     /// * [`GeoError::ZeroMass`] if all entries are zero.
     pub fn from_counts(counts: &CountryVec) -> Result<GeoDist, GeoError> {
-        for (id, v) in counts.iter() {
-            if !v.is_finite() || v < 0.0 {
-                return Err(GeoError::InvalidValue {
-                    index: id.index(),
-                    value: v,
-                });
+        GeoDist::from_slice(counts.as_slice())
+    }
+
+    /// Normalizes a non-negative slice of counts into a distribution —
+    /// the borrowing twin of [`from_counts`](GeoDist::from_counts),
+    /// for [`CountryMatrix`](crate::CountryMatrix) rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`GeoError::InvalidValue`] if any entry is negative, NaN or
+    ///   infinite.
+    /// * [`GeoError::ZeroMass`] if all entries are zero.
+    pub fn from_slice(counts: &[f64]) -> Result<GeoDist, GeoError> {
+        for (index, &value) in counts.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(GeoError::InvalidValue { index, value });
             }
         }
-        let total = counts.sum();
+        let total = crate::kernel::sum(counts);
         if total <= 0.0 || !total.is_finite() {
             return Err(GeoError::ZeroMass);
         }
+        let inv = 1.0 / total;
         Ok(GeoDist {
-            probs: counts.scaled(1.0 / total),
+            probs: counts.iter().map(|&v| v * inv).collect(),
         })
     }
 
@@ -232,23 +243,7 @@ impl GeoDist {
     ///
     /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
     pub fn js_divergence(&self, other: &GeoDist) -> Result<f64, GeoError> {
-        if self.len() != other.len() {
-            return Err(GeoError::LengthMismatch {
-                left: self.len(),
-                right: other.len(),
-            });
-        }
-        let mut js = 0.0;
-        for (p, q) in self.probs.as_slice().iter().zip(other.probs.as_slice()) {
-            let m = 0.5 * (p + q);
-            if *p > 0.0 {
-                js += 0.5 * p * (p / m).log2();
-            }
-            if *q > 0.0 {
-                js += 0.5 * q * (q / m).log2();
-            }
-        }
-        Ok(js.clamp(0.0, 1.0))
+        js_divergence_probs(self.probs.as_slice(), other.probs.as_slice())
     }
 
     /// Total-variation distance `½ Σ|p−q|` in `[0, 1]`.
@@ -347,6 +342,36 @@ impl GeoDist {
         }
         CountryId::from_index(self.len() - 1)
     }
+}
+
+/// Jensen–Shannon divergence in bits between two probability rows
+/// given as raw slices — the allocation-free twin of
+/// [`GeoDist::js_divergence`] (which delegates here), for scoring
+/// loops that keep normalized rows in scratch buffers or
+/// [`CountryMatrix`](crate::CountryMatrix) rows. The caller is
+/// responsible for `p` and `q` actually being distributions.
+///
+/// # Errors
+///
+/// Returns [`GeoError::LengthMismatch`] if the lengths differ.
+pub fn js_divergence_probs(p: &[f64], q: &[f64]) -> Result<f64, GeoError> {
+    if p.len() != q.len() {
+        return Err(GeoError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    let mut js = 0.0;
+    for (p, q) in p.iter().zip(q) {
+        let m = 0.5 * (p + q);
+        if *p > 0.0 {
+            js += 0.5 * p * (p / m).log2();
+        }
+        if *q > 0.0 {
+            js += 0.5 * q * (q / m).log2();
+        }
+    }
+    Ok(js.clamp(0.0, 1.0))
 }
 
 #[cfg(test)]

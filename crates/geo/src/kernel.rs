@@ -1,0 +1,140 @@
+//! Unrolled in-place slice kernels for per-country rows.
+//!
+//! The columnar pipeline stores dense per-country data as rows of a
+//! [`CountryMatrix`](crate::CountryMatrix) and mutates them through
+//! these free functions instead of per-element loops over boxed
+//! `CountryVec`s. Every kernel except [`sum`] is element-wise (no
+//! reduction), so element `i` of the output depends only on element
+//! `i` of the inputs: applying the kernels in any per-row schedule
+//! produces the same floating-point rounding per element. That is the
+//! property the deterministic shard merges of the Eq. 3 aggregation
+//! rely on. [`sum`] is the one reduction and is strictly sequential,
+//! left to right, matching `CountryVec::sum` bit for bit.
+//!
+//! All two-slice kernels require equal lengths: a mismatch panics in
+//! debug builds and ignores the excess tail of the longer slice in
+//! release builds (country rows always share one world size, enforced
+//! at matrix construction).
+
+/// `dst[i] += src[i]`, unrolled by four.
+pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len(), "kernel length mismatch");
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (a, b) in d.by_ref().zip(s.by_ref()) {
+        a[0] += b[0];
+        a[1] += b[1];
+        a[2] += b[2];
+        a[3] += b[3];
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a += *b;
+    }
+}
+
+/// `dst[i] += a * x[i]`, unrolled by four (the BLAS `axpy`).
+pub fn axpy(dst: &mut [f64], a: f64, x: &[f64]) {
+    debug_assert_eq!(dst.len(), x.len(), "kernel length mismatch");
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = x.chunks_exact(4);
+    for (o, b) in d.by_ref().zip(s.by_ref()) {
+        o[0] += a * b[0];
+        o[1] += a * b[1];
+        o[2] += a * b[2];
+        o[3] += a * b[3];
+    }
+    for (o, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *o += a * *b;
+    }
+}
+
+/// `dst[i] *= factor`, unrolled by four.
+pub fn scale(dst: &mut [f64], factor: f64) {
+    let mut d = dst.chunks_exact_mut(4);
+    for c in d.by_ref() {
+        c[0] *= factor;
+        c[1] *= factor;
+        c[2] *= factor;
+        c[3] *= factor;
+    }
+    for v in d.into_remainder() {
+        *v *= factor;
+    }
+}
+
+/// `dst[i] += max(views[i] − own[i], 0.0)` — the leave-one-out
+/// accumulation of the tag predictor, clamping the tiny negative
+/// residues quantization can leave.
+pub fn add_clamped_diff(dst: &mut [f64], views: &[f64], own: &[f64]) {
+    debug_assert_eq!(dst.len(), views.len(), "kernel length mismatch");
+    debug_assert_eq!(dst.len(), own.len(), "kernel length mismatch");
+    for ((d, &v), &o) in dst.iter_mut().zip(views).zip(own) {
+        *d += (v - o).max(0.0);
+    }
+}
+
+/// Strictly sequential left-to-right sum (bit-identical to
+/// `CountryVec::sum`; deliberately *not* unrolled, because changing
+/// the reduction order changes the rounding).
+pub fn sum(values: &[f64]) -> f64 {
+    values.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_matches_scalar_loop_at_every_length() {
+        for n in 0..23 {
+            let mut dst: Vec<f64> = (0..n).map(|i| i as f64 * 0.3).collect();
+            let src: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.7).collect();
+            let mut expected = dst.clone();
+            for (a, b) in expected.iter_mut().zip(&src) {
+                *a += *b;
+            }
+            add_assign(&mut dst, &src);
+            assert_eq!(dst, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop_at_every_length() {
+        for n in 0..23 {
+            let mut dst: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let x: Vec<f64> = (0..n).map(|i| 0.1 + i as f64).collect();
+            let mut expected = dst.clone();
+            for (a, b) in expected.iter_mut().zip(&x) {
+                *a += 2.5 * *b;
+            }
+            axpy(&mut dst, 2.5, &x);
+            assert_eq!(dst, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scale_matches_scalar_loop_at_every_length() {
+        for n in 0..23 {
+            let mut dst: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+            let expected: Vec<f64> = dst.iter().map(|v| v * 0.25).collect();
+            scale(&mut dst, 0.25);
+            assert_eq!(dst, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn add_clamped_diff_clamps_negative_residues() {
+        let mut dst = vec![1.0, 1.0, 1.0];
+        add_clamped_diff(&mut dst, &[5.0, 2.0, 3.0], &[2.0, 4.0, 3.0]);
+        assert_eq!(dst, vec![4.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sum_is_sequential_left_to_right() {
+        // A deliberately ill-conditioned sum: the sequential order is
+        // the contract, so the result must equal the iterator fold.
+        let values = vec![1e16, 1.0, -1e16, 1.0];
+        assert_eq!(sum(&values), values.iter().sum::<f64>());
+        assert_eq!(sum(&[]), 0.0);
+    }
+}

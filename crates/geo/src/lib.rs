@@ -8,6 +8,10 @@
 //!   models, addressed by the compact [`CountryId`] index,
 //! * [`CountryVec`], a dense per-country vector of `f64` values (view
 //!   counts, traffic shares, intensities, …),
+//! * [`CountryMatrix`], the contiguous row-major matrix backing
+//!   corpus-scale collections of such vectors (one row per video or
+//!   tag), with the element-wise [`kernel`] functions that mutate its
+//!   rows deterministically,
 //! * [`GeoDist`], a validated probability distribution over countries,
 //!   together with the spread and divergence measures used throughout
 //!   the paper's analysis (entropy, Gini, Jensen–Shannon, …),
@@ -51,16 +55,21 @@ pub mod country;
 pub mod dist;
 pub mod error;
 pub mod float;
+pub mod kernel;
 pub mod latency;
 pub mod mapchart;
+pub mod matrix;
+pub mod select;
 pub mod traffic;
 pub mod vec;
 
 pub use country::{world, Country, CountryId, Region, World};
-pub use dist::GeoDist;
+pub use dist::{js_divergence_probs, GeoDist};
 pub use error::GeoError;
 pub use float::{approx_eq, approx_zero, DEFAULT_EPSILON};
 pub use latency::LatencyModel;
 pub use mapchart::{PopularityVector, MAX_INTENSITY};
+pub use matrix::CountryMatrix;
+pub use select::top_k_by;
 pub use traffic::TrafficModel;
 pub use vec::CountryVec;

@@ -1,0 +1,65 @@
+//! Partial-selection top-k: `sort + truncate(k)` without sorting the
+//! tail.
+//!
+//! The geographic tag index ranks ~84k scored tags per country but
+//! keeps only the top handful. A full `sort_by` pays `O(n log n)` for
+//! entries that are immediately discarded; [`top_k_by`] instead
+//! partitions with `select_nth_unstable_by` in `O(n)` and sorts only
+//! the `k` winners.
+
+use core::cmp::Ordering;
+
+/// Returns the `k` elements that would lead `items` after
+/// `items.sort_by(cmp)`, in sorted order.
+///
+/// When `cmp` is a **total order** (antisymmetric and transitive — in
+/// this codebase always guaranteed by a unique-id tiebreak), the result
+/// is element-for-element identical to
+/// `items.sort_by(cmp); items.truncate(k)`: the selection step places
+/// exactly the `k` front elements (in arbitrary order) before the
+/// partition point, and sorting those `k` restores the unique prefix
+/// of the total order, ties included.
+pub fn top_k_by<T, F>(mut items: Vec<T>, k: usize, mut cmp: F) -> Vec<T>
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    if k == 0 {
+        items.clear();
+        return items;
+    }
+    if k < items.len() {
+        items.select_nth_unstable_by(k - 1, &mut cmp);
+        items.truncate(k);
+    }
+    items.sort_by(cmp);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_sort(mut items: Vec<(u32, f64)>, k: usize) -> Vec<(u32, f64)> {
+        items.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        items.truncate(k);
+        items
+    }
+
+    #[test]
+    fn matches_full_sort_including_ties() {
+        // Repeated scores force the tiebreak to decide membership.
+        let items: Vec<(u32, f64)> = (0..200u32).map(|i| (i, f64::from(i % 7))).collect();
+        for k in [0, 1, 3, 7, 50, 199, 200, 500] {
+            let fast = top_k_by(items.clone(), k, |a, b| {
+                b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+            });
+            assert_eq!(fast, full_sort(items.clone(), k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_input() {
+        assert!(top_k_by(vec![(1u32, 1.0)], 0, |a, b| a.0.cmp(&b.0)).is_empty());
+        assert!(top_k_by(Vec::<(u32, f64)>::new(), 5, |a, b| a.0.cmp(&b.0)).is_empty());
+    }
+}

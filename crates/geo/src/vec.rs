@@ -89,6 +89,13 @@ impl CountryVec {
         &self.values
     }
 
+    /// Mutable view of the raw values, in [`CountryId`] order — the
+    /// entry point for the element-wise [`kernel`](crate::kernel)
+    /// functions.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// Consumes the vector and returns the raw values.
     pub fn into_values(self) -> Vec<f64> {
         self.values
@@ -136,14 +143,8 @@ impl CountryVec {
     /// The `k` countries with the largest values, descending, ties
     /// broken by id order.
     pub fn top_k(&self, k: usize) -> Vec<(CountryId, f64)> {
-        let mut pairs: Vec<(CountryId, f64)> = self.iter().collect();
-        pairs.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(core::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        pairs.truncate(k);
-        pairs
+        let pairs: Vec<(CountryId, f64)> = self.iter().collect();
+        crate::select::top_k_by(pairs, k, |a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)))
     }
 
     /// Number of entries that are exactly zero.

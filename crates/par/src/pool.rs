@@ -190,6 +190,97 @@ impl Pool {
         reduce_in_tree(accs, merge).unwrap_or_else(init)
     }
 
+    /// Writes results *in place*: tiles `items` into chunks under the
+    /// length-only policy, pairs each input chunk with the matching
+    /// `stride`-elements-per-item window of `out`, and applies `f` to
+    /// every `(start, input_chunk, output_chunk)` triple. Per-chunk
+    /// return values come back in chunk order.
+    ///
+    /// This is the engine for filling one large flat buffer (e.g. a
+    /// row-major matrix) without per-chunk result buffers and a
+    /// concatenation pass. Each output window is handed to exactly one
+    /// worker, so no synchronization guards the data itself; and since
+    /// every window's contents depend only on its input chunk, the
+    /// buffer is bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != items.len() * stride`, and propagates
+    /// the first panic raised by `f` on a worker thread.
+    pub fn par_fill<T, U, R, F>(&self, items: &[T], out: &mut [U], stride: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        U: Send,
+        R: Send,
+        F: Fn(usize, &[T], &mut [U]) -> R + Sync,
+    {
+        let n = items.len();
+        assert_eq!(
+            out.len(),
+            n * stride,
+            "output buffer must hold {stride} elements per item"
+        );
+        let clen = chunk::chunk_len(n).max(1);
+        // `stride == 0` means every output window is empty; chunks_mut
+        // rejects a zero width, so hand out fresh empty slices instead.
+        let ochunks: Vec<&mut [U]> = if stride == 0 {
+            (0..n.div_ceil(clen)).map(|_| Default::default()).collect()
+        } else {
+            out.chunks_mut(clen * stride).collect()
+        };
+        if self.serial_for(n) {
+            return items
+                .chunks(clen)
+                .zip(ochunks)
+                .enumerate()
+                .map(|(c, (ichunk, ochunk))| f(c * clen, ichunk, ochunk))
+                .collect();
+        }
+        // Hand (input chunk, output window) pairs to workers through a
+        // queue: each pair is taken exactly once, so the disjoint
+        // `&mut` windows never alias. The lock is held only to pop the
+        // next pair (a few dozen acquisitions total).
+        let triples: Vec<(usize, &[T], &mut [U])> = items
+            .chunks(clen)
+            .zip(ochunks)
+            .enumerate()
+            .map(|(c, (ichunk, ochunk))| (c, ichunk, ochunk))
+            .collect();
+        let nchunks = triples.len();
+        let workers = self.threads.min(nchunks);
+        let queue = std::sync::Mutex::new(triples.into_iter());
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let next = queue
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .next();
+                            let Some((c, ichunk, ochunk)) = next else {
+                                break;
+                            };
+                            done.push((c, f(c * clen, ichunk, ochunk)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(nchunks);
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => all.extend(done),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
+        });
+        tagged.sort_unstable_by_key(|&(c, _)| c);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
     /// True when a length-`n` input should skip the fan-out entirely.
     fn serial_for(&self, n: usize) -> bool {
         self.threads == 1 || n <= chunk::MIN_CHUNK
@@ -441,5 +532,58 @@ mod tests {
         assert_eq!(parse(" 6 "), 6);
         assert_eq!(parse("0"), available_threads());
         assert_eq!(parse("lots"), available_threads());
+    }
+
+    #[test]
+    fn par_fill_tiles_the_output_in_place() {
+        let items: Vec<usize> = (0..500).collect();
+        let expected: Vec<usize> = items.iter().flat_map(|&i| [i, 10 * i]).collect();
+        for threads in [1, 2, 8] {
+            let mut out = vec![0usize; items.len() * 2];
+            let starts =
+                Pool::new(threads).par_fill(&items, &mut out, 2, |start, chunk, window| {
+                    for (j, &item) in chunk.iter().enumerate() {
+                        window[2 * j] = item;
+                        window[2 * j + 1] = 10 * item;
+                    }
+                    start
+                });
+            assert_eq!(out, expected, "threads={threads}");
+            assert!(starts.windows(2).all(|w| w[0] < w[1]), "chunk order");
+        }
+    }
+
+    #[test]
+    fn par_fill_handles_empty_and_zero_stride_inputs() {
+        let pool = Pool::new(4);
+        let mut out: Vec<u8> = Vec::new();
+        let results: Vec<usize> = pool.par_fill(&[0u8; 0], &mut out, 3, |_, _, _| 1);
+        assert!(results.is_empty());
+        // stride 0: every window is empty, but every chunk still runs.
+        let items = [1u8; 300];
+        let sizes = pool.par_fill(&items, &mut out, 0, |_, chunk, window: &mut [u8]| {
+            assert!(window.is_empty());
+            chunk.len()
+        });
+        assert_eq!(sizes.iter().sum::<usize>(), items.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "elements per item")]
+    fn par_fill_rejects_a_mis_sized_buffer() {
+        let mut out = vec![0u8; 5];
+        let _: Vec<()> = Pool::new(2).par_fill(&[1u8, 2], &mut out, 2, |_, _, _| ());
+    }
+
+    #[test]
+    fn par_fill_propagates_worker_panics() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let mut out = vec![0usize; items.len()];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<()> = Pool::new(4).par_fill(&items, &mut out, 1, |start, _, _| {
+                assert!(start < 5_000, "boom");
+            });
+        }));
+        assert!(caught.is_err());
     }
 }

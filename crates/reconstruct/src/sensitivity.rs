@@ -12,7 +12,7 @@
 //! leaves open: *which* approximation dominates the reconstruction
 //! error?
 
-use tagdist_geo::{CountryVec, GeoDist, GeoError, PopularityVector};
+use tagdist_geo::{approx_zero, kernel, CountryMatrix, CountryVec, GeoDist, GeoError};
 use tagdist_par::Pool;
 
 use crate::error::ErrorReport;
@@ -36,45 +36,48 @@ pub struct Sensitivity {
 }
 
 impl Sensitivity {
-    /// Analyzes a corpus of true per-country view vectors under the
-    /// estimated prior `est_traffic`.
+    /// Analyzes a corpus of true per-country view vectors (one matrix
+    /// row per video) under the estimated prior `est_traffic`.
     ///
     /// The true traffic is derived internally as the normalized sum of
-    /// `truth_views` (exactly how the synthetic platform defines
-    /// `ytube` in Eq. 1).
+    /// the `truth_views` rows (exactly how the synthetic platform
+    /// defines `ytube` in Eq. 1).
     ///
     /// # Errors
     ///
-    /// * [`GeoError::ZeroMass`] if `truth_views` is empty, carries no
-    ///   views, or contains an all-zero video.
-    /// * [`GeoError::LengthMismatch`] if vectors disagree on the world
-    ///   size.
+    /// * [`GeoError::ZeroMass`] if `truth_views` has no rows, carries
+    ///   no views, or contains an all-zero video.
+    /// * [`GeoError::LengthMismatch`] if `est_traffic` disagrees on
+    ///   the world size.
     pub fn analyze(
-        truth_views: &[CountryVec],
+        truth_views: &CountryMatrix,
         est_traffic: &GeoDist,
     ) -> Result<Sensitivity, GeoError> {
         if truth_views.is_empty() {
             return Err(GeoError::ZeroMass);
         }
         // True platform traffic: ytube[c] = Σ_v views(v)[c].
-        let mut ytube = CountryVec::zeros(truth_views[0].len());
-        for v in truth_views {
-            ytube.accumulate(v)?;
-        }
+        let ytube = truth_views.column_sums();
         let true_traffic = GeoDist::from_counts(&ytube)?;
         let prior_gap = true_traffic.js_divergence(est_traffic)?;
 
         // The per-video decompositions are independent: fan out over
         // the worker pool, results back in corpus order (any error
         // surfaces as the first failing video, as in the serial loop).
+        let rows: Vec<&[f64]> = truth_views.iter_rows().collect();
         let per_video = Pool::from_env()
-            .par_map(truth_views, |_, views| -> Result<_, GeoError> {
-                let total = views.sum().round().max(1.0) as u64;
-                let truth = GeoDist::from_counts(views)?;
+            .par_map(&rows, |_, views| -> Result<_, GeoError> {
+                let total = kernel::sum(views).round().max(1.0) as u64;
+                let truth = GeoDist::from_slice(views)?;
 
-                // Eq. 1 forward model.
-                let intensity = views.hadamard_div(&ytube)?;
-                let chart = PopularityVector::quantize(&intensity)?;
+                // Eq. 1 forward model (hadamard_div semantics: a zero
+                // traffic denominator yields zero intensity).
+                let intensity: CountryVec = views
+                    .iter()
+                    .zip(ytube.as_slice())
+                    .map(|(&v, &y)| if approx_zero(y) { 0.0 } else { v / y })
+                    .collect();
+                let chart = tagdist_geo::PopularityVector::quantize(&intensity)?;
 
                 // (a) quantized chart + true prior.
                 let v = reconstruct_views(&chart, total, &true_traffic)?;
@@ -119,25 +122,21 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    /// A corpus of `n` random view vectors over `k` countries.
-    fn corpus(n: usize, k: usize, seed: u64) -> Vec<CountryVec> {
+    /// A corpus of `n` random view rows over `k` countries.
+    fn corpus(n: usize, k: usize, seed: u64) -> CountryMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| {
-                let scale: f64 = 10f64.powf(rng.gen_range(2.0..6.0));
-                (0..k)
-                    .map(|_| rng.gen::<f64>().powi(3) * scale)
-                    .collect::<CountryVec>()
-            })
-            .collect()
+        let mut m = CountryMatrix::zeros(n, k);
+        for i in 0..n {
+            let scale: f64 = 10f64.powf(rng.gen_range(2.0..6.0));
+            for slot in m.row_mut(i) {
+                *slot = rng.gen::<f64>().powi(3) * scale;
+            }
+        }
+        m
     }
 
-    fn true_traffic(views: &[CountryVec]) -> GeoDist {
-        let mut ytube = CountryVec::zeros(views[0].len());
-        for v in views {
-            ytube.accumulate(v).unwrap();
-        }
-        GeoDist::from_counts(&ytube).unwrap()
+    fn true_traffic(views: &CountryMatrix) -> GeoDist {
+        GeoDist::from_counts(&views.column_sums()).unwrap()
     }
 
     #[test]
@@ -201,7 +200,10 @@ mod tests {
     #[test]
     fn empty_corpus_is_rejected() {
         let traffic = GeoDist::uniform(3);
-        assert_eq!(Sensitivity::analyze(&[], &traffic), Err(GeoError::ZeroMass));
+        assert_eq!(
+            Sensitivity::analyze(&CountryMatrix::zeros(0, 3), &traffic),
+            Err(GeoError::ZeroMass)
+        );
     }
 
     #[test]

@@ -1,56 +1,23 @@
-//! Per-tag view aggregation (Eq. 3).
+//! Per-tag view aggregation (Eq. 3), stored columnar.
 //!
 //! `views(t)[c] = Σ_{v ∈ videos(t)} views(v)[c]` — the quantity behind
 //! the paper's Figs. 2–3 and behind its proactive-caching conjecture.
+//!
+//! The folksonomy vocabulary is long-tailed: most interned tags carry
+//! no retained video at all. [`TagViewTable`] therefore stores the
+//! aggregates CSR-style — a full-width `row_of` spine maps every
+//! [`TagId`] to a compact row of one contiguous
+//! [`CountryMatrix`](tagdist_geo::CountryMatrix) holding only the tags
+//! that actually carry views, in `TagId` order (DESIGN.md §9).
 
 use tagdist_dataset::{CleanDataset, TagId};
-use tagdist_geo::{CountryVec, GeoDist, GeoError};
+use tagdist_geo::{kernel, top_k_by, CountryMatrix, GeoDist, GeoError};
 use tagdist_par::Pool;
 
 use crate::views::Reconstruction;
 
-/// One shard of the parallel Eq. 3 reduction: per-tag partial sums and
-/// video counts for a contiguous chunk of the dataset. Preallocated at
-/// full tag width so folding never reallocates the spine.
-struct TagShard {
-    rows: Vec<Option<CountryVec>>,
-    video_counts: Vec<usize>,
-}
-
-impl TagShard {
-    fn empty(tag_count: usize) -> TagShard {
-        TagShard {
-            rows: vec![None; tag_count],
-            video_counts: vec![0; tag_count],
-        }
-    }
-
-    /// Folds one video's reconstructed views into the shard.
-    fn add_video(&mut self, tags: &[TagId], views: &CountryVec, country_count: usize) {
-        for &tag in tags {
-            let row =
-                self.rows[tag.index()].get_or_insert_with(|| CountryVec::zeros(country_count));
-            *row += views;
-            self.video_counts[tag.index()] += 1;
-        }
-    }
-
-    /// Merges `other` into `self`, tag by tag in [`TagId`] order.
-    fn merge(mut self, other: TagShard) -> TagShard {
-        for (slot, incoming) in self.rows.iter_mut().zip(other.rows) {
-            if let Some(incoming) = incoming {
-                match slot {
-                    Some(row) => *row += &incoming,
-                    None => *slot = Some(incoming),
-                }
-            }
-        }
-        for (count, incoming) in self.video_counts.iter_mut().zip(other.video_counts) {
-            *count += incoming;
-        }
-        self
-    }
-}
+/// Spine sentinel: the tag has no retained videos, hence no row.
+const NO_ROW: u32 = u32::MAX;
 
 /// Aggregated per-country views for every tag of a filtered dataset.
 ///
@@ -74,21 +41,32 @@ impl TagShard {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TagViewTable {
-    /// Indexed by [`TagId`]; `None` for tags without retained videos.
-    rows: Vec<Option<CountryVec>>,
-    /// Number of retained videos carrying each tag.
-    video_counts: Vec<usize>,
+    /// Indexed by [`TagId`]: the tag's compact row index in `rows`,
+    /// or [`NO_ROW`] for tags without retained videos.
+    row_of: Vec<u32>,
+    /// Compact row → [`TagId`], ascending (row `r` aggregates tag
+    /// `tag_of_row[r]`).
+    tag_of_row: Vec<TagId>,
+    /// One contiguous `populated_tags × countries` matrix of Eq. 3
+    /// aggregates, rows in [`TagId`] order.
+    rows: CountryMatrix,
+    /// Indexed by [`TagId`]: retained videos carrying the tag.
+    video_counts: Vec<u32>,
     country_count: usize,
 }
 
 impl TagViewTable {
     /// Aggregates `recon` (aligned with `clean`) per tag.
     ///
-    /// The dataset is folded in chunks over the `TAGDIST_THREADS`
-    /// worker pool into per-shard `Vec<Option<CountryVec>>`
-    /// accumulators, merged deterministically in [`TagId`] order along
-    /// a chunk-ordered tree — the result is bit-identical at any
-    /// thread count.
+    /// A serial counting pass sizes the compact spine and inverts the
+    /// corpus into per-tag posting lists (which dataset positions
+    /// carry each tag, in dataset order); rows then compute
+    /// independently over the `TAGDIST_THREADS` worker pool, each row
+    /// the dataset-order sum of its postings' reconstructed rows.
+    /// Because a row's addition sequence is a pure function of the
+    /// corpus — no shards, no merges — the table is bit-identical at
+    /// any thread count *and* bit-identical to the serial boxed-row
+    /// build it replaced (see the test-only [`reference`] oracle).
     ///
     /// # Panics
     ///
@@ -116,19 +94,77 @@ impl TagViewTable {
         );
         let tag_count = clean.tags().len();
         let country_count = recon.country_count();
-        let videos = clean.as_slice();
-        let shard = pool.par_fold(
-            recon.as_rows(),
-            || TagShard::empty(tag_count),
-            |mut shard, pos, views| {
-                shard.add_video(&videos[pos].tags, views, country_count);
-                shard
-            },
-            TagShard::merge,
+
+        // Pass 1 (serial, O(tag occurrences)): per-tag video counts,
+        // from which the CSR spine follows — populated tags get
+        // compact rows in TagId order.
+        let mut video_counts = vec![0u32; tag_count];
+        for video in clean.iter() {
+            for &tag in &video.tags {
+                video_counts[tag.index()] += 1;
+            }
+        }
+        let mut row_of = vec![NO_ROW; tag_count];
+        let mut tag_of_row = Vec::new();
+        for (index, &count) in video_counts.iter().enumerate() {
+            if count > 0 {
+                row_of[index] = tag_of_row.len() as u32;
+                tag_of_row.push(TagId::from_index(index));
+            }
+        }
+        let populated = tag_of_row.len();
+
+        // Pass 2 (serial, O(tag occurrences)): invert the corpus into
+        // CSR posting lists — for each compact row, the dataset
+        // positions carrying its tag, in dataset order. Positions fit
+        // u32 because dataset positions are bounded by the VideoId
+        // space.
+        assert!(
+            u32::try_from(clean.len()).is_ok(),
+            "dataset position overflows the u32 posting space"
         );
+        let mut offsets = vec![0usize; populated + 1];
+        for (row, &tag) in tag_of_row.iter().enumerate() {
+            offsets[row + 1] = offsets[row] + video_counts[tag.index()] as usize;
+        }
+        let mut cursor = offsets.clone();
+        let mut postings = vec![0u32; offsets[populated]];
+        for (pos, video) in clean.iter().enumerate() {
+            for &tag in &video.tags {
+                let row = row_of[tag.index()] as usize;
+                postings[cursor[row]] = pos as u32;
+                cursor[row] += 1;
+            }
+        }
+
+        // Pass 3: every compact row is the dataset-order sum of its
+        // postings' reconstructed rows. Rows are independent, so they
+        // fan out over the pool writing straight into the one
+        // contiguous matrix; each row's addition sequence never
+        // depends on scheduling, so the result is bit-identical at any
+        // thread count — and to a serial video-order accumulation.
+        let recon_matrix = recon.matrix();
+        let mut rows = CountryMatrix::zeros(populated, country_count);
+        let _: Vec<()> = pool.par_fill(
+            &tag_of_row,
+            rows.as_mut_slice(),
+            country_count,
+            |start, chunk, block| {
+                for j in 0..chunk.len() {
+                    let dst = &mut block[j * country_count..(j + 1) * country_count];
+                    let row = start + j;
+                    for &pos in &postings[offsets[row]..offsets[row + 1]] {
+                        kernel::add_assign(dst, recon_matrix.row(pos as usize));
+                    }
+                }
+            },
+        );
+
         TagViewTable {
-            rows: shard.rows,
-            video_counts: shard.video_counts,
+            row_of,
+            tag_of_row,
+            rows,
+            video_counts,
             country_count,
         }
     }
@@ -138,15 +174,20 @@ impl TagViewTable {
         self.country_count
     }
 
-    /// Number of tags with at least one retained video.
+    /// Number of tags with at least one retained video (the compact
+    /// matrix's row count).
     pub fn populated_tags(&self) -> usize {
-        self.rows.iter().filter(|r| r.is_some()).count()
+        self.tag_of_row.len()
     }
 
-    /// The aggregated view vector `views(t)`, or `None` if the tag has
-    /// no retained videos.
-    pub fn views(&self, tag: TagId) -> Option<&CountryVec> {
-        self.rows.get(tag.index()).and_then(Option::as_ref)
+    /// The aggregated view vector `views(t)` as a borrowed matrix row,
+    /// or `None` if the tag has no retained videos.
+    pub fn views(&self, tag: TagId) -> Option<&[f64]> {
+        let row = *self.row_of.get(tag.index())?;
+        if row == NO_ROW {
+            return None;
+        }
+        self.rows.get_row(row as usize)
     }
 
     /// The tag's geographic view *distribution*.
@@ -157,39 +198,33 @@ impl TagViewTable {
     /// videos (or, pathologically, zero aggregated views).
     pub fn distribution(&self, tag: TagId) -> Result<GeoDist, GeoError> {
         let row = self.views(tag).ok_or(GeoError::ZeroMass)?;
-        GeoDist::from_counts(row)
+        GeoDist::from_slice(row)
     }
 
     /// Number of retained videos carrying `tag`.
     pub fn video_count(&self, tag: TagId) -> usize {
-        self.video_counts.get(tag.index()).copied().unwrap_or(0)
+        self.video_counts.get(tag.index()).copied().unwrap_or(0) as usize
     }
 
     /// Total views aggregated under `tag` (0 for unused tags).
     pub fn total_views(&self, tag: TagId) -> f64 {
-        self.views(tag).map(CountryVec::sum).unwrap_or(0.0)
+        self.views(tag).map(kernel::sum).unwrap_or(0.0)
     }
 
     /// Iterates `(TagId, views)` over populated tags in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (TagId, &CountryVec)> {
-        self.rows
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &[f64])> + '_ {
+        self.tag_of_row
             .iter()
-            .enumerate()
-            .filter_map(|(i, row)| row.as_ref().map(|r| (TagId::from_index(i), r)))
+            .zip(self.rows.iter_rows())
+            .map(|(&tag, row)| (tag, row))
     }
 
     /// The `k` tags with the most aggregated views, descending — the
     /// ranking in which the paper calls `pop` "the second most viewed
     /// tag in our dataset".
     pub fn top_by_views(&self, k: usize) -> Vec<(TagId, f64)> {
-        let mut all: Vec<(TagId, f64)> = self.iter().map(|(t, v)| (t, v.sum())).collect();
-        all.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(core::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        all.truncate(k);
-        all
+        let all: Vec<(TagId, f64)> = self.iter().map(|(t, v)| (t, kernel::sum(v))).collect();
+        top_k_by(all, k, |a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)))
     }
 }
 
@@ -221,7 +256,7 @@ mod tests {
         let table = TagViewTable::aggregate(&clean, &recon);
         let pop = clean.tags().id("pop").unwrap();
         // a: uniform traffic, equal intensity → 500/500; b: 0/100.
-        let row = table.views(pop).unwrap().as_slice().to_vec();
+        let row = table.views(pop).unwrap().to_vec();
         assert!(
             (row[0] - 500.0).abs() < 1e-6 && (row[1] - 600.0).abs() < 1e-6,
             "{row:?}"
@@ -244,6 +279,8 @@ mod tests {
         assert_eq!(table.total_views(ghost), 0.0);
         assert!(table.distribution(ghost).is_err());
         assert_eq!(table.populated_tags(), 1);
+        // Out-of-interner ids are absent, not panics.
+        assert!(table.views(TagId::from_index(9_999)).is_none());
     }
 
     #[test]
@@ -293,9 +330,87 @@ mod tests {
     /// associative — chunking and merge order ignore the worker count.
     #[test]
     fn aggregation_is_thread_count_invariant() {
+        let (clean, recon) = reference::irregular_corpus(700);
+        let reference = TagViewTable::aggregate_with(&tagdist_par::Pool::new(1), &clean, &recon);
+        for threads in [2, 5, 8] {
+            let parallel =
+                TagViewTable::aggregate_with(&tagdist_par::Pool::new(threads), &clean, &recon);
+            assert_eq!(reference, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    /// Eq. 3 conservation: every reconstructed view is counted once
+    /// per carrying tag, so Σ_t views(t) = Σ_v |tags(v)|·views(v).
+    #[test]
+    fn mass_conservation_across_tags() {
+        let (clean, recon) = setup();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        let total_tagged: f64 = table.iter().map(|(_, v)| kernel::sum(v)).sum();
+        let expected: f64 = clean
+            .iter()
+            .map(|v| v.tags.len() as f64 * v.total_views as f64)
+            .sum();
+        assert!((total_tagged - expected).abs() < 1e-6);
+    }
+}
+
+/// Test-only reference implementation: the pre-columnar boxed-row
+/// build — a `Vec<Option<CountryVec>>` at full vocabulary width,
+/// accumulated serially in dataset order — kept so proptests can
+/// assert the CSR table matches it bit for bit.
+#[cfg(test)]
+pub(crate) mod reference {
+    use tagdist_dataset::{filter, CleanDataset, DatasetBuilder, RawPopularity, TagId};
+    use tagdist_geo::{CountryVec, GeoDist};
+
+    use crate::views::Reconstruction;
+
+    /// The PR 2 storage layout: per-tag boxed rows at full vocabulary
+    /// width, lazily allocated on first touch.
+    pub struct TagShard {
+        pub rows: Vec<Option<CountryVec>>,
+        pub video_counts: Vec<usize>,
+    }
+
+    impl TagShard {
+        fn empty(tag_count: usize) -> TagShard {
+            TagShard {
+                rows: vec![None; tag_count],
+                video_counts: vec![0; tag_count],
+            }
+        }
+
+        fn add_video(&mut self, tags: &[TagId], views: &[f64], country_count: usize) {
+            for &tag in tags {
+                let row =
+                    self.rows[tag.index()].get_or_insert_with(|| CountryVec::zeros(country_count));
+                for (slot, &v) in row.as_mut_slice().iter_mut().zip(views) {
+                    *slot += v;
+                }
+                self.video_counts[tag.index()] += 1;
+            }
+        }
+    }
+
+    /// The oracle build: one serial pass in dataset order. The
+    /// columnar table's per-row posting lists replay exactly this
+    /// addition sequence, so the two must agree bit for bit.
+    pub fn aggregate(clean: &CleanDataset, recon: &Reconstruction) -> TagShard {
+        assert_eq!(clean.len(), recon.len());
+        let country_count = recon.country_count();
+        let matrix = recon.matrix();
+        let mut shard = TagShard::empty(clean.tags().len());
+        for (pos, video) in clean.iter().enumerate() {
+            shard.add_video(&video.tags, matrix.row(pos), country_count);
+        }
+        shard
+    }
+
+    /// A corpus with irregular tag overlap and view counts across
+    /// chunks, for determinism and equivalence tests.
+    pub fn irregular_corpus(videos: usize) -> (CleanDataset, Reconstruction) {
         let mut b = DatasetBuilder::new(3);
-        for i in 0..700 {
-            // Irregular tag overlap and view counts across chunks.
+        for i in 0..videos {
             let tags: Vec<String> = (0..=(i % 4))
                 .map(|t| format!("tag{}", (i + t) % 37))
                 .collect();
@@ -306,40 +421,99 @@ mod tests {
             });
         }
         let clean = filter(&b.build());
-        assert!(
-            clean.len() > 600,
-            "need multiple chunks, got {}",
-            clean.len()
-        );
         let recon = Reconstruction::compute(&clean, &GeoDist::uniform(3)).unwrap();
-        let reference = TagViewTable::aggregate_with(&tagdist_par::Pool::new(1), &clean, &recon);
-        for threads in [2, 5, 8] {
-            let parallel =
-                TagViewTable::aggregate_with(&tagdist_par::Pool::new(threads), &clean, &recon);
-            assert_eq!(reference.country_count(), parallel.country_count());
-            assert_eq!(reference.populated_tags(), parallel.populated_tags());
-            for (tag, views) in reference.iter() {
-                assert_eq!(
-                    views.as_slice(),
-                    parallel.views(tag).unwrap().as_slice(),
-                    "tag {tag:?} diverged at {threads} threads"
-                );
-                assert_eq!(reference.video_count(tag), parallel.video_count(tag));
+        (clean, recon)
+    }
+}
+
+#[cfg(test)]
+mod reference_tests {
+    use super::*;
+    use tagdist_par::Pool;
+
+    /// The satellite contract: the columnar CSR table must match the
+    /// old boxed-row build **exactly** — values bit for bit, video
+    /// counts, and missing-tag handling — at several thread counts.
+    fn assert_matches_reference(clean: &tagdist_dataset::CleanDataset, recon: &Reconstruction) {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let columnar = TagViewTable::aggregate_with(&pool, clean, recon);
+            let oracle = reference::aggregate(clean, recon);
+            assert_eq!(columnar.row_of.len(), oracle.rows.len());
+            let mut populated = 0;
+            for (index, row) in oracle.rows.iter().enumerate() {
+                let tag = TagId::from_index(index);
+                match row {
+                    Some(expected) => {
+                        populated += 1;
+                        assert_eq!(
+                            columnar.views(tag),
+                            Some(expected.as_slice()),
+                            "tag {tag:?} at {threads} threads"
+                        );
+                    }
+                    None => assert_eq!(columnar.views(tag), None, "tag {tag:?} should be absent"),
+                }
+                assert_eq!(columnar.video_count(tag), oracle.video_counts[index]);
             }
+            assert_eq!(columnar.populated_tags(), populated);
         }
     }
 
-    /// Eq. 3 conservation: every reconstructed view is counted once
-    /// per carrying tag, so Σ_t views(t) = Σ_v |tags(v)|·views(v).
     #[test]
-    fn mass_conservation_across_tags() {
-        let (clean, recon) = setup();
-        let table = TagViewTable::aggregate(&clean, &recon);
-        let total_tagged: f64 = table.iter().map(|(_, v)| v.sum()).sum();
-        let expected: f64 = clean
-            .iter()
-            .map(|v| v.tags.len() as f64 * v.total_views as f64)
-            .sum();
-        assert!((total_tagged - expected).abs() < 1e-6);
+    fn columnar_matches_reference_on_irregular_corpus() {
+        let (clean, recon) = reference::irregular_corpus(700);
+        assert_matches_reference(&clean, &recon);
+    }
+
+    #[test]
+    fn columnar_matches_reference_on_empty_corpus() {
+        let (clean, recon) = reference::irregular_corpus(0);
+        assert_matches_reference(&clean, &recon);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tagdist_dataset::{filter, DatasetBuilder, RawPopularity};
+    use tagdist_par::Pool;
+
+    proptest! {
+        /// Random corpora, random thread counts: the CSR table and the
+        /// old boxed-row reference agree exactly (values, counts,
+        /// missing tags).
+        #[test]
+        fn columnar_equals_boxed_reference(
+            specs in proptest::collection::vec(
+                (1u64..1_000_000, 0usize..6, proptest::collection::vec(0u8..=61, 3)),
+                0..40
+            ),
+            threads in 1usize..9
+        ) {
+            let mut b = DatasetBuilder::new(3);
+            for (i, (views, tag_seed, raw)) in specs.iter().enumerate() {
+                let tags: Vec<String> =
+                    (0..=(tag_seed % 3)).map(|t| format!("t{}", (i + t) % 11)).collect();
+                let tag_refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+                b.push_video(
+                    &format!("v{i}"),
+                    *views,
+                    &tag_refs,
+                    RawPopularity::decode(raw.clone(), 3),
+                );
+            }
+            let clean = filter(&b.build());
+            let recon = Reconstruction::compute(&clean, &tagdist_geo::GeoDist::uniform(3)).unwrap();
+            let pool = Pool::new(threads);
+            let columnar = TagViewTable::aggregate_with(&pool, &clean, &recon);
+            let oracle = reference::aggregate(&clean, &recon);
+            for (index, row) in oracle.rows.iter().enumerate() {
+                let tag = tagdist_dataset::TagId::from_index(index);
+                prop_assert_eq!(columnar.views(tag), row.as_ref().map(|r| r.as_slice()));
+                prop_assert_eq!(columnar.video_count(tag), oracle.video_counts[index]);
+            }
+        }
     }
 }

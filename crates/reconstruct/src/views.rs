@@ -1,12 +1,13 @@
 //! Per-video view reconstruction (inverting Eq. 1 via Eq. 2).
 
-use tagdist_geo::{CountryVec, GeoDist, GeoError, PopularityVector};
+use tagdist_geo::{kernel, CountryMatrix, CountryVec, GeoDist, GeoError, PopularityVector};
 
 use tagdist_dataset::CleanDataset;
 use tagdist_par::Pool;
 
 /// Reconstructs a video's per-country view vector from its popularity
-/// map, total view count and a traffic prior.
+/// map, total view count and a traffic prior, writing into a
+/// caller-owned row (normally a [`CountryMatrix`] row — no allocation).
 ///
 /// Implements the paper's §3 inversion:
 /// `views(v)[c] ∝ pop(v)[c] · p̂yt[c]`, rescaled so the entries sum to
@@ -15,47 +16,80 @@ use tagdist_par::Pool;
 ///
 /// # Errors
 ///
-/// * [`GeoError::LengthMismatch`] if `pop` and `traffic` cover
-///   different world sizes.
+/// * [`GeoError::LengthMismatch`] if `pop`, `traffic` and `out`
+///   disagree on the world size.
 /// * [`GeoError::ZeroMass`] if `pop(v)[c]·p̂yt[c]` is zero everywhere —
 ///   an "empty" popularity vector, which the §2 filter is supposed to
 ///   have removed.
+pub fn reconstruct_views_into(
+    pop: &PopularityVector,
+    total_views: u64,
+    traffic: &GeoDist,
+    out: &mut [f64],
+) -> Result<(), GeoError> {
+    let intensities = pop.as_slice();
+    let prior = traffic.as_vec().as_slice();
+    if intensities.len() != prior.len() {
+        return Err(GeoError::LengthMismatch {
+            left: intensities.len(),
+            right: prior.len(),
+        });
+    }
+    if out.len() != prior.len() {
+        return Err(GeoError::LengthMismatch {
+            left: out.len(),
+            right: prior.len(),
+        });
+    }
+    for ((o, &i), &p) in out.iter_mut().zip(intensities).zip(prior) {
+        *o = f64::from(i) * p;
+    }
+    let mass = kernel::sum(out);
+    if mass <= 0.0 || !mass.is_finite() {
+        return Err(GeoError::ZeroMass);
+    }
+    kernel::scale(out, total_views as f64 / mass);
+    Ok(())
+}
+
+/// Allocating convenience wrapper around [`reconstruct_views_into`].
+///
+/// # Errors
+///
+/// As for [`reconstruct_views_into`].
 pub fn reconstruct_views(
     pop: &PopularityVector,
     total_views: u64,
     traffic: &GeoDist,
 ) -> Result<CountryVec, GeoError> {
-    let weighted = pop.as_country_vec().hadamard(traffic.as_vec())?;
-    let mass = weighted.sum();
-    if mass <= 0.0 || !mass.is_finite() {
-        return Err(GeoError::ZeroMass);
-    }
-    Ok(weighted.scaled(total_views as f64 / mass))
+    let mut out = vec![0.0; traffic.len()];
+    reconstruct_views_into(pop, total_views, traffic, &mut out)?;
+    Ok(CountryVec::from_values(out))
 }
 
 /// Reconstructed per-country views for every video of a
-/// [`CleanDataset`].
-///
-/// Row `i` corresponds to position `i` in the dataset (the order of
-/// [`CleanDataset::iter`]).
+/// [`CleanDataset`], stored as one contiguous [`CountryMatrix`] (row
+/// `i` ↔ dataset position `i`, the order of [`CleanDataset::iter`])
+/// instead of one heap vector per video.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reconstruction {
-    rows: Vec<CountryVec>,
-    country_count: usize,
+    matrix: CountryMatrix,
 }
 
 impl Reconstruction {
     /// Reconstructs every video of `clean` under `traffic`.
     ///
     /// Videos are independent, so the corpus fans out over the
-    /// `TAGDIST_THREADS` worker pool; rows come back in dataset order
-    /// and are bit-identical at any thread count.
+    /// `TAGDIST_THREADS` worker pool; each chunk writes its rows
+    /// directly into the final flat buffer ([`Pool::par_fill`]), so
+    /// there is no concatenation pass and the matrix is bit-identical
+    /// at any thread count.
     ///
     /// # Errors
     ///
     /// Returns the first per-video error in dataset order (see
-    /// [`reconstruct_views`]). With a correctly filtered dataset and a
-    /// strictly positive traffic prior this cannot fail.
+    /// [`reconstruct_views_into`]). With a correctly filtered dataset
+    /// and a strictly positive traffic prior this cannot fail.
     pub fn compute(clean: &CleanDataset, traffic: &GeoDist) -> Result<Reconstruction, GeoError> {
         Reconstruction::compute_with(&Pool::from_env(), clean, traffic)
     }
@@ -70,36 +104,50 @@ impl Reconstruction {
         clean: &CleanDataset,
         traffic: &GeoDist,
     ) -> Result<Reconstruction, GeoError> {
-        let rows = pool
-            .par_map(clean.as_slice(), |_, v| {
-                reconstruct_views(&v.popularity, v.total_views, traffic)
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
+        let cols = clean.country_count();
+        let videos = clean.as_slice();
+        let mut data = vec![0.0; videos.len() * cols];
+        let results = pool.par_fill(videos, &mut data, cols, |_, chunk, block| {
+            for (j, v) in chunk.iter().enumerate() {
+                reconstruct_views_into(
+                    &v.popularity,
+                    v.total_views,
+                    traffic,
+                    &mut block[j * cols..(j + 1) * cols],
+                )?;
+            }
+            Ok::<(), GeoError>(())
+        });
+        // Chunk results come back in chunk order and each chunk stops
+        // at its first failure, so this reports the first per-video
+        // error in dataset order.
+        for result in results {
+            result?;
+        }
         Ok(Reconstruction {
-            rows,
-            country_count: clean.country_count(),
+            matrix: CountryMatrix::from_flat(videos.len(), cols, data)?,
         })
     }
 
     /// Number of reconstructed videos.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.matrix.rows()
     }
 
     /// Returns `true` if no videos were reconstructed.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.matrix.is_empty()
     }
 
     /// World size of every row.
     pub fn country_count(&self) -> usize {
-        self.country_count
+        self.matrix.cols()
     }
 
-    /// Estimated view vector of the video at dataset position `pos`.
-    pub fn views(&self, pos: usize) -> Option<&CountryVec> {
-        self.rows.get(pos)
+    /// Estimated view vector of the video at dataset position `pos`,
+    /// as a borrowed matrix row.
+    pub fn views(&self, pos: usize) -> Option<&[f64]> {
+        self.matrix.get_row(pos)
     }
 
     /// Estimated view *distribution* of the video at position `pos`.
@@ -111,31 +159,26 @@ impl Reconstruction {
     /// [`compute`](Reconstruction::compute), whose mass is positive by
     /// construction).
     pub fn distribution(&self, pos: usize) -> Result<GeoDist, GeoError> {
-        let row = self.rows.get(pos).ok_or(GeoError::ZeroMass)?;
-        GeoDist::from_counts(row)
+        let row = self.matrix.get_row(pos).ok_or(GeoError::ZeroMass)?;
+        GeoDist::from_slice(row)
     }
 
     /// Iterates over the estimated view vectors in dataset order.
-    pub fn iter(&self) -> impl Iterator<Item = &CountryVec> {
-        self.rows.iter()
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.matrix.iter_rows()
     }
 
-    /// All estimated view vectors as a slice, in dataset order (the
-    /// input the parallel aggregation and evaluation stages chunk
-    /// over).
-    pub fn as_rows(&self) -> &[CountryVec] {
-        &self.rows
+    /// The whole reconstruction as a contiguous matrix (the input the
+    /// parallel aggregation and evaluation stages read rows from).
+    pub fn matrix(&self) -> &CountryMatrix {
+        &self.matrix
     }
 
     /// Sums all rows: the estimated per-country platform traffic
     /// implied by the reconstruction (an internal consistency check
     /// against the prior).
     pub fn implied_traffic(&self) -> CountryVec {
-        let mut total = CountryVec::zeros(self.country_count);
-        for row in &self.rows {
-            total += row;
-        }
-        total
+        self.matrix.column_sums()
     }
 }
 
@@ -174,6 +217,25 @@ mod tests {
         let pop = PopularityVector::from_raw(vec![61, 17]).unwrap();
         let v = reconstruct_views(&pop, 12_345, &traffic2()).unwrap();
         assert!((v.sum() - 12_345.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_variant_matches_the_allocating_one_bitwise() {
+        let pop = PopularityVector::from_raw(vec![61, 17]).unwrap();
+        let v = reconstruct_views(&pop, 12_345, &traffic2()).unwrap();
+        let mut row = vec![7.0, 7.0]; // stale contents must be overwritten
+        reconstruct_views_into(&pop, 12_345, &traffic2(), &mut row).unwrap();
+        assert_eq!(v.as_slice(), row.as_slice());
+    }
+
+    #[test]
+    fn into_variant_rejects_a_wrong_sized_row() {
+        let pop = PopularityVector::from_raw(vec![61, 17]).unwrap();
+        let mut row = vec![0.0; 3];
+        assert!(matches!(
+            reconstruct_views_into(&pop, 10, &traffic2(), &mut row),
+            Err(GeoError::LengthMismatch { left: 3, right: 2 })
+        ));
     }
 
     #[test]
@@ -244,9 +306,11 @@ mod tests {
         let r = Reconstruction::compute(&clean, &traffic2()).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.country_count(), 2);
-        assert_close(r.views(0).unwrap().as_slice(), &[750.0, 250.0]);
-        assert_close(r.views(1).unwrap().as_slice(), &[0.0, 100.0]);
+        assert_close(r.views(0).unwrap(), &[750.0, 250.0]);
+        assert_close(r.views(1).unwrap(), &[0.0, 100.0]);
         assert!(r.views(2).is_none());
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!(r.matrix().rows(), 2);
     }
 
     #[test]
@@ -265,9 +329,9 @@ mod tests {
         for threads in [2, 8] {
             let parallel =
                 Reconstruction::compute_with(&Pool::new(threads), &clean, &traffic2()).unwrap();
-            assert_eq!(reference.as_rows(), parallel.as_rows());
+            assert_eq!(reference.matrix(), parallel.matrix());
         }
-        assert_eq!(reference.as_rows().len(), reference.len());
+        assert_eq!(reference.matrix().rows(), reference.len());
     }
 
     #[test]

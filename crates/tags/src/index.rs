@@ -11,7 +11,7 @@
 //!   which surfaces the `favela`-like local signature tags.
 
 use tagdist_dataset::TagId;
-use tagdist_geo::{CountryId, GeoDist};
+use tagdist_geo::{kernel, top_k_by, CountryId, GeoDist};
 use tagdist_reconstruct::TagViewTable;
 
 /// One scored tag in a country ranking.
@@ -62,14 +62,15 @@ impl GeoTagIndex {
         let mut by_lift: Vec<Vec<ScoredTag>> = vec![Vec::new(); countries];
 
         for (tag, views) in table.iter() {
-            let total = views.sum();
+            let total = kernel::sum(views);
             if total <= 0.0 {
                 continue;
             }
-            for (country, v) in views.iter() {
+            for (index, &v) in views.iter().enumerate() {
                 if v <= 0.0 {
                     continue;
                 }
+                let country = CountryId::from_index(index);
                 let share = v / total;
                 let traffic_share = traffic.prob(country);
                 let lift = if traffic_share > 0.0 {
@@ -89,23 +90,22 @@ impl GeoTagIndex {
             }
         }
 
+        // Selection instead of a full sort: with vocabulary-sized
+        // candidate lists and small k, select_nth + sorting k winners
+        // beats sorting everything. The unique-tag tiebreak makes the
+        // comparators total orders, so the rankings are identical to a
+        // full sort's first k entries (ties included).
         for list in &mut by_views {
-            list.sort_by(|a, b| {
-                b.views
-                    .partial_cmp(&a.views)
-                    .unwrap_or(core::cmp::Ordering::Equal)
-                    .then(a.tag.cmp(&b.tag))
+            let candidates = core::mem::take(list);
+            *list = top_k_by(candidates, k, |a, b| {
+                b.views.total_cmp(&a.views).then(a.tag.cmp(&b.tag))
             });
-            list.truncate(k);
         }
         for list in &mut by_lift {
-            list.sort_by(|a, b| {
-                b.lift
-                    .partial_cmp(&a.lift)
-                    .unwrap_or(core::cmp::Ordering::Equal)
-                    .then(a.tag.cmp(&b.tag))
+            let candidates = core::mem::take(list);
+            *list = top_k_by(candidates, k, |a, b| {
+                b.lift.total_cmp(&a.lift).then(a.tag.cmp(&b.tag))
             });
-            list.truncate(k);
         }
         GeoTagIndex { by_views, by_lift }
     }
@@ -224,6 +224,47 @@ mod tests {
             assert!(index.top_by_views(CountryId::from_index(c)).len() <= 1);
             assert!(index.top_by_lift(CountryId::from_index(c)).len() <= 1);
         }
+    }
+
+    /// Satellite fixture: the selection-based rankings must equal the
+    /// full-sort rankings entry for entry — including tied scores,
+    /// which the unique-tag tiebreak orders deterministically.
+    #[test]
+    fn top_k_selection_matches_full_sort_including_ties() {
+        let mut b = DatasetBuilder::new(2);
+        let pop = |v: Vec<u8>| RawPopularity::decode(v, 2);
+        // 30 single-tag videos; groups of 3 share identical view
+        // totals and identical charts → exact score ties in both
+        // rankings.
+        for i in 0..30u64 {
+            let tag = format!("t{i:02}");
+            let views = 100 * (i / 3 + 1);
+            b.push_video(&format!("v{i}"), views, &[tag.as_str()], pop(vec![40, 20]));
+        }
+        let clean = filter(&b.build());
+        let recon = Reconstruction::compute(&clean, &traffic()).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        // k >= candidate count degenerates to exactly a full sort.
+        let full = GeoTagIndex::build(&table, &traffic(), usize::MAX, 0.0, 0);
+        for k in [1, 2, 3, 4, 7, 29, 30, 31] {
+            let pruned = GeoTagIndex::build(&table, &traffic(), k, 0.0, 0);
+            for c in 0..pruned.country_count() {
+                let c = CountryId::from_index(c);
+                let all_views = full.top_by_views(c);
+                let all_lift = full.top_by_lift(c);
+                assert_eq!(
+                    pruned.top_by_views(c),
+                    &all_views[..k.min(all_views.len())],
+                    "views ranking diverged at k={k}"
+                );
+                assert_eq!(
+                    pruned.top_by_lift(c),
+                    &all_lift[..k.min(all_lift.len())],
+                    "lift ranking diverged at k={k}"
+                );
+            }
+        }
+        let _ = clean;
     }
 
     #[test]

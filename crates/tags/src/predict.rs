@@ -15,7 +15,7 @@
 use core::fmt;
 
 use tagdist_dataset::{CleanDataset, TagId};
-use tagdist_geo::{CountryVec, GeoDist, GeoError};
+use tagdist_geo::{kernel, GeoDist, GeoError};
 use tagdist_par::Pool;
 use tagdist_reconstruct::{ErrorSummary, Reconstruction, TagViewTable};
 
@@ -51,23 +51,23 @@ impl<'a> Predictor<'a> {
 
     /// Predicts the view distribution of a video carrying `tags`.
     ///
-    /// `own_views` is the video's *own* (reconstructed) view vector;
+    /// `own_views` is the video's *own* (reconstructed) view row;
     /// pass `Some` when the video contributed to the table so its mass
     /// is excluded from each tag (leave-one-out), `None` for a genuinely
     /// new video (the proactive-caching deployment scenario).
     ///
     /// Returns the fallback when the tags' remaining mass is zero —
     /// e.g. a video whose every tag is unique to it.
-    pub fn predict(&self, tags: &[TagId], own_views: Option<&CountryVec>) -> GeoDist {
-        let mut mix = CountryVec::zeros(self.table.country_count());
+    pub fn predict(&self, tags: &[TagId], own_views: Option<&[f64]>) -> GeoDist {
+        let mut mix = vec![0.0; self.table.country_count()];
         self.predict_into(tags, own_views, &mut mix)
             .unwrap_or_else(|_| self.fallback.clone())
     }
 
     /// Allocation-free variant of [`predict`](Predictor::predict):
     /// accumulates the tag mixture into a caller-owned scratch buffer,
-    /// so corpus-scale evaluation loops reuse one `CountryVec` instead
-    /// of allocating per video. The buffer is reset (and resized if it
+    /// so corpus-scale evaluation loops reuse one buffer instead of
+    /// allocating per video. The buffer is reset (and resized if it
     /// belongs to a different world) before use; its contents on return
     /// are the raw un-normalized mixture.
     ///
@@ -79,30 +79,64 @@ impl<'a> Predictor<'a> {
     pub fn predict_into(
         &self,
         tags: &[TagId],
-        own_views: Option<&CountryVec>,
-        mix: &mut CountryVec,
+        own_views: Option<&[f64]>,
+        mix: &mut Vec<f64>,
     ) -> Result<GeoDist, GeoError> {
-        if mix.len() == self.table.country_count() {
-            mix.fill(0.0);
+        mix.clear();
+        mix.resize(self.table.country_count(), 0.0);
+        self.accumulate_mixture(tags, own_views, mix);
+        GeoDist::from_slice(mix)
+    }
+
+    /// Writes the *normalized* prediction straight into a borrowed
+    /// row (e.g. one [`CountryMatrix`](tagdist_geo::CountryMatrix)
+    /// row), substituting the fallback probabilities when the tags
+    /// carry no signal. Returns `true` when the tag mixture was used,
+    /// `false` on fallback — no allocation either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not match the table's world size.
+    pub fn predict_probs_into(
+        &self,
+        tags: &[TagId],
+        own_views: Option<&[f64]>,
+        row: &mut [f64],
+    ) -> bool {
+        assert_eq!(
+            row.len(),
+            self.table.country_count(),
+            "row must cover the table's world"
+        );
+        row.fill(0.0);
+        self.accumulate_mixture(tags, own_views, row);
+        let mass = kernel::sum(row);
+        if mass > 0.0 && mass.is_finite() {
+            // Same normalization as GeoDist::from_slice (one hoisted
+            // reciprocal), so probabilities are bit-identical to the
+            // allocating path.
+            kernel::scale(row, 1.0 / mass);
+            true
         } else {
-            *mix = CountryVec::zeros(self.table.country_count());
+            row.copy_from_slice(self.fallback.as_vec().as_slice());
+            false
         }
+    }
+
+    /// Accumulates the views-weighted tag mixture (Eq. 3 rows, with
+    /// optional leave-one-out subtraction) into a zeroed buffer.
+    fn accumulate_mixture(&self, tags: &[TagId], own_views: Option<&[f64]>, mix: &mut [f64]) {
         for &tag in tags {
             let Some(views) = self.table.views(tag) else {
                 continue;
             };
             match own_views {
-                None => *mix += views,
-                Some(own) => {
-                    // Subtract this video's contribution, clamping the
-                    // tiny negative residues quantization can leave.
-                    for (id, v) in views.iter() {
-                        mix[id] += (v - own[id]).max(0.0);
-                    }
-                }
+                None => kernel::add_assign(mix, views),
+                // Subtract this video's contribution, clamping the
+                // tiny negative residues quantization can leave.
+                Some(own) => kernel::add_clamped_diff(mix, views, own),
             }
         }
-        GeoDist::from_counts(mix)
     }
 
     /// The fallback distribution.
@@ -155,26 +189,33 @@ impl PredictionEvaluation {
         assert_eq!(clean.len(), recon.len(), "reconstruction mismatch");
         let predictor = Predictor::new(table, baseline);
         // Leave-one-out scoring is embarrassingly parallel: chunk the
-        // corpus across the pool, one scratch mixture buffer per chunk
-        // (predict_into) instead of one allocation per video. Chunk
+        // corpus across the pool, two scratch probability rows per
+        // chunk — no per-video allocation anywhere on this path
+        // (predict_probs_into + the slice JS divergence). Chunk
         // boundaries depend only on corpus length, so scores come back
         // in corpus order bit-identical at any thread count.
+        let countries = table.country_count();
         let scored = Pool::from_env().par_chunks(clean.as_slice(), |start, chunk| {
-            let mut mix = CountryVec::zeros(table.country_count());
+            let mut mix = vec![0.0; countries];
+            let mut actual = vec![0.0; countries];
             let mut out = Vec::with_capacity(chunk.len());
             for (offset, video) in chunk.iter().enumerate() {
                 let pos = start + offset;
                 let own = recon.views(pos).expect("aligned reconstruction");
-                let actual = recon.distribution(pos).expect("rows carry mass");
-                // A zero-mass mixture is exactly the serial loop's
+                // Normalize the video's own row exactly as
+                // GeoDist::from_slice would (same sum, same hoisted
+                // reciprocal — bit-identical probabilities).
+                actual.copy_from_slice(own);
+                let mass = kernel::sum(&actual);
+                assert!(mass > 0.0 && mass.is_finite(), "rows carry mass");
+                kernel::scale(&mut actual, 1.0 / mass);
+                // A zero-mass mixture substitutes the baseline's
+                // probabilities — exactly the allocating loop's
                 // fallback case (prediction == baseline prior).
-                let (predicted, fell_back) =
-                    match predictor.predict_into(&video.tags, Some(own), &mut mix) {
-                        Ok(d) => (d, false),
-                        Err(_) => (baseline.clone(), true),
-                    };
-                let p = predicted.js_divergence(&actual).expect("same world");
-                let b = baseline.js_divergence(&actual).expect("same world");
+                let fell_back = !predictor.predict_probs_into(&video.tags, Some(own), &mut mix);
+                let p = tagdist_geo::js_divergence_probs(&mix, &actual).expect("same world");
+                let b = tagdist_geo::js_divergence_probs(baseline.as_vec().as_slice(), &actual)
+                    .expect("same world");
                 out.push((p, b, fell_back));
             }
             out
@@ -395,7 +436,7 @@ mod tests {
         let traffic = world2();
         let p = Predictor::new(&table, &traffic);
         // Deliberately wrong-sized buffer: predict_into must fix it up.
-        let mut mix = CountryVec::zeros(5);
+        let mut mix = vec![0.0; 5];
         for (pos, video) in clean.iter().enumerate() {
             let own = recon.views(pos);
             let via_buffer = p
@@ -410,6 +451,26 @@ mod tests {
         assert!(p
             .predict_into(&video.tags, recon.views(pos), &mut mix)
             .is_err());
+    }
+
+    #[test]
+    fn predict_probs_into_matches_predict_bitwise() {
+        let (clean, recon, table) = setup();
+        let traffic = world2();
+        let p = Predictor::new(&table, &traffic);
+        let mut row = vec![0.0; table.country_count()];
+        for (pos, video) in clean.iter().enumerate() {
+            let own = recon.views(pos);
+            let used_tags = p.predict_probs_into(&video.tags, own, &mut row);
+            let expected = p.predict(&video.tags, own);
+            assert_eq!(
+                row.as_slice(),
+                expected.as_vec().as_slice(),
+                "{}",
+                video.key
+            );
+            assert_eq!(used_tags, video.key != "u1", "{}", video.key);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use core::fmt;
 
 use tagdist_dataset::{CleanDataset, TagId};
-use tagdist_geo::{CountryId, GeoDist};
+use tagdist_geo::{kernel, CountryId, GeoDist};
 use tagdist_reconstruct::TagViewTable;
 
 /// Geographic profile of one tag, derived from its Eq. 3 aggregate.
@@ -69,7 +69,7 @@ impl TagProfile {
         traffic: &GeoDist,
     ) -> Option<TagProfile> {
         let views = table.views(tag)?;
-        let dist = GeoDist::from_counts(views).ok()?;
+        let dist = GeoDist::from_slice(views).ok()?;
         let js_from_traffic = dist
             .js_divergence(traffic)
             .expect("table and traffic cover the same world");
@@ -79,7 +79,7 @@ impl TagProfile {
             tag,
             name: clean.tags().name(tag).to_owned(),
             video_count: table.video_count(tag),
-            total_views: views.sum(),
+            total_views: kernel::sum(views),
             normalized_entropy: dist.normalized_entropy(),
             gini: dist.gini(),
             top_share: dist.top_share(),

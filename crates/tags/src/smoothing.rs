@@ -18,7 +18,7 @@
 //! prior).
 
 use tagdist_dataset::TagId;
-use tagdist_geo::{CountryVec, GeoDist};
+use tagdist_geo::{kernel, GeoDist};
 use tagdist_reconstruct::TagViewTable;
 
 /// Tag-mixture predictor with empirical-Bayes shrinkage to the prior.
@@ -65,26 +65,22 @@ impl<'a> SmoothedPredictor<'a> {
         clippy::missing_panics_doc,
         reason = "positive evidence normalizes and the table shares the prior's world"
     )]
-    pub fn predict(&self, tags: &[TagId], own_views: Option<&CountryVec>) -> GeoDist {
-        let mut mix = CountryVec::zeros(self.table.country_count());
+    pub fn predict(&self, tags: &[TagId], own_views: Option<&[f64]>) -> GeoDist {
+        let mut mix = vec![0.0; self.table.country_count()];
         for &tag in tags {
             let Some(views) = self.table.views(tag) else {
                 continue;
             };
             match own_views {
-                None => mix += views,
-                Some(own) => {
-                    for (id, v) in views.iter() {
-                        mix[id] += (v - own[id]).max(0.0);
-                    }
-                }
+                None => kernel::add_assign(&mut mix, views),
+                Some(own) => kernel::add_clamped_diff(&mut mix, views, own),
             }
         }
-        let evidence = mix.sum();
+        let evidence = kernel::sum(&mix);
         if evidence <= 0.0 {
             return self.prior.clone();
         }
-        let tag_dist = GeoDist::from_counts(&mix).expect("positive evidence normalizes");
+        let tag_dist = GeoDist::from_slice(&mix).expect("positive evidence normalizes");
         if self.shrinkage == 0.0 {
             return tag_dist;
         }

@@ -10,7 +10,7 @@ usage: cargo xtask <command> [options]
 
 commands:
   check           run the workspace's domain lints over the library crates
-  bench-report    build and run the PR 2 wall-clock baseline
+  bench-report    build and run the PR 3 wall-clock + allocation report
                   (tagdist-bench's `bench-report` binary, release profile)
 
 check options:
@@ -19,8 +19,10 @@ check options:
   --quiet         suppress per-violation output
 
 bench-report options:
+  --smoke         tiny corpus, one run per stage (the CI wiring)
   any extra arguments are forwarded to the benchmark binary
-  (first positional argument = output path, default BENCH_PR2.json)
+  (first positional argument = output path, default BENCH_PR3.json,
+  or bench-smoke.json under --smoke)
 ";
 
 fn main() -> ExitCode {

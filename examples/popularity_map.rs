@@ -80,8 +80,8 @@ fn main() {
             "note: {} and {} share intensity 61 but get {:.0} vs {:.0} reconstructed views —",
             world().country(a).code,
             world().country(b).code,
-            reconstructed[a],
-            reconstructed[b]
+            reconstructed[a.index()],
+            reconstructed[b.index()]
         );
         println!("pop(v) is an intensity, not a view count (the paper's Fig. 1 argument).");
     }

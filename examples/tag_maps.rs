@@ -98,7 +98,7 @@ fn main() {
         let mut pooled = tagdist::geo::CountryVec::zeros(world().len());
         for &tag in members {
             if let Some(views) = study.tag_table().views(tag) {
-                pooled += views;
+                tagdist::geo::kernel::add_assign(pooled.as_mut_slice(), views);
             }
         }
         let names: Vec<&str> = members

@@ -87,7 +87,11 @@ fn fig2_fig3_contrast() {
 #[test]
 fn eq3_mass_conservation() {
     let s = shared();
-    let total_tagged: f64 = s.tag_table().iter().map(|(_, v)| v.sum()).sum();
+    let total_tagged: f64 = s
+        .tag_table()
+        .iter()
+        .map(|(_, v)| tagdist_geo::kernel::sum(v))
+        .sum();
     let expected: f64 = s
         .clean()
         .iter()
