@@ -1,5 +1,6 @@
 //! `bench-report` — machine-readable wall-clock *and allocation*
-//! report for the PR 3 columnar-storage work.
+//! report for the columnar-storage pipeline, with an embedded
+//! `tagdist-obs` metrics tree.
 //!
 //! Runs the three hot stages — `Reconstruction::compute` (Eq. 1),
 //! `TagViewTable::aggregate` (Eq. 3) and the E6 leave-one-out
@@ -9,7 +10,11 @@
 //! (one boxed `CountryVec` per video / per tag row) is re-implemented
 //! inline and measured single-threaded so the report can state the
 //! allocation drop directly. Output identity is additionally
-//! cross-checked at `TAGDIST_THREADS ∈ {1, 2, 8}`.
+//! cross-checked at `TAGDIST_THREADS ∈ {1, 2, 8}`, and a final
+//! single-threaded pass runs through the `*_obs` wrappers so the
+//! report embeds the same span tree and deterministic counters
+//! `tagdist report --metrics` emits (the `metrics` key) — the subtree
+//! `cargo xtask bench-gate` regresses against `bench-baseline.json`.
 //!
 //! Writes `BENCH_PR3.json` at the repository root by default. Flags:
 //! `--smoke` shrinks the corpus to the tiny test world, runs each
@@ -37,6 +42,7 @@ use std::time::Instant;
 use tagdist::crawler::{crawl_parallel, CrawlConfig};
 use tagdist::dataset::{filter, CleanDataset, TagId};
 use tagdist::geo::{CountryVec, GeoDist};
+use tagdist::obs::{MetricsReport, Recorder};
 use tagdist::par::{available_threads, Pool, THREADS_ENV};
 use tagdist::reconstruct::{Reconstruction, TagViewTable};
 use tagdist::tags::PredictionEvaluation;
@@ -145,6 +151,31 @@ fn legacy_aggregate(
         }
     }
     (rows, counts)
+}
+
+/// One instrumented single-threaded pass through the three stages,
+/// recorded through `tagdist-obs`. Pinned at one worker so the
+/// allocation counters (`alloc.*`) are deterministic — this is the
+/// subtree `cargo xtask bench-gate` compares against the checked-in
+/// baseline.
+fn instrumented_pass(clean: &CleanDataset, traffic: &GeoDist) -> MetricsReport {
+    std::env::set_var(THREADS_ENV, "1");
+    let obs = Recorder::new();
+    {
+        let root = obs.span("bench");
+        let before = allocation_count();
+        let recon =
+            Reconstruction::compute_obs(clean, traffic, &root).expect("corpus carries views");
+        obs.add("alloc.reconstruct_compute", allocation_count() - before);
+        let before = allocation_count();
+        let table = TagViewTable::aggregate_obs(clean, &recon, &root);
+        obs.add("alloc.tag_aggregate", allocation_count() - before);
+        let before = allocation_count();
+        let _eval = PredictionEvaluation::evaluate_obs(clean, &recon, &table, traffic, &root);
+        obs.add("alloc.e6_evaluate", allocation_count() - before);
+    }
+    std::env::remove_var(THREADS_ENV);
+    obs.finish()
 }
 
 fn git_commit() -> String {
@@ -316,6 +347,14 @@ fn main() {
     }
     eprintln!("columnar outputs match the boxed layouts bit for bit");
 
+    // The observability pass: same stages, recorded spans + counters.
+    let metrics = instrumented_pass(&clean, traffic);
+    eprintln!(
+        "instrumented pass: {} spans, {} deterministic counters",
+        metrics.spans.len(),
+        metrics.counters.len()
+    );
+
     let find = |stage: &str, threads: usize| -> &Sample {
         samples
             .iter()
@@ -354,7 +393,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"pr\": 4,");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"runs_per_stage\": {runs},");
     let _ = writeln!(json, "  \"host_available_threads\": {host},");
@@ -421,7 +460,8 @@ fn main() {
             let _ = writeln!(json, "  \"speedup_vs_pr2_single_thread\": null,");
         }
     }
-    let _ = writeln!(json, "  \"outputs_identical_across_threads\": {identical}");
+    let _ = writeln!(json, "  \"outputs_identical_across_threads\": {identical},");
+    let _ = writeln!(json, "  \"metrics\": {}", metrics.to_json());
     let _ = writeln!(json, "}}");
 
     std::fs::write(&out_path, json).expect("write benchmark report");

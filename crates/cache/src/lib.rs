@@ -56,6 +56,6 @@ pub use placement::Placement;
 pub use reactive::{LfuCache, LruCache, ReactiveCache, SlruCache};
 pub use report::CacheReport;
 pub use request::{Request, RequestStream};
-pub use sim::{run_reactive, run_static};
+pub use sim::{run_reactive, run_reactive_obs, run_static, run_static_obs};
 pub use sizes::{run_static_sized, ByteReport, SizedPlacement};
 pub use tier::{run_tiered, TieredReport};

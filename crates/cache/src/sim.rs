@@ -1,5 +1,7 @@
 //! The simulation drivers.
 
+use tagdist_obs::SpanGuard;
+
 use crate::placement::Placement;
 use crate::reactive::ReactiveCache;
 use crate::report::CacheReport;
@@ -11,6 +13,19 @@ use crate::request::RequestStream;
 /// decided ahead of time from predictions, which is exactly the
 /// deployment model the paper sketches.
 pub fn run_static(placement: &Placement, stream: &RequestStream) -> CacheReport {
+    run_static_obs(placement, stream, &SpanGuard::disabled())
+}
+
+/// [`run_static`], instrumented: opens a `cache.{policy}` child span
+/// of `parent` over the request loop and records the simulation's
+/// deterministic counters (`cache.requests`, `.hits`, `.misses` —
+/// functions of the stream and the placement alone).
+pub fn run_static_obs(
+    placement: &Placement,
+    stream: &RequestStream,
+    parent: &SpanGuard,
+) -> CacheReport {
+    let span = parent.child(&format!("cache.{}", placement.name()));
     let countries = stream.country_count().max(placement.country_count());
     let mut hits_per_country = vec![0usize; countries];
     let mut requests_per_country = vec![0usize; countries];
@@ -22,6 +37,10 @@ pub fn run_static(placement: &Placement, stream: &RequestStream) -> CacheReport 
             hits_per_country[r.country.index()] += 1;
         }
     }
+    let obs = span.recorder();
+    obs.add("cache.requests", stream.len() as u64);
+    obs.add("cache.hits", hits as u64);
+    obs.add("cache.misses", (stream.len() - hits) as u64);
     CacheReport {
         policy: placement.name().to_owned(),
         capacity: placement.capacity(),
@@ -34,7 +53,23 @@ pub fn run_static(placement: &Placement, stream: &RequestStream) -> CacheReport 
 
 /// Replays a stream against per-country reactive caches created by
 /// `make_cache` (e.g. `|| LruCache::new(capacity)`).
-pub fn run_reactive<C, F>(mut make_cache: F, capacity: usize, stream: &RequestStream) -> CacheReport
+pub fn run_reactive<C, F>(make_cache: F, capacity: usize, stream: &RequestStream) -> CacheReport
+where
+    C: ReactiveCache,
+    F: FnMut() -> C,
+{
+    run_reactive_obs(make_cache, capacity, stream, &SpanGuard::disabled())
+}
+
+/// [`run_reactive`], instrumented: opens a `cache.{policy}` child span
+/// of `parent` over the request loop and records `cache.requests`,
+/// `.hits` and `.misses`, exactly as [`run_static_obs`] does.
+pub fn run_reactive_obs<C, F>(
+    mut make_cache: F,
+    capacity: usize,
+    stream: &RequestStream,
+    parent: &SpanGuard,
+) -> CacheReport
 where
     C: ReactiveCache,
     F: FnMut() -> C,
@@ -46,6 +81,7 @@ where
         .map(|c| c.name())
         .unwrap_or("reactive")
         .to_owned();
+    let span = parent.child(&format!("cache.{name}"));
     let mut hits_per_country = vec![0usize; countries];
     let mut requests_per_country = vec![0usize; countries];
     let mut hits = 0usize;
@@ -57,6 +93,10 @@ where
             hits_per_country[idx] += 1;
         }
     }
+    let obs = span.recorder();
+    obs.add("cache.requests", stream.len() as u64);
+    obs.add("cache.hits", hits as u64);
+    obs.add("cache.misses", (stream.len() - hits) as u64);
     CacheReport {
         policy: name,
         capacity,

@@ -13,10 +13,11 @@ use tagdist::crawler::{crawl_parallel, recrawl, CrawlConfig};
 use tagdist::dataset::{filter, merge, sample_stratified, tsv, Dataset, DatasetStats};
 use tagdist::geo::GeoDist;
 use tagdist::geo::{world, TrafficModel};
+use tagdist::obs::Recorder;
 use tagdist::reconstruct::{Reconstruction, TagViewTable};
 use tagdist::tags::{GeoTagIndex, Predictor, TagProfile};
 use tagdist::ytsim::{Platform, WorldConfig};
-use tagdist::{markdown_report, render_distribution, ReportOptions, Study, StudyConfig};
+use tagdist::{markdown_report_obs, render_distribution, ReportOptions, Study, StudyConfig};
 
 use crate::args::Args;
 
@@ -40,7 +41,11 @@ USAGE:
       Proactive-caching sweep over a saved dataset (tag-predictive vs
       geo-blind vs random placements).
   tagdist report [--videos N] [--seed S] [--with-caching] --out FILE
-      Run the full study pipeline and write a markdown report.
+                 [--metrics FILE]
+      Run the full study pipeline and write a markdown report. With
+      --metrics, record per-stage spans and counters, save them as
+      JSON, print the summary table, and force the caching sweep on so
+      every subsystem is covered.
   tagdist recrawl FILE [--videos N] [--seed S] --out FILE
       Incrementally extend a saved crawl against a (grown) platform
       regenerated from the same seed; only new videos are fetched.
@@ -260,6 +265,7 @@ fn cache_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 
 fn report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let out_path = args.get("out").ok_or("report needs --out FILE")?;
+    let metrics_path = args.get("metrics");
     let mut config = StudyConfig::small();
     config
         .world
@@ -267,14 +273,28 @@ fn report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     config
         .world
         .with_seed(args.get_u64("seed", config.world.seed)?);
-    let study = Study::run(config);
+    let obs = if metrics_path.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let study = Study::try_run_with(config, &obs).map_err(|e| format!("study failed: {e}"))?;
     let options = ReportOptions {
-        with_caching: args.flag("with-caching"),
+        // The metrics tree should cover every subsystem, so a metrics
+        // run always includes the cache simulation.
+        with_caching: args.flag("with-caching") || metrics_path.is_some(),
         ..ReportOptions::default()
     };
-    let markdown = markdown_report(&study, &options);
+    let markdown = markdown_report_obs(&study, &options, &obs);
     std::fs::write(out_path, &markdown).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     writeln!(out, "wrote {} bytes to {out_path}", markdown.len()).map_err(|e| e.to_string())?;
+    if let Some(metrics_path) = metrics_path {
+        let metrics = obs.finish();
+        std::fs::write(metrics_path, metrics.to_json())
+            .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+        writeln!(out, "wrote metrics to {metrics_path}").map_err(|e| e.to_string())?;
+        write!(out, "{}", metrics.summary()).map_err(|e| e.to_string())?;
+    }
     Ok(())
 }
 
@@ -435,6 +455,50 @@ mod tests {
         assert!(markdown.contains("# tagdist study report"));
         assert!(markdown.contains("## E6"));
         std::fs::remove_file(&report_path).ok();
+    }
+
+    #[test]
+    fn report_metrics_flag_writes_span_tree() {
+        let report_path = temp("report-metrics.md");
+        let metrics_path = temp("metrics.json");
+        let text = run(&[
+            "report",
+            "--videos",
+            "1500",
+            "--out",
+            &report_path,
+            "--metrics",
+            &metrics_path,
+        ])
+        .unwrap();
+        assert!(text.contains("wrote metrics to"), "{text}");
+        // The printed summary shows the span tree and counter tables.
+        assert!(text.contains("study"), "{text}");
+        assert!(text.contains("counters"), "{text}");
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        let metrics = tagdist::obs::MetricsReport::from_json(&json).unwrap();
+        let names = metrics.span_names();
+        for stage in [
+            "study",
+            "generate",
+            "crawl",
+            "filter",
+            "reconstruct",
+            "aggregate",
+            "report",
+            "e6_prediction",
+            "e7_caching",
+        ] {
+            assert!(names.contains(&stage), "missing span {stage:?}: {names:?}");
+        }
+        assert!(metrics.counters.contains_key("cache.requests"));
+        assert!(metrics.counters.contains_key("crawl.fetched"));
+        assert!(metrics.counters.contains_key("par.calls"));
+        // A metrics run forces the caching sweep on.
+        let markdown = std::fs::read_to_string(&report_path).unwrap();
+        assert!(markdown.contains("## E7"));
+        std::fs::remove_file(&report_path).ok();
+        std::fs::remove_file(&metrics_path).ok();
     }
 
     #[test]

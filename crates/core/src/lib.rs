@@ -55,7 +55,7 @@ pub mod validate;
 
 pub use paper::{PaperComparison, PaperConstants, PAPER};
 pub use render::{render_distribution, render_popularity_map, render_views};
-pub use report::{markdown_report, ReportOptions};
+pub use report::{markdown_report, markdown_report_obs, ReportOptions};
 pub use study::{Study, StudyConfig, StudyError};
 pub use validate::{InvariantViolation, Validate};
 
@@ -63,6 +63,7 @@ pub use tagdist_cache as cache;
 pub use tagdist_crawler as crawler;
 pub use tagdist_dataset as dataset;
 pub use tagdist_geo as geo;
+pub use tagdist_obs as obs;
 pub use tagdist_par as par;
 pub use tagdist_reconstruct as reconstruct;
 pub use tagdist_tags as tags;

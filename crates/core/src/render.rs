@@ -78,7 +78,7 @@ pub fn render_distribution(dist: &GeoDist, top: usize) -> String {
 /// Renders a raw per-country row with absolute values (e.g.
 /// reconstructed view counts, borrowed straight from a
 /// [`CountryMatrix`](tagdist_geo::CountryMatrix) row or
-/// [`CountryVec::as_slice`]).
+/// [`CountryVec::as_slice`](tagdist_geo::CountryVec::as_slice)).
 pub fn render_views(views: &[f64], top: usize) -> String {
     let registry = world();
     let max = views

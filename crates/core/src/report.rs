@@ -9,8 +9,9 @@
 
 use std::fmt::Write as _;
 
-use tagdist_cache::{run_static, Placement, RequestStream};
-use tagdist_tags::Predictor;
+use tagdist_cache::{run_static_obs, Placement, RequestStream};
+use tagdist_obs::{Recorder, SpanGuard};
+use tagdist_tags::{PredictionEvaluation, Predictor};
 
 use crate::render::render_distribution;
 use crate::study::Study;
@@ -48,14 +49,33 @@ impl Default for ReportOptions {
 ///
 /// Panics if the study's filtered dataset is empty.
 pub fn markdown_report(study: &Study, options: &ReportOptions) -> String {
+    markdown_report_obs(study, options, &Recorder::disabled())
+}
+
+/// [`markdown_report`], instrumented: opens a `report` root span on
+/// `obs` with one child per experiment section and records the
+/// prediction and caching counters. The rendered markdown is
+/// byte-identical to [`markdown_report`] — metrics never feed back
+/// into report contents.
+///
+/// # Panics
+///
+/// As for [`markdown_report`].
+pub fn markdown_report_obs(study: &Study, options: &ReportOptions, obs: &Recorder) -> String {
+    let span = obs.span("report");
     let mut out = String::new();
     // Writing into a `String` never fails, so the inner `fmt::Result`
     // (which exists purely so `?` replaces per-line unwraps) is moot.
-    let _ = write_report(&mut out, study, options);
+    let _ = write_report(&mut out, study, options, &span);
     out
 }
 
-fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::fmt::Result {
+fn write_report(
+    w: &mut String,
+    study: &Study,
+    options: &ReportOptions,
+    span: &SpanGuard,
+) -> std::fmt::Result {
     writeln!(w, "# tagdist study report\n")?;
     writeln!(
         w,
@@ -66,11 +86,14 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
     )?;
 
     // E1.
+    let e1 = span.child("e1_accounting");
     writeln!(w, "## E1 — §2 dataset accounting\n")?;
     writeln!(w, "```\n{}\n```\n", study.filter_report())?;
     writeln!(w, "```\n{}\n```\n", study.dataset_stats())?;
+    drop(e1);
 
     // E2.
+    let e2 = span.child("e2_fig1");
     let video = study.fig1_most_viewed();
     writeln!(w, "## E2 — Fig. 1: most-viewed video\n")?;
     writeln!(
@@ -85,8 +108,10 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
         "```\n{}```\n",
         crate::render::render_popularity_map(&video.popularity, options.map_depth)
     )?;
+    drop(e2);
 
     // E3/E4.
+    let e3 = span.child("e3_e4_tags");
     writeln!(w, "## E3/E4 — Figs. 2–3: tag geographies\n")?;
     for name in ["pop", "favela"] {
         if let Some(p) = study.tag_profile(name) {
@@ -117,8 +142,10 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
         )?;
     }
     writeln!(w)?;
+    drop(e3);
 
     // E5.
+    let e5 = span.child("e5_reconstruction_error");
     writeln!(w, "## E5 — reconstruction error\n")?;
     writeln!(
         w,
@@ -132,13 +159,26 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
          combined {:.4}; prior gap {:.4}.\n",
         s.quantization_only.js.mean, s.prior_only.js.mean, s.combined.js.mean, s.prior_gap
     )?;
+    drop(e5);
 
-    // E6.
+    // E6. Evaluated through the instrumented path so the `predict`
+    // span and counters land under this section; with a disabled span
+    // this is exactly `study.prediction_evaluation()`.
+    let e6 = span.child("e6_prediction");
+    let evaluation = PredictionEvaluation::evaluate_obs(
+        study.clean(),
+        study.reconstruction(),
+        study.tag_table(),
+        study.traffic(),
+        &e6,
+    );
     writeln!(w, "## E6 — tag prediction\n")?;
-    writeln!(w, "```\n{}\n```\n", study.prediction_evaluation())?;
+    writeln!(w, "```\n{evaluation}\n```\n")?;
+    drop(e6);
 
     // E7 (optional).
     if options.with_caching {
+        let e7 = span.child("e7_caching");
         writeln!(w, "## E7 — proactive caching sweep\n")?;
         let truth = study.true_distributions();
         let weights = study.view_weights();
@@ -150,18 +190,16 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
         // blocks copied back in corpus order.
         let countries = study.world().len();
         let predicted = {
-            let blocks = tagdist_par::Pool::from_env().par_chunks(
-                study.clean().as_slice(),
-                |start, chunk| {
-                    let mut block = vec![0.0; chunk.len() * countries];
-                    for (offset, v) in chunk.iter().enumerate() {
-                        let own = study.reconstruction().views(start + offset);
-                        let row = &mut block[offset * countries..(offset + 1) * countries];
-                        predictor.predict_probs_into(&v.tags, own, row);
-                    }
-                    block
-                },
-            );
+            let pool = tagdist_par::Pool::from_env().with_obs(span.recorder());
+            let blocks = pool.par_chunks(study.clean().as_slice(), |start, chunk| {
+                let mut block = vec![0.0; chunk.len() * countries];
+                for (offset, v) in chunk.iter().enumerate() {
+                    let own = study.reconstruction().views(start + offset);
+                    let row = &mut block[offset * countries..(offset + 1) * countries];
+                    predictor.predict_probs_into(&v.tags, own, row);
+                }
+                block
+            });
             let mut matrix = tagdist_geo::CountryMatrix::zeros(study.clean().len(), countries);
             let mut next = 0;
             for block in blocks {
@@ -176,7 +214,7 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
         writeln!(w, "|---:|---:|---:|---:|")?;
         for &frac in &options.capacities {
             let cap = ((truth.len() as f64) * frac).ceil() as usize;
-            let rate = |p: &Placement| 100.0 * run_static(p, &stream).hit_rate();
+            let rate = |p: &Placement| 100.0 * run_static_obs(p, &stream, &e7).hit_rate();
             writeln!(
                 w,
                 "| {cap} | {:.1} % | {:.1} % | {:.1} % |",
@@ -190,6 +228,7 @@ fn write_report(w: &mut String, study: &Study, options: &ReportOptions) -> std::
             )?;
         }
         writeln!(w)?;
+        drop(e7);
     }
 
     Ok(())

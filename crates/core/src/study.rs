@@ -1,8 +1,9 @@
 //! The end-to-end study pipeline.
 
-use tagdist_crawler::{crawl_parallel, CrawlConfig, CrawlStats};
+use tagdist_crawler::{crawl_parallel_obs, CrawlConfig, CrawlStats, PlatformApi as _};
 use tagdist_dataset::{filter, CleanDataset, CleanVideo, DatasetStats, FilterReport};
 use tagdist_geo::{world, GeoDist, TrafficModel};
+use tagdist_obs::Recorder;
 use tagdist_reconstruct::{ErrorReport, Reconstruction, Sensitivity, TagViewTable};
 use tagdist_tags::{
     profiles, ClassifyThresholds, LocalityBreakdown, PredictionEvaluation, Predictor, TagProfile,
@@ -123,22 +124,56 @@ impl Study {
     /// * [`StudyError::EmptyDataset`] if the §2 filter keeps no usable
     ///   videos (so the Eq. 1 reconstruction has nothing to normalize).
     pub fn try_run(config: StudyConfig) -> Result<Study, StudyError> {
+        Study::try_run_with(config, &Recorder::disabled())
+    }
+
+    /// [`try_run`](Study::try_run), instrumented: opens a `study` root
+    /// span on `obs` with one child per pipeline stage (`generate`,
+    /// `crawl`, `filter`, `traffic_prior`, `reconstruct`, `aggregate`,
+    /// `validate`) and records every stage's deterministic counters.
+    /// With a disabled recorder this is exactly
+    /// [`try_run`](Study::try_run); either way the [`Study`] itself is
+    /// identical — metrics never feed back into outputs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`try_run`](Study::try_run).
+    pub fn try_run_with(config: StudyConfig, obs: &Recorder) -> Result<Study, StudyError> {
+        let study_span = obs.span("study");
         config.world.validate().map_err(StudyError::InvalidConfig)?;
         config.crawl.validate().map_err(StudyError::InvalidConfig)?;
-        let platform = Platform::generate(config.world.clone());
-        let outcome = crawl_parallel(&platform, &config.crawl);
-        let clean = filter(&outcome.dataset);
+        let platform = {
+            let _span = study_span.child("generate");
+            Platform::generate(config.world.clone())
+        };
+        obs.add("generate.catalogue", platform.catalogue_size() as u64);
+        let outcome = crawl_parallel_obs(&platform, &config.crawl, &study_span);
+        let clean = {
+            let _span = study_span.child("filter");
+            filter(&outcome.dataset)
+        };
         let filter_report = clean.report();
+        obs.add("filter.crawled", filter_report.crawled as u64);
+        obs.add("filter.kept", filter_report.kept as u64);
+        obs.add("filter.no_tags", filter_report.no_tags as u64);
+        obs.add("filter.bad_popularity", filter_report.bad_popularity as u64);
         // The paper's Eq. 2 prior: the (noisy) estimate of the
         // platform's per-country traffic.
-        let traffic = TrafficModel::from_distribution(platform.true_traffic().clone())
-            .perturbed(config.prior_noise, config.prior_seed);
-        let reconstruction = Reconstruction::compute(&clean, traffic.distribution())
-            .map_err(|_| StudyError::EmptyDataset)?;
-        let tag_table = TagViewTable::aggregate(&clean, &reconstruction);
+        let traffic = {
+            let _span = study_span.child("traffic_prior");
+            TrafficModel::from_distribution(platform.true_traffic().clone())
+                .perturbed(config.prior_noise, config.prior_seed)
+        };
+        let reconstruction =
+            Reconstruction::compute_obs(&clean, traffic.distribution(), &study_span)
+                .map_err(|_| StudyError::EmptyDataset)?;
+        let tag_table = TagViewTable::aggregate_obs(&clean, &reconstruction, &study_span);
         // Debug builds verify the stage invariants (free in release).
-        crate::validate::Validate::debug_validate(&clean);
-        crate::validate::Validate::debug_validate(traffic.distribution());
+        {
+            let _span = study_span.child("validate");
+            crate::validate::Validate::debug_validate(&clean);
+            crate::validate::Validate::debug_validate(traffic.distribution());
+        }
         Ok(Study {
             config,
             platform,

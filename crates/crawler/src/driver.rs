@@ -4,6 +4,7 @@ use std::collections::HashSet;
 
 use tagdist_dataset::{Dataset, DatasetBuilder, RawPopularity};
 use tagdist_geo::world;
+use tagdist_obs::SpanGuard;
 use tagdist_par::Pool;
 use tagdist_ytsim::{PlatformApi, VideoMetadata};
 
@@ -38,7 +39,7 @@ type Fetched = Option<(VideoMetadata, Vec<String>)>;
 pub fn crawl<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlOutcome {
     cfg.validate().expect("invalid crawl configuration");
     let seeds = gather_seeds(platform, cfg);
-    run(cfg, seeds, |level| {
+    run(cfg, seeds, &SpanGuard::disabled(), |level| {
         level
             .iter()
             .map(|key| fetch_one(platform, cfg, key))
@@ -68,9 +69,47 @@ pub fn crawl_parallel<P: PlatformApi + Sync + ?Sized>(
     cfg.validate().expect("invalid crawl configuration");
     let seeds = gather_seeds(platform, cfg);
     let pool = Pool::new(cfg.threads);
-    run(cfg, seeds, |level| {
+    run(cfg, seeds, &SpanGuard::disabled(), |level| {
         pool.par_map(level, |_, key| fetch_one(platform, cfg, key))
     })
+}
+
+/// [`crawl_parallel`], instrumented: opens a `crawl` child span of
+/// `parent`, a `level.{depth}` span per BFS level, and records the
+/// crawl's deterministic counters (`crawl.seeds`, `.levels`,
+/// `.frontier_items`, `.fetched`, `.failed_fetches`,
+/// `.duplicate_links`, gauge `crawl.frontier_peak`) plus pool dispatch
+/// stats into its recorder. The crawl itself — dataset and
+/// [`CrawlStats`] — is unchanged.
+///
+/// # Panics
+///
+/// As for [`crawl_parallel`].
+#[expect(
+    clippy::expect_used,
+    reason = "documented # Panics contract on invalid configs"
+)]
+pub fn crawl_parallel_obs<P: PlatformApi + Sync + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    parent: &SpanGuard,
+) -> CrawlOutcome {
+    cfg.validate().expect("invalid crawl configuration");
+    let span = parent.child("crawl");
+    let seeds = gather_seeds(platform, cfg);
+    let pool = Pool::new(cfg.threads).with_obs(span.recorder());
+    let outcome = run(cfg, seeds, &span, |level| {
+        pool.par_map(level, |_, key| fetch_one(platform, cfg, key))
+    });
+    let obs = span.recorder();
+    obs.add("crawl.seeds", outcome.stats.seeds as u64);
+    obs.add("crawl.fetched", outcome.stats.fetched as u64);
+    obs.add("crawl.failed_fetches", outcome.stats.failed_fetches as u64);
+    obs.add(
+        "crawl.duplicate_links",
+        outcome.stats.duplicate_links as u64,
+    );
+    outcome
 }
 
 /// Collects the paper's seed set: the top `seeds_per_country` chart
@@ -96,8 +135,16 @@ fn fetch_one<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig, key: &str
 }
 
 /// Shared BFS loop. `fetch_level` resolves one frontier level,
-/// preserving order.
-fn run<F>(cfg: &CrawlConfig, seeds: Vec<String>, mut fetch_level: F) -> CrawlOutcome
+/// preserving order. `span` scopes per-level child spans and the
+/// frontier counters (a disabled guard for the un-instrumented
+/// drivers); the frontier sizes it records are properties of the BFS
+/// itself, so they are identical however levels are fetched.
+fn run<F>(
+    cfg: &CrawlConfig,
+    seeds: Vec<String>,
+    span: &SpanGuard,
+    mut fetch_level: F,
+) -> CrawlOutcome
 where
     F: FnMut(&[String]) -> Vec<Fetched>,
 {
@@ -131,7 +178,13 @@ where
             budget_hit = true;
         }
 
+        let obs = span.recorder();
+        obs.add("crawl.levels", 1);
+        obs.add("crawl.frontier_items", level.len() as u64);
+        obs.gauge_max("crawl.frontier_peak", level.len() as u64);
+        let level_span = span.child(&format!("level.{depth}"));
         let fetched = fetch_level(&level);
+        drop(level_span);
         debug_assert_eq!(fetched.len(), level.len());
         stats.metadata_requests += level.len();
 

@@ -50,7 +50,7 @@ pub mod incremental;
 pub mod stats;
 
 pub use config::CrawlConfig;
-pub use driver::{crawl, crawl_parallel, CrawlOutcome};
+pub use driver::{crawl, crawl_parallel, crawl_parallel_obs, CrawlOutcome};
 pub use incremental::{recrawl, RecrawlOutcome};
 pub use stats::CrawlStats;
 

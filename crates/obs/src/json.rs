@@ -1,0 +1,453 @@
+//! A minimal, dependency-free JSON value: writer plus
+//! recursive-descent parser.
+//!
+//! The workspace vendors no serde, and the metrics pipeline needs both
+//! directions — [`crate::MetricsReport`] serializes itself, and
+//! `cargo xtask bench-gate` parses reports back to diff deterministic
+//! counters against a checked-in baseline.
+//!
+//! Two deliberate deviations from a general-purpose JSON library keep
+//! the tool honest about determinism:
+//!
+//! * Objects are ordered association lists (`Vec<(String, Value)>`),
+//!   never hash maps — serializing a parsed document reproduces the
+//!   original key order byte for byte.
+//! * Numbers are stored as their raw source text and only interpreted
+//!   on demand ([`Value::as_u64`] / [`Value::as_f64`]), so a
+//!   parse/serialize round trip cannot change a single digit.
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, as an ordered association list.
+    Obj(Vec<(String, Value)>),
+}
+
+/// A parse failure with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl core::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Parses a JSON document (one value plus trailing whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] locating the first malformed byte —
+    /// unterminated strings, bad escapes, trailing garbage, unknown
+    /// literals.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a number that parses
+    /// as one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's members in document order, if it is an object.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value compactly (no whitespace) into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(raw) => out.push_str(raw),
+            Value::Str(s) => write_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for Value {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Writes `s` as a quoted, escaped JSON string.
+pub fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = core::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't' | b'f' | b'n') => self.literal(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, JsonError> {
+        for (text, value) in [
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("null", Value::Null),
+        ] {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                return Ok(value);
+            }
+        }
+        Err(self.error("unknown literal"))
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0usize;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            digits += 1;
+            self.pos += 1;
+        }
+        if digits == 0 {
+            return Err(self.error("expected digits"));
+        }
+        let raw = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("number is not UTF-8"))?;
+        Ok(Value::Num(raw.to_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = core::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("string is not UTF-8"))?;
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.error("unterminated string"));
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect_byte(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> String {
+        Value::parse(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn scalars_parse_and_serialize() {
+        assert_eq!(roundtrip("null"), "null");
+        assert_eq!(roundtrip("true"), "true");
+        assert_eq!(roundtrip("false"), "false");
+        assert_eq!(roundtrip("42"), "42");
+        assert_eq!(roundtrip("-3.25e2"), "-3.25e2");
+        assert_eq!(roundtrip("\"hi\\nthere\""), "\"hi\\nthere\"");
+    }
+
+    #[test]
+    fn numbers_keep_their_source_text() {
+        let v = Value::parse("0.3000000000000000444").unwrap();
+        assert_eq!(v.to_string(), "0.3000000000000000444");
+        assert!(v.as_f64().unwrap() > 0.29);
+        assert_eq!(Value::parse("18446744073709551615").unwrap().as_u64(), {
+            Some(u64::MAX)
+        });
+    }
+
+    #[test]
+    fn objects_preserve_key_order() {
+        let text = "{\"z\":1,\"a\":[true,null],\"m\":{\"k\":\"v\"}}";
+        assert_eq!(roundtrip(text), text);
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.get("z").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(<[Value]>::len), {
+            Some(2)
+        });
+        assert_eq!(
+            v.get("m").and_then(|m| m.get("k")).and_then(Value::as_str),
+            Some("v")
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = Value::parse(" {\n\t\"a\" : [ 1 , 2 ] ,\r\n \"b\" : false } ").unwrap();
+        assert_eq!(v.to_string(), "{\"a\":[1,2],\"b\":false}");
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = Value::Str("quote \" slash \\ tab \t unicode \u{1F600} nul \u{0001}".into());
+        let text = original.to_string();
+        assert_eq!(Value::parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = Value::parse("{\"a\": }").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(err.to_string().contains("byte 6"), "{err}");
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("[1] garbage").is_err());
+        assert!(Value::parse("\"open").is_err());
+        assert!(Value::parse("troo").is_err());
+        assert!(Value::parse("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = Value::parse("[1]").unwrap();
+        assert!(v.as_u64().is_none());
+        assert!(v.as_str().is_none());
+        assert!(v.as_bool().is_none());
+        assert!(v.entries().is_none());
+        assert!(v.get("k").is_none());
+        assert!(Value::Num("1.5".into()).as_u64().is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! `tagdist-obs` — the workspace's observability substrate.
+//!
+//! Every pipeline stage of the reproduction (crawl → filter →
+//! reconstruct → aggregate → predict → cache) can record into a
+//! [`Recorder`]: a cheap cloneable handle that is either *enabled*
+//! (backed by shared state behind a mutex) or *disabled* (every
+//! operation a no-op, so un-instrumented callers pay nothing).
+//!
+//! Two kinds of measurements are kept strictly apart (DESIGN.md §10):
+//!
+//! * **Deterministic counters and gauges** — item counts, rows filled,
+//!   cache hits, crawler frontier sizes. These are pure functions of
+//!   the inputs, never of thread scheduling, so their serialized form
+//!   ([`MetricsReport::deterministic_json`]) is byte-identical at any
+//!   `TAGDIST_THREADS` setting — which is what lets CI gate on them
+//!   exactly (`cargo xtask bench-gate`).
+//! * **Timing** — hierarchical wall-clock [`SpanGuard`] spans and
+//!   scheduling statistics (worker fan-outs, task claims). These vary
+//!   run to run and live in a segregated `timing` section of the JSON
+//!   report.
+//!
+//! # Example
+//!
+//! ```
+//! use tagdist_obs::Recorder;
+//!
+//! let recorder = Recorder::new();
+//! {
+//!     let stage = recorder.span("stage");
+//!     let _inner = stage.child("inner");
+//!     recorder.add("items", 42);
+//! }
+//! let report = recorder.finish();
+//! assert_eq!(report.counters["items"], 42);
+//! assert!(report.span_names().contains(&"inner"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp,
+        clippy::missing_panics_doc,
+        missing_docs
+    )
+)]
+
+pub mod json;
+pub mod recorder;
+pub mod report;
+
+pub use json::{JsonError, Value};
+pub use recorder::{Recorder, SpanGuard};
+pub use report::{MetricsReport, Span};

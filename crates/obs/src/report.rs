@@ -1,0 +1,368 @@
+//! The [`MetricsReport`]: an immutable snapshot of a
+//! [`crate::Recorder`], with JSON export/import and a human-readable
+//! summary.
+//!
+//! The serialized layout enforces the determinism contract
+//! structurally: [`MetricsReport::to_json`] puts counters and gauges
+//! under a `"deterministic"` key and spans plus scheduling stats under
+//! `"timing"`, and [`MetricsReport::deterministic_json`] emits *only*
+//! the former — that string is what `cargo xtask bench-gate` diffs
+//! against the checked-in baseline and what the cross-thread identity
+//! tests compare byte for byte. `BTreeMap` storage makes the key order
+//! (and hence the bytes) reproducible for free.
+
+use std::collections::BTreeMap;
+
+use crate::json::{JsonError, Value};
+
+/// One closed span: a named wall-clock interval with an optional
+/// parent, timestamped in nanoseconds from the recorder's origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stage or operation name.
+    pub name: String,
+    /// Index of the parent span within [`MetricsReport::spans`].
+    pub parent: Option<usize>,
+    /// Start offset from the recorder origin, in nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the recorder origin, in nanoseconds.
+    pub end_ns: u64,
+}
+
+impl Span {
+    /// The span's duration in nanoseconds (0 if the clock stepped).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Snapshot of everything a [`crate::Recorder`] collected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Deterministic counters: pure functions of the input data.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic gauges (maximum observed values).
+    pub gauges: BTreeMap<String, u64>,
+    /// Scheduling statistics — thread-dependent, reported under
+    /// `timing`.
+    pub sched: BTreeMap<String, u64>,
+    /// The span tree, flat in creation order with parent indices.
+    pub spans: Vec<Span>,
+}
+
+impl MetricsReport {
+    /// All span names in creation order.
+    #[must_use]
+    pub fn span_names(&self) -> Vec<&str> {
+        self.spans.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Serializes only the deterministic subtree:
+    /// `{"counters":{...},"gauges":{...}}`, compact, keys sorted.
+    ///
+    /// For a fixed input this string is byte-identical at any
+    /// `TAGDIST_THREADS` setting; the regression gate and the identity
+    /// tests compare it directly.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        self.deterministic_value().write(&mut out);
+        out
+    }
+
+    /// Serializes the full report, deterministic and timing sections
+    /// segregated.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let spans = Value::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Value::Obj(vec![
+                        ("name".to_owned(), Value::Str(s.name.clone())),
+                        (
+                            "parent".to_owned(),
+                            s.parent.map_or(Value::Null, |p| Value::Num(p.to_string())),
+                        ),
+                        ("start_ns".to_owned(), Value::Num(s.start_ns.to_string())),
+                        ("end_ns".to_owned(), Value::Num(s.end_ns.to_string())),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = Value::Obj(vec![
+            ("deterministic".to_owned(), self.deterministic_value()),
+            (
+                "timing".to_owned(),
+                Value::Obj(vec![
+                    ("sched".to_owned(), map_to_obj(&self.sched)),
+                    ("spans".to_owned(), spans),
+                ]),
+            ),
+        ]);
+        let mut out = String::new();
+        doc.write(&mut out);
+        out
+    }
+
+    /// Parses a report serialized by [`MetricsReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the text is not valid JSON or does
+    /// not have the expected `deterministic` / `timing` shape (missing
+    /// sections, non-integer counters, span indices out of form).
+    pub fn from_json(text: &str) -> Result<MetricsReport, JsonError> {
+        let doc = Value::parse(text)?;
+        let det = doc
+            .get("deterministic")
+            .ok_or_else(|| shape_err("missing \"deterministic\" section"))?;
+        let timing = doc
+            .get("timing")
+            .ok_or_else(|| shape_err("missing \"timing\" section"))?;
+        let counters = obj_to_map(det.get("counters"), "deterministic.counters")?;
+        let gauges = obj_to_map(det.get("gauges"), "deterministic.gauges")?;
+        let sched = obj_to_map(timing.get("sched"), "timing.sched")?;
+        let raw_spans = timing
+            .get("spans")
+            .and_then(Value::as_array)
+            .ok_or_else(|| shape_err("timing.spans must be an array"))?;
+        let mut spans = Vec::with_capacity(raw_spans.len());
+        for raw in raw_spans {
+            let name = raw
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| shape_err("span without a string \"name\""))?
+                .to_owned();
+            let parent = match raw.get("parent") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .and_then(|p| usize::try_from(p).ok())
+                        .ok_or_else(|| shape_err("span \"parent\" must be null or an index"))?,
+                ),
+            };
+            let start_ns = raw
+                .get("start_ns")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| shape_err("span without integer \"start_ns\""))?;
+            let end_ns = raw
+                .get("end_ns")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| shape_err("span without integer \"end_ns\""))?;
+            spans.push(Span {
+                name,
+                parent,
+                start_ns,
+                end_ns,
+            });
+        }
+        Ok(MetricsReport {
+            counters,
+            gauges,
+            sched,
+            spans,
+        })
+    }
+
+    /// Renders a human-readable summary: the indented span tree with
+    /// millisecond durations, then the deterministic counters and
+    /// gauges, then the scheduling stats.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== metrics summary ==\n");
+        if !self.spans.is_empty() {
+            out.push_str("\nspans (wall-clock; not deterministic):\n");
+            let mut lines: Vec<(String, String)> = Vec::with_capacity(self.spans.len());
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.spans.len()];
+            let mut roots = Vec::new();
+            for (i, span) in self.spans.iter().enumerate() {
+                match span.parent {
+                    Some(p) if p < self.spans.len() => children[p].push(i),
+                    _ => roots.push(i),
+                }
+            }
+            // Depth-first, explicit stack; creation order within each
+            // level is preserved by pushing children reversed.
+            let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+            while let Some((i, depth)) = stack.pop() {
+                let span = &self.spans[i];
+                let label = format!("{:indent$}{}", "", span.name, indent = 2 * depth);
+                let millis = span.duration_ns() as f64 / 1e6;
+                lines.push((label, format!("{millis:.3} ms")));
+                for &c in children[i].iter().rev() {
+                    stack.push((c, depth + 1));
+                }
+            }
+            push_table(&mut out, &lines);
+        }
+        push_map_section(&mut out, "deterministic counters", &self.counters);
+        push_map_section(&mut out, "deterministic gauges", &self.gauges);
+        push_map_section(&mut out, "scheduling (thread-dependent)", &self.sched);
+        out
+    }
+
+    fn deterministic_value(&self) -> Value {
+        Value::Obj(vec![
+            ("counters".to_owned(), map_to_obj(&self.counters)),
+            ("gauges".to_owned(), map_to_obj(&self.gauges)),
+        ])
+    }
+}
+
+fn map_to_obj(map: &BTreeMap<String, u64>) -> Value {
+    Value::Obj(
+        map.iter()
+            .map(|(k, v)| (k.clone(), Value::Num(v.to_string())))
+            .collect(),
+    )
+}
+
+fn obj_to_map(value: Option<&Value>, ctx: &str) -> Result<BTreeMap<String, u64>, JsonError> {
+    let entries = value
+        .and_then(Value::entries)
+        .ok_or_else(|| shape_err(&format!("{ctx} must be an object")))?;
+    let mut map = BTreeMap::new();
+    for (key, raw) in entries {
+        let n = raw
+            .as_u64()
+            .ok_or_else(|| shape_err(&format!("{ctx}.{key} must be an unsigned integer")))?;
+        map.insert(key.clone(), n);
+    }
+    Ok(map)
+}
+
+fn shape_err(message: &str) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: message.to_owned(),
+    }
+}
+
+/// Appends `title:` and an aligned name/value table (skipped when the
+/// map is empty).
+fn push_map_section(out: &mut String, title: &str, map: &BTreeMap<String, u64>) {
+    if map.is_empty() {
+        return;
+    }
+    out.push('\n');
+    out.push_str(title);
+    out.push_str(":\n");
+    let lines: Vec<(String, String)> = map
+        .iter()
+        .map(|(k, v)| (k.clone(), v.to_string()))
+        .collect();
+    push_table(out, &lines);
+}
+
+fn push_table(out: &mut String, lines: &[(String, String)]) {
+    let width = lines
+        .iter()
+        .map(|(label, _)| label.len())
+        .max()
+        .unwrap_or(0);
+    let value_width = lines.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    for (label, value) in lines {
+        out.push_str(&format!("  {label:<width$}  {value:>value_width$}\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample() -> MetricsReport {
+        let r = Recorder::new();
+        {
+            let root = r.span("study");
+            let _crawl = root.child("crawl");
+            let agg = root.child("aggregate");
+            let _inner = agg.child("rows");
+            r.add("items", 10);
+            r.add("rows", 4);
+            r.gauge_max("peak", 9);
+            r.add_sched("fanouts", 2);
+        }
+        r.finish()
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample();
+        let text = report.to_json();
+        let back = MetricsReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        // And serializing the parsed report reproduces the bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_timing() {
+        let report = sample();
+        let det = report.deterministic_json();
+        assert!(det.contains("\"items\":10"));
+        assert!(det.contains("\"peak\":9"));
+        assert!(!det.contains("fanouts"), "sched leaked: {det}");
+        assert!(!det.contains("span"), "spans leaked: {det}");
+        assert!(!det.contains("_ns"), "timestamps leaked: {det}");
+
+        // Identical counters with different timings → identical bytes.
+        let mut other = sample();
+        for span in &mut other.spans {
+            span.end_ns += 1_000_000;
+        }
+        other.sched.insert("fanouts".into(), 99);
+        assert_eq!(other.deterministic_json(), det);
+    }
+
+    #[test]
+    fn deterministic_json_keys_are_sorted() {
+        let mut report = MetricsReport::default();
+        report.counters.insert("zeta".into(), 1);
+        report.counters.insert("alpha".into(), 2);
+        assert_eq!(
+            report.deterministic_json(),
+            "{\"counters\":{\"alpha\":2,\"zeta\":1},\"gauges\":{}}"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_shapes() {
+        assert!(MetricsReport::from_json("not json").is_err());
+        assert!(MetricsReport::from_json("{}").is_err());
+        assert!(MetricsReport::from_json("{\"deterministic\":{}}").is_err());
+        let bad_counter = "{\"deterministic\":{\"counters\":{\"x\":\"y\"},\"gauges\":{}},\
+                           \"timing\":{\"sched\":{},\"spans\":[]}}";
+        assert!(MetricsReport::from_json(bad_counter).is_err());
+        let bad_span = "{\"deterministic\":{\"counters\":{},\"gauges\":{}},\
+                        \"timing\":{\"sched\":{},\"spans\":[{\"name\":1}]}}";
+        assert!(MetricsReport::from_json(bad_span).is_err());
+    }
+
+    #[test]
+    fn summary_renders_the_tree_and_tables() {
+        let text = sample().summary();
+        assert!(text.contains("study"));
+        assert!(text.contains("    rows"), "nesting lost:\n{text}");
+        assert!(text.contains("ms"));
+        assert!(text.contains("deterministic counters"));
+        assert!(text.contains("items"));
+        assert!(text.contains("scheduling (thread-dependent)"));
+        // An empty report still renders a header without panicking.
+        assert!(MetricsReport::default().summary().contains("metrics"));
+    }
+
+    #[test]
+    fn span_durations_saturate() {
+        let span = Span {
+            name: "x".into(),
+            parent: None,
+            start_ns: 10,
+            end_ns: 4,
+        };
+        assert_eq!(span.duration_ns(), 0);
+    }
+}

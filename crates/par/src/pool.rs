@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use tagdist_obs::Recorder;
+
 use crate::chunk;
 
 /// Environment variable selecting the worker-thread count for every
@@ -47,9 +49,12 @@ pub fn available_threads() -> usize {
 /// let squares = pool.par_map(&[1.0_f64, 2.0, 3.0], |_, &x| x * x);
 /// assert_eq!(squares, vec![1.0, 4.0, 9.0]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Pool {
     threads: usize,
+    /// Where dispatch metrics go; disabled (free) unless a caller
+    /// attached a recorder via [`Pool::with_obs`].
+    obs: Recorder,
 }
 
 impl Default for Pool {
@@ -64,7 +69,19 @@ impl Pool {
     pub fn new(threads: usize) -> Pool {
         Pool {
             threads: threads.max(1),
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a metrics recorder: every subsequent parallel call
+    /// records deterministic dispatch counters (`par.calls`,
+    /// `par.items`, `par.chunks` — functions of input length only) and
+    /// thread-dependent scheduling stats (`par.fanouts`, `par.workers`,
+    /// `par.tasks`).
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Recorder) -> Pool {
+        self.obs = obs.clone();
+        self
     }
 
     /// Creates a pool sized by the [`THREADS_ENV`] knob (default: the
@@ -93,6 +110,7 @@ impl Pool {
         U: Send,
         F: Fn(usize, &T) -> U + Sync,
     {
+        self.record_dispatch(items.len(), chunk::chunk_count(items.len()));
         if self.serial_for(items.len()) {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
@@ -129,6 +147,8 @@ impl Pool {
         U: Send,
         F: Fn(usize, &T) -> U + Sync,
     {
+        // One item per unit of work: the chunk count equals the length.
+        self.record_dispatch(items.len(), items.len());
         if self.threads == 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
@@ -151,6 +171,7 @@ impl Pool {
         U: Send,
         F: Fn(usize, &[T]) -> U + Sync,
     {
+        self.record_dispatch(items.len(), chunk::chunk_count(items.len()));
         self.run_chunks(items, f)
     }
 
@@ -179,6 +200,13 @@ impl Pool {
         F: Fn(A, usize, &T) -> A + Sync,
         M: Fn(A, A) -> A,
     {
+        let n = items.len();
+        let shards = if n == 0 {
+            0
+        } else {
+            n.div_ceil(chunk::fold_chunk_len(n))
+        };
+        self.record_dispatch(n, shards);
         let accs =
             self.run_sized_chunks(items, chunk::fold_chunk_len(items.len()), |start, slice| {
                 let mut acc = init();
@@ -220,6 +248,7 @@ impl Pool {
             n * stride,
             "output buffer must hold {stride} elements per item"
         );
+        self.record_dispatch(n, chunk::chunk_count(n));
         let clen = chunk::chunk_len(n).max(1);
         // `stride == 0` means every output window is empty; chunks_mut
         // rejects a zero width, so hand out fresh empty slices instead.
@@ -248,6 +277,7 @@ impl Pool {
             .collect();
         let nchunks = triples.len();
         let workers = self.threads.min(nchunks);
+        self.record_fanout(workers, nchunks);
         let queue = std::sync::Mutex::new(triples.into_iter());
         let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -286,6 +316,28 @@ impl Pool {
         self.threads == 1 || n <= chunk::MIN_CHUNK
     }
 
+    /// Records the deterministic dispatch counters for one parallel
+    /// call. Both `n` and `chunks` are functions of the input length
+    /// alone (never of the serial/parallel branch taken), so these
+    /// counters are identical at any thread count.
+    fn record_dispatch(&self, n: usize, chunks: usize) {
+        if self.obs.is_enabled() {
+            self.obs.add("par.calls", 1);
+            self.obs.add("par.items", n as u64);
+            self.obs.add("par.chunks", chunks as u64);
+        }
+    }
+
+    /// Records one actual thread fan-out — scheduling stats, which
+    /// legitimately vary with `TAGDIST_THREADS`.
+    fn record_fanout(&self, workers: usize, tasks: usize) {
+        if self.obs.is_enabled() {
+            self.obs.add_sched("par.fanouts", 1);
+            self.obs.add_sched("par.workers", workers as u64);
+            self.obs.add_sched("par.tasks", tasks as u64);
+        }
+    }
+
     /// Chunked engine entry point under the length-only policy.
     fn run_chunks<T, U, G>(&self, items: &[T], g: G) -> Vec<U>
     where
@@ -316,6 +368,7 @@ impl Pool {
                 .map(|(c, slice)| g(c * clen, slice))
                 .collect();
         }
+        self.record_fanout(workers, nchunks);
         let cursor = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -509,6 +562,37 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn dispatch_counters_ignore_thread_count() {
+        use tagdist_obs::Recorder;
+        let items: Vec<u64> = (0..10_000).collect();
+        let mut reports = Vec::new();
+        for threads in [1, 2, 8] {
+            let r = Recorder::new();
+            let pool = Pool::new(threads).with_obs(&r);
+            let _ = pool.par_map(&items, |_, &v| v);
+            let _ = pool.par_map_heavy(&items[..20], |_, &v| v);
+            let _ = pool.par_chunks(&items, |_, c| c.len());
+            let _ = pool.par_fold(&items, || 0u64, |a, _, &v| a + v, |a, b| a + b);
+            let mut out = vec![0u64; items.len()];
+            let _ = pool.par_fill(&items, &mut out, 1, |_, c, w: &mut [u64]| {
+                w.copy_from_slice(c);
+            });
+            let report = r.finish();
+            // Single-threaded pools never fan out; others may. Either
+            // way the deterministic subtree must not change.
+            if threads == 1 {
+                assert!(report.sched.is_empty());
+            } else {
+                assert!(report.sched["par.fanouts"] >= 1);
+            }
+            reports.push(report.deterministic_json());
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+        assert!(reports[0].contains("\"par.calls\":5"), "{}", reports[0]);
     }
 
     #[test]

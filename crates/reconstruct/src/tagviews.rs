@@ -7,11 +7,12 @@
 //! no retained video at all. [`TagViewTable`] therefore stores the
 //! aggregates CSR-style — a full-width `row_of` spine maps every
 //! [`TagId`] to a compact row of one contiguous
-//! [`CountryMatrix`](tagdist_geo::CountryMatrix) holding only the tags
+//! [`CountryMatrix`] holding only the tags
 //! that actually carry views, in `TagId` order (DESIGN.md §9).
 
 use tagdist_dataset::{CleanDataset, TagId};
 use tagdist_geo::{kernel, top_k_by, CountryMatrix, GeoDist, GeoError};
+use tagdist_obs::SpanGuard;
 use tagdist_par::Pool;
 
 use crate::views::Reconstruction;
@@ -74,6 +75,37 @@ impl TagViewTable {
     /// mismatch).
     pub fn aggregate(clean: &CleanDataset, recon: &Reconstruction) -> TagViewTable {
         TagViewTable::aggregate_with(&Pool::from_env(), clean, recon)
+    }
+
+    /// [`aggregate`](TagViewTable::aggregate), instrumented: opens an
+    /// `aggregate` child span of `parent` and records the stage's
+    /// deterministic counters (`aggregate.tags_total`,
+    /// `.tags_populated`, `.postings`, `.cells`) plus pool dispatch
+    /// stats into its recorder.
+    ///
+    /// # Panics
+    ///
+    /// As for [`aggregate`](TagViewTable::aggregate).
+    pub fn aggregate_obs(
+        clean: &CleanDataset,
+        recon: &Reconstruction,
+        parent: &SpanGuard,
+    ) -> TagViewTable {
+        let span = parent.child("aggregate");
+        let obs = span.recorder().clone();
+        let pool = Pool::from_env().with_obs(&obs);
+        let table = TagViewTable::aggregate_with(&pool, clean, recon);
+        obs.add("aggregate.tags_total", clean.tags().len() as u64);
+        obs.add("aggregate.tags_populated", table.populated_tags() as u64);
+        obs.add(
+            "aggregate.postings",
+            table.video_counts.iter().map(|&c| u64::from(c)).sum(),
+        );
+        obs.add(
+            "aggregate.cells",
+            (table.populated_tags() * table.country_count) as u64,
+        );
+        table
     }
 
     /// [`aggregate`](TagViewTable::aggregate) on an explicit pool.

@@ -3,6 +3,7 @@
 use tagdist_geo::{kernel, CountryMatrix, CountryVec, GeoDist, GeoError, PopularityVector};
 
 use tagdist_dataset::CleanDataset;
+use tagdist_obs::SpanGuard;
 use tagdist_par::Pool;
 
 /// Reconstructs a video's per-country view vector from its popularity
@@ -92,6 +93,34 @@ impl Reconstruction {
     /// and a strictly positive traffic prior this cannot fail.
     pub fn compute(clean: &CleanDataset, traffic: &GeoDist) -> Result<Reconstruction, GeoError> {
         Reconstruction::compute_with(&Pool::from_env(), clean, traffic)
+    }
+
+    /// [`compute`](Reconstruction::compute), instrumented: opens a
+    /// `reconstruct` child span of `parent` and records the stage's
+    /// deterministic counters (`reconstruct.videos`, `.cells`,
+    /// `.rows_filled`) plus pool dispatch stats into its recorder.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compute`](Reconstruction::compute).
+    pub fn compute_obs(
+        clean: &CleanDataset,
+        traffic: &GeoDist,
+        parent: &SpanGuard,
+    ) -> Result<Reconstruction, GeoError> {
+        let span = parent.child("reconstruct");
+        let obs = span.recorder().clone();
+        let pool = Pool::from_env().with_obs(&obs);
+        obs.add("reconstruct.videos", clean.len() as u64);
+        obs.add(
+            "reconstruct.cells",
+            (clean.len() * clean.country_count()) as u64,
+        );
+        let result = Reconstruction::compute_with(&pool, clean, traffic);
+        if let Ok(recon) = &result {
+            obs.add("reconstruct.rows_filled", recon.len() as u64);
+        }
+        result
     }
 
     /// [`compute`](Reconstruction::compute) on an explicit pool.

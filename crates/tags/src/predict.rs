@@ -16,6 +16,7 @@ use core::fmt;
 
 use tagdist_dataset::{CleanDataset, TagId};
 use tagdist_geo::{kernel, GeoDist, GeoError};
+use tagdist_obs::SpanGuard;
 use tagdist_par::Pool;
 use tagdist_reconstruct::{ErrorSummary, Reconstruction, TagViewTable};
 
@@ -176,11 +177,51 @@ impl PredictionEvaluation {
     /// # Panics
     ///
     /// Panics if `recon` does not align with `clean`.
+    pub fn evaluate(
+        clean: &CleanDataset,
+        recon: &Reconstruction,
+        table: &TagViewTable,
+        baseline: &GeoDist,
+    ) -> PredictionEvaluation {
+        PredictionEvaluation::evaluate_with(&Pool::from_env(), clean, recon, table, baseline)
+    }
+
+    /// [`evaluate`](PredictionEvaluation::evaluate), instrumented:
+    /// opens a `predict` child span of `parent` and records
+    /// `predict.videos` and `predict.fallbacks` plus pool dispatch
+    /// stats into its recorder.
+    ///
+    /// # Panics
+    ///
+    /// As for [`evaluate`](PredictionEvaluation::evaluate).
+    pub fn evaluate_obs(
+        clean: &CleanDataset,
+        recon: &Reconstruction,
+        table: &TagViewTable,
+        baseline: &GeoDist,
+        parent: &SpanGuard,
+    ) -> PredictionEvaluation {
+        let span = parent.child("predict");
+        let obs = span.recorder().clone();
+        let pool = Pool::from_env().with_obs(&obs);
+        let eval = PredictionEvaluation::evaluate_with(&pool, clean, recon, table, baseline);
+        obs.add("predict.videos", eval.n as u64);
+        obs.add("predict.fallbacks", eval.fallbacks as u64);
+        eval
+    }
+
+    /// [`evaluate`](PredictionEvaluation::evaluate) on an explicit
+    /// pool.
+    ///
+    /// # Panics
+    ///
+    /// As for [`evaluate`](PredictionEvaluation::evaluate).
     #[expect(
         clippy::expect_used,
         reason = "rows are aligned with the dataset and cover one shared world"
     )]
-    pub fn evaluate(
+    pub fn evaluate_with(
+        pool: &Pool,
         clean: &CleanDataset,
         recon: &Reconstruction,
         table: &TagViewTable,
@@ -195,7 +236,7 @@ impl PredictionEvaluation {
         // boundaries depend only on corpus length, so scores come back
         // in corpus order bit-identical at any thread count.
         let countries = table.country_count();
-        let scored = Pool::from_env().par_chunks(clean.as_slice(), |start, chunk| {
+        let scored = pool.par_chunks(clean.as_slice(), |start, chunk| {
             let mut mix = vec![0.0; countries];
             let mut actual = vec![0.0; countries];
             let mut out = Vec::with_capacity(chunk.len());

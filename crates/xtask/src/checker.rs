@@ -18,6 +18,7 @@ pub const CHECKED_CRATES: &[&str] = &[
     "crawler",
     "dataset",
     "geo",
+    "obs",
     "par",
     "reconstruct",
     "tags",

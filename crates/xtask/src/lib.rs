@@ -1,11 +1,15 @@
 //! `cargo xtask` — workspace-wide static analysis and invariant
 //! enforcement for the tagdist repro.
 //!
-//! `cargo xtask check` scans the library crates (the nine
+//! `cargo xtask check` scans the library crates (the ten
 //! `#![forbid(unsafe_code)]` members) for domain rules that generic
 //! lints cannot express — see [`rules`] — honours the
 //! `xtask-allow.toml` allowlist, writes a machine-readable JSON
 //! report, and exits nonzero on any unsuppressed finding.
+//!
+//! `cargo xtask bench-gate` compares the deterministic counters of a
+//! `bench-report --smoke` run against the checked-in
+//! `bench-baseline.json` — see [`benchgate`].
 #![cfg_attr(
     test,
     allow(
@@ -19,12 +23,14 @@
 )]
 
 pub mod allowlist;
+pub mod benchgate;
 pub mod checker;
 pub mod jsonout;
 pub mod lexer;
 pub mod rules;
 
 pub use allowlist::{AllowEntry, AllowList, AllowParseError};
+pub use benchgate::{compare, deterministic_counters, load_counters, GateDiff};
 pub use checker::{
     check_files, check_source, check_workspace, load_allowlist, CheckOutcome, CHECKED_CRATES,
 };

@@ -3,15 +3,17 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{check_workspace, load_allowlist, to_json};
+use xtask::{benchgate, check_workspace, load_allowlist, to_json};
 
 const USAGE: &str = "\
 usage: cargo xtask <command> [options]
 
 commands:
   check           run the workspace's domain lints over the library crates
-  bench-report    build and run the PR 3 wall-clock + allocation report
+  bench-report    build and run the wall-clock + allocation report
                   (tagdist-bench's `bench-report` binary, release profile)
+  bench-gate      run `bench-report --smoke` and fail if its deterministic
+                  counters regress against the checked-in bench-baseline.json
 
 check options:
   --json <path>   write the JSON report here (default: target/xtask-check.json)
@@ -23,6 +25,13 @@ bench-report options:
   any extra arguments are forwarded to the benchmark binary
   (first positional argument = output path, default BENCH_PR3.json,
   or bench-smoke.json under --smoke)
+
+bench-gate options:
+  --update          rewrite bench-baseline.json from the current measurement
+  --input <path>    reuse an existing smoke report instead of re-running
+                    the benchmark (default: run it into target/bench-smoke.json)
+  --baseline <path> baseline file (default: bench-baseline.json at the root)
+  --root <path>     workspace root (default: auto-detected)
 ";
 
 fn main() -> ExitCode {
@@ -49,6 +58,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     let command = iter.next().ok_or("missing command")?;
     if command == "bench-report" {
         return run_bench_report(iter.as_slice());
+    }
+    if command == "bench-gate" {
+        return run_bench_gate(iter.as_slice());
     }
     if command != "check" {
         return Err(format!("unknown command `{command}`"));
@@ -118,6 +130,68 @@ fn run_bench_report(extra: &[String]) -> Result<bool, String> {
         .status()
         .map_err(|e| format!("cannot launch cargo: {e}"))?;
     Ok(status.success())
+}
+
+/// Runs the smoke benchmark (unless `--input` reuses a report) and
+/// gates its deterministic counters against `bench-baseline.json`.
+fn run_bench_gate(args: &[String]) -> Result<bool, String> {
+    let mut update = false;
+    let mut input: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--input" => {
+                input = Some(PathBuf::from(iter.next().ok_or("--input needs a path")?));
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(iter.next().ok_or("--baseline needs a path")?));
+            }
+            "--root" => {
+                root = Some(PathBuf::from(iter.next().ok_or("--root needs a path")?));
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => default_root()?,
+    };
+    let baseline_path = baseline.unwrap_or_else(|| root.join("bench-baseline.json"));
+    let input_path = match input {
+        Some(path) => path,
+        None => {
+            let path = root.join("target/bench-smoke.json");
+            let shown = path.display().to_string();
+            if !run_bench_report(&["--smoke".to_owned(), shown.clone()])? {
+                return Err(format!("bench-report --smoke {shown} failed"));
+            }
+            path
+        }
+    };
+
+    let text = std::fs::read_to_string(&input_path)
+        .map_err(|e| format!("cannot read {}: {e}", input_path.display()))?;
+    let doc = tagdist_obs::Value::parse(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", input_path.display()))?;
+    if update {
+        let rendered = benchgate::render_baseline(&doc)?;
+        std::fs::write(&baseline_path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "bench-gate: baseline refreshed at {}",
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+    let measured = benchgate::deterministic_counters(&doc)?;
+    let base = benchgate::load_counters(&baseline_path)?;
+    let diffs = benchgate::compare(&base, &measured);
+    let (text, clean) = benchgate::report(&diffs);
+    print!("{text}");
+    Ok(clean)
 }
 
 /// The workspace root: two levels above this crate's manifest.

@@ -13,9 +13,10 @@
 
 use tagdist::crawler::{crawl, crawl_parallel, CrawlConfig};
 use tagdist::geo::TrafficModel;
+use tagdist::obs::Recorder;
 use tagdist::par::{Pool, THREADS_ENV};
 use tagdist::ytsim::{Platform, PlatformApi, WorldConfig};
-use tagdist::{markdown_report, ReportOptions, Study, StudyConfig};
+use tagdist::{markdown_report, markdown_report_obs, ReportOptions, Study, StudyConfig};
 
 fn tiny(seed: u64) -> WorldConfig {
     let mut cfg = WorldConfig::tiny();
@@ -110,6 +111,80 @@ fn study_report_is_byte_identical_across_thread_counts() {
         std::env::set_var(THREADS_ENV, threads);
         let report = markdown_report(&Study::run(cfg.clone()), &options);
         assert_eq!(report, reference, "report drifted at {threads} threads");
+    }
+    std::env::remove_var(THREADS_ENV);
+}
+
+/// The PR 4 observability contract: the deterministic subtree of the
+/// metrics report — counters and gauges, every pipeline layer — is
+/// byte-identical at any thread count. Wall-clock spans and scheduler
+/// fan-out stats vary with the pool; they live in the segregated
+/// `timing` section, which `deterministic_json` excludes.
+#[test]
+fn metrics_counters_are_byte_identical_across_thread_counts() {
+    let mut cfg = StudyConfig::tiny();
+    cfg.world.with_videos(800);
+    let options = ReportOptions {
+        with_caching: true,
+        requests: 5_000,
+        capacities: vec![0.02],
+        ..ReportOptions::default()
+    };
+
+    let run = |threads: &str| {
+        std::env::set_var(THREADS_ENV, threads);
+        let obs = Recorder::new();
+        let study = Study::try_run_with(cfg.clone(), &obs).expect("study runs");
+        let _ = markdown_report_obs(&study, &options, &obs);
+        obs.finish()
+    };
+
+    let reference = run("1");
+    // The span tree covers every Study stage plus the report sections.
+    let names = reference.span_names();
+    for stage in [
+        "study",
+        "generate",
+        "crawl",
+        "filter",
+        "traffic_prior",
+        "reconstruct",
+        "aggregate",
+        "validate",
+        "report",
+        "e1_accounting",
+        "e5_reconstruction_error",
+        "e6_prediction",
+        "predict",
+        "e7_caching",
+    ] {
+        assert!(names.contains(&stage), "missing span {stage:?}: {names:?}");
+    }
+    // ... and the counters cover pool, crawler and cache layers.
+    for key in [
+        "par.calls",
+        "crawl.fetched",
+        "crawl.frontier_items",
+        "filter.kept",
+        "reconstruct.rows_filled",
+        "aggregate.postings",
+        "predict.videos",
+        "cache.requests",
+    ] {
+        assert!(
+            reference.counters.contains_key(key),
+            "missing counter {key:?}"
+        );
+    }
+    assert!(reference.gauges.contains_key("crawl.frontier_peak"));
+
+    for threads in ["2", "8"] {
+        let metrics = run(threads);
+        assert_eq!(
+            metrics.deterministic_json(),
+            reference.deterministic_json(),
+            "deterministic counters drifted at {threads} threads"
+        );
     }
     std::env::remove_var(THREADS_ENV);
 }

@@ -243,3 +243,33 @@ fn crawl_stats_are_consistent_with_dataset() {
     assert!(stats.seeds > 0);
     assert!(stats.max_depth().unwrap_or(0) >= 1);
 }
+
+/// Observability must not leak into outputs: a metrics-enabled run
+/// produces a Study and a rendered report byte-identical to the
+/// uninstrumented path, and the recorded metrics survive a JSON
+/// round trip.
+#[test]
+fn metrics_recording_does_not_change_outputs() {
+    use tagdist::obs::{MetricsReport, Recorder};
+    use tagdist::{markdown_report, markdown_report_obs, ReportOptions};
+
+    let mut cfg = StudyConfig::tiny();
+    cfg.world.with_videos(900);
+    let options = ReportOptions::default();
+
+    let plain_study = Study::try_run(cfg.clone()).expect("study runs");
+    let plain_report = markdown_report(&plain_study, &options);
+
+    let obs = Recorder::new();
+    let obs_study = Study::try_run_with(cfg, &obs).expect("study runs");
+    let obs_report = markdown_report_obs(&obs_study, &options, &obs);
+
+    assert_eq!(obs_study.tag_table(), plain_study.tag_table());
+    assert_eq!(obs_study.reconstruction(), plain_study.reconstruction());
+    assert_eq!(obs_report, plain_report, "metrics leaked into the report");
+
+    let metrics = obs.finish();
+    assert!(!metrics.spans.is_empty());
+    let round = MetricsReport::from_json(&metrics.to_json()).expect("well-formed JSON");
+    assert_eq!(round, metrics);
+}
