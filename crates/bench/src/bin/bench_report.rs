@@ -39,14 +39,14 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tagdist::crawler::{crawl_parallel, CrawlConfig};
+use tagdist::crawler::{crawl_parallel, crawl_parallel_obs, CrawlConfig};
 use tagdist::dataset::{filter, CleanDataset, TagId};
 use tagdist::geo::{CountryVec, GeoDist};
 use tagdist::obs::{MetricsReport, Recorder};
 use tagdist::par::{available_threads, Pool, THREADS_ENV};
 use tagdist::reconstruct::{Reconstruction, TagViewTable};
 use tagdist::tags::PredictionEvaluation;
-use tagdist::ytsim::{Platform, WorldConfig};
+use tagdist::ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
 
 /// Counting allocator: every `alloc`/`alloc_zeroed`/`realloc` bumps a
 /// relaxed atomic before delegating to the system allocator. Bench
@@ -158,11 +158,30 @@ fn legacy_aggregate(
 /// allocation counters (`alloc.*`) are deterministic — this is the
 /// subtree `cargo xtask bench-gate` compares against the checked-in
 /// baseline.
-fn instrumented_pass(clean: &CleanDataset, traffic: &GeoDist) -> MetricsReport {
+///
+/// Also runs a fault-injected crawl (seeded `flaky` profile) through
+/// the instrumented driver so the retry/breaker/throttle counters
+/// (`crawl.retries`, `crawl.breaker_trips`, `crawl.*_wait_ms`, …) are
+/// part of the gated subtree. The crawl sits outside every alloc
+/// window — its counters are exact functions of the fault pattern,
+/// not of allocator behaviour.
+fn instrumented_pass(
+    platform: &Platform,
+    clean: &CleanDataset,
+    traffic: &GeoDist,
+) -> MetricsReport {
     std::env::set_var(THREADS_ENV, "1");
     let obs = Recorder::new();
     {
         let root = obs.span("bench");
+        let mut fault = FaultProfile::flaky();
+        fault.with_seed(0xBE7C_AA17);
+        let flaky = FlakyPlatform::new(platform, fault);
+        let faulty = crawl_parallel_obs(&flaky, &CrawlConfig::default(), &root);
+        assert_eq!(
+            faulty.stats.exhausted_retries, 0,
+            "the flaky profile must stay within the retry budget"
+        );
         let before = allocation_count();
         let recon =
             Reconstruction::compute_obs(clean, traffic, &root).expect("corpus carries views");
@@ -348,7 +367,7 @@ fn main() {
     eprintln!("columnar outputs match the boxed layouts bit for bit");
 
     // The observability pass: same stages, recorded spans + counters.
-    let metrics = instrumented_pass(&clean, traffic);
+    let metrics = instrumented_pass(&platform, &clean, traffic);
     eprintln!(
         "instrumented pass: {} spans, {} deterministic counters",
         metrics.spans.len(),

@@ -5,18 +5,22 @@
 //! writer, so the test suite can run commands end to end against
 //! in-memory buffers.
 
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::Write;
 
 use tagdist::cache::{run_static, Placement, RequestStream};
-use tagdist::crawler::{crawl_parallel, recrawl, CrawlConfig};
+use tagdist::crawler::{
+    crawl_parallel, crawl_parallel_stepwise, recrawl, CrawlCheckpoint, CrawlConfig, CrawlRun,
+    PlatformApi,
+};
 use tagdist::dataset::{filter, merge, sample_stratified, tsv, Dataset, DatasetStats};
 use tagdist::geo::GeoDist;
 use tagdist::geo::{world, TrafficModel};
 use tagdist::obs::Recorder;
 use tagdist::reconstruct::{Reconstruction, TagViewTable};
 use tagdist::tags::{GeoTagIndex, Predictor, TagProfile};
-use tagdist::ytsim::{Platform, WorldConfig};
+use tagdist::ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
 use tagdist::{markdown_report_obs, render_distribution, ReportOptions, Study, StudyConfig};
 
 use crate::args::Args;
@@ -26,9 +30,25 @@ pub const USAGE: &str = "\
 tagdist — reproduction of “From Views to Tags Distribution in Youtube”
 
 USAGE:
-  tagdist generate [--videos N] [--seed S] [--budget B] --out FILE
+  tagdist generate [--videos N] [--seed S] [--budget B]
+                   [--fault PROFILE] [--fault-seed S] --out FILE
       Generate a synthetic platform, snowball-crawl it, save the raw
-      dataset as TSV.
+      dataset as TSV. --fault off|flaky|hostile injects transient
+      platform faults; faults masked by the retry budget leave the
+      dataset byte-identical.
+  tagdist crawl [--videos N] [--seed S] [--budget B]
+                [--fault PROFILE] [--fault-seed S]
+                [--checkpoint FILE [--checkpoint-every L]]
+                [--stop-after-levels L] [--resume FILE]
+                [--failure-report FILE] --out FILE
+      Fault-tolerant crawl with checkpoint/resume. --checkpoint-every
+      writes the checkpoint after every L BFS levels;
+      --stop-after-levels suspends the crawl into the checkpoint
+      (--out may be omitted: nothing is saved on suspension);
+      --resume continues from a checkpoint (world, budget and fault
+      parameters are restored from it) and yields a dataset
+      byte-identical to an uninterrupted crawl. --failure-report
+      writes the markdown fault ledger.
   tagdist stats FILE
       §2 filtering report and corpus statistics of a saved dataset.
   tagdist tag FILE NAME
@@ -41,7 +61,7 @@ USAGE:
       Proactive-caching sweep over a saved dataset (tag-predictive vs
       geo-blind vs random placements).
   tagdist report [--videos N] [--seed S] [--with-caching] --out FILE
-                 [--metrics FILE]
+                 [--metrics FILE] [--fault PROFILE] [--fault-seed S]
       Run the full study pipeline and write a markdown report. With
       --metrics, record per-stage spans and counters, save them as
       JSON, print the summary table, and force the caching sweep on so
@@ -65,6 +85,7 @@ USAGE:
 pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     match args.command.as_str() {
         "generate" => generate(args, out),
+        "crawl" => crawl_cmd(args, out),
         "stats" => stats(args, out),
         "tag" => tag(args, out),
         "country" => country(args, out),
@@ -91,6 +112,18 @@ fn save(dataset: &Dataset, path: &str) -> Result<(), String> {
     tsv::write(dataset, &mut file).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// Resolves the `--fault` / `--fault-seed` flags into a profile.
+fn fault_from_args(args: &Args) -> Result<FaultProfile, String> {
+    let mut profile = FaultProfile::by_name(args.get("fault").unwrap_or("off"))?;
+    if let Some(seed) = args.get("fault-seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| "--fault-seed must be an integer".to_owned())?;
+        profile.with_seed(seed);
+    }
+    Ok(profile)
+}
+
 fn generate<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let out_path = args
         .get("out")
@@ -99,12 +132,169 @@ fn generate<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let mut world_cfg = WorldConfig::small();
     world_cfg.with_videos(args.get_usize("videos", world_cfg.videos)?);
     world_cfg.with_seed(args.get_u64("seed", world_cfg.seed)?);
+    let fault = fault_from_args(args)?;
     let platform = Platform::generate(world_cfg);
     let mut crawl_cfg = CrawlConfig::default();
     crawl_cfg.with_budget(args.get_usize("budget", usize::MAX)?);
-    let outcome = crawl_parallel(&platform, &crawl_cfg);
+    let outcome = if fault.is_enabled() {
+        let flaky = FlakyPlatform::new(&platform, fault);
+        crawl_parallel(&flaky, &crawl_cfg)
+    } else {
+        crawl_parallel(&platform, &crawl_cfg)
+    };
     save(&outcome.dataset, &out_path)?;
     writeln!(out, "{}", outcome.stats).map_err(|e| e.to_string())?;
+    writeln!(out, "saved {} records to {out_path}", outcome.dataset.len())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// The fault-tolerant crawl command: checkpointed, resumable,
+/// fault-injectable.
+fn crawl_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let checkpoint_path = args.get("checkpoint").map(str::to_owned);
+    let checkpoint_every = args.get_usize("checkpoint-every", 0)?;
+    let stop_after = args
+        .get("stop-after-levels")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| "--stop-after-levels must be an integer".to_owned())
+        })
+        .transpose()?;
+    let failure_report_path = args.get("failure-report").map(str::to_owned);
+    if stop_after.is_some() && checkpoint_path.is_none() {
+        return Err("--stop-after-levels needs --checkpoint FILE to suspend into".into());
+    }
+    // A --stop-after-levels run suspends without writing a dataset, so
+    // --out is only mandatory when the crawl can run to completion.
+    let out_path = match args.get("out") {
+        Some(path) => path.to_owned(),
+        None if stop_after.is_some() => String::new(),
+        None => return Err("crawl needs --out FILE".into()),
+    };
+
+    let resume = args
+        .get("resume")
+        .map(|path| {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            CrawlCheckpoint::read(file).map_err(|e| format!("cannot parse {path}: {e}"))
+        })
+        .transpose()?;
+
+    // World, budget and fault parameters come from the checkpoint on
+    // resume (the platform must be regenerated identically); from the
+    // flags otherwise.
+    let (videos, world_seed, budget, mut fault);
+    if let Some(cp) = &resume {
+        let meta = |key: &str| {
+            cp.meta
+                .get(key)
+                .ok_or_else(|| format!("checkpoint is missing meta key {key:?}"))
+        };
+        videos = meta("world_videos")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad world_videos in checkpoint: {e}"))?;
+        world_seed = meta("world_seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad world_seed in checkpoint: {e}"))?;
+        let b = meta("budget")?;
+        budget = if b == "unlimited" {
+            usize::MAX
+        } else {
+            b.parse::<usize>()
+                .map_err(|e| format!("bad budget in checkpoint: {e}"))?
+        };
+        fault = FaultProfile::by_name(meta("fault")?)?;
+        let fault_seed = meta("fault_seed")?
+            .parse::<u64>()
+            .map_err(|e| format!("bad fault_seed in checkpoint: {e}"))?;
+        fault.with_seed(fault_seed);
+    } else {
+        let defaults = WorldConfig::small();
+        videos = args.get_usize("videos", defaults.videos)?;
+        world_seed = args.get_u64("seed", defaults.seed)?;
+        budget = args.get_usize("budget", usize::MAX)?;
+        fault = fault_from_args(args)?;
+    }
+
+    let mut meta = BTreeMap::new();
+    meta.insert("world_videos".to_owned(), videos.to_string());
+    meta.insert("world_seed".to_owned(), world_seed.to_string());
+    meta.insert(
+        "budget".to_owned(),
+        if budget == usize::MAX {
+            "unlimited".to_owned()
+        } else {
+            budget.to_string()
+        },
+    );
+    meta.insert(
+        "fault".to_owned(),
+        if fault.is_enabled() {
+            args.get("fault").unwrap_or("flaky").to_owned()
+        } else {
+            "off".to_owned()
+        },
+    );
+    meta.insert("fault_seed".to_owned(), fault.seed.to_string());
+    if let Some(cp) = &resume {
+        // Resume must not silently switch worlds: the stamped meta is
+        // authoritative.
+        meta.clone_from(&cp.meta);
+    }
+
+    let mut world_cfg = WorldConfig::small();
+    world_cfg.with_videos(videos).with_seed(world_seed);
+    let platform = Platform::generate(world_cfg);
+    let flaky_holder;
+    let api: &(dyn PlatformApi + Sync) = if fault.is_enabled() {
+        flaky_holder = FlakyPlatform::new(&platform, fault);
+        &flaky_holder
+    } else {
+        &platform
+    };
+    let mut crawl_cfg = CrawlConfig::default();
+    crawl_cfg.with_budget(budget);
+
+    let step = stop_after.or(if checkpoint_every > 0 {
+        Some(checkpoint_every)
+    } else {
+        None
+    });
+    let mut pending = resume;
+    let outcome = loop {
+        match crawl_parallel_stepwise(api, &crawl_cfg, pending.take(), step) {
+            CrawlRun::Complete(outcome) => break outcome,
+            CrawlRun::Suspended(mut cp) => {
+                cp.meta.clone_from(&meta);
+                if let Some(path) = &checkpoint_path {
+                    let mut file =
+                        File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                    cp.write(&mut file)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    writeln!(
+                        out,
+                        "checkpoint at depth {} ({} fetched) -> {path}",
+                        cp.depth, cp.stats.fetched
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+                if stop_after.is_some() {
+                    writeln!(out, "suspended; resume with --resume").map_err(|e| e.to_string())?;
+                    return Ok(());
+                }
+                pending = Some(*cp);
+            }
+        }
+    };
+
+    save(&outcome.dataset, &out_path)?;
+    writeln!(out, "{}", outcome.stats).map_err(|e| e.to_string())?;
+    if let Some(path) = failure_report_path {
+        std::fs::write(&path, outcome.stats.failure_report_markdown())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "wrote failure report to {path}").map_err(|e| e.to_string())?;
+    }
     writeln!(out, "saved {} records to {out_path}", outcome.dataset.len())
         .map_err(|e| e.to_string())?;
     Ok(())
@@ -273,6 +463,7 @@ fn report<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     config
         .world
         .with_seed(args.get_u64("seed", config.world.seed)?);
+    config.fault = fault_from_args(args)?;
     let obs = if metrics_path.is_some() {
         Recorder::new()
     } else {
@@ -557,5 +748,125 @@ mod tests {
     fn load_reports_unreadable_files() {
         let err = run(&["stats", "/nonexistent/nowhere.tsv"]).unwrap_err();
         assert!(err.contains("cannot open"));
+    }
+
+    #[test]
+    fn crawl_with_masked_faults_matches_generate() {
+        let clean = temp("clean.tsv");
+        let faulty = temp("faulty.tsv");
+        let report = temp("faults.md");
+        run(&[
+            "generate", "--videos", "900", "--seed", "11", "--out", &clean,
+        ])
+        .unwrap();
+        let text = run(&[
+            "crawl",
+            "--videos",
+            "900",
+            "--seed",
+            "11",
+            "--fault",
+            "flaky",
+            "--failure-report",
+            &report,
+            "--out",
+            &faulty,
+        ])
+        .unwrap();
+        assert!(text.contains("saved"), "{text}");
+        assert_eq!(
+            std::fs::read(&clean).unwrap(),
+            std::fs::read(&faulty).unwrap(),
+            "masked faults must leave the dataset byte-identical"
+        );
+        let ledger = std::fs::read_to_string(&report).unwrap();
+        assert!(ledger.starts_with("# Crawl failure report"), "{ledger}");
+        for p in [&clean, &faulty, &report] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn crawl_suspends_and_resumes_byte_identically() {
+        let whole = temp("whole.tsv");
+        let resumed = temp("resumed.tsv");
+        let ckpt = temp("crawl.ckpt");
+        run(&["crawl", "--videos", "900", "--seed", "12", "--out", &whole]).unwrap();
+        let text = run(&[
+            "crawl",
+            "--videos",
+            "900",
+            "--seed",
+            "12",
+            "--checkpoint",
+            &ckpt,
+            "--stop-after-levels",
+            "2",
+            "--out",
+            &resumed,
+        ])
+        .unwrap();
+        assert!(text.contains("suspended"), "{text}");
+        assert!(
+            !std::path::Path::new(&resumed).exists(),
+            "suspension must not write the dataset"
+        );
+        // World/fault parameters come from the checkpoint, not flags.
+        let text = run(&["crawl", "--resume", &ckpt, "--out", &resumed]).unwrap();
+        assert!(text.contains("saved"), "{text}");
+        assert_eq!(
+            std::fs::read(&whole).unwrap(),
+            std::fs::read(&resumed).unwrap(),
+            "resumed crawl must be byte-identical to the uninterrupted one"
+        );
+        for p in [&whole, &resumed, &ckpt] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn crawl_periodic_checkpoints_do_not_change_the_result() {
+        let plain = temp("plain.tsv");
+        let stepped = temp("stepped.tsv");
+        let ckpt = temp("periodic.ckpt");
+        run(&["crawl", "--videos", "900", "--seed", "13", "--out", &plain]).unwrap();
+        let text = run(&[
+            "crawl",
+            "--videos",
+            "900",
+            "--seed",
+            "13",
+            "--checkpoint",
+            &ckpt,
+            "--checkpoint-every",
+            "1",
+            "--out",
+            &stepped,
+        ])
+        .unwrap();
+        assert!(text.contains("checkpoint at depth"), "{text}");
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&stepped).unwrap()
+        );
+        for p in [&plain, &stepped, &ckpt] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn crawl_flag_validation() {
+        assert!(run(&["crawl"]).unwrap_err().contains("--out"));
+        let err = run(&[
+            "crawl",
+            "--stop-after-levels",
+            "1",
+            "--out",
+            "/tmp/never.tsv",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+        let err = run(&["generate", "--fault", "bogus", "--out", "/tmp/never.tsv"]).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
     }
 }

@@ -84,6 +84,15 @@ fn write_report(
         study.config().world.seed,
         study.crawl_stats().fetched
     )?;
+    // Crawl health: only *unmasked* failures appear here, so a run
+    // whose transient faults all resolved within the retry budget
+    // renders a report byte-identical to a fault-free run.
+    writeln!(
+        w,
+        "Crawl health: {} dangling references, {} exhausted retries.\n",
+        study.crawl_stats().dangling_references,
+        study.crawl_stats().exhausted_retries
+    )?;
 
     // E1.
     let e1 = span.child("e1_accounting");
@@ -254,6 +263,8 @@ mod tests {
         let report = markdown_report(shared(), &ReportOptions::default());
         for needle in [
             "# tagdist study report",
+            "dangling references",
+            "exhausted retries",
             "## E1",
             "## E2",
             "## E3/E4",

@@ -8,7 +8,7 @@ use tagdist_reconstruct::{ErrorReport, Reconstruction, Sensitivity, TagViewTable
 use tagdist_tags::{
     profiles, ClassifyThresholds, LocalityBreakdown, PredictionEvaluation, Predictor, TagProfile,
 };
-use tagdist_ytsim::{Platform, WorldConfig};
+use tagdist_ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
 
 /// Configuration of a full study run.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,11 @@ pub struct StudyConfig {
     pub world: WorldConfig,
     /// Crawl parameters (§2 methodology).
     pub crawl: CrawlConfig,
+    /// Transient-fault injection applied to the platform during the
+    /// crawl ([`FaultProfile::off`] by default). With any profile
+    /// whose faults resolve within the retry budget, the study output
+    /// is byte-identical to a fault-free run.
+    pub fault: FaultProfile,
     /// Relative error injected into the traffic prior, modelling the
     /// gap between Alexa's estimate `p̂yt` and the real `pyt` (Eq. 2).
     /// `0.0` hands the pipeline the platform's true distribution.
@@ -33,6 +38,7 @@ impl Default for StudyConfig {
         StudyConfig {
             world: WorldConfig::default(),
             crawl: CrawlConfig::default(),
+            fault: FaultProfile::off(),
             prior_noise: 0.05,
             prior_seed: 7,
             min_tag_videos: 5,
@@ -147,7 +153,12 @@ impl Study {
             Platform::generate(config.world.clone())
         };
         obs.add("generate.catalogue", platform.catalogue_size() as u64);
-        let outcome = crawl_parallel_obs(&platform, &config.crawl, &study_span);
+        let outcome = if config.fault.is_enabled() {
+            let flaky = FlakyPlatform::new(&platform, config.fault);
+            crawl_parallel_obs(&flaky, &config.crawl, &study_span)
+        } else {
+            crawl_parallel_obs(&platform, &config.crawl, &study_span)
+        };
         let clean = {
             let _span = study_span.child("filter");
             filter(&outcome.dataset)

@@ -1,0 +1,346 @@
+//! Per-host circuit breakers with half-open probing.
+//!
+//! When one API host degrades, hammering it with retries only deepens
+//! the outage. A circuit breaker trips after a run of consecutive
+//! failures, holds requests back for a cooldown, then lets a single
+//! *half-open* probe through: success closes the circuit, another
+//! failure re-opens it for a fresh cooldown.
+//!
+//! Two deviations from the textbook breaker keep the crawl
+//! deterministic and lossless:
+//!
+//! * An open breaker never *drops* a request — it delays it on the
+//!   virtual clock until the cooldown expires (a real crawler would
+//!   park the request in a queue). Every frontier key is still
+//!   attempted, so the crawl result is a pure function of the fault
+//!   pattern, not of breaker timing.
+//! * Requests are attributed to a small fixed set of virtual hosts by
+//!   a stable hash of the video key, modelling the DNS-rotated API
+//!   endpoints of the era.
+//!
+//! A permanent [`FetchError::NotFound`](tagdist_ytsim::FetchError) is
+//! a *successful* server response (the host answered authoritatively),
+//! so the driver records it as breaker success.
+
+/// Breaker parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures on one host that trip its breaker.
+    pub failure_threshold: u32,
+    /// How long a tripped breaker holds requests back, in virtual
+    /// milliseconds.
+    pub cooldown_ms: u64,
+    /// Number of virtual API hosts requests are sharded over.
+    pub hosts: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_ms: 30_000,
+            hosts: 4,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.failure_threshold == 0 {
+            return Err("breaker failure_threshold must be > 0".into());
+        }
+        if self.hosts == 0 {
+            return Err("breaker hosts must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// One host's breaker state. All-integer so it snapshots exactly into
+/// crawl checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    cooldown_ms: u64,
+    consecutive_failures: u32,
+    /// `Some(t)` while the circuit is open until virtual time `t`.
+    open_until_ms: Option<u64>,
+    /// The next request is the half-open probe.
+    half_open: bool,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    #[must_use]
+    pub fn new(cfg: &BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            failure_threshold: cfg.failure_threshold,
+            cooldown_ms: cfg.cooldown_ms,
+            consecutive_failures: 0,
+            open_until_ms: None,
+            half_open: false,
+            trips: 0,
+        }
+    }
+
+    /// Gates one request: if the circuit is open, advances `clock_ms`
+    /// to the cooldown expiry and arms the half-open probe. Returns
+    /// the imposed wait in virtual milliseconds.
+    pub fn before_request(&mut self, clock_ms: &mut u64) -> u64 {
+        let Some(until) = self.open_until_ms.take() else {
+            return 0;
+        };
+        let wait = until.saturating_sub(*clock_ms);
+        *clock_ms = (*clock_ms).max(until);
+        self.half_open = true;
+        wait
+    }
+
+    /// Records the outcome of a gated request at virtual time
+    /// `clock_ms`. Returns `true` when this outcome tripped the
+    /// breaker open.
+    pub fn record(&mut self, ok: bool, clock_ms: u64) -> bool {
+        if self.half_open {
+            self.half_open = false;
+            if ok {
+                self.consecutive_failures = 0;
+                return false;
+            }
+            // The probe failed: straight back to open.
+            self.open_until_ms = Some(clock_ms.saturating_add(self.cooldown_ms));
+            self.trips += 1;
+            return true;
+        }
+        if ok {
+            self.consecutive_failures = 0;
+            return false;
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.failure_threshold {
+            self.consecutive_failures = 0;
+            self.open_until_ms = Some(clock_ms.saturating_add(self.cooldown_ms));
+            self.trips += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Times the breaker has tripped open.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Checkpoint snapshot:
+    /// `(consecutive_failures, open_until_ms, half_open, trips)`.
+    #[must_use]
+    pub fn snapshot(&self) -> (u32, Option<u64>, bool, u64) {
+        (
+            self.consecutive_failures,
+            self.open_until_ms,
+            self.half_open,
+            self.trips,
+        )
+    }
+
+    /// Restores a [`CircuitBreaker::snapshot`] onto a fresh breaker
+    /// built from the same config.
+    pub fn restore(
+        &mut self,
+        consecutive_failures: u32,
+        open_until_ms: Option<u64>,
+        half_open: bool,
+        trips: u64,
+    ) {
+        self.consecutive_failures = consecutive_failures;
+        self.open_until_ms = open_until_ms;
+        self.half_open = half_open;
+        self.trips = trips;
+    }
+}
+
+/// The breaker bank: one [`CircuitBreaker`] per virtual host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostBreakers {
+    hosts: Vec<CircuitBreaker>,
+}
+
+impl HostBreakers {
+    /// One closed breaker per configured host.
+    #[must_use]
+    pub fn new(cfg: &BreakerConfig) -> HostBreakers {
+        let count = cfg.hosts.max(1) as usize;
+        HostBreakers {
+            hosts: vec![CircuitBreaker::new(cfg); count],
+        }
+    }
+
+    /// The virtual host serving `key` (stable FNV-1a shard).
+    #[must_use]
+    pub fn host_of(&self, key: &str) -> usize {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % self.hosts.len() as u64) as usize
+    }
+
+    /// Gates a request to `key`'s host; see
+    /// [`CircuitBreaker::before_request`].
+    pub fn before_request(&mut self, host: usize, clock_ms: &mut u64) -> u64 {
+        let index = host % self.hosts.len();
+        self.hosts[index].before_request(clock_ms)
+    }
+
+    /// Records an outcome on `host`; returns `true` on a trip.
+    pub fn record(&mut self, host: usize, ok: bool, clock_ms: u64) -> bool {
+        let index = host % self.hosts.len();
+        self.hosts[index].record(ok, clock_ms)
+    }
+
+    /// Total trips across all hosts.
+    #[must_use]
+    pub fn total_trips(&self) -> u64 {
+        self.hosts.iter().map(CircuitBreaker::trips).sum()
+    }
+
+    /// Per-host breakers, for checkpoint snapshots.
+    #[must_use]
+    pub fn breakers(&self) -> &[CircuitBreaker] {
+        &self.hosts
+    }
+
+    /// Mutable per-host breakers, for checkpoint restore.
+    pub fn breakers_mut(&mut self) -> &mut [CircuitBreaker] {
+        &mut self.hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 1_000,
+            hosts: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_and_waits_out_cooldown() {
+        let mut b = CircuitBreaker::new(&cfg());
+        let mut clock = 0u64;
+        assert_eq!(b.before_request(&mut clock), 0);
+        assert!(!b.record(false, clock));
+        assert!(!b.record(false, clock));
+        assert!(b.record(false, clock), "third failure trips");
+        assert_eq!(b.trips(), 1);
+        // The next request is delayed to the cooldown expiry…
+        assert_eq!(b.before_request(&mut clock), 1_000);
+        assert_eq!(clock, 1_000);
+        // …and is the half-open probe; success closes the circuit.
+        assert!(!b.record(true, clock));
+        assert_eq!(b.before_request(&mut clock), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(&cfg());
+        let mut clock = 0u64;
+        for _ in 0..3 {
+            b.record(false, clock);
+        }
+        assert_eq!(b.before_request(&mut clock), 1_000);
+        assert!(b.record(false, clock), "failed probe re-trips");
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.before_request(&mut clock), 1_000);
+        assert_eq!(clock, 2_000);
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let mut b = CircuitBreaker::new(&cfg());
+        let clock = 0u64;
+        b.record(false, clock);
+        b.record(false, clock);
+        b.record(true, clock);
+        assert!(!b.record(false, clock));
+        assert!(!b.record(false, clock));
+        assert_eq!(b.trips(), 0, "interleaved successes keep it closed");
+    }
+
+    #[test]
+    fn waiting_past_expiry_costs_nothing() {
+        let mut b = CircuitBreaker::new(&cfg());
+        let mut clock = 0u64;
+        for _ in 0..3 {
+            b.record(false, clock);
+        }
+        clock = 5_000;
+        assert_eq!(b.before_request(&mut clock), 0, "cooldown already over");
+        assert_eq!(clock, 5_000);
+    }
+
+    #[test]
+    fn hosts_are_sharded_stably() {
+        let bank = HostBreakers::new(&cfg());
+        let h = bank.host_of("yt00000042");
+        assert_eq!(h, bank.host_of("yt00000042"));
+        assert!(h < 2);
+        let spread: std::collections::HashSet<usize> = (0..100)
+            .map(|i| bank.host_of(&format!("yt{i:08}")))
+            .collect();
+        assert_eq!(spread.len(), 2, "keys should land on every host");
+    }
+
+    #[test]
+    fn bank_isolates_hosts() {
+        let mut bank = HostBreakers::new(&cfg());
+        let mut clock = 0u64;
+        for _ in 0..3 {
+            bank.record(0, false, clock);
+        }
+        assert_eq!(bank.total_trips(), 1);
+        // Host 1 is unaffected.
+        assert_eq!(bank.before_request(1, &mut clock), 0);
+        assert!(bank.before_request(0, &mut clock) > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut a = CircuitBreaker::new(&cfg());
+        let mut clock = 0u64;
+        for _ in 0..3 {
+            a.record(false, clock);
+        }
+        a.before_request(&mut clock);
+        let (fails, until, half, trips) = a.snapshot();
+        let mut b = CircuitBreaker::new(&cfg());
+        b.restore(fails, until, half, trips);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        assert!(BreakerConfig::default().validate().is_ok());
+        let c = BreakerConfig {
+            failure_threshold: 0,
+            ..BreakerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = BreakerConfig {
+            hosts: 0,
+            ..BreakerConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

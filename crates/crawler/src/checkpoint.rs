@@ -1,0 +1,634 @@
+//! Crawl checkpointing: suspend a BFS crawl to a text file and resume
+//! it later, byte-identically.
+//!
+//! A paper-scale crawl runs for weeks; losing it to a reboot at day
+//! twelve is not acceptable. A [`CrawlCheckpoint`] captures everything
+//! the BFS loop needs to continue exactly where it stopped:
+//!
+//! * the partial dataset (embedded via the `tagdist-dataset` TSV
+//!   format, one parser, one escape scheme),
+//! * the frontier (next level, in order) and visited set,
+//! * accumulated [`CrawlStats`],
+//! * the virtual clock, token-bucket and per-host breaker state, so
+//!   resumed throttle accounting continues seamlessly.
+//!
+//! The format is line-oriented text with a versioned magic header:
+//!
+//! ```text
+//! #tagdist-checkpoint v1
+//! #meta <key>=<escaped value>      (0+ lines, caller-defined, sorted)
+//! #clock <virtual ms>
+//! #bucket available=<millitokens> last=<ms>
+//! #breaker <i> failures=<n> until=<none|ms> half_open=<0|1> trips=<n>
+//! #stats <key>=<value> …           (every CrawlStats counter)
+//! #per_depth <-|a,b,c>
+//! #depth <n>
+//! #frontier <count>
+//! <escaped key>                    (count lines)
+//! #visited <count>
+//! <escaped key>                    (count lines, sorted)
+//! #dataset
+//! #tagdist-dataset v1 countries=<n>
+//! …
+//! ```
+//!
+//! Keys reuse the TSV escape scheme ([`tagdist_dataset::tsv::escape`])
+//! so arbitrary keys stay one-per-line. The visited set is written
+//! sorted, making checkpoint bytes deterministic.
+
+use core::fmt;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use tagdist_dataset::tsv::{escape, unescape};
+use tagdist_dataset::{Dataset, DatasetError};
+
+use crate::stats::CrawlStats;
+
+/// The checkpoint format magic + version line.
+const MAGIC: &str = "#tagdist-checkpoint v1";
+
+/// Why reading or writing a checkpoint failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed checkpoint text.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The embedded dataset section failed to parse.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Parse { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+            CheckpointError::Dataset(e) => write!(f, "checkpoint dataset section: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Dataset(e) => Some(e),
+            CheckpointError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<DatasetError> for CheckpointError {
+    fn from(e: DatasetError) -> CheckpointError {
+        CheckpointError::Dataset(e)
+    }
+}
+
+/// Snapshot of one virtual host's circuit breaker.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BreakerSnapshot {
+    /// Consecutive failures observed while closed.
+    pub consecutive_failures: u32,
+    /// `Some(t)` while the circuit is open until virtual time `t`.
+    pub open_until_ms: Option<u64>,
+    /// Whether the next request is the half-open probe.
+    pub half_open: bool,
+    /// Times this breaker has tripped.
+    pub trips: u64,
+}
+
+/// A suspended crawl, ready to be serialized or resumed.
+#[derive(Debug, Clone)]
+pub struct CrawlCheckpoint {
+    /// Caller-defined provenance (world seed, budget, fault profile…),
+    /// written sorted by key. The crawler itself ignores it.
+    pub meta: BTreeMap<String, String>,
+    /// Virtual clock at suspension, in milliseconds.
+    pub clock_ms: u64,
+    /// Token-bucket millitokens available at suspension.
+    pub bucket_available_milli: u64,
+    /// Token-bucket last-refill timestamp.
+    pub bucket_last_refill_ms: u64,
+    /// Per-host breaker snapshots (index = host).
+    pub breakers: Vec<BreakerSnapshot>,
+    /// Accumulated crawl accounting.
+    pub stats: CrawlStats,
+    /// BFS depth of the pending frontier.
+    pub depth: usize,
+    /// The pending frontier, in fetch order.
+    pub frontier: Vec<String>,
+    /// Every key ever enqueued (sorted on write).
+    pub visited: Vec<String>,
+    /// The partial dataset crawled so far.
+    pub dataset: Dataset,
+}
+
+impl CrawlCheckpoint {
+    /// Serializes the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from `writer` and dataset-section
+    /// serialization errors.
+    pub fn write<W: Write>(&self, mut writer: W) -> Result<(), CheckpointError> {
+        writeln!(writer, "{MAGIC}")?;
+        for (key, value) in &self.meta {
+            writeln!(writer, "#meta {}={}", escape(key), escape(value))?;
+        }
+        writeln!(writer, "#clock {}", self.clock_ms)?;
+        writeln!(
+            writer,
+            "#bucket available={} last={}",
+            self.bucket_available_milli, self.bucket_last_refill_ms
+        )?;
+        for (i, b) in self.breakers.iter().enumerate() {
+            let until = match b.open_until_ms {
+                Some(t) => t.to_string(),
+                None => "none".to_owned(),
+            };
+            writeln!(
+                writer,
+                "#breaker {i} failures={} until={until} half_open={} trips={}",
+                b.consecutive_failures,
+                u8::from(b.half_open),
+                b.trips
+            )?;
+        }
+        let s = &self.stats;
+        writeln!(
+            writer,
+            "#stats seeds={} fetched={} duplicate_links={} failed_fetches={} \
+             frontier_exhausted={} chart_requests={} metadata_requests={} \
+             related_requests={} retries={} transient_errors={} rate_limited={} \
+             timeouts={} truncated_responses={} dangling_references={} \
+             exhausted_retries={} exhausted_related={} breaker_trips={} \
+             backoff_wait_ms={} throttle_wait_ms={} breaker_wait_ms={}",
+            s.seeds,
+            s.fetched,
+            s.duplicate_links,
+            s.failed_fetches,
+            u8::from(s.frontier_exhausted),
+            s.chart_requests,
+            s.metadata_requests,
+            s.related_requests,
+            s.retries,
+            s.transient_errors,
+            s.rate_limited,
+            s.timeouts,
+            s.truncated_responses,
+            s.dangling_references,
+            s.exhausted_retries,
+            s.exhausted_related,
+            s.breaker_trips,
+            s.backoff_wait_ms,
+            s.throttle_wait_ms,
+            s.breaker_wait_ms,
+        )?;
+        let per_depth = if s.per_depth.is_empty() {
+            "-".to_owned()
+        } else {
+            s.per_depth
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        writeln!(writer, "#per_depth {per_depth}")?;
+        writeln!(writer, "#depth {}", self.depth)?;
+        writeln!(writer, "#frontier {}", self.frontier.len())?;
+        for key in &self.frontier {
+            writeln!(writer, "{}", escape(key))?;
+        }
+        let mut visited = self.visited.clone();
+        visited.sort_unstable();
+        writeln!(writer, "#visited {}", visited.len())?;
+        for key in &visited {
+            writeln!(writer, "{}", escape(key))?;
+        }
+        writeln!(writer, "#dataset")?;
+        tagdist_dataset::tsv::write(&self.dataset, writer)?;
+        Ok(())
+    }
+
+    /// Deserializes a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// * [`CheckpointError::Io`] on read failure,
+    /// * [`CheckpointError::Parse`] on malformed header sections,
+    /// * [`CheckpointError::Dataset`] if the embedded dataset is bad.
+    pub fn read<R: Read>(mut reader: R) -> Result<CrawlCheckpoint, CheckpointError> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let mut cursor = Cursor::new(&text);
+
+        let magic = cursor
+            .next_line()
+            .ok_or_else(|| cursor.error("empty input"))?;
+        if magic != MAGIC {
+            return Err(cursor.error(&format!("bad magic {magic:?}, expected `{MAGIC}`")));
+        }
+
+        let mut meta = BTreeMap::new();
+        let mut line = loop {
+            let line = cursor
+                .next_line()
+                .ok_or_else(|| cursor.error("truncated before #clock"))?;
+            let Some(rest) = line.strip_prefix("#meta ") else {
+                break line;
+            };
+            let (key, value) = rest
+                .split_once('=')
+                .ok_or_else(|| cursor.error("bad #meta line, expected key=value"))?;
+            let key = unescape(key).ok_or_else(|| cursor.error("bad escape in meta key"))?;
+            let value = unescape(value).ok_or_else(|| cursor.error("bad escape in meta value"))?;
+            meta.insert(key, value);
+        };
+
+        let clock_ms = parse_tagged(&cursor, line, "#clock ")?;
+
+        line = cursor
+            .next_line()
+            .ok_or_else(|| cursor.error("truncated before #bucket"))?;
+        let bucket = line
+            .strip_prefix("#bucket ")
+            .ok_or_else(|| cursor.error("expected #bucket line"))?;
+        let fields = parse_fields(bucket);
+        let bucket_available_milli = parse_field(&cursor, &fields, "available")?;
+        let bucket_last_refill_ms = parse_field(&cursor, &fields, "last")?;
+
+        let mut breakers = Vec::new();
+        let mut line = loop {
+            let line = cursor
+                .next_line()
+                .ok_or_else(|| cursor.error("truncated before #stats"))?;
+            let Some(rest) = line.strip_prefix("#breaker ") else {
+                break line;
+            };
+            let (index, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| cursor.error("bad #breaker line"))?;
+            let index: usize = index
+                .parse()
+                .map_err(|_| cursor.error("bad breaker index"))?;
+            if index != breakers.len() {
+                return Err(cursor.error("breaker indices must be dense and ordered"));
+            }
+            let fields = parse_fields(rest);
+            let until = fields
+                .get("until")
+                .ok_or_else(|| cursor.error("breaker line missing `until`"))?;
+            let open_until_ms = if *until == "none" {
+                None
+            } else {
+                Some(
+                    until
+                        .parse()
+                        .map_err(|_| cursor.error("bad breaker `until` value"))?,
+                )
+            };
+            breakers.push(BreakerSnapshot {
+                consecutive_failures: u32::try_from(parse_field(&cursor, &fields, "failures")?)
+                    .map_err(|_| cursor.error("breaker failures out of range"))?,
+                open_until_ms,
+                half_open: parse_field(&cursor, &fields, "half_open")? != 0,
+                trips: parse_field(&cursor, &fields, "trips")?,
+            });
+        };
+
+        let stats_line = line
+            .strip_prefix("#stats ")
+            .ok_or_else(|| cursor.error("expected #stats line"))?;
+        let fields = parse_fields(stats_line);
+        let count = |name: &str| -> Result<usize, CheckpointError> {
+            usize::try_from(parse_field(&cursor, &fields, name)?)
+                .map_err(|_| cursor.error(&format!("stats `{name}` out of range")))
+        };
+        let mut stats = CrawlStats {
+            seeds: count("seeds")?,
+            fetched: count("fetched")?,
+            duplicate_links: count("duplicate_links")?,
+            failed_fetches: count("failed_fetches")?,
+            frontier_exhausted: parse_field(&cursor, &fields, "frontier_exhausted")? != 0,
+            chart_requests: count("chart_requests")?,
+            metadata_requests: count("metadata_requests")?,
+            related_requests: count("related_requests")?,
+            retries: count("retries")?,
+            transient_errors: count("transient_errors")?,
+            rate_limited: count("rate_limited")?,
+            timeouts: count("timeouts")?,
+            truncated_responses: count("truncated_responses")?,
+            dangling_references: count("dangling_references")?,
+            exhausted_retries: count("exhausted_retries")?,
+            exhausted_related: count("exhausted_related")?,
+            breaker_trips: count("breaker_trips")?,
+            backoff_wait_ms: parse_field(&cursor, &fields, "backoff_wait_ms")?,
+            throttle_wait_ms: parse_field(&cursor, &fields, "throttle_wait_ms")?,
+            breaker_wait_ms: parse_field(&cursor, &fields, "breaker_wait_ms")?,
+            per_depth: Vec::new(),
+        };
+
+        line = cursor
+            .next_line()
+            .ok_or_else(|| cursor.error("truncated before #per_depth"))?;
+        let per_depth = line
+            .strip_prefix("#per_depth ")
+            .ok_or_else(|| cursor.error("expected #per_depth line"))?;
+        if per_depth != "-" {
+            for part in per_depth.split(',') {
+                stats.per_depth.push(
+                    part.parse()
+                        .map_err(|_| cursor.error("bad per_depth entry"))?,
+                );
+            }
+        }
+
+        line = cursor
+            .next_line()
+            .ok_or_else(|| cursor.error("truncated before #depth"))?;
+        let depth = parse_tagged(&cursor, line, "#depth ")?;
+        let depth = usize::try_from(depth).map_err(|_| cursor.error("depth out of range"))?;
+
+        let frontier = read_key_section(&mut cursor, "#frontier ")?;
+        let visited = read_key_section(&mut cursor, "#visited ")?;
+
+        line = cursor
+            .next_line()
+            .ok_or_else(|| cursor.error("truncated before #dataset"))?;
+        if line != "#dataset" {
+            return Err(cursor.error("expected #dataset marker"));
+        }
+        let dataset = tagdist_dataset::tsv::read(cursor.rest().as_bytes())?;
+
+        Ok(CrawlCheckpoint {
+            meta,
+            clock_ms,
+            bucket_available_milli,
+            bucket_last_refill_ms,
+            breakers,
+            stats,
+            depth,
+            frontier,
+            visited,
+            dataset,
+        })
+    }
+
+    /// Serializes to an in-memory string (convenience for tests and
+    /// the CLI).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CrawlCheckpoint::write`].
+    pub fn to_string_lossless(&self) -> Result<String, CheckpointError> {
+        let mut buf = Vec::new();
+        self.write(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| CheckpointError::Parse {
+            line: 0,
+            message: "checkpoint text is not UTF-8".into(),
+        })
+    }
+}
+
+/// Line cursor over the checkpoint text, tracking position for error
+/// messages and exposing the unread remainder (the dataset section).
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Cursor<'a> {
+        Cursor {
+            text,
+            pos: 0,
+            line: 0,
+        }
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        if self.pos >= self.text.len() {
+            return None;
+        }
+        self.line += 1;
+        let rest = &self.text[self.pos..];
+        match rest.find('\n') {
+            Some(idx) => {
+                self.pos += idx + 1;
+                Some(&rest[..idx])
+            }
+            None => {
+                self.pos = self.text.len();
+                Some(rest)
+            }
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn error(&self, message: &str) -> CheckpointError {
+        CheckpointError::Parse {
+            line: self.line.max(1),
+            message: message.to_owned(),
+        }
+    }
+}
+
+/// Parses `#tag N` lines.
+fn parse_tagged(cursor: &Cursor<'_>, line: &str, tag: &str) -> Result<u64, CheckpointError> {
+    let value = line
+        .strip_prefix(tag)
+        .ok_or_else(|| cursor.error(&format!("expected `{}` line", tag.trim_end())))?;
+    value
+        .parse()
+        .map_err(|_| cursor.error(&format!("bad number in `{}` line", tag.trim_end())))
+}
+
+/// Splits `a=1 b=2` into a field map.
+fn parse_fields(text: &str) -> BTreeMap<&str, &str> {
+    text.split_whitespace()
+        .filter_map(|pair| pair.split_once('='))
+        .collect()
+}
+
+/// Looks up and parses one numeric field.
+fn parse_field(
+    cursor: &Cursor<'_>,
+    fields: &BTreeMap<&str, &str>,
+    name: &str,
+) -> Result<u64, CheckpointError> {
+    fields
+        .get(name)
+        .ok_or_else(|| cursor.error(&format!("missing field `{name}`")))?
+        .parse()
+        .map_err(|_| cursor.error(&format!("bad value for field `{name}`")))
+}
+
+/// Reads a `#section N` header plus its N escaped key lines.
+fn read_key_section(cursor: &mut Cursor<'_>, tag: &str) -> Result<Vec<String>, CheckpointError> {
+    let line = cursor
+        .next_line()
+        .ok_or_else(|| cursor.error(&format!("truncated before `{}`", tag.trim_end())))?;
+    let count = parse_tagged(cursor, line, tag)?;
+    let count = usize::try_from(count).map_err(|_| cursor.error("section count out of range"))?;
+    let mut keys = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let line = cursor
+            .next_line()
+            .ok_or_else(|| cursor.error("truncated key section"))?;
+        keys.push(unescape(line).ok_or_else(|| cursor.error("bad escape in key"))?);
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagdist_dataset::{DatasetBuilder, RawPopularity};
+
+    fn sample() -> CrawlCheckpoint {
+        let mut b = DatasetBuilder::new(3);
+        b.push_video_titled(
+            "k1",
+            "weird,title\twith\nescapes",
+            10,
+            &["pop", "a,b"],
+            RawPopularity::decode(vec![1, 2, 3], 3),
+        );
+        b.push_video("k2", 5, &[], RawPopularity::Missing);
+        let mut meta = BTreeMap::new();
+        meta.insert("world_seed".to_owned(), "2011".to_owned());
+        meta.insert("note".to_owned(), "has = and , and\ttab".to_owned());
+        CrawlCheckpoint {
+            meta,
+            clock_ms: 123_456,
+            bucket_available_milli: 7_500,
+            bucket_last_refill_ms: 123_400,
+            breakers: vec![
+                BreakerSnapshot {
+                    consecutive_failures: 2,
+                    open_until_ms: None,
+                    half_open: false,
+                    trips: 1,
+                },
+                BreakerSnapshot {
+                    consecutive_failures: 0,
+                    open_until_ms: Some(150_000),
+                    half_open: true,
+                    trips: 3,
+                },
+            ],
+            stats: CrawlStats {
+                seeds: 4,
+                fetched: 2,
+                duplicate_links: 7,
+                failed_fetches: 1,
+                dangling_references: 1,
+                retries: 5,
+                transient_errors: 3,
+                rate_limited: 1,
+                timeouts: 1,
+                backoff_wait_ms: 4_000,
+                throttle_wait_ms: 2_000,
+                per_depth: vec![2],
+                ..CrawlStats::default()
+            },
+            depth: 1,
+            frontier: vec!["next,with\tescape".to_owned(), "plain".to_owned()],
+            visited: vec!["k2".to_owned(), "k1".to_owned(), "plain".to_owned()],
+            dataset: b.build(),
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let cp = sample();
+        let text = cp.to_string_lossless().unwrap();
+        assert!(text.starts_with("#tagdist-checkpoint v1\n"));
+        let back = CrawlCheckpoint::read(text.as_bytes()).unwrap();
+        assert_eq!(back.meta, cp.meta);
+        assert_eq!(back.clock_ms, cp.clock_ms);
+        assert_eq!(back.bucket_available_milli, cp.bucket_available_milli);
+        assert_eq!(back.bucket_last_refill_ms, cp.bucket_last_refill_ms);
+        assert_eq!(back.breakers, cp.breakers);
+        assert_eq!(back.stats, cp.stats);
+        assert_eq!(back.depth, cp.depth);
+        assert_eq!(back.frontier, cp.frontier);
+        let mut sorted = cp.visited.clone();
+        sorted.sort_unstable();
+        assert_eq!(back.visited, sorted, "visited is written sorted");
+        assert_eq!(back.dataset.len(), cp.dataset.len());
+        assert_eq!(
+            back.dataset.by_key("k1").unwrap().title,
+            "weird,title\twith\nescapes"
+        );
+        // Serialization is a fixed point: write(read(x)) == x.
+        let again = back.to_string_lossless().unwrap();
+        assert_eq!(again, text);
+    }
+
+    #[test]
+    fn empty_per_depth_round_trips() {
+        let mut cp = sample();
+        cp.stats.per_depth.clear();
+        let text = cp.to_string_lossless().unwrap();
+        let back = CrawlCheckpoint::read(text.as_bytes()).unwrap();
+        assert!(back.stats.per_depth.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_checkpoints() {
+        let good = sample().to_string_lossless().unwrap();
+        // Bad magic.
+        let err = CrawlCheckpoint::read("#nope v9\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Parse { line: 1, .. }),
+            "{err}"
+        );
+        // Truncation anywhere in the header is a parse error.
+        for cut in [30, 80, 200] {
+            if cut < good.len() {
+                let err = CrawlCheckpoint::read(&good.as_bytes()[..cut]).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        CheckpointError::Parse { .. } | CheckpointError::Dataset(_)
+                    ),
+                    "cut at {cut}: {err}"
+                );
+            }
+        }
+        // A corrupted stats field is named in the message.
+        let bad = good.replace("retries=5", "retries=x");
+        let err = CrawlCheckpoint::read(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("retries"), "{err}");
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        let err = CheckpointError::Parse {
+            line: 3,
+            message: "boom".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+        let io = CheckpointError::from(std::io::Error::other("disk gone"));
+        assert!(io.to_string().contains("disk gone"));
+    }
+}

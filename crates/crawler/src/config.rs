@@ -2,6 +2,10 @@
 
 use tagdist_geo::{world, CountryId};
 
+use crate::breaker::BreakerConfig;
+use crate::ratelimit::RateLimitConfig;
+use crate::retry::RetryPolicy;
+
 /// Configuration of a snowball crawl (non-consuming builder).
 ///
 /// Defaults mirror the paper: seeds are the top **10** videos of each
@@ -23,6 +27,12 @@ pub struct CrawlConfig {
     pub related_per_video: usize,
     /// Worker threads for [`crawl_parallel`](crate::crawl_parallel).
     pub threads: usize,
+    /// Retry schedule for transient platform faults.
+    pub retry: RetryPolicy,
+    /// Client-side token-bucket throttle (virtual time).
+    pub rate_limit: RateLimitConfig,
+    /// Per-host circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for CrawlConfig {
@@ -34,6 +44,9 @@ impl Default for CrawlConfig {
             max_depth: usize::MAX,
             related_per_video: 20,
             threads: 4,
+            retry: RetryPolicy::default(),
+            rate_limit: RateLimitConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -63,6 +76,24 @@ impl CrawlConfig {
         self
     }
 
+    /// Replaces the retry policy.
+    pub fn with_retry(&mut self, retry: RetryPolicy) -> &mut CrawlConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the rate-limit configuration.
+    pub fn with_rate_limit(&mut self, rate_limit: RateLimitConfig) -> &mut CrawlConfig {
+        self.rate_limit = rate_limit;
+        self
+    }
+
+    /// Replaces the circuit-breaker configuration.
+    pub fn with_breaker(&mut self, breaker: BreakerConfig) -> &mut CrawlConfig {
+        self.breaker = breaker;
+        self
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Errors
@@ -81,6 +112,9 @@ impl CrawlConfig {
         if self.threads == 0 {
             return Err("threads must be > 0".into());
         }
+        self.retry.validate()?;
+        self.rate_limit.validate()?;
+        self.breaker.validate()?;
         Ok(())
     }
 }
@@ -136,5 +170,29 @@ mod tests {
             ..CrawlConfig::default()
         };
         assert!(no_budget.validate().is_err());
+
+        let mut bad_retry = CrawlConfig::default();
+        bad_retry.retry.max_attempts = 0;
+        assert!(bad_retry.validate().is_err());
+
+        let mut bad_breaker = CrawlConfig::default();
+        bad_breaker.breaker.hosts = 0;
+        assert!(bad_breaker.validate().is_err());
+    }
+
+    #[test]
+    fn robustness_builders_chain() {
+        let mut c = CrawlConfig::default();
+        c.with_retry(crate::retry::RetryPolicy::none())
+            .with_rate_limit(crate::ratelimit::RateLimitConfig::unlimited())
+            .with_breaker(crate::breaker::BreakerConfig {
+                failure_threshold: 2,
+                cooldown_ms: 100,
+                hosts: 1,
+            });
+        assert_eq!(c.retry.max_attempts, 1);
+        assert_eq!(c.rate_limit.requests_per_sec, 0);
+        assert_eq!(c.breaker.hosts, 1);
+        c.validate().unwrap();
     }
 }

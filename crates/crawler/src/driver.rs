@@ -1,4 +1,24 @@
-//! The BFS snowball drivers.
+//! The BFS snowball drivers, fault-tolerant since PR 5.
+//!
+//! # Fault handling without losing determinism
+//!
+//! Worker threads fetch frontier keys concurrently, retrying
+//! transient faults until success, a permanent 404, or the retry
+//! budget runs out. Workers never touch shared throttle state —
+//! instead each returns a *fault trace* (the sequence of transient
+//! errors it absorbed). The sequential merge then replays those
+//! traces in frontier order through the virtual clock, token bucket
+//! and per-host circuit breakers, so every retry/backoff/throttle
+//! counter in [`CrawlStats`] is a pure function of the fault pattern —
+//! byte-identical at any `TAGDIST_THREADS`.
+//!
+//! # Suspension and resume
+//!
+//! [`crawl_stepwise`]/[`crawl_parallel_stepwise`] expose the BFS loop
+//! one level at a time: the crawl can be suspended after any level
+//! into a [`CrawlCheckpoint`] and resumed later — against a freshly
+//! regenerated platform — producing a dataset byte-identical to an
+//! uninterrupted run.
 
 use std::collections::HashSet;
 
@@ -6,12 +26,15 @@ use tagdist_dataset::{Dataset, DatasetBuilder, RawPopularity};
 use tagdist_geo::world;
 use tagdist_obs::SpanGuard;
 use tagdist_par::Pool;
-use tagdist_ytsim::{PlatformApi, VideoMetadata};
+use tagdist_ytsim::{FetchError, PlatformApi, VideoMetadata};
 
+use crate::breaker::HostBreakers;
+use crate::checkpoint::{BreakerSnapshot, CrawlCheckpoint};
 use crate::config::CrawlConfig;
+use crate::ratelimit::TokenBucket;
 use crate::stats::CrawlStats;
 
-/// Result of a crawl: the raw dataset plus accounting.
+/// Result of a completed crawl: the raw dataset plus accounting.
 #[derive(Debug)]
 pub struct CrawlOutcome {
     /// The as-crawled dataset (pre-filtering).
@@ -20,96 +43,397 @@ pub struct CrawlOutcome {
     pub stats: CrawlStats,
 }
 
-/// One fetched video: its metadata and the related keys to expand.
-type Fetched = Option<(VideoMetadata, Vec<String>)>;
+/// Result of a stepwise crawl: finished, or suspended mid-flight.
+#[derive(Debug)]
+#[expect(
+    clippy::large_enum_variant,
+    reason = "constructed once per crawl; boxing the outcome buys nothing"
+)]
+pub enum CrawlRun {
+    /// The crawl ran to its natural end (frontier drained, budget or
+    /// depth limit hit).
+    Complete(CrawlOutcome),
+    /// The crawl was suspended after `stop_after_levels` levels; the
+    /// checkpoint resumes it exactly.
+    Suspended(Box<CrawlCheckpoint>),
+}
+
+impl CrawlRun {
+    /// Unwraps a completed crawl.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the crawl was suspended.
+    #[expect(clippy::panic, reason = "documented # Panics contract")]
+    #[must_use]
+    pub fn expect_complete(self) -> CrawlOutcome {
+        match self {
+            CrawlRun::Complete(outcome) => outcome,
+            CrawlRun::Suspended(_) => panic!("crawl was suspended, not complete"),
+        }
+    }
+}
+
+/// How one frontier key resolved after retries.
+#[derive(Debug)]
+enum ItemOutcome {
+    /// Metadata (and possibly a degraded related list) obtained.
+    Fetched {
+        meta: VideoMetadata,
+        related: Vec<String>,
+        /// The related list was abandoned after exhausting retries.
+        related_exhausted: bool,
+    },
+    /// Permanent 404: a dangling chart/related reference.
+    Dangling,
+    /// Every metadata attempt faulted; the video is skipped.
+    Exhausted,
+}
+
+/// Worker-side record of one frontier key's resolution: the outcome
+/// plus the transient faults absorbed along the way (the merge replays
+/// them through the virtual throttle).
+#[derive(Debug)]
+struct FetchedItem {
+    fetch_faults: Vec<FetchError>,
+    related_faults: Vec<FetchError>,
+    outcome: ItemOutcome,
+}
+
+/// Shared throttle state, owned by the sequential merge: virtual
+/// clock, token bucket, breaker bank.
+#[derive(Debug)]
+struct Throttle {
+    clock_ms: u64,
+    bucket: TokenBucket,
+    breakers: HostBreakers,
+}
+
+impl Throttle {
+    fn new(cfg: &CrawlConfig) -> Throttle {
+        Throttle {
+            clock_ms: 0,
+            bucket: TokenBucket::new(&cfg.rate_limit),
+            breakers: HostBreakers::new(&cfg.breaker),
+        }
+    }
+
+    /// Accounts one wire request to `host`: token-bucket wait, then
+    /// breaker gate.
+    fn request(&mut self, host: usize, stats: &mut CrawlStats) {
+        stats.throttle_wait_ms += self.bucket.acquire(&mut self.clock_ms);
+        stats.breaker_wait_ms += self.breakers.before_request(host, &mut self.clock_ms);
+    }
+
+    /// Replays one endpoint's attempt sequence (`faults`, then a
+    /// terminal attempt unless the budget was exhausted) through the
+    /// throttle, updating `stats`.
+    fn replay(
+        &mut self,
+        cfg: &CrawlConfig,
+        key: &str,
+        host: usize,
+        faults: &[FetchError],
+        terminal_attempted: bool,
+        stats: &mut CrawlStats,
+    ) {
+        let attempts = faults.len() + usize::from(terminal_attempted);
+        for (i, fault) in faults.iter().enumerate() {
+            self.request(host, stats);
+            if self.breakers.record(host, false, self.clock_ms) {
+                stats.breaker_trips += 1;
+            }
+            match fault {
+                FetchError::Transient => stats.transient_errors += 1,
+                FetchError::RateLimited => stats.rate_limited += 1,
+                FetchError::Timeout => stats.timeouts += 1,
+                FetchError::Truncated => stats.truncated_responses += 1,
+                // NotFound terminates the attempt sequence; it is
+                // never recorded as a transient fault.
+                FetchError::NotFound => {}
+            }
+            if i + 1 < attempts {
+                let backoff = cfg
+                    .retry
+                    .backoff_ms(key, u32::try_from(i).unwrap_or(u32::MAX));
+                stats.backoff_wait_ms += backoff;
+                self.clock_ms = self.clock_ms.saturating_add(backoff);
+            }
+        }
+        if terminal_attempted {
+            self.request(host, stats);
+            // A definitive answer — metadata, a related list, or an
+            // authoritative 404 — counts as host success.
+            self.breakers.record(host, true, self.clock_ms);
+        }
+        stats.retries += attempts.saturating_sub(1);
+    }
+}
+
+/// Mutable BFS state threaded between levels (and through
+/// checkpoints).
+#[derive(Debug)]
+struct CrawlState {
+    builder: DatasetBuilder,
+    stats: CrawlStats,
+    visited: HashSet<String>,
+    level: Vec<String>,
+    depth: usize,
+    throttle: Throttle,
+}
+
+impl CrawlState {
+    /// Fresh state from the seed charts.
+    fn start<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlState {
+        let seeds = gather_seeds(platform, cfg);
+        let stats = CrawlStats {
+            seeds: seeds.len(),
+            // One chart request per seed country.
+            chart_requests: cfg.seed_countries.len(),
+            ..CrawlStats::default()
+        };
+        CrawlState {
+            builder: DatasetBuilder::new(world().len()),
+            stats,
+            visited: seeds.iter().cloned().collect(),
+            level: seeds,
+            depth: 0,
+            throttle: Throttle::new(cfg),
+        }
+    }
+
+    /// State restored from a checkpoint (no chart requests are
+    /// re-issued; the frontier is taken as-is).
+    fn resume(cfg: &CrawlConfig, checkpoint: CrawlCheckpoint) -> CrawlState {
+        let CrawlCheckpoint {
+            clock_ms,
+            bucket_available_milli,
+            bucket_last_refill_ms,
+            breakers,
+            stats,
+            depth,
+            frontier,
+            visited,
+            dataset,
+            meta: _,
+        } = checkpoint;
+        let mut builder = DatasetBuilder::new(dataset.country_count());
+        builder.extend_from(&dataset);
+        let mut throttle = Throttle::new(cfg);
+        throttle.clock_ms = clock_ms;
+        throttle
+            .bucket
+            .restore(bucket_available_milli, bucket_last_refill_ms);
+        for (breaker, snap) in throttle.breakers.breakers_mut().iter_mut().zip(&breakers) {
+            breaker.restore(
+                snap.consecutive_failures,
+                snap.open_until_ms,
+                snap.half_open,
+                snap.trips,
+            );
+        }
+        CrawlState {
+            builder,
+            stats,
+            visited: visited.into_iter().collect(),
+            level: frontier,
+            depth,
+            throttle,
+        }
+    }
+
+    /// Snapshots the state into a checkpoint (consuming it).
+    fn into_checkpoint(mut self) -> CrawlCheckpoint {
+        self.stats.fetched = self.builder.len();
+        let (bucket_available_milli, bucket_last_refill_ms) = self.throttle.bucket.snapshot();
+        let breakers = self
+            .throttle
+            .breakers
+            .breakers()
+            .iter()
+            .map(|b| {
+                let (consecutive_failures, open_until_ms, half_open, trips) = b.snapshot();
+                BreakerSnapshot {
+                    consecutive_failures,
+                    open_until_ms,
+                    half_open,
+                    trips,
+                }
+            })
+            .collect();
+        let mut visited: Vec<String> = self.visited.into_iter().collect();
+        visited.sort_unstable();
+        CrawlCheckpoint {
+            meta: std::collections::BTreeMap::new(),
+            clock_ms: self.throttle.clock_ms,
+            bucket_available_milli,
+            bucket_last_refill_ms,
+            breakers,
+            stats: self.stats,
+            depth: self.depth,
+            frontier: self.level,
+            visited,
+            dataset: self.builder.build(),
+        }
+    }
+}
 
 /// Sequential breadth-first snowball crawl (deterministic).
 ///
 /// Seeds are the per-country charts in [`CrawlConfig::seed_countries`]
 /// order; each level is fetched in frontier order and expanded through
-/// the platform's related lists.
+/// the platform's related lists. Transient faults are retried per
+/// [`CrawlConfig::retry`]; throttle and breaker waits accrue on the
+/// virtual clock.
 ///
 /// # Panics
 ///
 /// Panics if `cfg` fails [`CrawlConfig::validate`].
-#[expect(
-    clippy::expect_used,
-    reason = "documented # Panics contract on invalid configs"
-)]
 pub fn crawl<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> CrawlOutcome {
-    cfg.validate().expect("invalid crawl configuration");
-    let seeds = gather_seeds(platform, cfg);
-    run(cfg, seeds, &SpanGuard::disabled(), |level| {
-        level
-            .iter()
-            .map(|key| fetch_one(platform, cfg, key))
-            .collect()
-    })
+    crawl_stepwise(platform, cfg, None, None).expect_complete()
 }
 
 /// Level-synchronized parallel crawl.
 ///
 /// Each BFS level is fanned out over a [`tagdist_par::Pool`] of
 /// [`CrawlConfig::threads`] workers; results come back in frontier
-/// order, so the outcome is identical to [`crawl`] on the same
-/// platform and configuration.
+/// order and the fault traces are replayed sequentially, so the
+/// outcome — dataset *and* every stats counter — is identical to
+/// [`crawl`] on the same platform and configuration.
 ///
 /// # Panics
 ///
 /// Panics if `cfg` fails [`CrawlConfig::validate`] or a worker thread
 /// panics.
-#[expect(
-    clippy::expect_used,
-    reason = "documented # Panics contract on invalid configs"
-)]
 pub fn crawl_parallel<P: PlatformApi + Sync + ?Sized>(
     platform: &P,
     cfg: &CrawlConfig,
 ) -> CrawlOutcome {
-    cfg.validate().expect("invalid crawl configuration");
-    let seeds = gather_seeds(platform, cfg);
+    crawl_parallel_stepwise(platform, cfg, None, None).expect_complete()
+}
+
+/// [`crawl`], but resumable: `resume` continues from a checkpoint
+/// instead of the seed charts, and `stop_after_levels` suspends the
+/// crawl after that many further BFS levels.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`CrawlConfig::validate`] or the checkpoint's
+/// dataset covers a different world size.
+pub fn crawl_stepwise<P: PlatformApi + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    resume: Option<CrawlCheckpoint>,
+    stop_after_levels: Option<usize>,
+) -> CrawlRun {
+    let state = start_state(platform, cfg, resume);
+    run(
+        cfg,
+        state,
+        stop_after_levels,
+        &SpanGuard::disabled(),
+        |level| {
+            level
+                .iter()
+                .map(|key| fetch_one(platform, cfg, key))
+                .collect()
+        },
+    )
+}
+
+/// [`crawl_parallel`], but resumable; see [`crawl_stepwise`].
+///
+/// # Panics
+///
+/// As for [`crawl_parallel`] and [`crawl_stepwise`].
+pub fn crawl_parallel_stepwise<P: PlatformApi + Sync + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    resume: Option<CrawlCheckpoint>,
+    stop_after_levels: Option<usize>,
+) -> CrawlRun {
+    let state = start_state(platform, cfg, resume);
     let pool = Pool::new(cfg.threads);
-    run(cfg, seeds, &SpanGuard::disabled(), |level| {
-        pool.par_map(level, |_, key| fetch_one(platform, cfg, key))
-    })
+    run(
+        cfg,
+        state,
+        stop_after_levels,
+        &SpanGuard::disabled(),
+        |level| pool.par_map(level, |_, key| fetch_one(platform, cfg, key)),
+    )
 }
 
 /// [`crawl_parallel`], instrumented: opens a `crawl` child span of
 /// `parent`, a `level.{depth}` span per BFS level, and records the
 /// crawl's deterministic counters (`crawl.seeds`, `.levels`,
 /// `.frontier_items`, `.fetched`, `.failed_fetches`,
-/// `.duplicate_links`, gauge `crawl.frontier_peak`) plus pool dispatch
-/// stats into its recorder. The crawl itself — dataset and
-/// [`CrawlStats`] — is unchanged.
+/// `.duplicate_links`, the fault-tolerance counters `crawl.retries`,
+/// `.transient_errors`, `.rate_limited`, `.timeouts`, `.truncated`,
+/// `.dangling_refs`, `.exhausted_retries`, `.breaker_trips`,
+/// `.backoff_wait_ms`, `.throttle_wait_ms`, `.breaker_wait_ms`, gauge
+/// `crawl.frontier_peak`) plus pool dispatch stats into its recorder.
+/// All of these are virtual-time quantities, deterministic at any
+/// thread count. The crawl itself — dataset and [`CrawlStats`] — is
+/// unchanged.
 ///
 /// # Panics
 ///
 /// As for [`crawl_parallel`].
-#[expect(
-    clippy::expect_used,
-    reason = "documented # Panics contract on invalid configs"
-)]
 pub fn crawl_parallel_obs<P: PlatformApi + Sync + ?Sized>(
     platform: &P,
     cfg: &CrawlConfig,
     parent: &SpanGuard,
 ) -> CrawlOutcome {
-    cfg.validate().expect("invalid crawl configuration");
     let span = parent.child("crawl");
-    let seeds = gather_seeds(platform, cfg);
+    let state = start_state(platform, cfg, None);
     let pool = Pool::new(cfg.threads).with_obs(span.recorder());
-    let outcome = run(cfg, seeds, &span, |level| {
+    let outcome = run(cfg, state, None, &span, |level| {
         pool.par_map(level, |_, key| fetch_one(platform, cfg, key))
-    });
+    })
+    .expect_complete();
     let obs = span.recorder();
-    obs.add("crawl.seeds", outcome.stats.seeds as u64);
-    obs.add("crawl.fetched", outcome.stats.fetched as u64);
-    obs.add("crawl.failed_fetches", outcome.stats.failed_fetches as u64);
-    obs.add(
-        "crawl.duplicate_links",
-        outcome.stats.duplicate_links as u64,
-    );
+    let s = &outcome.stats;
+    obs.add("crawl.seeds", s.seeds as u64);
+    obs.add("crawl.fetched", s.fetched as u64);
+    obs.add("crawl.failed_fetches", s.failed_fetches as u64);
+    obs.add("crawl.duplicate_links", s.duplicate_links as u64);
+    obs.add("crawl.retries", s.retries as u64);
+    obs.add("crawl.transient_errors", s.transient_errors as u64);
+    obs.add("crawl.rate_limited", s.rate_limited as u64);
+    obs.add("crawl.timeouts", s.timeouts as u64);
+    obs.add("crawl.truncated", s.truncated_responses as u64);
+    obs.add("crawl.dangling_refs", s.dangling_references as u64);
+    obs.add("crawl.exhausted_retries", s.exhausted_retries as u64);
+    obs.add("crawl.breaker_trips", s.breaker_trips as u64);
+    obs.add("crawl.backoff_wait_ms", s.backoff_wait_ms);
+    obs.add("crawl.throttle_wait_ms", s.throttle_wait_ms);
+    obs.add("crawl.breaker_wait_ms", s.breaker_wait_ms);
     outcome
+}
+
+/// Validates the config and builds the starting state (fresh or
+/// resumed).
+#[expect(
+    clippy::expect_used,
+    reason = "documented # Panics contract on invalid configs"
+)]
+fn start_state<P: PlatformApi + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    resume: Option<CrawlCheckpoint>,
+) -> CrawlState {
+    cfg.validate().expect("invalid crawl configuration");
+    match resume {
+        Some(checkpoint) => {
+            assert_eq!(
+                checkpoint.dataset.country_count(),
+                world().len(),
+                "checkpoint covers a different world size"
+            );
+            CrawlState::resume(cfg, checkpoint)
+        }
+        None => CrawlState::start(platform, cfg),
+    }
 }
 
 /// Collects the paper's seed set: the top `seeds_per_country` chart
@@ -128,10 +452,59 @@ fn gather_seeds<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig) -> Vec
     seeds
 }
 
-fn fetch_one<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig, key: &str) -> Fetched {
-    let meta = platform.fetch(key)?;
-    let related = platform.related(key, cfg.related_per_video);
-    Some((meta, related))
+/// Resolves one frontier key with per-request retries. Runs on a
+/// worker thread; touches no shared state — the faults it absorbs come
+/// back in the trace for the sequential merge to account.
+fn fetch_one<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig, key: &str) -> FetchedItem {
+    let max_attempts = cfg.retry.max_attempts.max(1) as usize;
+    let mut fetch_faults = Vec::new();
+    let meta = loop {
+        match platform.fetch(key) {
+            Ok(meta) => break meta,
+            Err(FetchError::NotFound) => {
+                return FetchedItem {
+                    fetch_faults,
+                    related_faults: Vec::new(),
+                    outcome: ItemOutcome::Dangling,
+                }
+            }
+            Err(fault) => {
+                fetch_faults.push(fault);
+                if fetch_faults.len() >= max_attempts {
+                    return FetchedItem {
+                        fetch_faults,
+                        related_faults: Vec::new(),
+                        outcome: ItemOutcome::Exhausted,
+                    };
+                }
+            }
+        }
+    };
+    let mut related_faults = Vec::new();
+    let mut related_exhausted = false;
+    let related = loop {
+        match platform.related(key, cfg.related_per_video) {
+            Ok(list) => break list,
+            Err(FetchError::NotFound) => break Vec::new(),
+            Err(fault) => {
+                related_faults.push(fault);
+                if related_faults.len() >= max_attempts {
+                    // Degrade: keep the video, lose its edges.
+                    related_exhausted = true;
+                    break Vec::new();
+                }
+            }
+        }
+    };
+    FetchedItem {
+        fetch_faults,
+        related_faults,
+        outcome: ItemOutcome::Fetched {
+            meta,
+            related,
+            related_exhausted,
+        },
+    }
 }
 
 /// Shared BFS loop. `fetch_level` resolves one frontier level,
@@ -141,67 +514,102 @@ fn fetch_one<P: PlatformApi + ?Sized>(platform: &P, cfg: &CrawlConfig, key: &str
 /// itself, so they are identical however levels are fetched.
 fn run<F>(
     cfg: &CrawlConfig,
-    seeds: Vec<String>,
+    mut state: CrawlState,
+    stop_after_levels: Option<usize>,
     span: &SpanGuard,
     mut fetch_level: F,
-) -> CrawlOutcome
+) -> CrawlRun
 where
-    F: FnMut(&[String]) -> Vec<Fetched>,
+    F: FnMut(&[String]) -> Vec<FetchedItem>,
 {
     let country_count = world().len();
-    let mut builder = DatasetBuilder::new(country_count);
-    let mut stats = CrawlStats {
-        seeds: seeds.len(),
-        // One chart request per seed country.
-        chart_requests: cfg.seed_countries.len(),
-        ..CrawlStats::default()
-    };
-    let mut visited: HashSet<String> = seeds.iter().cloned().collect();
-
-    let mut level = seeds;
-    let mut depth = 0usize;
     let mut budget_hit = false;
+    let mut levels_done = 0usize;
 
-    while !level.is_empty() {
-        if depth > cfg.max_depth {
+    while !state.level.is_empty() {
+        if let Some(stop) = stop_after_levels {
+            if levels_done >= stop {
+                return CrawlRun::Suspended(Box::new(state.into_checkpoint()));
+            }
+        }
+        if state.depth > cfg.max_depth {
             budget_hit = true;
             break;
         }
         // Respect the fetch budget before issuing requests.
-        let remaining = cfg.budget - builder.len();
+        let remaining = cfg.budget - state.builder.len();
         if remaining == 0 {
             budget_hit = true;
             break;
         }
-        if level.len() > remaining {
-            level.truncate(remaining);
+        if state.level.len() > remaining {
+            state.level.truncate(remaining);
             budget_hit = true;
         }
 
         let obs = span.recorder();
         obs.add("crawl.levels", 1);
-        obs.add("crawl.frontier_items", level.len() as u64);
-        obs.gauge_max("crawl.frontier_peak", level.len() as u64);
-        let level_span = span.child(&format!("level.{depth}"));
-        let fetched = fetch_level(&level);
+        obs.add("crawl.frontier_items", state.level.len() as u64);
+        obs.gauge_max("crawl.frontier_peak", state.level.len() as u64);
+        let level_span = span.child(&format!("level.{}", state.depth));
+        let fetched = fetch_level(&state.level);
         drop(level_span);
-        debug_assert_eq!(fetched.len(), level.len());
-        stats.metadata_requests += level.len();
+        debug_assert_eq!(fetched.len(), state.level.len());
+        state.stats.metadata_requests += state.level.len();
 
         let mut next: Vec<String> = Vec::new();
         let mut fetched_this_level = 0usize;
-        for item in fetched {
-            let Some((meta, related)) = item else {
-                stats.failed_fetches += 1;
-                continue;
+        for (key, item) in state.level.iter().zip(fetched) {
+            // Replay the fault trace in frontier order through the
+            // virtual throttle: clock, bucket and breakers see the
+            // exact same sequence at any thread count.
+            let host = state.throttle.breakers.host_of(key);
+            let terminal_fetch = !matches!(item.outcome, ItemOutcome::Exhausted);
+            state.throttle.replay(
+                cfg,
+                key,
+                host,
+                &item.fetch_faults,
+                terminal_fetch,
+                &mut state.stats,
+            );
+            let (meta, related, related_exhausted) = match item.outcome {
+                ItemOutcome::Dangling => {
+                    state.stats.dangling_references += 1;
+                    state.stats.failed_fetches += 1;
+                    continue;
+                }
+                ItemOutcome::Exhausted => {
+                    state.stats.exhausted_retries += 1;
+                    state.stats.failed_fetches += 1;
+                    continue;
+                }
+                ItemOutcome::Fetched {
+                    meta,
+                    related,
+                    related_exhausted,
+                } => (meta, related, related_exhausted),
             };
-            stats.related_requests += 1;
+            let terminal_related = !related_exhausted;
+            state.throttle.replay(
+                cfg,
+                key,
+                host,
+                &item.related_faults,
+                terminal_related,
+                &mut state.stats,
+            );
+            if related_exhausted {
+                state.stats.exhausted_related += 1;
+            }
+            state.stats.related_requests += 1;
+
             let tag_refs: Vec<&str> = meta.tags.iter().map(String::as_str).collect();
             let popularity = match meta.popularity {
                 Some(raw) => RawPopularity::decode(raw, country_count),
                 None => RawPopularity::Missing,
             };
-            builder.push_video_titled(
+            state.builder.push_video_titled(
                 &meta.key,
                 &meta.title,
                 meta.total_views,
@@ -211,31 +619,32 @@ where
             fetched_this_level += 1;
 
             for key in related {
-                if visited.contains(&key) {
-                    stats.duplicate_links += 1;
+                if state.visited.contains(&key) {
+                    state.stats.duplicate_links += 1;
                 } else {
-                    visited.insert(key.clone());
+                    state.visited.insert(key.clone());
                     next.push(key);
                 }
             }
         }
-        stats.per_depth.push(fetched_this_level);
-        level = next;
-        depth += 1;
+        state.stats.per_depth.push(fetched_this_level);
+        state.level = next;
+        state.depth += 1;
+        levels_done += 1;
     }
 
-    stats.fetched = builder.len();
-    stats.frontier_exhausted = !budget_hit;
-    CrawlOutcome {
-        dataset: builder.build(),
-        stats,
-    }
+    state.stats.fetched = state.builder.len();
+    state.stats.frontier_exhausted = !budget_hit;
+    CrawlRun::Complete(CrawlOutcome {
+        dataset: state.builder.build(),
+        stats: state.stats,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tagdist_ytsim::{Platform, WorldConfig};
+    use tagdist_ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
 
     fn platform() -> Platform {
         let mut cfg = WorldConfig::tiny();
@@ -289,6 +698,8 @@ mod tests {
         assert_eq!(out.stats.per_depth[0], out.stats.seeds.min(400));
         assert!(out.stats.max_depth().is_some());
         assert_eq!(out.stats.failed_fetches, 0);
+        assert_eq!(out.stats.retries, 0, "clean platform needs no retries");
+        assert_eq!(out.stats.backoff_wait_ms, 0);
     }
 
     #[test]
@@ -355,11 +766,14 @@ mod tests {
         assert_eq!(s.related_requests, s.fetched);
         assert_eq!(
             s.api_calls(),
-            s.chart_requests + s.metadata_requests + s.related_requests
+            s.chart_requests + s.metadata_requests + s.related_requests + s.retries
         );
         // A polite 5 req/s crawl of this world takes minutes, not ms.
         let secs = s.estimated_duration_secs(5.0);
         assert!(secs > 60.0, "{secs}");
+        // The default 5 req/s token bucket models that same politeness
+        // on the virtual clock.
+        assert!(s.throttle_wait_ms > 0, "default rate limit throttles");
     }
 
     #[test]
@@ -374,30 +788,146 @@ mod tests {
     /// keys: fetch failures must be counted, not crash the crawl.
     #[test]
     fn unknown_keys_count_as_failed_fetches() {
-        struct Flaky;
-        impl PlatformApi for Flaky {
+        struct Ghostly;
+        impl PlatformApi for Ghostly {
             fn top_videos(&self, _c: tagdist_geo::CountryId, _k: usize) -> Vec<String> {
                 vec!["real".into(), "ghost".into()]
             }
-            fn fetch(&self, key: &str) -> Option<VideoMetadata> {
-                (key == "real").then(|| VideoMetadata {
-                    key: key.to_owned(),
-                    title: "t".into(),
-                    total_views: 1,
-                    duration_secs: 60,
-                    tags: vec!["x".into()],
-                    popularity: None,
-                })
+            fn fetch(&self, key: &str) -> Result<VideoMetadata, FetchError> {
+                if key == "real" {
+                    Ok(VideoMetadata {
+                        key: key.to_owned(),
+                        title: "t".into(),
+                        total_views: 1,
+                        duration_secs: 60,
+                        tags: vec!["x".into()],
+                        popularity: None,
+                    })
+                } else {
+                    Err(FetchError::NotFound)
+                }
             }
-            fn related(&self, _key: &str, _k: usize) -> Vec<String> {
-                vec!["ghost2".into()]
+            fn related(&self, _key: &str, _k: usize) -> Result<Vec<String>, FetchError> {
+                Ok(vec!["ghost2".into()])
             }
             fn catalogue_size(&self) -> usize {
                 1
             }
         }
-        let out = crawl(&Flaky, &CrawlConfig::default());
+        let out = crawl(&Ghostly, &CrawlConfig::default());
         assert_eq!(out.dataset.len(), 1);
         assert_eq!(out.stats.failed_fetches, 2); // ghost + ghost2
+        assert_eq!(out.stats.dangling_references, 2);
+        assert_eq!(out.stats.exhausted_retries, 0);
+    }
+
+    /// The tentpole contract: with a fault profile whose faults all
+    /// resolve within the retry budget, the dataset is byte-identical
+    /// to the fault-free crawl — and every fault shows up in the
+    /// ledger.
+    #[test]
+    fn masked_faults_leave_the_dataset_byte_identical() {
+        let p = platform();
+        let cfg = limited(500);
+        let clean = crawl(&p, &cfg);
+        let flaky = FlakyPlatform::new(&p, FaultProfile::flaky());
+        let faulty = crawl(&flaky, &cfg);
+        let mut clean_bytes = Vec::new();
+        let mut faulty_bytes = Vec::new();
+        tagdist_dataset::tsv::write(&clean.dataset, &mut clean_bytes).unwrap();
+        tagdist_dataset::tsv::write(&faulty.dataset, &mut faulty_bytes).unwrap();
+        assert_eq!(clean_bytes, faulty_bytes);
+        assert!(faulty.stats.retries > 0, "flaky profile must inject");
+        assert!(faulty.stats.transient_faults() > 0);
+        assert_eq!(faulty.stats.retries, faulty.stats.transient_faults());
+        assert!(faulty.stats.backoff_wait_ms > 0);
+        assert_eq!(faulty.stats.exhausted_retries, 0);
+        // The clean-path counters are untouched by masked faults.
+        assert_eq!(clean.stats.fetched, faulty.stats.fetched);
+        assert_eq!(clean.stats.per_depth, faulty.stats.per_depth);
+    }
+
+    /// Retries beyond the budget degrade gracefully: the video is
+    /// skipped and counted, never a panic.
+    #[test]
+    fn exhausted_retries_are_recorded_and_skipped() {
+        let p = platform();
+        let mut cfg = limited(300);
+        cfg.retry.max_attempts = 2; // below hostile's max_faults_per_key
+        let flaky = FlakyPlatform::new(&p, FaultProfile::hostile());
+        let out = crawl(&flaky, &cfg);
+        assert!(out.stats.exhausted_retries > 0, "budget 2 must exhaust");
+        assert_eq!(
+            out.stats.failed_fetches,
+            out.stats.exhausted_retries + out.stats.dangling_references
+        );
+        assert_eq!(out.stats.fetched, out.dataset.len());
+    }
+
+    /// Breakers trip on persistent failure runs and the trips are
+    /// accounted deterministically.
+    #[test]
+    fn breaker_trips_are_deterministic() {
+        let p = platform();
+        let mut cfg = limited(300);
+        cfg.breaker.failure_threshold = 2;
+        cfg.breaker.cooldown_ms = 500;
+        let run = |threads: usize| {
+            let mut c = cfg.clone();
+            c.with_threads(threads);
+            let flaky = FlakyPlatform::new(&p, FaultProfile::hostile());
+            crawl_parallel(&flaky, &c).stats
+        };
+        let a = run(1);
+        assert!(a.breaker_trips > 0, "hostile faults must trip breakers");
+        assert!(a.breaker_wait_ms > 0);
+        for threads in [2, 8] {
+            assert_eq!(a, run(threads), "stats drifted at {threads} threads");
+        }
+    }
+
+    /// Suspend after every level and resume each time: the final
+    /// dataset and stats must match the uninterrupted crawl exactly.
+    #[test]
+    fn stepwise_resume_matches_uninterrupted_crawl() {
+        let p = platform();
+        let cfg = limited(400);
+        let uninterrupted = crawl(&p, &cfg);
+
+        let mut resumed = crawl_stepwise(&p, &cfg, None, Some(1));
+        let mut rounds = 0;
+        let outcome = loop {
+            match resumed {
+                CrawlRun::Complete(outcome) => break outcome,
+                CrawlRun::Suspended(checkpoint) => {
+                    rounds += 1;
+                    assert!(rounds < 64, "crawl must terminate");
+                    resumed = crawl_stepwise(&p, &cfg, Some(*checkpoint), Some(1));
+                }
+            }
+        };
+        assert!(rounds > 1, "test must actually suspend");
+        assert_eq!(outcome.stats, uninterrupted.stats);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        tagdist_dataset::tsv::write(&uninterrupted.dataset, &mut a).unwrap();
+        tagdist_dataset::tsv::write(&outcome.dataset, &mut b).unwrap();
+        assert_eq!(a, b, "resumed dataset must be byte-identical");
+    }
+
+    /// `stop_after_levels: Some(0)` suspends immediately, carrying the
+    /// seed frontier.
+    #[test]
+    fn immediate_suspension_carries_seeds() {
+        let p = platform();
+        let cfg = limited(400);
+        let run = crawl_stepwise(&p, &cfg, None, Some(0));
+        let CrawlRun::Suspended(cp) = run else {
+            panic!("expected suspension");
+        };
+        assert!(!cp.frontier.is_empty());
+        assert_eq!(cp.depth, 0);
+        assert_eq!(cp.stats.fetched, 0);
+        assert_eq!(cp.frontier.len(), cp.stats.seeds);
     }
 }

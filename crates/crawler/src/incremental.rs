@@ -11,7 +11,7 @@ use std::collections::HashSet;
 
 use tagdist_dataset::{Dataset, DatasetBuilder, RawPopularity};
 use tagdist_geo::world;
-use tagdist_ytsim::PlatformApi;
+use tagdist_ytsim::{FetchError, PlatformApi, VideoMetadata};
 
 use crate::config::CrawlConfig;
 use crate::stats::CrawlStats;
@@ -60,20 +60,7 @@ pub fn recrawl<P: PlatformApi + ?Sized>(
 
     // Carry the old records over verbatim.
     let mut builder = DatasetBuilder::new(country_count);
-    for record in existing.iter() {
-        let tags: Vec<&str> = record
-            .tags
-            .iter()
-            .map(|&t| existing.tags().name(t))
-            .collect();
-        builder.push_video_titled(
-            &record.key,
-            &record.title,
-            record.total_views,
-            &tags,
-            record.popularity.clone(),
-        );
-    }
+    builder.extend_from(existing);
     let reused = builder.len();
 
     let mut stats = CrawlStats {
@@ -114,8 +101,7 @@ pub fn recrawl<P: PlatformApi + ?Sized>(
                     break 'outer;
                 }
                 stats.metadata_requests += 1;
-                let Some(meta) = platform.fetch(&key) else {
-                    stats.failed_fetches += 1;
+                let Some(meta) = fetch_with_retry(platform, cfg, &key, &mut stats) else {
                     continue;
                 };
                 let tags: Vec<&str> = meta.tags.iter().map(String::as_str).collect();
@@ -137,7 +123,7 @@ pub fn recrawl<P: PlatformApi + ?Sized>(
             // cost only a (cheap) related-list call, no metadata
             // fetch.
             stats.related_requests += 1;
-            for related in platform.related(&key, cfg.related_per_video) {
+            for related in related_with_retry(platform, cfg, &key, &mut stats) {
                 if visited.contains(&related) {
                     stats.duplicate_links += 1;
                 } else {
@@ -158,6 +144,87 @@ pub fn recrawl<P: PlatformApi + ?Sized>(
         stats,
         reused,
         newly_fetched: new_fetches,
+    }
+}
+
+/// Counts one absorbed transient fault into the ledger.
+fn absorb_fault(stats: &mut CrawlStats, fault: FetchError) {
+    match fault {
+        FetchError::Transient => stats.transient_errors += 1,
+        FetchError::RateLimited => stats.rate_limited += 1,
+        FetchError::Timeout => stats.timeouts += 1,
+        FetchError::Truncated => stats.truncated_responses += 1,
+        FetchError::NotFound => {}
+    }
+}
+
+/// Fetches metadata with the config's retry budget. Unlike the full
+/// drivers, recrawl keeps no virtual throttle — it only counts retries
+/// and fault classes; failures are recorded as dangling or exhausted.
+fn fetch_with_retry<P: PlatformApi + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    key: &str,
+    stats: &mut CrawlStats,
+) -> Option<VideoMetadata> {
+    let max_attempts = cfg.retry.max_attempts.max(1) as usize;
+    let mut faults = 0usize;
+    loop {
+        match platform.fetch(key) {
+            Ok(meta) => {
+                stats.retries += faults;
+                return Some(meta);
+            }
+            Err(FetchError::NotFound) => {
+                stats.retries += faults;
+                stats.dangling_references += 1;
+                stats.failed_fetches += 1;
+                return None;
+            }
+            Err(fault) => {
+                absorb_fault(stats, fault);
+                faults += 1;
+                if faults >= max_attempts {
+                    stats.retries += faults.saturating_sub(1);
+                    stats.exhausted_retries += 1;
+                    stats.failed_fetches += 1;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Fetches a related list with the config's retry budget; degrades to
+/// an empty list on exhaustion (the video keeps its metadata).
+fn related_with_retry<P: PlatformApi + ?Sized>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    key: &str,
+    stats: &mut CrawlStats,
+) -> Vec<String> {
+    let max_attempts = cfg.retry.max_attempts.max(1) as usize;
+    let mut faults = 0usize;
+    loop {
+        match platform.related(key, cfg.related_per_video) {
+            Ok(list) => {
+                stats.retries += faults;
+                return list;
+            }
+            Err(FetchError::NotFound) => {
+                stats.retries += faults;
+                return Vec::new();
+            }
+            Err(fault) => {
+                absorb_fault(stats, fault);
+                faults += 1;
+                if faults >= max_attempts {
+                    stats.retries += faults.saturating_sub(1);
+                    stats.exhausted_related += 1;
+                    return Vec::new();
+                }
+            }
+        }
     }
 }
 

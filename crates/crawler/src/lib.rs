@@ -16,6 +16,24 @@
 //!   std scoped threads, returning a byte-identical dataset (the
 //!   per-level fetch order is preserved by index).
 //!
+//! # Fault tolerance
+//!
+//! Since PR 5 the crawler absorbs transient platform faults
+//! ([`tagdist_ytsim::FetchError`]) without giving up determinism:
+//!
+//! * [`RetryPolicy`] — deterministic exponential backoff with seeded
+//!   jitter, a pure function of `(seed, key, attempt)`,
+//! * [`RateLimitConfig`] — a client-side token bucket on the crawl's
+//!   *virtual* clock,
+//! * [`BreakerConfig`] — per-host circuit breakers with half-open
+//!   probing that delay (never drop) requests,
+//! * [`crawl_stepwise`]/[`crawl_parallel_stepwise`] — suspension into
+//!   a [`CrawlCheckpoint`] and byte-identical resume.
+//!
+//! Worker threads return *fault traces* that the sequential merge
+//! replays in frontier order, so every counter in [`CrawlStats`] is
+//! identical at any thread count.
+//!
 //! # Example
 //!
 //! ```
@@ -44,14 +62,25 @@
     )
 )]
 
+pub mod breaker;
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod incremental;
+pub mod ratelimit;
+pub mod retry;
 pub mod stats;
 
+pub use breaker::{BreakerConfig, CircuitBreaker, HostBreakers};
+pub use checkpoint::{BreakerSnapshot, CheckpointError, CrawlCheckpoint};
 pub use config::CrawlConfig;
-pub use driver::{crawl, crawl_parallel, crawl_parallel_obs, CrawlOutcome};
+pub use driver::{
+    crawl, crawl_parallel, crawl_parallel_obs, crawl_parallel_stepwise, crawl_stepwise,
+    CrawlOutcome, CrawlRun,
+};
 pub use incremental::{recrawl, RecrawlOutcome};
+pub use ratelimit::{RateLimitConfig, TokenBucket};
+pub use retry::RetryPolicy;
 pub use stats::CrawlStats;
 
 // Re-exported so downstream crates name the API type without an extra

@@ -1,0 +1,217 @@
+//! Client-side token-bucket rate limiting on a virtual clock.
+//!
+//! The paper's crawl ran for weeks precisely because the public API
+//! was quota-limited; a polite crawler spaces its own requests rather
+//! than waiting for 429s. The bucket here is integer-only (millitoken
+//! granularity) and advances a *virtual* millisecond clock instead of
+//! sleeping: the crawl ledger records exactly how long a real crawl
+//! would have throttled, while tests stay instant and deterministic.
+
+/// Token-bucket parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateLimitConfig {
+    /// Sustained request rate; `0` disables throttling entirely.
+    pub requests_per_sec: u32,
+    /// Bucket capacity: how many requests may burst back-to-back.
+    pub burst: u32,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> RateLimitConfig {
+        // The polite rate the paper-era API tolerated (see
+        // CrawlStats::estimated_duration_secs).
+        RateLimitConfig {
+            requests_per_sec: 5,
+            burst: 10,
+        }
+    }
+}
+
+impl RateLimitConfig {
+    /// No throttling at all.
+    #[must_use]
+    pub fn unlimited() -> RateLimitConfig {
+        RateLimitConfig {
+            requests_per_sec: 0,
+            burst: 0,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests_per_sec > 0 && self.burst == 0 {
+            return Err("rate limiter burst must be > 0 when a rate is set".into());
+        }
+        Ok(())
+    }
+}
+
+/// Integer token bucket over virtual milliseconds.
+///
+/// One request costs 1000 millitokens; the bucket refills at
+/// `requests_per_sec` millitokens per virtual millisecond (which is
+/// exactly `requests_per_sec` requests per second), capped at
+/// `burst * 1000`. All state is integer, so snapshots serialize
+/// exactly into crawl checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    refill_milli_per_ms: u64,
+    capacity_milli: u64,
+    available_milli: u64,
+    last_refill_ms: u64,
+}
+
+/// The cost of one request, in millitokens.
+const REQUEST_COST_MILLI: u64 = 1000;
+
+impl TokenBucket {
+    /// A full bucket for `cfg`, starting at virtual time zero.
+    #[must_use]
+    pub fn new(cfg: &RateLimitConfig) -> TokenBucket {
+        let capacity = u64::from(cfg.burst) * REQUEST_COST_MILLI;
+        TokenBucket {
+            refill_milli_per_ms: u64::from(cfg.requests_per_sec),
+            capacity_milli: capacity,
+            available_milli: capacity,
+            last_refill_ms: 0,
+        }
+    }
+
+    /// Takes one request's worth of tokens, advancing `clock_ms` past
+    /// any wait the bucket imposes. Returns the wait in virtual
+    /// milliseconds (0 when a token was ready).
+    pub fn acquire(&mut self, clock_ms: &mut u64) -> u64 {
+        if self.refill_milli_per_ms == 0 {
+            return 0;
+        }
+        self.refill_to(*clock_ms);
+        let wait = if self.available_milli < REQUEST_COST_MILLI {
+            let deficit = REQUEST_COST_MILLI - self.available_milli;
+            deficit.div_ceil(self.refill_milli_per_ms)
+        } else {
+            0
+        };
+        if wait > 0 {
+            *clock_ms = clock_ms.saturating_add(wait);
+            self.refill_to(*clock_ms);
+        }
+        self.available_milli -= REQUEST_COST_MILLI.min(self.available_milli);
+        wait
+    }
+
+    /// Credits refill up to `now`.
+    fn refill_to(&mut self, now_ms: u64) {
+        let elapsed = now_ms.saturating_sub(self.last_refill_ms);
+        let credit = elapsed.saturating_mul(self.refill_milli_per_ms);
+        self.available_milli =
+            (self.available_milli.saturating_add(credit)).min(self.capacity_milli);
+        self.last_refill_ms = now_ms;
+    }
+
+    /// Checkpoint snapshot: `(available_milli, last_refill_ms)`.
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.available_milli, self.last_refill_ms)
+    }
+
+    /// Restores a [`TokenBucket::snapshot`] onto a fresh bucket built
+    /// from the same config.
+    pub fn restore(&mut self, available_milli: u64, last_refill_ms: u64) {
+        self.available_milli = available_milli.min(self.capacity_milli);
+        self.last_refill_ms = last_refill_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(rps: u32, burst: u32) -> TokenBucket {
+        TokenBucket::new(&RateLimitConfig {
+            requests_per_sec: rps,
+            burst,
+        })
+    }
+
+    #[test]
+    fn burst_is_free_then_rate_applies() {
+        let mut b = bucket(5, 3);
+        let mut clock = 0u64;
+        for _ in 0..3 {
+            assert_eq!(b.acquire(&mut clock), 0, "burst tokens are instant");
+        }
+        // 4th request must wait for a full token: 1000 millitokens at
+        // 5 millitokens/ms = 200 ms.
+        let wait = b.acquire(&mut clock);
+        assert_eq!(wait, 200);
+        assert_eq!(clock, 200);
+    }
+
+    #[test]
+    fn sustained_rate_is_respected() {
+        let mut b = bucket(10, 1);
+        let mut clock = 0u64;
+        let mut total_wait = 0u64;
+        for _ in 0..50 {
+            total_wait += b.acquire(&mut clock);
+        }
+        // 50 requests at 10 req/s from a 1-burst bucket: ~4.9 s.
+        assert_eq!(total_wait, 49 * 100);
+        assert_eq!(clock, 4_900);
+    }
+
+    #[test]
+    fn idle_time_refills_up_to_burst() {
+        let mut b = bucket(5, 2);
+        let mut clock = 0u64;
+        b.acquire(&mut clock);
+        b.acquire(&mut clock);
+        // A long idle period refills at most `burst` tokens.
+        clock += 100_000;
+        assert_eq!(b.acquire(&mut clock), 0);
+        assert_eq!(b.acquire(&mut clock), 0);
+        assert_eq!(b.acquire(&mut clock), 200);
+    }
+
+    #[test]
+    fn zero_rate_never_waits() {
+        let mut b = TokenBucket::new(&RateLimitConfig::unlimited());
+        let mut clock = 0u64;
+        for _ in 0..10_000 {
+            assert_eq!(b.acquire(&mut clock), 0);
+        }
+        assert_eq!(clock, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let cfg = RateLimitConfig::default();
+        let mut a = TokenBucket::new(&cfg);
+        let mut clock = 0u64;
+        for _ in 0..17 {
+            a.acquire(&mut clock);
+        }
+        let (avail, last) = a.snapshot();
+        let mut b = TokenBucket::new(&cfg);
+        b.restore(avail, last);
+        assert_eq!(a, b);
+        let mut clock_b = clock;
+        assert_eq!(a.acquire(&mut clock), b.acquire(&mut clock_b));
+        assert_eq!(clock, clock_b);
+    }
+
+    #[test]
+    fn validation_catches_zero_burst() {
+        assert!(RateLimitConfig::default().validate().is_ok());
+        assert!(RateLimitConfig::unlimited().validate().is_ok());
+        let bad = RateLimitConfig {
+            requests_per_sec: 5,
+            burst: 0,
+        };
+        assert!(bad.validate().is_err());
+    }
+}

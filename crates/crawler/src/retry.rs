@@ -1,0 +1,207 @@
+//! Deterministic retry policy: exponential backoff with seeded jitter.
+//!
+//! Real crawlers jitter their backoff so synchronized clients don't
+//! stampede a recovering backend. Wall-clock randomness would break
+//! the repository's byte-identical-output contract, so the jitter here
+//! is a pure function of `(seed, key, attempt)`: the schedule is fully
+//! deterministic yet decorrelated across keys, and the crawl ledger
+//! (total backoff milliseconds) is reproducible at any thread count.
+//!
+//! All delays are *virtual*: the crawler accounts them on a simulated
+//! clock instead of sleeping, which keeps tests fast while modelling a
+//! polite real-world crawl's timing exactly.
+
+/// Retry schedule for transient platform faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (`1` = never
+    /// retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single backoff delay.
+    pub cap_ms: u64,
+    /// Per-mille jitter amplitude: attempt `a` waits
+    /// `d + d * jitter_milli * u / 1_000_000` with `d = base · 2^a`
+    /// and `u` a seeded draw in `0..1000`. Values `<= 1000` keep the
+    /// schedule monotone non-decreasing (each jittered delay stays
+    /// below the next attempt's base).
+    pub jitter_milli: u64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 200,
+            cap_ms: 30_000,
+            jitter_milli: 500,
+            seed: 0x000B_0FF5_EED5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A no-retry policy (first failure is final).
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The virtual backoff delay after attempt `attempt` (0-based)
+    /// on `key` failed, in milliseconds.
+    ///
+    /// Deterministic in `(self.seed, key, attempt)`; monotone
+    /// non-decreasing in `attempt` up to [`RetryPolicy::cap_ms`] for
+    /// any `jitter_milli <= 1000`.
+    #[must_use]
+    pub fn backoff_ms(&self, key: &str, attempt: u32) -> u64 {
+        let base = self
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        let base = base.min(self.cap_ms);
+        let draw = mix64(self.seed ^ fnv1a(key) ^ (u64::from(attempt) << 40)) % 1000;
+        let jitter = base.saturating_mul(self.jitter_milli).saturating_mul(draw) / 1_000_000;
+        base.saturating_add(jitter).min(self.cap_ms)
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry max_attempts must be > 0".into());
+        }
+        if self.jitter_milli > 1000 {
+            return Err("retry jitter_milli must be <= 1000 to keep backoff monotone".into());
+        }
+        if self.cap_ms < self.base_delay_ms {
+            return Err("retry cap_ms must be >= base_delay_ms".into());
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the key bytes (stable across platforms).
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// splitmix64 finalizer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        RetryPolicy::default().validate().unwrap();
+        RetryPolicy::none().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = RetryPolicy {
+            jitter_milli: 1001,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = RetryPolicy {
+            cap_ms: RetryPolicy::default().base_delay_ms - 1,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            jitter_milli: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_ms("k", 0), 200);
+        assert_eq!(p.backoff_ms("k", 1), 400);
+        assert_eq!(p.backoff_ms("k", 2), 800);
+        assert_eq!(p.backoff_ms("k", 20), p.cap_ms);
+        // Shift overflow saturates at the cap rather than wrapping.
+        assert_eq!(p.backoff_ms("k", 200), p.cap_ms);
+    }
+
+    #[test]
+    fn jitter_is_keyed() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms("a", 1), p.backoff_ms("a", 1));
+        let differs =
+            (0..64).any(|i| p.backoff_ms(&format!("a{i}"), 1) != p.backoff_ms(&format!("b{i}"), 1));
+        assert!(differs, "jitter should vary across keys");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The satellite contract: the schedule is deterministic in
+        /// (seed, key, attempt) and monotone non-decreasing up to the
+        /// cap.
+        #[test]
+        fn backoff_is_deterministic_and_monotone(
+            seed in 0u64..u64::MAX,
+            key in "[a-z0-9]{1,12}",
+            base in 1u64..5_000,
+            jitter in 0u64..=1000,
+        ) {
+            let policy = RetryPolicy {
+                max_attempts: 8,
+                base_delay_ms: base,
+                cap_ms: base.saturating_mul(1 << 10),
+                jitter_milli: jitter,
+                seed,
+            };
+            let schedule: Vec<u64> = (0..24).map(|a| policy.backoff_ms(&key, a)).collect();
+            let replay: Vec<u64> = (0..24).map(|a| policy.backoff_ms(&key, a)).collect();
+            prop_assert_eq!(&schedule, &replay);
+            for (a, pair) in schedule.windows(2).enumerate() {
+                prop_assert!(
+                    pair[0] <= pair[1],
+                    "backoff decreased at attempt {}: {} -> {}",
+                    a,
+                    pair[0],
+                    pair[1]
+                );
+            }
+            for (a, &d) in schedule.iter().enumerate() {
+                prop_assert!(d <= policy.cap_ms, "attempt {a} exceeded the cap: {d}");
+                let floor = policy.base_delay_ms
+                    .saturating_mul(1u64.checked_shl(a as u32).unwrap_or(u64::MAX))
+                    .min(policy.cap_ms);
+                prop_assert!(d >= floor, "attempt {a} below its base: {d} < {floor}");
+            }
+        }
+    }
+}

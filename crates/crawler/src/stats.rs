@@ -1,8 +1,13 @@
 //! Crawl accounting.
 
 use core::fmt;
+use std::fmt::Write as _;
 
 /// Statistics of one snowball crawl.
+///
+/// All counters are deterministic: retries, waits and breaker trips
+/// are accounted on the crawl's *virtual* clock in frontier order, so
+/// the whole struct is identical at any `TAGDIST_THREADS`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CrawlStats {
     /// Distinct seed videos obtained from the per-country charts.
@@ -13,7 +18,8 @@ pub struct CrawlStats {
     /// a measure of how strongly the related graph folds back on
     /// itself.
     pub duplicate_links: usize,
-    /// Keys the platform refused to serve (unknown/deleted videos).
+    /// Keys that yielded no metadata:
+    /// `dangling_references + exhausted_retries`.
     pub failed_fetches: usize,
     /// Videos fetched at each BFS depth (`per_depth[0]` = seeds).
     pub per_depth: Vec<usize>,
@@ -22,10 +28,40 @@ pub struct CrawlStats {
     pub frontier_exhausted: bool,
     /// Per-country chart requests issued (the seed phase).
     pub chart_requests: usize,
-    /// Video-metadata requests issued (including failed ones).
+    /// Distinct videos whose metadata was requested (including failed
+    /// ones); retries of the same video are counted in
+    /// [`CrawlStats::retries`].
     pub metadata_requests: usize,
-    /// Related-list requests issued.
+    /// Distinct related-list requests issued (one per fetched video).
     pub related_requests: usize,
+    /// Extra attempts issued after transient faults (both endpoints).
+    pub retries: usize,
+    /// Transient 5xx responses absorbed.
+    pub transient_errors: usize,
+    /// 429 rate-limit responses absorbed.
+    pub rate_limited: usize,
+    /// Timed-out requests absorbed.
+    pub timeouts: usize,
+    /// Truncated related-list responses absorbed (the partial payload
+    /// is discarded and the request retried).
+    pub truncated_responses: usize,
+    /// Keys the platform answered with a permanent 404 — charts or
+    /// related lists referencing deleted/unknown videos.
+    pub dangling_references: usize,
+    /// Videos skipped because every retry attempt faulted (graceful
+    /// degradation, never a panic).
+    pub exhausted_retries: usize,
+    /// Related lists degraded to empty because every retry faulted
+    /// (the video itself is kept; its edges are lost).
+    pub exhausted_related: usize,
+    /// Circuit-breaker trips across all virtual hosts.
+    pub breaker_trips: usize,
+    /// Virtual milliseconds spent in retry backoff.
+    pub backoff_wait_ms: u64,
+    /// Virtual milliseconds spent waiting on the token bucket.
+    pub throttle_wait_ms: u64,
+    /// Virtual milliseconds spent waiting out breaker cooldowns.
+    pub breaker_wait_ms: u64,
 }
 
 impl CrawlStats {
@@ -50,9 +86,21 @@ impl CrawlStats {
         }
     }
 
-    /// Total platform API calls issued (charts + metadata + related).
+    /// Total transient faults absorbed across both endpoints.
+    pub fn transient_faults(&self) -> usize {
+        self.transient_errors + self.rate_limited + self.timeouts + self.truncated_responses
+    }
+
+    /// Total platform API calls issued (charts + metadata + related +
+    /// retries).
     pub fn api_calls(&self) -> usize {
-        self.chart_requests + self.metadata_requests + self.related_requests
+        self.chart_requests + self.metadata_requests + self.related_requests + self.retries
+    }
+
+    /// Total virtual milliseconds the crawl spent waiting (backoff +
+    /// throttle + breaker cooldowns).
+    pub fn total_wait_ms(&self) -> u64 {
+        self.backoff_wait_ms + self.throttle_wait_ms + self.breaker_wait_ms
     }
 
     /// Wall-clock a polite real-world crawl would need at
@@ -69,18 +117,65 @@ impl CrawlStats {
         assert!(requests_per_sec > 0.0, "request rate must be positive");
         self.api_calls() as f64 / requests_per_sec
     }
+
+    /// Renders the crawl failure report: a markdown summary of every
+    /// fault the crawl absorbed, uploaded as a CI artifact by the
+    /// fault-matrix job.
+    pub fn failure_report_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Crawl failure report\n");
+        let _ = writeln!(out, "Summary: {self}\n");
+        let _ = writeln!(out, "| counter | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (name, value) in [
+            ("fetched", self.fetched),
+            ("failed fetches", self.failed_fetches),
+            ("dangling references", self.dangling_references),
+            ("exhausted retries", self.exhausted_retries),
+            ("exhausted related lists", self.exhausted_related),
+            ("retries", self.retries),
+            ("transient 5xx", self.transient_errors),
+            ("rate limited (429)", self.rate_limited),
+            ("timeouts", self.timeouts),
+            ("truncated responses", self.truncated_responses),
+            ("breaker trips", self.breaker_trips),
+        ] {
+            let _ = writeln!(out, "| {name} | {value} |");
+        }
+        let _ = writeln!(
+            out,
+            "| backoff wait (virtual ms) | {} |",
+            self.backoff_wait_ms
+        );
+        let _ = writeln!(
+            out,
+            "| throttle wait (virtual ms) | {} |",
+            self.throttle_wait_ms
+        );
+        let _ = writeln!(
+            out,
+            "| breaker wait (virtual ms) | {} |",
+            self.breaker_wait_ms
+        );
+        out
+    }
 }
 
 impl fmt::Display for CrawlStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seeds {}, fetched {} over {} depths ({} duplicate links, {} failed), {}",
+            "seeds {}, fetched {} over {} depths ({} duplicate links, {} failed: \
+             {} dangling, {} exhausted; {} retries, {} breaker trips), {}",
             self.seeds,
             self.fetched,
             self.per_depth.len(),
             self.duplicate_links,
             self.failed_fetches,
+            self.dangling_references,
+            self.exhausted_retries,
+            self.retries,
+            self.breaker_trips,
             if self.frontier_exhausted {
                 "frontier exhausted"
             } else {
@@ -106,6 +201,7 @@ mod tests {
             chart_requests: 25,
             metadata_requests: 90,
             related_requests: 90,
+            ..CrawlStats::default()
         };
         assert_eq!(s.max_depth(), Some(2));
         assert!((s.duplication_ratio() - 0.1).abs() < 1e-12);
@@ -116,6 +212,20 @@ mod tests {
         let s = CrawlStats::default();
         assert_eq!(s.max_depth(), None);
         assert_eq!(s.duplication_ratio(), 0.0);
+        assert_eq!(s.transient_faults(), 0);
+        assert_eq!(s.total_wait_ms(), 0);
+    }
+
+    #[test]
+    fn api_calls_include_retries() {
+        let s = CrawlStats {
+            chart_requests: 25,
+            metadata_requests: 100,
+            related_requests: 95,
+            retries: 7,
+            ..CrawlStats::default()
+        };
+        assert_eq!(s.api_calls(), 227);
     }
 
     #[test]
@@ -130,5 +240,33 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("seeds 3"));
         assert!(text.contains("frontier exhausted"));
+    }
+
+    #[test]
+    fn failure_report_names_every_fault_class() {
+        let s = CrawlStats {
+            dangling_references: 2,
+            exhausted_retries: 1,
+            failed_fetches: 3,
+            retries: 9,
+            transient_errors: 4,
+            rate_limited: 3,
+            timeouts: 1,
+            truncated_responses: 1,
+            breaker_trips: 1,
+            backoff_wait_ms: 1234,
+            ..CrawlStats::default()
+        };
+        let report = s.failure_report_markdown();
+        assert!(report.starts_with("# Crawl failure report"));
+        for needle in [
+            "dangling references | 2",
+            "exhausted retries | 1",
+            "retries | 9",
+            "breaker trips | 1",
+            "backoff wait (virtual ms) | 1234",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?}\n{report}");
+        }
     }
 }

@@ -180,6 +180,26 @@ impl DatasetBuilder {
         id
     }
 
+    /// Re-adds every record of `dataset` in id order, preserving keys,
+    /// titles, views, tag sets and popularity bytes.
+    ///
+    /// Because ids are dense and tags are interned in first-seen
+    /// order, extending an *empty* builder reproduces `dataset`
+    /// exactly — the resume path of a checkpointed crawl relies on
+    /// this to stay byte-identical with an uninterrupted run.
+    pub fn extend_from(&mut self, dataset: &Dataset) {
+        for video in dataset.iter() {
+            let tag_names: Vec<&str> = video.tags.iter().map(|&t| dataset.tags().name(t)).collect();
+            self.push_video_titled(
+                &video.key,
+                &video.title,
+                video.total_views,
+                &tag_names,
+                video.popularity.clone(),
+            );
+        }
+    }
+
     /// Finalizes the dataset, building the tag→videos index.
     pub fn build(self) -> Dataset {
         let mut tag_postings = vec![Vec::new(); self.tags.len()];
@@ -272,6 +292,29 @@ mod tests {
     #[test]
     fn country_count_is_preserved() {
         assert_eq!(sample().country_count(), 3);
+    }
+
+    #[test]
+    fn extend_from_reproduces_a_dataset_exactly() {
+        let d = sample();
+        let mut b = DatasetBuilder::new(d.country_count());
+        b.extend_from(&d);
+        let r = b.build();
+        assert_eq!(r.len(), d.len());
+        assert_eq!(r.country_count(), d.country_count());
+        for (a, b) in d.iter().zip(r.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.total_views, b.total_views);
+            assert_eq!(a.tags, b.tags, "tag ids survive re-interning");
+            assert_eq!(a.popularity, b.popularity);
+        }
+        // Serialized forms are byte-identical.
+        let mut original = Vec::new();
+        let mut rebuilt = Vec::new();
+        crate::tsv::write(&d, &mut original).unwrap();
+        crate::tsv::write(&r, &mut rebuilt).unwrap();
+        assert_eq!(original, rebuilt);
     }
 
     #[test]

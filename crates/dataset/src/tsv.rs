@@ -165,7 +165,12 @@ fn parse_popularity(field: &str, countries: usize) -> Option<RawPopularity> {
     Some(RawPopularity::decode(bytes, countries))
 }
 
-fn escape(s: &str) -> String {
+/// Escapes a field for the TSV format: `\` escapes commas, tabs,
+/// newlines and itself, so any string fits on one line in one column.
+/// Public because the crawler's checkpoint format reuses the scheme
+/// for frontier keys.
+#[must_use]
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -179,7 +184,9 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Option<String> {
+/// Inverse of [`escape`]; `None` on a malformed escape sequence.
+#[must_use]
+pub fn unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

@@ -5,8 +5,61 @@
 //! (tags, views, and the scraped Map-Chart popularity image), and the
 //! related-videos list (the snowball edges). [`PlatformApi`] is that
 //! surface and nothing more — crawlers cannot see ground truth.
+//!
+//! Since PR 5 the two per-video endpoints are *fallible*: they return
+//! [`FetchError`] values that distinguish permanent failures (a 404 on
+//! a deleted or never-existing key) from transient ones (5xx errors,
+//! 429 rate limits, timeouts, truncated response bodies). A crawler is
+//! expected to retry transient errors and absorb permanent ones — see
+//! `tagdist-crawler`'s retry/backoff layer.
+
+use core::fmt;
 
 use tagdist_geo::CountryId;
+
+/// Why a platform request failed.
+///
+/// The split mirrors HTTP semantics: [`FetchError::NotFound`] is the
+/// only *permanent* failure (retrying cannot help); every other
+/// variant is *transient* and expected to succeed on a later attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchError {
+    /// The key does not exist or is no longer served (HTTP 404/403):
+    /// a dangling reference from a chart or related list.
+    NotFound,
+    /// A transient server-side error (HTTP 5xx).
+    Transient,
+    /// The request was rejected by rate limiting (HTTP 429).
+    RateLimited,
+    /// The request exceeded its deadline (injected latency blew the
+    /// client timeout).
+    Timeout,
+    /// The response body was cut off mid-transfer; the partial payload
+    /// was discarded (seen on related-list endpoints).
+    Truncated,
+}
+
+impl FetchError {
+    /// `true` when retrying the request may succeed.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        !matches!(self, FetchError::NotFound)
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::NotFound => write!(f, "not found (permanent)"),
+            FetchError::Transient => write!(f, "transient server error"),
+            FetchError::RateLimited => write!(f, "rate limited"),
+            FetchError::Timeout => write!(f, "request timed out"),
+            FetchError::Truncated => write!(f, "response truncated"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
 
 /// Video metadata as served to a crawler.
 ///
@@ -37,16 +90,28 @@ pub struct VideoMetadata {
 pub trait PlatformApi {
     /// The `k` most popular videos in `country`, most popular first
     /// (YouTube's per-country chart; the paper seeds with `k = 10`
-    /// across 25 countries).
+    /// across 25 countries). Charts are served from a pre-computed
+    /// index and modelled as reliable.
     fn top_videos(&self, country: CountryId, k: usize) -> Vec<String>;
 
-    /// Fetches a video's crawler-visible metadata, or `None` for an
-    /// unknown key.
-    fn fetch(&self, key: &str) -> Option<VideoMetadata>;
+    /// Fetches a video's crawler-visible metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::NotFound`] for an unknown or deleted key; any
+    /// transient variant when the backend is degraded (retryable).
+    fn fetch(&self, key: &str) -> Result<VideoMetadata, FetchError>;
 
     /// Keys of up to `k` videos related to `key` (the snowball edges);
-    /// empty for an unknown key.
-    fn related(&self, key: &str, k: usize) -> Vec<String>;
+    /// `Ok(vec![])` for an unknown key.
+    ///
+    /// # Errors
+    ///
+    /// A transient [`FetchError`] when the backend is degraded — in
+    /// particular [`FetchError::Truncated`] when the response body was
+    /// cut off (the partial list is discarded, as a real crawler
+    /// discards a half-transferred response).
+    fn related(&self, key: &str, k: usize) -> Result<Vec<String>, FetchError>;
 
     /// Number of videos hosted (not part of the 2011 API, but handy
     /// for sizing crawl budgets in experiments).
@@ -66,11 +131,11 @@ mod tests {
             fn top_videos(&self, _country: CountryId, _k: usize) -> Vec<String> {
                 Vec::new()
             }
-            fn fetch(&self, _key: &str) -> Option<VideoMetadata> {
-                None
+            fn fetch(&self, _key: &str) -> Result<VideoMetadata, FetchError> {
+                Err(FetchError::NotFound)
             }
-            fn related(&self, _key: &str, _k: usize) -> Vec<String> {
-                Vec::new()
+            fn related(&self, _key: &str, _k: usize) -> Result<Vec<String>, FetchError> {
+                Ok(Vec::new())
             }
             fn catalogue_size(&self) -> usize {
                 0
@@ -79,6 +144,25 @@ mod tests {
         let stub = Stub;
         let dyn_api: &dyn PlatformApi = &stub;
         assert_eq!(dyn_api.catalogue_size(), 0);
-        assert!(dyn_api.fetch("x").is_none());
+        assert_eq!(dyn_api.fetch("x"), Err(FetchError::NotFound));
+    }
+
+    #[test]
+    fn transient_classification_matches_http_semantics() {
+        assert!(!FetchError::NotFound.is_transient());
+        for e in [
+            FetchError::Transient,
+            FetchError::RateLimited,
+            FetchError::Timeout,
+            FetchError::Truncated,
+        ] {
+            assert!(e.is_transient(), "{e} must be retryable");
+        }
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        assert!(FetchError::NotFound.to_string().contains("permanent"));
+        assert!(FetchError::RateLimited.to_string().contains("rate"));
     }
 }

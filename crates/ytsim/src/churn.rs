@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tagdist_geo::CountryId;
 
-use crate::api::{PlatformApi, VideoMetadata};
+use crate::api::{FetchError, PlatformApi, VideoMetadata};
 use crate::platform::Platform;
 
 /// A view of a platform where a fraction of videos is unavailable.
@@ -61,17 +61,17 @@ impl PlatformApi for ChurnedPlatform<'_> {
         self.inner.top_videos(country, k)
     }
 
-    /// Deleted videos return `None`, like a 404 on the real API.
-    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
-        let truth = self.inner.ground_truth(key)?;
+    /// Deleted videos are permanent 404s, like the real API.
+    fn fetch(&self, key: &str) -> Result<VideoMetadata, FetchError> {
+        let truth = self.inner.ground_truth(key).ok_or(FetchError::NotFound)?;
         if self.deleted.contains(&truth.index) {
-            return None;
+            return Err(FetchError::NotFound);
         }
         self.inner.fetch(key)
     }
 
     /// Related lists still reference deleted videos.
-    fn related(&self, key: &str, k: usize) -> Vec<String> {
+    fn related(&self, key: &str, k: usize) -> Result<Vec<String>, FetchError> {
         self.inner.related(key, k)
     }
 
@@ -108,13 +108,17 @@ mod tests {
             .find(|&i| churned.is_deleted(i))
             .expect("30% deleted");
         let key = &p.video(deleted_idx).key;
-        assert!(churned.fetch(key).is_none(), "deleted video 404s");
-        assert!(p.fetch(key).is_some(), "the base platform still has it");
+        assert_eq!(
+            churned.fetch(key),
+            Err(FetchError::NotFound),
+            "deleted video 404s"
+        );
+        assert!(p.fetch(key).is_ok(), "the base platform still has it");
         // Live videos fetch normally.
         let live_idx = (0..1_000)
             .find(|&i| !churned.is_deleted(i))
             .expect("some survive");
-        assert!(churned.fetch(&p.video(live_idx).key).is_some());
+        assert!(churned.fetch(&p.video(live_idx).key).is_ok());
     }
 
     #[test]
@@ -137,7 +141,7 @@ mod tests {
         let churned = ChurnedPlatform::new(&p, 0.0, 1);
         assert_eq!(churned.deleted_count(), 0);
         assert_eq!(churned.catalogue_size(), 1_000);
-        assert!(churned.fetch(&p.video(0).key).is_some());
+        assert!(churned.fetch(&p.video(0).key).is_ok());
     }
 
     #[test]

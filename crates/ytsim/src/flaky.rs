@@ -1,0 +1,406 @@
+//! Seeded transient-fault injection.
+//!
+//! A weeks-long crawl of a live platform sees 5xx errors, 429 rate
+//! limits, timed-out requests and half-transferred response bodies —
+//! none of which the clean [`Platform`](crate::Platform) model emits.
+//! [`FlakyPlatform`] layers a seeded, deterministic fault profile over
+//! any [`PlatformApi`], so the crawler's retry/backoff machinery can
+//! be exercised — and its outputs proven byte-identical to the
+//! fault-free run — without any real nondeterminism.
+//!
+//! # Determinism contract
+//!
+//! Whether attempt `a` on key `k` faults, and with which error, is a
+//! pure function of `(profile.seed, k, a, endpoint)`. The adapter
+//! tracks per-key attempt counters, so the *sequence* of outcomes each
+//! key observes is fixed regardless of how crawl threads interleave
+//! across keys. Attempts numbered `>= max_faults_per_key` always reach
+//! the backend: any retry budget larger than `max_faults_per_key` is
+//! guaranteed to mask every injected fault.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use tagdist_geo::CountryId;
+
+use crate::api::{FetchError, PlatformApi, VideoMetadata};
+
+/// Environment variable selecting a named fault profile
+/// (`off` | `flaky` | `hostile`) — used by the CI fault matrix.
+pub const FAULT_PROFILE_ENV: &str = "TAGDIST_FAULT_PROFILE";
+
+/// Which endpoint an injected fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    /// Per-video metadata fetch.
+    Metadata,
+    /// Related-videos list.
+    Related,
+}
+
+/// A seeded description of how unreliable the backend is.
+///
+/// Rates are per-mille probabilities per attempt (integer, so the
+/// profile stays `Eq` and checkpoint-serializable). A key's first
+/// `max_faults_per_key` attempts on each endpoint are eligible for
+/// injection; later attempts always pass through, which bounds the
+/// faults any single request sequence can see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultProfile {
+    /// Seed for the fault draws; independent of the world seed.
+    pub seed: u64,
+    /// Per-mille rate of transient 5xx errors.
+    pub transient_milli: u32,
+    /// Per-mille rate of 429 rate-limit responses.
+    pub rate_limit_milli: u32,
+    /// Per-mille rate of injected-latency timeouts.
+    pub timeout_milli: u32,
+    /// Per-mille rate of truncated related-list responses
+    /// (related endpoint only).
+    pub truncate_milli: u32,
+    /// Upper bound on injected faults per key per endpoint.
+    pub max_faults_per_key: u32,
+}
+
+impl FaultProfile {
+    /// No injection at all; [`FlakyPlatform`] becomes a transparent
+    /// pass-through.
+    #[must_use]
+    pub fn off() -> FaultProfile {
+        FaultProfile {
+            seed: 0,
+            transient_milli: 0,
+            rate_limit_milli: 0,
+            timeout_milli: 0,
+            truncate_milli: 0,
+            max_faults_per_key: 0,
+        }
+    }
+
+    /// A realistic degraded backend: ~33% of eligible attempts fault,
+    /// at most 3 faults per key — fully masked by the default retry
+    /// budget.
+    #[must_use]
+    pub fn flaky() -> FaultProfile {
+        FaultProfile {
+            seed: 0x5EED_F00D,
+            transient_milli: 150,
+            rate_limit_milli: 80,
+            timeout_milli: 50,
+            truncate_milli: 50,
+            max_faults_per_key: 3,
+        }
+    }
+
+    /// An adversarial backend: ~70% of eligible attempts fault, up to
+    /// 9 faults per key — deliberately deeper than the default retry
+    /// budget, so some videos exhaust their retries and the crawl must
+    /// degrade gracefully.
+    #[must_use]
+    pub fn hostile() -> FaultProfile {
+        FaultProfile {
+            seed: 0x5EED_F00D,
+            transient_milli: 350,
+            rate_limit_milli: 150,
+            timeout_milli: 100,
+            truncate_milli: 100,
+            max_faults_per_key: 9,
+        }
+    }
+
+    /// Resolves a profile by CI-matrix name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid names when `name` is not
+    /// one of `off`, `flaky`, `hostile`.
+    pub fn by_name(name: &str) -> Result<FaultProfile, String> {
+        match name {
+            "off" => Ok(FaultProfile::off()),
+            "flaky" => Ok(FaultProfile::flaky()),
+            "hostile" => Ok(FaultProfile::hostile()),
+            other => Err(format!(
+                "unknown fault profile {other:?}; expected off, flaky or hostile"
+            )),
+        }
+    }
+
+    /// Reads [`FAULT_PROFILE_ENV`]; unset or empty means `off`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FaultProfile::by_name`] when the variable holds an
+    /// unknown name.
+    pub fn from_env() -> Result<FaultProfile, String> {
+        match std::env::var(FAULT_PROFILE_ENV) {
+            Ok(name) if !name.is_empty() => FaultProfile::by_name(&name),
+            _ => Ok(FaultProfile::off()),
+        }
+    }
+
+    /// Replaces the fault seed (builder style).
+    pub fn with_seed(&mut self, seed: u64) -> &mut FaultProfile {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether this profile can inject anything at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.max_faults_per_key > 0 && self.fault_milli_total() > 0
+    }
+
+    /// Combined per-mille fault rate across all modes.
+    #[must_use]
+    pub fn fault_milli_total(&self) -> u32 {
+        self.transient_milli + self.rate_limit_milli + self.timeout_milli + self.truncate_milli
+    }
+
+    /// The fault (if any) injected for attempt `attempt` on `key`; a
+    /// pure function of its arguments and the profile.
+    fn fault_for(&self, key: &str, attempt: u32, endpoint: Endpoint) -> Option<FetchError> {
+        if attempt >= self.max_faults_per_key {
+            return None;
+        }
+        let salt = match endpoint {
+            Endpoint::Metadata => 0x11,
+            Endpoint::Related => 0x22,
+        };
+        let draw = mix64(self.seed ^ fnv1a(key) ^ (u64::from(attempt) << 32) ^ (salt << 56)) % 1000;
+        let draw = u32::try_from(draw).unwrap_or(999);
+        let mut bound = self.transient_milli;
+        if draw < bound {
+            return Some(FetchError::Transient);
+        }
+        bound += self.rate_limit_milli;
+        if draw < bound {
+            return Some(FetchError::RateLimited);
+        }
+        bound += self.timeout_milli;
+        if draw < bound {
+            return Some(FetchError::Timeout);
+        }
+        if endpoint == Endpoint::Related {
+            bound += self.truncate_milli;
+            if draw < bound {
+                return Some(FetchError::Truncated);
+            }
+        }
+        None
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile::off()
+    }
+}
+
+/// FNV-1a over the key bytes: stable across platforms and runs,
+/// unlike `DefaultHasher`.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A splitmix64 finalizer: decorrelates the structured inputs.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-endpoint attempt counters for one key.
+type AttemptCounters = [u32; 2];
+
+/// A fault-injecting decorator over any platform.
+///
+/// Thread-safe: crawl workers may call it concurrently. The per-key
+/// attempt counters live behind a mutex; the injected-fault tallies
+/// are atomics read back by tests and reports.
+#[derive(Debug)]
+pub struct FlakyPlatform<'a, P: PlatformApi + ?Sized> {
+    inner: &'a P,
+    profile: FaultProfile,
+    attempts: Mutex<HashMap<String, AttemptCounters>>,
+    injected: AtomicU64,
+}
+
+impl<'a, P: PlatformApi + ?Sized> FlakyPlatform<'a, P> {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: &'a P, profile: FaultProfile) -> FlakyPlatform<'a, P> {
+        FlakyPlatform {
+            inner,
+            profile,
+            attempts: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The active fault profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Total faults injected so far (all endpoints).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next attempt number for `key` on `endpoint`.
+    fn next_attempt(&self, key: &str, endpoint: Endpoint) -> u32 {
+        let slot = match endpoint {
+            Endpoint::Metadata => 0,
+            Endpoint::Related => 1,
+        };
+        let mut map = self.attempts.lock().unwrap_or_else(PoisonError::into_inner);
+        let counters = map.entry(key.to_owned()).or_insert([0, 0]);
+        let attempt = counters[slot];
+        counters[slot] = counters[slot].saturating_add(1);
+        attempt
+    }
+
+    /// Runs the injection decision for one request.
+    fn inject(&self, key: &str, endpoint: Endpoint) -> Option<FetchError> {
+        if !self.profile.is_enabled() {
+            return None;
+        }
+        let attempt = self.next_attempt(key, endpoint);
+        let fault = self.profile.fault_for(key, attempt, endpoint);
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+}
+
+impl<P: PlatformApi + ?Sized> PlatformApi for FlakyPlatform<'_, P> {
+    /// Charts are served from a pre-computed index and stay reliable.
+    fn top_videos(&self, country: CountryId, k: usize) -> Vec<String> {
+        self.inner.top_videos(country, k)
+    }
+
+    fn fetch(&self, key: &str) -> Result<VideoMetadata, FetchError> {
+        if let Some(fault) = self.inject(key, Endpoint::Metadata) {
+            return Err(fault);
+        }
+        self.inner.fetch(key)
+    }
+
+    fn related(&self, key: &str, k: usize) -> Result<Vec<String>, FetchError> {
+        if let Some(fault) = self.inject(key, Endpoint::Related) {
+            return Err(fault);
+        }
+        self.inner.related(key, k)
+    }
+
+    fn catalogue_size(&self) -> usize {
+        self.inner.catalogue_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::platform::Platform;
+
+    fn platform() -> Platform {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_videos(300);
+        Platform::generate(cfg)
+    }
+
+    #[test]
+    fn off_profile_is_transparent() {
+        let p = platform();
+        let flaky = FlakyPlatform::new(&p, FaultProfile::off());
+        for i in 0..30 {
+            let key = &p.video(i).key;
+            assert_eq!(flaky.fetch(key), p.fetch(key));
+            assert_eq!(flaky.related(key, 5), p.related(key, 5));
+        }
+        assert_eq!(flaky.injected_faults(), 0);
+    }
+
+    #[test]
+    fn faults_are_bounded_and_eventually_succeed() {
+        let p = platform();
+        let flaky = FlakyPlatform::new(&p, FaultProfile::hostile());
+        let budget = FaultProfile::hostile().max_faults_per_key + 1;
+        for i in 0..100 {
+            let key = &p.video(i).key;
+            let mut ok = false;
+            for _ in 0..budget {
+                match flaky.fetch(key) {
+                    Ok(meta) => {
+                        assert_eq!(&meta.key, key);
+                        ok = true;
+                        break;
+                    }
+                    Err(e) => assert!(e.is_transient(), "known key never 404s"),
+                }
+            }
+            assert!(ok, "key {key} did not succeed within {budget} attempts");
+        }
+        assert!(flaky.injected_faults() > 0, "hostile profile injects");
+    }
+
+    #[test]
+    fn fault_sequences_are_seeded_and_per_key() {
+        let p = platform();
+        let observe = |profile: FaultProfile| -> Vec<Vec<Result<(), FetchError>>> {
+            let flaky = FlakyPlatform::new(&p, profile);
+            (0..40)
+                .map(|i| {
+                    let key = &p.video(i).key;
+                    (0..6).map(|_| flaky.fetch(key).map(|_| ())).collect()
+                })
+                .collect()
+        };
+        let a = observe(FaultProfile::flaky());
+        let b = observe(FaultProfile::flaky());
+        assert_eq!(a, b, "same seed, same fault sequences");
+        let mut other = FaultProfile::flaky();
+        other.with_seed(99);
+        let c = observe(other);
+        assert_ne!(a, c, "seed change must move the faults");
+    }
+
+    #[test]
+    fn related_lists_can_be_truncated() {
+        let p = platform();
+        let mut profile = FaultProfile::off();
+        profile.truncate_milli = 1000;
+        profile.max_faults_per_key = 1;
+        let flaky = FlakyPlatform::new(&p, profile);
+        let key = &p.video(0).key;
+        assert_eq!(flaky.related(key, 5), Err(FetchError::Truncated));
+        // The retry reaches the backend and gets the full list.
+        assert_eq!(flaky.related(key, 5), p.related(key, 5));
+        // Metadata fetches are untouched by a truncate-only profile.
+        assert_eq!(flaky.fetch(key), p.fetch(key));
+    }
+
+    #[test]
+    fn named_profiles_resolve() {
+        assert_eq!(FaultProfile::by_name("off").unwrap(), FaultProfile::off());
+        assert_eq!(
+            FaultProfile::by_name("flaky").unwrap(),
+            FaultProfile::flaky()
+        );
+        assert_eq!(
+            FaultProfile::by_name("hostile").unwrap(),
+            FaultProfile::hostile()
+        );
+        assert!(FaultProfile::by_name("chaotic").is_err());
+        assert!(!FaultProfile::off().is_enabled());
+        assert!(FaultProfile::flaky().is_enabled());
+    }
+}

@@ -24,7 +24,11 @@
 //!   videos, and per-country **top charts** — the two API surfaces the
 //!   paper's snowball crawl consumed,
 //! * the [`PlatformApi`] trait: the *only* window a crawler gets onto
-//!   the platform, mirroring what YouTube's public API exposed.
+//!   the platform, mirroring what YouTube's public API exposed,
+//! * two failure decorators: [`ChurnedPlatform`] (permanent deletions
+//!   → dangling references) and [`FlakyPlatform`] (seeded transient
+//!   faults: 5xx, 429, timeouts, truncated related lists) — the
+//!   failure model a week-long crawl of a live platform must absorb.
 //!
 //! # Example
 //!
@@ -59,15 +63,17 @@
 pub mod api;
 pub mod churn;
 pub mod config;
+pub mod flaky;
 pub mod graph;
 pub mod platform;
 pub mod sampling;
 pub mod topic;
 pub mod video;
 
-pub use api::{PlatformApi, VideoMetadata};
+pub use api::{FetchError, PlatformApi, VideoMetadata};
 pub use churn::ChurnedPlatform;
 pub use config::WorldConfig;
+pub use flaky::{FaultProfile, FlakyPlatform, FAULT_PROFILE_ENV};
 pub use platform::Platform;
 pub use sampling::{LogNormal, Zipf};
 pub use topic::{Topic, TopicId, TopicKind};

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tagdist_geo::{world, CountryId, CountryVec, GeoDist, PopularityVector, TrafficModel, World};
 
-use crate::api::{PlatformApi, VideoMetadata};
+use crate::api::{FetchError, PlatformApi, VideoMetadata};
 use crate::config::WorldConfig;
 use crate::graph::RelatedGraph;
 use crate::sampling::LogNormal;
@@ -242,11 +242,14 @@ impl PlatformApi for Platform {
             .unwrap_or_default()
     }
 
-    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
-        let &index = self.key_index.get(key)?;
+    /// The healthy backend: every known key fetches on the first try;
+    /// unknown keys are permanent 404s. Layer [`crate::FlakyPlatform`]
+    /// on top to inject transient faults.
+    fn fetch(&self, key: &str) -> Result<VideoMetadata, FetchError> {
+        let &index = self.key_index.get(key).ok_or(FetchError::NotFound)?;
         let video = &self.videos[index as usize];
         let observed = &self.observed[index as usize];
-        Some(VideoMetadata {
+        Ok(VideoMetadata {
             key: video.key.clone(),
             title: video.title.clone(),
             total_views: video.total_views,
@@ -256,16 +259,17 @@ impl PlatformApi for Platform {
         })
     }
 
-    fn related(&self, key: &str, k: usize) -> Vec<String> {
+    fn related(&self, key: &str, k: usize) -> Result<Vec<String>, FetchError> {
         let Some(&index) = self.key_index.get(key) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
-        self.graph
+        Ok(self
+            .graph
             .related(index as usize)
             .iter()
             .take(k)
             .map(|&i| self.videos[i as usize].key.clone())
-            .collect()
+            .collect())
     }
 
     fn catalogue_size(&self) -> usize {
@@ -317,18 +321,18 @@ mod tests {
         let p = platform();
         let meta = p.fetch("yt00000000").unwrap();
         assert_eq!(meta.key, "yt00000000");
-        assert!(p.fetch("nope").is_none());
+        assert_eq!(p.fetch("nope"), Err(FetchError::NotFound));
     }
 
     #[test]
     fn related_returns_known_keys() {
         let p = platform();
-        let related = p.related("yt00000001", 5);
+        let related = p.related("yt00000001", 5).unwrap();
         assert!(!related.is_empty());
         for key in &related {
-            assert!(p.fetch(key).is_some());
+            assert!(p.fetch(key).is_ok());
         }
-        assert!(p.related("nope", 5).is_empty());
+        assert!(p.related("nope", 5).unwrap().is_empty());
     }
 
     #[test]

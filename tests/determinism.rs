@@ -165,6 +165,10 @@ fn metrics_counters_are_byte_identical_across_thread_counts() {
         "par.calls",
         "crawl.fetched",
         "crawl.frontier_items",
+        "crawl.retries",
+        "crawl.breaker_trips",
+        "crawl.backoff_wait_ms",
+        "crawl.throttle_wait_ms",
         "filter.kept",
         "reconstruct.rows_filled",
         "aggregate.postings",

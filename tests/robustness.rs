@@ -10,11 +10,11 @@
     missing_docs
 )]
 
-use tagdist::crawler::{crawl, CrawlConfig};
-use tagdist::dataset::{filter, RawPopularity};
+use tagdist::crawler::{crawl, crawl_stepwise, CrawlCheckpoint, CrawlConfig, CrawlRun};
+use tagdist::dataset::{filter, tsv, RawPopularity};
 use tagdist::geo::{world, CountryId};
 use tagdist::reconstruct::{Reconstruction, TagViewTable};
-use tagdist::ytsim::{PlatformApi, VideoMetadata, WorldConfig};
+use tagdist::ytsim::{FetchError, PlatformApi, VideoMetadata, WorldConfig};
 
 /// A platform where EVERY popularity vector is defective.
 struct AllDefective;
@@ -23,17 +23,17 @@ impl PlatformApi for AllDefective {
     fn top_videos(&self, _country: CountryId, k: usize) -> Vec<String> {
         (0..k).map(|i| format!("bad{i}")).collect()
     }
-    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
+    fn fetch(&self, key: &str) -> Result<VideoMetadata, FetchError> {
         if !key.starts_with("bad") {
-            return None;
+            return Err(FetchError::NotFound);
         }
-        let n: usize = key[3..].parse().ok()?;
+        let n: usize = key[3..].parse().map_err(|_| FetchError::NotFound)?;
         let popularity = match n % 3 {
             0 => None,                             // missing
             1 => Some(vec![200u8; world().len()]), // out of range
             _ => Some(vec![0u8; world().len()]),   // empty signal
         };
-        Some(VideoMetadata {
+        Ok(VideoMetadata {
             key: key.to_owned(),
             title: format!("bad video {n}"),
             total_views: 10,
@@ -42,12 +42,12 @@ impl PlatformApi for AllDefective {
             popularity,
         })
     }
-    fn related(&self, key: &str, _k: usize) -> Vec<String> {
+    fn related(&self, key: &str, _k: usize) -> Result<Vec<String>, FetchError> {
         let n: usize = key[3..].parse().unwrap_or(0);
         if n < 50 {
-            vec![format!("bad{}", n + 10)]
+            Ok(vec![format!("bad{}", n + 10)])
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     }
     fn catalogue_size(&self) -> usize {
@@ -82,18 +82,20 @@ impl PlatformApi for WrongWorld {
     fn top_videos(&self, _country: CountryId, k: usize) -> Vec<String> {
         (0..k).map(|i| format!("w{i}")).collect()
     }
-    fn fetch(&self, key: &str) -> Option<VideoMetadata> {
-        key.starts_with('w').then(|| VideoMetadata {
-            key: key.to_owned(),
-            title: "wrong world".into(),
-            total_views: 5,
-            duration_secs: 60,
-            tags: vec!["x".into()],
-            popularity: Some(vec![61u8; 7]), // 7 ≠ 60 countries
-        })
+    fn fetch(&self, key: &str) -> Result<VideoMetadata, FetchError> {
+        key.starts_with('w')
+            .then(|| VideoMetadata {
+                key: key.to_owned(),
+                title: "wrong world".into(),
+                total_views: 5,
+                duration_secs: 60,
+                tags: vec!["x".into()],
+                popularity: Some(vec![61u8; 7]), // 7 ≠ 60 countries
+            })
+            .ok_or(FetchError::NotFound)
     }
-    fn related(&self, _key: &str, _k: usize) -> Vec<String> {
-        Vec::new()
+    fn related(&self, _key: &str, _k: usize) -> Result<Vec<String>, FetchError> {
+        Ok(Vec::new())
     }
     fn catalogue_size(&self) -> usize {
         10
@@ -168,11 +170,52 @@ fn churned_platform_crawls_degrade_gracefully() {
     assert!(outcome.dataset.len() <= churned.catalogue_size());
     // Everything fetched is genuinely live.
     for video in outcome.dataset.iter() {
-        assert!(churned.fetch(&video.key).is_some());
+        assert!(churned.fetch(&video.key).is_ok());
     }
     // The analysis pipeline still runs on the survivors.
     let clean = filter(&outcome.dataset);
     assert!(!clean.is_empty());
     let recon = Reconstruction::compute(&clean, platform.true_traffic()).expect("reconstructs");
     assert_eq!(recon.len(), clean.len());
+}
+
+/// The kill/resume contract: suspend a crawl mid-flight, serialize the
+/// checkpoint to bytes (simulating a process death), parse it back in
+/// a "fresh process" against a regenerated platform, resume — and get
+/// a dataset byte-identical to the uninterrupted crawl, with equal
+/// stats.
+#[test]
+fn killed_and_resumed_crawl_is_byte_identical() {
+    let make_platform = || {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_videos(1_200).with_seed(99);
+        tagdist::ytsim::Platform::generate(cfg)
+    };
+    let crawl_cfg = CrawlConfig::default();
+
+    let uninterrupted = crawl(&make_platform(), &crawl_cfg);
+
+    // "Process one": crawl two levels, checkpoint, die.
+    let first = make_platform();
+    let CrawlRun::Suspended(checkpoint) = crawl_stepwise(&first, &crawl_cfg, None, Some(2)) else {
+        panic!("a two-level stop must suspend this crawl");
+    };
+    let mut bytes = Vec::new();
+    checkpoint.write(&mut bytes).expect("checkpoint serializes");
+    drop((checkpoint, first));
+
+    // "Process two": parse the checkpoint, regenerate the platform
+    // from the same seed, run to completion.
+    let restored = CrawlCheckpoint::read(bytes.as_slice()).expect("checkpoint parses");
+    let resumed = match crawl_stepwise(&make_platform(), &crawl_cfg, Some(restored), None) {
+        CrawlRun::Complete(outcome) => outcome,
+        CrawlRun::Suspended(_) => panic!("no stop requested"),
+    };
+
+    assert_eq!(resumed.stats, uninterrupted.stats);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    tsv::write(&uninterrupted.dataset, &mut a).unwrap();
+    tsv::write(&resumed.dataset, &mut b).unwrap();
+    assert_eq!(a, b, "resumed dataset must be byte-identical");
 }
