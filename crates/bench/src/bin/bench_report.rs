@@ -412,7 +412,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"runs_per_stage\": {runs},");
     let _ = writeln!(json, "  \"host_available_threads\": {host},");

@@ -156,11 +156,7 @@ impl GeoDist {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
         // For a distribution (Σp = 1): G = (2·Σ i·p_i)/n − (n+1)/n,
         // with i being the 1-based rank in ascending order.
-        let weighted: f64 = sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i as f64 + 1.0) * p)
-            .sum();
+        let weighted = crate::kernel::sum_by(&sorted, |i, p| (i as f64 + 1.0) * p);
         (2.0 * weighted - (n as f64 + 1.0)) / n as f64
     }
 
@@ -267,13 +263,9 @@ impl GeoDist {
                 right: other.len(),
             });
         }
-        let s: f64 = self
-            .probs
-            .as_slice()
-            .iter()
-            .zip(other.probs.as_slice())
-            .map(|(p, q)| (p.sqrt() - q.sqrt()).powi(2))
-            .sum();
+        let s = crate::kernel::zip_sum_by(self.probs.as_slice(), other.probs.as_slice(), |p, q| {
+            (p.sqrt() - q.sqrt()).powi(2)
+        });
         Ok((s / 2.0).sqrt().clamp(0.0, 1.0))
     }
 

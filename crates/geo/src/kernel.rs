@@ -80,6 +80,32 @@ pub fn sum(values: &[f64]) -> f64 {
     values.iter().sum()
 }
 
+/// Strictly sequential left-to-right dot product. Like [`sum`], the
+/// reduction order is the contract, so no unrolling.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm through the sequential [`dot`].
+pub fn norm(values: &[f64]) -> f64 {
+    dot(values, values).sqrt()
+}
+
+/// Strictly sequential sum of `f(i, values[i])` — the vetted home for
+/// order-sensitive mapped reductions (rank weightings and the like)
+/// that plain [`sum`] cannot express.
+pub fn sum_by(values: &[f64], f: impl Fn(usize, f64) -> f64) -> f64 {
+    values.iter().enumerate().map(|(i, &v)| f(i, v)).sum()
+}
+
+/// Strictly sequential sum of `f(a[i], b[i])` over two equal-length
+/// slices (pairwise divergence terms and similar).
+pub fn zip_sum_by(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "kernel length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +162,38 @@ mod tests {
         let values = vec![1e16, 1.0, -1e16, 1.0];
         assert_eq!(sum(&values), values.iter().sum::<f64>());
         assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_and_norm_match_sequential_folds() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![0.5, -1.0, 2.0, 0.0, 1.5];
+        let expected: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot(&a, &b), expected);
+        let sq: f64 = a.iter().map(|x| x * x).sum();
+        assert_eq!(norm(&a), sq.sqrt());
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn mapped_sums_match_sequential_folds() {
+        let a = vec![0.25, 0.5, 0.125, 0.125];
+        let ranked: f64 = a
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as f64 + 1.0) * p)
+            .sum();
+        assert_eq!(sum_by(&a, |i, p| (i as f64 + 1.0) * p), ranked);
+        let b: Vec<f64> = vec![0.5, 0.125, 0.25, 0.125];
+        let pairwise: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&p, &q)| (p.sqrt() - q.sqrt()).powi(2))
+            .sum();
+        assert_eq!(
+            zip_sum_by(&a, &b, |p, q| (p.sqrt() - q.sqrt()).powi(2)),
+            pairwise
+        );
     }
 }

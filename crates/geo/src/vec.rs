@@ -266,14 +266,9 @@ impl CountryVec {
     /// Returns [`GeoError::LengthMismatch`] if the lengths differ.
     pub fn cosine_similarity(&self, other: &CountryVec) -> Result<f64, GeoError> {
         self.check_len(other)?;
-        let dot: f64 = self
-            .values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| a * b)
-            .sum();
-        let na: f64 = self.values.iter().map(|a| a * a).sum::<f64>().sqrt();
-        let nb: f64 = other.values.iter().map(|b| b * b).sum::<f64>().sqrt();
+        let dot = crate::kernel::dot(&self.values, &other.values);
+        let na = crate::kernel::norm(&self.values);
+        let nb = crate::kernel::norm(&other.values);
         if crate::float::approx_zero(na) || crate::float::approx_zero(nb) {
             return Ok(0.0);
         }

@@ -33,7 +33,7 @@ impl ErrorSummary {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
         let n = samples.len();
         ErrorSummary {
-            mean: samples.iter().sum::<f64>() / n as f64,
+            mean: tagdist_geo::kernel::sum(&samples) / n as f64,
             median: samples[n / 2],
             p90: samples[((n as f64 * 0.9) as usize).min(n - 1)],
             max: samples[n - 1],

@@ -118,9 +118,13 @@ impl TagClusters {
             }
         }
 
-        // Union strong edges.
+        // Union strong edges in sorted pair order: the hash map's
+        // iteration order is arbitrary, and union order decides which
+        // member becomes a cluster's root.
+        let mut edges: Vec<((u32, u32), u32)> = joint.iter().map(|(&k, &j)| (k, j)).collect();
+        edges.sort_unstable();
         let mut forest = UnionFind::new(tag_count);
-        for (&(a, b), &j) in &joint {
+        for ((a, b), j) in edges {
             if (j as usize) < min_joint {
                 continue;
             }

@@ -26,6 +26,9 @@ pub struct AllowEntry {
     pub contains: String,
     /// Mandatory justification.
     pub reason: String,
+    /// 1-based line of this entry's `[[allow]]` header (for the
+    /// `allow-stale` diagnostics).
+    pub line: usize,
 }
 
 /// Parsed allowlist.
@@ -71,7 +74,10 @@ impl AllowList {
                 continue;
             }
             if line == "[[allow]]" {
-                entries.push(AllowEntry::default());
+                entries.push(AllowEntry {
+                    line: lineno,
+                    ..AllowEntry::default()
+                });
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -131,11 +137,20 @@ impl AllowList {
 
     /// Does any entry sanction this violation?
     pub fn covers(&self, v: &Violation) -> bool {
-        self.entries.iter().any(|e| {
-            e.rule == v.rule
-                && v.path.ends_with(&e.path)
-                && (e.contains.is_empty() || v.snippet.contains(&e.contains))
-        })
+        self.entries.iter().any(|e| AllowList::entry_covers(e, v))
+    }
+
+    /// Does this specific entry sanction the violation? (Used by the
+    /// `allow-stale` pass to find entries that match nothing.)
+    pub fn entry_covers(e: &AllowEntry, v: &Violation) -> bool {
+        e.rule == v.rule
+            && v.path.ends_with(&e.path)
+            && (e.contains.is_empty() || v.snippet.contains(&e.contains))
+    }
+
+    /// The parsed entries, in file order.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
     }
 }
 

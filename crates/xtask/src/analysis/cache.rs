@@ -1,0 +1,250 @@
+//! Content-hash cache for the per-file analysis.
+//!
+//! Warm re-runs skip re-lexing/parsing files whose bytes are
+//! unchanged: the cache maps each repo-relative path to an FNV-1a 64
+//! hash and the violations computed last time. Entries store the
+//! *pre-allowlist* findings (`allowed` is recomputed on every run), so
+//! editing `xtask-allow.toml` never requires invalidation. The cache
+//! is a plain JSON file under `target/`; any parse problem simply
+//! drops it — it is an accelerator, never a source of truth.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use tagdist_obs::Value;
+
+use crate::rules::Violation;
+
+/// Default location, relative to the workspace root.
+pub const DEFAULT_CACHE_REL: &str = "target/xtask-analysis-cache.json";
+
+/// FNV-1a 64-bit content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[derive(Debug, Clone)]
+struct CachedFile {
+    hash: u64,
+    violations: Vec<Violation>,
+}
+
+/// The analysis cache, keyed by repo-relative path.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisCache {
+    files: BTreeMap<String, CachedFile>,
+    /// Lookups answered from the cache this run.
+    pub hits: usize,
+    /// Lookups that had to re-analyze.
+    pub misses: usize,
+}
+
+impl AnalysisCache {
+    /// Loads a cache file; any error (missing, unparsable, wrong
+    /// version) yields an empty cache.
+    pub fn load(path: &Path, known_rules: &[&'static str]) -> AnalysisCache {
+        let Ok(text) = fs::read_to_string(path) else {
+            return AnalysisCache::default();
+        };
+        let Ok(doc) = Value::parse(&text) else {
+            return AnalysisCache::default();
+        };
+        if doc.get("version").and_then(Value::as_u64) != Some(1) {
+            return AnalysisCache::default();
+        }
+        let mut files = BTreeMap::new();
+        let entries = doc
+            .get("files")
+            .and_then(Value::entries)
+            .unwrap_or_default();
+        'entry: for (path, entry) in entries {
+            let Some(hash) = entry.get("hash").and_then(Value::as_str) else {
+                continue;
+            };
+            let Ok(hash) = hash.parse::<u64>() else {
+                continue;
+            };
+            let mut violations = Vec::new();
+            for v in entry
+                .get("violations")
+                .and_then(Value::as_array)
+                .unwrap_or_default()
+            {
+                // Rule names intern to the static registry; an unknown
+                // rule means the cache predates this analyzer build —
+                // drop the whole entry so the file re-analyzes.
+                let Some(rule) = v
+                    .get("rule")
+                    .and_then(Value::as_str)
+                    .and_then(|r| known_rules.iter().find(|k| **k == r).copied())
+                else {
+                    continue 'entry;
+                };
+                let (Some(line), Some(snippet), Some(message)) = (
+                    v.get("line").and_then(Value::as_u64),
+                    v.get("snippet").and_then(Value::as_str),
+                    v.get("message").and_then(Value::as_str),
+                ) else {
+                    continue 'entry;
+                };
+                violations.push(Violation {
+                    rule,
+                    path: path.clone(),
+                    line: usize::try_from(line).unwrap_or(usize::MAX),
+                    snippet: snippet.to_owned(),
+                    message: message.to_owned(),
+                    allowed: false,
+                });
+            }
+            files.insert(path.clone(), CachedFile { hash, violations });
+        }
+        AnalysisCache {
+            files,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the cached findings when the content hash matches.
+    pub fn lookup(&mut self, path: &str, hash: u64) -> Option<Vec<Violation>> {
+        match self.files.get(path) {
+            Some(f) if f.hash == hash => {
+                self.hits += 1;
+                Some(f.violations.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records freshly computed findings (stored without `allowed`).
+    pub fn store(&mut self, path: &str, hash: u64, violations: &[Violation]) {
+        let violations = violations
+            .iter()
+            .map(|v| Violation {
+                allowed: false,
+                ..v.clone()
+            })
+            .collect();
+        self.files
+            .insert(path.to_owned(), CachedFile { hash, violations });
+    }
+
+    /// Writes the cache as deterministic JSON (paths sorted by the
+    /// `BTreeMap`, violations in their computed order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the parent directory
+    /// or writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let files = self
+            .files
+            .iter()
+            .map(|(p, f)| {
+                let violations = f
+                    .violations
+                    .iter()
+                    .map(|v| {
+                        Value::Obj(vec![
+                            ("rule".to_owned(), Value::Str(v.rule.to_owned())),
+                            ("line".to_owned(), Value::Num(v.line.to_string())),
+                            ("snippet".to_owned(), Value::Str(v.snippet.clone())),
+                            ("message".to_owned(), Value::Str(v.message.clone())),
+                        ])
+                    })
+                    .collect();
+                let entry = Value::Obj(vec![
+                    ("hash".to_owned(), Value::Str(f.hash.to_string())),
+                    ("violations".to_owned(), Value::Arr(violations)),
+                ]);
+                (p.clone(), entry)
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("version".to_owned(), Value::Num("1".to_owned())),
+            ("files".to_owned(), Value::Obj(files)),
+        ]);
+        let mut out = String::new();
+        doc.write(&mut out);
+        out.push('\n');
+        fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["wall-clock", "no-panic"];
+
+    fn violation(line: usize) -> Violation {
+        Violation {
+            rule: "wall-clock",
+            path: "crates/x/src/a.rs".to_owned(),
+            line,
+            snippet: "Instant::now()".to_owned(),
+            message: "m".to_owned(),
+            allowed: true, // must be stripped on store
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn round_trip_preserves_findings() {
+        let dir = std::env::temp_dir().join(format!("xtask-cache-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let mut cache = AnalysisCache::default();
+        cache.store("crates/x/src/a.rs", 42, &[violation(7)]);
+        cache.save(&path).unwrap();
+        let mut loaded = AnalysisCache::load(&path, RULES);
+        let hit = loaded.lookup("crates/x/src/a.rs", 42).unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].line, 7);
+        assert_eq!(hit[0].rule, "wall-clock");
+        assert!(!hit[0].allowed);
+        assert!(loaded.lookup("crates/x/src/a.rs", 43).is_none());
+        assert_eq!((loaded.hits, loaded.misses), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_rule_drops_the_entry() {
+        let dir = std::env::temp_dir().join(format!("xtask-cache2-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let mut cache = AnalysisCache::default();
+        cache.store("a.rs", 1, &[violation(1)]);
+        cache.save(&path).unwrap();
+        let mut loaded = AnalysisCache::load(&path, &["no-panic"]);
+        assert!(loaded.lookup("a.rs", 1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_loads_empty() {
+        let dir = std::env::temp_dir().join(format!("xtask-cache3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let mut loaded = AnalysisCache::load(&path, RULES);
+        assert!(loaded.lookup("a.rs", 1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,410 @@
+//! Workspace module graph and the `layer-dag` pass.
+//!
+//! The workspace declares a crate-layer DAG (leaf utilities at the
+//! bottom, binaries on top). This pass validates the *declared*
+//! `Cargo.toml` dependency edges and the *actual* `use`/path edges in
+//! source against that DAG, reporting:
+//!
+//! - layering violations (an edge to the same or a higher layer),
+//! - dependency cycles among the declared edges,
+//! - declared dependencies with no source reference (dead edges),
+//! - source references to workspace crates that are not declared.
+//!
+//! `[dev-dependencies]` satisfy the declaration check but are exempt
+//! from layering (the obs ⇄ par test cycle is documented and legal).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer;
+use crate::rules::Violation;
+
+/// One crate in the declared layer DAG.
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Cargo package name (`tagdist-geo`, `xtask`, …).
+    pub package: String,
+    /// Directory relative to the workspace root.
+    pub dir: String,
+    /// Layer index; an edge must always point to a strictly lower
+    /// layer.
+    pub layer: u32,
+}
+
+fn spec(package: &str, dir: &str, layer: u32) -> LayerSpec {
+    LayerSpec {
+        package: package.to_owned(),
+        dir: dir.to_owned(),
+        layer,
+    }
+}
+
+/// The declared DAG for this workspace.
+///
+/// Layer 0 holds the dependency-free substrates, layer 4 the facade
+/// crate, layer 5 the binaries and tooling. `cargo xtask check` fails
+/// when reality drifts from this list.
+pub fn workspace_spec() -> Vec<LayerSpec> {
+    vec![
+        spec("tagdist-obs", "crates/obs", 0),
+        spec("tagdist-geo", "crates/geo", 0),
+        spec("tagdist-par", "crates/par", 1),
+        spec("tagdist-dataset", "crates/dataset", 1),
+        spec("tagdist-ytsim", "crates/ytsim", 1),
+        spec("tagdist-crawler", "crates/crawler", 2),
+        spec("tagdist-reconstruct", "crates/reconstruct", 2),
+        spec("tagdist-cache", "crates/cache", 2),
+        spec("tagdist-tags", "crates/tags", 3),
+        spec("tagdist", "crates/core", 4),
+        spec("tagdist-cli", "crates/cli", 5),
+        spec("tagdist-bench", "crates/bench", 5),
+        spec("xtask", "crates/xtask", 5),
+    ]
+}
+
+/// A dependency declaration found in a manifest.
+#[derive(Debug, Clone)]
+struct DeclaredDep {
+    name: String,
+    line: usize,
+    dev: bool,
+}
+
+/// Parses the `[dependencies]` / `[dev-dependencies]` tables of a
+/// manifest (TOML subset: one dependency per line).
+fn parse_manifest_deps(text: &str) -> Vec<DeclaredDep> {
+    let mut out = Vec::new();
+    let mut section: Option<bool> = None; // Some(dev?)
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[dependencies]" => Some(false),
+                "[dev-dependencies]" => Some(true),
+                _ => None,
+            };
+            continue;
+        }
+        let Some(dev) = section else { continue };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push(DeclaredDep {
+                name,
+                line: i + 1,
+                dev,
+            });
+        }
+    }
+    out
+}
+
+/// Rust identifier a package is referred to by in source.
+fn ident_of(package: &str) -> String {
+    package.replace('-', "_")
+}
+
+/// Word-bounded occurrences of `ident` in a line.
+fn mentions_ident(line: &str, ident: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line.get(from..).and_then(|s| s.find(ident)) {
+        let at = from + pos;
+        let prev_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + ident.len();
+        let next_ok = !line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if prev_ok && next_ok {
+            return true;
+        }
+        from = at + ident.len().max(1);
+    }
+    false
+}
+
+/// Source references from one crate to workspace packages.
+#[derive(Debug, Clone, Default)]
+struct UseEdges {
+    /// `(package index, file, line)` on non-test lines.
+    in_lib: Vec<(usize, String, usize)>,
+    /// Package indices referenced anywhere (tests included).
+    anywhere: Vec<usize>,
+}
+
+/// Scans every `.rs` file under a crate directory for references to
+/// the given packages.
+fn scan_use_edges(root: &Path, crate_dir: &Path, specs: &[LayerSpec]) -> io::Result<UseEdges> {
+    let idents: Vec<String> = specs.iter().map(|s| ident_of(&s.package)).collect();
+    let mut files = Vec::new();
+    collect_rs(crate_dir, &mut files)?;
+    files.sort();
+    let mut edges = UseEdges::default();
+    for file in files {
+        let source = fs::read_to_string(&file)?;
+        let cf = lexer::clean(&source);
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // Integration tests and benches are test scope wholesale; the
+        // per-line flag only covers `#[cfg(test)]` modules.
+        let test_file = label.contains("/tests/") || label.contains("/benches/");
+        for (lineno, line) in cf.code.iter().enumerate() {
+            for (pi, ident) in idents.iter().enumerate() {
+                if !mentions_ident(line, ident) {
+                    continue;
+                }
+                edges.anywhere.push(pi);
+                if !test_file && !cf.in_test[lineno] {
+                    edges.in_lib.push((pi, label.clone(), lineno + 1));
+                }
+            }
+        }
+    }
+    edges.anywhere.sort_unstable();
+    edges.anywhere.dedup();
+    Ok(edges)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        if path.is_dir() {
+            if name.as_deref() == Some("target") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn violation(path: String, line: usize, snippet: String, message: String) -> Violation {
+    Violation {
+        rule: "layer-dag",
+        path,
+        line,
+        snippet,
+        message,
+        allowed: false,
+    }
+}
+
+/// Validates the declared layer DAG against the tree under `root`.
+///
+/// Crates whose directory is missing are skipped, so the pass is a
+/// no-op on fixture trees that do not model the full workspace.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading manifests or sources.
+pub fn check_layers(root: &Path, specs: &[LayerSpec]) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    // Declared non-dev edges as (from, to) spec indices, for the
+    // cycle scan.
+    let mut dep_edges: Vec<(usize, usize)> = Vec::new();
+    for (si, s) in specs.iter().enumerate() {
+        let manifest_path = root.join(&s.dir).join("Cargo.toml");
+        let Ok(manifest) = fs::read_to_string(&manifest_path) else {
+            continue;
+        };
+        let manifest_label = format!("{}/Cargo.toml", s.dir);
+        let manifest_lines: Vec<&str> = manifest.lines().collect();
+        let deps = parse_manifest_deps(&manifest);
+        let edges = scan_use_edges(root, &root.join(&s.dir), specs)?;
+        for dep in &deps {
+            let Some(ti) = specs.iter().position(|t| t.package == dep.name) else {
+                continue; // external dependency
+            };
+            let t = &specs[ti];
+            let snippet = manifest_lines
+                .get(dep.line - 1)
+                .map_or(String::new(), |l| l.trim().to_owned());
+            if !dep.dev {
+                dep_edges.push((si, ti));
+                if t.layer >= s.layer {
+                    out.push(violation(
+                        manifest_label.clone(),
+                        dep.line,
+                        snippet.clone(),
+                        format!(
+                            "layering violation: {} (layer {}) must only depend on \
+                             strictly lower layers, but {} is layer {}",
+                            s.package, s.layer, t.package, t.layer
+                        ),
+                    ));
+                }
+                if !edges.anywhere.contains(&ti) {
+                    out.push(violation(
+                        manifest_label.clone(),
+                        dep.line,
+                        snippet,
+                        format!(
+                            "unused declared dependency: no source in {} references \
+                             `{}`",
+                            s.dir,
+                            ident_of(&t.package)
+                        ),
+                    ));
+                }
+            }
+        }
+        // Non-test source references must be declared (dev or not) and
+        // must themselves respect layering when outside dev scope.
+        let mut seen: Vec<usize> = Vec::new();
+        for (ti, file, line) in &edges.in_lib {
+            if *ti == si || seen.contains(ti) {
+                continue;
+            }
+            seen.push(*ti);
+            let t = &specs[*ti];
+            let declared = deps.iter().any(|d| d.name == t.package);
+            if !declared {
+                out.push(violation(
+                    file.clone(),
+                    *line,
+                    String::new(),
+                    format!(
+                        "undeclared workspace dependency: {} references `{}` but \
+                         {}/Cargo.toml does not declare {}",
+                        s.package,
+                        ident_of(&t.package),
+                        s.dir,
+                        t.package
+                    ),
+                ));
+            }
+            let dev_only = deps.iter().all(|d| d.name != t.package || d.dev);
+            if t.layer >= s.layer && !dev_only {
+                // Already reported at the manifest line; skip the
+                // per-file duplicate.
+            } else if t.layer >= s.layer && dev_only {
+                out.push(violation(
+                    file.clone(),
+                    *line,
+                    String::new(),
+                    format!(
+                        "layering violation: non-test code in {} (layer {}) reaches \
+                         `{}` (layer {}) through a dev-dependency",
+                        s.package,
+                        s.layer,
+                        ident_of(&t.package),
+                        t.layer
+                    ),
+                ));
+            }
+        }
+    }
+    out.extend(find_cycles(specs, &dep_edges));
+    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+/// Reports each dependency cycle among declared edges once, anchored
+/// at its lexicographically smallest member.
+fn find_cycles(specs: &[LayerSpec], edges: &[(usize, usize)]) -> Vec<Violation> {
+    let n = specs.len();
+    let mut out = Vec::new();
+    let mut reported: Vec<Vec<usize>> = Vec::new();
+    // DFS from every node; the graph is tiny.
+    for start in 0..n {
+        let mut stack = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            for &(f, t) in edges {
+                if f != node {
+                    continue;
+                }
+                if t == start && path.len() > 1 {
+                    let mut cycle = path.clone();
+                    let mut normalized = cycle.clone();
+                    normalized.sort_unstable();
+                    if reported.contains(&normalized) || cycle.iter().min() != Some(&start) {
+                        continue;
+                    }
+                    reported.push(normalized);
+                    cycle.push(start);
+                    let names: Vec<&str> =
+                        cycle.iter().map(|&i| specs[i].package.as_str()).collect();
+                    out.push(violation(
+                        format!("{}/Cargo.toml", specs[start].dir),
+                        1,
+                        String::new(),
+                        format!("dependency cycle: {}", names.join(" -> ")),
+                    ));
+                } else if !path.contains(&t) {
+                    let mut next = path.clone();
+                    next.push(t);
+                    stack.push((t, next));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_deps_are_parsed_with_sections() {
+        let deps = parse_manifest_deps(
+            "[package]\nname = \"x\"\n\n[dependencies]\ntagdist-geo.workspace = true\n\
+             rand.workspace = true\n\n[dev-dependencies]\nproptest.workspace = true\n",
+        );
+        let names: Vec<(&str, bool)> = deps.iter().map(|d| (d.name.as_str(), d.dev)).collect();
+        assert_eq!(
+            names,
+            vec![("tagdist-geo", false), ("rand", false), ("proptest", true)]
+        );
+        assert_eq!(deps[0].line, 5);
+    }
+
+    #[test]
+    fn ident_matching_is_word_bounded() {
+        assert!(mentions_ident("use tagdist_geo::Country;", "tagdist_geo"));
+        assert!(!mentions_ident("use tagdist_geo::Country;", "tagdist"));
+        assert!(!mentions_ident("let my_tagdist_geo = 1;", "tagdist_geo"));
+    }
+
+    #[test]
+    fn cycles_are_reported_once() {
+        let specs = vec![spec("a", "crates/a", 0), spec("b", "crates/b", 0)];
+        let out = find_cycles(&specs, &[(0, 1), (1, 0)]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("a -> b -> a"));
+    }
+
+    #[test]
+    fn workspace_spec_is_a_dag_on_paper() {
+        let specs = workspace_spec();
+        // Layer indices are the proof: the declared list must use every
+        // layer 0..=5 and contain no duplicate packages.
+        let mut names: Vec<&str> = specs.iter().map(|s| s.package.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+        for layer in 0..=5 {
+            assert!(specs.iter().any(|s| s.layer == layer));
+        }
+    }
+}

@@ -1,0 +1,1257 @@
+//! A lightweight recursive-descent parser over the token stream.
+//!
+//! The analyzer does not need full Rust syntax — it needs the *item
+//! skeleton* (modules, functions, impls, uses, struct fields) plus a
+//! dataflow-grade view of function bodies: `let` bindings with their
+//! types and initializers, `for` loops with their iterated expression,
+//! and postfix method-call chains. That is exactly what this module
+//! produces. Everything the parser does not understand is skipped
+//! token-by-token, so malformed or exotic code degrades to fewer
+//! facts, never to a crash.
+
+use crate::analysis::token::{render, Kind, Token};
+
+/// A parsed source file: the item tree plus the raw token stream.
+#[derive(Debug, Clone, Default)]
+pub struct SourceFile {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// The full token stream (bodies index into this).
+    pub tokens: Vec<Token>,
+}
+
+/// One item in the tree.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Item name (`""` for impls and uses).
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: usize,
+    /// Rendered text of the item's outer attributes.
+    pub attrs: Vec<String>,
+    /// True under `#[cfg(test)]` / `#[test]` (inherited by children).
+    pub is_test: bool,
+    /// Token range `[start, end)` in [`SourceFile::tokens`] covering
+    /// the whole item, attributes included.
+    pub span: (usize, usize),
+}
+
+/// Item classification.
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    /// `fn` with an optional body.
+    Fn(FnItem),
+    /// Inline `mod name { … }`.
+    Mod(Vec<Item>),
+    /// External `mod name;` declaration.
+    ModDecl,
+    /// `use …;` — the rendered path.
+    Use(String),
+    /// `impl … { … }` with its associated items.
+    Impl(Vec<Item>),
+    /// `trait … { … }` with its associated items.
+    Trait(Vec<Item>),
+    /// `struct` with field `(name, type)` pairs (empty for tuple/unit).
+    Struct(Vec<(String, String)>),
+    /// Anything else (enums, consts, macros, extern blocks, …).
+    Other,
+}
+
+/// A function: signature fragments plus extracted body facts.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Rendered parameter-list text (parentheses content).
+    pub params: String,
+    /// Rendered return-type text (empty when elided).
+    pub ret: String,
+    /// Body facts; `None` for bodyless trait methods.
+    pub body: Option<Body>,
+}
+
+/// Dataflow facts extracted from one function body.
+#[derive(Debug, Clone, Default)]
+pub struct Body {
+    /// Token range `[start, end)` of the body (braces excluded).
+    pub span: (usize, usize),
+    /// `let` bindings in source order.
+    pub lets: Vec<LetBinding>,
+    /// `for` loops in source order.
+    pub fors: Vec<ForLoop>,
+    /// Postfix method-call chains in source order.
+    pub chains: Vec<Chain>,
+}
+
+/// One `let` binding.
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// First identifier of the pattern.
+    pub name: String,
+    /// Rendered type-annotation text (empty when inferred).
+    pub ty: String,
+    /// Index into [`Body::chains`] of the initializer chain, when the
+    /// initializer is (or starts with) a method-call chain.
+    pub init_chain: Option<usize>,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One `for pat in expr { … }` loop.
+#[derive(Debug, Clone)]
+pub struct ForLoop {
+    /// Index into [`Body::chains`] of the iterated expression.
+    pub iter_chain: usize,
+    /// Token range `[start, end)` of the loop body (braces excluded).
+    pub body_span: (usize, usize),
+    /// 1-based source line of the `for` keyword.
+    pub line: usize,
+}
+
+/// A postfix method-call chain: `base.m1(..).m2::<T>(..)…`.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Rendered base expression (path, `self.field`, or a
+    /// parenthesized group rendered verbatim).
+    pub base: String,
+    /// The postfix calls in order.
+    pub calls: Vec<Call>,
+    /// 1-based line of the base.
+    pub line: usize,
+    /// Token index where the chain starts.
+    pub start: usize,
+}
+
+/// One postfix call in a chain.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Method name.
+    pub name: String,
+    /// Rendered turbofish text (empty when absent).
+    pub turbofish: String,
+    /// Rendered argument text.
+    pub args: String,
+    /// 1-based source line of the method name.
+    pub line: usize,
+}
+
+impl SourceFile {
+    /// Visits every function in the tree (tests included — the visitor
+    /// receives the inherited test flag).
+    pub fn for_each_fn<'a>(&'a self, mut visit: impl FnMut(&'a Item, &'a FnItem)) {
+        fn walk<'a>(items: &'a [Item], visit: &mut impl FnMut(&'a Item, &'a FnItem)) {
+            for item in items {
+                match &item.kind {
+                    ItemKind::Fn(f) => visit(item, f),
+                    ItemKind::Mod(children)
+                    | ItemKind::Impl(children)
+                    | ItemKind::Trait(children) => walk(children, visit),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.items, &mut visit);
+    }
+
+    /// Every `use` path in the tree, with its test flag.
+    pub fn uses(&self) -> Vec<(&str, bool)> {
+        fn walk<'a>(items: &'a [Item], out: &mut Vec<(&'a str, bool)>) {
+            for item in items {
+                match &item.kind {
+                    ItemKind::Use(path) => out.push((path, item.is_test)),
+                    ItemKind::Mod(children)
+                    | ItemKind::Impl(children)
+                    | ItemKind::Trait(children) => walk(children, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.items, &mut out);
+        out
+    }
+
+    /// Names of struct fields in this file whose type mentions any of
+    /// the given markers (e.g. `HashMap`) — lets passes treat
+    /// `self.field` as a container of that kind.
+    pub fn fields_typed(&self, markers: &[&str]) -> Vec<String> {
+        fn walk(items: &[Item], markers: &[&str], out: &mut Vec<String>) {
+            for item in items {
+                match &item.kind {
+                    ItemKind::Struct(fields) => {
+                        for (name, ty) in fields {
+                            if markers.iter().any(|m| ty.contains(m)) {
+                                out.push(name.clone());
+                            }
+                        }
+                    }
+                    ItemKind::Mod(children)
+                    | ItemKind::Impl(children)
+                    | ItemKind::Trait(children) => walk(children, markers, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.items, markers, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Parses a token stream into a [`SourceFile`].
+pub fn parse(tokens: Vec<Token>) -> SourceFile {
+    let items = {
+        let mut cursor = Cursor {
+            tokens: &tokens,
+            pos: 0,
+        };
+        parse_items(&mut cursor, false, None)
+    };
+    SourceFile { items, tokens }
+}
+
+struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&'a Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(text))
+    }
+
+    fn at_punct(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(text))
+    }
+
+    /// Skips a balanced `{ … }` / `( … )` / `[ … ]` group, assuming the
+    /// cursor sits on the opener. Returns the token range of the
+    /// *interior*.
+    fn skip_group(&mut self, open: &str, close: &str) -> (usize, usize) {
+        debug_assert!(self.at_punct(open));
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    let end = self.pos;
+                    self.bump();
+                    return (start, end);
+                }
+            }
+            self.bump();
+        }
+        (start, self.pos)
+    }
+
+    /// Advances to just past the next `;` at zero bracket depth, or
+    /// past the matching close of the first `{` met at zero depth.
+    /// Returns the range consumed (terminator excluded).
+    fn skip_to_semi_or_block(&mut self) -> (usize, usize) {
+        let start = self.pos;
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle = (angle - 1).max(0);
+            } else if t.is_punct("(") {
+                self.skip_group("(", ")");
+                continue;
+            } else if t.is_punct("[") {
+                self.skip_group("[", "]");
+                continue;
+            } else if t.is_punct("{") && angle == 0 {
+                let end = self.pos;
+                self.skip_group("{", "}");
+                return (start, end);
+            } else if t.is_punct(";") && angle == 0 {
+                let end = self.pos;
+                self.bump();
+                return (start, end);
+            }
+            self.bump();
+        }
+        (start, self.pos)
+    }
+}
+
+/// Does this attribute text mark test-only code?
+fn attr_is_test(attr: &str) -> bool {
+    attr.contains("cfg ( test") || attr.contains("[ test") || attr.contains("( test )")
+}
+
+/// Parses items until `stop` (an exclusive token index) or the end of
+/// the stream.
+fn parse_items(cursor: &mut Cursor<'_>, inherited_test: bool, stop: Option<usize>) -> Vec<Item> {
+    let mut items = Vec::new();
+    loop {
+        if let Some(stop) = stop {
+            if cursor.pos >= stop {
+                break;
+            }
+        }
+        if cursor.peek().is_none() {
+            break;
+        }
+        let item_start = cursor.pos;
+        // Outer attributes (inner `#![…]` attributes are skipped too).
+        let mut attrs = Vec::new();
+        while cursor.at_punct("#") {
+            let attr_start = cursor.pos;
+            cursor.bump();
+            if cursor.at_punct("!") {
+                cursor.bump();
+            }
+            if cursor.at_punct("[") {
+                cursor.skip_group("[", "]");
+            }
+            attrs.push(render(&cursor.tokens[attr_start..cursor.pos]));
+        }
+        let is_test = inherited_test || attrs.iter().any(|a| attr_is_test(a));
+        // Visibility.
+        if cursor.at_ident("pub") {
+            cursor.bump();
+            if cursor.at_punct("(") {
+                cursor.skip_group("(", ")");
+            }
+        }
+        // Leading qualifiers on functions.
+        while cursor.at_ident("const")
+            && cursor.peek_at(1).is_some_and(|t| {
+                t.is_ident("fn")
+                    || t.is_ident("unsafe")
+                    || t.is_ident("extern")
+                    || t.is_ident("async")
+            })
+        {
+            cursor.bump();
+        }
+        while cursor.at_ident("async") || cursor.at_ident("unsafe") || cursor.at_ident("extern") {
+            cursor.bump();
+            if cursor.peek().is_some_and(|t| t.kind == Kind::Str) {
+                cursor.bump(); // ABI string
+            }
+        }
+        let Some(head) = cursor.peek() else { break };
+        let line = head.line;
+        let item = match head.text.as_str() {
+            "fn" if head.kind == Kind::Ident => {
+                cursor.bump();
+                let name = cursor
+                    .peek()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                cursor.bump();
+                Some(parse_fn_rest(
+                    cursor, name, line, attrs, is_test, item_start,
+                ))
+            }
+            "mod" if head.kind == Kind::Ident => {
+                cursor.bump();
+                let name = cursor
+                    .peek()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                cursor.bump();
+                if cursor.at_punct("{") {
+                    let (start, end) = cursor.skip_group("{", "}");
+                    let mut inner = Cursor {
+                        tokens: cursor.tokens,
+                        pos: start,
+                    };
+                    let children = parse_items(&mut inner, is_test, Some(end));
+                    Some(Item {
+                        kind: ItemKind::Mod(children),
+                        name,
+                        line,
+                        attrs,
+                        is_test,
+                        span: (item_start, cursor.pos),
+                    })
+                } else {
+                    if cursor.at_punct(";") {
+                        cursor.bump();
+                    }
+                    Some(Item {
+                        kind: ItemKind::ModDecl,
+                        name,
+                        line,
+                        attrs,
+                        is_test,
+                        span: (item_start, cursor.pos),
+                    })
+                }
+            }
+            "use" if head.kind == Kind::Ident => {
+                cursor.bump();
+                let start = cursor.pos;
+                while let Some(t) = cursor.peek() {
+                    if t.is_punct(";") {
+                        break;
+                    }
+                    if t.is_punct("{") {
+                        cursor.skip_group("{", "}");
+                        continue;
+                    }
+                    cursor.bump();
+                }
+                let path = render(&cursor.tokens[start..cursor.pos]);
+                if cursor.at_punct(";") {
+                    cursor.bump();
+                }
+                Some(Item {
+                    kind: ItemKind::Use(path),
+                    name: String::new(),
+                    line,
+                    attrs,
+                    is_test,
+                    span: (item_start, cursor.pos),
+                })
+            }
+            "impl" | "trait" if head.kind == Kind::Ident => {
+                let is_trait = head.text == "trait";
+                cursor.bump();
+                // Header: everything to the body `{` at zero depth.
+                let mut angle = 0i32;
+                let name_tok = cursor
+                    .peek()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                while let Some(t) = cursor.peek() {
+                    if t.is_punct("<") {
+                        angle += 1;
+                    } else if t.is_punct(">") {
+                        angle = (angle - 1).max(0);
+                    } else if (t.is_punct("{") || t.is_punct(";")) && angle == 0 {
+                        break;
+                    }
+                    cursor.bump();
+                }
+                if cursor.at_punct("{") {
+                    let (start, end) = cursor.skip_group("{", "}");
+                    let mut inner = Cursor {
+                        tokens: cursor.tokens,
+                        pos: start,
+                    };
+                    let children = parse_items(&mut inner, is_test, Some(end));
+                    Some(Item {
+                        kind: if is_trait {
+                            ItemKind::Trait(children)
+                        } else {
+                            ItemKind::Impl(children)
+                        },
+                        name: name_tok,
+                        line,
+                        attrs,
+                        is_test,
+                        span: (item_start, cursor.pos),
+                    })
+                } else {
+                    if cursor.at_punct(";") {
+                        cursor.bump();
+                    }
+                    Some(Item {
+                        kind: ItemKind::Other,
+                        name: name_tok,
+                        line,
+                        attrs,
+                        is_test,
+                        span: (item_start, cursor.pos),
+                    })
+                }
+            }
+            "struct" if head.kind == Kind::Ident => {
+                cursor.bump();
+                let name = cursor
+                    .peek()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                cursor.bump();
+                // Generics / where clause up to `{`, `(` or `;`.
+                let mut angle = 0i32;
+                while let Some(t) = cursor.peek() {
+                    if t.is_punct("<") {
+                        angle += 1;
+                    } else if t.is_punct(">") {
+                        angle = (angle - 1).max(0);
+                    } else if angle == 0 && (t.is_punct("{") || t.is_punct("(") || t.is_punct(";"))
+                    {
+                        break;
+                    }
+                    cursor.bump();
+                }
+                let fields = if cursor.at_punct("{") {
+                    let (start, end) = cursor.skip_group("{", "}");
+                    parse_struct_fields(&cursor.tokens[start..end])
+                } else {
+                    if cursor.at_punct("(") {
+                        cursor.skip_group("(", ")");
+                    }
+                    if cursor.at_punct(";") {
+                        cursor.bump();
+                    }
+                    Vec::new()
+                };
+                Some(Item {
+                    kind: ItemKind::Struct(fields),
+                    name,
+                    line,
+                    attrs,
+                    is_test,
+                    span: (item_start, cursor.pos),
+                })
+            }
+            "enum" | "union" | "const" | "static" | "type" | "macro_rules" | "macro"
+                if head.kind == Kind::Ident =>
+            {
+                cursor.bump();
+                let name = cursor
+                    .peek()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                cursor.skip_to_semi_or_block();
+                Some(Item {
+                    kind: ItemKind::Other,
+                    name,
+                    line,
+                    attrs,
+                    is_test,
+                    span: (item_start, cursor.pos),
+                })
+            }
+            _ => {
+                // Unknown construct: skip one token and try again.
+                cursor.bump();
+                None
+            }
+        };
+        if let Some(item) = item {
+            items.push(item);
+        }
+    }
+    items
+}
+
+/// Parses a function after its name: generics, params, return type,
+/// where clause, and the body (if any).
+fn parse_fn_rest(
+    cursor: &mut Cursor<'_>,
+    name: String,
+    line: usize,
+    attrs: Vec<String>,
+    is_test: bool,
+    item_start: usize,
+) -> Item {
+    // Generics.
+    if cursor.at_punct("<") {
+        let mut depth = 0i32;
+        while let Some(t) = cursor.peek() {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    cursor.bump();
+                    break;
+                }
+            } else if t.is_punct(">>") {
+                depth -= 2;
+                if depth <= 0 {
+                    cursor.bump();
+                    break;
+                }
+            }
+            cursor.bump();
+        }
+    }
+    // Parameters.
+    let params = if cursor.at_punct("(") {
+        let (start, end) = cursor.skip_group("(", ")");
+        render(&cursor.tokens[start..end])
+    } else {
+        String::new()
+    };
+    // Return type: `->` up to `{`, `;` or `where` at zero depth.
+    let mut ret = String::new();
+    if cursor.at_punct("->") {
+        cursor.bump();
+        let start = cursor.pos;
+        let mut angle = 0i32;
+        while let Some(t) = cursor.peek() {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle = (angle - 1).max(0);
+            } else if t.is_punct(">>") {
+                angle = (angle - 2).max(0);
+            } else if t.is_punct("(") {
+                cursor.skip_group("(", ")");
+                continue;
+            } else if angle == 0 && (t.is_punct("{") || t.is_punct(";") || t.is_ident("where")) {
+                break;
+            }
+            cursor.bump();
+        }
+        ret = render(&cursor.tokens[start..cursor.pos]);
+    }
+    // Where clause.
+    if cursor.at_ident("where") {
+        while let Some(t) = cursor.peek() {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            cursor.bump();
+        }
+    }
+    let body = if cursor.at_punct("{") {
+        let (start, end) = cursor.skip_group("{", "}");
+        Some(extract_body(cursor.tokens, start, end))
+    } else {
+        if cursor.at_punct(";") {
+            cursor.bump();
+        }
+        None
+    };
+    Item {
+        kind: ItemKind::Fn(FnItem { params, ret, body }),
+        name,
+        line,
+        attrs,
+        is_test,
+        span: (item_start, cursor.pos),
+    }
+}
+
+/// Splits `struct { … }` interior tokens into `(name, type)` pairs.
+fn parse_struct_fields(tokens: &[Token]) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        while tokens.get(i).is_some_and(|t| t.is_punct("#")) {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct("[")) {
+                let mut depth = 0i32;
+                while let Some(t) = tokens.get(i) {
+                    if t.is_punct("[") {
+                        depth += 1;
+                    } else if t.is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if tokens.get(i).is_some_and(|t| t.is_ident("pub")) {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct("(")) {
+                let mut depth = 0i32;
+                while let Some(t) = tokens.get(i) {
+                    if t.is_punct("(") {
+                        depth += 1;
+                    } else if t.is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let Some(name_tok) = tokens.get(i) else { break };
+        if name_tok.kind != Kind::Ident || !tokens.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        i += 2;
+        let ty_start = i;
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle = (angle - 1).max(0);
+            } else if t.is_punct(">>") {
+                angle = (angle - 2).max(0);
+            } else if t.is_punct(",") && angle == 0 {
+                break;
+            }
+            i += 1;
+        }
+        fields.push((name, render(&tokens[ty_start..i])));
+        i += 1; // the comma
+    }
+    fields
+}
+
+/// Extracts dataflow facts from a body token range.
+fn extract_body(tokens: &[Token], start: usize, end: usize) -> Body {
+    let mut body = Body {
+        span: (start, end),
+        ..Body::default()
+    };
+    body.chains = extract_chains(tokens, start, end);
+    extract_lets(tokens, start, end, &mut body);
+    extract_fors(tokens, start, end, &mut body);
+    body
+}
+
+/// Finds every postfix method-call chain in `[start, end)`.
+fn extract_chains(tokens: &[Token], start: usize, end: usize) -> Vec<Chain> {
+    let mut chains = Vec::new();
+    let mut i = start;
+    while i < end {
+        // A chain base: a path expression (idents and `::`), possibly
+        // `self . field`, optionally preceded by `&` / `&mut`.
+        let t = &tokens[i];
+        let base_start = i;
+        if t.kind == Kind::Ident && !is_expr_keyword(&t.text) {
+            // Walk the path / field-access base.
+            let mut j = i + 1;
+            while j < end {
+                if tokens[j].is_punct("::")
+                    && tokens.get(j + 1).is_some_and(|t| t.kind == Kind::Ident)
+                {
+                    j += 2;
+                } else if tokens[j].is_punct(".")
+                    && tokens.get(j + 1).is_some_and(|t| t.kind == Kind::Ident)
+                    && !tokens.get(j + 2).is_some_and(|t| t.is_punct("("))
+                    && !(tokens.get(j + 2).is_some_and(|t| t.is_punct("::")))
+                {
+                    // Plain field access extends the base; a method
+                    // call (`.name(` or `.name::<`) starts the chain.
+                    j += 2;
+                } else if tokens[j].is_punct("[") {
+                    // Indexing extends the base.
+                    let mut depth = 0i32;
+                    while j < end {
+                        if tokens[j].is_punct("[") {
+                            depth += 1;
+                        } else if tokens[j].is_punct("]") {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            // A call on the path itself (`HashMap::new()`)
+            // extends the base too.
+            if j < end
+                && tokens[j].is_punct("(")
+                && tokens
+                    .get(j.wrapping_sub(1))
+                    .is_some_and(|t| t.kind == Kind::Ident)
+            {
+                let mut depth = 0i32;
+                while j < end {
+                    if tokens[j].is_punct("(") {
+                        depth += 1;
+                    } else if tokens[j].is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Postfix calls?
+            if j < end && tokens[j].is_punct(".") {
+                let (calls, after) = parse_postfix_calls(tokens, j, end);
+                if !calls.is_empty() {
+                    chains.push(Chain {
+                        base: render(&tokens[base_start..j]),
+                        calls,
+                        line: t.line,
+                        start: base_start,
+                    });
+                    i = after;
+                    continue;
+                }
+            }
+            i = j.max(i + 1);
+            continue;
+        }
+        if t.is_punct("(") {
+            // Parenthesized base: skip the group, then capture calls.
+            let mut depth = 0i32;
+            let mut j = i;
+            while j < end {
+                if tokens[j].is_punct("(") {
+                    depth += 1;
+                } else if tokens[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if j < end && tokens[j].is_punct(".") {
+                let (calls, after) = parse_postfix_calls(tokens, j, end);
+                if !calls.is_empty() {
+                    chains.push(Chain {
+                        base: render(&tokens[base_start..j]),
+                        calls,
+                        line: t.line,
+                        start: base_start,
+                    });
+                    i = after;
+                    continue;
+                }
+            }
+            // No chain: step *into* the group so inner chains are found.
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    chains
+}
+
+/// Keywords that cannot begin a chain base.
+fn is_expr_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "if" | "else"
+            | "match"
+            | "for"
+            | "while"
+            | "loop"
+            | "let"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "as"
+            | "mut"
+            | "ref"
+            | "move"
+            | "fn"
+            | "impl"
+            | "where"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "const"
+            | "static"
+            | "type"
+            | "unsafe"
+            | "dyn"
+    )
+}
+
+/// Parses `.name[::<…>](…)` sequences starting at a `.` token.
+/// Returns the calls and the index just past the last one.
+fn parse_postfix_calls(tokens: &[Token], mut i: usize, end: usize) -> (Vec<Call>, usize) {
+    let mut calls = Vec::new();
+    while i < end && tokens[i].is_punct(".") {
+        let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == Kind::Ident) else {
+            break;
+        };
+        let mut j = i + 2;
+        let mut turbofish = String::new();
+        if j < end && tokens[j].is_punct("::") && tokens.get(j + 1).is_some_and(|t| t.is_punct("<"))
+        {
+            let tf_start = j;
+            j += 1;
+            let mut angle = 0i32;
+            while j < end {
+                if tokens[j].is_punct("<") {
+                    angle += 1;
+                } else if tokens[j].is_punct(">") {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if tokens[j].is_punct(">>") {
+                    angle -= 2;
+                    if angle <= 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            turbofish = render(&tokens[tf_start..j]);
+        }
+        if j < end && tokens[j].is_punct("(") {
+            let args_start = j + 1;
+            let mut depth = 0i32;
+            while j < end {
+                if tokens[j].is_punct("(") {
+                    depth += 1;
+                } else if tokens[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let args = render(&tokens[args_start..j.min(end)]);
+            calls.push(Call {
+                name: name_tok.text.clone(),
+                turbofish,
+                args,
+                line: name_tok.line,
+            });
+            i = (j + 1).min(end);
+        } else {
+            // Field access mid-chain (`a.b().c.d()`): record as a
+            // zero-arg pseudo-call so the chain stays connected.
+            calls.push(Call {
+                name: name_tok.text.clone(),
+                turbofish,
+                args: String::new(),
+                line: name_tok.line,
+            });
+            i = j;
+        }
+    }
+    (calls, i)
+}
+
+/// Records `let` bindings found anywhere in `[start, end)`.
+fn extract_lets(tokens: &[Token], start: usize, end: usize, body: &mut Body) {
+    let mut i = start;
+    while i < end {
+        if !tokens[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        i += 1;
+        if tokens.get(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+        // First identifier of the pattern.
+        let mut name = String::new();
+        let mut j = i;
+        let mut depth = 0i32;
+        while j < end {
+            let t = &tokens[j];
+            if t.kind == Kind::Ident && !is_expr_keyword(&t.text) && name.is_empty() {
+                name = t.text.clone();
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && (t.is_punct(":") || t.is_punct("=") || t.is_punct(";")) {
+                break;
+            }
+            j += 1;
+        }
+        // Optional type annotation.
+        let mut ty = String::new();
+        if tokens.get(j).is_some_and(|t| t.is_punct(":")) {
+            j += 1;
+            let ty_start = j;
+            let mut angle = 0i32;
+            while j < end {
+                let t = &tokens[j];
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle = (angle - 1).max(0);
+                } else if t.is_punct(">>") {
+                    angle = (angle - 2).max(0);
+                } else if angle == 0 && (t.is_punct("=") || t.is_punct(";")) {
+                    break;
+                }
+                j += 1;
+            }
+            ty = render(&tokens[ty_start..j]);
+        }
+        // Initializer: associate the chain starting at the init token.
+        let mut init_chain = None;
+        if tokens.get(j).is_some_and(|t| t.is_punct("=")) {
+            let init_start = j + 1;
+            init_chain = body
+                .chains
+                .iter()
+                .position(|c| c.start == init_start || c.start == init_start + 1);
+        }
+        body.lets.push(LetBinding {
+            name,
+            ty,
+            init_chain,
+            line,
+        });
+        i = j.max(i);
+        i += 1;
+    }
+}
+
+/// Records `for pat in expr { … }` loops found in `[start, end)`.
+fn extract_fors(tokens: &[Token], start: usize, end: usize, body: &mut Body) {
+    let mut i = start;
+    while i < end {
+        if !tokens[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // `for<'a>` in bounds is not a loop.
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct("<")) {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        // Find `in` at zero depth.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < end {
+            let t = &tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") {
+                break;
+            }
+            j += 1;
+        }
+        if j >= end {
+            i += 1;
+            continue;
+        }
+        let iter_start = j + 1;
+        // Iterated expression: up to the body `{` at zero depth.
+        let mut k = iter_start;
+        let mut d2 = 0i32;
+        while k < end {
+            let t = &tokens[k];
+            if t.is_punct("(") || t.is_punct("[") {
+                d2 += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                d2 -= 1;
+            } else if d2 == 0 && t.is_punct("{") {
+                break;
+            }
+            k += 1;
+        }
+        if k >= end {
+            i += 1;
+            continue;
+        }
+        // Strip a leading `&` / `&mut` from the iterated expression.
+        let mut expr_start = iter_start;
+        while tokens
+            .get(expr_start)
+            .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+        {
+            expr_start += 1;
+        }
+        // The iterated expression as a chain: reuse one extracted at
+        // that position, or synthesize a call-less chain for a plain
+        // binding (`for x in map`).
+        let iter_chain = match body
+            .chains
+            .iter()
+            .position(|c| c.start >= expr_start && c.start < k)
+        {
+            Some(idx) => idx,
+            None => {
+                body.chains.push(Chain {
+                    base: render(&tokens[expr_start..k]),
+                    calls: Vec::new(),
+                    line,
+                    start: expr_start,
+                });
+                body.chains.len() - 1
+            }
+        };
+        // Body span: matching brace.
+        let body_open = k;
+        let mut d3 = 0i32;
+        let mut m = body_open;
+        while m < end {
+            if tokens[m].is_punct("{") {
+                d3 += 1;
+            } else if tokens[m].is_punct("}") {
+                d3 -= 1;
+                if d3 == 0 {
+                    break;
+                }
+            }
+            m += 1;
+        }
+        body.fors.push(ForLoop {
+            iter_chain,
+            body_span: (body_open + 1, m.min(end)),
+            line,
+        });
+        i = body_open + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::token::tokenize;
+    use crate::lexer::clean;
+
+    fn parse_src(src: &str) -> SourceFile {
+        parse(tokenize(&clean(src).code))
+    }
+
+    #[test]
+    fn items_are_found() {
+        let sf = parse_src(
+            "use std::collections::HashMap;\n\
+             pub struct S { pub field: HashMap<u32, u32>, other: f64 }\n\
+             impl S {\n    pub fn get(&self) -> u32 { 0 }\n}\n\
+             mod inner { fn helper() {} }\n\
+             #[cfg(test)]\nmod tests { fn t() {} }\n",
+        );
+        assert_eq!(sf.items.len(), 5);
+        assert!(matches!(sf.items[0].kind, ItemKind::Use(_)));
+        let ItemKind::Struct(fields) = &sf.items[1].kind else {
+            panic!("expected struct");
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "field");
+        assert!(fields[0].1.contains("HashMap"));
+        assert!(matches!(sf.items[2].kind, ItemKind::Impl(_)));
+        assert!(!sf.items[3].is_test);
+        assert!(sf.items[4].is_test);
+        let mut fns = Vec::new();
+        sf.for_each_fn(|item, _| fns.push((item.name.clone(), item.is_test)));
+        assert_eq!(
+            fns,
+            vec![
+                ("get".to_owned(), false),
+                ("helper".to_owned(), false),
+                ("t".to_owned(), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_signature_fragments() {
+        let sf = parse_src("pub fn f(x: &HashMap<u32, u32>, y: f64) -> Result<f64, E> { y }\n");
+        let ItemKind::Fn(f) = &sf.items[0].kind else {
+            panic!("expected fn");
+        };
+        assert!(f.params.contains("HashMap"));
+        assert!(f.ret.contains("Result"));
+        assert!(f.ret.contains("f64"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn chains_and_lets_are_extracted() {
+        let sf = parse_src(
+            "fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+             let mut out: Vec<u32> = m.values().copied().collect();\n\
+             out.sort();\n\
+             out\n}\n",
+        );
+        let ItemKind::Fn(f) = &sf.items[0].kind else {
+            panic!("expected fn");
+        };
+        let body = f.body.as_ref().unwrap();
+        assert_eq!(body.lets.len(), 1);
+        assert_eq!(body.lets[0].name, "out");
+        assert!(body.lets[0].ty.contains("Vec"));
+        let init = body.lets[0].init_chain.expect("init chain");
+        let chain = &body.chains[init];
+        assert_eq!(chain.base, "m");
+        let names: Vec<&str> = chain.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["values", "copied", "collect"]);
+        // The later `out.sort()` chain is also present.
+        assert!(body
+            .chains
+            .iter()
+            .any(|c| c.base == "out" && c.calls.iter().any(|call| call.name == "sort")));
+    }
+
+    #[test]
+    fn for_loops_are_extracted() {
+        let sf = parse_src(
+            "fn f(m: &HashMap<u32, u32>) {\n\
+             for (k, v) in &m {\n    use_it(k, v);\n}\n\
+             for x in 0..10 { other(x); }\n}\n",
+        );
+        let ItemKind::Fn(f) = &sf.items[0].kind else {
+            panic!("expected fn");
+        };
+        let body = f.body.as_ref().unwrap();
+        assert_eq!(body.fors.len(), 2);
+        assert_eq!(body.chains[body.fors[0].iter_chain].base, "m");
+    }
+
+    #[test]
+    fn turbofish_is_captured() {
+        let sf = parse_src("fn f(m: HashMap<u32, u32>) -> f64 { m.values().sum::<f64>() }\n");
+        let ItemKind::Fn(f) = &sf.items[0].kind else {
+            panic!("expected fn");
+        };
+        let body = f.body.as_ref().unwrap();
+        let chain = &body.chains[0];
+        let sum = chain.calls.iter().find(|c| c.name == "sum").unwrap();
+        assert!(sum.turbofish.contains("f64"));
+    }
+
+    #[test]
+    fn spans_cover_the_token_stream() {
+        // Round-trip property: top-level item spans are disjoint,
+        // ordered, and jointly cover every token (no inner attrs here).
+        let src = "use a::b;\nfn f() { g(); }\nstruct S { x: u32 }\nfn h() -> u32 { 3 }\n";
+        let sf = parse_src(src);
+        let mut covered = 0usize;
+        for item in &sf.items {
+            assert_eq!(item.span.0, covered, "gap before {:?}", item.name);
+            assert!(item.span.1 > item.span.0);
+            covered = item.span.1;
+        }
+        assert_eq!(covered, sf.tokens.len());
+    }
+}

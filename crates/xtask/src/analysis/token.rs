@@ -1,0 +1,235 @@
+//! Token stream over a blanked source file.
+//!
+//! The [`crate::lexer`] already strips comments and literal contents
+//! (leaving delimiters in place), so tokenizing its output is a small
+//! job: identifiers, numbers, string/char shells, lifetimes, and
+//! punctuation — each tagged with its 1-based source line. The parser
+//! in [`crate::analysis::parse`] consumes this stream; the passes fall
+//! back to it for pattern scans the item AST does not structure.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (suffix included).
+    Number,
+    /// String literal shell (contents were blanked by the lexer).
+    Str,
+    /// Char literal shell.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation, possibly multi-character (`::`, `->`, `..=`).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: Kind,
+    /// The token text (strings and chars reduce to their delimiters).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == Kind::Ident && self.text == text
+    }
+
+    /// True for punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == Kind::Punct && self.text == text
+    }
+}
+
+/// Multi-character punctuation, longest first so the scan is greedy.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenizes blanked code lines (the [`crate::lexer::CleanFile::code`]
+/// field) into a flat stream.
+pub fn tokenize(code: &[String]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let line_1 = lineno + 1;
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: Kind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: line_1,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // A decimal point directly followed by a digit extends
+                // the literal (`1.5`, `2.5e3`); `1..n` does not.
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    kind: Kind::Number,
+                    text: chars[start..i].iter().collect(),
+                    line: line_1,
+                });
+                continue;
+            }
+            if c == '"' {
+                // The lexer blanked the contents; scan to the closing
+                // quote (possibly on a later source line — the blanked
+                // stream keeps it on this logical line only for
+                // single-line literals, so stop at end of line too).
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    i += 1;
+                }
+                i = (i + 1).min(chars.len());
+                out.push(Token {
+                    kind: Kind::Str,
+                    text: "\"\"".to_owned(),
+                    line: line_1,
+                });
+                continue;
+            }
+            if c == '\'' {
+                // Lifetime when an identifier char follows and no
+                // closing quote terminates it (the lexer kept lifetime
+                // text verbatim, but blanked char-literal contents).
+                let next = chars.get(i + 1).copied();
+                let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                    && chars.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        kind: Kind::Lifetime,
+                        text: chars[start..i].iter().collect(),
+                        line: line_1,
+                    });
+                } else {
+                    i += 1;
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(chars.len());
+                    out.push(Token {
+                        kind: Kind::Char,
+                        text: "''".to_owned(),
+                        line: line_1,
+                    });
+                }
+                continue;
+            }
+            // Punctuation: greedy multi-char match first.
+            let rest: String = chars[i..].iter().take(3).collect();
+            let multi = MULTI_PUNCT.iter().find(|p| rest.starts_with(**p));
+            let text = multi.map_or_else(|| c.to_string(), |p| (*p).to_owned());
+            i += text.chars().count();
+            out.push(Token {
+                kind: Kind::Punct,
+                text,
+                line: line_1,
+            });
+        }
+    }
+    out
+}
+
+/// Renders a token slice back to readable text (single spaces between
+/// tokens) — used by the parser to capture signature/type fragments.
+pub fn render(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(&clean(src).code)
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let t = toks("let x = 1.5_f64 + foo::bar(2);\n");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "1.5_f64", "+", "foo", "::", "bar", "(", "2", ")", ";"]
+        );
+        assert_eq!(t[0].kind, Kind::Ident);
+        assert_eq!(t[3].kind, Kind::Number);
+        assert_eq!(t[6].kind, Kind::Punct);
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let texts: Vec<String> = toks("for i in 0..10 {}\n")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert!(texts.contains(&"..".to_owned()));
+        assert!(texts.contains(&"0".to_owned()));
+        assert!(texts.contains(&"10".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = toks("fn f<'a>(x: &'a str) { let c = 'y'; }\n");
+        assert!(t.iter().any(|t| t.kind == Kind::Lifetime && t.text == "'a"));
+        assert!(t.iter().any(|t| t.kind == Kind::Char));
+    }
+
+    #[test]
+    fn strings_collapse_to_shells() {
+        let t = toks("let s = \"Instant::now()\";\n");
+        assert!(t.iter().any(|t| t.kind == Kind::Str));
+        assert!(!t.iter().any(|t| t.text == "Instant"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let t = toks("a\nb\n\nc\n");
+        let lines: Vec<usize> = t.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,17 +1,31 @@
 //! File discovery and the check driver.
+//!
+//! The driver merges three layers of findings: the token-level rules
+//! ([`crate::rules`]), the per-file analysis passes
+//! ([`crate::analysis::passes`]) and the workspace-level passes
+//! (layer DAG, allowlist staleness). Per-file work runs on the
+//! `tagdist-par` pool and an optional content-hash cache skips
+//! unchanged files on warm runs; neither changes the output — the
+//! final report is sorted by (path, line, rule) and byte-identical at
+//! any thread count.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use tagdist_par::Pool;
+
 use crate::allowlist::AllowList;
+use crate::analysis::cache::{fnv1a, AnalysisCache};
+use crate::analysis::{modgraph, parse, passes, token, ALL_RULES};
 use crate::lexer;
 use crate::rules::{self, Violation};
 
 /// Library crates the domain rules apply to: the workspace's
-/// `#![forbid(unsafe_code)]` members. Binary/bench/tooling crates
-/// (cli, bench, xtask) are intentionally out of scope — they may
-/// exit or panic at the top level.
+/// `#![forbid(unsafe_code)]` members. Binary/bench crates (cli, bench)
+/// are intentionally out of scope — they may exit or panic at the top
+/// level. The xtask sources themselves are scanned by the analysis
+/// passes (but not the library-only token rules).
 pub const CHECKED_CRATES: &[&str] = &[
     "cache",
     "core",
@@ -25,6 +39,16 @@ pub const CHECKED_CRATES: &[&str] = &[
     "ytsim",
 ];
 
+/// Driver knobs; [`CheckConfig::default`] means no cache and the
+/// `TAGDIST_THREADS` pool.
+#[derive(Debug, Clone, Default)]
+pub struct CheckConfig {
+    /// Analysis-cache file; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+    /// Worker threads; `None` reads `TAGDIST_THREADS`.
+    pub threads: Option<usize>,
+}
+
 /// Result of a full tree check.
 #[derive(Debug, Clone, Default)]
 pub struct CheckOutcome {
@@ -33,6 +57,10 @@ pub struct CheckOutcome {
     /// Every finding (allowed ones included), sorted by path then
     /// line.
     pub violations: Vec<Violation>,
+    /// Cache lookups answered without re-analysis (0 without a cache).
+    pub cache_hits: usize,
+    /// Cache lookups that re-analyzed the file.
+    pub cache_misses: usize,
 }
 
 impl CheckOutcome {
@@ -57,17 +85,38 @@ impl CheckOutcome {
     }
 }
 
+/// Runs the token rules (when in scope for the path) and the analysis
+/// passes over one source text. Pure; safe to fan out.
+fn analyze_source(path_label: &str, source: &str, token_rules: bool) -> Vec<Violation> {
+    let cf = lexer::clean(source);
+    let mut violations = if token_rules {
+        rules::check_file(path_label, &cf)
+    } else {
+        Vec::new()
+    };
+    let sf = parse::parse(token::tokenize(&cf.code));
+    violations.extend(passes::run_file_passes(path_label, &cf, &sf));
+    violations.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    violations
+}
+
+/// The xtask sources are tooling: scanned by the determinism passes,
+/// exempt from the library-only token rules.
+fn token_rules_apply(path_label: &str) -> bool {
+    !path_label.starts_with("crates/xtask/")
+}
+
 /// Checks one in-memory file against every rule and the allowlist.
 pub fn check_source(path_label: &str, source: &str, allow: &AllowList) -> Vec<Violation> {
-    let cf = lexer::clean(source);
-    let mut violations = rules::check_file(path_label, &cf);
+    let mut violations = analyze_source(path_label, source, token_rules_apply(path_label));
     for v in &mut violations {
         v.allowed = allow.covers(v);
     }
     violations
 }
 
-/// Checks every library source file under `root` (the workspace root).
+/// Checks every library source file under `root` (the workspace root)
+/// with the default configuration (no cache).
 ///
 /// # Errors
 ///
@@ -75,6 +124,20 @@ pub fn check_source(path_label: &str, source: &str, allow: &AllowList) -> Vec<Vi
 /// directory is an error (the scope list and the workspace must stay
 /// in sync).
 pub fn check_workspace(root: &Path, allow: &AllowList) -> io::Result<CheckOutcome> {
+    check_workspace_with(root, allow, &CheckConfig::default())
+}
+
+/// [`check_workspace`] with explicit cache/thread configuration.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the tree (a stale or unwritable
+/// cache is never an error — the cache degrades to a no-op).
+pub fn check_workspace_with(
+    root: &Path,
+    allow: &AllowList,
+    config: &CheckConfig,
+) -> io::Result<CheckOutcome> {
     let mut files = Vec::new();
     for krate in CHECKED_CRATES {
         let src = root.join("crates").join(krate).join("src");
@@ -86,8 +149,82 @@ pub fn check_workspace(root: &Path, allow: &AllowList) -> io::Result<CheckOutcom
         }
         collect_rs_files(&src, &mut files)?;
     }
+    // Self-analysis: xtask participates when present (fixture trees
+    // model only the library crates).
+    let xtask_src = root.join("crates").join("xtask").join("src");
+    if xtask_src.is_dir() {
+        collect_rs_files(&xtask_src, &mut files)?;
+    }
     files.sort();
-    check_files(root, &files, allow)
+
+    struct Input {
+        label: String,
+        source: String,
+        hash: u64,
+    }
+    let mut inputs = Vec::with_capacity(files.len());
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let hash = fnv1a(source.as_bytes());
+        inputs.push(Input {
+            label,
+            source,
+            hash,
+        });
+    }
+
+    let mut cache = config
+        .cache_path
+        .as_deref()
+        .map(|p| AnalysisCache::load(p, ALL_RULES));
+    let mut per_file: Vec<Option<Vec<Violation>>> = inputs
+        .iter()
+        .map(|inp| cache.as_mut().and_then(|c| c.lookup(&inp.label, inp.hash)))
+        .collect();
+    let pending: Vec<usize> = per_file
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.is_none().then_some(i))
+        .collect();
+
+    let pool = match config.threads {
+        Some(t) => Pool::new(t),
+        None => Pool::from_env(),
+    };
+    let computed = pool.par_map(&pending, |_, &idx| {
+        let inp = &inputs[idx];
+        analyze_source(&inp.label, &inp.source, token_rules_apply(&inp.label))
+    });
+    for (&idx, violations) in pending.iter().zip(&computed) {
+        if let Some(c) = cache.as_mut() {
+            c.store(&inputs[idx].label, inputs[idx].hash, violations);
+        }
+    }
+    for (idx, violations) in pending.into_iter().zip(computed) {
+        per_file[idx] = Some(violations);
+    }
+    let (cache_hits, cache_misses) = cache.as_ref().map_or((0, 0), |c| (c.hits, c.misses));
+    if let (Some(c), Some(p)) = (&cache, config.cache_path.as_deref()) {
+        // Best-effort: an unwritable cache only costs the next warm run.
+        let _ = c.save(p);
+    }
+
+    let mut outcome = CheckOutcome {
+        files_checked: inputs.len(),
+        violations: per_file.into_iter().flatten().flatten().collect(),
+        cache_hits,
+        cache_misses,
+    };
+    outcome
+        .violations
+        .extend(modgraph::check_layers(root, &modgraph::workspace_spec())?);
+    finish(&mut outcome, allow);
+    Ok(outcome)
 }
 
 /// Checks an explicit list of files (used by the fixture tests).
@@ -106,13 +243,43 @@ pub fn check_files(root: &Path, files: &[PathBuf], allow: &AllowList) -> io::Res
             .replace('\\', "/");
         outcome
             .violations
-            .extend(check_source(&label, &source, allow));
+            .extend(analyze_source(&label, &source, token_rules_apply(&label)));
         outcome.files_checked += 1;
     }
-    outcome
-        .violations
-        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    finish(&mut outcome, allow);
     Ok(outcome)
+}
+
+/// Applies the allowlist, appends `allow-stale` findings for entries
+/// that matched nothing, and fixes the final sort order.
+fn finish(outcome: &mut CheckOutcome, allow: &AllowList) {
+    for v in &mut outcome.violations {
+        v.allowed = allow.covers(v);
+    }
+    for entry in allow.entries() {
+        let matched = outcome
+            .violations
+            .iter()
+            .any(|v| AllowList::entry_covers(entry, v));
+        if !matched {
+            outcome.violations.push(Violation {
+                rule: "allow-stale",
+                path: "xtask-allow.toml".to_owned(),
+                line: entry.line,
+                snippet: format!("rule = \"{}\", path = \"{}\"", entry.rule, entry.path),
+                message: "allowlist entry matches no current finding; prune it \
+                          (the violation it sanctioned is gone)"
+                    .to_owned(),
+                allowed: false,
+            });
+        }
+    }
+    outcome.violations.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
 }
 
 /// Recursively gathers `.rs` files.

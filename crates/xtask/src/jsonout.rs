@@ -14,7 +14,7 @@ pub fn to_json(outcome: &CheckOutcome) -> String {
         outcome.allowed_count()
     ));
     out.push_str("  \"rules\": [");
-    for (i, rule) in crate::rules::RULES.iter().enumerate() {
+    for (i, rule) in crate::analysis::ALL_RULES.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
@@ -78,6 +78,7 @@ mod tests {
                 message: "m".to_owned(),
                 allowed: false,
             }],
+            ..CheckOutcome::default()
         };
         let json = to_json(&outcome);
         assert!(json.contains("\"files_checked\": 2"));

@@ -3,20 +3,27 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xtask::{benchgate, check_workspace, load_allowlist, to_json};
+use xtask::analysis::cache::DEFAULT_CACHE_REL;
+use xtask::{benchgate, check_workspace_with, load_allowlist, to_json, to_sarif, CheckConfig};
 
 const USAGE: &str = "\
 usage: cargo xtask <command> [options]
 
 commands:
-  check           run the workspace's domain lints over the library crates
+  check           run the workspace's domain lints and determinism
+                  analysis over the library crates (and xtask itself)
   bench-report    build and run the wall-clock + allocation report
-                  (tagdist-bench's `bench-report` binary, release profile)
+                  (tagdist-bench's `bench-report` binary, release
+                  profile), then append analyzer cold/warm self-timing
   bench-gate      run `bench-report --smoke` and fail if its deterministic
                   counters regress against the checked-in bench-baseline.json
 
 check options:
   --json <path>   write the JSON report here (default: target/xtask-check.json)
+  --sarif <path>  also write a SARIF 2.1.0 report here
+  --format <fmt>  stdout format: text (default), json, or sarif
+  --no-cache      ignore and do not write the per-file analysis cache
+                  (default: target/xtask-analysis-cache.json)
   --root <path>   workspace root (default: auto-detected from CARGO_MANIFEST_DIR)
   --quiet         suppress per-violation output
 
@@ -66,6 +73,9 @@ fn run(args: &[String]) -> Result<bool, String> {
         return Err(format!("unknown command `{command}`"));
     }
     let mut json_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut format = "text".to_owned();
+    let mut no_cache = false;
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
     while let Some(arg) = iter.next() {
@@ -73,6 +83,16 @@ fn run(args: &[String]) -> Result<bool, String> {
             "--json" => {
                 json_path = Some(PathBuf::from(iter.next().ok_or("--json needs a path")?));
             }
+            "--sarif" => {
+                sarif_path = Some(PathBuf::from(iter.next().ok_or("--sarif needs a path")?));
+            }
+            "--format" => {
+                format = iter.next().ok_or("--format needs text|json|sarif")?.clone();
+                if !matches!(format.as_str(), "text" | "json" | "sarif") {
+                    return Err(format!("unknown format `{format}`"));
+                }
+            }
+            "--no-cache" => no_cache = true,
             "--root" => {
                 root = Some(PathBuf::from(iter.next().ok_or("--root needs a path")?));
             }
@@ -85,35 +105,56 @@ fn run(args: &[String]) -> Result<bool, String> {
         None => default_root()?,
     };
     let allow = load_allowlist(&root)?;
-    let outcome = check_workspace(&root, &allow).map_err(|e| e.to_string())?;
+    let config = CheckConfig {
+        cache_path: (!no_cache).then(|| root.join(DEFAULT_CACHE_REL)),
+        threads: None,
+    };
+    let outcome = check_workspace_with(&root, &allow, &config).map_err(|e| e.to_string())?;
 
     let json = to_json(&outcome);
     let json_path = json_path.unwrap_or_else(|| root.join("target/xtask-check.json"));
-    if let Some(parent) = json_path.parent() {
-        std::fs::create_dir_all(parent)
-            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    write_report(&json_path, &json)?;
+    let sarif = to_sarif(&outcome, xtask::ALL_RULES);
+    if let Some(sarif_path) = &sarif_path {
+        write_report(sarif_path, &sarif)?;
     }
-    std::fs::write(&json_path, json)
-        .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
 
-    if !quiet {
-        for v in outcome.active() {
-            println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
-            println!("    {}", v.snippet);
+    match format.as_str() {
+        "json" => print!("{json}"),
+        "sarif" => print!("{sarif}"),
+        _ => {
+            if !quiet {
+                for v in outcome.active() {
+                    println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+                    println!("    {}", v.snippet);
+                }
+            }
+            println!(
+                "xtask check: {} files ({} cached), {} active violation(s), {} allowlisted; \
+                 report at {}",
+                outcome.files_checked,
+                outcome.cache_hits,
+                outcome.active_count(),
+                outcome.allowed_count(),
+                json_path.display()
+            );
         }
     }
-    println!(
-        "xtask check: {} files, {} active violation(s), {} allowlisted; report at {}",
-        outcome.files_checked,
-        outcome.active_count(),
-        outcome.allowed_count(),
-        json_path.display()
-    );
     Ok(outcome.is_clean())
 }
 
+/// Writes a report file, creating its parent directory.
+fn write_report(path: &PathBuf, contents: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
 /// Shells out to the release-profile benchmark binary, forwarding any
-/// extra arguments (so `cargo xtask bench-report out.json` works).
+/// extra arguments (so `cargo xtask bench-report out.json` works),
+/// then appends the analyzer's cold/warm self-timing to the report.
 fn run_bench_report(extra: &[String]) -> Result<bool, String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
     let status = std::process::Command::new(cargo)
@@ -129,7 +170,65 @@ fn run_bench_report(extra: &[String]) -> Result<bool, String> {
         .args(extra)
         .status()
         .map_err(|e| format!("cannot launch cargo: {e}"))?;
-    Ok(status.success())
+    if !status.success() {
+        return Ok(false);
+    }
+    // The binary's output path: first positional argument, or its
+    // documented defaults.
+    let smoke = extra.iter().any(|a| a == "--smoke");
+    let out_path = extra
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                "bench-smoke.json".to_owned()
+            } else {
+                "BENCH_PR3.json".to_owned()
+            }
+        });
+    match append_analyzer_timing(&out_path) {
+        Ok(()) => {}
+        Err(e) => eprintln!("xtask: skipping analyzer self-timing for {out_path}: {e}"),
+    }
+    Ok(true)
+}
+
+/// Times a cold and a warm analyzer run and merges the result into the
+/// benchmark report as an `analyzer_self` object.
+fn append_analyzer_timing(out_path: &str) -> Result<(), String> {
+    use tagdist_obs::Value;
+    let root = default_root()?;
+    let bench =
+        xtask::selfbench::time_analyzer(&root, &root.join("target/xtask-selfbench-cache.json"))
+            .map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(out_path).map_err(|e| e.to_string())?;
+    let mut doc = Value::parse(&text).map_err(|e| e.to_string())?;
+    let entry = Value::Obj(vec![
+        ("cold_us".to_owned(), Value::Num(bench.cold_us.to_string())),
+        ("warm_us".to_owned(), Value::Num(bench.warm_us.to_string())),
+        ("files".to_owned(), Value::Num(bench.files.to_string())),
+        (
+            "warm_cache_hits".to_owned(),
+            Value::Num(bench.warm_hits.to_string()),
+        ),
+    ]);
+    match &mut doc {
+        Value::Obj(entries) => {
+            entries.retain(|(k, _)| k != "analyzer_self");
+            entries.push(("analyzer_self".to_owned(), entry));
+        }
+        _ => return Err("report is not a JSON object".to_owned()),
+    }
+    let mut rendered = String::new();
+    doc.write(&mut rendered);
+    rendered.push('\n');
+    std::fs::write(out_path, rendered).map_err(|e| e.to_string())?;
+    println!(
+        "xtask bench-report: analyzer self-run {} files, cold {} us, warm {} us ({} cache hits)",
+        bench.files, bench.cold_us, bench.warm_us, bench.warm_hits
+    );
+    Ok(())
 }
 
 /// Runs the smoke benchmark (unless `--input` reuses a report) and

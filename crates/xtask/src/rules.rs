@@ -1,17 +1,20 @@
-//! The domain rules `cargo xtask check` enforces.
+//! The token-level domain rules `cargo xtask check` enforces.
 //!
 //! These complement clippy: they encode invariants of *this* codebase
-//! that generic lints cannot know — determinism of report output,
-//! the no-panic policy for library crates, the epsilon-comparison
-//! convention for `f64`, and the `# Errors` documentation contract.
+//! that generic lints cannot know — the no-panic policy for library
+//! crates, the epsilon-comparison convention for `f64`, and the
+//! `# Errors` documentation contract. The determinism lints
+//! (wall-clock, unordered-iter, unseeded-rng, float-reduction,
+//! layer-dag) need dataflow context and live in
+//! [`crate::analysis::passes`] / [`crate::analysis::modgraph`].
 
 use crate::lexer::CleanFile;
 
 /// One rule violation at a specific source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Stable rule identifier (`no-panic`, `float-eq`, `hash-iter`,
-    /// `errors-doc`).
+    /// Stable rule identifier (see
+    /// [`crate::analysis::ALL_RULES`]).
     pub rule: &'static str,
     /// Repo-relative path of the offending file.
     pub path: String,
@@ -25,13 +28,9 @@ pub struct Violation {
     pub allowed: bool,
 }
 
-/// Every rule identifier, for reports and fixtures.
-pub const RULES: &[&str] = &["no-panic", "float-eq", "hash-iter", "errors-doc"];
-
-/// Path fragments marking determinism-sensitive modules: anything
-/// producing reports, rendered output or serialized artifacts must not
-/// iterate hash containers (iteration order would leak into output).
-pub const SENSITIVE_PATH_MARKERS: &[&str] = &["report", "render", "tsv", "stats", "serial"];
+/// The token-level rule identifiers (the analysis passes contribute
+/// the rest of [`crate::analysis::ALL_RULES`]).
+pub const RULES: &[&str] = &["no-panic", "float-eq", "errors-doc"];
 
 const PANIC_MACROS: &[&str] = &["panic!", "todo!", "unimplemented!", "unreachable!"];
 const PANIC_METHODS: &[&str] = &[".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("];
@@ -41,7 +40,6 @@ pub fn check_file(path: &str, cf: &CleanFile) -> Vec<Violation> {
     let mut out = Vec::new();
     no_panic(path, cf, &mut out);
     float_eq(path, cf, &mut out);
-    hash_iter(path, cf, &mut out);
     errors_doc(path, cf, &mut out);
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
@@ -165,145 +163,6 @@ fn mentions_float(line: &str) -> bool {
     chars
         .windows(3)
         .any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
-}
-
-/// `hash-iter`: in determinism-sensitive modules (reports, rendering,
-/// serialization), iterating a `HashMap`/`HashSet` leaks arbitrary
-/// ordering into output. Bindings created from hash containers must
-/// not be iterated there — collect into a sorted `Vec` or use
-/// `BTreeMap` instead.
-fn hash_iter(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
-    let sensitive = {
-        let lower = path.to_lowercase();
-        SENSITIVE_PATH_MARKERS.iter().any(|m| lower.contains(m))
-    };
-    if !sensitive {
-        return;
-    }
-    let names = hash_bindings(cf);
-    for (lineno, line) in cf.code.iter().enumerate() {
-        if cf.in_test[lineno] || cf.sanctioned[lineno] {
-            continue;
-        }
-        let direct = line.contains("HashMap") || line.contains("HashSet");
-        let iterates = names.iter().any(|n| iterates_binding(line, n))
-            || (direct && ITER_METHODS.iter().any(|m| line.contains(m)));
-        if iterates {
-            out.push(Violation {
-                rule: "hash-iter",
-                path: path.to_owned(),
-                line: lineno + 1,
-                snippet: snippet(cf, lineno),
-                message: "hash-container iteration order is arbitrary; \
-                          sort into a Vec or use BTreeMap in output paths"
-                    .to_owned(),
-                allowed: false,
-            });
-        }
-    }
-}
-
-const ITER_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".into_iter()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".into_keys()",
-    ".into_values()",
-    ".drain(",
-];
-
-/// Identifiers bound to `HashMap`/`HashSet` values in this file.
-fn hash_bindings(cf: &CleanFile) -> Vec<String> {
-    let mut names = Vec::new();
-    for (lineno, line) in cf.code.iter().enumerate() {
-        if cf.in_test[lineno] {
-            continue;
-        }
-        if !(line.contains("HashMap") || line.contains("HashSet")) {
-            continue;
-        }
-        // `let [mut] NAME : Hash…` and `let [mut] NAME = Hash…::new()`.
-        if let Some(rest) = line.trim_start().strip_prefix("let ") {
-            let rest = rest.trim_start().strip_prefix("mut ").unwrap_or(rest);
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                names.push(name);
-            }
-        }
-        // `NAME: &HashMap<…>` / `NAME: HashSet<…>` fn parameters.
-        for piece in line.split(&[',', '(']) {
-            if let Some((lhs, rhs)) = piece.split_once(':') {
-                if rhs.contains("HashMap") || rhs.contains("HashSet") {
-                    let name: String = lhs
-                        .trim()
-                        .chars()
-                        .take_while(|c| c.is_alphanumeric() || *c == '_')
-                        .collect();
-                    if !name.is_empty() && name != "type" {
-                        names.push(name);
-                    }
-                }
-            }
-        }
-    }
-    names.sort();
-    names.dedup();
-    names
-}
-
-/// True if `line` iterates the binding `name`.
-fn iterates_binding(line: &str, name: &str) -> bool {
-    for m in ITER_METHODS {
-        let pat = format!("{name}{m}");
-        if token_bounded(line, &pat, name.len()) {
-            return true;
-        }
-    }
-    // `for x in [&[mut ]]name` (direct IntoIterator use).
-    for prefix in ["in ", "in &", "in &mut "] {
-        let pat = format!("{prefix}{name}");
-        let mut from = 0;
-        while let Some(pos) = line.get(from..).and_then(|s| s.find(&pat)) {
-            let at = from + pos + pat.len();
-            let next = line.get(at..).and_then(|s| s.chars().next());
-            let prev_is_ident = from + pos > 0
-                && line[..from + pos]
-                    .chars()
-                    .next_back()
-                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
-            if !prev_is_ident && !next.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
-            {
-                return true;
-            }
-            from = from + pos + 1;
-        }
-    }
-    false
-}
-
-/// True if `pat` occurs in `line` and the character before the match
-/// (if any) is not part of a longer identifier than `name_len` allows.
-fn token_bounded(line: &str, pat: &str, _name_len: usize) -> bool {
-    let mut from = 0;
-    while let Some(pos) = line.get(from..).and_then(|s| s.find(pat)) {
-        let at = from + pos;
-        let prev_ok = at == 0
-            || !line[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
-        if prev_ok {
-            return true;
-        }
-        from = at + 1;
-    }
-    false
 }
 
 /// `errors-doc`: every `pub fn` returning `Result` needs an
@@ -442,13 +301,6 @@ mod tests {
         );
         assert!(rules_hit("fn f(x: u8) -> bool { x == 1 }\n", "a.rs").is_empty());
         assert!(rules_hit("fn f(x: f64) -> bool { x <= 1.5 }\n", "a.rs").is_empty());
-    }
-
-    #[test]
-    fn hash_iter_only_fires_on_sensitive_paths() {
-        let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in m.iter() { use_it(k, v); }\n}\n";
-        assert_eq!(rules_hit(src, "crates/x/src/report.rs"), vec!["hash-iter"]);
-        assert!(rules_hit(src, "crates/x/src/model.rs").is_empty());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Integration tests for the analysis subsystem: parser round-trip
+//! over the real tree, layer-dag fixture workspaces, the content-hash
+//! cache, and thread-count determinism of the full report.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp,
+    clippy::missing_panics_doc,
+    missing_docs
+)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::analysis::modgraph::{check_layers, workspace_spec};
+use xtask::analysis::{parse, token};
+use xtask::{
+    check_workspace_with, lexer, load_allowlist, to_json, to_sarif, AllowList, CheckConfig,
+    CHECKED_CRATES,
+};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("entry").path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Tokenizing the rendered token stream reproduces the same kinds and
+/// texts for every real source file — the lexer/tokenizer round-trip
+/// the parser builds on.
+#[test]
+fn tokenizer_round_trips_over_the_real_tree() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for krate in CHECKED_CRATES {
+        rs_files(&root.join("crates").join(krate).join("src"), &mut files);
+    }
+    rs_files(&root.join("crates/xtask/src"), &mut files);
+    assert!(files.len() > 50, "expected a real tree, got {files:?}");
+    for file in files {
+        let source = fs::read_to_string(&file).unwrap();
+        let cf = lexer::clean(&source);
+        let tokens = token::tokenize(&cf.code);
+        let rendered = token::render(&tokens);
+        let again = token::tokenize(&[rendered]);
+        assert_eq!(tokens.len(), again.len(), "{}", file.display());
+        for (a, b) in tokens.iter().zip(&again) {
+            assert_eq!(a.kind, b.kind, "{}", file.display());
+            assert_eq!(a.text, b.text, "{}", file.display());
+        }
+    }
+}
+
+/// The parser finds items in every real source file and its token
+/// stream survives parsing unchanged.
+#[test]
+fn parser_walks_the_real_tree() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for krate in CHECKED_CRATES {
+        rs_files(&root.join("crates").join(krate).join("src"), &mut files);
+    }
+    let mut fns = 0usize;
+    for file in files {
+        let source = fs::read_to_string(&file).unwrap();
+        let cf = lexer::clean(&source);
+        let tokens = token::tokenize(&cf.code);
+        let count = tokens.len();
+        let sf = parse::parse(tokens);
+        assert_eq!(sf.tokens.len(), count, "{}", file.display());
+        assert!(!sf.items.is_empty(), "{}", file.display());
+        sf.for_each_fn(|_, _| fns += 1);
+    }
+    assert!(fns > 100, "expected hundreds of functions, saw {fns}");
+}
+
+#[test]
+fn layer_dag_fixture_workspaces() {
+    let bad = fixture_dir().join("layerdag/bad");
+    let violations = check_layers(&bad, &workspace_spec()).expect("fixture tree scans");
+    let messages: Vec<&str> = violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(
+        messages.iter().any(|m| m.contains("layering violation")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("unused declared dependency")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("undeclared workspace dependency")),
+        "{messages:?}"
+    );
+
+    let good = fixture_dir().join("layerdag/good");
+    let violations = check_layers(&good, &workspace_spec()).expect("fixture tree scans");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// Builds a minimal fake workspace (every checked crate with one good
+/// file) under a scratch dir.
+fn fake_workspace(tag: &str) -> PathBuf {
+    let scratch = std::env::temp_dir().join(format!("xtask-analysis-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+    let good = fs::read_to_string(fixture_dir().join("good.rs")).unwrap();
+    for krate in CHECKED_CRATES {
+        let src = scratch.join("crates").join(krate).join("src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("lib.rs"), &good).unwrap();
+    }
+    scratch
+}
+
+#[test]
+fn cache_skips_unchanged_files_and_invalidates_on_edit() {
+    let scratch = fake_workspace("cache");
+    let config = CheckConfig {
+        cache_path: Some(scratch.join("cache.json")),
+        threads: Some(2),
+    };
+    let allow = AllowList::empty();
+
+    let cold = check_workspace_with(&scratch, &allow, &config).unwrap();
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, cold.files_checked);
+    assert!(cold.is_clean(), "{:?}", cold.active().collect::<Vec<_>>());
+
+    let warm = check_workspace_with(&scratch, &allow, &config).unwrap();
+    assert_eq!(warm.cache_hits, warm.files_checked);
+    assert_eq!(warm.cache_misses, 0);
+    // Warm and cold runs must report identically, bytes included.
+    assert_eq!(to_json(&cold), to_json(&warm));
+    assert_eq!(
+        to_sarif(&cold, xtask::ALL_RULES),
+        to_sarif(&warm, xtask::ALL_RULES)
+    );
+
+    // Editing one file re-analyzes exactly that file and surfaces the
+    // new finding.
+    let bad = fs::read_to_string(fixture_dir().join("bad_no_panic.rs")).unwrap();
+    fs::write(scratch.join("crates/geo/src/lib.rs"), &bad).unwrap();
+    let edited = check_workspace_with(&scratch, &allow, &config).unwrap();
+    assert_eq!(edited.cache_misses, 1);
+    assert_eq!(edited.cache_hits, edited.files_checked - 1);
+    assert!(edited
+        .active()
+        .any(|v| v.rule == "no-panic" && v.path.contains("crates/geo")));
+
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+/// Cached findings re-enter the allowlist each run: covering a cached
+/// violation suppresses it without re-analysis.
+#[test]
+fn cache_stores_findings_before_the_allowlist() {
+    let scratch = fake_workspace("allow");
+    let bad = fs::read_to_string(fixture_dir().join("bad_no_panic.rs")).unwrap();
+    fs::write(scratch.join("crates/geo/src/panicky.rs"), &bad).unwrap();
+    let config = CheckConfig {
+        cache_path: Some(scratch.join("cache.json")),
+        threads: Some(1),
+    };
+
+    let first = check_workspace_with(&scratch, &AllowList::empty(), &config).unwrap();
+    assert!(!first.is_clean());
+
+    let allow = AllowList::parse(
+        "[[allow]]\nrule = \"no-panic\"\npath = \"panicky.rs\"\nreason = \"fixture\"\n",
+    )
+    .unwrap();
+    let second = check_workspace_with(&scratch, &allow, &config).unwrap();
+    assert_eq!(second.cache_hits, second.files_checked);
+    assert!(
+        second.is_clean(),
+        "{:?}",
+        second.active().collect::<Vec<_>>()
+    );
+    assert_eq!(second.allowed_count(), 2);
+
+    let _ = fs::remove_dir_all(&scratch);
+}
+
+/// The acceptance bar: the full report over the real tree is
+/// byte-identical at 1 and 8 worker threads.
+#[test]
+fn analyzer_output_is_thread_count_invariant() {
+    let root = workspace_root();
+    let allow = load_allowlist(&root).expect("allowlist loads");
+    let outcomes: Vec<_> = [1usize, 8]
+        .iter()
+        .map(|&t| {
+            let config = CheckConfig {
+                cache_path: None,
+                threads: Some(t),
+            };
+            check_workspace_with(&root, &allow, &config).expect("tree scans")
+        })
+        .collect();
+    assert_eq!(to_json(&outcomes[0]), to_json(&outcomes[1]));
+    assert_eq!(
+        to_sarif(&outcomes[0], xtask::ALL_RULES),
+        to_sarif(&outcomes[1], xtask::ALL_RULES)
+    );
+}

@@ -52,19 +52,65 @@ fn bad_float_eq_trips_only_that_rule() {
 }
 
 #[test]
-fn bad_hash_iter_trips_only_that_rule() {
-    let violations = check_fixture("bad_hash_iter_report.rs", &AllowList::empty());
-    assert_eq!(active_rules(&violations), vec!["hash-iter"]);
-    assert_eq!(violations.len(), 1, "{violations:?}");
-    assert!(violations[0].snippet.contains("counts.iter()"));
+fn bad_wall_clock_trips_only_that_rule() {
+    let violations = check_fixture("bad_wall_clock.rs", &AllowList::empty());
+    assert_eq!(active_rules(&violations), vec!["wall-clock"]);
+    // Two Instant::now calls and one SystemTime; the test-module
+    // Instant::now is not counted.
+    assert_eq!(violations.len(), 3, "{violations:?}");
 }
 
 #[test]
-fn hash_iter_ignores_insensitive_paths() {
-    let source = fs::read_to_string(fixture_dir().join("bad_hash_iter_report.rs")).unwrap();
-    // Same code under a non-sensitive name: no findings.
-    let violations = check_source("bad_hash_model.rs", &source, &AllowList::empty());
+fn wall_clock_respects_sanctioned_paths() {
+    let source = fs::read_to_string(fixture_dir().join("bad_wall_clock.rs")).unwrap();
+    // The same code under the recorder's path is the module contract.
+    let violations = check_source("crates/obs/src/recorder.rs", &source, &AllowList::empty());
     assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn bad_unseeded_rng_trips_only_that_rule() {
+    let violations = check_fixture("bad_unseeded_rng.rs", &AllowList::empty());
+    assert_eq!(active_rules(&violations), vec!["unseeded-rng"]);
+    // thread_rng, rand::random and RandomState.
+    assert_eq!(violations.len(), 3, "{violations:?}");
+}
+
+#[test]
+fn bad_float_reduction_trips_only_that_rule() {
+    let violations = check_fixture("bad_float_reduction.rs", &AllowList::empty());
+    assert_eq!(active_rules(&violations), vec!["float-reduction"]);
+    // Turbofish sum, let-typed sum, float fold.
+    assert_eq!(violations.len(), 3, "{violations:?}");
+}
+
+#[test]
+fn float_reduction_exempts_the_kernel_module() {
+    let source = fs::read_to_string(fixture_dir().join("bad_float_reduction.rs")).unwrap();
+    let violations = check_source("crates/geo/src/kernel.rs", &source, &AllowList::empty());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn bad_unordered_iter_trips_only_that_rule() {
+    let violations = check_fixture("bad_unordered_iter.rs", &AllowList::empty());
+    assert_eq!(active_rules(&violations), vec!["unordered-iter"]);
+    // The bare collect and the order-sensitive loop body.
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(violations[0].snippet.contains("collect"));
+}
+
+#[test]
+fn good_analysis_fixtures_are_clean() {
+    for name in [
+        "good_wall_clock.rs",
+        "good_unseeded_rng.rs",
+        "good_float_reduction.rs",
+        "good_unordered_iter.rs",
+    ] {
+        let violations = check_fixture(name, &AllowList::empty());
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+    }
 }
 
 #[test]
@@ -121,15 +167,19 @@ fn binary_exit_codes_and_report() {
     fs::write(scratch.join("crates/geo/src/panicky.rs"), &bad).unwrap();
 
     let json = scratch.join("check.json");
+    let sarif = scratch.join("check.sarif");
     let run = |root: &Path| {
         std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
             .args([
                 "check",
                 "--quiet",
+                "--no-cache",
                 "--root",
                 &root.display().to_string(),
                 "--json",
                 &json.display().to_string(),
+                "--sarif",
+                &sarif.display().to_string(),
             ])
             .output()
             .expect("binary runs")
@@ -140,8 +190,13 @@ fn binary_exit_codes_and_report() {
     let report = fs::read_to_string(&json).unwrap();
     assert!(report.contains("\"rule\": \"no-panic\""));
     assert!(report.contains("panicky.rs"));
+    let sarif_doc = fs::read_to_string(&sarif).unwrap();
+    assert!(sarif_doc.contains("\"version\":\"2.1.0\""));
+    assert!(sarif_doc.contains("\"ruleId\":\"no-panic\""));
+    assert!(sarif_doc.contains("panicky.rs"));
 
-    // An allowlist covering both findings turns the tree clean.
+    // An allowlist covering both findings turns the tree clean; in
+    // SARIF they downgrade to suppressed notes.
     fs::write(
         scratch.join("xtask-allow.toml"),
         "[[allow]]\nrule = \"no-panic\"\npath = \"panicky.rs\"\nreason = \"fixture\"\n",
@@ -151,6 +206,21 @@ fn binary_exit_codes_and_report() {
     assert_eq!(out.status.code(), Some(0), "allowlisted tree must exit 0");
     let report = fs::read_to_string(&json).unwrap();
     assert!(report.contains("\"allowed\": true"));
+    let sarif_doc = fs::read_to_string(&sarif).unwrap();
+    assert!(sarif_doc.contains("\"suppressions\""));
+
+    // An allowlist entry matching nothing is itself a violation.
+    fs::write(
+        scratch.join("xtask-allow.toml"),
+        "[[allow]]\nrule = \"no-panic\"\npath = \"panicky.rs\"\nreason = \"fixture\"\n\n\
+         [[allow]]\nrule = \"wall-clock\"\npath = \"nonexistent.rs\"\nreason = \"stale\"\n",
+    )
+    .unwrap();
+    let out = run(&scratch);
+    assert_eq!(out.status.code(), Some(1), "stale allow entry must exit 1");
+    let report = fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"rule\": \"allow-stale\""));
+    assert!(report.contains("nonexistent.rs"));
 
     let _ = fs::remove_dir_all(&scratch);
 }

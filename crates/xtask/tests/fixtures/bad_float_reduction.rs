@@ -1,0 +1,17 @@
+//! Fixture: trips the `float-reduction` pass (and nothing else).
+
+/// Sums shares in ad-hoc iterator order.
+pub fn total_share(shares: &[f64]) -> f64 {
+    shares.iter().sum::<f64>()
+}
+
+/// Means through an untyped sum bound to a float local.
+pub fn mean(values: &[f64]) -> f64 {
+    let total: f64 = values.iter().sum();
+    total / values.len().max(1) as f64
+}
+
+/// Folds with a float seed.
+pub fn weighted(values: &[f64]) -> f64 {
+    values.iter().fold(0.0, |acc, v| acc + 0.5 * v)
+}

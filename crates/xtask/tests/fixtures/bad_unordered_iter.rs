@@ -1,0 +1,15 @@
+//! Fixture: trips the `unordered-iter` pass (and nothing else).
+
+use std::collections::HashMap;
+
+/// Emits keys in whatever order the hasher picked.
+pub fn keys_in_hash_order(counts: &HashMap<String, u32>) -> Vec<String> {
+    counts.keys().cloned().collect()
+}
+
+/// Accumulates into an order-sensitive sink.
+pub fn concat_names(counts: &HashMap<String, u32>, out: &mut String) {
+    for name in counts.keys() {
+        out.push_str(name);
+    }
+}

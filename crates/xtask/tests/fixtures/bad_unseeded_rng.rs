@@ -1,0 +1,15 @@
+//! Fixture: trips the `unseeded-rng` pass (and nothing else).
+
+/// Picks with ambient randomness.
+pub fn ambient_pick(values: &[u32]) -> u32 {
+    let mut rng = rand::thread_rng();
+    let pick: usize = rand::random();
+    let _ = &mut rng;
+    values.get(pick % values.len().max(1)).copied().unwrap_or(0)
+}
+
+/// Builds a map with a randomized hasher.
+pub fn random_state_size() -> usize {
+    let state = std::collections::hash_map::RandomState::new();
+    core::mem::size_of_val(&state)
+}

@@ -1,0 +1,22 @@
+//! Fixture: trips the `wall-clock` pass (and nothing else).
+
+/// Reads the ambient clock twice over.
+pub fn jitter() -> bool {
+    let a = std::time::Instant::now();
+    let b = std::time::Instant::now();
+    b.duration_since(a).as_nanos() > 0
+}
+
+/// Names the epoch through the wall clock.
+pub fn epoch_display() -> String {
+    format!("{:?}", std::time::SystemTime::UNIX_EPOCH)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_time_itself() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

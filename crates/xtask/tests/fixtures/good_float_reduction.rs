@@ -1,0 +1,24 @@
+//! Fixture: float reductions the `float-reduction` pass accepts —
+//! routed through the vetted kernel, integer-typed, or
+//! order-insensitive by construction.
+
+/// Routes the order-sensitive sum through the vetted kernel.
+pub fn total_share(shares: &[f64]) -> f64 {
+    tagdist_geo::kernel::sum(shares)
+}
+
+/// Cosine terms through the kernel's sequential dot/norm.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    tagdist_geo::kernel::dot(a, b)
+        / (tagdist_geo::kernel::norm(a) * tagdist_geo::kernel::norm(b)).max(1e-300)
+}
+
+/// Integer sums are order-free.
+pub fn total_count(counts: &[u64]) -> u64 {
+    counts.iter().sum::<u64>()
+}
+
+/// A max-fold is order-insensitive.
+pub fn peak(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::MIN, f64::max)
+}

@@ -1,0 +1,25 @@
+//! Fixture: hash iteration with the order laundered; the
+//! `unordered-iter` pass stays quiet.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Sorted before the order can leak.
+pub fn sorted_keys(counts: &HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = counts.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+/// Keyed destination: per-key writes are order-free.
+pub fn rekey(counts: &HashMap<String, u32>) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for (name, n) in counts.iter() {
+        out.insert(name.clone(), *n);
+    }
+    out
+}
+
+/// Order-insensitive terminal.
+pub fn total(counts: &HashMap<String, u32>) -> u32 {
+    counts.values().copied().sum::<u32>()
+}

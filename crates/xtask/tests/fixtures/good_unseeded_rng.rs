@@ -1,0 +1,13 @@
+//! Fixture: seeded randomness only; the `unseeded-rng` pass stays
+//! quiet. The docs may mention thread_rng() as a counter-example.
+
+/// Derives the per-run generator from the study seed — never from
+/// thread_rng() or other ambient entropy.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Splits one run seed into a stable per-worker stream.
+pub fn worker_seed(seed: u64, worker: u64) -> u64 {
+    seed.wrapping_add(worker.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}

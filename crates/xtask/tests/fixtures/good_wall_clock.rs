@@ -1,0 +1,19 @@
+//! Fixture: takes the virtual clock; the `wall-clock` pass stays
+//! quiet. Mentions of Instant::now() in strings, comments and
+//! docs must not count, and a type named Instant without `::now`
+//! is fine.
+
+/// Ticks a virtual clock forward. Never calls Instant::now().
+pub fn advance(now_virtual_us: u64, delta_us: u64) -> u64 {
+    now_virtual_us.saturating_add(delta_us)
+}
+
+/// Describes the policy; the literal mentions SystemTime only as text.
+pub fn policy() -> String {
+    "library code must not read Instant::now() or SystemTime".to_owned()
+}
+
+/// Accepts a caller-made timestamp without creating one.
+pub fn format_us(stamp_us: u64) -> String {
+    format!("{stamp_us} us")
+}

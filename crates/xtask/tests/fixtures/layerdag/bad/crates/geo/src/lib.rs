@@ -1,0 +1,3 @@
+//! Layer-0 crate reaching up into layer 3: a layering violation.
+
+pub use tagdist_tags::clusters;

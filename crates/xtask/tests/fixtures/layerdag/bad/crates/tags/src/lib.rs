@@ -1,0 +1,9 @@
+//! Declares ytsim but never uses it, and uses geo without declaring
+//! it: one dead edge, one undeclared edge.
+
+use tagdist_geo::CountryVec;
+
+/// Touches the undeclared import.
+pub fn dims(v: &CountryVec) -> usize {
+    v.len()
+}

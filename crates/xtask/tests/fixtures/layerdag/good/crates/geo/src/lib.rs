@@ -1,0 +1,18 @@
+//! Layer-0 crate with no workspace dependencies.
+
+/// A stand-in vector type.
+pub struct CountryVec {
+    values: Vec<f64>,
+}
+
+impl CountryVec {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}

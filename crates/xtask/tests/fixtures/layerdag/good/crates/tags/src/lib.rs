@@ -1,0 +1,8 @@
+//! Layer-3 crate depending downward on layer 0: legal.
+
+use tagdist_geo::CountryVec;
+
+/// Touches the declared, downward import.
+pub fn dims(v: &CountryVec) -> usize {
+    v.len()
+}
