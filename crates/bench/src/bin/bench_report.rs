@@ -16,7 +16,16 @@
 //! `tagdist report --metrics` emits (the `metrics` key) — the subtree
 //! `cargo xtask bench-gate` regresses against `bench-baseline.json`.
 //!
-//! Writes `BENCH_PR3.json` at the repository root by default. Flags:
+//! Since PR 7 the report also carries a `dataset_io` experiment: the
+//! crawled corpus — and, in a full run, a synthesized 1M-video corpus —
+//! is encoded to both on-disk formats (TSV and the `bin v1` binary
+//! columnar format) and cold-loaded from memory, measuring wall clock,
+//! bytes per video, load allocations and peak live heap through the
+//! counting allocator. The binary decode must stay O(sections): the
+//! run aborts if it allocates more than a fixed constant, however
+//! large the corpus.
+//!
+//! Writes `BENCH_PR7.json` at the repository root by default. Flags:
 //! `--smoke` shrinks the corpus to the tiny test world, runs each
 //! stage once and defaults the output to `bench-smoke.json` (the CI
 //! wiring); a positional argument overrides the output path.
@@ -40,7 +49,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tagdist::crawler::{crawl_parallel, crawl_parallel_obs, CrawlConfig};
-use tagdist::dataset::{filter, CleanDataset, TagId};
+use tagdist::dataset::{
+    binfmt, filter, tsv, write_binary, CleanDataset, ColumnarDataset, Dataset, DatasetBuilder,
+    RawPopularity, TagId,
+};
 use tagdist::geo::{CountryVec, GeoDist};
 use tagdist::obs::{MetricsReport, Recorder};
 use tagdist::par::{available_threads, Pool, THREADS_ENV};
@@ -49,29 +61,43 @@ use tagdist::tags::PredictionEvaluation;
 use tagdist::ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
 
 /// Counting allocator: every `alloc`/`alloc_zeroed`/`realloc` bumps a
-/// relaxed atomic before delegating to the system allocator. Bench
-/// binary only — the library crates stay `#![forbid(unsafe_code)]`.
+/// relaxed atomic before delegating to the system allocator, and the
+/// live heap size is tracked byte-exactly (a `realloc` counts as
+/// free-old + allocate-new) together with its high-water mark, so the
+/// `dataset_io` experiment can report peak resident bytes per load.
+/// Bench binary only — the library crates stay
+/// `#![forbid(unsafe_code)]`.
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn track_alloc(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        track_alloc(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        track_alloc(new_size);
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        track_alloc(layout.size());
         System.alloc_zeroed(layout)
     }
 }
@@ -81,6 +107,19 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water mark from the current live size.
+fn reset_peak() {
+    PEAK_BYTES.store(live_bytes(), Ordering::Relaxed);
+}
+
+fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
 }
 
 /// Thread counts the timing sweep covers.
@@ -108,6 +147,149 @@ fn measured<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, u64, R) {
     let before = allocation_count();
     let result = f();
     (best, allocation_count() - before, result)
+}
+
+/// The binary decoder allocates one buffer per section plus a bounded
+/// handful of header temporaries — never per video. The run aborts if
+/// a load exceeds this ceiling, whatever the corpus size.
+const MAX_BINARY_LOAD_ALLOCATIONS: u64 = 256;
+
+/// Cost of one cold load: best-of-`runs` wall clock, then one extra
+/// run observing the allocator (count, peak live delta, and the live
+/// delta still held once the loaded structure is returned).
+struct LoadCost {
+    seconds: f64,
+    allocations: u64,
+    peak_bytes: u64,
+    resident_bytes: u64,
+}
+
+fn measured_load<R>(runs: usize, mut f: impl FnMut() -> R) -> (LoadCost, R) {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        drop(r);
+    }
+    let live0 = live_bytes();
+    reset_peak();
+    let before = allocation_count();
+    let result = f();
+    let cost = LoadCost {
+        seconds: best,
+        allocations: allocation_count() - before,
+        peak_bytes: peak_bytes().saturating_sub(live0),
+        resident_bytes: live_bytes().saturating_sub(live0),
+    };
+    (cost, result)
+}
+
+/// One corpus measured through both on-disk formats.
+struct IoSample {
+    corpus: &'static str,
+    videos: usize,
+    tsv_bytes: usize,
+    bin_bytes: usize,
+    tsv: LoadCost,
+    bin: LoadCost,
+}
+
+impl IoSample {
+    fn speedup(&self) -> f64 {
+        self.tsv.seconds / self.bin.seconds.max(f64::EPSILON)
+    }
+}
+
+/// Encodes `dataset` to TSV and binary in memory, then cold-loads each
+/// encoding: TSV through the row parser into a [`Dataset`], binary
+/// through the columnar decoder into a [`ColumnarDataset`] (the format
+/// the loader hands out without per-video work).
+fn dataset_io(corpus: &'static str, dataset: &Dataset, runs: usize) -> IoSample {
+    let mut tsv_bytes = Vec::new();
+    tsv::write(dataset, &mut tsv_bytes).expect("TSV encode");
+    let mut bin_bytes = Vec::new();
+    write_binary(dataset, &mut bin_bytes).expect("binary encode");
+
+    let (tsv_cost, parsed) =
+        measured_load(runs, || tsv::read(&tsv_bytes[..]).expect("TSV decodes"));
+    let (bin_cost, columnar) =
+        measured_load(runs, || binfmt::decode(&bin_bytes).expect("binary decodes"));
+    assert_eq!(parsed.len(), dataset.len());
+    assert_eq!(columnar.len(), dataset.len());
+    assert!(
+        bin_cost.allocations <= MAX_BINARY_LOAD_ALLOCATIONS,
+        "binary load of {} videos took {} allocations — the decoder \
+         must stay O(sections)",
+        dataset.len(),
+        bin_cost.allocations
+    );
+    eprintln!(
+        "dataset_io {corpus}: {} videos — TSV {} B, {:.3}s, {} allocs; \
+         bin {} B, {:.3}s, {} allocs ({:.1}x faster)",
+        dataset.len(),
+        tsv_bytes.len(),
+        tsv_cost.seconds,
+        tsv_cost.allocations,
+        bin_bytes.len(),
+        bin_cost.seconds,
+        bin_cost.allocations,
+        tsv_cost.seconds / bin_cost.seconds.max(f64::EPSILON)
+    );
+    IoSample {
+        corpus,
+        videos: dataset.len(),
+        tsv_bytes: tsv_bytes.len(),
+        bin_bytes: bin_bytes.len(),
+        tsv: tsv_cost,
+        bin: bin_cost,
+    }
+}
+
+/// A paper-scale corpus synthesized directly through the
+/// [`DatasetBuilder`]: seeded, deterministic, with the §2 defect mix
+/// (missing and corrupt popularity vectors) and escape-heavy tags, but
+/// without paying for a million-video platform crawl.
+fn synthetic_corpus(videos: usize, countries: usize) -> Dataset {
+    let mut builder = DatasetBuilder::new(countries);
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 11
+    };
+    let mut tags: Vec<String> = Vec::with_capacity(6);
+    for i in 0..videos {
+        tags.clear();
+        let tag_count = 1 + (next() % 7) as usize;
+        for _ in 0..tag_count {
+            let id = next() % 120_000;
+            if id % 997 == 0 {
+                // Escape-heavy names exercise the TSV escaper.
+                tags.push(format!("genre,\\{id}\tlive"));
+            } else {
+                tags.push(format!("tag-{id}"));
+            }
+        }
+        let popularity = match next() % 10 {
+            0 => RawPopularity::Missing,
+            1 => RawPopularity::Corrupt(vec![63, 1, 2]),
+            _ => {
+                let raw: Vec<u8> = (0..countries).map(|_| (next() % 62) as u8).collect();
+                RawPopularity::decode(raw, countries)
+            }
+        };
+        let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+        builder.push_video_titled(
+            &format!("v{i:07}"),
+            &format!("Video {i}"),
+            next() % 5_000_000,
+            &refs,
+            popularity,
+        );
+    }
+    builder.build()
 }
 
 fn stage_outputs(
@@ -167,6 +349,7 @@ fn legacy_aggregate(
 /// not of allocator behaviour.
 fn instrumented_pass(
     platform: &Platform,
+    raw: &Dataset,
     clean: &CleanDataset,
     traffic: &GeoDist,
 ) -> MetricsReport {
@@ -174,6 +357,20 @@ fn instrumented_pass(
     let obs = Recorder::new();
     {
         let root = obs.span("bench");
+        // The columnar codec, gated end to end: encode allocations,
+        // decode allocations (O(sections) by construction) and the
+        // `dataset.*` section-size gauges are all exact functions of
+        // the seeded corpus.
+        let columnar = ColumnarDataset::from_dataset(raw).expect("corpus fits bin v1 limits");
+        columnar.record_gauges(&obs);
+        let before = allocation_count();
+        let mut bin = Vec::new();
+        write_binary(raw, &mut bin).expect("binary encode");
+        obs.add("alloc.dataset_bin_encode", allocation_count() - before);
+        let before = allocation_count();
+        let decoded = binfmt::decode(&bin).expect("binary decode");
+        obs.add("alloc.dataset_bin_decode", allocation_count() - before);
+        assert_eq!(decoded.len(), raw.len());
         let mut fault = FaultProfile::flaky();
         fault.with_seed(0xBE7C_AA17);
         let flaky = FlakyPlatform::new(platform, fault);
@@ -247,7 +444,7 @@ fn main() {
         if smoke {
             "bench-smoke.json".to_owned()
         } else {
-            "BENCH_PR3.json".to_owned()
+            "BENCH_PR7.json".to_owned()
         }
     });
     let runs = if smoke { 1 } else { 3 };
@@ -366,8 +563,17 @@ fn main() {
     }
     eprintln!("columnar outputs match the boxed layouts bit for bit");
 
+    // The on-disk formats, measured end to end on the crawled corpus
+    // and — in a full run — on a synthesized paper-scale corpus.
+    let mut io_samples = vec![dataset_io("crawl", &outcome.dataset, runs)];
+    if !smoke {
+        eprintln!("synthesizing 1M-video corpus (one-time setup)...");
+        let synth = synthetic_corpus(1_000_000, clean.country_count());
+        io_samples.push(dataset_io("synthetic_1m", &synth, 2));
+    }
+
     // The observability pass: same stages, recorded spans + counters.
-    let metrics = instrumented_pass(&platform, &clean, traffic);
+    let metrics = instrumented_pass(&platform, &outcome.dataset, &clean, traffic);
     eprintln!(
         "instrumented pass: {} spans, {} deterministic counters",
         metrics.spans.len(),
@@ -412,7 +618,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(json, "  \"pr\": 7,");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"runs_per_stage\": {runs},");
     let _ = writeln!(json, "  \"host_available_threads\": {host},");
@@ -458,6 +664,45 @@ fn main() {
         "  \"allocation_drop\": {{ \"reconstruction_compute\": {recon_drop:.1}, \
          \"tag_aggregate\": {agg_drop:.1} }},"
     );
+    let _ = writeln!(json, "  \"dataset_io\": [");
+    for (i, s) in io_samples.iter().enumerate() {
+        let comma = if i + 1 == io_samples.len() { "" } else { "," };
+        let per = |bytes: usize| bytes as f64 / s.videos.max(1) as f64;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"corpus\": \"{}\",", s.corpus);
+        let _ = writeln!(json, "      \"videos\": {},", s.videos);
+        let _ = writeln!(
+            json,
+            "      \"tsv\": {{ \"bytes\": {}, \"bytes_per_video\": {:.2}, \
+             \"cold_load_seconds\": {:.6}, \"load_allocations\": {}, \
+             \"peak_load_bytes\": {}, \"resident_bytes\": {} }},",
+            s.tsv_bytes,
+            per(s.tsv_bytes),
+            s.tsv.seconds,
+            s.tsv.allocations,
+            s.tsv.peak_bytes,
+            s.tsv.resident_bytes
+        );
+        let _ = writeln!(
+            json,
+            "      \"bin\": {{ \"bytes\": {}, \"bytes_per_video\": {:.2}, \
+             \"cold_load_seconds\": {:.6}, \"load_allocations\": {}, \
+             \"peak_load_bytes\": {}, \"resident_bytes\": {} }},",
+            s.bin_bytes,
+            per(s.bin_bytes),
+            s.bin.seconds,
+            s.bin.allocations,
+            s.bin.peak_bytes,
+            s.bin.resident_bytes
+        );
+        let _ = writeln!(
+            json,
+            "      \"bin_cold_load_speedup_vs_tsv\": {:.2}",
+            s.speedup()
+        );
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
         "  \"combined_seconds\": {{ \"threads_1\": {:.6}, \"threads_2\": {:.6}, \

@@ -14,7 +14,10 @@ use tagdist::crawler::{
     crawl_parallel, crawl_parallel_stepwise, recrawl, CrawlCheckpoint, CrawlConfig, CrawlRun,
     PlatformApi,
 };
-use tagdist::dataset::{filter, merge, sample_stratified, tsv, Dataset, DatasetStats};
+use tagdist::dataset::{
+    filter, merge, read_any, sample_stratified, tsv, write_binary, Dataset, DatasetFormat,
+    DatasetStats,
+};
 use tagdist::geo::GeoDist;
 use tagdist::geo::{world, TrafficModel};
 use tagdist::obs::Recorder;
@@ -72,6 +75,11 @@ USAGE:
   tagdist merge FILE... --out FILE
       Merge several saved crawls, deduplicating by key and keeping the
       richest metadata per video.
+  tagdist convert FILE --to FORMAT --out FILE
+      Re-encode a saved dataset. --to tsv|bin selects the text or the
+      binary columnar on-disk format; the input format is sniffed from
+      the file's magic line, so either direction works. Every command
+      that reads a dataset accepts both formats.
   tagdist help
       Show this message.
 ";
@@ -94,6 +102,7 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         "report" => report(args, out),
         "recrawl" => recrawl_cmd(args, out),
         "merge" => merge_cmd(args, out),
+        "convert" => convert_cmd(args, out),
         "help" | "" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
             Ok(())
@@ -104,7 +113,8 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 
 fn load(path: &str) -> Result<Dataset, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    tsv::read(file).map_err(|e| format!("cannot parse {path}: {e}"))
+    // The format (TSV or binary columnar) is sniffed from the magic.
+    read_any(file).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn save(dataset: &Dataset, path: &str) -> Result<(), String> {
@@ -533,6 +543,34 @@ fn merge_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
+fn convert_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let out_path = args.get("out").ok_or("convert needs --out FILE")?;
+    let format = match args.get("to").ok_or("convert needs --to tsv|bin")? {
+        "tsv" => DatasetFormat::Tsv,
+        "bin" => DatasetFormat::Binary,
+        other => return Err(format!("unknown format {other:?}; --to takes tsv or bin")),
+    };
+    let dataset = load(path)?;
+    let mut file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    match format {
+        DatasetFormat::Tsv => tsv::write(&dataset, &mut file),
+        DatasetFormat::Binary => write_binary(&dataset, &mut file),
+    }
+    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    writeln!(
+        out,
+        "converted {} records to {} {out_path}",
+        dataset.len(),
+        match format {
+            DatasetFormat::Tsv => "TSV",
+            DatasetFormat::Binary => "binary",
+        }
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -740,6 +778,42 @@ mod tests {
         let text = run(&["merge", &first, &grown, "--out", &merged]).unwrap();
         assert!(text.contains("merged 2 files"), "{text}");
         for p in [&first, &grown, &merged] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn convert_round_trips_between_formats() {
+        let crawl_path = temp("conv.tsv");
+        let bin_path = temp("conv.bin");
+        let back_path = temp("conv-back.tsv");
+        run(&[
+            "generate",
+            "--videos",
+            "1200",
+            "--seed",
+            "9",
+            "--out",
+            &crawl_path,
+        ])
+        .unwrap();
+        let text = run(&["convert", &crawl_path, "--to", "bin", "--out", &bin_path]).unwrap();
+        assert!(text.contains("binary"), "{text}");
+        // Every reading command sniffs the format: stats works on the
+        // binary file and reports the same corpus.
+        let from_tsv = run(&["stats", &crawl_path]).unwrap();
+        let from_bin = run(&["stats", &bin_path]).unwrap();
+        assert_eq!(from_tsv, from_bin);
+        // Converting back to TSV reproduces the original bytes.
+        run(&["convert", &bin_path, "--to", "tsv", "--out", &back_path]).unwrap();
+        assert_eq!(
+            std::fs::read(&crawl_path).unwrap(),
+            std::fs::read(&back_path).unwrap(),
+            "TSV -> bin -> TSV must be byte-identical"
+        );
+        let err = run(&["convert", &crawl_path, "--to", "xml", "--out", &back_path]).unwrap_err();
+        assert!(err.contains("tsv or bin"), "{err}");
+        for p in [&crawl_path, &bin_path, &back_path] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -5,8 +5,9 @@
 //! twelve is not acceptable. A [`CrawlCheckpoint`] captures everything
 //! the BFS loop needs to continue exactly where it stopped:
 //!
-//! * the partial dataset (embedded via the `tagdist-dataset` TSV
-//!   format, one parser, one escape scheme),
+//! * the partial dataset (embedded via a `tagdist-dataset`
+//!   serialization — TSV by default, or the binary columnar format;
+//!   readers sniff the magic and accept either),
 //! * the frontier (next level, in order) and visited set,
 //! * accumulated [`CrawlStats`],
 //! * the virtual clock, token-bucket and per-host breaker state, so
@@ -34,14 +35,18 @@
 //!
 //! Keys reuse the TSV escape scheme ([`tagdist_dataset::tsv::escape`])
 //! so arbitrary keys stay one-per-line. The visited set is written
-//! sorted, making checkpoint bytes deterministic.
+//! sorted, making checkpoint bytes deterministic. The `#dataset`
+//! section may alternatively hold a `#tagdist-dataset bin v1` binary
+//! image ([`CrawlCheckpoint::write_with_format`]); [`CrawlCheckpoint::read`]
+//! dispatches on the embedded magic, which is why the parser walks the
+//! header as raw bytes and only validates UTF-8 line by line.
 
 use core::fmt;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
 use tagdist_dataset::tsv::{escape, unescape};
-use tagdist_dataset::{Dataset, DatasetError};
+use tagdist_dataset::{Dataset, DatasetError, DatasetFormat};
 
 use crate::stats::CrawlStats;
 
@@ -144,7 +149,23 @@ impl CrawlCheckpoint {
     ///
     /// Propagates I/O failures from `writer` and dataset-section
     /// serialization errors.
-    pub fn write<W: Write>(&self, mut writer: W) -> Result<(), CheckpointError> {
+    pub fn write<W: Write>(&self, writer: W) -> Result<(), CheckpointError> {
+        self.write_with_format(writer, DatasetFormat::Tsv)
+    }
+
+    /// Serializes the checkpoint with the dataset section in the given
+    /// format. TSV keeps the whole file line-oriented text; binary
+    /// embeds a `#tagdist-dataset bin v1` image after the `#dataset`
+    /// marker, which loads without per-video parsing on resume.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CrawlCheckpoint::write`].
+    pub fn write_with_format<W: Write>(
+        &self,
+        mut writer: W,
+        format: DatasetFormat,
+    ) -> Result<(), CheckpointError> {
         writeln!(writer, "{MAGIC}")?;
         for (key, value) in &self.meta {
             writeln!(writer, "#meta {}={}", escape(key), escape(value))?;
@@ -220,7 +241,10 @@ impl CrawlCheckpoint {
             writeln!(writer, "{}", escape(key))?;
         }
         writeln!(writer, "#dataset")?;
-        tagdist_dataset::tsv::write(&self.dataset, writer)?;
+        match format {
+            DatasetFormat::Tsv => tagdist_dataset::tsv::write(&self.dataset, writer)?,
+            DatasetFormat::Binary => tagdist_dataset::write_binary(&self.dataset, writer)?,
+        }
         Ok(())
     }
 
@@ -232,9 +256,9 @@ impl CrawlCheckpoint {
     /// * [`CheckpointError::Parse`] on malformed header sections,
     /// * [`CheckpointError::Dataset`] if the embedded dataset is bad.
     pub fn read<R: Read>(mut reader: R) -> Result<CrawlCheckpoint, CheckpointError> {
-        let mut text = String::new();
-        reader.read_to_string(&mut text)?;
-        let mut cursor = Cursor::new(&text);
+        let mut buf = Vec::new();
+        reader.read_to_end(&mut buf)?;
+        let mut cursor = Cursor::new(&buf);
 
         let magic = cursor
             .next_line()
@@ -372,7 +396,7 @@ impl CrawlCheckpoint {
         if line != "#dataset" {
             return Err(cursor.error("expected #dataset marker"));
         }
-        let dataset = tagdist_dataset::tsv::read(cursor.rest().as_bytes())?;
+        let dataset = tagdist_dataset::decode_any(cursor.rest())?;
 
         Ok(CrawlCheckpoint {
             meta,
@@ -404,43 +428,51 @@ impl CrawlCheckpoint {
     }
 }
 
-/// Line cursor over the checkpoint text, tracking position for error
+/// Line cursor over the checkpoint bytes, tracking position for error
 /// messages and exposing the unread remainder (the dataset section).
+///
+/// Works on bytes rather than `&str` because the dataset section may
+/// be a binary image; each *header* line is individually validated as
+/// UTF-8 when read.
 struct Cursor<'a> {
-    text: &'a str,
+    buf: &'a [u8],
     pos: usize,
     line: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(text: &'a str) -> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
         Cursor {
-            text,
+            buf,
             pos: 0,
             line: 0,
         }
     }
 
+    /// Next header line as text; `None` at end of input or when the
+    /// line is not UTF-8 (binary bytes where a header was expected —
+    /// the caller's "truncated/expected" error applies either way).
     fn next_line(&mut self) -> Option<&'a str> {
-        if self.pos >= self.text.len() {
+        if self.pos >= self.buf.len() {
             return None;
         }
         self.line += 1;
-        let rest = &self.text[self.pos..];
-        match rest.find('\n') {
+        let rest = &self.buf[self.pos..];
+        let bytes = match rest.iter().position(|&b| b == b'\n') {
             Some(idx) => {
                 self.pos += idx + 1;
-                Some(&rest[..idx])
+                &rest[..idx]
             }
             None => {
-                self.pos = self.text.len();
-                Some(rest)
+                self.pos = self.buf.len();
+                rest
             }
-        }
+        };
+        std::str::from_utf8(bytes).ok()
     }
 
-    fn rest(&self) -> &'a str {
-        &self.text[self.pos..]
+    fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
     }
 
     fn error(&self, message: &str) -> CheckpointError {
@@ -582,6 +614,33 @@ mod tests {
         // Serialization is a fixed point: write(read(x)) == x.
         let again = back.to_string_lossless().unwrap();
         assert_eq!(again, text);
+    }
+
+    #[test]
+    fn binary_dataset_section_round_trips() {
+        let cp = sample();
+        let mut buf = Vec::new();
+        cp.write_with_format(&mut buf, tagdist_dataset::DatasetFormat::Binary)
+            .unwrap();
+        // The header stays text; the dataset section carries the
+        // binary magic.
+        let marker = b"#dataset\n";
+        let at = buf.windows(marker.len()).position(|w| w == marker).unwrap();
+        assert!(buf[at + marker.len()..].starts_with(b"#tagdist-dataset bin v1\n"));
+        let back = CrawlCheckpoint::read(&buf[..]).unwrap();
+        assert_eq!(back.stats, cp.stats);
+        assert_eq!(back.frontier, cp.frontier);
+        assert_eq!(back.dataset.len(), cp.dataset.len());
+        for (a, b) in cp.dataset.iter().zip(back.dataset.iter()) {
+            assert_eq!(a, b);
+        }
+        // Both embeddings resume to the same dataset bytes.
+        let text = cp.to_string_lossless().unwrap();
+        let from_text = CrawlCheckpoint::read(text.as_bytes()).unwrap();
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        tagdist_dataset::tsv::write(&from_text.dataset, &mut x).unwrap();
+        tagdist_dataset::tsv::write(&back.dataset, &mut y).unwrap();
+        assert_eq!(x, y);
     }
 
     #[test]

@@ -604,7 +604,7 @@ where
             }
             state.stats.related_requests += 1;
 
-            let tag_refs: Vec<&str> = meta.tags.iter().map(String::as_str).collect();
+            let tag_refs: Vec<&str> = meta.tags.iter().map(AsRef::as_ref).collect();
             let popularity = match meta.popularity {
                 Some(raw) => RawPopularity::decode(raw, country_count),
                 None => RawPopularity::Missing,

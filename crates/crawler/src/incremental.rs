@@ -104,7 +104,7 @@ pub fn recrawl<P: PlatformApi + ?Sized>(
                 let Some(meta) = fetch_with_retry(platform, cfg, &key, &mut stats) else {
                     continue;
                 };
-                let tags: Vec<&str> = meta.tags.iter().map(String::as_str).collect();
+                let tags: Vec<&str> = meta.tags.iter().map(AsRef::as_ref).collect();
                 let popularity = match meta.popularity {
                     Some(raw) => RawPopularity::decode(raw, country_count),
                     None => RawPopularity::Missing,

@@ -1,0 +1,588 @@
+//! The `tagdist-dataset bin v1` on-disk binary columnar format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "#tagdist-dataset bin v1\n"          ASCII magic line
+//! u32 country_count
+//! u32 video_count
+//! u32 tag_count
+//! u32 section_count                    12 in v1
+//! section table, one 28-byte entry per section:
+//!     u32 id                           SEC_* constant, ascending
+//!     u64 offset                       from start of payload region
+//!     u64 len                          section byte length
+//!     u64 checksum                     FNV-1a 64 over the bytes
+//! payload: the section bytes, concatenated in table order
+//! ```
+//!
+//! | id | section          | contents                                |
+//! |----|------------------|-----------------------------------------|
+//! | 1  | key offsets      | `(n+1) × u32` into section 2            |
+//! | 2  | key bytes        | UTF-8 pool of video keys                |
+//! | 3  | title offsets    | `(n+1) × u32` into section 4            |
+//! | 4  | title bytes      | UTF-8 pool of titles                    |
+//! | 5  | total views      | `n × u64`                               |
+//! | 6  | tag spine        | `(n+1) × u32` CSR rows into section 7   |
+//! | 7  | tag ids          | flat `u32` per-video tag lists          |
+//! | 8  | popularity kind  | `n × u8` `POP_*` sentinels              |
+//! | 9  | pop offsets      | `(n+1) × u32` into section 10           |
+//! | 10 | pop bytes        | raw popularity payloads                 |
+//! | 11 | tag-name offsets | `(t+1) × u32` into section 12           |
+//! | 12 | tag-name bytes   | UTF-8 pool of interned tag names        |
+//!
+//! The magic shares the `#tagdist-dataset ` prefix with the TSV header
+//! so one 24-byte sniff distinguishes the two (see
+//! [`format`](crate::format)). Encoding is deterministic — the same
+//! dataset always produces byte-identical files — because every column
+//! is emitted in dense id order and the section table is fixed.
+//!
+//! Decoding reads the whole input once, verifies each section's
+//! checksum, then converts each section into exactly one typed column
+//! (`chunks_exact` + `from_le_bytes`; no `unsafe`). Allocation count
+//! is O(sections), never O(videos). All cross-section invariants
+//! (monotone offsets, UTF-8 boundaries, tag-id bounds, popularity
+//! shapes) are validated up front so [`ColumnarDataset`] accessors can
+//! slice without further checks.
+
+use std::io::{Read, Write};
+
+use crate::columnar::{ColumnarDataset, POP_CORRUPT, POP_MISSING, POP_VALID};
+use crate::error::DatasetError;
+
+/// First bytes of every binary dataset file.
+pub const MAGIC: &[u8] = b"#tagdist-dataset bin v1\n";
+
+/// Section ids, in file order.
+const SECTION_IDS: [u32; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash, the section checksum function.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn format_err(message: impl Into<String>) -> DatasetError {
+    DatasetError::Format {
+        message: message.into(),
+    }
+}
+
+fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn u64s_to_bytes(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_u32s(bytes: &[u8], what: &str) -> Result<Vec<u32>, DatasetError> {
+    if bytes.len() % 4 != 0 {
+        return Err(format_err(format!(
+            "section {what}: length {} is not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn bytes_to_u64s(bytes: &[u8], what: &str) -> Result<Vec<u64>, DatasetError> {
+    if bytes.len() % 8 != 0 {
+        return Err(format_err(format!(
+            "section {what}: length {} is not a multiple of 8",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+/// Serializes a columnar dataset to the binary format.
+///
+/// Deterministic: the same dataset produces byte-identical output.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from `writer`.
+pub fn write<W: Write>(dataset: &ColumnarDataset, mut writer: W) -> Result<(), DatasetError> {
+    let sections: [Vec<u8>; 12] = [
+        u32s_to_bytes(&dataset.key_offsets),
+        dataset.key_bytes.as_bytes().to_vec(),
+        u32s_to_bytes(&dataset.title_offsets),
+        dataset.title_bytes.as_bytes().to_vec(),
+        u64s_to_bytes(&dataset.total_views),
+        u32s_to_bytes(&dataset.tag_rows),
+        u32s_to_bytes(&dataset.tag_ids),
+        dataset.pop_kind.clone(),
+        u32s_to_bytes(&dataset.pop_offsets),
+        dataset.pop_bytes.clone(),
+        u32s_to_bytes(&dataset.tagname_offsets),
+        dataset.tagname_bytes.as_bytes().to_vec(),
+    ];
+
+    writer.write_all(MAGIC)?;
+    writer.write_all(&dataset.country_count.to_le_bytes())?;
+    let video_count = u32::try_from(dataset.len())
+        .map_err(|_| format_err(format!("video count {} overflows u32", dataset.len())))?;
+    writer.write_all(&video_count.to_le_bytes())?;
+    let tag_count = u32::try_from(dataset.tag_count())
+        .map_err(|_| format_err(format!("tag count {} overflows u32", dataset.tag_count())))?;
+    writer.write_all(&tag_count.to_le_bytes())?;
+    writer.write_all(&u32::try_from(SECTION_IDS.len()).unwrap_or(0).to_le_bytes())?;
+
+    let mut offset = 0u64;
+    for (id, bytes) in SECTION_IDS.iter().zip(&sections) {
+        writer.write_all(&id.to_le_bytes())?;
+        writer.write_all(&offset.to_le_bytes())?;
+        writer.write_all(&(bytes.len() as u64).to_le_bytes())?;
+        writer.write_all(&fnv1a(bytes).to_le_bytes())?;
+        offset += bytes.len() as u64;
+    }
+    for bytes in &sections {
+        writer.write_all(bytes)?;
+    }
+    Ok(())
+}
+
+/// A little-endian reader over the header region.
+struct Header<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Header<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DatasetError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format_err(format!("truncated header: missing {what}")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DatasetError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DatasetError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// One parsed section-table entry.
+struct Section {
+    id: u32,
+    offset: u64,
+    len: u64,
+    checksum: u64,
+}
+
+/// Deserializes a columnar dataset from a full in-memory image.
+///
+/// # Errors
+///
+/// * [`DatasetError::Format`] on bad magic, a truncated header or
+///   payload, an out-of-order section table, or any column invariant
+///   violation.
+/// * [`DatasetError::Checksum`] when a section's recorded FNV-1a hash
+///   does not match its bytes.
+pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
+    let body = buf
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| format_err("bad magic: not a `#tagdist-dataset bin v1` file"))?;
+    let mut h = Header { buf: body, pos: 0 };
+    let country_count = h.u32("country count")?;
+    let video_count = h.u32("video count")? as usize;
+    let tag_count = h.u32("tag count")? as usize;
+    let section_count = h.u32("section count")? as usize;
+    if section_count != SECTION_IDS.len() {
+        return Err(format_err(format!(
+            "expected {} sections, header declares {section_count}",
+            SECTION_IDS.len()
+        )));
+    }
+
+    let mut sections = Vec::with_capacity(section_count);
+    for expected_id in SECTION_IDS {
+        let id = h.u32("section id")?;
+        if id != expected_id {
+            return Err(format_err(format!(
+                "section table out of order: expected id {expected_id}, found {id}"
+            )));
+        }
+        sections.push(Section {
+            id,
+            offset: h.u64("section offset")?,
+            len: h.u64("section length")?,
+            checksum: h.u64("section checksum")?,
+        });
+    }
+
+    let payload = &body[h.pos..];
+    let mut slices = Vec::with_capacity(section_count);
+    let mut expected_offset = 0u64;
+    for s in &sections {
+        if s.offset != expected_offset {
+            return Err(format_err(format!(
+                "section {}: offset {} does not follow the previous section (expected {})",
+                s.id, s.offset, expected_offset
+            )));
+        }
+        let start = usize::try_from(s.offset)
+            .map_err(|_| format_err(format!("section {}: offset overflows usize", s.id)))?;
+        let end = usize::try_from(s.offset + s.len)
+            .ok()
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| {
+                format_err(format!(
+                    "section {}: truncated payload ({} bytes needed, {} available)",
+                    s.id,
+                    s.offset + s.len,
+                    payload.len()
+                ))
+            })?;
+        let bytes = &payload[start..end];
+        let actual = fnv1a(bytes);
+        if actual != s.checksum {
+            return Err(DatasetError::Checksum {
+                section: s.id,
+                expected: s.checksum,
+                actual,
+            });
+        }
+        slices.push(bytes);
+        expected_offset += s.len;
+    }
+    if usize::try_from(expected_offset).ok() != Some(payload.len()) {
+        return Err(format_err(format!(
+            "{} trailing payload byte(s) after the last section",
+            payload.len() as u64 - expected_offset
+        )));
+    }
+
+    let key_offsets = bytes_to_u32s(slices[0], "key offsets")?;
+    let key_bytes = String::from_utf8(slices[1].to_vec())
+        .map_err(|_| format_err("key pool is not valid UTF-8"))?;
+    let title_offsets = bytes_to_u32s(slices[2], "title offsets")?;
+    let title_bytes = String::from_utf8(slices[3].to_vec())
+        .map_err(|_| format_err("title pool is not valid UTF-8"))?;
+    let total_views = bytes_to_u64s(slices[4], "total views")?;
+    let tag_rows = bytes_to_u32s(slices[5], "tag spine")?;
+    let tag_ids = bytes_to_u32s(slices[6], "tag ids")?;
+    let pop_kind = slices[7].to_vec();
+    let pop_offsets = bytes_to_u32s(slices[8], "pop offsets")?;
+    let pop_bytes = slices[9].to_vec();
+    let tagname_offsets = bytes_to_u32s(slices[10], "tag-name offsets")?;
+    let tagname_bytes = String::from_utf8(slices[11].to_vec())
+        .map_err(|_| format_err("tag-name pool is not valid UTF-8"))?;
+
+    check_offsets(&key_offsets, video_count, key_bytes.len(), "key offsets")?;
+    check_boundaries(&key_offsets, &key_bytes, "key offsets")?;
+    check_offsets(
+        &title_offsets,
+        video_count,
+        title_bytes.len(),
+        "title offsets",
+    )?;
+    check_boundaries(&title_offsets, &title_bytes, "title offsets")?;
+    if total_views.len() != video_count {
+        return Err(format_err(format!(
+            "total views: {} entries for {video_count} video(s)",
+            total_views.len()
+        )));
+    }
+    check_offsets(&tag_rows, video_count, tag_ids.len(), "tag spine")?;
+    if let Some(&bad) = tag_ids.iter().find(|&&t| t as usize >= tag_count) {
+        return Err(format_err(format!(
+            "tag id {bad} out of range (tag count {tag_count})"
+        )));
+    }
+    if pop_kind.len() != video_count {
+        return Err(format_err(format!(
+            "popularity kinds: {} entries for {video_count} video(s)",
+            pop_kind.len()
+        )));
+    }
+    check_offsets(&pop_offsets, video_count, pop_bytes.len(), "pop offsets")?;
+    for (i, &kind) in pop_kind.iter().enumerate() {
+        let len = (pop_offsets[i + 1] - pop_offsets[i]) as usize;
+        match kind {
+            POP_MISSING if len != 0 => {
+                return Err(format_err(format!(
+                    "video {i}: missing popularity carries {len} payload byte(s)"
+                )));
+            }
+            POP_VALID => {
+                if len != country_count as usize {
+                    return Err(format_err(format!(
+                        "video {i}: valid popularity has {len} byte(s), expected {country_count}"
+                    )));
+                }
+                let payload = &pop_bytes[pop_offsets[i] as usize..pop_offsets[i + 1] as usize];
+                if let Some(&bad) = payload.iter().find(|&&b| b > 61) {
+                    return Err(format_err(format!(
+                        "video {i}: valid popularity intensity {bad} exceeds 61"
+                    )));
+                }
+            }
+            POP_MISSING | POP_CORRUPT => {}
+            other => {
+                return Err(format_err(format!(
+                    "video {i}: unknown popularity kind {other}"
+                )));
+            }
+        }
+    }
+    check_offsets(
+        &tagname_offsets,
+        tag_count,
+        tagname_bytes.len(),
+        "tag-name offsets",
+    )?;
+    check_boundaries(&tagname_offsets, &tagname_bytes, "tag-name offsets")?;
+
+    Ok(ColumnarDataset {
+        country_count,
+        key_offsets,
+        key_bytes,
+        title_offsets,
+        title_bytes,
+        total_views,
+        tag_rows,
+        tag_ids,
+        pop_kind,
+        pop_offsets,
+        pop_bytes,
+        tagname_offsets,
+        tagname_bytes,
+    })
+}
+
+/// Deserializes from a reader (one `read_to_end` then [`decode`]).
+///
+/// # Errors
+///
+/// As for [`decode`], plus [`DatasetError::Io`] on read failure.
+pub fn read<R: Read>(mut reader: R) -> Result<ColumnarDataset, DatasetError> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    decode(&buf)
+}
+
+/// Validates an offset column: `count + 1` entries, monotone, starting
+/// at 0 and ending at the pool length.
+fn check_offsets(
+    offsets: &[u32],
+    count: usize,
+    pool_len: usize,
+    what: &str,
+) -> Result<(), DatasetError> {
+    if offsets.len() != count + 1 {
+        return Err(format_err(format!(
+            "{what}: {} entries for {count} row(s) (need {})",
+            offsets.len(),
+            count + 1
+        )));
+    }
+    if offsets.first() != Some(&0) {
+        return Err(format_err(format!("{what}: first offset is not 0")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(format_err(format!("{what}: offsets are not monotone")));
+    }
+    if offsets.last().map(|&o| o as usize) != Some(pool_len) {
+        return Err(format_err(format!(
+            "{what}: last offset does not match the pool length {pool_len}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates that every string-pool offset falls on a UTF-8 character
+/// boundary, so accessors can slice without panicking.
+fn check_boundaries(offsets: &[u32], pool: &str, what: &str) -> Result<(), DatasetError> {
+    if let Some(&bad) = offsets
+        .iter()
+        .find(|&&o| !pool.is_char_boundary(o as usize))
+    {
+        return Err(format_err(format!(
+            "{what}: offset {bad} splits a UTF-8 character"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::ColumnarDataset;
+    use crate::dataset::DatasetBuilder;
+    use crate::record::RawPopularity;
+    use crate::Dataset;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new(3);
+        b.push_video_titled(
+            "vid,weird\tkey",
+            "Ünïcödé title",
+            123,
+            &["pop", "hip hop", "a,b"],
+            RawPopularity::decode(vec![61, 0, 7], 3),
+        );
+        b.push_video("plain", 0, &[], RawPopularity::Missing);
+        b.push_video_titled(
+            "corrupt",
+            "c",
+            9,
+            &["x", "pop"],
+            RawPopularity::decode(vec![1, 2], 3),
+        );
+        b.build()
+    }
+
+    fn encode(d: &Dataset) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write(&ColumnarDataset::from_dataset(d).unwrap(), &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trips_byte_exactly() {
+        let d = sample();
+        let c = ColumnarDataset::from_dataset(&d).unwrap();
+        let mut buf = Vec::new();
+        write(&c, &mut buf).unwrap();
+        let r = decode(&buf).unwrap();
+        assert_eq!(r, c);
+        // Re-encode of the decoded dataset reproduces the bytes.
+        let mut again = Vec::new();
+        write(&r, &mut again).unwrap();
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let d = sample();
+        assert_eq!(encode(&d), encode(&d));
+    }
+
+    #[test]
+    fn magic_shares_the_sniffable_prefix() {
+        assert!(MAGIC.starts_with(b"#tagdist-dataset "));
+        let buf = encode(&sample());
+        assert!(buf.starts_with(MAGIC));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode(b"#tagdist-dataset v1 countries=3\n").unwrap_err();
+        assert!(matches!(err, DatasetError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let buf = encode(&sample());
+        // Chopping the file anywhere must produce an error, never a
+        // panic or a silently short dataset.
+        for cut in 0..buf.len() {
+            let err = decode(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DatasetError::Format { .. } | DatasetError::Checksum { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_payload_corruption_via_checksum() {
+        let mut buf = encode(&sample());
+        // Flip a byte in the middle of the payload (past the header).
+        let tamper_at = buf.len() - 4;
+        buf[tamper_at] ^= 0xff;
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, DatasetError::Checksum { .. }), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut buf = encode(&sample());
+        buf.extend_from_slice(b"junk");
+        let err = decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_tag_ids() {
+        let d = sample();
+        let mut c = ColumnarDataset::from_dataset(&d).unwrap();
+        if let Some(first) = c.tag_ids.first_mut() {
+            *first = 10_000;
+        }
+        let mut buf = Vec::new();
+        write(&c, &mut buf).unwrap();
+        let err = decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("tag id"), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_valid_popularity() {
+        let d = sample();
+        let mut c = ColumnarDataset::from_dataset(&d).unwrap();
+        // Claim the corrupt row (wrong length) is valid.
+        c.pop_kind[2] = POP_VALID;
+        let mut buf = Vec::new();
+        write(&c, &mut buf).unwrap();
+        let err = decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("valid popularity"), "{err}");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let d = DatasetBuilder::new(60).build();
+        let buf = encode(&d);
+        let r = decode(&buf).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.country_count(), 60);
+        assert_eq!(r.tag_count(), 0);
+    }
+}

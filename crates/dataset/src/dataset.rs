@@ -82,6 +82,35 @@ impl Dataset {
     pub fn total_views(&self) -> u128 {
         self.videos.iter().map(|v| v.total_views as u128).sum()
     }
+
+    /// Assembles a dataset from already-validated parts (the binary
+    /// columnar load path). Records must carry dense ids in vector
+    /// order with tag ids valid for `tags`; the key index and tag
+    /// postings are rebuilt here, skipping the per-record interning a
+    /// [`DatasetBuilder`] replay would pay.
+    pub(crate) fn from_parts(
+        videos: Vec<VideoRecord>,
+        tags: TagInterner,
+        country_count: usize,
+    ) -> Dataset {
+        let mut keys = HashMap::with_capacity(videos.len());
+        for video in &videos {
+            keys.insert(video.key.clone(), video.id);
+        }
+        let mut tag_postings = vec![Vec::new(); tags.len()];
+        for video in &videos {
+            for &tag in &video.tags {
+                tag_postings[tag.index()].push(video.id);
+            }
+        }
+        Dataset {
+            videos,
+            tags,
+            tag_postings,
+            keys,
+            country_count,
+        }
+    }
 }
 
 /// Incremental constructor for [`Dataset`].

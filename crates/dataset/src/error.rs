@@ -15,6 +15,23 @@ pub enum DatasetError {
         /// What was wrong.
         message: String,
     },
+    /// A structural failure in the binary columnar serialization: bad
+    /// magic, a truncated header or section, an out-of-bounds section
+    /// table entry, or an invariant violation in a decoded column.
+    Format {
+        /// What was wrong.
+        message: String,
+    },
+    /// A section's FNV-1a checksum did not match its bytes: the file
+    /// was corrupted after writing.
+    Checksum {
+        /// Numeric id of the failing section (see `binfmt`).
+        section: u32,
+        /// Checksum recorded in the section table.
+        expected: u64,
+        /// Checksum recomputed over the section bytes.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -24,6 +41,18 @@ impl fmt::Display for DatasetError {
             DatasetError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            DatasetError::Format { message } => {
+                write!(f, "binary format error: {message}")
+            }
+            DatasetError::Checksum {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in section {section}: \
+                 recorded {expected:#018x}, computed {actual:#018x}"
+            ),
         }
     }
 }
@@ -32,7 +61,9 @@ impl std::error::Error for DatasetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DatasetError::Io(e) => Some(e),
-            DatasetError::Parse { .. } => None,
+            DatasetError::Parse { .. }
+            | DatasetError::Format { .. }
+            | DatasetError::Checksum { .. } => None,
         }
     }
 }
@@ -62,6 +93,22 @@ mod tests {
         let e = DatasetError::from(io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn format_errors_render_for_humans() {
+        let e = DatasetError::Format {
+            message: "truncated section table".into(),
+        };
+        assert!(e.to_string().contains("binary format error"));
+        assert!(e.to_string().contains("truncated"));
+        let e = DatasetError::Checksum {
+            section: 7,
+            expected: 0xdead,
+            actual: 0xbeef,
+        };
+        assert!(e.to_string().contains("section 7"));
+        assert!(e.to_string().contains("0x000000000000dead"));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`stats`] — the §2 headline statistics (video / tag / view
 //!   totals, tag-frequency shape),
 //! * [`tsv`] — a self-contained line-oriented serialization so crawls
-//!   can be saved and reloaded without external format crates.
+//!   can be saved and reloaded without external format crates,
+//! * [`binfmt`] / [`columnar`] — the `bin v1` binary columnar
+//!   serialization for paper-scale corpora (fixed-width sections,
+//!   FNV-1a checksums, O(sections) load allocations), with
+//!   [`mod@format`] sniffing so readers accept either format.
 //!
 //! # Example
 //!
@@ -49,9 +53,12 @@
     )
 )]
 
+pub mod binfmt;
+pub mod columnar;
 pub mod dataset;
 pub mod error;
 pub mod filter;
+pub mod format;
 pub mod merge;
 pub mod record;
 pub mod sample;
@@ -59,9 +66,11 @@ pub mod stats;
 pub mod tag;
 pub mod tsv;
 
+pub use columnar::{ColumnarDataset, MemoryFootprint};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DatasetError;
 pub use filter::{filter, CleanDataset, CleanVideo, FilterReport};
+pub use format::{decode_any, read_any, sniff, write_binary, DatasetFormat};
 pub use merge::merge;
 pub use record::{RawPopularity, VideoId, VideoRecord};
 pub use sample::{sample_stratified, sample_top_views, sample_uniform};

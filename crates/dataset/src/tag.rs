@@ -90,10 +90,18 @@ impl TagInterner {
     /// Interns a tag, returning its id, or `None` if the tag is empty
     /// after normalization (trim + lowercase).
     pub fn intern(&mut self, tag: &str) -> Option<TagId> {
-        let normalized = Self::normalize(tag);
-        if normalized.is_empty() {
+        let trimmed = tag.trim();
+        if trimmed.is_empty() {
             return None;
         }
+        // Fast path: every stored name is a `to_lowercase` fixed point,
+        // so a borrowed hit on the trimmed input proves it is already
+        // normalized — no lowercase allocation for the common case of
+        // pre-interned tags arriving from the simulator.
+        if let Some(&id) = self.ids.get(trimmed) {
+            return Some(id);
+        }
+        let normalized = trimmed.to_lowercase();
         if let Some(&id) = self.ids.get(&normalized) {
             return Some(id);
         }
@@ -101,6 +109,18 @@ impl TagInterner {
         self.names.push(normalized.clone());
         self.ids.insert(normalized, id);
         Some(id)
+    }
+
+    /// Rebuilds an interner from an ordered name list (the binary
+    /// format's tag-name pool). Names must already be normalized and
+    /// distinct; `id(name)` then maps each back to its dense position.
+    pub(crate) fn from_names(names: Vec<String>) -> TagInterner {
+        let ids = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TagId::from_index(i)))
+            .collect();
+        TagInterner { names, ids }
     }
 
     /// Looks up a tag without interning it.
@@ -190,6 +210,34 @@ mod tests {
         let t = TagInterner::new();
         assert_eq!(t.id("missing"), None);
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn from_names_reproduces_an_interner() {
+        let mut t = TagInterner::new();
+        for tag in ["pop", "hip hop", "baile funk"] {
+            t.intern(tag).unwrap();
+        }
+        let names: Vec<String> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        let mut r = TagInterner::from_names(names);
+        assert_eq!(r.len(), t.len());
+        for (id, name) in t.iter() {
+            assert_eq!(r.id(name), Some(id));
+            assert_eq!(r.name(id), name);
+        }
+        // Interning an existing name is a no-op on the rebuilt side.
+        assert_eq!(r.intern("pop"), t.id("pop"));
+        assert_eq!(r.len(), t.len());
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path_classification() {
+        // Mixed-case and padded inputs still converge to one id.
+        let mut t = TagInterner::new();
+        let a = t.intern("Baile Funk").unwrap();
+        assert_eq!(t.intern("baile funk"), Some(a));
+        assert_eq!(t.intern("  baile funk  "), Some(a));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

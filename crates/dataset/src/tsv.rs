@@ -18,7 +18,7 @@
 //! ([`write()`](write())/[`read()`](read()) round-trip, property-tested
 //! below).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::error::DatasetError;
@@ -30,32 +30,68 @@ const MAGIC: &str = "#tagdist-dataset v1";
 ///
 /// A `&mut` reference can be passed for `writer` (e.g. `&mut file`).
 ///
+/// Every field streams straight into the (buffered) writer — no
+/// per-video `String` assembly — so writing allocates O(1) regardless
+/// of corpus size.
+///
 /// # Errors
 ///
 /// Propagates any I/O failure from `writer`.
-pub fn write<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), DatasetError> {
+pub fn write<W: Write>(dataset: &Dataset, writer: W) -> Result<(), DatasetError> {
+    let mut writer = BufWriter::new(writer);
     writeln!(writer, "{MAGIC} countries={}", dataset.country_count())?;
     for video in dataset.iter() {
-        let tags = video
-            .tags
-            .iter()
-            .map(|&t| escape(dataset.tags().name(t)))
-            .collect::<Vec<_>>()
-            .join(",");
-        let pop = match &video.popularity {
-            RawPopularity::Missing => "-".to_owned(),
-            RawPopularity::Corrupt(bytes) => format!("!{}", join_bytes(bytes)),
-            RawPopularity::Valid(p) => join_bytes(p.as_slice()),
+        write_escaped(&mut writer, &video.key)?;
+        writer.write_all(b"\t")?;
+        write_escaped(&mut writer, &video.title)?;
+        write!(writer, "\t{}\t", video.total_views)?;
+        for (i, &tag) in video.tags.iter().enumerate() {
+            if i > 0 {
+                writer.write_all(b",")?;
+            }
+            write_escaped(&mut writer, dataset.tags().name(tag))?;
+        }
+        writer.write_all(b"\t")?;
+        match &video.popularity {
+            RawPopularity::Missing => writer.write_all(b"-")?,
+            RawPopularity::Corrupt(bytes) => {
+                writer.write_all(b"!")?;
+                write_bytes_csv(&mut writer, bytes)?;
+            }
+            RawPopularity::Valid(p) => write_bytes_csv(&mut writer, p.as_slice())?,
+        }
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Streams [`escape`]d text: unescaped runs are written whole, escape
+/// sequences as two-byte chunks, with no intermediate `String`.
+fn write_escaped<W: Write>(writer: &mut W, s: &str) -> Result<(), DatasetError> {
+    let mut rest = s;
+    while let Some(pos) = rest.find(['\\', ',', '\t', '\n']) {
+        writer.write_all(&rest.as_bytes()[..pos])?;
+        let escaped: &[u8] = match rest.as_bytes()[pos] {
+            b'\\' => b"\\\\",
+            b',' => b"\\,",
+            b'\t' => b"\\t",
+            _ => b"\\n",
         };
-        writeln!(
-            writer,
-            "{}\t{}\t{}\t{}\t{}",
-            escape(&video.key),
-            escape(&video.title),
-            video.total_views,
-            tags,
-            pop
-        )?;
+        writer.write_all(escaped)?;
+        rest = &rest[pos + 1..];
+    }
+    writer.write_all(rest.as_bytes())?;
+    Ok(())
+}
+
+/// Streams a comma-separated decimal byte list.
+fn write_bytes_csv<W: Write>(writer: &mut W, bytes: &[u8]) -> Result<(), DatasetError> {
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 {
+            writer.write_all(b",")?;
+        }
+        write!(writer, "{b}")?;
     }
     Ok(())
 }
@@ -135,14 +171,6 @@ fn parse_header(header: &str) -> Option<usize> {
     let rest = header.strip_prefix(MAGIC)?.trim();
     let n = rest.strip_prefix("countries=")?;
     n.parse().ok()
-}
-
-fn join_bytes(bytes: &[u8]) -> String {
-    bytes
-        .iter()
-        .map(|b| b.to_string())
-        .collect::<Vec<_>>()
-        .join(",")
 }
 
 fn parse_popularity(field: &str, countries: usize) -> Option<RawPopularity> {
@@ -278,6 +306,19 @@ mod tests {
             let b_tags: Vec<&str> = b.tags.iter().map(|&t| r.tags().name(t)).collect();
             assert_eq!(a_tags, b_tags);
         }
+    }
+
+    #[test]
+    fn written_bytes_are_pinned() {
+        // Golden output: the streaming writer must keep emitting the
+        // exact bytes the Vec-and-join writer produced.
+        let mut buf = Vec::new();
+        write(&sample(), &mut buf).unwrap();
+        let expected = "#tagdist-dataset v1 countries=3\n\
+                        vid\\,with\\tweird\tA title\\, with\\tescapes\t123\tpop,hip hop,a\\,b\t61,0,7\n\
+                        plain\t\t0\t\t-\n\
+                        corrupt\tc\t9\tx\t!1,2\n";
+        assert_eq!(String::from_utf8(buf).unwrap(), expected);
     }
 
     #[test]

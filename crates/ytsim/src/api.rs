@@ -14,6 +14,7 @@
 //! `tagdist-crawler`'s retry/backoff layer.
 
 use core::fmt;
+use std::sync::Arc;
 
 use tagdist_geo::CountryId;
 
@@ -78,7 +79,12 @@ pub struct VideoMetadata {
     /// Duration in seconds.
     pub duration_secs: u32,
     /// Uploader tags; may be empty when metadata is incomplete.
-    pub tags: Vec<String>,
+    ///
+    /// Interned as `Arc<str>`: the platform hands out refcounted
+    /// pointers into the topic vocabularies, so fetching a video never
+    /// copies tag bytes (the paper-scale corpora share ~10⁵ distinct
+    /// tags across 10⁶ videos).
+    pub tags: Vec<Arc<str>>,
     /// Scraped per-country intensities, if a chart was served.
     pub popularity: Option<Vec<u8>>,
 }

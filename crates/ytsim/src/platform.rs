@@ -1,6 +1,7 @@
 //! The assembled synthetic platform.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,7 +21,8 @@ const CHART_DEPTH: usize = 100;
 #[derive(Debug, Clone)]
 struct Observed {
     /// Tags served to crawlers (empty when metadata is incomplete).
-    tags: Vec<String>,
+    /// Refcounted pointers into the topic vocabularies.
+    tags: Vec<Arc<str>>,
     /// Scraped chart intensities (`None` = chart missing).
     popularity: Option<Vec<u8>>,
 }

@@ -16,6 +16,7 @@
 //! the global music topic `pop`, topic 1 the Brazil-anchored `favela`.
 
 use core::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,21 +72,25 @@ pub struct Topic {
     /// in this topic (Zipf over topic rank, so a few topics — `pop`
     /// among them — dominate worldwide views).
     pub popularity: f64,
-    /// The topic's tag vocabulary, most-likely first.
-    pub vocabulary: Vec<String>,
+    /// The topic's tag vocabulary, most-likely first. Entries are
+    /// refcounted so drawing a tag is a pointer bump, not a string
+    /// copy — generation-time interning for the dataset builder.
+    pub vocabulary: Vec<Arc<str>>,
 }
 
 impl Topic {
     /// Draws `k` distinct tags from the vocabulary, Zipf-weighted.
-    pub fn draw_tags<R: Rng + ?Sized>(&self, rng: &mut R, zipf: &Zipf, k: usize) -> Vec<String> {
+    /// Returned tags are shared pointers into the vocabulary — no
+    /// string bytes are copied.
+    pub fn draw_tags<R: Rng + ?Sized>(&self, rng: &mut R, zipf: &Zipf, k: usize) -> Vec<Arc<str>> {
         debug_assert_eq!(zipf.len(), self.vocabulary.len());
-        let mut out: Vec<String> = Vec::with_capacity(k);
+        let mut out: Vec<Arc<str>> = Vec::with_capacity(k);
         let mut guard = 0;
         while out.len() < k.min(self.vocabulary.len()) && guard < 50 * k + 50 {
             guard += 1;
             let tag = &self.vocabulary[zipf.sample(rng)];
             if !out.iter().any(|t| t == tag) {
-                out.push(tag.clone());
+                out.push(Arc::clone(tag));
             }
         }
         out
@@ -96,7 +101,7 @@ impl Topic {
 #[derive(Debug, Clone)]
 pub struct TopicModel {
     topics: Vec<Topic>,
-    shared_vocabulary: Vec<String>,
+    shared_vocabulary: Vec<Arc<str>>,
     topic_sampler: Zipf,
     tag_sampler: Zipf,
     shared_sampler: Zipf,
@@ -214,12 +219,12 @@ impl TopicModel {
             .map(|i| {
                 let theme = SHARED_THEMES[i % SHARED_THEMES.len()];
                 if i < SHARED_THEMES.len() {
-                    theme.to_owned()
+                    Arc::from(theme)
                 } else {
-                    format!("{theme}{}", i / SHARED_THEMES.len())
+                    Arc::from(format!("{theme}{}", i / SHARED_THEMES.len()))
                 }
             })
-            .collect::<Vec<_>>();
+            .collect::<Vec<Arc<str>>>();
 
         TopicModel {
             topic_sampler: Zipf::new(cfg.topics, 0.8),
@@ -281,11 +286,11 @@ impl TopicModel {
         }
     }
 
-    fn vocabulary_for(name: &str, size: usize) -> Vec<String> {
-        let mut vocab = Vec::with_capacity(size);
-        vocab.push(name.to_owned());
+    fn vocabulary_for(name: &str, size: usize) -> Vec<Arc<str>> {
+        let mut vocab: Vec<Arc<str>> = Vec::with_capacity(size);
+        vocab.push(Arc::from(name));
         for i in 1..size {
-            vocab.push(format!("{name}-{i}"));
+            vocab.push(Arc::from(format!("{name}-{i}")));
         }
         vocab
     }
@@ -327,26 +332,26 @@ impl TopicModel {
         rng: &mut R,
         id: TopicId,
         k: usize,
-    ) -> Vec<String> {
+    ) -> Vec<Arc<str>> {
         self.topic(id).draw_tags(rng, &self.tag_sampler, k)
     }
 
     /// Draws `k` distinct shared (topic-agnostic) tags.
-    pub fn draw_shared_tags<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<String> {
-        let mut out: Vec<String> = Vec::with_capacity(k);
+    pub fn draw_shared_tags<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<Arc<str>> {
+        let mut out: Vec<Arc<str>> = Vec::with_capacity(k);
         let mut guard = 0;
         while out.len() < k.min(self.shared_vocabulary.len()) && guard < 50 * k + 50 {
             guard += 1;
             let tag = &self.shared_vocabulary[self.shared_sampler.sample(rng)];
             if !out.iter().any(|t| t == tag) {
-                out.push(tag.clone());
+                out.push(Arc::clone(tag));
             }
         }
         out
     }
 
     /// The shared vocabulary, most-likely first.
-    pub fn shared_vocabulary(&self) -> &[String] {
+    pub fn shared_vocabulary(&self) -> &[Arc<str>] {
         &self.shared_vocabulary
     }
 }
@@ -423,7 +428,7 @@ mod tests {
     fn vocabularies_start_with_the_topic_name() {
         let m = model();
         for topic in m.topics() {
-            assert_eq!(topic.vocabulary[0], topic.name);
+            assert_eq!(topic.vocabulary[0].as_ref(), topic.name);
             assert_eq!(topic.vocabulary.len(), WorldConfig::tiny().tags_per_topic);
         }
     }

@@ -6,6 +6,8 @@
 //! metadata is what lets this reproduction measure reconstruction
 //! error (experiment E5) instead of merely eyeballing maps.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use tagdist_geo::{CountryId, CountryVec, GeoDist, TrafficModel, World};
 
@@ -35,8 +37,9 @@ pub struct GroundTruthVideo {
     /// floating-point rounding).
     pub views_by_country: CountryVec,
     /// Uploader-provided tags (pre-defect; the platform may hide them
-    /// from crawlers to model incomplete metadata).
-    pub tags: Vec<String>,
+    /// from crawlers to model incomplete metadata). Shared pointers
+    /// into the topic vocabularies — interned at generation time.
+    pub tags: Vec<Arc<str>>,
 }
 
 impl GroundTruthVideo {
@@ -143,7 +146,7 @@ pub fn generate_video<R: Rng + ?Sized>(
         }
     }
     if rng.gen::<f64>() < cfg.unique_tag_probability {
-        tags.push(format!("u-{}", key_for(index)));
+        tags.push(Arc::from(format!("u-{}", key_for(index))));
     }
 
     let title = format!(
@@ -247,7 +250,7 @@ mod tests {
         for i in 0..n {
             let v = generate_video(i, &cfg, &model, world(), &traffic, &views, &mut rng);
             let name = &model.topic(v.primary_topic()).name;
-            if v.tags.iter().any(|t| t == name) {
+            if v.tags.iter().any(|t| t.as_ref() == name.as_str()) {
                 hits += 1;
             }
         }
