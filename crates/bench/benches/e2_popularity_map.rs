@@ -25,7 +25,7 @@ fn print_figure_once() {
         "\n=== E2 / Fig. 1: most-viewed video ({} views) ===",
         video.total_views
     );
-    print!("{}", render_popularity_map(&video.popularity, 10));
+    print!("{}", render_popularity_map(video.popularity, 10));
     println!(
         "saturated countries: {} (paper: USA & Singapore tied at 61)\n",
         video.popularity.saturated().len()
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
     let video = study.fig1_most_viewed();
     let truth = study
         .platform()
-        .ground_truth(&video.key)
+        .ground_truth(video.key)
         .expect("fig1 video exists");
     let traffic = TrafficModel::reference(tagdist::geo::world());
 
@@ -50,10 +50,11 @@ fn bench(c: &mut Criterion) {
     group.bench_function("mapchart_quantize", |b| {
         b.iter(|| black_box(PopularityVector::quantize(&intensity)).is_ok())
     });
+    let pop = video.popularity.to_vector();
     group.bench_function("eq1_inversion_single_video", |b| {
         b.iter(|| {
             black_box(reconstruct_views(
-                &video.popularity,
+                &pop,
                 video.total_views,
                 traffic.distribution(),
             ))
@@ -61,7 +62,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.bench_function("render_map", |b| {
-        b.iter(|| black_box(render_popularity_map(&video.popularity, 15)).len())
+        b.iter(|| black_box(render_popularity_map(video.popularity, 15)).len())
     });
     group.finish();
 }

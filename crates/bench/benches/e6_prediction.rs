@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for v in &sample {
-                acc += black_box(predictor.predict(&v.tags, None)).top_share();
+                acc += black_box(predictor.predict(v.tags, None)).top_share();
             }
             acc
         })
@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for v in &sample {
-                acc += black_box(smoothed.predict(&v.tags, None)).top_share();
+                acc += black_box(smoothed.predict(v.tags, None)).top_share();
             }
             acc
         })

@@ -41,7 +41,7 @@ fn setup() -> Setup {
         .clean()
         .iter()
         .enumerate()
-        .map(|(pos, v)| predictor.predict(&v.tags, s.reconstruction().views(pos)))
+        .map(|(pos, v)| predictor.predict(v.tags, s.reconstruction().views(pos)))
         .collect();
     Setup {
         truth,

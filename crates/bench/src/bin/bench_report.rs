@@ -17,15 +17,23 @@
 //! `cargo xtask bench-gate` regresses against `bench-baseline.json`.
 //!
 //! Since PR 7 the report also carries a `dataset_io` experiment: the
-//! crawled corpus — and, in a full run, a synthesized 1M-video corpus —
-//! is encoded to both on-disk formats (TSV and the `bin v1` binary
-//! columnar format) and cold-loaded from memory, measuring wall clock,
+//! crawled corpus — and, in a full run, synthesized 1M- and 10M-video
+//! corpora — is encoded to both on-disk formats (TSV and the `bin v1`
+//! binary columnar format) and cold-loaded, measuring wall clock,
 //! bytes per video, load allocations and peak live heap through the
-//! counting allocator. The binary decode must stay O(sections): the
-//! run aborts if it allocates more than a fixed constant, however
-//! large the corpus.
+//! counting allocator. Binary decode is measured twice: an owned
+//! decode from memory and a zero-copy `Mmap` + `decode_borrowed` load
+//! from disk. Both must stay O(sections): the run aborts if either
+//! allocates more than a fixed constant, however large the corpus.
 //!
-//! Writes `BENCH_PR7.json` at the repository root by default. Flags:
+//! Since PR 8 a `pipeline_columnar` experiment runs the whole
+//! bin-to-report pipeline both ways — the record path
+//! (decode → `to_dataset` → `filter`) against the columnar-native path
+//! (`decode_borrowed` → `filter_columnar`) through reconstruction and
+//! aggregation — asserting the outputs identical and reporting the
+//! wall-clock and allocation gap.
+//!
+//! Writes `BENCH_PR8.json` at the repository root by default. Flags:
 //! `--smoke` shrinks the corpus to the tiny test world, runs each
 //! stage once and defaults the output to `bench-smoke.json` (the CI
 //! wiring); a positional argument overrides the output path.
@@ -50,8 +58,8 @@ use std::time::Instant;
 
 use tagdist::crawler::{crawl_parallel, crawl_parallel_obs, CrawlConfig};
 use tagdist::dataset::{
-    binfmt, filter, tsv, write_binary, CleanDataset, ColumnarDataset, Dataset, DatasetBuilder,
-    RawPopularity, TagId,
+    binfmt, filter, filter_columnar, tsv, write_binary, CleanDataset, ColumnarDataset,
+    ColumnarRead, Dataset, DatasetBuilder, Mmap, RawPopularity, TagId,
 };
 use tagdist::geo::{CountryVec, GeoDist};
 use tagdist::obs::{MetricsReport, Recorder};
@@ -185,7 +193,8 @@ fn measured_load<R>(runs: usize, mut f: impl FnMut() -> R) -> (LoadCost, R) {
     (cost, result)
 }
 
-/// One corpus measured through both on-disk formats.
+/// One corpus measured through both on-disk formats, plus the
+/// zero-copy mapped load of the binary one.
 struct IoSample {
     corpus: &'static str,
     videos: usize,
@@ -193,6 +202,7 @@ struct IoSample {
     bin_bytes: usize,
     tsv: LoadCost,
     bin: LoadCost,
+    bin_mmap: LoadCost,
 }
 
 impl IoSample {
@@ -203,8 +213,9 @@ impl IoSample {
 
 /// Encodes `dataset` to TSV and binary in memory, then cold-loads each
 /// encoding: TSV through the row parser into a [`Dataset`], binary
-/// through the columnar decoder into a [`ColumnarDataset`] (the format
-/// the loader hands out without per-video work).
+/// twice — an owned decode from memory into a [`ColumnarDataset`], and
+/// the zero-copy path (the file mapped with [`Mmap`], validated and
+/// borrowed in place by `decode_borrowed`, never copied to the heap).
 fn dataset_io(corpus: &'static str, dataset: &Dataset, runs: usize) -> IoSample {
     let mut tsv_bytes = Vec::new();
     tsv::write(dataset, &mut tsv_bytes).expect("TSV encode");
@@ -215,18 +226,32 @@ fn dataset_io(corpus: &'static str, dataset: &Dataset, runs: usize) -> IoSample 
         measured_load(runs, || tsv::read(&tsv_bytes[..]).expect("TSV decodes"));
     let (bin_cost, columnar) =
         measured_load(runs, || binfmt::decode(&bin_bytes).expect("binary decodes"));
+    let path =
+        std::env::temp_dir().join(format!("tagdist-bench-{}-{corpus}.bin", std::process::id()));
+    std::fs::write(&path, &bin_bytes).expect("write bin corpus");
+    let (mmap_cost, map) = measured_load(runs, || {
+        let map = Mmap::open(&path).expect("map bin corpus");
+        let view = binfmt::decode_borrowed(&map).expect("binary decodes");
+        assert_eq!(view.len(), dataset.len());
+        map
+    });
+    drop(map);
+    std::fs::remove_file(&path).expect("remove bin corpus");
     assert_eq!(parsed.len(), dataset.len());
     assert_eq!(columnar.len(), dataset.len());
-    assert!(
-        bin_cost.allocations <= MAX_BINARY_LOAD_ALLOCATIONS,
-        "binary load of {} videos took {} allocations — the decoder \
-         must stay O(sections)",
-        dataset.len(),
-        bin_cost.allocations
-    );
+    for (what, cost) in [("load", &bin_cost), ("mmap load", &mmap_cost)] {
+        assert!(
+            cost.allocations <= MAX_BINARY_LOAD_ALLOCATIONS,
+            "binary {what} of {} videos took {} allocations — the decoder \
+             must stay O(sections)",
+            dataset.len(),
+            cost.allocations
+        );
+    }
     eprintln!(
         "dataset_io {corpus}: {} videos — TSV {} B, {:.3}s, {} allocs; \
-         bin {} B, {:.3}s, {} allocs ({:.1}x faster)",
+         bin {} B, {:.3}s, {} allocs ({:.1}x faster); \
+         mmap {:.3}s, {} allocs, {} heap B resident",
         dataset.len(),
         tsv_bytes.len(),
         tsv_cost.seconds,
@@ -234,7 +259,10 @@ fn dataset_io(corpus: &'static str, dataset: &Dataset, runs: usize) -> IoSample 
         bin_bytes.len(),
         bin_cost.seconds,
         bin_cost.allocations,
-        tsv_cost.seconds / bin_cost.seconds.max(f64::EPSILON)
+        tsv_cost.seconds / bin_cost.seconds.max(f64::EPSILON),
+        mmap_cost.seconds,
+        mmap_cost.allocations,
+        mmap_cost.resident_bytes
     );
     IoSample {
         corpus,
@@ -243,7 +271,98 @@ fn dataset_io(corpus: &'static str, dataset: &Dataset, runs: usize) -> IoSample 
         bin_bytes: bin_bytes.len(),
         tsv: tsv_cost,
         bin: bin_cost,
+        bin_mmap: mmap_cost,
     }
+}
+
+/// One variant of the end-to-end bin-to-report pipeline.
+struct PipelineCost {
+    seconds: f64,
+    allocations: u64,
+    peak_bytes: u64,
+    filter_allocations: u64,
+}
+
+/// The `pipeline_columnar` experiment: the same `bin v1` image driven
+/// through reconstruction and aggregation along both read paths.
+///
+/// * **record** — owned decode, `to_dataset` back into per-video
+///   records, then the record `filter` (what every consumer did before
+///   the columnar-native path existed);
+/// * **columnar** — borrowed decode straight into `filter_columnar`,
+///   no record materialization anywhere.
+///
+/// Returns both costs after asserting the two `CleanDataset`s, the
+/// reconstructions and the tag tables are equal.
+fn pipeline_columnar(
+    corpus: &'static str,
+    bin: &[u8],
+    traffic: &GeoDist,
+    runs: usize,
+) -> (PipelineCost, PipelineCost) {
+    let mut filter_record_allocs = 0;
+    let mut run_record = || {
+        let columnar = binfmt::decode(bin).expect("binary decodes");
+        // The record path cannot filter without records: its filter
+        // stage is materialize-then-filter, and is counted as such.
+        let before = allocation_count();
+        let dataset = columnar.to_dataset();
+        let clean = filter(&dataset);
+        filter_record_allocs = allocation_count() - before;
+        let recon = Reconstruction::compute(&clean, traffic).expect("corpus carries views");
+        let table = TagViewTable::aggregate(&clean, &recon);
+        (clean, recon, table)
+    };
+    let mut filter_columnar_allocs = 0;
+    let mut run_columnar = || {
+        let view = binfmt::decode_borrowed(bin).expect("binary decodes");
+        let before = allocation_count();
+        let clean = filter_columnar(&view);
+        filter_columnar_allocs = allocation_count() - before;
+        let recon = Reconstruction::compute(&clean, traffic).expect("corpus carries views");
+        let table = TagViewTable::aggregate(&clean, &recon);
+        (clean, recon, table)
+    };
+    let (record_cost, record_out) = measured_load(runs, &mut run_record);
+    let record = PipelineCost {
+        seconds: record_cost.seconds,
+        allocations: record_cost.allocations,
+        peak_bytes: record_cost.peak_bytes,
+        filter_allocations: filter_record_allocs,
+    };
+    let (columnar_cost, columnar_out) = measured_load(runs, &mut run_columnar);
+    let columnar = PipelineCost {
+        seconds: columnar_cost.seconds,
+        allocations: columnar_cost.allocations,
+        peak_bytes: columnar_cost.peak_bytes,
+        filter_allocations: filter_columnar_allocs,
+    };
+    assert_eq!(
+        record_out.0, columnar_out.0,
+        "record and columnar filters disagree"
+    );
+    assert_eq!(
+        record_out.1, columnar_out.1,
+        "record and columnar reconstructions disagree"
+    );
+    assert_eq!(
+        record_out.2, columnar_out.2,
+        "record and columnar tag tables disagree"
+    );
+    eprintln!(
+        "pipeline_columnar {corpus}: record {:.3}s / {} allocs (filter {}); \
+         columnar {:.3}s / {} allocs (filter {}) — {:.2}x wall clock, \
+         {:.1}x filter allocations",
+        record.seconds,
+        record.allocations,
+        record.filter_allocations,
+        columnar.seconds,
+        columnar.allocations,
+        columnar.filter_allocations,
+        record.seconds / columnar.seconds.max(f64::EPSILON),
+        record.filter_allocations as f64 / columnar.filter_allocations.max(1) as f64
+    );
+    (record, columnar)
 }
 
 /// A paper-scale corpus synthesized directly through the
@@ -326,7 +445,7 @@ fn legacy_aggregate(
     let mut rows: Vec<Option<CountryVec>> = vec![None; clean.tags().len()];
     let mut counts = vec![0usize; clean.tags().len()];
     for (pos, video) in clean.iter().enumerate() {
-        for &tag in &video.tags {
+        for &tag in video.tags {
             let row = rows[tag.index()].get_or_insert_with(|| CountryVec::zeros(country_count));
             row.accumulate(&views[pos]).expect("same world");
             counts[tag.index()] += 1;
@@ -371,6 +490,32 @@ fn instrumented_pass(
         let decoded = binfmt::decode(&bin).expect("binary decode");
         obs.add("alloc.dataset_bin_decode", allocation_count() - before);
         assert_eq!(decoded.len(), raw.len());
+        // The two filter paths, gated against each other: the record
+        // path pays record materialization, the columnar path filters
+        // the borrowed sections in place. Outputs must agree exactly.
+        let before = allocation_count();
+        let clean_record = filter(&decoded.to_dataset());
+        obs.add("alloc.filter_record", allocation_count() - before);
+        let view = binfmt::decode_borrowed(&bin).expect("binary decode");
+        let before = allocation_count();
+        let clean_columnar = filter_columnar(&view);
+        obs.add("alloc.filter_columnar", allocation_count() - before);
+        assert_eq!(clean_record, clean_columnar);
+        assert_eq!(&clean_record, clean);
+        // The zero-copy load, gated end to end: a mapped file decodes
+        // borrowed with O(sections) heap traffic, and the mapped size
+        // is an exact function of the seeded corpus.
+        let path =
+            std::env::temp_dir().join(format!("tagdist-bench-{}-obs.bin", std::process::id()));
+        std::fs::write(&path, &bin).expect("write bin corpus");
+        let before = allocation_count();
+        let map = Mmap::open(&path).expect("map bin corpus");
+        let mapped = binfmt::decode_borrowed(&map).expect("binary decode");
+        obs.add("alloc.dataset_mmap_load", allocation_count() - before);
+        obs.add("dataset.mmap_bytes", map.len() as u64);
+        obs.add("dataset.mmap_videos", mapped.len() as u64);
+        drop(map);
+        std::fs::remove_file(&path).expect("remove bin corpus");
         let mut fault = FaultProfile::flaky();
         fault.with_seed(0xBE7C_AA17);
         let flaky = FlakyPlatform::new(platform, fault);
@@ -444,7 +589,7 @@ fn main() {
         if smoke {
             "bench-smoke.json".to_owned()
         } else {
-            "BENCH_PR7.json".to_owned()
+            "BENCH_PR8.json".to_owned()
         }
     });
     let runs = if smoke { 1 } else { 3 };
@@ -564,12 +709,31 @@ fn main() {
     eprintln!("columnar outputs match the boxed layouts bit for bit");
 
     // The on-disk formats, measured end to end on the crawled corpus
-    // and — in a full run — on a synthesized paper-scale corpus.
+    // and — in a full run — on synthesized paper-scale corpora, with
+    // the bin-to-report pipeline raced record vs columnar on the
+    // largest corpus that still fits a multi-run sweep.
     let mut io_samples = vec![dataset_io("crawl", &outcome.dataset, runs)];
-    if !smoke {
+    let (pipeline_corpus, pipeline_videos, pipeline_record, pipeline_columnar_cost);
+    if smoke {
+        let mut bin = Vec::new();
+        write_binary(&outcome.dataset, &mut bin).expect("binary encode");
+        let (r, c) = pipeline_columnar("crawl", &bin, traffic, runs);
+        (pipeline_corpus, pipeline_videos) = ("crawl", outcome.dataset.len());
+        (pipeline_record, pipeline_columnar_cost) = (r, c);
+    } else {
         eprintln!("synthesizing 1M-video corpus (one-time setup)...");
         let synth = synthetic_corpus(1_000_000, clean.country_count());
         io_samples.push(dataset_io("synthetic_1m", &synth, 2));
+        let mut bin = Vec::new();
+        write_binary(&synth, &mut bin).expect("binary encode");
+        drop(synth);
+        let (r, c) = pipeline_columnar("synthetic_1m", &bin, traffic, 2);
+        (pipeline_corpus, pipeline_videos) = ("synthetic_1m", 1_000_000);
+        (pipeline_record, pipeline_columnar_cost) = (r, c);
+        drop(bin);
+        eprintln!("synthesizing 10M-video corpus (one-time setup)...");
+        let synth = synthetic_corpus(10_000_000, clean.country_count());
+        io_samples.push(dataset_io("synthetic_10m", &synth, 1));
     }
 
     // The observability pass: same stages, recorded spans + counters.
@@ -618,7 +782,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(json, "  \"pr\": 8,");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"runs_per_stage\": {runs},");
     let _ = writeln!(json, "  \"host_available_threads\": {host},");
@@ -697,12 +861,49 @@ fn main() {
         );
         let _ = writeln!(
             json,
+            "      \"bin_mmap\": {{ \"cold_load_seconds\": {:.6}, \
+             \"load_allocations\": {}, \"peak_load_bytes\": {}, \
+             \"resident_bytes\": {} }},",
+            s.bin_mmap.seconds,
+            s.bin_mmap.allocations,
+            s.bin_mmap.peak_bytes,
+            s.bin_mmap.resident_bytes
+        );
+        let _ = writeln!(
+            json,
             "      \"bin_cold_load_speedup_vs_tsv\": {:.2}",
             s.speedup()
         );
         let _ = writeln!(json, "    }}{comma}");
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"pipeline_columnar\": {{");
+    let _ = writeln!(json, "    \"corpus\": \"{pipeline_corpus}\",");
+    let _ = writeln!(json, "    \"videos\": {pipeline_videos},");
+    for (key, cost, comma) in [
+        ("record", &pipeline_record, ","),
+        ("columnar", &pipeline_columnar_cost, ","),
+    ] {
+        let _ = writeln!(
+            json,
+            "    \"{key}\": {{ \"seconds\": {:.6}, \"allocations\": {}, \
+             \"peak_bytes\": {}, \"filter_allocations\": {} }}{comma}",
+            cost.seconds, cost.allocations, cost.peak_bytes, cost.filter_allocations
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"wall_clock_speedup\": {:.3},",
+        pipeline_record.seconds / pipeline_columnar_cost.seconds.max(f64::EPSILON)
+    );
+    let _ = writeln!(
+        json,
+        "    \"filter_allocation_drop\": {:.1},",
+        pipeline_record.filter_allocations as f64
+            / pipeline_columnar_cost.filter_allocations.max(1) as f64
+    );
+    let _ = writeln!(json, "    \"outputs_identical\": true");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"combined_seconds\": {{ \"threads_1\": {:.6}, \"threads_2\": {:.6}, \

@@ -15,8 +15,8 @@ use tagdist::crawler::{
     PlatformApi,
 };
 use tagdist::dataset::{
-    filter, merge, read_any, sample_stratified, tsv, write_binary, Dataset, DatasetFormat,
-    DatasetStats,
+    binfmt, decode_any, filter, filter_columnar, merge, read_any, sample_stratified, sniff, tsv,
+    write_binary, CleanDataset, ColumnarRead, Dataset, DatasetFormat, DatasetStats, Mmap,
 };
 use tagdist::geo::GeoDist;
 use tagdist::geo::{world, TrafficModel};
@@ -78,8 +78,10 @@ USAGE:
   tagdist convert FILE --to FORMAT --out FILE
       Re-encode a saved dataset. --to tsv|bin selects the text or the
       binary columnar on-disk format; the input format is sniffed from
-      the file's magic line, so either direction works. Every command
-      that reads a dataset accepts both formats.
+      the file's magic line, so either direction works. Converting a
+      binary file to bin verifies its checksums and copies the bytes
+      through without re-encoding. Every command that reads a dataset
+      accepts both formats.
   tagdist help
       Show this message.
 ";
@@ -115,6 +117,22 @@ fn load(path: &str) -> Result<Dataset, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     // The format (TSV or binary columnar) is sniffed from the magic.
     read_any(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Loads and filters a dataset along the cheapest path its format
+/// allows: a binary file is memory-mapped and filtered straight off
+/// the borrowed sections (no record materialization, payload bytes
+/// never copied to the heap); a TSV file parses into records first.
+/// Both paths produce the identical [`CleanDataset`].
+fn load_clean(path: &str) -> Result<CleanDataset, String> {
+    let map = Mmap::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if sniff(&map) == Some(DatasetFormat::Binary) {
+        let view =
+            binfmt::decode_borrowed(&map).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        return Ok(filter_columnar(&view));
+    }
+    let dataset = decode_any(&map).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Ok(filter(&dataset))
 }
 
 fn save(dataset: &Dataset, path: &str) -> Result<(), String> {
@@ -311,8 +329,7 @@ fn crawl_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 }
 
 fn stats<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
-    let dataset = load(args.positional(0, "dataset file")?)?;
-    let clean = filter(&dataset);
+    let clean = load_clean(args.positional(0, "dataset file")?)?;
     writeln!(out, "{}", clean.report()).map_err(|e| e.to_string())?;
     writeln!(out, "{}", DatasetStats::compute(&clean)).map_err(|e| e.to_string())?;
     Ok(())
@@ -321,8 +338,7 @@ fn stats<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 fn tag<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let path = args.positional(0, "dataset file")?;
     let name = args.positional(1, "tag name")?;
-    let dataset = load(path)?;
-    let clean = filter(&dataset);
+    let clean = load_clean(path)?;
     // Without the generating platform, the CLI is in the paper's exact
     // situation: it must use the Alexa-substitute reference prior.
     let traffic = TrafficModel::reference(world());
@@ -346,8 +362,7 @@ fn country<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let country = world()
         .by_code(code)
         .ok_or_else(|| format!("unknown country code {code:?}"))?;
-    let dataset = load(path)?;
-    let clean = filter(&dataset);
+    let clean = load_clean(path)?;
     let traffic = TrafficModel::reference(world());
     let recon = Reconstruction::compute(&clean, traffic.distribution())
         .map_err(|e| format!("reconstruction failed: {e}"))?;
@@ -417,8 +432,7 @@ fn cache_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(2.0);
-    let dataset = load(path)?;
-    let clean = filter(&dataset);
+    let clean = load_clean(path)?;
     if clean.is_empty() {
         return Err("no usable videos after filtering".into());
     }
@@ -442,7 +456,7 @@ fn cache_sweep<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let predicted: Vec<GeoDist> = clean
         .iter()
         .enumerate()
-        .map(|(pos, v)| predictor.predict(&v.tags, recon.views(pos)))
+        .map(|(pos, v)| predictor.predict(v.tags, recon.views(pos)))
         .collect();
 
     let countries = world().len();
@@ -551,7 +565,24 @@ fn convert_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         "bin" => DatasetFormat::Binary,
         other => return Err(format!("unknown format {other:?}; --to takes tsv or bin")),
     };
-    let dataset = load(path)?;
+    let map = Mmap::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if format == DatasetFormat::Binary && sniff(&map) == Some(DatasetFormat::Binary) {
+        // Already binary: validate the image in place (magic, section
+        // table, checksums, section contents) and copy the bytes
+        // through — no record decode, no re-encode, and the output is
+        // byte-identical to the input.
+        let view =
+            binfmt::decode_borrowed(&map).map_err(|e| format!("cannot verify {path}: {e}"))?;
+        std::fs::write(out_path, &map[..]).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        writeln!(
+            out,
+            "verified {} records; copied binary image through to {out_path}",
+            view.len()
+        )
+        .map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    let dataset = decode_any(&map).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let mut file = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
     match format {
         DatasetFormat::Tsv => tsv::write(&dataset, &mut file),
@@ -814,6 +845,73 @@ mod tests {
         let err = run(&["convert", &crawl_path, "--to", "xml", "--out", &back_path]).unwrap_err();
         assert!(err.contains("tsv or bin"), "{err}");
         for p in [&crawl_path, &bin_path, &back_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn convert_bin_to_bin_verifies_and_copies_through() {
+        let crawl_path = temp("pass.tsv");
+        let bin_path = temp("pass.bin");
+        let copy_path = temp("pass-copy.bin");
+        run(&[
+            "generate",
+            "--videos",
+            "1000",
+            "--seed",
+            "17",
+            "--out",
+            &crawl_path,
+        ])
+        .unwrap();
+        run(&["convert", &crawl_path, "--to", "bin", "--out", &bin_path]).unwrap();
+        let text = run(&["convert", &bin_path, "--to", "bin", "--out", &copy_path]).unwrap();
+        assert!(text.contains("copied binary image through"), "{text}");
+        assert_eq!(
+            std::fs::read(&bin_path).unwrap(),
+            std::fs::read(&copy_path).unwrap(),
+            "bin -> bin must be a byte-identical passthrough"
+        );
+        // The passthrough still validates: a corrupted payload byte
+        // breaks a section checksum and the copy is refused.
+        let mut bytes = std::fs::read(&bin_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&bin_path, &bytes).unwrap();
+        let err = run(&["convert", &bin_path, "--to", "bin", "--out", &copy_path]).unwrap_err();
+        assert!(err.contains("cannot verify"), "{err}");
+        for p in [&crawl_path, &bin_path, &copy_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn stats_agree_between_tsv_and_mmapped_binary() {
+        // `stats` on a binary file runs the mmap + borrowed-decode +
+        // columnar-filter path; on TSV it runs the record path. Both
+        // must print the same report.
+        let crawl_path = temp("mmap.tsv");
+        let bin_path = temp("mmap.bin");
+        run(&[
+            "generate",
+            "--videos",
+            "1000",
+            "--seed",
+            "19",
+            "--out",
+            &crawl_path,
+        ])
+        .unwrap();
+        run(&["convert", &crawl_path, "--to", "bin", "--out", &bin_path]).unwrap();
+        assert_eq!(
+            run(&["stats", &crawl_path]).unwrap(),
+            run(&["stats", &bin_path]).unwrap()
+        );
+        assert_eq!(
+            run(&["tag", &crawl_path, "pop"]).unwrap(),
+            run(&["tag", &bin_path, "pop"]).unwrap()
+        );
+        for p in [&crawl_path, &bin_path] {
             std::fs::remove_file(p).ok();
         }
     }

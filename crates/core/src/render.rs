@@ -6,7 +6,7 @@
 //! tables — country code, value, and a proportional bar — which carry
 //! the figures' information content (who is dark, who is light).
 
-use tagdist_geo::{world, GeoDist, PopularityVector, MAX_INTENSITY};
+use tagdist_geo::{world, GeoDist, PopularityView, MAX_INTENSITY};
 
 /// Width of the bar column in characters.
 const BAR_WIDTH: usize = 40;
@@ -23,6 +23,11 @@ fn bar(fraction: f64) -> String {
 /// Renders a popularity vector (Fig. 1 style): the `top` hottest
 /// countries with their 0–61 intensities.
 ///
+/// Takes the borrowed [`PopularityView`] so the columnar pipeline
+/// renders straight from pooled intensity bytes; an owned
+/// [`PopularityVector`](tagdist_geo::PopularityVector) renders via
+/// [`view()`](tagdist_geo::PopularityVector::view).
+///
 /// # Example
 ///
 /// ```
@@ -32,11 +37,11 @@ fn bar(fraction: f64) -> String {
 /// let mut raw = vec![0u8; tagdist_geo::world().len()];
 /// raw[0] = 61; // US
 /// let pop = PopularityVector::from_raw(raw).unwrap();
-/// let text = render_popularity_map(&pop, 5);
+/// let text = render_popularity_map(pop.view(), 5);
 /// assert!(text.contains("US"));
 /// assert!(text.contains("61"));
 /// ```
-pub fn render_popularity_map(pop: &PopularityVector, top: usize) -> String {
+pub fn render_popularity_map(pop: PopularityView<'_>, top: usize) -> String {
     let registry = world();
     let mut out = String::new();
     for (id, value) in pop.as_country_vec().top_k(top) {
@@ -112,7 +117,7 @@ pub fn render_views(views: &[f64], top: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tagdist_geo::{CountryId, CountryVec};
+    use tagdist_geo::{CountryId, CountryVec, PopularityVector};
 
     #[test]
     fn popularity_map_lists_hot_countries_in_order() {
@@ -122,7 +127,7 @@ mod tests {
         raw[us.index()] = 61;
         raw[sg.index()] = 30;
         let pop = PopularityVector::from_raw(raw).unwrap();
-        let text = render_popularity_map(&pop, 10);
+        let text = render_popularity_map(pop.view(), 10);
         let us_pos = text.find("US").unwrap();
         let sg_pos = text.find("SG").unwrap();
         assert!(us_pos < sg_pos, "US should render first:\n{text}");
@@ -161,7 +166,7 @@ mod tests {
     #[test]
     fn empty_inputs_render_empty() {
         let dark = PopularityVector::from_raw(vec![0; world().len()]).unwrap();
-        assert!(render_popularity_map(&dark, 10).is_empty());
+        assert!(render_popularity_map(dark.view(), 10).is_empty());
         let zero = CountryVec::zeros(world().len());
         assert!(render_views(zero.as_slice(), 10).is_empty());
     }

@@ -115,7 +115,7 @@ fn write_report(
     writeln!(
         w,
         "```\n{}```\n",
-        crate::render::render_popularity_map(&video.popularity, options.map_depth)
+        crate::render::render_popularity_map(video.popularity, options.map_depth)
     )?;
     drop(e2);
 
@@ -200,12 +200,13 @@ fn write_report(
         let countries = study.world().len();
         let predicted = {
             let pool = tagdist_par::Pool::from_env().with_obs(span.recorder());
-            let blocks = pool.par_chunks(study.clean().as_slice(), |start, chunk| {
+            let clean = study.clean();
+            let blocks = pool.par_chunks(clean.views_column(), |start, chunk| {
                 let mut block = vec![0.0; chunk.len() * countries];
-                for (offset, v) in chunk.iter().enumerate() {
+                for offset in 0..chunk.len() {
                     let own = study.reconstruction().views(start + offset);
                     let row = &mut block[offset * countries..(offset + 1) * countries];
-                    predictor.predict_probs_into(&v.tags, own, row);
+                    predictor.predict_probs_into(clean.tags_of(start + offset), own, row);
                 }
                 block
             });

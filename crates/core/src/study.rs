@@ -276,7 +276,7 @@ impl Study {
         clippy::expect_used,
         reason = "documented # Panics contract on empty datasets"
     )]
-    pub fn fig1_most_viewed(&self) -> &CleanVideo {
+    pub fn fig1_most_viewed(&self) -> CleanVideo<'_> {
         self.clean
             .most_viewed()
             .expect("study datasets are non-empty")
@@ -298,7 +298,7 @@ impl Study {
             .iter()
             .map(|v| {
                 self.platform
-                    .ground_truth(&v.key)
+                    .ground_truth(v.key)
                     .expect("crawled videos exist on the platform")
                     .view_distribution()
             })
@@ -326,7 +326,7 @@ impl Study {
             .iter()
             .map(|v| {
                 self.platform
-                    .ground_truth(&v.key)
+                    .ground_truth(v.key)
                     .expect("crawled videos exist on the platform")
                     .view_distribution()
             })
@@ -372,7 +372,7 @@ impl Study {
             .iter()
             .map(|v| {
                 self.platform
-                    .ground_truth(&v.key)
+                    .ground_truth(v.key)
                     .expect("crawled videos exist on the platform")
                     .view_distribution()
             })
@@ -380,15 +380,13 @@ impl Study {
         // Chunked over the pool with a per-chunk scratch buffer; order
         // and values match the serial map at any thread count.
         let estimate: Vec<GeoDist> = tagdist_par::Pool::from_env()
-            .par_chunks(self.clean.as_slice(), |start, chunk| {
+            .par_chunks(self.clean.views_column(), |start, chunk| {
                 let mut mix = vec![0.0; self.tag_table.country_count()];
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(offset, v)| {
+                (0..chunk.len())
+                    .map(|offset| {
                         let own = self.reconstruction.views(start + offset);
                         predictor
-                            .predict_into(&v.tags, own, &mut mix)
+                            .predict_into(self.clean.tags_of(start + offset), own, &mut mix)
                             .unwrap_or_else(|_| self.traffic.distribution().clone())
                     })
                     .collect::<Vec<GeoDist>>()
@@ -417,7 +415,7 @@ impl Study {
         for (pos, v) in self.clean.iter().enumerate() {
             let truth = self
                 .platform
-                .ground_truth(&v.key)
+                .ground_truth(v.key)
                 .expect("crawled videos exist on the platform");
             truth_views
                 .row_mut(pos)
@@ -439,7 +437,7 @@ impl Study {
             .iter()
             .map(|v| {
                 self.platform
-                    .ground_truth(&v.key)
+                    .ground_truth(v.key)
                     .expect("crawled videos exist on the platform")
                     .view_distribution()
             })

@@ -10,7 +10,9 @@
 
 use tagdist_cache::Placement;
 use tagdist_dataset::{CleanDataset, VideoRecord};
-use tagdist_geo::{approx_eq, CountryId, CountryVec, GeoDist, PopularityVector, MAX_INTENSITY};
+use tagdist_geo::{
+    approx_eq, CountryId, CountryVec, GeoDist, PopularityVector, PopularityView, MAX_INTENSITY,
+};
 
 /// Tolerance for mass-conservation checks: reconstruction sums
 /// hundreds of thousands of rounded doubles.
@@ -138,6 +140,27 @@ impl Validate for PopularityVector {
         {
             return Err(InvariantViolation::new(
                 "PopularityVector",
+                "intensities lie in [0, 61]",
+                format!("entry {i} is {v}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Validate for PopularityView<'_> {
+    /// As for [`PopularityVector`]: intensities never exceed
+    /// [`MAX_INTENSITY`] — checked on the borrowed bytes, so columnar
+    /// pipelines validate without materializing vectors.
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        if let Some((i, &v)) = self
+            .as_slice()
+            .iter()
+            .enumerate()
+            .find(|&(_, &v)| v > MAX_INTENSITY)
+        {
+            return Err(InvariantViolation::new(
+                "PopularityView",
                 "intensities lie in [0, 61]",
                 format!("entry {i} is {v}"),
             ));

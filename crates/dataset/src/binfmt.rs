@@ -37,17 +37,23 @@
 //! dataset always produces byte-identical files — because every column
 //! is emitted in dense id order and the section table is fixed.
 //!
-//! Decoding reads the whole input once, verifies each section's
-//! checksum, then converts each section into exactly one typed column
-//! (`chunks_exact` + `from_le_bytes`; no `unsafe`). Allocation count
-//! is O(sections), never O(videos). All cross-section invariants
-//! (monotone offsets, UTF-8 boundaries, tag-id bounds, popularity
-//! shapes) are validated up front so [`ColumnarDataset`] accessors can
-//! slice without further checks.
+//! Decoding has one validation path with two exits.
+//! [`decode_borrowed`] walks the image once, verifies every section
+//! checksum and every cross-section invariant (monotone offsets,
+//! UTF-8 boundaries, tag-id bounds, popularity shapes), and returns a
+//! [`ColumnarView`] whose sections *borrow* the input — zero copies,
+//! which over an [`Mmap`](crate::mmap::Mmap) makes loading a
+//! page-cache-speed operation. [`decode`] is `decode_borrowed` +
+//! [`ColumnarView::to_owned`]: one allocation per section
+//! (`chunks_exact` + `from_le_bytes`; no `unsafe`), so the owned
+//! allocation count is O(sections), never O(videos). Because sections
+//! are concatenated without padding, numeric sections are unaligned in
+//! the file; the borrowed view keeps them as `&[u8]` and decodes each
+//! access with `from_le_bytes` instead of transmuting.
 
 use std::io::{Read, Write};
 
-use crate::columnar::{ColumnarDataset, POP_CORRUPT, POP_MISSING, POP_VALID};
+use crate::columnar::{ColumnarDataset, ColumnarRead, POP_CORRUPT, POP_MISSING, POP_VALID};
 use crate::error::DatasetError;
 
 /// First bytes of every binary dataset file.
@@ -90,32 +96,6 @@ fn u64s_to_bytes(values: &[u64]) -> Vec<u8> {
         out.extend_from_slice(&v.to_le_bytes());
     }
     out
-}
-
-fn bytes_to_u32s(bytes: &[u8], what: &str) -> Result<Vec<u32>, DatasetError> {
-    if bytes.len() % 4 != 0 {
-        return Err(format_err(format!(
-            "section {what}: length {} is not a multiple of 4",
-            bytes.len()
-        )));
-    }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
-}
-
-fn bytes_to_u64s(bytes: &[u8], what: &str) -> Result<Vec<u64>, DatasetError> {
-    if bytes.len() % 8 != 0 {
-        return Err(format_err(format!(
-            "section {what}: length {} is not a multiple of 8",
-            bytes.len()
-        )));
-    }
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-        .collect())
 }
 
 /// Serializes a columnar dataset to the binary format.
@@ -204,16 +184,176 @@ struct Section {
     checksum: u64,
 }
 
-/// Deserializes a columnar dataset from a full in-memory image.
+/// Reads the `idx`-th little-endian `u32` of a raw section slice.
 ///
-/// # Errors
+/// Sections are concatenated without padding, so numeric sections are
+/// in general *unaligned* — borrowed columns therefore stay `&[u8]`
+/// and every access decodes through `from_le_bytes` (free on the
+/// little-endian targets this runs on; no transmute, no `unsafe`).
+#[inline]
+fn u32_at(bytes: &[u8], idx: usize) -> u32 {
+    let o = idx * 4;
+    u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]])
+}
+
+/// Reads the `idx`-th little-endian `u64` of a raw section slice.
+#[inline]
+fn u64_at(bytes: &[u8], idx: usize) -> u64 {
+    let o = idx * 8;
+    u64::from_le_bytes([
+        bytes[o],
+        bytes[o + 1],
+        bytes[o + 2],
+        bytes[o + 3],
+        bytes[o + 4],
+        bytes[o + 5],
+        bytes[o + 6],
+        bytes[o + 7],
+    ])
+}
+
+/// A fully *validated* columnar dataset whose sections are borrowed
+/// from the undecoded file image — the zero-copy counterpart of
+/// [`ColumnarDataset`].
 ///
-/// * [`DatasetError::Format`] on bad magic, a truncated header or
-///   payload, an out-of-order section table, or any column invariant
-///   violation.
-/// * [`DatasetError::Checksum`] when a section's recorded FNV-1a hash
-///   does not match its bytes.
-pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
+/// Produced by [`decode_borrowed`], typically over a memory-mapped
+/// file ([`Mmap`](crate::mmap::Mmap)): headers, checksums and every
+/// column invariant are verified up front exactly as for the owned
+/// decode, but the section bytes themselves stay where they are.
+/// String pools are held as checked `&str`; fixed-width integer
+/// sections stay raw `&[u8]` (they are unaligned in the file) and are
+/// decoded per access with `from_le_bytes`.
+///
+/// Implements [`ColumnarRead`], so
+/// [`filter_columnar`](crate::filter::filter_columnar) and friends
+/// consume a mapped file without a single per-video copy;
+/// [`to_owned`](ColumnarView::to_owned) materializes a
+/// [`ColumnarDataset`] when ownership is needed.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnarView<'a> {
+    country_count: u32,
+    video_count: usize,
+    tag_count: usize,
+    key_offsets: &'a [u8],
+    key_bytes: &'a str,
+    title_offsets: &'a [u8],
+    title_bytes: &'a str,
+    total_views: &'a [u8],
+    tag_rows: &'a [u8],
+    tag_ids: &'a [u8],
+    pop_kind: &'a [u8],
+    pop_offsets: &'a [u8],
+    pop_bytes: &'a [u8],
+    tagname_offsets: &'a [u8],
+    tagname_bytes: &'a str,
+}
+
+impl ColumnarView<'_> {
+    /// Copies every borrowed section into an owned [`ColumnarDataset`]
+    /// (one allocation per section, no re-validation — the view's
+    /// invariants carry over).
+    #[must_use]
+    pub fn to_owned(&self) -> ColumnarDataset {
+        fn le_u32s(bytes: &[u8]) -> Vec<u32> {
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        }
+        fn le_u64s(bytes: &[u8]) -> Vec<u64> {
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                .collect()
+        }
+        ColumnarDataset {
+            country_count: self.country_count,
+            key_offsets: le_u32s(self.key_offsets),
+            key_bytes: self.key_bytes.to_owned(),
+            title_offsets: le_u32s(self.title_offsets),
+            title_bytes: self.title_bytes.to_owned(),
+            total_views: le_u64s(self.total_views),
+            tag_rows: le_u32s(self.tag_rows),
+            tag_ids: le_u32s(self.tag_ids),
+            pop_kind: self.pop_kind.to_vec(),
+            pop_offsets: le_u32s(self.pop_offsets),
+            pop_bytes: self.pop_bytes.to_vec(),
+            tagname_offsets: le_u32s(self.tagname_offsets),
+            tagname_bytes: self.tagname_bytes.to_owned(),
+        }
+    }
+
+    /// Slices a string pool by the offsets stored in a raw offset
+    /// section (offsets pre-validated: monotone, in range, on char
+    /// boundaries).
+    #[inline]
+    fn pool_str<'a>(pool: &'a str, offsets: &[u8], i: usize) -> &'a str {
+        &pool[u32_at(offsets, i) as usize..u32_at(offsets, i + 1) as usize]
+    }
+}
+
+impl ColumnarRead for ColumnarView<'_> {
+    fn len(&self) -> usize {
+        self.video_count
+    }
+
+    fn country_count(&self) -> usize {
+        self.country_count as usize
+    }
+
+    fn tag_count(&self) -> usize {
+        self.tag_count
+    }
+
+    fn key(&self, i: usize) -> &str {
+        Self::pool_str(self.key_bytes, self.key_offsets, i)
+    }
+
+    fn title(&self, i: usize) -> &str {
+        Self::pool_str(self.title_bytes, self.title_offsets, i)
+    }
+
+    fn total_views(&self, i: usize) -> u64 {
+        u64_at(self.total_views, i)
+    }
+
+    fn tag_range(&self, i: usize) -> core::ops::Range<usize> {
+        u32_at(self.tag_rows, i) as usize..u32_at(self.tag_rows, i + 1) as usize
+    }
+
+    fn tag_id(&self, k: usize) -> u32 {
+        u32_at(self.tag_ids, k)
+    }
+
+    fn pop_kind(&self, i: usize) -> u8 {
+        self.pop_kind[i]
+    }
+
+    fn pop_payload(&self, i: usize) -> &[u8] {
+        &self.pop_bytes
+            [u32_at(self.pop_offsets, i) as usize..u32_at(self.pop_offsets, i + 1) as usize]
+    }
+
+    fn tag_name(&self, t: usize) -> &str {
+        Self::pool_str(self.tagname_bytes, self.tagname_offsets, t)
+    }
+}
+
+/// A file image split into its checksum-verified section slices.
+struct SplitImage<'a> {
+    country_count: u32,
+    video_count: usize,
+    tag_count: usize,
+    slices: [&'a [u8]; 12],
+}
+
+/// Splits a file image into header counts and section slices.
+///
+/// This is the shared front half of [`decode_borrowed`] and the
+/// convert fast path: magic, counts, table order, offset contiguity,
+/// truncation, per-section FNV-1a checksums and trailing-garbage are
+/// all enforced here.
+fn split_sections(buf: &[u8]) -> Result<SplitImage<'_>, DatasetError> {
     let body = buf
         .strip_prefix(MAGIC)
         .ok_or_else(|| format_err("bad magic: not a `#tagdist-dataset bin v1` file"))?;
@@ -246,9 +386,9 @@ pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
     }
 
     let payload = &body[h.pos..];
-    let mut slices = Vec::with_capacity(section_count);
+    let mut slices: [&[u8]; 12] = [&[]; 12];
     let mut expected_offset = 0u64;
-    for s in &sections {
+    for (slot, s) in slices.iter_mut().zip(&sections) {
         if s.offset != expected_offset {
             return Err(format_err(format!(
                 "section {}: offset {} does not follow the previous section (expected {})",
@@ -277,7 +417,7 @@ pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
                 actual,
             });
         }
-        slices.push(bytes);
+        *slot = bytes;
         expected_offset += s.len;
     }
     if usize::try_from(expected_offset).ok() != Some(payload.len()) {
@@ -286,53 +426,128 @@ pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
             payload.len() as u64 - expected_offset
         )));
     }
+    Ok(SplitImage {
+        country_count,
+        video_count,
+        tag_count,
+        slices,
+    })
+}
 
-    let key_offsets = bytes_to_u32s(slices[0], "key offsets")?;
-    let key_bytes = String::from_utf8(slices[1].to_vec())
-        .map_err(|_| format_err("key pool is not valid UTF-8"))?;
-    let title_offsets = bytes_to_u32s(slices[2], "title offsets")?;
-    let title_bytes = String::from_utf8(slices[3].to_vec())
-        .map_err(|_| format_err("title pool is not valid UTF-8"))?;
-    let total_views = bytes_to_u64s(slices[4], "total views")?;
-    let tag_rows = bytes_to_u32s(slices[5], "tag spine")?;
-    let tag_ids = bytes_to_u32s(slices[6], "tag ids")?;
-    let pop_kind = slices[7].to_vec();
-    let pop_offsets = bytes_to_u32s(slices[8], "pop offsets")?;
-    let pop_bytes = slices[9].to_vec();
-    let tagname_offsets = bytes_to_u32s(slices[10], "tag-name offsets")?;
-    let tagname_bytes = String::from_utf8(slices[11].to_vec())
+/// Requires an integer section's byte length to be a whole number of
+/// `width`-byte entries.
+fn check_stride(bytes: &[u8], width: usize, what: &str) -> Result<(), DatasetError> {
+    if bytes.len() % width != 0 {
+        return Err(format_err(format!(
+            "section {what}: length {} is not a multiple of {width}",
+            bytes.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Deserializes a columnar dataset *in place*: every section stays a
+/// borrow of `buf`, but all validation the owned [`decode`] performs —
+/// checksums, offset monotonicity, UTF-8, tag-id bounds, popularity
+/// shapes — runs up front, so the returned view's accessors never
+/// re-check. This is the zero-copy load path for memory-mapped files.
+///
+/// # Errors
+///
+/// * [`DatasetError::Format`] on bad magic, a truncated header or
+///   payload, an out-of-order section table, or any column invariant
+///   violation.
+/// * [`DatasetError::Checksum`] when a section's recorded FNV-1a hash
+///   does not match its bytes.
+pub fn decode_borrowed(buf: &[u8]) -> Result<ColumnarView<'_>, DatasetError> {
+    let SplitImage {
+        country_count,
+        video_count,
+        tag_count,
+        slices,
+    } = split_sections(buf)?;
+
+    check_stride(slices[0], 4, "key offsets")?;
+    let key_bytes =
+        std::str::from_utf8(slices[1]).map_err(|_| format_err("key pool is not valid UTF-8"))?;
+    check_stride(slices[2], 4, "title offsets")?;
+    let title_bytes =
+        std::str::from_utf8(slices[3]).map_err(|_| format_err("title pool is not valid UTF-8"))?;
+    check_stride(slices[4], 8, "total views")?;
+    check_stride(slices[5], 4, "tag spine")?;
+    check_stride(slices[6], 4, "tag ids")?;
+    check_stride(slices[8], 4, "pop offsets")?;
+    check_stride(slices[10], 4, "tag-name offsets")?;
+    let tagname_bytes = std::str::from_utf8(slices[11])
         .map_err(|_| format_err("tag-name pool is not valid UTF-8"))?;
 
-    check_offsets(&key_offsets, video_count, key_bytes.len(), "key offsets")?;
-    check_boundaries(&key_offsets, &key_bytes, "key offsets")?;
-    check_offsets(
-        &title_offsets,
+    let view = ColumnarView {
+        country_count,
+        video_count,
+        tag_count,
+        key_offsets: slices[0],
+        key_bytes,
+        title_offsets: slices[2],
+        title_bytes,
+        total_views: slices[4],
+        tag_rows: slices[5],
+        tag_ids: slices[6],
+        pop_kind: slices[7],
+        pop_offsets: slices[8],
+        pop_bytes: slices[9],
+        tagname_offsets: slices[10],
+        tagname_bytes,
+    };
+
+    check_offsets_raw(
+        view.key_offsets,
+        video_count,
+        key_bytes.len(),
+        "key offsets",
+    )?;
+    check_boundaries_raw(view.key_offsets, key_bytes, "key offsets")?;
+    check_offsets_raw(
+        view.title_offsets,
         video_count,
         title_bytes.len(),
         "title offsets",
     )?;
-    check_boundaries(&title_offsets, &title_bytes, "title offsets")?;
-    if total_views.len() != video_count {
+    check_boundaries_raw(view.title_offsets, title_bytes, "title offsets")?;
+    if view.total_views.len() / 8 != video_count {
         return Err(format_err(format!(
             "total views: {} entries for {video_count} video(s)",
-            total_views.len()
+            view.total_views.len() / 8
         )));
     }
-    check_offsets(&tag_rows, video_count, tag_ids.len(), "tag spine")?;
-    if let Some(&bad) = tag_ids.iter().find(|&&t| t as usize >= tag_count) {
-        return Err(format_err(format!(
-            "tag id {bad} out of range (tag count {tag_count})"
-        )));
+    check_offsets_raw(
+        view.tag_rows,
+        video_count,
+        view.tag_ids.len() / 4,
+        "tag spine",
+    )?;
+    for k in 0..view.tag_ids.len() / 4 {
+        let t = u32_at(view.tag_ids, k);
+        if t as usize >= tag_count {
+            return Err(format_err(format!(
+                "tag id {t} out of range (tag count {tag_count})"
+            )));
+        }
     }
-    if pop_kind.len() != video_count {
+    if view.pop_kind.len() != video_count {
         return Err(format_err(format!(
             "popularity kinds: {} entries for {video_count} video(s)",
-            pop_kind.len()
+            view.pop_kind.len()
         )));
     }
-    check_offsets(&pop_offsets, video_count, pop_bytes.len(), "pop offsets")?;
-    for (i, &kind) in pop_kind.iter().enumerate() {
-        let len = (pop_offsets[i + 1] - pop_offsets[i]) as usize;
+    check_offsets_raw(
+        view.pop_offsets,
+        video_count,
+        view.pop_bytes.len(),
+        "pop offsets",
+    )?;
+    for (i, &kind) in view.pop_kind.iter().enumerate() {
+        let start = u32_at(view.pop_offsets, i);
+        let len = (u32_at(view.pop_offsets, i + 1) - start) as usize;
         match kind {
             POP_MISSING if len != 0 => {
                 return Err(format_err(format!(
@@ -345,7 +560,7 @@ pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
                         "video {i}: valid popularity has {len} byte(s), expected {country_count}"
                     )));
                 }
-                let payload = &pop_bytes[pop_offsets[i] as usize..pop_offsets[i + 1] as usize];
+                let payload = &view.pop_bytes[start as usize..start as usize + len];
                 if let Some(&bad) = payload.iter().find(|&&b| b > 61) {
                     return Err(format_err(format!(
                         "video {i}: valid popularity intensity {bad} exceeds 61"
@@ -360,29 +575,44 @@ pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
             }
         }
     }
-    check_offsets(
-        &tagname_offsets,
+    check_offsets_raw(
+        view.tagname_offsets,
         tag_count,
         tagname_bytes.len(),
         "tag-name offsets",
     )?;
-    check_boundaries(&tagname_offsets, &tagname_bytes, "tag-name offsets")?;
+    check_boundaries_raw(view.tagname_offsets, tagname_bytes, "tag-name offsets")?;
 
-    Ok(ColumnarDataset {
-        country_count,
-        key_offsets,
-        key_bytes,
-        title_offsets,
-        title_bytes,
-        total_views,
-        tag_rows,
-        tag_ids,
-        pop_kind,
-        pop_offsets,
-        pop_bytes,
-        tagname_offsets,
-        tagname_bytes,
-    })
+    Ok(view)
+}
+
+/// Verifies that `buf` is a well-formed `bin v1` image — the same
+/// validation as [`decode_borrowed`], discarding the view. Used by the
+/// convert fast path to certify an input before copying it through
+/// unchanged.
+///
+/// # Errors
+///
+/// As for [`decode_borrowed`].
+pub fn verify(buf: &[u8]) -> Result<(), DatasetError> {
+    decode_borrowed(buf).map(|_| ())
+}
+
+/// Deserializes a columnar dataset from a full in-memory image.
+///
+/// Implemented as [`decode_borrowed`] + [`ColumnarView::to_owned`]:
+/// one validation path serves both modes, and the owned copy stays at
+/// O(sections) allocations.
+///
+/// # Errors
+///
+/// * [`DatasetError::Format`] on bad magic, a truncated header or
+///   payload, an out-of-order section table, or any column invariant
+///   violation.
+/// * [`DatasetError::Checksum`] when a section's recorded FNV-1a hash
+///   does not match its bytes.
+pub fn decode(buf: &[u8]) -> Result<ColumnarDataset, DatasetError> {
+    decode_borrowed(buf).map(|view| view.to_owned())
 }
 
 /// Deserializes from a reader (one `read_to_end` then [`decode`]).
@@ -396,28 +626,35 @@ pub fn read<R: Read>(mut reader: R) -> Result<ColumnarDataset, DatasetError> {
     decode(&buf)
 }
 
-/// Validates an offset column: `count + 1` entries, monotone, starting
-/// at 0 and ending at the pool length.
-fn check_offsets(
-    offsets: &[u32],
+/// Validates a raw LE `u32` offset column: `count + 1` entries,
+/// monotone, starting at 0 and ending at the pool length. Operates on
+/// the undecoded section bytes so the borrowed mode never materializes
+/// a `Vec`.
+fn check_offsets_raw(
+    offsets: &[u8],
     count: usize,
     pool_len: usize,
     what: &str,
 ) -> Result<(), DatasetError> {
-    if offsets.len() != count + 1 {
+    let entries = offsets.len() / 4;
+    if entries != count + 1 {
         return Err(format_err(format!(
-            "{what}: {} entries for {count} row(s) (need {})",
-            offsets.len(),
+            "{what}: {entries} entries for {count} row(s) (need {})",
             count + 1
         )));
     }
-    if offsets.first() != Some(&0) {
+    if u32_at(offsets, 0) != 0 {
         return Err(format_err(format!("{what}: first offset is not 0")));
     }
-    if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(format_err(format!("{what}: offsets are not monotone")));
+    let mut prev = 0u32;
+    for i in 1..entries {
+        let o = u32_at(offsets, i);
+        if o < prev {
+            return Err(format_err(format!("{what}: offsets are not monotone")));
+        }
+        prev = o;
     }
-    if offsets.last().map(|&o| o as usize) != Some(pool_len) {
+    if prev as usize != pool_len {
         return Err(format_err(format!(
             "{what}: last offset does not match the pool length {pool_len}"
         )));
@@ -427,14 +664,14 @@ fn check_offsets(
 
 /// Validates that every string-pool offset falls on a UTF-8 character
 /// boundary, so accessors can slice without panicking.
-fn check_boundaries(offsets: &[u32], pool: &str, what: &str) -> Result<(), DatasetError> {
-    if let Some(&bad) = offsets
-        .iter()
-        .find(|&&o| !pool.is_char_boundary(o as usize))
-    {
-        return Err(format_err(format!(
-            "{what}: offset {bad} splits a UTF-8 character"
-        )));
+fn check_boundaries_raw(offsets: &[u8], pool: &str, what: &str) -> Result<(), DatasetError> {
+    for i in 0..offsets.len() / 4 {
+        let o = u32_at(offsets, i);
+        if !pool.is_char_boundary(o as usize) {
+            return Err(format_err(format!(
+                "{what}: offset {o} splits a UTF-8 character"
+            )));
+        }
     }
     Ok(())
 }

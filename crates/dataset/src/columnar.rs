@@ -30,6 +30,63 @@ pub const POP_VALID: u8 = 1;
 /// Popularity sentinel: raw bytes that failed decoding.
 pub const POP_CORRUPT: u8 = 2;
 
+/// Read access to a validated columnar dataset, owned or borrowed.
+///
+/// Implemented by [`ColumnarDataset`] (typed columns in owned `Vec`s)
+/// and by [`ColumnarView`](crate::binfmt::ColumnarView) (sections
+/// borrowed straight from an on-disk image, e.g. an `mmap`). Consumers
+/// written against this trait — most importantly
+/// [`filter_columnar`](crate::filter::filter_columnar) — run unchanged
+/// over either, which is what lets the pipeline go from file bytes to
+/// a [`CleanDataset`](crate::CleanDataset) without materializing
+/// per-video records.
+///
+/// Every implementation is backed by decoder-validated columns, so the
+/// invariants in the [`ColumnarDataset`] docs hold and accessors may
+/// panic only on out-of-range indices.
+pub trait ColumnarRead {
+    /// Number of videos.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the dataset contains no videos.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of countries each popularity vector is expected to cover.
+    fn country_count(&self) -> usize;
+
+    /// Number of distinct interned tags.
+    fn tag_count(&self) -> usize;
+
+    /// The external platform key of video `i`.
+    fn key(&self, i: usize) -> &str;
+
+    /// The display title of video `i`.
+    fn title(&self, i: usize) -> &str;
+
+    /// Total worldwide views of video `i`.
+    fn total_views(&self, i: usize) -> u64;
+
+    /// Range of video `i`'s tags in the flat tag-id column (the CSR
+    /// row `[spine[i], spine[i+1])`).
+    fn tag_range(&self, i: usize) -> core::ops::Range<usize>;
+
+    /// The `k`-th entry of the flat tag-id column.
+    fn tag_id(&self, k: usize) -> u32;
+
+    /// The `POP_*` sentinel of video `i`.
+    fn pop_kind(&self, i: usize) -> u8;
+
+    /// Raw popularity payload bytes of video `i` (empty for
+    /// `POP_MISSING`; exactly `country_count` in-range intensities for
+    /// `POP_VALID`).
+    fn pop_payload(&self, i: usize) -> &[u8];
+
+    /// The interned name of tag `t`.
+    fn tag_name(&self, t: usize) -> &str;
+}
+
 /// Byte sizes of the live columns, for memory accounting.
 ///
 /// Reported as `dataset.*` gauges by
@@ -311,7 +368,9 @@ impl ColumnarDataset {
         })
     }
 
-    /// Rebuilds a record-oriented [`Dataset`].
+    /// Rebuilds a record-oriented [`Dataset`] — the conversion adapter
+    /// for code paths that still want [`VideoRecord`]s; the pipeline
+    /// itself consumes columns directly via [`ColumnarRead`].
     ///
     /// Uses the private fast constructor instead of replaying a
     /// [`DatasetBuilder`](crate::DatasetBuilder): tag names are adopted
@@ -339,6 +398,52 @@ impl ColumnarDataset {
             })
             .collect();
         Dataset::from_parts(videos, tags, self.country_count())
+    }
+}
+
+impl ColumnarRead for ColumnarDataset {
+    fn len(&self) -> usize {
+        ColumnarDataset::len(self)
+    }
+
+    fn country_count(&self) -> usize {
+        ColumnarDataset::country_count(self)
+    }
+
+    fn tag_count(&self) -> usize {
+        ColumnarDataset::tag_count(self)
+    }
+
+    fn key(&self, i: usize) -> &str {
+        ColumnarDataset::key(self, i)
+    }
+
+    fn title(&self, i: usize) -> &str {
+        ColumnarDataset::title(self, i)
+    }
+
+    fn total_views(&self, i: usize) -> u64 {
+        ColumnarDataset::total_views(self, i)
+    }
+
+    fn tag_range(&self, i: usize) -> core::ops::Range<usize> {
+        self.tag_rows[i] as usize..self.tag_rows[i + 1] as usize
+    }
+
+    fn tag_id(&self, k: usize) -> u32 {
+        self.tag_ids[k]
+    }
+
+    fn pop_kind(&self, i: usize) -> u8 {
+        self.pop_kind[i]
+    }
+
+    fn pop_payload(&self, i: usize) -> &[u8] {
+        &self.pop_bytes[self.pop_offsets[i] as usize..self.pop_offsets[i + 1] as usize]
+    }
+
+    fn tag_name(&self, t: usize) -> &str {
+        ColumnarDataset::tag_name(self, t)
     }
 }
 

@@ -1,0 +1,330 @@
+//! Read-only memory mapping of dataset files, with no dependencies.
+//!
+//! [`Mmap::open`] maps a file into the address space so
+//! [`decode_borrowed`](crate::binfmt::decode_borrowed) can serve a
+//! `bin v1` corpus straight from the page cache: the kernel pages
+//! bytes in on demand and the heap sees only the handful of section
+//! descriptors, never the payload. On unix this is a direct
+//! `unsafe extern "C"` binding to `mmap(2)`/`munmap(2)`; elsewhere it
+//! degrades to one buffered `fs::read` with the identical API, so
+//! callers never branch on platform.
+//!
+//! This is the *only* module in the workspace's checked crates that
+//! contains `unsafe` code, and the only one allowed to — the
+//! `unsafe-scope` pass of `cargo xtask check` enforces both directions
+//! (see `crates/xtask/src/rules.rs`).
+//!
+//! # Safety
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: the process can never
+//! write through it, and writes by *this* process to the file are not
+//! required to appear in it. Three obligations make the exposed
+//! `&[u8]` sound, each discharged at the marked `SAFETY:` site:
+//!
+//! 1. **Validity** — `mmap` returns either `MAP_FAILED` (turned into
+//!    an `io::Error`) or a pointer valid for exactly `len` bytes until
+//!    `munmap`; [`Mmap`] calls `munmap` only in `Drop`, so the slice
+//!    handed out through `Deref` can never outlive the mapping.
+//! 2. **No zero-length maps** — POSIX leaves `mmap(len = 0)` to fail
+//!    with `EINVAL`; empty files short-circuit to an empty slice and
+//!    are never mapped (and never unmapped).
+//! 3. **Aliasing** — the mapping is never exposed mutably, so `Send`
+//!    and `Sync` are as safe as for any shared `&[u8]`. The one caveat
+//!    inherent to *all* file mappings (the same one documented by the
+//!    `memmap2` crate): if another process truncates or rewrites the
+//!    file while it is mapped, reads may fault or observe torn bytes.
+//!    The dataset tooling only ever replaces files by atomic rename,
+//!    and the `bin v1` checksums detect torn content.
+
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// A read-only mapping of a whole file (unix), or its buffered-read
+/// stand-in (other platforms). Dereferences to `&[u8]`.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> std::io::Result<()> {
+/// let map = tagdist_dataset::Mmap::open("corpus.bin")?;
+/// let view = tagdist_dataset::binfmt::decode_borrowed(&map)
+///     .expect("valid bin v1 image");
+/// # let _ = view; Ok(())
+/// # }
+/// ```
+pub struct Mmap {
+    inner: imp::Map,
+}
+
+impl Mmap {
+    /// Maps `path` read-only.
+    ///
+    /// An empty file yields an empty mapping without touching
+    /// `mmap(2)` (which rejects zero-length maps).
+    ///
+    /// # Errors
+    ///
+    /// Any `open`, `metadata` or `mmap` failure, as an [`io::Error`].
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Mmap> {
+        Ok(Mmap {
+            inner: imp::Map::open(path.as_ref())?,
+        })
+    }
+
+    /// Number of mapped bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.as_slice().len()
+    }
+
+    /// Returns `true` for a mapping of an empty file.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mapped bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    //! The real `mmap(2)` binding. See the module-level `# Safety`
+    //! section for the soundness argument each `SAFETY:` comment
+    //! refers back to.
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+    use std::path::Path;
+    use std::ptr;
+
+    // The stable subset of the POSIX mmap interface this module needs.
+    // Values are identical across the unix targets the workspace
+    // builds on (Linux, macOS, the BSDs).
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    // SAFETY: these signatures match POSIX `mmap(2)`/`munmap(2)`
+    // exactly (libc links them on every unix target); declaring them
+    // performs no operation by itself.
+    unsafe extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// `mmap`'s error sentinel (`(void *) -1`).
+    const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    pub(super) struct Map {
+        /// Base address; dangling (never dereferenced, never unmapped)
+        /// when `len == 0`.
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ and never exposed mutably, so
+    // sharing or sending it between threads is exactly as safe as
+    // sharing a `&[u8]` (obligation 3 of the module safety argument).
+    unsafe impl Send for Map {}
+    // SAFETY: as above — read-only data is Sync.
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub(super) fn open(path: &Path) -> io::Result<Map> {
+            let file = File::open(path)?;
+            let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "file too large to map on this platform",
+                )
+            })?;
+            if len == 0 {
+                // Obligation 2: POSIX rejects zero-length mappings, so
+                // empty files never reach mmap (and Drop never unmaps).
+                return Ok(Map {
+                    ptr: ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: fd is open for reading for the duration of the
+            // call and the arguments request a fresh PROT_READ,
+            // MAP_PRIVATE mapping of len > 0 bytes at a kernel-chosen
+            // address — nothing here can alias existing memory. The
+            // fd may close right after: POSIX keeps mappings alive
+            // independently of the descriptor.
+            let ptr = unsafe {
+                mmap(
+                    ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map { ptr, len })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: obligation 1 — `ptr` came from a successful mmap
+            // of exactly `len` bytes, stays valid until the munmap in
+            // Drop, and the returned slice's lifetime is tied to
+            // `&self`, so it cannot outlive the mapping. The memory is
+            // initialized (file-backed) and never written through this
+            // process's mapping (PROT_READ).
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            if self.len > 0 {
+                // SAFETY: `ptr`/`len` are exactly what mmap returned,
+                // unmapped at most once (Drop runs once); a failure
+                // leaks the mapping, which is safe.
+                let _ = unsafe { munmap(self.ptr, self.len) };
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! Buffered-read fallback: same API, one heap buffer instead of a
+    //! kernel mapping. No `unsafe` on this path.
+
+    use std::io;
+    use std::path::Path;
+
+    pub(super) struct Map {
+        data: Vec<u8>,
+    }
+
+    impl Map {
+        pub(super) fn open(path: &Path) -> io::Result<Map> {
+            Ok(Map {
+                data: std::fs::read(path)?,
+            })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            &self.data
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tagdist-mmap-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.as_slice(), &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(&map[..], &[] as &[u8]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Mmap::open(temp_path("does-not-exist")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let map = std::sync::Arc::new(Mmap::open(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096);
+        }
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn debug_reports_length() {
+        let path = temp_path("debug");
+        std::fs::write(&path, b"abc").unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(format!("{map:?}"), "Mmap { len: 3 }");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

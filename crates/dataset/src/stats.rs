@@ -134,7 +134,7 @@ impl DatasetStats {
                 let postings = clean.videos_with_tag(tag);
                 let views = postings
                     .iter()
-                    .map(|&pos| clean[pos].total_views as u128)
+                    .map(|&pos| clean.views_column()[pos as usize] as u128)
                     .sum();
                 TagFrequency {
                     tag,
@@ -214,7 +214,7 @@ impl DatasetStats {
                 let postings = clean.videos_with_tag(tag);
                 let views = postings
                     .iter()
-                    .map(|&pos| clean[pos].total_views as u128)
+                    .map(|&pos| clean.views_column()[pos as usize] as u128)
                     .sum();
                 TagFrequency {
                     tag,

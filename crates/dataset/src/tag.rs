@@ -71,6 +71,17 @@ pub struct TagInterner {
     ids: HashMap<String, TagId>,
 }
 
+impl PartialEq for TagInterner {
+    /// Two interners are equal when they hold the same names in the
+    /// same id order (the reverse map is derived from the names, so
+    /// comparing it would be redundant).
+    fn eq(&self, other: &TagInterner) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for TagInterner {}
+
 impl TagInterner {
     /// Creates an empty interner.
     pub fn new() -> TagInterner {

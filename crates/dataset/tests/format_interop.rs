@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 use tagdist_dataset::{
-    binfmt, decode_any, sniff, tsv, write_binary, Dataset, DatasetBuilder, DatasetError,
-    DatasetFormat, RawPopularity,
+    binfmt, decode_any, filter, filter_columnar, sniff, tsv, write_binary, Dataset, DatasetBuilder,
+    DatasetError, DatasetFormat, Mmap, RawPopularity,
 };
 
 /// Structural equality over everything both formats persist: order,
@@ -125,6 +125,66 @@ fn truncation_at_every_byte_is_an_error_not_a_panic() {
         );
     }
     assert!(decode_any(&bytes).is_ok());
+}
+
+/// The borrowed decoder applies the same validation as the owning one:
+/// every truncation point, every header corruption and payload
+/// bit-flip that `decode` rejects is rejected before a single borrowed
+/// section is handed out.
+#[test]
+fn borrowed_decode_rejects_truncation_and_corruption() {
+    let bytes = bin_bytes(&sample());
+    for cut in 0..bytes.len() {
+        assert!(
+            binfmt::decode_borrowed(&bytes[..cut]).is_err(),
+            "borrowing a {cut}-byte prefix of {} must fail",
+            bytes.len()
+        );
+        assert!(binfmt::verify(&bytes[..cut]).is_err());
+    }
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x40;
+    assert!(
+        binfmt::decode_borrowed(&bad).is_err(),
+        "payload bit-flip must fail the section checksum in borrowed mode"
+    );
+    let mut bad = bytes.clone();
+    bad[binfmt::MAGIC.len() - 2] = b'9';
+    assert!(
+        binfmt::decode_borrowed(&bad).is_err(),
+        "wrong version must not decode in borrowed mode"
+    );
+    assert!(binfmt::decode_borrowed(&bytes).is_ok());
+    assert!(binfmt::verify(&bytes).is_ok());
+}
+
+/// The mmap load path and the buffered read produce bit-identical
+/// datasets: same columnar image, same owned materialization, same
+/// filtered [`CleanDataset`] — zero-copy is a transport detail, never
+/// a semantic one.
+#[test]
+fn mmap_and_buffered_loads_decode_identically() {
+    let d = sample();
+    let bytes = bin_bytes(&d);
+    let mut path = std::env::temp_dir();
+    path.push(format!("tagdist-interop-{}.bin", std::process::id()));
+    std::fs::write(&path, &bytes).unwrap();
+
+    let map = Mmap::open(&path).unwrap();
+    assert_eq!(&map[..], &bytes[..], "mapping must expose the file bytes");
+
+    let via_mmap = binfmt::decode_borrowed(&map).unwrap();
+    let via_buffer = binfmt::decode_borrowed(&bytes).unwrap();
+    assert_eq!(via_mmap.to_owned(), via_buffer.to_owned());
+    assert_eq!(via_mmap.to_owned(), binfmt::decode(&bytes).unwrap());
+
+    let clean_mmap = filter_columnar(&via_mmap);
+    assert_eq!(clean_mmap, filter_columnar(&via_buffer));
+    assert_eq!(clean_mmap, filter(&decode_any(&bytes).unwrap()));
+
+    drop(map);
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]

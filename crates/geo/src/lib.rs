@@ -68,7 +68,7 @@ pub use dist::{js_divergence_probs, GeoDist};
 pub use error::GeoError;
 pub use float::{approx_eq, approx_zero, DEFAULT_EPSILON};
 pub use latency::LatencyModel;
-pub use mapchart::{PopularityVector, MAX_INTENSITY};
+pub use mapchart::{PopularityVector, PopularityView, MAX_INTENSITY};
 pub use matrix::CountryMatrix;
 pub use select::top_k_by;
 pub use traffic::TrafficModel;

@@ -184,21 +184,159 @@ impl PopularityVector {
     }
 }
 
+impl PopularityVector {
+    /// A borrowing [`PopularityView`] over this vector's intensities.
+    pub fn view(&self) -> PopularityView<'_> {
+        PopularityView {
+            intensities: &self.intensities,
+        }
+    }
+}
+
+/// A borrowed per-country popularity vector: the zero-copy counterpart
+/// of [`PopularityVector`] used by columnar datasets, whose intensity
+/// bytes live in one flat pool instead of one `Vec<u8>` per video.
+///
+/// Invariant: every viewed intensity is `<= MAX_INTENSITY` (upheld by
+/// the constructors; [`from_validated`](PopularityView::from_validated)
+/// trusts its caller).
+///
+/// The read API mirrors [`PopularityVector`] method-for-method so code
+/// generic over "a popularity" compiles against either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PopularityView<'a> {
+    intensities: &'a [u8],
+}
+
+impl<'a> PopularityView<'a> {
+    /// Validates a raw intensity slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidValue`] if any intensity exceeds
+    /// [`MAX_INTENSITY`].
+    pub fn from_raw(intensities: &'a [u8]) -> Result<PopularityView<'a>, GeoError> {
+        if let Some((index, &value)) = intensities
+            .iter()
+            .enumerate()
+            .find(|&(_, &v)| v > MAX_INTENSITY)
+        {
+            return Err(GeoError::InvalidValue {
+                index,
+                value: value as f64,
+            });
+        }
+        Ok(PopularityView { intensities })
+    }
+
+    /// Wraps intensities that were already validated upstream (e.g. by
+    /// the binary decoder or [`PopularityVector::from_raw`]), skipping
+    /// the bounds re-scan on hot paths.
+    ///
+    /// Callers must guarantee every byte is `<= MAX_INTENSITY`; a
+    /// violated invariant yields wrong statistics, never memory
+    /// unsafety (checked in debug builds).
+    pub fn from_validated(intensities: &'a [u8]) -> PopularityView<'a> {
+        debug_assert!(
+            intensities.iter().all(|&v| v <= MAX_INTENSITY),
+            "from_validated handed an out-of-range intensity"
+        );
+        PopularityView { intensities }
+    }
+
+    /// Number of countries covered.
+    pub fn len(&self) -> usize {
+        self.intensities.len()
+    }
+
+    /// Returns `true` if the view covers no countries.
+    pub fn is_empty(&self) -> bool {
+        self.intensities.is_empty()
+    }
+
+    /// Intensity of country `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn intensity(&self, id: CountryId) -> u8 {
+        self.intensities[id.index()]
+    }
+
+    /// Raw intensities in id order.
+    pub fn as_slice(&self) -> &'a [u8] {
+        self.intensities
+    }
+
+    /// Largest viewed intensity (0 for an all-dark map).
+    pub fn max(&self) -> u8 {
+        self.intensities.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Countries saturated at [`MAX_INTENSITY`] (see
+    /// [`PopularityVector::saturated`]).
+    pub fn saturated(&self) -> Vec<CountryId> {
+        self.intensities
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v == MAX_INTENSITY)
+            .map(|(i, _)| CountryId::from_index(i))
+            .collect()
+    }
+
+    /// Number of countries with a non-zero intensity.
+    pub fn support_size(&self) -> usize {
+        self.intensities.iter().filter(|&&v| v > 0).count()
+    }
+
+    /// Converts intensities to a real-valued [`CountryVec`] (still in
+    /// rescaled Map-Chart units).
+    pub fn as_country_vec(&self) -> CountryVec {
+        self.intensities.iter().map(|&v| v as f64).collect()
+    }
+
+    /// Returns `true` if the map carries any signal at all.
+    pub fn has_signal(&self) -> bool {
+        self.intensities.iter().any(|&v| v > 0)
+    }
+
+    /// Copies the view into an owned [`PopularityVector`].
+    pub fn to_vector(&self) -> PopularityVector {
+        PopularityVector {
+            intensities: self.intensities.to_vec(),
+        }
+    }
+}
+
+/// Writes the non-zero entries, identically to [`PopularityVector`]'s
+/// `Display` — reports built from borrowed and owned vectors must be
+/// byte-identical.
+fn fmt_nonzero(intensities: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{{")?;
+    let mut first = true;
+    for (i, &v) in intensities.iter().enumerate() {
+        if v > 0 {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "#{i}:{v}")?;
+            first = false;
+        }
+    }
+    write!(f, "}}")
+}
+
 impl fmt::Display for PopularityVector {
     /// Compact display of the non-zero entries: `{#0:61, #5:12}`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{")?;
-        let mut first = true;
-        for (i, &v) in self.intensities.iter().enumerate() {
-            if v > 0 {
-                if !first {
-                    write!(f, ", ")?;
-                }
-                write!(f, "#{i}:{v}")?;
-                first = false;
-            }
-        }
-        write!(f, "}}")
+        fmt_nonzero(&self.intensities, f)
+    }
+}
+
+impl fmt::Display for PopularityView<'_> {
+    /// Compact display of the non-zero entries: `{#0:61, #5:12}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nonzero(self.intensities, f)
     }
 }
 

@@ -59,15 +59,17 @@ pub struct TagViewTable {
 impl TagViewTable {
     /// Aggregates `recon` (aligned with `clean`) per tag.
     ///
-    /// A serial counting pass sizes the compact spine and inverts the
-    /// corpus into per-tag posting lists (which dataset positions
-    /// carry each tag, in dataset order); rows then compute
-    /// independently over the `TAGDIST_THREADS` worker pool, each row
-    /// the dataset-order sum of its postings' reconstructed rows.
-    /// Because a row's addition sequence is a pure function of the
-    /// corpus — no shards, no merges — the table is bit-identical at
-    /// any thread count *and* bit-identical to the serial boxed-row
-    /// build it replaced (see the test-only [`reference`] oracle).
+    /// The clean dataset already inverted the corpus at construction:
+    /// [`CleanDataset::videos_with_tag`] hands each tag's retained
+    /// positions in dataset order, so aggregation reuses that CSR
+    /// spine instead of re-counting and re-inverting (the two serial
+    /// passes this stage used to pay). Rows then compute independently
+    /// over the `TAGDIST_THREADS` worker pool, each row the
+    /// dataset-order sum of its postings' reconstructed rows. Because
+    /// a row's addition sequence is a pure function of the corpus — no
+    /// shards, no merges — the table is bit-identical at any thread
+    /// count *and* bit-identical to the serial boxed-row build it
+    /// replaced (see the test-only [`reference`] oracle).
     ///
     /// # Panics
     ///
@@ -127,18 +129,18 @@ impl TagViewTable {
         let tag_count = clean.tags().len();
         let country_count = recon.country_count();
 
-        // Pass 1 (serial, O(tag occurrences)): per-tag video counts,
-        // from which the CSR spine follows — populated tags get
-        // compact rows in TagId order.
+        // The clean dataset inverted the corpus at construction:
+        // `videos_with_tag` is each tag's retained dataset positions,
+        // in dataset order — the exact posting lists the two serial
+        // count-and-invert passes here used to rebuild. Only the
+        // compact row spine (populated tags in TagId order) remains to
+        // derive.
         let mut video_counts = vec![0u32; tag_count];
-        for video in clean.iter() {
-            for &tag in &video.tags {
-                video_counts[tag.index()] += 1;
-            }
-        }
         let mut row_of = vec![NO_ROW; tag_count];
         let mut tag_of_row = Vec::new();
-        for (index, &count) in video_counts.iter().enumerate() {
+        for index in 0..tag_count {
+            let count = clean.videos_with_tag(TagId::from_index(index)).len();
+            video_counts[index] = count as u32;
             if count > 0 {
                 row_of[index] = tag_of_row.len() as u32;
                 tag_of_row.push(TagId::from_index(index));
@@ -146,46 +148,22 @@ impl TagViewTable {
         }
         let populated = tag_of_row.len();
 
-        // Pass 2 (serial, O(tag occurrences)): invert the corpus into
-        // CSR posting lists — for each compact row, the dataset
-        // positions carrying its tag, in dataset order. Positions fit
-        // u32 because dataset positions are bounded by the VideoId
-        // space.
-        assert!(
-            u32::try_from(clean.len()).is_ok(),
-            "dataset position overflows the u32 posting space"
-        );
-        let mut offsets = vec![0usize; populated + 1];
-        for (row, &tag) in tag_of_row.iter().enumerate() {
-            offsets[row + 1] = offsets[row] + video_counts[tag.index()] as usize;
-        }
-        let mut cursor = offsets.clone();
-        let mut postings = vec![0u32; offsets[populated]];
-        for (pos, video) in clean.iter().enumerate() {
-            for &tag in &video.tags {
-                let row = row_of[tag.index()] as usize;
-                postings[cursor[row]] = pos as u32;
-                cursor[row] += 1;
-            }
-        }
-
-        // Pass 3: every compact row is the dataset-order sum of its
-        // postings' reconstructed rows. Rows are independent, so they
-        // fan out over the pool writing straight into the one
-        // contiguous matrix; each row's addition sequence never
-        // depends on scheduling, so the result is bit-identical at any
-        // thread count — and to a serial video-order accumulation.
+        // Every compact row is the dataset-order sum of its postings'
+        // reconstructed rows. Rows are independent, so they fan out
+        // over the pool writing straight into the one contiguous
+        // matrix; each row's addition sequence never depends on
+        // scheduling, so the result is bit-identical at any thread
+        // count — and to a serial video-order accumulation.
         let recon_matrix = recon.matrix();
         let mut rows = CountryMatrix::zeros(populated, country_count);
         let _: Vec<()> = pool.par_fill(
             &tag_of_row,
             rows.as_mut_slice(),
             country_count,
-            |start, chunk, block| {
-                for j in 0..chunk.len() {
+            |_start, chunk, block| {
+                for (j, &tag) in chunk.iter().enumerate() {
                     let dst = &mut block[j * country_count..(j + 1) * country_count];
-                    let row = start + j;
-                    for &pos in &postings[offsets[row]..offsets[row + 1]] {
+                    for &pos in clean.videos_with_tag(tag) {
                         kernel::add_assign(dst, recon_matrix.row(pos as usize));
                     }
                 }
@@ -433,7 +411,7 @@ pub(crate) mod reference {
         let matrix = recon.matrix();
         let mut shard = TagShard::empty(clean.tags().len());
         for (pos, video) in clean.iter().enumerate() {
-            shard.add_video(&video.tags, matrix.row(pos), country_count);
+            shard.add_video(video.tags, matrix.row(pos), country_count);
         }
         shard
     }

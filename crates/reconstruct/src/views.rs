@@ -28,7 +28,24 @@ pub fn reconstruct_views_into(
     traffic: &GeoDist,
     out: &mut [f64],
 ) -> Result<(), GeoError> {
-    let intensities = pop.as_slice();
+    reconstruct_intensities_into(pop.as_slice(), total_views, traffic, out)
+}
+
+/// [`reconstruct_views_into`] over raw intensity bytes — the columnar
+/// hot path: [`CleanDataset`] stores every popularity vector as a
+/// fixed-stride slice of its intensity block, so reconstruction reads
+/// the bytes where they sit. Identical arithmetic, hence bit-identical
+/// output, to the `PopularityVector` wrapper.
+///
+/// # Errors
+///
+/// As for [`reconstruct_views_into`].
+pub fn reconstruct_intensities_into(
+    intensities: &[u8],
+    total_views: u64,
+    traffic: &GeoDist,
+    out: &mut [f64],
+) -> Result<(), GeoError> {
     let prior = traffic.as_vec().as_slice();
     if intensities.len() != prior.len() {
         return Err(GeoError::LengthMismatch {
@@ -134,13 +151,16 @@ impl Reconstruction {
         traffic: &GeoDist,
     ) -> Result<Reconstruction, GeoError> {
         let cols = clean.country_count();
-        let videos = clean.as_slice();
-        let mut data = vec![0.0; videos.len() * cols];
-        let results = pool.par_fill(videos, &mut data, cols, |_, chunk, block| {
-            for (j, v) in chunk.iter().enumerate() {
-                reconstruct_views_into(
-                    &v.popularity,
-                    v.total_views,
+        // Chunk over the dense view-count column; each worker reads
+        // its videos' intensities straight out of the clean dataset's
+        // fixed-stride block — no per-video structs anywhere.
+        let views = clean.views_column();
+        let mut data = vec![0.0; views.len() * cols];
+        let results = pool.par_fill(views, &mut data, cols, |start, chunk, block| {
+            for (j, &total) in chunk.iter().enumerate() {
+                reconstruct_intensities_into(
+                    clean.intensities_of(start + j),
+                    total,
                     traffic,
                     &mut block[j * cols..(j + 1) * cols],
                 )?;
@@ -154,7 +174,7 @@ impl Reconstruction {
             result?;
         }
         Ok(Reconstruction {
-            matrix: CountryMatrix::from_flat(videos.len(), cols, data)?,
+            matrix: CountryMatrix::from_flat(views.len(), cols, data)?,
         })
     }
 
@@ -391,7 +411,7 @@ mod tests {
         let mut n = 0.0;
         for (pos, video) in clean.iter().enumerate() {
             let truth = platform
-                .ground_truth(&video.key)
+                .ground_truth(video.key)
                 .expect("crawled videos exist")
                 .view_distribution();
             js_recon += r.distribution(pos).unwrap().js_divergence(&truth).unwrap();

@@ -236,11 +236,11 @@ impl PredictionEvaluation {
         // boundaries depend only on corpus length, so scores come back
         // in corpus order bit-identical at any thread count.
         let countries = table.country_count();
-        let scored = pool.par_chunks(clean.as_slice(), |start, chunk| {
+        let scored = pool.par_chunks(clean.views_column(), |start, chunk| {
             let mut mix = vec![0.0; countries];
             let mut actual = vec![0.0; countries];
             let mut out = Vec::with_capacity(chunk.len());
-            for (offset, video) in chunk.iter().enumerate() {
+            for offset in 0..chunk.len() {
                 let pos = start + offset;
                 let own = recon.views(pos).expect("aligned reconstruction");
                 // Normalize the video's own row exactly as
@@ -253,7 +253,8 @@ impl PredictionEvaluation {
                 // A zero-mass mixture substitutes the baseline's
                 // probabilities — exactly the allocating loop's
                 // fallback case (prediction == baseline prior).
-                let fell_back = !predictor.predict_probs_into(&video.tags, Some(own), &mut mix);
+                let fell_back =
+                    !predictor.predict_probs_into(clean.tags_of(pos), Some(own), &mut mix);
                 let p = tagdist_geo::js_divergence_probs(&mix, &actual).expect("same world");
                 let b = tagdist_geo::js_divergence_probs(baseline.as_vec().as_slice(), &actual)
                     .expect("same world");
@@ -340,7 +341,7 @@ impl LocalityBreakdown {
             });
             let own = recon.views(pos).expect("aligned reconstruction");
             let actual = recon.distribution(pos).expect("rows carry mass");
-            let predicted = predictor.predict(&video.tags, Some(own));
+            let predicted = predictor.predict(video.tags, Some(own));
             let entry = samples.entry(class).or_default();
             entry
                 .0
@@ -452,11 +453,11 @@ mod tests {
         // removes everything → fallback.
         let pos = clean.iter().position(|v| v.key == "u1").unwrap();
         let video = clean.get(pos).unwrap();
-        let d = p.predict(&video.tags, recon.views(pos));
+        let d = p.predict(video.tags, recon.views(pos));
         assert_eq!(d, traffic);
         // Without exclusion the prediction is the video's own
         // distribution, not the fallback.
-        let d = p.predict(&video.tags, None);
+        let d = p.predict(video.tags, None);
         assert_ne!(d, traffic);
     }
 
@@ -481,16 +482,16 @@ mod tests {
         for (pos, video) in clean.iter().enumerate() {
             let own = recon.views(pos);
             let via_buffer = p
-                .predict_into(&video.tags, own, &mut mix)
+                .predict_into(video.tags, own, &mut mix)
                 .unwrap_or_else(|_| traffic.clone());
-            assert_eq!(via_buffer, p.predict(&video.tags, own), "{}", video.key);
+            assert_eq!(via_buffer, p.predict(video.tags, own), "{}", video.key);
             assert_eq!(mix.len(), 2, "buffer adopts the table's world");
         }
         // The single-carrier video has no leave-one-out signal left.
         let pos = clean.iter().position(|v| v.key == "u1").unwrap();
         let video = clean.get(pos).unwrap();
         assert!(p
-            .predict_into(&video.tags, recon.views(pos), &mut mix)
+            .predict_into(video.tags, recon.views(pos), &mut mix)
             .is_err());
     }
 
@@ -502,8 +503,8 @@ mod tests {
         let mut row = vec![0.0; table.country_count()];
         for (pos, video) in clean.iter().enumerate() {
             let own = recon.views(pos);
-            let used_tags = p.predict_probs_into(&video.tags, own, &mut row);
-            let expected = p.predict(&video.tags, own);
+            let used_tags = p.predict_probs_into(video.tags, own, &mut row);
+            let expected = p.predict(video.tags, own);
             assert_eq!(
                 row.as_slice(),
                 expected.as_vec().as_slice(),

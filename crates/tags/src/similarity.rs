@@ -27,8 +27,7 @@ pub struct CoTag {
 pub fn co_tags(clean: &CleanDataset, tag: TagId) -> Vec<CoTag> {
     let mut counts: HashMap<TagId, usize> = HashMap::new();
     for &pos in clean.videos_with_tag(tag) {
-        let video = &clean[pos];
-        for &other in &video.tags {
+        for &other in clean.tags_of(pos as usize) {
             if other != tag {
                 *counts.entry(other).or_insert(0) += 1;
             }

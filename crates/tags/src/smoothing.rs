@@ -164,7 +164,7 @@ mod tests {
         let pos = clean.iter().position(|v| v.key == "t").unwrap();
         let recon = Reconstruction::compute(&clean, &prior).unwrap();
         let video = clean.get(pos).unwrap();
-        let d = smoothed.predict(&video.tags, recon.views(pos));
+        let d = smoothed.predict(video.tags, recon.views(pos));
         assert_eq!(d, prior);
     }
 

@@ -29,6 +29,7 @@ pub const ALL_RULES: &[&str] = &[
     "layer-dag",
     "no-panic",
     "unordered-iter",
+    "unsafe-scope",
     "unseeded-rng",
     "wall-clock",
 ];

@@ -21,11 +21,13 @@ use crate::analysis::{modgraph, parse, passes, token, ALL_RULES};
 use crate::lexer;
 use crate::rules::{self, Violation};
 
-/// Library crates the domain rules apply to: the workspace's
-/// `#![forbid(unsafe_code)]` members. Binary/bench crates (cli, bench)
-/// are intentionally out of scope — they may exit or panic at the top
-/// level. The xtask sources themselves are scanned by the analysis
-/// passes (but not the library-only token rules).
+/// Library crates the domain rules apply to: every one forbids
+/// `unsafe` (`#![forbid(unsafe_code)]`, or `deny` in `dataset`, whose
+/// single sanctioned `mmap` module the `unsafe-scope` rule audits).
+/// Binary/bench crates (cli, bench) are intentionally out of scope —
+/// they may exit or panic at the top level. The xtask sources
+/// themselves are scanned by the analysis passes (but not the
+/// library-only token rules).
 pub const CHECKED_CRATES: &[&str] = &[
     "cache",
     "core",

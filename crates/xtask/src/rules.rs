@@ -2,11 +2,12 @@
 //!
 //! These complement clippy: they encode invariants of *this* codebase
 //! that generic lints cannot know — the no-panic policy for library
-//! crates, the epsilon-comparison convention for `f64`, and the
-//! `# Errors` documentation contract. The determinism lints
-//! (wall-clock, unordered-iter, unseeded-rng, float-reduction,
-//! layer-dag) need dataflow context and live in
-//! [`crate::analysis::passes`] / [`crate::analysis::modgraph`].
+//! crates, the epsilon-comparison convention for `f64`, the
+//! `# Errors` documentation contract, and the `unsafe` opt-in
+//! protocol (`unsafe-scope`). The determinism lints (wall-clock,
+//! unordered-iter, unseeded-rng, float-reduction, layer-dag) need
+//! dataflow context and live in [`crate::analysis::passes`] /
+//! [`crate::analysis::modgraph`].
 
 use crate::lexer::CleanFile;
 
@@ -30,7 +31,7 @@ pub struct Violation {
 
 /// The token-level rule identifiers (the analysis passes contribute
 /// the rest of [`crate::analysis::ALL_RULES`]).
-pub const RULES: &[&str] = &["no-panic", "float-eq", "errors-doc"];
+pub const RULES: &[&str] = &["no-panic", "float-eq", "errors-doc", "unsafe-scope"];
 
 const PANIC_MACROS: &[&str] = &["panic!", "todo!", "unimplemented!", "unreachable!"];
 const PANIC_METHODS: &[&str] = &[".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("];
@@ -41,6 +42,7 @@ pub fn check_file(path: &str, cf: &CleanFile) -> Vec<Violation> {
     no_panic(path, cf, &mut out);
     float_eq(path, cf, &mut out);
     errors_doc(path, cf, &mut out);
+    unsafe_scope(path, cf, &mut out);
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
 }
@@ -200,6 +202,83 @@ fn errors_doc(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// How many raw lines above an `unsafe` site a `// SAFETY:` comment
+/// may sit (a justification block can span a few lines).
+const SAFETY_COMMENT_REACH: usize = 8;
+
+/// `unsafe-scope`: `unsafe` is forbidden in library code except inside
+/// a module that explicitly opts in — a scoped `#![allow(unsafe_code)]`
+/// inner attribute *and* a module-level `# Safety` doc section stating
+/// the soundness argument — and even there, every `unsafe` site must
+/// carry a `// SAFETY:` comment on the line or just above it. The one
+/// sanctioned module today is `crates/dataset/src/mmap.rs`; the
+/// allowlist stays empty because compliant modules produce no
+/// findings.
+fn unsafe_scope(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
+    let opted_in = cf.raw.iter().any(|l| l.trim() == "#![allow(unsafe_code)]")
+        && cf.docs.iter().any(|d| d.contains("# Safety"));
+    for (lineno, line) in cf.code.iter().enumerate() {
+        if cf.in_test[lineno] || !contains_word(line, "unsafe") {
+            continue;
+        }
+        if !opted_in {
+            out.push(Violation {
+                rule: "unsafe-scope",
+                path: path.to_owned(),
+                line: lineno + 1,
+                snippet: snippet(cf, lineno),
+                message: "`unsafe` belongs only in a module that opts in with \
+                          `#![allow(unsafe_code)]` and a module-level `# Safety` \
+                          argument (see crates/dataset/src/mmap.rs)"
+                    .to_owned(),
+                allowed: false,
+            });
+            continue;
+        }
+        if !has_safety_comment(cf, lineno) {
+            out.push(Violation {
+                rule: "unsafe-scope",
+                path: path.to_owned(),
+                line: lineno + 1,
+                snippet: snippet(cf, lineno),
+                message: "every `unsafe` site needs a `// SAFETY:` comment \
+                          discharging the module's safety obligations"
+                    .to_owned(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// True if `line` contains `word` as a standalone token.
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line.get(from..).and_then(|s| s.find(word)) {
+        let at = from + pos;
+        let prev_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let next_ok = !line[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if prev_ok && next_ok {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+/// A `// SAFETY:` comment on the line or within
+/// [`SAFETY_COMMENT_REACH`] raw lines above it.
+fn has_safety_comment(cf: &CleanFile, lineno: usize) -> bool {
+    (lineno.saturating_sub(SAFETY_COMMENT_REACH)..=lineno)
+        .any(|l| cf.raw.get(l).is_some_and(|r| r.contains("SAFETY:")))
+}
+
 /// Column of a `pub fn` token pair on this line, if any.
 fn find_pub_fn(line: &str) -> Option<usize> {
     let pos = line.find("pub fn ")?;
@@ -301,6 +380,32 @@ mod tests {
         );
         assert!(rules_hit("fn f(x: u8) -> bool { x == 1 }\n", "a.rs").is_empty());
         assert!(rules_hit("fn f(x: f64) -> bool { x <= 1.5 }\n", "a.rs").is_empty());
+    }
+
+    #[test]
+    fn unsafe_scope_rejects_unsanctioned_unsafe() {
+        assert_eq!(
+            rules_hit("fn f() { unsafe { do_it() } }\n", "a.rs"),
+            vec!["unsafe-scope"]
+        );
+        // `unsafe_code` inside a lint name is not the keyword.
+        assert!(rules_hit("#![deny(unsafe_code)]\nfn f() {}\n", "a.rs").is_empty());
+    }
+
+    #[test]
+    fn unsafe_scope_accepts_the_opt_in_protocol() {
+        let good = "//! Maps files.\n//!\n//! # Safety\n//!\n//! Sound because reasons.\n\
+                    #![allow(unsafe_code)]\n\
+                    fn f() {\n    // SAFETY: discharged above.\n    unsafe { do_it() }\n}\n";
+        assert!(rules_hit(good, "a.rs").is_empty());
+        // Opted-in module, but a site without its SAFETY comment.
+        let bare = "//! # Safety\n//! Argument.\n#![allow(unsafe_code)]\n\
+                    fn f() { unsafe { do_it() } }\n";
+        assert_eq!(rules_hit(bare, "a.rs"), vec!["unsafe-scope"]);
+        // The attribute alone (no # Safety docs) does not opt in.
+        let undocumented =
+            "#![allow(unsafe_code)]\nfn f() {\n    // SAFETY: trust me.\n    unsafe { do_it() }\n}\n";
+        assert_eq!(rules_hit(undocumented, "a.rs"), vec!["unsafe-scope"]);
     }
 
     #[test]

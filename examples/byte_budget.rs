@@ -48,7 +48,7 @@ fn main() {
         .map(|v| {
             study
                 .platform()
-                .ground_truth(&v.key)
+                .ground_truth(v.key)
                 .expect("crawled videos exist")
                 .size_bytes()
         })
@@ -61,7 +61,7 @@ fn main() {
         .clean()
         .iter()
         .enumerate()
-        .map(|(pos, v)| predictor.predict(&v.tags, study.reconstruction().views(pos)))
+        .map(|(pos, v)| predictor.predict(v.tags, study.reconstruction().views(pos)))
         .collect();
 
     let countries = study.world().len();

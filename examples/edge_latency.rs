@@ -47,7 +47,7 @@ fn main() {
         .clean()
         .iter()
         .enumerate()
-        .map(|(pos, v)| predictor.predict(&v.tags, study.reconstruction().views(pos)))
+        .map(|(pos, v)| predictor.predict(v.tags, study.reconstruction().views(pos)))
         .collect();
 
     let catalogue = truth.len();

@@ -39,7 +39,7 @@ fn main() {
     println!();
 
     println!("popularity map (0-61 Map-Chart intensities, top 15):");
-    print!("{}", render_popularity_map(&video.popularity, 15));
+    print!("{}", render_popularity_map(video.popularity, 15));
     println!();
 
     let saturated = video.popularity.saturated();

@@ -52,7 +52,7 @@ fn main() {
     let predicted: Vec<GeoDist> = clean
         .iter()
         .enumerate()
-        .map(|(pos, v)| predictor.predict(&v.tags, study.reconstruction().views(pos)))
+        .map(|(pos, v)| predictor.predict(v.tags, study.reconstruction().views(pos)))
         .collect();
 
     println!(

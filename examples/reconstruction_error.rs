@@ -51,7 +51,7 @@ fn main() {
         .iter()
         .map(|v| {
             platform
-                .ground_truth(&v.key)
+                .ground_truth(v.key)
                 .expect("crawled videos exist")
                 .view_distribution()
         })

@@ -219,6 +219,64 @@ fn tag_view_totals_are_thread_count_invariant() {
     std::env::remove_var(THREADS_ENV);
 }
 
+/// The PR 8 columnar contract: starting from one `bin v1` corpus
+/// image, the record pipeline (decode → filter) and the zero-copy
+/// columnar pipeline (decode_borrowed → filter_columnar) must render
+/// byte-identical tag-view reports — and both must be invariant to
+/// the worker-pool size.
+#[test]
+fn columnar_and_record_reports_are_byte_identical_across_threads() {
+    use std::fmt::Write as _;
+    use tagdist::dataset::{binfmt, decode_any, filter, filter_columnar, write_binary};
+    use tagdist::reconstruct::{Reconstruction, TagViewTable};
+
+    let platform = Platform::generate(tiny(11));
+    let mut cfg = CrawlConfig::default();
+    cfg.with_budget(600);
+    let outcome = crawl(&platform, &cfg);
+    let mut bin = Vec::new();
+    write_binary(&outcome.dataset, &mut bin).unwrap();
+    let traffic = platform.true_traffic();
+
+    // Exact text rendering: `{:?}` on f64 round-trips every bit, so
+    // string equality below is bit equality of the aggregates.
+    let render = |table: &TagViewTable| {
+        let mut out = String::new();
+        for (tag, views) in table.iter() {
+            writeln!(out, "{}\t{views:?}", tag.index()).unwrap();
+        }
+        out
+    };
+    let run = |columnar: bool| {
+        let clean = if columnar {
+            let view = binfmt::decode_borrowed(&bin).unwrap();
+            filter_columnar(&view)
+        } else {
+            filter(&decode_any(&bin).unwrap())
+        };
+        let recon = Reconstruction::compute(&clean, traffic).unwrap();
+        render(&TagViewTable::aggregate(&clean, &recon))
+    };
+
+    std::env::set_var(THREADS_ENV, "1");
+    let reference = run(false);
+    assert!(!reference.is_empty(), "corpus must aggregate to something");
+    for threads in ["1", "2", "8"] {
+        std::env::set_var(THREADS_ENV, threads);
+        assert_eq!(
+            run(false),
+            reference,
+            "record path drifted at {threads} threads"
+        );
+        assert_eq!(
+            run(true),
+            reference,
+            "columnar path drifted at {threads} threads"
+        );
+    }
+    std::env::remove_var(THREADS_ENV);
+}
+
 mod par_fold_properties {
     use super::Pool;
     use proptest::prelude::*;

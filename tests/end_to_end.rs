@@ -59,7 +59,7 @@ fn fig1_most_viewed_has_a_saturated_map() {
     assert_eq!(video.popularity.max(), 61, "rescaling saturates the max");
     assert!(!video.popularity.saturated().is_empty());
     // The clean record agrees with platform ground truth.
-    let truth = s.platform().ground_truth(&video.key).unwrap();
+    let truth = s.platform().ground_truth(video.key).unwrap();
     assert_eq!(truth.total_views, video.total_views);
 }
 
@@ -141,7 +141,7 @@ fn e7_caching_policies_order_as_expected() {
         .clean()
         .iter()
         .enumerate()
-        .map(|(pos, v)| predictor.predict(&v.tags, s.reconstruction().views(pos)))
+        .map(|(pos, v)| predictor.predict(v.tags, s.reconstruction().views(pos)))
         .collect();
 
     let oracle = run_static(
@@ -210,7 +210,7 @@ fn e7c_sized_placement_orders_correctly() {
     let sizes: Vec<f64> = s
         .clean()
         .iter()
-        .map(|v| s.platform().ground_truth(&v.key).unwrap().size_bytes())
+        .map(|v| s.platform().ground_truth(v.key).unwrap().size_bytes())
         .collect();
     let stream = RequestStream::generate(&truth, &weights, 30_000, 13);
     let budget: f64 = sizes.iter().sum::<f64>() * 0.02;
