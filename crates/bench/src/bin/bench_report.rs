@@ -33,7 +33,16 @@
 //! aggregation — asserting the outputs identical and reporting the
 //! wall-clock and allocation gap.
 //!
-//! Writes `BENCH_PR8.json` at the repository root by default. Flags:
+//! Since PR 9 an `incremental_ingest` experiment streams the corpus
+//! through the delta-applied ingest engine in fixed-size batches —
+//! publishing an epoch snapshot per batch — and races the amortized
+//! per-batch cost (apply + publish) against a cold
+//! filter → compute → aggregate rebuild, asserting the final snapshot
+//! equals the cold state exactly. In a full run the race repeats on
+//! the synthesized 1M-video corpus, where per-batch apply must beat
+//! the cold rebuild.
+//!
+//! Writes `BENCH_PR9.json` at the repository root by default. Flags:
 //! `--smoke` shrinks the corpus to the tiny test world, runs each
 //! stage once and defaults the output to `bench-smoke.json` (the CI
 //! wiring); a positional argument overrides the output path.
@@ -64,7 +73,7 @@ use tagdist::dataset::{
 use tagdist::geo::{CountryVec, GeoDist};
 use tagdist::obs::{MetricsReport, Recorder};
 use tagdist::par::{available_threads, Pool, THREADS_ENV};
-use tagdist::reconstruct::{Reconstruction, TagViewTable};
+use tagdist::reconstruct::{IngestEngine, Reconstruction, TagViewTable};
 use tagdist::tags::PredictionEvaluation;
 use tagdist::ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
 
@@ -411,6 +420,87 @@ fn synthetic_corpus(videos: usize, countries: usize) -> Dataset {
     builder.build()
 }
 
+/// One `incremental_ingest` race: the corpus streamed through the
+/// delta-applied engine in fixed-size batches vs a cold rebuild.
+struct IngestCost {
+    corpus: &'static str,
+    videos: usize,
+    batches: usize,
+    apply_seconds: f64,
+    publish_seconds: f64,
+    amortized_batch_seconds: f64,
+    cold_seconds: f64,
+    speedup_amortized_vs_cold: f64,
+    allocations: u64,
+}
+
+/// Streams `dataset` through an [`IngestEngine`] in `batches`
+/// fixed-size batches, publishing an epoch snapshot after each — the
+/// cost of keeping a queryable state fresh mid-crawl — then rebuilds
+/// the same state cold (filter → compute → aggregate) and asserts the
+/// two equal exactly. The headline number is the amortized per-batch
+/// refresh (apply + publish, divided by batches) against the cold
+/// rebuild a consumer would otherwise pay per refresh.
+fn incremental_ingest(
+    corpus: &'static str,
+    dataset: &Dataset,
+    traffic: &GeoDist,
+    batches: usize,
+) -> IngestCost {
+    std::env::set_var(THREADS_ENV, "1");
+    let before_allocs = allocation_count();
+    let mut engine = IngestEngine::new(traffic.clone());
+    let total = dataset.len();
+    let size = total.div_ceil(batches).max(1);
+    let mut apply_seconds = 0.0;
+    let mut publish_seconds = 0.0;
+    let mut from = 0;
+    while from < total {
+        let to = (from + size).min(total);
+        let t = Instant::now();
+        engine
+            .apply_range(dataset, from, to)
+            .expect("batch applies");
+        apply_seconds += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        engine.publish().expect("epoch publishes");
+        publish_seconds += t.elapsed().as_secs_f64();
+        from = to;
+    }
+    let allocations = allocation_count() - before_allocs;
+    let snapshot = engine.cell().load().expect("epochs published");
+
+    let t = Instant::now();
+    let clean = filter(dataset);
+    let recon = Reconstruction::compute(&clean, traffic).expect("corpus carries views");
+    let table = TagViewTable::aggregate(&clean, &recon);
+    let cold_seconds = t.elapsed().as_secs_f64();
+    std::env::remove_var(THREADS_ENV);
+
+    // The rebuild oracle, enforced on the benchmark corpus itself.
+    assert_eq!(snapshot.clean, clean, "{corpus}: clean state drifted");
+    assert_eq!(snapshot.recon, recon, "{corpus}: reconstruction drifted");
+    assert_eq!(snapshot.table, table, "{corpus}: aggregates drifted");
+
+    let amortized = (apply_seconds + publish_seconds) / batches as f64;
+    eprintln!(
+        "incremental_ingest {corpus}: {batches} batches, amortized {amortized:.3}s/batch \
+         vs cold {cold_seconds:.3}s — {:.2}x",
+        cold_seconds / amortized.max(f64::EPSILON)
+    );
+    IngestCost {
+        corpus,
+        videos: total,
+        batches,
+        apply_seconds,
+        publish_seconds,
+        amortized_batch_seconds: amortized,
+        cold_seconds,
+        speedup_amortized_vs_cold: cold_seconds / amortized.max(f64::EPSILON),
+        allocations,
+    }
+}
+
 fn stage_outputs(
     clean: &CleanDataset,
     traffic: &GeoDist,
@@ -534,6 +624,32 @@ fn instrumented_pass(
         let before = allocation_count();
         let _eval = PredictionEvaluation::evaluate_obs(clean, &recon, &table, traffic, &root);
         obs.add("alloc.e6_evaluate", allocation_count() - before);
+        // The incremental ingest engine, gated end to end: stream the
+        // raw corpus in three batches and record the deterministic
+        // `ingest.*` counters (batches, rows touched, epoch flips are
+        // exact functions of the seeded corpus). The final epoch must
+        // replay the cold filter exactly.
+        let before = allocation_count();
+        let mut engine = IngestEngine::new(traffic.clone());
+        let step = raw.len().div_ceil(3).max(1);
+        let mut from = 0;
+        while from < raw.len() {
+            let to = (from + step).min(raw.len());
+            engine.apply_range(raw, from, to).expect("batch applies");
+            engine.publish().expect("epoch publishes");
+            from = to;
+        }
+        engine.record_obs(&root);
+        obs.add("alloc.incremental_ingest", allocation_count() - before);
+        let streamed = engine.cell().load().expect("epochs published");
+        assert_eq!(
+            &streamed.clean, clean,
+            "streamed clean state must equal the cold filter"
+        );
+        assert_eq!(
+            streamed.table, table,
+            "streamed aggregates must equal the cold table"
+        );
     }
     std::env::remove_var(THREADS_ENV);
     obs.finish()
@@ -589,7 +705,7 @@ fn main() {
         if smoke {
             "bench-smoke.json".to_owned()
         } else {
-            "BENCH_PR8.json".to_owned()
+            "BENCH_PR9.json".to_owned()
         }
     });
     let runs = if smoke { 1 } else { 3 };
@@ -736,6 +852,15 @@ fn main() {
         io_samples.push(dataset_io("synthetic_10m", &synth, 1));
     }
 
+    // The PR 9 race: delta-applied streaming vs cold rebuild, on the
+    // crawled corpus and — in a full run — the 1M-video synthesis.
+    let mut ingest_costs = vec![incremental_ingest("crawl", &outcome.dataset, traffic, 8)];
+    if !smoke {
+        eprintln!("synthesizing 1M-video corpus for incremental ingest (one-time setup)...");
+        let synth = synthetic_corpus(1_000_000, clean.country_count());
+        ingest_costs.push(incremental_ingest("synthetic_1m", &synth, traffic, 8));
+    }
+
     // The observability pass: same stages, recorded spans + counters.
     let metrics = instrumented_pass(&platform, &outcome.dataset, &clean, traffic);
     eprintln!(
@@ -782,7 +907,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"runs_per_stage\": {runs},");
     let _ = writeln!(json, "  \"host_available_threads\": {host},");
@@ -904,6 +1029,35 @@ fn main() {
     );
     let _ = writeln!(json, "    \"outputs_identical\": true");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"incremental_ingest\": [");
+    for (i, c) in ingest_costs.iter().enumerate() {
+        let comma = if i + 1 == ingest_costs.len() { "" } else { "," };
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"corpus\": \"{}\",", c.corpus);
+        let _ = writeln!(json, "      \"videos\": {},", c.videos);
+        let _ = writeln!(json, "      \"batches\": {},", c.batches);
+        let _ = writeln!(json, "      \"apply_seconds\": {:.6},", c.apply_seconds);
+        let _ = writeln!(json, "      \"publish_seconds\": {:.6},", c.publish_seconds);
+        let _ = writeln!(
+            json,
+            "      \"amortized_batch_seconds\": {:.6},",
+            c.amortized_batch_seconds
+        );
+        let _ = writeln!(
+            json,
+            "      \"cold_rebuild_seconds\": {:.6},",
+            c.cold_seconds
+        );
+        let _ = writeln!(
+            json,
+            "      \"amortized_speedup_vs_cold\": {:.3},",
+            c.speedup_amortized_vs_cold
+        );
+        let _ = writeln!(json, "      \"allocations\": {},", c.allocations);
+        let _ = writeln!(json, "      \"outputs_identical\": true");
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
         "  \"combined_seconds\": {{ \"threads_1\": {:.6}, \"threads_2\": {:.6}, \

@@ -11,8 +11,8 @@ use std::io::Write;
 
 use tagdist::cache::{run_static, Placement, RequestStream};
 use tagdist::crawler::{
-    crawl_parallel, crawl_parallel_stepwise, recrawl, CrawlCheckpoint, CrawlConfig, CrawlRun,
-    PlatformApi,
+    crawl_parallel, crawl_parallel_stepwise, crawl_parallel_with_batches, recrawl, CrawlCheckpoint,
+    CrawlConfig, CrawlRun, PlatformApi,
 };
 use tagdist::dataset::{
     binfmt, decode_any, filter, filter_columnar, merge, read_any, sample_stratified, sniff, tsv,
@@ -21,7 +21,7 @@ use tagdist::dataset::{
 use tagdist::geo::GeoDist;
 use tagdist::geo::{world, TrafficModel};
 use tagdist::obs::Recorder;
-use tagdist::reconstruct::{Reconstruction, TagViewTable};
+use tagdist::reconstruct::{IngestEngine, Reconstruction, TagViewTable};
 use tagdist::tags::{GeoTagIndex, Predictor, TagProfile};
 use tagdist::ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
 use tagdist::{markdown_report_obs, render_distribution, ReportOptions, Study, StudyConfig};
@@ -43,7 +43,8 @@ USAGE:
                 [--fault PROFILE] [--fault-seed S]
                 [--checkpoint FILE [--checkpoint-every L]]
                 [--stop-after-levels L] [--resume FILE]
-                [--failure-report FILE] --out FILE
+                [--failure-report FILE]
+                [--ingest [--ingest-report FILE]] --out FILE
       Fault-tolerant crawl with checkpoint/resume. --checkpoint-every
       writes the checkpoint after every L BFS levels;
       --stop-after-levels suspends the crawl into the checkpoint
@@ -51,7 +52,11 @@ USAGE:
       --resume continues from a checkpoint (world, budget and fault
       parameters are restored from it) and yields a dataset
       byte-identical to an uninterrupted crawl. --failure-report
-      writes the markdown fault ledger.
+      writes the markdown fault ledger. --ingest streams each BFS
+      level through the incremental ingest engine, publishing an
+      epoch snapshot per batch; --ingest-report writes the final
+      epoch's deterministic report (byte-identical to
+      `tagdist ingest --cold` over the saved dataset).
   tagdist stats FILE
       §2 filtering report and corpus statistics of a saved dataset.
   tagdist tag FILE NAME
@@ -82,6 +87,14 @@ USAGE:
       binary file to bin verifies its checksums and copies the bytes
       through without re-encoding. Every command that reads a dataset
       accepts both formats.
+  tagdist ingest FILE [--batches N] [--cold] [--out FILE]
+      Re-stream a saved dataset through the incremental ingest engine
+      in N fixed-size batches (default 8), publishing an epoch
+      snapshot per batch, and emit the final epoch's report — or, with
+      --cold, rebuild the same report from scratch. The two reports
+      are byte-identical for the same input: the incremental engine's
+      headline guarantee, and what the CI incremental-oracle lane
+      `cmp`s. Without --out the report prints to stdout.
   tagdist help
       Show this message.
 ";
@@ -105,6 +118,7 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         "recrawl" => recrawl_cmd(args, out),
         "merge" => merge_cmd(args, out),
         "convert" => convert_cmd(args, out),
+        "ingest" => ingest_cmd(args, out),
         "help" | "" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
             Ok(())
@@ -190,8 +204,20 @@ fn crawl_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         })
         .transpose()?;
     let failure_report_path = args.get("failure-report").map(str::to_owned);
+    let ingest_on = args.flag("ingest");
+    let ingest_report_path = args.get("ingest-report").map(str::to_owned);
     if stop_after.is_some() && checkpoint_path.is_none() {
         return Err("--stop-after-levels needs --checkpoint FILE to suspend into".into());
+    }
+    if ingest_report_path.is_some() && !ingest_on {
+        return Err("--ingest-report needs --ingest".into());
+    }
+    if ingest_on && (checkpoint_path.is_some() || stop_after.is_some() || checkpoint_every > 0) {
+        return Err(
+            "--ingest steps the crawl internally; it cannot combine with --checkpoint, \
+             --checkpoint-every or --stop-after-levels (resuming with --resume is fine)"
+                .into(),
+        );
     }
     // A --stop-after-levels run suspends without writing a dataset, so
     // --out is only mandatory when the crawl can run to completion.
@@ -290,6 +316,19 @@ fn crawl_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         None
     });
     let mut pending = resume;
+
+    if ingest_on {
+        return crawl_ingest(
+            api,
+            &crawl_cfg,
+            pending,
+            &out_path,
+            ingest_report_path.as_deref(),
+            failure_report_path.as_deref(),
+            out,
+        );
+    }
+
     let outcome = loop {
         match crawl_parallel_stepwise(api, &crawl_cfg, pending.take(), step) {
             CrawlRun::Complete(outcome) => break outcome,
@@ -325,6 +364,201 @@ fn crawl_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     }
     writeln!(out, "saved {} records to {out_path}", outcome.dataset.len())
         .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Renders a pipeline state — streamed epoch snapshot or cold rebuild
+/// alike — as a deterministic text report: `{:?}` on f64 round-trips
+/// every bit, so byte-equal reports mean bit-equal state. This is the
+/// artifact the CI incremental-oracle lane `cmp`s.
+fn render_ingest_report(clean: &CleanDataset, table: &TagViewTable) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = writeln!(text, "{}", clean.report());
+    let _ = writeln!(text, "unique tags: {}", clean.tags().len());
+    let _ = writeln!(text, "total views: {}", clean.total_views());
+    let _ = writeln!(text, "countries: {}", clean.country_count());
+    let _ = writeln!(text, "populated tags: {}", table.populated_tags());
+    for (tag, row) in table.iter() {
+        let _ = writeln!(text, "{}\t{row:?}", tag.index());
+    }
+    text
+}
+
+/// The `crawl --ingest` streaming path: feeds each BFS level's new
+/// videos through an [`IngestEngine`], publishing an epoch snapshot
+/// per batch, then saves the raw dataset exactly as a plain crawl
+/// would.
+fn crawl_ingest<W: Write>(
+    api: &(dyn PlatformApi + Sync),
+    crawl_cfg: &CrawlConfig,
+    resume: Option<CrawlCheckpoint>,
+    out_path: &str,
+    ingest_report_path: Option<&str>,
+    failure_report_path: Option<&str>,
+    out: &mut W,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let traffic = TrafficModel::reference(world());
+    let mut engine = IngestEngine::new(traffic.distribution().clone());
+    // A resumed crawl's checkpoint holds everything already fetched;
+    // apply it as the first batch so the engine catches up before the
+    // crawl continues. Kill-mid-stream + resume thereby converges on
+    // the exact state of an uninterrupted streamed crawl (the
+    // robustness suite proves it byte for byte).
+    if let Some(cp) = &resume {
+        engine
+            .apply(&cp.dataset)
+            .map_err(|e| format!("reconstruction failed: {e}"))?;
+        engine
+            .publish()
+            .map_err(|e| format!("publish failed: {e}"))?;
+    }
+    let mut apply_error = None;
+    let mut progress = String::new();
+    let outcome = crawl_parallel_with_batches(api, crawl_cfg, resume, |dataset, from| {
+        if apply_error.is_some() {
+            return;
+        }
+        let applied = engine
+            .apply_from(dataset, from)
+            .and_then(|delta| engine.publish().map(|snapshot| (delta, snapshot)));
+        match applied {
+            Ok((delta, snapshot)) => {
+                let _ = writeln!(
+                    progress,
+                    "epoch {}: +{} videos ({} kept), {} kept total",
+                    snapshot.epoch,
+                    delta.unique,
+                    delta.kept,
+                    engine.clean().kept()
+                );
+            }
+            Err(e) => apply_error = Some(e),
+        }
+    });
+    if let Some(e) = apply_error {
+        return Err(format!("ingest failed mid-crawl: {e}"));
+    }
+    // Even a crawl that fetched nothing publishes one (empty) epoch.
+    let snapshot = match engine.cell().load() {
+        Some(snapshot) => snapshot,
+        None => engine
+            .publish()
+            .map_err(|e| format!("publish failed: {e}"))?,
+    };
+    write!(out, "{progress}").map_err(|e| e.to_string())?;
+    let stats = engine.stats();
+    writeln!(
+        out,
+        "ingest: {} batches, {} epochs, {} rows touched, kept {} of {} crawled",
+        stats.batches,
+        engine.epoch(),
+        stats.rows_touched,
+        engine.clean().kept(),
+        engine.clean().crawled()
+    )
+    .map_err(|e| e.to_string())?;
+
+    save(&outcome.dataset, out_path)?;
+    writeln!(out, "{}", outcome.stats).map_err(|e| e.to_string())?;
+    if let Some(path) = failure_report_path {
+        std::fs::write(path, outcome.stats.failure_report_markdown())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "wrote failure report to {path}").map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = ingest_report_path {
+        std::fs::write(path, render_ingest_report(&snapshot.clean, &snapshot.table))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "wrote ingest report to {path}").map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "saved {} records to {out_path}", outcome.dataset.len())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Re-streams a saved dataset through the incremental ingest engine in
+/// fixed-size batches — or rebuilds the identical report cold — the
+/// CLI face of the incremental-equivalence oracle.
+fn ingest_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let out_path = args.get("out").map(str::to_owned);
+    let batches = args.get_usize("batches", 8)?;
+    if batches == 0 {
+        return Err("--batches must be at least 1".into());
+    }
+    let traffic = TrafficModel::reference(world());
+
+    let report = if args.flag("cold") {
+        let clean = load_clean(path)?;
+        let recon = Reconstruction::compute(&clean, traffic.distribution())
+            .map_err(|e| format!("reconstruction failed: {e}"))?;
+        let table = TagViewTable::aggregate(&clean, &recon);
+        writeln!(
+            out,
+            "cold rebuild: kept {} of {} crawled",
+            clean.len(),
+            clean.report().crawled
+        )
+        .map_err(|e| e.to_string())?;
+        render_ingest_report(&clean, &table)
+    } else {
+        let dataset = load(path)?;
+        if dataset.country_count() != traffic.distribution().len() {
+            return Err(format!(
+                "{path} covers {} countries, the reference world has {}",
+                dataset.country_count(),
+                traffic.distribution().len()
+            ));
+        }
+        let mut engine = IngestEngine::new(traffic.distribution().clone());
+        let total = dataset.len();
+        let size = total.div_ceil(batches).max(1);
+        let mut from = 0;
+        while from < total {
+            let to = (from + size).min(total);
+            let delta = engine
+                .apply_range(&dataset, from, to)
+                .map_err(|e| format!("reconstruction failed: {e}"))?;
+            let snapshot = engine
+                .publish()
+                .map_err(|e| format!("publish failed: {e}"))?;
+            writeln!(
+                out,
+                "epoch {}: applied records {from}..{to} ({} kept), {} kept total",
+                snapshot.epoch,
+                delta.kept,
+                engine.clean().kept()
+            )
+            .map_err(|e| e.to_string())?;
+            from = to;
+        }
+        // An empty dataset still publishes one (empty) epoch.
+        let snapshot = match engine.cell().load() {
+            Some(snapshot) => snapshot,
+            None => engine
+                .publish()
+                .map_err(|e| format!("publish failed: {e}"))?,
+        };
+        writeln!(
+            out,
+            "ingest: {} batches, {} epochs, kept {} of {} crawled",
+            engine.stats().batches,
+            engine.epoch(),
+            engine.clean().kept(),
+            engine.clean().crawled()
+        )
+        .map_err(|e| e.to_string())?;
+        render_ingest_report(&snapshot.clean, &snapshot.table)
+    };
+
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &report).map_err(|e| format!("cannot write {p}: {e}"))?;
+            writeln!(out, "wrote ingest report to {p}").map_err(|e| e.to_string())?;
+        }
+        None => write!(out, "{report}").map_err(|e| e.to_string())?,
+    }
     Ok(())
 }
 
@@ -1040,5 +1274,169 @@ mod tests {
         assert!(err.contains("--checkpoint"), "{err}");
         let err = run(&["generate", "--fault", "bogus", "--out", "/tmp/never.tsv"]).unwrap_err();
         assert!(err.contains("bogus"), "{err}");
+    }
+
+    /// The CLI face of the rebuild oracle: streaming a saved dataset in
+    /// any number of batches writes the byte-identical report a cold
+    /// rebuild writes.
+    #[test]
+    fn ingest_report_matches_cold_rebuild_byte_for_byte() {
+        let data = temp("ing.tsv");
+        let cold = temp("ing-cold.txt");
+        let inc = temp("ing-inc.txt");
+        run(&[
+            "generate", "--videos", "900", "--seed", "21", "--out", &data,
+        ])
+        .unwrap();
+        run(&["ingest", &data, "--cold", "--out", &cold]).unwrap();
+        for batches in ["1", "3", "8"] {
+            let text = run(&["ingest", &data, "--batches", batches, "--out", &inc]).unwrap();
+            assert!(text.contains("epoch 1:"), "{text}");
+            assert_eq!(
+                std::fs::read(&cold).unwrap(),
+                std::fs::read(&inc).unwrap(),
+                "{batches}-batch ingest must equal the cold rebuild"
+            );
+        }
+        for p in [&data, &cold, &inc] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// `crawl --ingest` publishes per-level epochs whose final report
+    /// equals an offline cold rebuild of the dataset the crawl saved.
+    #[test]
+    fn crawl_ingest_matches_offline_cold_rebuild() {
+        let data = temp("crawl-ing.tsv");
+        let live = temp("crawl-ing-live.txt");
+        let cold = temp("crawl-ing-cold.txt");
+        let text = run(&[
+            "crawl",
+            "--videos",
+            "900",
+            "--seed",
+            "22",
+            "--ingest",
+            "--ingest-report",
+            &live,
+            "--out",
+            &data,
+        ])
+        .unwrap();
+        assert!(text.contains("epoch 1:"), "{text}");
+        assert!(text.contains("ingest:"), "{text}");
+        run(&["ingest", &data, "--cold", "--out", &cold]).unwrap();
+        assert_eq!(
+            std::fs::read(&live).unwrap(),
+            std::fs::read(&cold).unwrap(),
+            "mid-crawl ingest state must equal the cold rebuild"
+        );
+        for p in [&data, &live, &cold] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn ingest_flag_validation() {
+        let err = run(&[
+            "crawl",
+            "--ingest",
+            "--checkpoint",
+            "/tmp/never.ckpt",
+            "--out",
+            "/tmp/never.tsv",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--ingest"), "{err}");
+        let err = run(&[
+            "crawl",
+            "--ingest-report",
+            "/tmp/never.txt",
+            "--out",
+            "/tmp/never.tsv",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--ingest"), "{err}");
+        let err = run(&["ingest", "/tmp/never.tsv", "--batches", "0"]).unwrap_err();
+        assert!(err.contains("--batches"), "{err}");
+    }
+
+    /// Regression (PR 9): an empty dataset must round-trip through
+    /// convert in both directions and through the delta path without
+    /// panicking.
+    #[test]
+    fn empty_dataset_survives_convert_and_ingest() {
+        use tagdist::dataset::{tsv, DatasetBuilder};
+        let empty = temp("empty.tsv");
+        let bin = temp("empty.bin");
+        let back = temp("empty-back.tsv");
+        let cold = temp("empty-cold.txt");
+        let inc = temp("empty-inc.txt");
+        let cc = tagdist::geo::world().len();
+        let mut file = std::fs::File::create(&empty).unwrap();
+        tsv::write(&DatasetBuilder::new(cc).build(), &mut file).unwrap();
+        drop(file);
+        run(&["convert", &empty, "--to", "bin", "--out", &bin]).unwrap();
+        run(&["convert", &bin, "--to", "tsv", "--out", &back]).unwrap();
+        assert_eq!(
+            std::fs::read(&empty).unwrap(),
+            std::fs::read(&back).unwrap(),
+            "empty TSV -> bin -> TSV must be byte-identical"
+        );
+        let text = run(&["ingest", &empty, "--out", &inc]).unwrap();
+        assert!(
+            text.contains("0 epochs") || text.contains("1 epochs"),
+            "{text}"
+        );
+        run(&["ingest", &bin, "--cold", "--out", &cold]).unwrap();
+        assert_eq!(
+            std::fs::read(&cold).unwrap(),
+            std::fs::read(&inc).unwrap(),
+            "empty ingest must equal the empty cold rebuild"
+        );
+        for p in [&empty, &bin, &back, &cold, &inc] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Regression (PR 9): a batch whose every record is filtered out —
+    /// tags interned but never carried — must flow through the delta
+    /// path and match the cold rebuild, dangling references included.
+    #[test]
+    fn dangling_tag_batches_survive_the_delta_path() {
+        use tagdist::dataset::{tsv, DatasetBuilder, RawPopularity};
+        let cc = tagdist::geo::world().len();
+        let mut b = DatasetBuilder::new(cc);
+        b.push_video(
+            "ghost1",
+            10,
+            &["phantom", "specter"],
+            RawPopularity::Missing,
+        );
+        b.push_video("ghost2", 20, &[], RawPopularity::decode(vec![1; cc], cc));
+        b.push_video(
+            "ghost3",
+            30,
+            &["phantom"],
+            RawPopularity::decode(vec![0; cc], cc),
+        );
+        let data = temp("ghost.tsv");
+        let mut file = std::fs::File::create(&data).unwrap();
+        tsv::write(&b.build(), &mut file).unwrap();
+        drop(file);
+
+        let cold = temp("ghost-cold.txt");
+        let inc = temp("ghost-inc.txt");
+        run(&["ingest", &data, "--cold", "--out", &cold]).unwrap();
+        let text = run(&["ingest", &data, "--batches", "2", "--out", &inc]).unwrap();
+        assert!(text.contains("kept 0 of 3 crawled"), "{text}");
+        assert_eq!(
+            std::fs::read(&cold).unwrap(),
+            std::fs::read(&inc).unwrap(),
+            "dangling-tag batches must equal the cold rebuild"
+        );
+        for p in [&data, &cold, &inc] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

@@ -363,6 +363,61 @@ pub fn crawl_parallel_stepwise<P: PlatformApi + Sync + ?Sized>(
     )
 }
 
+/// [`crawl_parallel`], emitting the growing dataset to `on_batch`
+/// after every BFS level that fetched new videos — the feed the
+/// streaming-ingest engine consumes (`tagdist crawl --ingest`).
+///
+/// `on_batch(dataset, from)` receives the full as-crawled dataset so
+/// far plus the index of the first record the batch added; records
+/// `from..dataset.len()` are exactly this level's new videos, in
+/// crawl order (the shape [`CleanIngest::apply_from`] — and
+/// `IngestEngine::apply_from` above it — consumes without copying).
+/// Levels that fetch nothing new emit no batch. The final state at
+/// completion is always emitted if it grew past the last batch, so a
+/// consumer that applies every callback has seen every record.
+///
+/// Suspension is internal — the crawl runs to completion, checkpoint
+/// round-tripping each level boundary through the same
+/// [`CrawlCheckpoint`] state `--checkpoint` persists, which is why a
+/// killed-and-resumed ingest (pass `resume`) replays the identical
+/// batch boundaries from the suspension point onward.
+///
+/// [`CleanIngest::apply_from`]: tagdist_dataset::CleanIngest::apply_from
+///
+/// # Panics
+///
+/// As for [`crawl_parallel`].
+pub fn crawl_parallel_with_batches<P, F>(
+    platform: &P,
+    cfg: &CrawlConfig,
+    resume: Option<CrawlCheckpoint>,
+    mut on_batch: F,
+) -> CrawlOutcome
+where
+    P: PlatformApi + Sync + ?Sized,
+    F: FnMut(&Dataset, usize),
+{
+    let mut prev_len = resume.as_ref().map_or(0, |cp| cp.dataset.len());
+    let mut pending = resume;
+    loop {
+        match crawl_parallel_stepwise(platform, cfg, pending.take(), Some(1)) {
+            CrawlRun::Suspended(cp) => {
+                if cp.dataset.len() > prev_len {
+                    on_batch(&cp.dataset, prev_len);
+                    prev_len = cp.dataset.len();
+                }
+                pending = Some(*cp);
+            }
+            CrawlRun::Complete(outcome) => {
+                if outcome.dataset.len() > prev_len {
+                    on_batch(&outcome.dataset, prev_len);
+                }
+                return outcome;
+            }
+        }
+    }
+}
+
 /// [`crawl_parallel`], instrumented: opens a `crawl` child span of
 /// `parent`, a `level.{depth}` span per BFS level, and records the
 /// crawl's deterministic counters (`crawl.seeds`, `.levels`,
@@ -656,6 +711,87 @@ mod tests {
         let mut cfg = CrawlConfig::default();
         cfg.with_budget(budget);
         cfg
+    }
+
+    /// The batch hook must hand every record to the consumer exactly
+    /// once, in crawl order, and finish with the uninterrupted crawl's
+    /// dataset.
+    #[test]
+    fn batch_hook_covers_the_crawl_exactly_once() {
+        let p = platform();
+        let cfg = limited(400);
+        let uninterrupted = crawl_parallel(&p, &cfg);
+
+        let mut batches = 0;
+        let mut seen = Vec::new();
+        let outcome = crawl_parallel_with_batches(&p, &cfg, None, |dataset, from| {
+            assert!(from < dataset.len(), "empty batches must be skipped");
+            assert_eq!(from, seen.len(), "batches must be contiguous");
+            for i in from..dataset.len() {
+                seen.push(
+                    dataset
+                        .video(tagdist_dataset::VideoId::from_index(i))
+                        .key
+                        .clone(),
+                );
+            }
+            batches += 1;
+        });
+        assert!(batches > 1, "test must produce several batches");
+        assert_eq!(seen.len(), outcome.dataset.len());
+        for (i, key) in seen.iter().enumerate() {
+            let v = outcome
+                .dataset
+                .video(tagdist_dataset::VideoId::from_index(i));
+            assert_eq!(&v.key, key);
+        }
+
+        assert_eq!(outcome.stats, uninterrupted.stats);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        tagdist_dataset::tsv::write(&uninterrupted.dataset, &mut a).unwrap();
+        tagdist_dataset::tsv::write(&outcome.dataset, &mut b).unwrap();
+        assert_eq!(a, b, "batched crawl must equal the uninterrupted one");
+    }
+
+    /// Resuming the batch hook from a checkpoint replays only the
+    /// not-yet-emitted suffix.
+    #[test]
+    fn batch_hook_resumes_from_a_checkpoint() {
+        let p = platform();
+        let cfg = limited(600);
+
+        let mut run = crawl_parallel_stepwise(&p, &cfg, None, Some(1));
+        let cp = match run {
+            CrawlRun::Suspended(cp) => *cp,
+            CrawlRun::Complete(_) => panic!("crawl must suspend for this test"),
+        };
+        let already = cp.dataset.len();
+        assert!(already > 0);
+
+        let mut first_from = None;
+        run = CrawlRun::Complete(crawl_parallel_with_batches(
+            &p,
+            &cfg,
+            Some(cp),
+            |_, from| {
+                first_from.get_or_insert(from);
+            },
+        ));
+        let resumed = run.expect_complete();
+        assert_eq!(
+            first_from,
+            Some(already),
+            "resume must continue where the checkpoint stopped"
+        );
+
+        let uninterrupted = crawl_parallel(&p, &cfg);
+        assert_eq!(resumed.stats, uninterrupted.stats);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        tagdist_dataset::tsv::write(&uninterrupted.dataset, &mut a).unwrap();
+        tagdist_dataset::tsv::write(&resumed.dataset, &mut b).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

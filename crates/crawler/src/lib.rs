@@ -75,8 +75,8 @@ pub use breaker::{BreakerConfig, CircuitBreaker, HostBreakers};
 pub use checkpoint::{BreakerSnapshot, CheckpointError, CrawlCheckpoint};
 pub use config::CrawlConfig;
 pub use driver::{
-    crawl, crawl_parallel, crawl_parallel_obs, crawl_parallel_stepwise, crawl_stepwise,
-    CrawlOutcome, CrawlRun,
+    crawl, crawl_parallel, crawl_parallel_obs, crawl_parallel_stepwise,
+    crawl_parallel_with_batches, crawl_stepwise, CrawlOutcome, CrawlRun,
 };
 pub use incremental::{recrawl, RecrawlOutcome};
 pub use ratelimit::{RateLimitConfig, TokenBucket};

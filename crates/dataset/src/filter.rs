@@ -287,23 +287,31 @@ impl CleanDataset {
 /// Incremental column builder shared by [`filter`] and
 /// [`filter_columnar`], so both paths construct the result through the
 /// exact same sequence of column writes.
-struct CleanBuilder {
+///
+/// The streaming-ingest engine (`crate::ingest`) holds one of these
+/// across batches and snapshots it with `clone().finish(..)`, which is
+/// why the struct is `Clone` and crate-visible: a snapshot built that
+/// way runs the identical column-write + counting-sort sequence a cold
+/// [`filter`] of the concatenated corpus would, so the two are equal
+/// field for field.
+#[derive(Debug, Clone)]
+pub(crate) struct CleanBuilder {
     country_count: usize,
-    report: FilterReport,
+    pub(crate) report: FilterReport,
     ids: Vec<VideoId>,
     key_offsets: Vec<usize>,
     key_pool: String,
     title_offsets: Vec<usize>,
     title_pool: String,
-    views: Vec<u64>,
-    tag_rows: Vec<usize>,
-    tag_ids: Vec<TagId>,
-    intensities: Vec<u8>,
+    pub(crate) views: Vec<u64>,
+    pub(crate) tag_rows: Vec<usize>,
+    pub(crate) tag_ids: Vec<TagId>,
+    pub(crate) intensities: Vec<u8>,
     total_views: u128,
 }
 
 impl CleanBuilder {
-    fn new(country_count: usize, crawled: usize) -> CleanBuilder {
+    pub(crate) fn new(country_count: usize, crawled: usize) -> CleanBuilder {
         CleanBuilder {
             country_count,
             report: FilterReport {
@@ -323,8 +331,15 @@ impl CleanBuilder {
         }
     }
 
-    fn push<I>(&mut self, id: VideoId, key: &str, title: &str, views: u64, tags: I, pop: &[u8])
-    where
+    pub(crate) fn push<I>(
+        &mut self,
+        id: VideoId,
+        key: &str,
+        title: &str,
+        views: u64,
+        tags: I,
+        pop: &[u8],
+    ) where
         I: IntoIterator<Item = TagId>,
     {
         debug_assert_eq!(pop.len(), self.country_count);
@@ -340,7 +355,7 @@ impl CleanBuilder {
         self.total_views += views as u128;
     }
 
-    fn finish(mut self, tags: TagInterner) -> CleanDataset {
+    pub(crate) fn finish(mut self, tags: TagInterner) -> CleanDataset {
         self.report.kept = self.views.len();
         assert!(
             u32::try_from(self.views.len()).is_ok(),

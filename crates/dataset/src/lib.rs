@@ -62,6 +62,7 @@ pub mod dataset;
 pub mod error;
 pub mod filter;
 pub mod format;
+pub mod ingest;
 pub mod merge;
 pub mod mmap;
 pub mod record;
@@ -76,6 +77,7 @@ pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DatasetError;
 pub use filter::{filter, filter_columnar, CleanDataset, CleanVideo, FilterReport};
 pub use format::{decode_any, read_any, sniff, write_binary, DatasetFormat};
+pub use ingest::{CleanIngest, IngestDelta};
 pub use merge::merge;
 pub use mmap::Mmap;
 pub use record::{RawPopularity, VideoId, VideoRecord};

@@ -60,12 +60,14 @@
 )]
 
 pub mod error;
+pub mod ingest;
 pub mod refine;
 pub mod sensitivity;
 pub mod tagviews;
 pub mod views;
 
 pub use error::{country_bias, ErrorReport, ErrorSummary};
+pub use ingest::{EpochSnapshot, IngestEngine, IngestStats, SnapshotCell};
 pub use refine::{refine_prior, RefinedPrior};
 pub use sensitivity::Sensitivity;
 pub use tagviews::TagViewTable;

@@ -18,7 +18,7 @@ use tagdist_par::Pool;
 use crate::views::Reconstruction;
 
 /// Spine sentinel: the tag has no retained videos, hence no row.
-const NO_ROW: u32 = u32::MAX;
+pub(crate) const NO_ROW: u32 = u32::MAX;
 
 /// Aggregated per-country views for every tag of a filtered dataset.
 ///
@@ -170,6 +170,28 @@ impl TagViewTable {
             },
         );
 
+        TagViewTable {
+            row_of,
+            tag_of_row,
+            rows,
+            video_counts,
+            country_count,
+        }
+    }
+
+    /// Assembles a table from already-aggregated parts (the
+    /// streaming-ingest engine's snapshot path). Invariants expected:
+    /// `row_of` and `video_counts` are full-vocabulary spines,
+    /// `tag_of_row` lists populated tags ascending, and `rows` holds
+    /// their aggregates in the same order.
+    pub(crate) fn from_parts(
+        row_of: Vec<u32>,
+        tag_of_row: Vec<TagId>,
+        rows: CountryMatrix,
+        video_counts: Vec<u32>,
+        country_count: usize,
+    ) -> TagViewTable {
+        debug_assert_eq!(rows.rows(), tag_of_row.len());
         TagViewTable {
             row_of,
             tag_of_row,

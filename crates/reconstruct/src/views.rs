@@ -178,6 +178,14 @@ impl Reconstruction {
         })
     }
 
+    /// Wraps an already-computed matrix (the streaming-ingest engine's
+    /// snapshot path, which reconstructs rows one video at a time with
+    /// [`reconstruct_intensities_into`] — the same per-row arithmetic
+    /// [`compute`](Reconstruction::compute) runs, hence bit-identical).
+    pub(crate) fn from_matrix(matrix: CountryMatrix) -> Reconstruction {
+        Reconstruction { matrix }
+    }
+
     /// Number of reconstructed videos.
     pub fn len(&self) -> usize {
         self.matrix.rows()

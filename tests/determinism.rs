@@ -277,6 +277,81 @@ fn columnar_and_record_reports_are_byte_identical_across_threads() {
     std::env::remove_var(THREADS_ENV);
 }
 
+/// The PR 9 rebuild oracle: after N streamed batches the incremental
+/// ingest engine's published snapshot — clean columns, reconstruction
+/// matrix and tag aggregates — is byte-identical to a cold
+/// filter → compute → aggregate rebuild of the dataset the same crawl
+/// saves, and both sides are invariant to the worker-pool size.
+#[test]
+fn incremental_ingest_equals_cold_rebuild_across_threads() {
+    use std::fmt::Write as _;
+    use tagdist::crawler::crawl_parallel_with_batches;
+    use tagdist::dataset::filter;
+    use tagdist::reconstruct::{EpochSnapshot, IngestEngine, Reconstruction, TagViewTable};
+
+    let platform = Platform::generate(tiny(11));
+    let mut cfg = CrawlConfig::default();
+    cfg.with_budget(600);
+    let traffic = platform.true_traffic();
+
+    // Exact text rendering: `{:?}` on f64 round-trips every bit, so
+    // string equality below is bit equality of the whole state.
+    let render = |clean: &tagdist::dataset::CleanDataset, table: &TagViewTable| {
+        let mut out = String::new();
+        writeln!(out, "{}", clean.report()).unwrap();
+        for (tag, views) in table.iter() {
+            writeln!(out, "{}\t{views:?}", tag.index()).unwrap();
+        }
+        out
+    };
+    let incremental = || {
+        let mut engine = IngestEngine::new(traffic.clone());
+        let mut error = None;
+        let outcome = crawl_parallel_with_batches(&platform, &cfg, None, |dataset, from| {
+            if error.is_some() {
+                return;
+            }
+            error = engine
+                .apply_from(dataset, from)
+                .and_then(|_| engine.publish().map(|_| ()))
+                .err();
+        });
+        assert_eq!(error, None, "ingest must absorb every batch");
+        let snapshot: std::sync::Arc<EpochSnapshot> = engine.cell().load().unwrap();
+        assert!(engine.epoch() > 1, "crawl must stream several batches");
+        (render(&snapshot.clean, &snapshot.table), outcome.dataset)
+    };
+    let cold = |dataset: &tagdist::dataset::Dataset| {
+        let clean = filter(dataset);
+        let recon = Reconstruction::compute(&clean, traffic).unwrap();
+        let table = TagViewTable::aggregate(&clean, &recon);
+        render(&clean, &table)
+    };
+
+    std::env::set_var(THREADS_ENV, "1");
+    let (reference, reference_dataset) = incremental();
+    assert!(!reference.is_empty());
+    assert_eq!(
+        reference,
+        cold(&reference_dataset),
+        "incremental state must equal the cold rebuild"
+    );
+    for threads in ["1", "2", "8"] {
+        std::env::set_var(THREADS_ENV, threads);
+        let (streamed, dataset) = incremental();
+        assert_eq!(
+            streamed, reference,
+            "incremental state drifted at {threads} threads"
+        );
+        assert_eq!(
+            cold(&dataset),
+            reference,
+            "cold rebuild drifted at {threads} threads"
+        );
+    }
+    std::env::remove_var(THREADS_ENV);
+}
+
 mod par_fold_properties {
     use super::Pool;
     use proptest::prelude::*;

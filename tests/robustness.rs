@@ -219,3 +219,83 @@ fn killed_and_resumed_crawl_is_byte_identical() {
     tsv::write(&resumed.dataset, &mut b).unwrap();
     assert_eq!(a, b, "resumed dataset must be byte-identical");
 }
+
+/// The kill/resume contract extended to the streaming-ingest engine
+/// (PR 9): kill the crawl mid-stream, round-trip the checkpoint
+/// through bytes, start a FRESH engine in the "new process", catch it
+/// up from the checkpoint's dataset as one batch, resume the batched
+/// crawl — and end with state byte-identical to an engine that
+/// streamed the uninterrupted crawl, and to a cold rebuild.
+#[test]
+fn killed_and_resumed_ingest_is_byte_identical() {
+    use std::fmt::Write as _;
+    use tagdist::crawler::{crawl_parallel_stepwise, crawl_parallel_with_batches};
+    use tagdist::reconstruct::{EpochSnapshot, IngestEngine};
+
+    let make_platform = || {
+        let mut cfg = WorldConfig::tiny();
+        cfg.with_videos(1_200).with_seed(99);
+        tagdist::ytsim::Platform::generate(cfg)
+    };
+    let crawl_cfg = CrawlConfig::default();
+    let traffic = make_platform().true_traffic().clone();
+
+    // Exact text rendering: `{:?}` on f64 round-trips every bit.
+    let render = |s: &EpochSnapshot| {
+        let mut out = String::new();
+        writeln!(out, "{}", s.clean.report()).unwrap();
+        for (tag, views) in s.table.iter() {
+            writeln!(out, "{}\t{views:?}", tag.index()).unwrap();
+        }
+        out
+    };
+    let feed = |engine: &mut IngestEngine, resume| {
+        let platform = make_platform();
+        crawl_parallel_with_batches(&platform, &crawl_cfg, resume, |dataset, from| {
+            engine.apply_from(dataset, from).expect("batch applies");
+            engine.publish().expect("epoch publishes");
+        })
+    };
+
+    // The uninterrupted streamed run.
+    let mut whole = IngestEngine::new(traffic.clone());
+    let outcome = feed(&mut whole, None);
+    let reference = render(&whole.cell().load().unwrap());
+
+    // "Process one": stream two levels, checkpoint, die.
+    let first = make_platform();
+    let CrawlRun::Suspended(checkpoint) =
+        crawl_parallel_stepwise(&first, &crawl_cfg, None, Some(2))
+    else {
+        panic!("a two-level stop must suspend this crawl");
+    };
+    let mut bytes = Vec::new();
+    checkpoint.write(&mut bytes).expect("checkpoint serializes");
+    drop((checkpoint, first));
+
+    // "Process two": fresh engine catches up from the checkpoint's
+    // dataset as one batch, then the resumed crawl streams the rest.
+    let restored = CrawlCheckpoint::read(bytes.as_slice()).expect("checkpoint parses");
+    let mut revived = IngestEngine::new(traffic.clone());
+    revived.apply(&restored.dataset).expect("catch-up applies");
+    revived.publish().expect("catch-up publishes");
+    let resumed = feed(&mut revived, Some(restored));
+
+    assert_eq!(resumed.stats, outcome.stats);
+    assert_eq!(
+        render(&revived.cell().load().unwrap()),
+        reference,
+        "revived ingest state must be byte-identical"
+    );
+
+    // Both equal the cold rebuild of the saved dataset.
+    let clean = filter(&outcome.dataset);
+    let recon = Reconstruction::compute(&clean, &traffic).unwrap();
+    let cold = EpochSnapshot {
+        epoch: 0,
+        table: TagViewTable::aggregate(&clean, &recon),
+        clean,
+        recon,
+    };
+    assert_eq!(render(&cold), reference, "cold rebuild must agree");
+}
