@@ -42,7 +42,16 @@
 //! the synthesized 1M-video corpus, where per-batch apply must beat
 //! the cold rebuild.
 //!
-//! Writes `BENCH_PR9.json` at the repository root by default. Flags:
+//! Since PR 10 a `serve_bench` experiment boots the in-process HTTP
+//! server over a pinned epoch snapshot and replays a seeded
+//! Zipf-shaped request plan against it (the same plan `tagdist
+//! bench-serve` runs over a socket), reporting p50/p99 latency and
+//! throughput with every response byte-compared against the offline
+//! renderers. The instrumented pass additionally replays the fixed
+//! smoke query set so the deterministic `serve.*` counters join the
+//! gated metrics subtree.
+//!
+//! Writes `BENCH_PR10.json` at the repository root by default. Flags:
 //! `--smoke` shrinks the corpus to the tiny test world, runs each
 //! stage once and defaults the output to `bench-smoke.json` (the CI
 //! wiring); a positional argument overrides the output path.
@@ -62,7 +71,8 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tagdist::crawler::{crawl_parallel, crawl_parallel_obs, CrawlConfig};
@@ -70,12 +80,16 @@ use tagdist::dataset::{
     binfmt, filter, filter_columnar, tsv, write_binary, CleanDataset, ColumnarDataset,
     ColumnarRead, Dataset, DatasetBuilder, Mmap, RawPopularity, TagId,
 };
-use tagdist::geo::{CountryVec, GeoDist};
+use tagdist::geo::{CountryVec, GeoDist, TrafficModel};
 use tagdist::obs::{MetricsReport, Recorder};
 use tagdist::par::{available_threads, Pool, THREADS_ENV};
-use tagdist::reconstruct::{IngestEngine, Reconstruction, TagViewTable};
+use tagdist::reconstruct::{
+    EpochSnapshot, IngestEngine, Reconstruction, SnapshotCell, TagViewTable,
+};
 use tagdist::tags::PredictionEvaluation;
 use tagdist::ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
+use tagdist_serve::loadgen::{self, LoadConfig, LoadReport};
+use tagdist_serve::server::{ServeState, Server, ServerConfig};
 
 /// Counting allocator: every `alloc`/`alloc_zeroed`/`realloc` bumps a
 /// relaxed atomic before delegating to the system allocator, and the
@@ -501,6 +515,110 @@ fn incremental_ingest(
     }
 }
 
+/// An in-process `tagdist serve` instance on an ephemeral port,
+/// running its accept loop on a background thread with a dedicated
+/// worker pool.
+struct LiveServer {
+    addr: String,
+    stats: Arc<tagdist_serve::server::ServeStats>,
+    stop: Arc<AtomicBool>,
+    worker: std::thread::JoinHandle<Result<(), String>>,
+}
+
+/// Publishes `snapshot` as epoch 1 and boots the server over it.
+fn boot_server(snapshot: Arc<EpochSnapshot>, traffic: TrafficModel, threads: usize) -> LiveServer {
+    let cell = Arc::new(SnapshotCell::new());
+    cell.store(snapshot);
+    let server = Server::bind("127.0.0.1:0", cell, traffic, ServerConfig::default())
+        .expect("server binds an ephemeral port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let stats = server.stats();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let worker = std::thread::spawn(move || {
+        let pool = Pool::new(threads);
+        server.run(&pool, &flag)
+    });
+    LiveServer {
+        addr,
+        stats,
+        stop,
+        worker,
+    }
+}
+
+impl LiveServer {
+    /// Signals shutdown and joins the accept loop, asserting it exits
+    /// cleanly (the same contract the CI lane checks via SIGTERM).
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.worker
+            .join()
+            .expect("server thread joins")
+            .expect("server accept loop exits cleanly");
+    }
+}
+
+/// One `serve_bench` run: the Zipf load replayed against a live
+/// in-process server.
+struct ServeBenchCost {
+    corpus: &'static str,
+    videos: usize,
+    concurrency: usize,
+    server_threads: usize,
+    report: LoadReport,
+}
+
+/// Boots the server over `dataset`'s epoch-1 snapshot and replays a
+/// seeded Zipf-shaped plan of `requests` targets from `concurrency`
+/// client workers — the in-process twin of `tagdist bench-serve`.
+/// Every response is byte-compared against the offline renderers; any
+/// transport or identity failure aborts the report.
+fn serve_bench(
+    corpus: &'static str,
+    dataset: &Dataset,
+    traffic: &GeoDist,
+    requests: u64,
+    concurrency: usize,
+) -> ServeBenchCost {
+    let model = TrafficModel::from_distribution(traffic.clone());
+    let clean = filter(dataset);
+    let videos = clean.len();
+    let snapshot = Arc::new(EpochSnapshot::rebuild(1, clean, traffic).expect("snapshot rebuilds"));
+    let state = ServeState::build(Arc::clone(&snapshot), traffic);
+    let server_threads = available_threads().clamp(1, 4);
+    let live = boot_server(snapshot, model.clone(), server_threads);
+    let cfg = LoadConfig {
+        addr: live.addr.clone(),
+        requests,
+        concurrency,
+        seed: 42,
+        read_timeout_ms: 30_000,
+    };
+    let report = loadgen::run(&cfg, &state, &model).expect("load run completes");
+    live.shutdown();
+    assert_eq!(
+        report.failures, 0,
+        "{corpus}: transport failures against localhost"
+    );
+    assert_eq!(
+        report.identity_failures, 0,
+        "{corpus}: served bytes != offline bytes"
+    );
+    eprintln!(
+        "serve_bench {corpus}: {} requests @ {concurrency} clients over {server_threads} \
+         server threads — p50 {} us, p99 {} us, {:.0} req/s",
+        report.requests, report.p50_us, report.p99_us, report.throughput_rps
+    );
+    ServeBenchCost {
+        corpus,
+        videos,
+        concurrency,
+        server_threads,
+        report,
+    }
+}
+
 fn stage_outputs(
     clean: &CleanDataset,
     traffic: &GeoDist,
@@ -650,6 +768,28 @@ fn instrumented_pass(
             streamed.table, table,
             "streamed aggregates must equal the cold table"
         );
+        // The serve layer, gated end to end: an in-process server over
+        // the epoch snapshot answers the fixed smoke query set, every
+        // response byte-compared against the offline renderers. The
+        // resulting `serve.*` counters are exact functions of the
+        // seeded corpus — six `Connection: close` requests, no Date
+        // header, so connections, requests, pins and bytes written
+        // never vary across runs or hosts.
+        let model = TrafficModel::from_distribution(traffic.clone());
+        let snapshot = Arc::new(
+            EpochSnapshot::rebuild(1, clean_columnar, traffic).expect("snapshot rebuilds"),
+        );
+        let state = ServeState::build(Arc::clone(&snapshot), traffic);
+        let live = boot_server(snapshot, model.clone(), 1);
+        let cfg = LoadConfig {
+            addr: live.addr.clone(),
+            ..LoadConfig::default()
+        };
+        let stats = Arc::clone(&live.stats);
+        let smoke = loadgen::run_smoke(&cfg, &state, &model, None).expect("smoke replay completes");
+        live.shutdown();
+        assert_eq!(smoke.identity_failures, 0, "served bytes != offline bytes");
+        stats.record_obs(&root);
     }
     std::env::remove_var(THREADS_ENV);
     obs.finish()
@@ -705,7 +845,7 @@ fn main() {
         if smoke {
             "bench-smoke.json".to_owned()
         } else {
-            "BENCH_PR9.json".to_owned()
+            "BENCH_PR10.json".to_owned()
         }
     });
     let runs = if smoke { 1 } else { 3 };
@@ -861,6 +1001,17 @@ fn main() {
         ingest_costs.push(incremental_ingest("synthetic_1m", &synth, traffic, 8));
     }
 
+    // The PR 10 serve layer: a live in-process server raced under the
+    // seeded Zipf load — the crawled corpus in a smoke run, a
+    // synthesized 200k-video corpus under a deeper plan in a full run.
+    let serve_cost = if smoke {
+        serve_bench("crawl", &outcome.dataset, traffic, 2_000, 4)
+    } else {
+        eprintln!("synthesizing 200k-video corpus for serve bench (one-time setup)...");
+        let synth = synthetic_corpus(200_000, clean.country_count());
+        serve_bench("synthetic_200k", &synth, traffic, 1_000_000, 8)
+    };
+
     // The observability pass: same stages, recorded spans + counters.
     let metrics = instrumented_pass(&platform, &outcome.dataset, &clean, traffic);
     eprintln!(
@@ -907,7 +1058,7 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"pr\": 10,");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"runs_per_stage\": {runs},");
     let _ = writeln!(json, "  \"host_available_threads\": {host},");
@@ -1058,6 +1209,18 @@ fn main() {
         let _ = writeln!(json, "    }}{comma}");
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"serve_bench\": {{");
+    let _ = writeln!(json, "    \"corpus\": \"{}\",", serve_cost.corpus);
+    let _ = writeln!(json, "    \"videos\": {},", serve_cost.videos);
+    let _ = writeln!(json, "    \"concurrency\": {},", serve_cost.concurrency);
+    let _ = writeln!(
+        json,
+        "    \"server_threads\": {},",
+        serve_cost.server_threads
+    );
+    let _ = writeln!(json, "    \"load\": {},", serve_cost.report.to_json());
+    let _ = writeln!(json, "    \"outputs_identical\": true");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"combined_seconds\": {{ \"threads_1\": {:.6}, \"threads_2\": {:.6}, \

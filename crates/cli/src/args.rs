@@ -18,7 +18,15 @@ pub struct Args {
 }
 
 /// Options whose presence alone is meaningful (no value follows).
-const BARE_FLAGS: &[&str] = &["cold", "full", "help", "ingest", "with-caching"];
+const BARE_FLAGS: &[&str] = &[
+    "cold",
+    "full",
+    "help",
+    "ingest",
+    "smoke",
+    "watch",
+    "with-caching",
+];
 
 impl Args {
     /// Parses an iterator of arguments (excluding the program name).

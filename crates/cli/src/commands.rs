@@ -8,6 +8,8 @@
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
 
 use tagdist::cache::{run_static, Placement, RequestStream};
 use tagdist::crawler::{
@@ -15,16 +17,23 @@ use tagdist::crawler::{
     CrawlConfig, CrawlRun, PlatformApi,
 };
 use tagdist::dataset::{
-    binfmt, decode_any, filter, filter_columnar, merge, read_any, sample_stratified, sniff, tsv,
-    write_binary, CleanDataset, ColumnarRead, Dataset, DatasetFormat, DatasetStats, Mmap,
+    binfmt, decode_any, merge, read_any, sample_stratified, sniff, tsv, write_binary, CleanDataset,
+    ColumnarRead, Dataset, DatasetFormat, Mmap,
 };
 use tagdist::geo::GeoDist;
 use tagdist::geo::{world, TrafficModel};
 use tagdist::obs::Recorder;
-use tagdist::reconstruct::{IngestEngine, Reconstruction, TagViewTable};
-use tagdist::tags::{GeoTagIndex, Predictor, TagProfile};
+use tagdist::par::Pool;
+use tagdist::reconstruct::{
+    EpochSnapshot, IngestEngine, Reconstruction, SnapshotCell, TagViewTable,
+};
+use tagdist::tags::Predictor;
 use tagdist::ytsim::{FaultProfile, FlakyPlatform, Platform, WorldConfig};
-use tagdist::{markdown_report_obs, render_distribution, ReportOptions, Study, StudyConfig};
+use tagdist::{markdown_report_obs, ReportOptions, Study, StudyConfig};
+use tagdist_serve::loadgen::{self, LoadConfig};
+use tagdist_serve::query;
+use tagdist_serve::server::{ServeState, Server, ServerConfig};
+use tagdist_serve::signal;
 
 use crate::args::Args;
 
@@ -63,6 +72,12 @@ USAGE:
       Geographic profile of one tag in a saved dataset (Figs. 2-3).
   tagdist country FILE CODE
       Signature tags of one country (most viewed + highest lift).
+  tagdist video FILE KEY
+      Reconstructed per-country views of one video (the §3 inversion
+      applied to a single popularity map).
+  tagdist predict FILE TAG...
+      E6-style audience prediction for a tag set alone — what a
+      proactive cache would use for a new video with no view history.
   tagdist sample FILE N --out FILE [--seed S]
       Views-stratified subsample of a saved dataset.
   tagdist cache FILE [--requests N] [--capacity-pct P]
@@ -95,6 +110,28 @@ USAGE:
       are byte-identical for the same input: the incremental engine's
       headline guarantee, and what the CI incremental-oracle lane
       `cmp`s. Without --out the report prints to stdout.
+  tagdist serve FILE [--addr HOST:PORT] [--watch]
+                [--read-timeout-ms MS]
+      Serve the dataset's epoch snapshot over HTTP/1.1. Routes:
+      /healthz, /stats, /report, /tag/NAME, /country/CODE, /video/KEY,
+      /predict/TAG[/TAG...], /metrics — every 200 body byte-identical
+      to the matching offline command's output. --addr defaults to
+      127.0.0.1:0 (ephemeral; the bound address is printed first).
+      --watch re-sniffs FILE on modification and publishes the reload
+      as a new epoch under live traffic — the single-process
+      composition with `tagdist crawl`/`convert` rewriting FILE
+      between runs (in-flight requests keep their pinned epoch).
+      SIGTERM/SIGINT drain the accept loop and exit 0.
+  tagdist bench-serve FILE --addr HOST:PORT [--requests N]
+                      [--concurrency C] [--seed S] [--smoke]
+                      [--dump DIR] [--summary FILE]
+      Replay seeded load with Zipf-distributed tag popularity against
+      a running `tagdist serve`, asserting every response body
+      byte-identical to the offline answer rebuilt from FILE, and
+      report p50/p99 latency + throughput. --smoke replays the fixed
+      named query set once instead (optionally dumping each body to
+      DIR/<name>.body for CI to cmp); --summary writes the JSON
+      report. Exits nonzero on any transport or identity failure.
   tagdist help
       Show this message.
 ";
@@ -112,6 +149,10 @@ pub fn dispatch<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
         "stats" => stats(args, out),
         "tag" => tag(args, out),
         "country" => country(args, out),
+        "video" => video(args, out),
+        "predict" => predict(args, out),
+        "serve" => serve_cmd(args, out),
+        "bench-serve" => bench_serve_cmd(args, out),
         "sample" => sample(args, out),
         "cache" => cache_sweep(args, out),
         "report" => report(args, out),
@@ -134,19 +175,11 @@ fn load(path: &str) -> Result<Dataset, String> {
 }
 
 /// Loads and filters a dataset along the cheapest path its format
-/// allows: a binary file is memory-mapped and filtered straight off
-/// the borrowed sections (no record materialization, payload bytes
-/// never copied to the heap); a TSV file parses into records first.
-/// Both paths produce the identical [`CleanDataset`].
+/// allows — delegated to [`query::load_clean`], the same loader the
+/// HTTP server boots from, so the CLI and the socket read identical
+/// state by construction.
 fn load_clean(path: &str) -> Result<CleanDataset, String> {
-    let map = Mmap::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    if sniff(&map) == Some(DatasetFormat::Binary) {
-        let view =
-            binfmt::decode_borrowed(&map).map_err(|e| format!("cannot parse {path}: {e}"))?;
-        return Ok(filter_columnar(&view));
-    }
-    let dataset = decode_any(&map).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    Ok(filter(&dataset))
+    query::load_clean(path)
 }
 
 fn save(dataset: &Dataset, path: &str) -> Result<(), String> {
@@ -367,22 +400,12 @@ fn crawl_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     Ok(())
 }
 
-/// Renders a pipeline state — streamed epoch snapshot or cold rebuild
-/// alike — as a deterministic text report: `{:?}` on f64 round-trips
-/// every bit, so byte-equal reports mean bit-equal state. This is the
-/// artifact the CI incremental-oracle lane `cmp`s.
+/// Renders a pipeline state as the deterministic ingest report — now
+/// [`query::ingest_report_body`], shared with the server's `/report`
+/// route; this is the artifact the CI incremental-oracle and
+/// serve-oracle lanes `cmp`.
 fn render_ingest_report(clean: &CleanDataset, table: &TagViewTable) -> String {
-    use std::fmt::Write as _;
-    let mut text = String::new();
-    let _ = writeln!(text, "{}", clean.report());
-    let _ = writeln!(text, "unique tags: {}", clean.tags().len());
-    let _ = writeln!(text, "total views: {}", clean.total_views());
-    let _ = writeln!(text, "countries: {}", clean.country_count());
-    let _ = writeln!(text, "populated tags: {}", table.populated_tags());
-    for (tag, row) in table.iter() {
-        let _ = writeln!(text, "{}\t{row:?}", tag.index());
-    }
-    text
+    query::ingest_report_body(clean, table)
 }
 
 /// The `crawl --ingest` streaming path: feeds each BFS level's new
@@ -564,72 +587,127 @@ fn ingest_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
 
 fn stats<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let clean = load_clean(args.positional(0, "dataset file")?)?;
-    writeln!(out, "{}", clean.report()).map_err(|e| e.to_string())?;
-    writeln!(out, "{}", DatasetStats::compute(&clean)).map_err(|e| e.to_string())?;
-    Ok(())
+    write!(out, "{}", query::stats_body(&clean)).map_err(|e| e.to_string())
+}
+
+/// Cold-builds the snapshot parts every offline query command answers
+/// from. Without the generating platform, the CLI is in the paper's
+/// exact situation: it must use the Alexa-substitute reference prior.
+fn query_parts(path: &str) -> Result<(CleanDataset, Reconstruction, TagViewTable), String> {
+    let clean = load_clean(path)?;
+    let traffic = TrafficModel::reference(world());
+    let recon = Reconstruction::compute(&clean, traffic.distribution())
+        .map_err(|e| format!("reconstruction failed: {e}"))?;
+    let table = TagViewTable::aggregate(&clean, &recon);
+    Ok((clean, recon, table))
 }
 
 fn tag<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let path = args.positional(0, "dataset file")?;
     let name = args.positional(1, "tag name")?;
-    let clean = load_clean(path)?;
-    // Without the generating platform, the CLI is in the paper's exact
-    // situation: it must use the Alexa-substitute reference prior.
+    let (clean, _, table) = query_parts(path)?;
     let traffic = TrafficModel::reference(world());
-    let recon = Reconstruction::compute(&clean, traffic.distribution())
-        .map_err(|e| format!("reconstruction failed: {e}"))?;
-    let table = TagViewTable::aggregate(&clean, &recon);
-    let tag_id = clean
-        .tags()
-        .id(name)
-        .ok_or_else(|| format!("tag {name:?} does not occur in the dataset"))?;
-    let profile = TagProfile::build(tag_id, &clean, &table, traffic.distribution())
-        .ok_or_else(|| format!("tag {name:?} has no retained videos"))?;
-    writeln!(out, "{profile}").map_err(|e| e.to_string())?;
-    write!(out, "{}", render_distribution(&profile.dist, 10)).map_err(|e| e.to_string())?;
-    Ok(())
+    let body =
+        query::tag_body(&clean, &table, traffic.distribution(), name).map_err(|e| e.to_string())?;
+    write!(out, "{body}").map_err(|e| e.to_string())
 }
 
 fn country<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
     let path = args.positional(0, "dataset file")?;
     let code = args.positional(1, "country code")?;
-    let country = world()
-        .by_code(code)
-        .ok_or_else(|| format!("unknown country code {code:?}"))?;
+    let (clean, _, table) = query_parts(path)?;
+    let traffic = TrafficModel::reference(world());
+    let index = query::build_geo_index(&table, traffic.distribution());
+    let body = query::country_body(&clean, &index, &traffic, code).map_err(|e| e.to_string())?;
+    write!(out, "{body}").map_err(|e| e.to_string())
+}
+
+fn video<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let key = args.positional(1, "video key")?;
+    let (clean, recon, _) = query_parts(path)?;
+    let pos = query::find_video(&clean, key)
+        .ok_or_else(|| query::QueryError::UnknownVideo(key.to_owned()).to_string())?;
+    let body = query::video_body(&clean, &recon, pos).map_err(|e| e.to_string())?;
+    write!(out, "{body}").map_err(|e| e.to_string())
+}
+
+fn predict<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    if args.positional.len() < 2 {
+        return Err("predict needs at least one tag".into());
+    }
+    let names: Vec<&str> = args.positional[1..].iter().map(String::as_str).collect();
+    let (clean, _, table) = query_parts(path)?;
+    let traffic = TrafficModel::reference(world());
+    let body = query::predict_body(&clean, &table, traffic.distribution(), &names)
+        .map_err(|e| e.to_string())?;
+    write!(out, "{body}").map_err(|e| e.to_string())
+}
+
+/// `tagdist serve`: publish the dataset as epoch 1 and run the accept
+/// loop until SIGTERM/SIGINT (or a failed bind).
+fn serve_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let clean = load_clean(path)?;
     let traffic = TrafficModel::reference(world());
-    let recon = Reconstruction::compute(&clean, traffic.distribution())
+    let snapshot = EpochSnapshot::rebuild(1, clean, traffic.distribution())
         .map_err(|e| format!("reconstruction failed: {e}"))?;
-    let table = TagViewTable::aggregate(&clean, &recon);
-    let index = GeoTagIndex::build(&table, traffic.distribution(), 8, 10_000.0, 3);
-    writeln!(
-        out,
-        "{} ({}) — traffic share {:.1}%",
-        country.name,
-        country.code,
-        100.0 * traffic.share(country.id)
-    )
-    .map_err(|e| e.to_string())?;
-    writeln!(out, "most viewed tags:").map_err(|e| e.to_string())?;
-    for s in index.top_by_views(country.id) {
-        writeln!(
-            out,
-            "  {:<24} {:>14.0} views",
-            clean.tags().name(s.tag),
-            s.views
-        )
-        .map_err(|e| e.to_string())?;
+    let cell = Arc::new(SnapshotCell::new());
+    cell.store(Arc::new(snapshot));
+    let config = ServerConfig {
+        read_timeout_ms: args.get_u64("read-timeout-ms", 0)?,
+        watch: args.flag("watch").then(|| path.to_owned()),
+    };
+    let server = Server::bind(addr, cell, traffic, config)?;
+    let bound = server.local_addr()?;
+    signal::install();
+    writeln!(out, "serving {path} on http://{bound}/").map_err(|e| e.to_string())?;
+    // The CI lane backgrounds this process and reads the port from the
+    // log, so the address line must land before the loop starts.
+    out.flush().map_err(|e| e.to_string())?;
+    server.run(&Pool::from_env(), signal::shutdown_flag())
+}
+
+/// `tagdist bench-serve`: replay load against a running server, with
+/// the offline state rebuilt from the same file as the identity
+/// oracle.
+fn bench_serve_cmd<W: Write>(args: &Args, out: &mut W) -> Result<(), String> {
+    let path = args.positional(0, "dataset file")?;
+    let addr = args
+        .get("addr")
+        .ok_or("bench-serve needs --addr HOST:PORT")?;
+    let clean = load_clean(path)?;
+    let traffic = TrafficModel::reference(world());
+    let snapshot = EpochSnapshot::rebuild(1, clean, traffic.distribution())
+        .map_err(|e| format!("reconstruction failed: {e}"))?;
+    let state = ServeState::build(Arc::new(snapshot), traffic.distribution());
+    let cfg = LoadConfig {
+        addr: addr.to_owned(),
+        requests: args.get_u64("requests", 10_000)?,
+        concurrency: args.get_usize("concurrency", 4)?,
+        seed: args.get_u64("seed", 42)?,
+        read_timeout_ms: args.get_u64("read-timeout-ms", 10_000)?,
+    };
+    if !loadgen::wait_ready(addr, 400, Duration::from_millis(25)) {
+        return Err(format!("server at {addr} never answered /healthz"));
     }
-    writeln!(out, "signature tags (highest lift):").map_err(|e| e.to_string())?;
-    for s in index.top_by_lift(country.id) {
-        writeln!(
-            out,
-            "  {:<24} lift {:>6.1}x ({:.0} views here)",
-            clean.tags().name(s.tag),
-            s.lift,
-            s.views
-        )
-        .map_err(|e| e.to_string())?;
+    let report = if args.flag("smoke") {
+        loadgen::run_smoke(&cfg, &state, &traffic, args.get("dump"))?
+    } else {
+        loadgen::run(&cfg, &state, &traffic)?
+    };
+    write!(out, "{}", report.summary()).map_err(|e| e.to_string())?;
+    if let Some(p) = args.get("summary") {
+        std::fs::write(p, report.to_json()).map_err(|e| format!("cannot write {p}: {e}"))?;
+        writeln!(out, "wrote summary to {p}").map_err(|e| e.to_string())?;
+    }
+    if report.failures > 0 || report.identity_failures > 0 {
+        return Err(format!(
+            "{} transport failures, {} identity failures",
+            report.failures, report.identity_failures
+        ));
     }
     Ok(())
 }
@@ -1397,6 +1475,144 @@ mod tests {
         for p in [&empty, &bin, &back, &cold, &inc] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn video_and_predict_commands_answer_offline() {
+        let crawl_path = temp("vp.tsv");
+        run(&[
+            "generate",
+            "--videos",
+            "1200",
+            "--seed",
+            "23",
+            "--out",
+            &crawl_path,
+        ])
+        .unwrap();
+        let clean = query::load_clean(&crawl_path).unwrap();
+        let key = clean.key_of(0).to_owned();
+        let text = run(&["video", &crawl_path, &key]).unwrap();
+        assert!(text.contains("reconstructed views by country:"), "{text}");
+        assert!(text.starts_with(&key), "{text}");
+        let err = run(&["video", &crawl_path, "no-such-key"]).unwrap_err();
+        assert!(err.contains("not in the filtered dataset"), "{err}");
+        let text = run(&["predict", &crawl_path, "pop"]).unwrap();
+        assert!(text.starts_with("predicted audience for 1 tags:"), "{text}");
+        let err = run(&["predict", &crawl_path]).unwrap_err();
+        assert!(err.contains("at least one tag"), "{err}");
+        std::fs::remove_file(&crawl_path).ok();
+    }
+
+    /// A `Write` sink the test can read while another thread (the
+    /// serve loop) keeps writing.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// End to end through the real subcommands: `serve` boots on an
+    /// ephemeral port, `bench-serve --smoke` replays the fixed set and
+    /// dumps bodies that match the offline commands byte for byte, a
+    /// Zipf load run asserts identity on every response, and setting
+    /// the shutdown flag drains the loop to a clean exit.
+    #[test]
+    fn serve_and_bench_serve_round_trip() {
+        let crawl_path = temp("serve.tsv");
+        run(&[
+            "generate",
+            "--videos",
+            "1200",
+            "--seed",
+            "29",
+            "--out",
+            &crawl_path,
+        ])
+        .unwrap();
+        let buf = SharedBuf::default();
+        let mut writer = buf.clone();
+        let path = crawl_path.clone();
+        let handle = std::thread::spawn(move || {
+            let args = Args::parse(["serve", path.as_str(), "--addr", "127.0.0.1:0"]).unwrap();
+            dispatch(&args, &mut writer)
+        });
+        let mut addr = None;
+        for _ in 0..1_000 {
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            if let Some(a) = text
+                .split("http://")
+                .nth(1)
+                .and_then(|r| r.split('/').next())
+            {
+                addr = Some(a.to_owned());
+                break;
+            }
+            if handle.is_finished() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let addr = addr.expect("serve never printed its bound address");
+
+        let dump = std::env::temp_dir().join(format!("tagdist-cli-smoke-{}", std::process::id()));
+        std::fs::create_dir_all(&dump).unwrap();
+        let text = run(&[
+            "bench-serve",
+            &crawl_path,
+            "--addr",
+            &addr,
+            "--smoke",
+            "--dump",
+            dump.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("0 identity failures"), "{text}");
+        // The dumped bodies are the offline commands' bytes — the same
+        // comparison the CI serve-oracle lane `cmp`s across processes.
+        let offline = run(&["stats", &crawl_path]).unwrap();
+        let dumped = std::fs::read_to_string(dump.join("stats.body")).unwrap();
+        assert_eq!(offline, dumped);
+        let offline = run(&["country", &crawl_path, "BR"]).unwrap();
+        let dumped = std::fs::read_to_string(dump.join("country_BR.body")).unwrap();
+        assert_eq!(offline, dumped);
+
+        let summary = temp("bench-serve.json");
+        let text = run(&[
+            "bench-serve",
+            &crawl_path,
+            "--addr",
+            &addr,
+            "--requests",
+            "200",
+            "--concurrency",
+            "2",
+            "--seed",
+            "5",
+            "--summary",
+            &summary,
+        ])
+        .unwrap();
+        assert!(
+            text.contains("200 requests, 0 failures, 0 identity failures"),
+            "{text}"
+        );
+        let json = std::fs::read_to_string(&summary).unwrap();
+        assert!(json.contains("\"identity_failures\": 0"), "{json}");
+
+        signal::shutdown_flag().store(true, std::sync::atomic::Ordering::SeqCst);
+        handle.join().unwrap().unwrap();
+        signal::shutdown_flag().store(false, std::sync::atomic::Ordering::SeqCst);
+        std::fs::remove_dir_all(&dump).ok();
+        std::fs::remove_file(&summary).ok();
+        std::fs::remove_file(&crawl_path).ok();
     }
 
     /// Regression (PR 9): a batch whose every record is filtered out —

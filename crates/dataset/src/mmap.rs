@@ -9,10 +9,11 @@
 //! degrades to one buffered `fs::read` with the identical API, so
 //! callers never branch on platform.
 //!
-//! This is the *only* module in the workspace's checked crates that
-//! contains `unsafe` code, and the only one allowed to — the
-//! `unsafe-scope` pass of `cargo xtask check` enforces both directions
-//! (see `crates/xtask/src/rules.rs`).
+//! This and the serve layer's signal module
+//! (`crates/serve/src/signal.rs`) are the only modules in the
+//! workspace's checked crates that contain `unsafe` code, and the only
+//! ones allowed to — the `unsafe-scope` pass of `cargo xtask check`
+//! enforces both directions (see `crates/xtask/src/rules.rs`).
 //!
 //! # Safety
 //!

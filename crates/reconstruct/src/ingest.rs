@@ -71,6 +71,34 @@ pub struct EpochSnapshot {
     pub table: TagViewTable,
 }
 
+impl EpochSnapshot {
+    /// Cold-builds epoch `epoch` from an already filtered dataset:
+    /// per-video reconstruction plus per-tag aggregation against
+    /// `traffic`. External publishers — `tagdist serve --watch`
+    /// re-sniffing a file another process keeps rewriting — use this to
+    /// turn a freshly loaded corpus into a publishable snapshot; by the
+    /// rebuild oracle it equals the streamed state bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-video reconstruction error in dataset
+    /// order.
+    pub fn rebuild(
+        epoch: u64,
+        clean: CleanDataset,
+        traffic: &GeoDist,
+    ) -> Result<EpochSnapshot, GeoError> {
+        let recon = Reconstruction::compute(&clean, traffic)?;
+        let table = TagViewTable::aggregate(&clean, &recon);
+        Ok(EpochSnapshot {
+            epoch,
+            clean,
+            recon,
+            table,
+        })
+    }
+}
+
 /// The published-snapshot slot readers poll: one atomic flip per
 /// epoch, previous epochs kept alive by the readers still holding
 /// them.
@@ -95,7 +123,12 @@ impl SnapshotCell {
             .clone()
     }
 
-    fn store(&self, snapshot: Arc<EpochSnapshot>) {
+    /// Flips `snapshot` into the cell. [`IngestEngine::publish`] calls
+    /// this on every epoch; external publishers (the serve layer's
+    /// `--watch` reload path) call it directly with a snapshot built
+    /// via [`EpochSnapshot::rebuild`]. Readers pinned to the previous
+    /// epoch are unaffected — they keep their `Arc`.
+    pub fn store(&self, snapshot: Arc<EpochSnapshot>) {
         *self.inner.lock().unwrap_or_else(PoisonError::into_inner) = Some(snapshot);
     }
 }

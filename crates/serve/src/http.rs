@@ -1,0 +1,403 @@
+//! A minimal, bounded HTTP/1.1 layer over `std::io` streams.
+//!
+//! The service is deliberately zero-dependency: its needs are one
+//! method (`GET`), plain-text bodies, and `Connection: close` /
+//! keep-alive — a few hundred lines of `std` cover that. The parser is
+//! *bounded* everywhere a client controls a size: the whole request
+//! head (request line + headers) is capped at [`MAX_REQUEST_BYTES`]
+//! and the header count at [`MAX_HEADERS`], so a hostile client can
+//! neither balloon memory nor wedge a worker. Every malformed input
+//! maps to a 4xx/close on *that* connection only — the robustness
+//! suite's degradation contract.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request head (request line + all headers).
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// Upper bound on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request head. Bodies are never read: every route is a GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token (only `GET` is ever dispatched).
+    pub method: String,
+    /// The raw request target (percent-encoded path).
+    pub target: String,
+    /// Whether the connection should be kept open after the response
+    /// (HTTP/1.1 default, overridable by a `Connection` header).
+    pub keep_alive: bool,
+}
+
+/// Everything that can go wrong reading one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically broken request line or header.
+    BadRequest(String),
+    /// The request head exceeded [`MAX_REQUEST_BYTES`] or
+    /// [`MAX_HEADERS`].
+    TooLarge,
+    /// A syntactically valid method other than `GET`.
+    MethodNotAllowed,
+    /// An HTTP version outside 1.0/1.1.
+    UnsupportedVersion,
+    /// The client vanished mid-request (premature EOF).
+    Disconnected,
+    /// Transport error (read timeout included).
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(why) => write!(f, "bad request: {why}"),
+            HttpError::TooLarge => write!(f, "request head too large"),
+            HttpError::MethodNotAllowed => write!(f, "method not allowed"),
+            HttpError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            HttpError::Disconnected => write!(f, "client disconnected"),
+            HttpError::Io(why) => write!(f, "transport error: {why}"),
+        }
+    }
+}
+
+impl HttpError {
+    /// The response to send for this error, if one is sendable at all
+    /// (`None`: the client is gone — just close).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::TooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::MethodNotAllowed => Some((405, "Method Not Allowed")),
+            HttpError::UnsupportedVersion => Some((505, "HTTP Version Not Supported")),
+            HttpError::Disconnected | HttpError::Io(_) => None,
+        }
+    }
+}
+
+/// Incremental request reader for one connection. Bytes read past the
+/// current request's terminator stay buffered for the next call, so
+/// keep-alive (and even pipelined) clients parse correctly.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> RequestReader {
+        RequestReader::default()
+    }
+
+    /// Reads and parses the next request head from `stream`.
+    ///
+    /// Returns `Ok(None)` on a clean EOF *between* requests — the
+    /// normal end of a keep-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Disconnected`] on EOF mid-request, `TooLarge` /
+    /// `BadRequest` / `MethodNotAllowed` / `UnsupportedVersion` on
+    /// malformed input, `Io` on transport failure (timeouts included).
+    pub fn read_request<R: Read>(&mut self, stream: &mut R) -> Result<Option<Request>, HttpError> {
+        let head = loop {
+            if let Some(end) = find_terminator(&self.buf) {
+                if end + 4 > MAX_REQUEST_BYTES {
+                    return Err(HttpError::TooLarge);
+                }
+                let head: Vec<u8> = self.buf.drain(..end + 4).collect();
+                break head;
+            }
+            if self.buf.len() > MAX_REQUEST_BYTES {
+                return Err(HttpError::TooLarge);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream
+                .read(&mut chunk)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            if n == 0 {
+                if self.buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Disconnected);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        parse_head(&head).map(Some)
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses a complete request head (terminator included).
+fn parse_head(head: &[u8]) -> Result<Request, HttpError> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| HttpError::BadRequest("head is not UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::UnsupportedVersion),
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "target {target:?} is not an absolute path"
+        )));
+    }
+
+    let mut keep_alive = http11;
+    let mut count = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue; // the blank line before the terminator
+        }
+        count += 1;
+        if count > MAX_HEADERS {
+            return Err(HttpError::TooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("header line {line:?} has no colon")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!("bad header name {name:?}")));
+        }
+        if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    if method != "GET" {
+        return Err(HttpError::MethodNotAllowed);
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        keep_alive,
+    })
+}
+
+/// Writes a complete response and returns the total bytes written
+/// (head + body). No `Date` header: responses are byte-deterministic,
+/// which is what lets the smoke counters sit behind the bench gate.
+///
+/// # Errors
+///
+/// Propagates transport errors from the underlying writer.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<u64> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    Ok(head.len() as u64 + body.len() as u64)
+}
+
+/// Percent-encodes every byte outside the RFC 3986 unreserved set, so
+/// any tag name or video key — tabs, commas, backslashes included —
+/// round-trips through a path segment.
+pub fn percent_encode(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for b in raw.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char);
+            }
+            _ => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("%{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes `%XX` escapes; `None` on truncated/invalid escapes or when
+/// the decoded bytes are not UTF-8.
+pub fn percent_decode(raw: &str) -> Option<String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = hex_val(*bytes.get(i + 1)?)?;
+            let lo = hex_val(*bytes.get(i + 2)?)?;
+            out.push(hi * 16 + lo);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut reader = RequestReader::new();
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        reader.read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/stats");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_overrides_the_11_default() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        assert_eq!(parse(b""), Ok(None));
+    }
+
+    #[test]
+    fn eof_mid_request_is_disconnected() {
+        assert_eq!(parse(b"GET /stats HT"), Err(HttpError::Disconnected));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_bad_requests() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected_politely() {
+        assert_eq!(
+            parse(b"POST /stats HTTP/1.1\r\n\r\n"),
+            Err(HttpError::MethodNotAllowed)
+        );
+        assert_eq!(
+            parse(b"GET /x HTTP/2.0\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        );
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let mut raw = b"GET /stats HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(
+            format!("X-Pad: {}\r\n\r\n", "a".repeat(MAX_REQUEST_BYTES)).as_bytes(),
+        );
+        assert_eq!(parse(&raw), Err(HttpError::TooLarge));
+
+        let mut raw = b"GET /stats HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&raw), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn bytes_past_the_terminator_stay_buffered() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = RequestReader::new();
+        let mut cursor = io::Cursor::new(two.to_vec());
+        let first = reader.read_request(&mut cursor).unwrap().unwrap();
+        let second = reader.read_request(&mut cursor).unwrap().unwrap();
+        assert_eq!(first.target, "/a");
+        assert_eq!(second.target, "/b");
+        assert_eq!(reader.read_request(&mut cursor), Ok(None));
+    }
+
+    #[test]
+    fn percent_round_trips_hostile_names() {
+        for raw in ["plain", "genre,\\42\tlive", "ü%20ber/deep", "a b~c"] {
+            let enc = percent_encode(raw);
+            assert!(
+                enc.bytes()
+                    .all(|b| b.is_ascii_alphanumeric()
+                        || matches!(b, b'-' | b'.' | b'_' | b'~' | b'%')),
+                "{enc}"
+            );
+            assert_eq!(percent_decode(&enc).as_deref(), Some(raw));
+        }
+        assert_eq!(percent_decode("%"), None);
+        assert_eq!(percent_decode("%2"), None);
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("%ff"), None, "lone 0xff is not UTF-8");
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection() {
+        let mut out = Vec::new();
+        let n = write_response(&mut out, 200, "OK", "text/plain", b"body\n", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(n as usize, text.len());
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nbody\n"));
+        assert!(!text.contains("Date:"), "dated responses break determinism");
+    }
+}

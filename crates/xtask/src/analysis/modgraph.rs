@@ -43,8 +43,9 @@ fn spec(package: &str, dir: &str, layer: u32) -> LayerSpec {
 /// The declared DAG for this workspace.
 ///
 /// Layer 0 holds the dependency-free substrates, layer 4 the facade
-/// crate, layer 5 the binaries and tooling. `cargo xtask check` fails
-/// when reality drifts from this list.
+/// crate, layer 5 the serving layer and tooling, layer 6 the binaries
+/// that compose everything. `cargo xtask check` fails when reality
+/// drifts from this list.
 pub fn workspace_spec() -> Vec<LayerSpec> {
     vec![
         spec("tagdist-obs", "crates/obs", 0),
@@ -57,9 +58,10 @@ pub fn workspace_spec() -> Vec<LayerSpec> {
         spec("tagdist-cache", "crates/cache", 2),
         spec("tagdist-tags", "crates/tags", 3),
         spec("tagdist", "crates/core", 4),
-        spec("tagdist-cli", "crates/cli", 5),
-        spec("tagdist-bench", "crates/bench", 5),
+        spec("tagdist-serve", "crates/serve", 5),
         spec("xtask", "crates/xtask", 5),
+        spec("tagdist-cli", "crates/cli", 6),
+        spec("tagdist-bench", "crates/bench", 6),
     ]
 }
 
@@ -397,13 +399,13 @@ mod tests {
     fn workspace_spec_is_a_dag_on_paper() {
         let specs = workspace_spec();
         // Layer indices are the proof: the declared list must use every
-        // layer 0..=5 and contain no duplicate packages.
+        // layer 0..=6 and contain no duplicate packages.
         let mut names: Vec<&str> = specs.iter().map(|s| s.package.as_str()).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();
         assert_eq!(before, names.len());
-        for layer in 0..=5 {
+        for layer in 0..=6 {
             assert!(specs.iter().any(|s| s.layer == layer));
         }
     }

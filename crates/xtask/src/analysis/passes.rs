@@ -27,9 +27,11 @@ pub const FILE_PASS_RULES: &[&str] = &[
 
 /// Paths (suffix or component match) where wall-clock time is part of
 /// the module's contract: the span recorder, the benchmark harness,
-/// and the analyzer's own self-timing module.
+/// the serve load generator (latency percentiles), and the analyzer's
+/// own self-timing module.
 const WALL_CLOCK_ALLOWED: &[&str] = &[
     "crates/obs/src/recorder.rs",
+    "crates/serve/src/loadgen.rs",
     "crates/xtask/src/selfbench.rs",
 ];
 const WALL_CLOCK_ALLOWED_DIRS: &[&str] = &["crates/bench/"];

@@ -22,12 +22,12 @@ use crate::lexer;
 use crate::rules::{self, Violation};
 
 /// Library crates the domain rules apply to: every one forbids
-/// `unsafe` (`#![forbid(unsafe_code)]`, or `deny` in `dataset`, whose
-/// single sanctioned `mmap` module the `unsafe-scope` rule audits).
-/// Binary/bench crates (cli, bench) are intentionally out of scope —
-/// they may exit or panic at the top level. The xtask sources
-/// themselves are scanned by the analysis passes (but not the
-/// library-only token rules).
+/// `unsafe` (`#![forbid(unsafe_code)]`, or `deny` in `dataset` and
+/// `serve`, whose sanctioned `mmap`/`signal` modules the
+/// `unsafe-scope` rule audits). Binary/bench crates (cli, bench) are
+/// intentionally out of scope — they may exit or panic at the top
+/// level. The xtask sources themselves are scanned by the analysis
+/// passes (but not the library-only token rules).
 pub const CHECKED_CRATES: &[&str] = &[
     "cache",
     "core",
@@ -37,6 +37,7 @@ pub const CHECKED_CRATES: &[&str] = &[
     "obs",
     "par",
     "reconstruct",
+    "serve",
     "tags",
     "ytsim",
 ];

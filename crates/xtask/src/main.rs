@@ -30,7 +30,7 @@ check options:
 bench-report options:
   --smoke         tiny corpus, one run per stage (the CI wiring)
   any extra arguments are forwarded to the benchmark binary
-  (first positional argument = output path, default BENCH_PR9.json,
+  (first positional argument = output path, default BENCH_PR10.json,
   or bench-smoke.json under --smoke)
 
 bench-gate options:
@@ -184,7 +184,7 @@ fn run_bench_report(extra: &[String]) -> Result<bool, String> {
             if smoke {
                 "bench-smoke.json".to_owned()
             } else {
-                "BENCH_PR9.json".to_owned()
+                "BENCH_PR10.json".to_owned()
             }
         });
     match append_analyzer_timing(&out_path) {

@@ -210,10 +210,10 @@ const SAFETY_COMMENT_REACH: usize = 8;
 /// a module that explicitly opts in — a scoped `#![allow(unsafe_code)]`
 /// inner attribute *and* a module-level `# Safety` doc section stating
 /// the soundness argument — and even there, every `unsafe` site must
-/// carry a `// SAFETY:` comment on the line or just above it. The one
-/// sanctioned module today is `crates/dataset/src/mmap.rs`; the
-/// allowlist stays empty because compliant modules produce no
-/// findings.
+/// carry a `// SAFETY:` comment on the line or just above it. The
+/// sanctioned modules today are `crates/dataset/src/mmap.rs` and
+/// `crates/serve/src/signal.rs`; the allowlist stays empty because
+/// compliant modules produce no findings.
 fn unsafe_scope(path: &str, cf: &CleanFile, out: &mut Vec<Violation>) {
     let opted_in = cf.raw.iter().any(|l| l.trim() == "#![allow(unsafe_code)]")
         && cf.docs.iter().any(|d| d.contains("# Safety"));

@@ -299,3 +299,248 @@ fn killed_and_resumed_ingest_is_byte_identical() {
     };
     assert_eq!(render(&cold), reference, "cold rebuild must agree");
 }
+
+// ---------------------------------------------------------------------------
+// The serve layer: hostile and flaky clients must degrade per
+// connection — never poison the worker pool, the snapshot cell, or
+// concurrent well-formed connections.
+// ---------------------------------------------------------------------------
+
+mod serve_degradation {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use tagdist::dataset::{filter, DatasetBuilder, RawPopularity};
+    use tagdist::geo::{world, TrafficModel};
+    use tagdist::par::Pool;
+    use tagdist::reconstruct::{EpochSnapshot, SnapshotCell};
+    use tagdist_serve::server::{Server, ServerConfig};
+
+    /// A deterministic corpus whose view counts are offset by `salt`,
+    /// so distinct salts produce distinct (but valid) epochs.
+    fn snapshot(epoch: u64, salt: u64) -> Arc<EpochSnapshot> {
+        let traffic = TrafficModel::reference(world());
+        let cc = world().len();
+        let mut b = DatasetBuilder::new(cc);
+        for i in 0..200usize {
+            let raw: Vec<u8> = (0..cc).map(|c| ((i * 7 + c * 5) % 62) as u8).collect();
+            let tags: Vec<String> = (0..1 + i % 4)
+                .map(|t| format!("t{}", (i + t) % 23))
+                .collect();
+            let refs: Vec<&str> = tags.iter().map(String::as_str).collect();
+            b.push_video(
+                &format!("vid{i}"),
+                1_000 + salt + (i * 17) as u64,
+                &refs,
+                RawPopularity::decode(raw, cc),
+            );
+        }
+        let clean = filter(&b.build());
+        Arc::new(EpochSnapshot::rebuild(epoch, clean, traffic.distribution()).unwrap())
+    }
+
+    /// A live server over `cell`, with its accept loop on a background
+    /// thread. Dropping the guard without `shutdown()` would leak the
+    /// thread, so every test ends with `shutdown()`.
+    struct Live {
+        addr: String,
+        cell: Arc<SnapshotCell>,
+        stop: Arc<AtomicBool>,
+        worker: std::thread::JoinHandle<Result<(), String>>,
+    }
+
+    fn boot(cell: Arc<SnapshotCell>, threads: usize) -> Live {
+        let traffic = TrafficModel::reference(world());
+        let server = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&cell),
+            traffic,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            let pool = Pool::new(threads);
+            server.run(&pool, &flag)
+        });
+        Live {
+            addr,
+            cell,
+            stop,
+            worker,
+        }
+    }
+
+    impl Live {
+        fn shutdown(self) {
+            self.stop.store(true, Ordering::SeqCst);
+            self.worker.join().unwrap().unwrap();
+        }
+    }
+
+    /// Writes `bytes` raw and reads the connection to EOF.
+    fn raw_exchange(addr: &str, bytes: &[u8]) -> Vec<u8> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(bytes).unwrap();
+        let mut response = Vec::new();
+        let _ = stream.read_to_end(&mut response);
+        response
+    }
+
+    /// One well-formed request, asserting a 200 with a body.
+    fn assert_healthy(addr: &str) {
+        let response = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 200 OK\r\n"),
+            "server unhealthy: {text:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_request_lines_get_a_4xx_and_do_not_kill_the_server() {
+        let cell = Arc::new(SnapshotCell::new());
+        cell.store(snapshot(1, 0));
+        let live = boot(Arc::clone(&cell), 2);
+
+        for (garbage, want) in [
+            (&b"BLARG\r\n\r\n"[..], "HTTP/1.1 400 "),
+            (&b"GET\r\n\r\n"[..], "HTTP/1.1 400 "),
+            (&b"POST /stats HTTP/1.1\r\n\r\n"[..], "HTTP/1.1 405 "),
+            (&b"GET /stats HTTP/0.9\r\n\r\n"[..], "HTTP/1.1 505 "),
+            (
+                &b"GET /stats HTTP/1.1\r\nno-colon\r\n\r\n"[..],
+                "HTTP/1.1 400 ",
+            ),
+        ] {
+            let response = raw_exchange(&live.addr, garbage);
+            let text = String::from_utf8_lossy(&response);
+            assert!(
+                text.starts_with(want),
+                "{garbage:?} should answer {want}, got {text:?}"
+            );
+            assert_healthy(&live.addr);
+        }
+        live.shutdown();
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_per_connection() {
+        let cell = Arc::new(SnapshotCell::new());
+        cell.store(snapshot(1, 0));
+        let live = boot(Arc::clone(&cell), 2);
+
+        // A single header far beyond MAX_REQUEST_BYTES (16 KiB).
+        let mut big = b"GET /stats HTTP/1.1\r\nX-Flood: ".to_vec();
+        big.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        big.extend_from_slice(b"\r\n\r\n");
+        let response = raw_exchange(&live.addr, &big);
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.starts_with("HTTP/1.1 431 "),
+            "oversized head should answer 431, got {text:?}"
+        );
+        assert_healthy(&live.addr);
+        live.shutdown();
+    }
+
+    #[test]
+    fn premature_disconnects_leave_the_server_healthy() {
+        let cell = Arc::new(SnapshotCell::new());
+        cell.store(snapshot(1, 0));
+        let live = boot(Arc::clone(&cell), 2);
+
+        // Half a request line, then the client vanishes.
+        for _ in 0..8 {
+            let stream = TcpStream::connect(&live.addr).unwrap();
+            (&stream).write_all(b"GET /sta").unwrap();
+            drop(stream);
+        }
+        // A connection that opens and says nothing at all.
+        drop(TcpStream::connect(&live.addr).unwrap());
+        assert_healthy(&live.addr);
+        live.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_across_an_epoch_flip_stay_consistent() {
+        let cell = Arc::new(SnapshotCell::new());
+        let first = snapshot(1, 0);
+        let second = snapshot(2, 500);
+        cell.store(Arc::clone(&first));
+        let live = boot(Arc::clone(&cell), 4);
+
+        // The only two answers /stats may ever produce.
+        let body_first = tagdist_serve::query::stats_body(&first.clean);
+        let body_second = tagdist_serve::query::stats_body(&second.clean);
+
+        let flipped = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let addr = live.addr.as_str();
+            let cell = &live.cell;
+            let second = &second;
+            let flip_flag = Arc::clone(&flipped);
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                cell.store(Arc::clone(second));
+                flip_flag.store(true, Ordering::SeqCst);
+            });
+            for _ in 0..4 {
+                let body_first = body_first.as_str();
+                let body_second = body_second.as_str();
+                let flipped = Arc::clone(&flipped);
+                scope.spawn(move || {
+                    let mut saw_any = 0u32;
+                    while !flipped.load(Ordering::SeqCst) || saw_any < 3 {
+                        let response =
+                            raw_exchange(addr, b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+                        let text = String::from_utf8_lossy(&response);
+                        let body = text
+                            .split_once("\r\n\r\n")
+                            .map(|(_, b)| b.to_owned())
+                            .unwrap_or_default();
+                        assert!(
+                            body == body_first || body == body_second,
+                            "a response mixed epochs or tore: {body:?}"
+                        );
+                        saw_any += 1;
+                    }
+                });
+            }
+        });
+
+        // After the flip every new connection pins epoch 2.
+        let response = raw_exchange(
+            &live.addr,
+            b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let text = String::from_utf8_lossy(&response);
+        assert!(
+            text.ends_with(&body_second),
+            "post-flip responses must come from epoch 2"
+        );
+        let health = raw_exchange(
+            &live.addr,
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(
+            String::from_utf8_lossy(&health).ends_with("ok epoch 2\n"),
+            "healthz must report the flipped epoch"
+        );
+        live.shutdown();
+
+        // The cell itself survives unpoisoned: a fresh server over the
+        // same cell still answers.
+        let revived = boot(Arc::clone(&cell), 1);
+        assert_healthy(&revived.addr);
+        revived.shutdown();
+    }
+}
